@@ -1,0 +1,351 @@
+package selfheal
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// BenchmarkTableN / BenchmarkFigureN regenerates exactly the artifact
+// the paper prints (workload, parameter sweep, baseline and rendering
+// included), so `go test -bench=.` re-derives the entire evaluation.
+// The shared lab (the five-chip Table 1 schedule) is executed once and
+// reused, mirroring how the paper's chips carry their history across
+// experiments; its cost is measured separately by BenchmarkLabRunAll.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"selfheal/internal/exp"
+)
+
+var (
+	benchLab     *exp.Lab
+	benchLabOnce sync.Once
+	benchLabErr  error
+)
+
+func sharedBenchLab(b *testing.B) *exp.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = exp.NewLab(2014)
+		benchLabErr = benchLab.RunAll()
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+// BenchmarkLabRunAll measures the full Table 1 schedule: five chips,
+// eleven cases, burn-ins, chamber ramps and periodic read-outs.
+func BenchmarkLabRunAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := exp.NewLab(uint64(2014 + i))
+		if err := lab.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := exp.Figure1()
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1()
+		if len(t.Rows) != 11 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 runs the long-horizon wearout-vs-rejuvenation
+// comparison (two fresh chips, eight 30 h cycles each).
+func BenchmarkFigure9(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 runs the three-scheduler multi-core comparison
+// (8 cores × 30 days × 3 schedulers).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta, err := lab.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(ta.Notes[0], "HEADLINE") {
+			b.Fatal("missing verdict")
+		}
+	}
+}
+
+// BenchmarkReproducePaper measures the entire evaluation end to end —
+// every table and figure from a cold start.
+func BenchmarkReproducePaper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ReproducePaper(uint64(2014 + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-study benchmarks: the ablations and prior-art comparisons
+// in EXPERIMENTS.md's extension section.
+
+func BenchmarkExtensionE1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionE1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionE2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE3(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE4(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE6(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionE7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionE8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipStressHour is the micro-benchmark behind everything:
+// one hour of chip-level stress integration (2304 transistors).
+func BenchmarkChipStressHour(b *testing.B) {
+	chip, err := NewChip("bench", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chip.Stress(AcceleratedStress(), 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticoreMonth measures one circadian 30-day run.
+func BenchmarkMulticoreMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMulticore(CircadianScheduler, 6, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleComparison measures a 10-day three-policy sweep.
+func BenchmarkScheduleComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := CompareSchedules(uint64(i), 10,
+			NoRecoveryPolicy(),
+			ProactivePolicy(4, 6, AcceleratedSleep()),
+			ReactivePolicy(0.5, 0.25, AcceleratedSleep()),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionE9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE10(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE11(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE5(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionE12(b *testing.B) {
+	lab := sharedBenchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ExtensionE12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command selfheal-bench regenerates the paper's evaluation: it runs
+// the full Table 1 accelerated-test schedule on five simulated chips
+// plus the long-horizon and multi-core simulations, then prints every
+// table and figure of the DAC'14 paper as text artifacts.
+//
+// Usage:
+//
+//	selfheal-bench [-seed N] [-only "Table 4"] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfheal"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2014, "experiment seed (process variation and noise)")
+	only := flag.String("only", "", "print a single artifact by ID (e.g. \"Figure 8\")")
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	ext := flag.Bool("ext", false, "also run the extension studies (E1–E8)")
+	csvDir := flag.String("csv", "", "also export every case's measurement series as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		names, err := selfheal.ExportMeasurements(*seed, *csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(names), *csvDir)
+	}
+
+	report, err := selfheal.ReproducePaper(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-bench:", err)
+		os.Exit(1)
+	}
+	if *ext {
+		extras, err := selfheal.ReproduceExtensions(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-bench:", err)
+			os.Exit(1)
+		}
+		report.Artifacts = append(report.Artifacts, extras.Artifacts...)
+	}
+	switch {
+	case *list:
+		for _, a := range report.Artifacts {
+			fmt.Printf("%-10s %s\n", a.ID, a.Caption)
+		}
+	case *only != "":
+		a, ok := report.Find(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "selfheal-bench: no artifact %q (use -list)\n", *only)
+			os.Exit(1)
+		}
+		fmt.Print(a.Text)
+	default:
+		fmt.Print(report.Render())
+	}
+}

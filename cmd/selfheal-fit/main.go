@@ -1,0 +1,80 @@
+// Command selfheal-fit extracts the paper's first-order model
+// parameters (Table 3) from a measured delay series: the wearout fit
+// ΔTd(t) = β·ln(1 + C·t) (Eq. 10), or the recovery fit of Eq. 11 given
+// the stress history t1.
+//
+// The input is a two-column CSV with a header row: time in seconds,
+// then ΔTd (wearout) or recovered delay RD (recovery), in nanoseconds.
+// With no file argument it reads standard input.
+//
+// Usage:
+//
+//	selfheal-fit -kind wearout  data.csv
+//	selfheal-fit -kind recovery -t1hours 24 data.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"selfheal/internal/fit"
+	"selfheal/internal/series"
+)
+
+func main() {
+	kind := flag.String("kind", "wearout", "model to fit: wearout or recovery")
+	t1hours := flag.Float64("t1hours", 24, "stress history preceding a recovery series, hours")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fail("at most one input file")
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	s, err := series.ReadCSV(in)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *kind {
+	case "wearout":
+		p, err := fit.ExtractWearout(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wearout fit of %q (%d samples): ΔTd(t) = β·ln(1 + C·t)\n", s.Name, s.Len())
+		fmt.Printf("  β    = %.6f ns\n", p.BetaNS)
+		fmt.Printf("  C    = %.6e 1/s\n", p.CPerS)
+		fmt.Printf("  RMSE = %.4f ns\n", p.RMSE)
+		fmt.Printf("  R²   = %.5f\n", p.R2)
+	case "recovery":
+		if *t1hours <= 0 {
+			fail("-t1hours must be positive")
+		}
+		p, err := fit.ExtractRecovery(s, *t1hours*3600)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("recovery fit of %q (%d samples, t1 = %g h)\n", s.Name, s.Len(), *t1hours)
+		fmt.Printf("  amp  = %.6f ns (ΔTd(t1)·φr)\n", p.AmpNS)
+		fmt.Printf("  C    = %.6e 1/s\n", p.CPerS)
+		fmt.Printf("  RMSE = %.4f ns\n", p.RMSE)
+		fmt.Printf("  R²   = %.5f\n", p.R2)
+	default:
+		fail(fmt.Sprintf("unknown -kind %q", *kind))
+	}
+}
+
+func fail(v any) {
+	fmt.Fprintln(os.Stderr, "selfheal-fit:", v)
+	os.Exit(1)
+}

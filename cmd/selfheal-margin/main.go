@@ -1,0 +1,91 @@
+// Command selfheal-margin is the sign-off calculator the paper's
+// margin-relaxation argument implies: given a mission profile (hot
+// operating conditions plus an optional circadian rejuvenation
+// schedule), it reports the BTI delay margin a design must ship for a
+// target lifetime, the lifetime a given margin buys, and the relaxation
+// the rejuvenation schedule earns over an always-on baseline.
+//
+// Usage:
+//
+//	selfheal-margin [-years 10] [-alpha 4] [-sleephours 6]
+//	                [-activetemp 85] [-sleeptemp 110] [-sleeprail -0.3]
+//	                [-safety 1.2] [-margin 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"selfheal/internal/margin"
+	"selfheal/internal/units"
+)
+
+func main() {
+	years := flag.Float64("years", 10, "target service life in years")
+	alpha := flag.Float64("alpha", 4, "active:sleep ratio (0 disables rejuvenation)")
+	sleepHours := flag.Float64("sleephours", 6, "sleep interval length in hours")
+	activeTemp := flag.Float64("activetemp", 85, "operating temperature, °C")
+	sleepTemp := flag.Float64("sleeptemp", 110, "rejuvenation temperature, °C")
+	sleepRail := flag.Float64("sleeprail", -0.3, "rejuvenation rail, volts (≤0)")
+	safety := flag.Float64("safety", 1.2, "engineering safety factor on the shipped margin")
+	marginPct := flag.Float64("margin", 0, "if >0: also report the lifetime this margin (%) buys")
+	flag.Parse()
+
+	baseline := margin.Server24x7()
+	baseline.ActiveTempC = units.Celsius(*activeTemp)
+
+	mission := baseline
+	if *alpha > 0 && *sleepHours > 0 {
+		mission.ActiveHours = *alpha * *sleepHours
+		mission.SleepHours = *sleepHours
+		mission.SleepTempC = units.Celsius(*sleepTemp)
+		mission.SleepVdd = units.Volt(*sleepRail)
+	}
+
+	calc := margin.NewCalculator()
+	need, err := calc.RequiredMarginPct(mission, *years, *safety)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("mission: %g h active @ %g °C", mission.ActiveHours, *activeTemp)
+	if mission.SleepHours > 0 {
+		fmt.Printf(" + %g h sleep @ %g °C / %g V (α = %g)",
+			mission.SleepHours, *sleepTemp, *sleepRail, mission.Alpha())
+	} else {
+		fmt.Printf(" (always on)")
+	}
+	fmt.Println()
+	fmt.Printf("required BTI delay margin for %g years (safety %.2f): %.3f %%\n",
+		*years, *safety, need)
+
+	if mission.SleepHours > 0 {
+		baseNeed, err := calc.RequiredMarginPct(baseline, *years, *safety)
+		if err != nil {
+			fail(err)
+		}
+		relax, err := calc.RelaxationPct(baseline, mission, *years)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("always-on baseline would need:               %.3f %%\n", baseNeed)
+		fmt.Printf("design margin relaxed by the schedule:       %.1f %%\n", relax)
+	}
+	if *marginPct > 0 {
+		life, err := calc.LifetimeYears(mission, *marginPct)
+		if err != nil {
+			fail(err)
+		}
+		if math.IsInf(life, 1) {
+			fmt.Printf("a %.3f %% margin is never exhausted within 200 years\n", *marginPct)
+		} else {
+			fmt.Printf("a %.3f %% margin lasts %.1f years\n", *marginPct, life)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "selfheal-margin:", err)
+	os.Exit(1)
+}

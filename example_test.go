@@ -1,0 +1,83 @@
+package selfheal_test
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+// The canonical flow: fabricate a chip, wear it out for a day under the
+// paper's accelerated condition, rejuvenate it for a quarter of the
+// stress time, and account for the margin.
+func Example() {
+	chip, err := selfheal.NewChip("example", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := chip.Stress(selfheal.AcceleratedStress(), 24, 0); err != nil {
+		log.Fatal(err)
+	}
+	stressed, err := chip.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := chip.Rejuvenate(selfheal.AcceleratedSleep(), 6, 0); err != nil {
+		log.Fatal(err)
+	}
+	healed, err := chip.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	relaxed, err := selfheal.MarginRelaxedPct(chip.FreshDelayNS(), stressed.DelayNS, healed.DelayNS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := chip.WithinOriginalMargin(healed.DelayNS, 90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("margin relaxed ≈ %.0f %%, within 90 %% of original margin: %v\n",
+		relaxed, ok)
+	// Output:
+	// margin relaxed ≈ 72 %, within 90 % of original margin: true
+}
+
+// The closed-form device model is available directly: the recovered
+// fraction after the paper's 24 h stress / 6 h sleep under each
+// condition.
+func ExampleRecoveredFraction() {
+	conds := []struct {
+		name string
+		c    selfheal.SleepCondition
+	}{
+		{"passive gating   ", selfheal.PassiveSleep()},
+		{"negative voltage ", selfheal.NegativeVoltageSleep()},
+		{"high temperature ", selfheal.HotSleep()},
+		{"combined         ", selfheal.AcceleratedSleep()},
+	}
+	for _, c := range conds {
+		fmt.Printf("%s %.2f\n", c.name, selfheal.RecoveredFraction(c.c, 24, 6))
+	}
+	// Output:
+	// passive gating    0.39
+	// negative voltage  0.51
+	// high temperature  0.61
+	// combined          0.79
+}
+
+// Schedules compare over a service life: the paper's proactive α = 4
+// circadian rhythm against never recovering.
+func ExampleCompareSchedules() {
+	outs, err := selfheal.CompareSchedules(11, 5,
+		selfheal.NoRecoveryPolicy(),
+		selfheal.ProactivePolicy(4, 6, selfheal.AcceleratedSleep()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline final degradation is %.1f× the rejuvenated chip's\n",
+		outs[0].FinalPct/outs[1].FinalPct)
+	// Output:
+	// baseline final degradation is 4.3× the rejuvenated chip's
+}

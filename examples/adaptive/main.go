@@ -1,0 +1,34 @@
+// adaptive runs the paper's Section 7 "virtual circadian rhythm" as a
+// working controller: because the rejuvenation schedule is known in
+// advance, the clock is re-timed every hour against the degradation
+// envelope predicted by the first-order model — no silicon measurement
+// in the loop — and still never violates timing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	const (
+		days  = 30
+		alpha = 4
+		sleep = 6
+	)
+	for _, guard := range []float64{0.5, 1, 2} {
+		out, err := selfheal.SimulateAdaptiveClock(9, days, alpha, sleep, guard,
+			selfheal.AcceleratedSleep())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("guard %.1f %%: static period %.3f ns, adaptive mean %.3f ns, "+
+			"speedup %.2f %%, violations %d/%d\n",
+			guard, out.StaticPeriodNS, out.MeanAdaptivePeriodNS,
+			out.MeanSpeedupPct, out.Violations, out.ActiveSlot)
+	}
+	fmt.Println("\nthe controller predicts from the model alone (schedule + fresh delay);")
+	fmt.Println("knowing when the next deep rejuvenation comes converts bounded aging into clock speed.")
+}

@@ -1,0 +1,35 @@
+// cache applies the paper's self-healing to the system its ref [14]
+// targets: cache SRAM. Data in real caches is heavily zero-skewed, so
+// whichever 6T pull-up faces the stored zero ages (NBTI) and the cell's
+// static noise margin erodes asymmetrically. Four maintenance policies
+// compete over 90 days at identical delivered capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	const days = 90
+	fmt.Printf("8-way cache data array, zero-skewed contents, 85 °C, %d days\n\n", days)
+	fmt.Printf("%-20s %12s %13s %16s\n", "policy", "min SNM (mV)", "mean SNM (mV)", "margin used (%)")
+	for _, policy := range []selfheal.SRAMPolicy{
+		selfheal.SRAMNone,
+		selfheal.SRAMBitFlip,
+		selfheal.SRAMProactiveRecovery,
+		selfheal.SRAMFlipAndRecover,
+	} {
+		out, err := selfheal.RunCacheSRAM(policy, days, 2014)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12.1f %13.1f %16.1f\n",
+			out.Policy, out.MinSNMMV, out.MeanSNMMV, out.MarginConsumedPct)
+	}
+	fmt.Println("\nreading: bit-flip balances *which* pull-up ages (best worst case at day")
+	fmt.Println("granularity); island rotation heals both (this paper); combining them gives")
+	fmt.Println("the best average margin — the two mechanisms attack different SNM-loss terms.")
+}

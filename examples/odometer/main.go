@@ -1,0 +1,49 @@
+// odometer demonstrates the on-die aging monitor the paper's Section 1
+// cites (the Silicon Odometer, ref [7]): a stressed ring oscillator and
+// a power-islanded reference read out differentially, resolving BTI
+// degradation at the ppm level. The sensor watches a full
+// stress/rejuvenate/re-stress cycle — the measurement infrastructure a
+// reactive rejuvenation policy needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	chip, err := selfheal.NewMonitoredChip("odo-demo", 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	read := func(label string) {
+		r, err := chip.Read()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.0f ppm   (beat %8.0f Hz)\n", label, r.DegradationPPM, r.BeatHz)
+	}
+
+	read("fresh")
+	for h := 6; h <= 24; h += 6 {
+		if err := chip.Stress(selfheal.AcceleratedStress(), 6); err != nil {
+			log.Fatal(err)
+		}
+		read(fmt.Sprintf("after %2d h stress", h))
+	}
+	for h := 2; h <= 6; h += 2 {
+		if err := chip.Rejuvenate(selfheal.AcceleratedSleep(), 2); err != nil {
+			log.Fatal(err)
+		}
+		read(fmt.Sprintf("after %2d h sleep", h))
+	}
+	if err := chip.Stress(selfheal.AcceleratedStress(), 1); err != nil {
+		log.Fatal(err)
+	}
+	read("after 1 h re-stress")
+
+	fmt.Println("\nthe differential read-out resolves single-hour aging steps (~ppm) that a")
+	fmt.Println("raw counter (±0.1 % ≈ 1000 ppm) would bury in quantization noise.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: fabricate a simulated 40 nm FPGA, wear it out for a day
+// under accelerated stress, then rejuvenate it for six hours under the
+// paper's combined condition (110 °C, −0.3 V) and watch most of the
+// degradation disappear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal"
+)
+
+func main() {
+	chip, err := selfheal.NewChip("quickstart", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := chip.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fresh:     %7.3f ns  (%.3f MHz, counter %d)\n",
+		fresh.DelayNS, fresh.FrequencyHz/1e6, fresh.Counts)
+
+	if _, err := chip.Stress(selfheal.AcceleratedStress(), 24, 0); err != nil {
+		log.Fatal(err)
+	}
+	stressed, err := chip.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stressed:  %7.3f ns  (+%.2f %% after 24 h at 110 °C)\n",
+		stressed.DelayNS, stressed.DegradationPct)
+
+	if _, err := chip.Rejuvenate(selfheal.AcceleratedSleep(), 6, 0); err != nil {
+		log.Fatal(err)
+	}
+	healed, err := chip.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	relaxed, err := selfheal.MarginRelaxedPct(chip.FreshDelayNS(), stressed.DelayNS, healed.DelayNS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining, err := chip.RemainingMarginPct(healed.DelayNS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healed:    %7.3f ns  (6 h sleep at 110 °C / −0.3 V)\n", healed.DelayNS)
+	fmt.Printf("\nmargin relaxed: %.1f %%   remaining design margin: %.1f %%\n", relaxed, remaining)
+	ok, err := chip.WithinOriginalMargin(healed.DelayNS, 90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 90 %% of original margin after sleeping 1/4 of the stress time: %v\n", ok)
+}

@@ -1,0 +1,179 @@
+// Package device models the individual transistors that make up the
+// FPGA's LUTs, buffers and routing switches: their bias-dependent BTI
+// stress detection, their aging state, the first-order propagation-delay
+// model of the paper (Eqs. 5–7) and a subthreshold leakage model used by
+// the system-level metrics (aging slows circuits *and* — one silver
+// lining — reduces leakage as Vth rises).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// Kind distinguishes the two transistor polarities, which age under
+// opposite bias: PMOS suffers NBTI (Vgs < 0), NMOS suffers PBTI
+// (Vgs > 0; significant since high-k/metal-gate nodes).
+type Kind uint8
+
+const (
+	NMOS Kind = iota
+	PMOS
+)
+
+// String returns "NMOS" or "PMOS".
+func (k Kind) String() string {
+	if k == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// Params holds the electrical constants of a (40 nm-class) transistor.
+type Params struct {
+	Vth0 units.Volt // fresh threshold-voltage magnitude
+	Vdd  units.Volt // nominal supply
+	// Td0 is the transistor's fresh contribution to the propagation
+	// delay of the path it sits on, in nanoseconds (Eq. 5 evaluated at
+	// the fresh operating point).
+	Td0NS float64
+	// SubthresholdSwingMV is the subthreshold slope in mV/decade, used
+	// by the leakage model. Typical 40 nm value ≈ 90 mV/dec.
+	SubthresholdSwingMV float64
+	// Ileak0NA is the fresh subthreshold leakage in nanoamps.
+	Ileak0NA float64
+}
+
+// DefaultParams returns 40 nm-class constants consistent with the
+// RO calibration: a 4-transistor path of interest per LUT stage with a
+// 1.333 ns stage delay gives the paper's 5 MHz-class 75-stage oscillator.
+func DefaultParams() Params {
+	return Params{
+		Vth0:                0.4,
+		Vdd:                 1.2,
+		Td0NS:               1.3333 / 4,
+		SubthresholdSwingMV: 90,
+		Ileak0NA:            10,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.Vth0 <= 0:
+		return errors.New("device: Vth0 must be positive")
+	case p.Vdd <= p.Vth0:
+		return errors.New("device: Vdd must exceed Vth0")
+	case p.Td0NS <= 0:
+		return errors.New("device: Td0NS must be positive")
+	case p.SubthresholdSwingMV <= 0:
+		return errors.New("device: subthreshold swing must be positive")
+	case p.Ileak0NA < 0:
+		return errors.New("device: leakage must be non-negative")
+	}
+	return nil
+}
+
+// Transistor is one device with its aging state. Create with New.
+type Transistor struct {
+	Name   string
+	Kind   Kind
+	Params Params
+	Aging  td.State
+}
+
+// New returns a fresh transistor.
+func New(name string, kind Kind, p Params) *Transistor {
+	return &Transistor{Name: name, Kind: kind, Params: p}
+}
+
+// Stressed reports whether the given gate-source bias puts the device in
+// its BTI stress region: Vgs > 0 for NMOS (PBTI), Vgs < 0 for PMOS
+// (NBTI). A bias magnitude under half the threshold is treated as
+// unstressed — pass transistors conducting a weak-high sit near
+// Vgs ≈ Vth and accumulate negligible damage.
+func (t *Transistor) Stressed(vgs units.Volt) bool {
+	half := t.Params.Vth0 / 2
+	switch t.Kind {
+	case PMOS:
+		return vgs < -half
+	default:
+		return vgs > half
+	}
+}
+
+// VthShift returns the current total threshold shift magnitude in volts.
+func (t *Transistor) VthShift() float64 { return t.Aging.Vth() }
+
+// Stress ages the device for dt under the given overdrive magnitude and
+// temperature with the given duty cycle.
+func (t *Transistor) Stress(p td.Params, v units.Volt, temp units.Kelvin, duty float64, dt units.Seconds) {
+	t.Aging.Stress(p, td.StressCond{V: abs(v), T: temp, Duty: duty}, dt)
+}
+
+// Recover heals the device for dt under the given reverse-bias magnitude
+// and temperature.
+func (t *Transistor) Recover(p td.Params, vrev units.Volt, temp units.Kelvin, dt units.Seconds) {
+	t.Aging.Recover(p, td.RecoveryCond{VRev: abs(vrev), T: temp}, dt)
+}
+
+// Delay returns the device's present contribution to path delay in
+// nanoseconds at supply vdd, following the paper's first-order model:
+//
+//	td ∝ CL·Vdd/(Vdd − Vth)                     (Eq. 5)
+//	Δtd ≈ td0 · ΔVth/(Vdd − Vth0)               (Eq. 6)
+//
+// so Delay = Td0·(1 + ΔVth/(Vdd − Vth0)), with the fresh Td0 itself
+// rescaled when operating at a non-nominal supply.
+func (t *Transistor) Delay(vdd units.Volt) (float64, error) {
+	if vdd <= t.Params.Vth0 {
+		return 0, fmt.Errorf("device %s: supply %v at or below threshold %v, no switching",
+			t.Name, vdd, t.Params.Vth0)
+	}
+	od0 := float64(t.Params.Vdd - t.Params.Vth0)
+	od := float64(vdd - t.Params.Vth0)
+	// Fresh delay rescaled to the operating supply (td ∝ Vdd/(Vdd−Vth)).
+	fresh := t.Params.Td0NS * (float64(vdd) / float64(t.Params.Vdd)) * (od0 / od)
+	return fresh * (1 + t.Aging.Vth()/od), nil
+}
+
+// DelayShift returns Δtd in nanoseconds at the nominal supply (Eq. 6).
+func (t *Transistor) DelayShift() float64 {
+	return t.Params.Td0NS * t.Aging.Vth() / float64(t.Params.Vdd-t.Params.Vth0)
+}
+
+// Leakage returns the present subthreshold leakage in nanoamps:
+// Isub ∝ 10^(−ΔVth/S). Aging reduces leakage — the one metric BTI
+// improves — which the multi-core energy accounting credits.
+func (t *Transistor) Leakage() float64 {
+	s := t.Params.SubthresholdSwingMV / 1000 // V per decade
+	return t.Params.Ileak0NA * math.Pow(10, -t.Aging.Vth()/s)
+}
+
+// Reset restores the fresh state.
+func (t *Transistor) Reset() { t.Aging.Reset() }
+
+func abs(v units.Volt) units.Volt {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PathDelay sums the Delay of every transistor in the slice at supply
+// vdd — the paper's Eq. 7: ΔTd = Σ Δtd over the path of interest.
+func PathDelay(vdd units.Volt, path []*Transistor) (float64, error) {
+	total := 0.0
+	for _, tr := range path {
+		d, err := tr.Delay(vdd)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}

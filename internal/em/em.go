@@ -1,0 +1,120 @@
+// Package em models electromigration — the aging mechanism the paper's
+// Section 7 explicitly leaves out ("the first order model is optimistic
+// in that it ignores other aging effects, such as EM") — so the
+// reproduction can quantify that limitation: EM damage is *not*
+// recoverable, so it bounds what accelerated self-healing can buy over
+// a product lifetime.
+//
+// The model is the standard reliability treatment: Black's equation
+// gives a segment's mean time to failure under a current density J and
+// temperature T,
+//
+//	MTTF(J,T) = A · (J/Jref)^(−n) · exp(Ea/kT)
+//
+// and damage accrues linearly in 1/MTTF (Miner's rule), pausing when
+// the segment carries no current (sleep helps EM by duty-cycling, never
+// by healing). Accumulated damage raises the line's resistance — void
+// growth — which adds unhealable interconnect delay until failure at
+// damage = 1.
+package em
+
+import (
+	"errors"
+	"math"
+
+	"selfheal/internal/units"
+)
+
+// Params holds the Black's-equation constants for a 40 nm-class copper
+// interconnect.
+type Params struct {
+	// MTTFRefHours is the MTTF at JRef and TRef.
+	MTTFRefHours float64
+	// NExp is the current-density exponent (≈2 for void nucleation).
+	NExp float64
+	// EaEV is the EM activation energy (≈0.9 eV for Cu).
+	EaEV float64
+	// JRefMAcm2 and TRef anchor the reference point.
+	JRefMAcm2 float64
+	TRef      units.Kelvin
+	// DeltaRFracAtFail is the fractional resistance increase reached
+	// at damage = 1 (void spanning the line); ΔR grows linearly with
+	// damage before that.
+	DeltaRFracAtFail float64
+}
+
+// DefaultParams anchors a 10-year MTTF at 1 MA/cm² and 105 °C — a
+// typical sign-off corner.
+func DefaultParams() Params {
+	return Params{
+		MTTFRefHours:     10 * 365.25 * 24,
+		NExp:             2,
+		EaEV:             0.9,
+		JRefMAcm2:        1,
+		TRef:             units.Celsius(105).Kelvin(),
+		DeltaRFracAtFail: 0.3,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.MTTFRefHours <= 0:
+		return errors.New("em: reference MTTF must be positive")
+	case p.NExp <= 0:
+		return errors.New("em: current-density exponent must be positive")
+	case p.EaEV <= 0:
+		return errors.New("em: activation energy must be positive")
+	case p.JRefMAcm2 <= 0:
+		return errors.New("em: reference current density must be positive")
+	case p.TRef <= 0:
+		return errors.New("em: reference temperature must be positive")
+	case p.DeltaRFracAtFail <= 0:
+		return errors.New("em: ΔR at failure must be positive")
+	}
+	return nil
+}
+
+// MTTF evaluates Black's equation for a current density (MA/cm²) and
+// temperature, in hours. Zero current never fails.
+func MTTF(p Params, jMAcm2 float64, t units.Kelvin) float64 {
+	if jMAcm2 <= 0 {
+		return math.Inf(1)
+	}
+	accel := math.Pow(jMAcm2/p.JRefMAcm2, -p.NExp) *
+		math.Exp(p.EaEV/units.BoltzmannEV*(1/float64(t)-1/float64(p.TRef)))
+	return p.MTTFRefHours * accel
+}
+
+// Line is one interconnect segment accumulating EM damage.
+type Line struct {
+	damage float64
+}
+
+// Damage returns the accumulated damage fraction; ≥1 means the line
+// has failed.
+func (l *Line) Damage() float64 { return l.damage }
+
+// Failed reports whether the line has voided through.
+func (l *Line) Failed() bool { return l.damage >= 1 }
+
+// Age accrues damage for dt at the given current density and
+// temperature. There is no recovery path — by construction.
+func (l *Line) Age(p Params, jMAcm2 float64, t units.Kelvin, dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	mttf := MTTF(p, jMAcm2, t)
+	if math.IsInf(mttf, 1) {
+		return
+	}
+	l.damage += dt.Hours() / mttf
+}
+
+// DeltaRFrac returns the fractional resistance increase from void
+// growth: linear in damage up to DeltaRFracAtFail at damage = 1 (and
+// beyond — a failed line keeps its last physicality for delay
+// accounting; callers should treat Failed lines as hard faults).
+func (l *Line) DeltaRFrac(p Params) float64 {
+	return p.DeltaRFracAtFail * l.damage
+}

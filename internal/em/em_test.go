@@ -1,0 +1,162 @@
+package em
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfheal/internal/units"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mods := []func(*Params){
+		func(p *Params) { p.MTTFRefHours = 0 },
+		func(p *Params) { p.NExp = 0 },
+		func(p *Params) { p.EaEV = 0 },
+		func(p *Params) { p.JRefMAcm2 = 0 },
+		func(p *Params) { p.TRef = 0 },
+		func(p *Params) { p.DeltaRFracAtFail = 0 },
+	}
+	for i, mod := range mods {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestMTTFAtReference(t *testing.T) {
+	p := DefaultParams()
+	got := MTTF(p, p.JRefMAcm2, p.TRef)
+	if math.Abs(got-p.MTTFRefHours)/p.MTTFRefHours > 1e-12 {
+		t.Errorf("MTTF at reference = %v, want %v", got, p.MTTFRefHours)
+	}
+}
+
+func TestMTTFCurrentDensityExponent(t *testing.T) {
+	p := DefaultParams()
+	// Doubling J with n=2 quarters the MTTF.
+	base := MTTF(p, 1, p.TRef)
+	double := MTTF(p, 2, p.TRef)
+	if math.Abs(double/base-0.25) > 1e-12 {
+		t.Errorf("J-exponent wrong: ratio %v, want 0.25", double/base)
+	}
+}
+
+func TestMTTFArrhenius(t *testing.T) {
+	p := DefaultParams()
+	cold := MTTF(p, 1, units.Celsius(85).Kelvin())
+	hot := MTTF(p, 1, units.Celsius(125).Kelvin())
+	if cold <= hot {
+		t.Errorf("hotter line outlives colder: %v vs %v", hot, cold)
+	}
+	// Ea = 0.9 eV over 85→125 °C is roughly an order of magnitude.
+	if ratio := cold / hot; ratio < 5 || ratio > 30 {
+		t.Errorf("thermal acceleration = %v, want O(10)", ratio)
+	}
+}
+
+func TestZeroCurrentNeverFails(t *testing.T) {
+	p := DefaultParams()
+	if !math.IsInf(MTTF(p, 0, p.TRef), 1) {
+		t.Error("zero current has finite MTTF")
+	}
+	var l Line
+	l.Age(p, 0, p.TRef, 100*365*units.Day)
+	if l.Damage() != 0 {
+		t.Errorf("unpowered line damaged: %v", l.Damage())
+	}
+}
+
+func TestMinersRuleAccumulation(t *testing.T) {
+	p := DefaultParams()
+	var l Line
+	// Age for exactly one MTTF at reference conditions in chunks:
+	// damage must reach 1.
+	chunk := units.Seconds(p.MTTFRefHours * 3600 / 100)
+	for i := 0; i < 100; i++ {
+		l.Age(p, p.JRefMAcm2, p.TRef, chunk)
+	}
+	if math.Abs(l.Damage()-1) > 1e-9 {
+		t.Errorf("damage after one MTTF = %v, want 1", l.Damage())
+	}
+	if !l.Failed() {
+		t.Error("line not failed at damage 1")
+	}
+}
+
+func TestDutyCyclingSlowsEMButNeverHealsIt(t *testing.T) {
+	p := DefaultParams()
+	var continuous, cycled Line
+	hot := units.Celsius(105).Kelvin()
+	// 10 cycles of 24 h on for continuous; the cycled line gets 24 h on
+	// + 6 h off (α = 4 sleep) — sleep pauses EM, nothing reverses it.
+	for c := 0; c < 10; c++ {
+		continuous.Age(p, 1.5, hot, 30*units.Hour)
+		cycled.Age(p, 1.5, hot, 24*units.Hour)
+		before := cycled.Damage()
+		cycled.Age(p, 0, units.Celsius(110).Kelvin(), 6*units.Hour) // "recovery" phase
+		if cycled.Damage() != before {
+			t.Fatalf("EM damage changed during sleep: %v -> %v", before, cycled.Damage())
+		}
+	}
+	if cycled.Damage() >= continuous.Damage() {
+		t.Errorf("duty cycling did not slow EM: %v vs %v", cycled.Damage(), continuous.Damage())
+	}
+	// The saving is exactly the duty ratio 24/30.
+	if ratio := cycled.Damage() / continuous.Damage(); math.Abs(ratio-0.8) > 1e-9 {
+		t.Errorf("duty saving = %v, want 0.8", ratio)
+	}
+}
+
+func TestDeltaRGrowsWithDamage(t *testing.T) {
+	p := DefaultParams()
+	var l Line
+	if l.DeltaRFrac(p) != 0 {
+		t.Error("fresh line has ΔR")
+	}
+	l.Age(p, 2, units.Celsius(125).Kelvin(), 365*units.Day)
+	if l.DeltaRFrac(p) <= 0 {
+		t.Error("aged line has no ΔR")
+	}
+	half := Line{damage: 0.5}
+	if math.Abs(half.DeltaRFrac(p)-0.15) > 1e-12 {
+		t.Errorf("ΔR at half damage = %v, want 0.15", half.DeltaRFrac(p))
+	}
+}
+
+func TestDamageMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(steps []uint8) bool {
+		var l Line
+		prev := 0.0
+		for _, s := range steps {
+			j := float64(s%50) / 10 // 0 … 4.9 MA/cm²
+			l.Age(p, j, units.Celsius(105).Kelvin(), units.Hour)
+			if l.Damage() < prev {
+				return false
+			}
+			prev = l.Damage()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAge(b *testing.B) {
+	p := DefaultParams()
+	var l Line
+	hot := units.Celsius(105).Kelvin()
+	for i := 0; i < b.N; i++ {
+		l.Age(p, 1.2, hot, units.Minute)
+	}
+}

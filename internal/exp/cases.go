@@ -1,0 +1,99 @@
+// Package exp reproduces the paper's evaluation: the Table 1 test-case
+// matrix, the full accelerated-test schedule on five simulated chips,
+// and a generator for every table (1–5) and figure (1, 4–9) in the
+// paper, each returning a renderable artifact plus the raw series for
+// further analysis.
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/measure"
+	"selfheal/internal/units"
+)
+
+// CaseID names a Table 1 test case using the paper's encoding:
+// AS = accelerated stress, AR = accelerated recovery, R = passive
+// recovery; then temperature, AC/DC or rail (Z = 0 V, N = −0.3 V), and
+// duration in hours.
+type CaseID string
+
+// The paper's eleven test-case rows (Table 1).
+const (
+	Baseline  CaseID = "BASE20AC2" // 2 h burn-in at 20 °C / 1.2 V on every chip
+	AS110AC24 CaseID = "AS110AC24"
+	AS110DC24 CaseID = "AS110DC24"
+	AS100DC24 CaseID = "AS100DC24"
+	AS110DC48 CaseID = "AS110DC48"
+	R20Z6     CaseID = "R20Z6"
+	AR20N6    CaseID = "AR20N6"
+	AR110Z6   CaseID = "AR110Z6"
+	AR110N6   CaseID = "AR110N6"
+	AR110N12  CaseID = "AR110N12"
+)
+
+// Case is one scheduled phase on one chip.
+type Case struct {
+	ID    CaseID
+	Chip  int // paper chip number, 1–5
+	Kind  measure.PhaseKind
+	TempC units.Celsius
+	Vdd   units.Volt
+	Hours float64
+	// AC applies to stress cases; recovery cases leave it false.
+	AC bool
+	// AlphaRatio is the active:sleep ratio α for recovery cases that
+	// pair with a stress case (4 throughout the paper); 0 otherwise.
+	AlphaRatio float64
+}
+
+// Schedule returns the paper's full test schedule in execution order.
+// Each chip first receives the 2 h room-temperature baseline; chips 2–5
+// then run their stress case followed by their recovery case; chip 5 is
+// re-stressed for 48 h and recovered for 12 h (the Table 5 comparison).
+func Schedule() []Case {
+	return []Case{
+		{ID: AS110AC24, Chip: 1, Kind: measure.Stress, TempC: 110, Vdd: 1.2, Hours: 24, AC: true},
+		{ID: AS110DC24, Chip: 2, Kind: measure.Stress, TempC: 110, Vdd: 1.2, Hours: 24},
+		{ID: R20Z6, Chip: 2, Kind: measure.Recovery, TempC: 20, Vdd: 0, Hours: 6, AlphaRatio: 4},
+		{ID: AS110DC24, Chip: 3, Kind: measure.Stress, TempC: 110, Vdd: 1.2, Hours: 24},
+		{ID: AR20N6, Chip: 3, Kind: measure.Recovery, TempC: 20, Vdd: -0.3, Hours: 6, AlphaRatio: 4},
+		{ID: AS100DC24, Chip: 4, Kind: measure.Stress, TempC: 100, Vdd: 1.2, Hours: 24},
+		{ID: AR110Z6, Chip: 4, Kind: measure.Recovery, TempC: 110, Vdd: 0, Hours: 6, AlphaRatio: 4},
+		{ID: AS110DC24, Chip: 5, Kind: measure.Stress, TempC: 110, Vdd: 1.2, Hours: 24},
+		{ID: AR110N6, Chip: 5, Kind: measure.Recovery, TempC: 110, Vdd: -0.3, Hours: 6, AlphaRatio: 4},
+		{ID: AS110DC48, Chip: 5, Kind: measure.Stress, TempC: 110, Vdd: 1.2, Hours: 48},
+		{ID: AR110N12, Chip: 5, Kind: measure.Recovery, TempC: 110, Vdd: -0.3, Hours: 12, AlphaRatio: 4},
+	}
+}
+
+// PhaseSpec converts the case into a runnable bench phase, using the
+// paper's sampling cadence: 20-minute wake-ups under stress, 30-minute
+// wake-ups under recovery.
+func (c Case) PhaseSpec() measure.PhaseSpec {
+	spec := measure.PhaseSpec{
+		Name:     string(c.ID),
+		Kind:     c.Kind,
+		Duration: units.HoursToSeconds(c.Hours),
+		TempC:    c.TempC,
+		Vdd:      c.Vdd,
+		AC:       c.AC,
+	}
+	if c.Kind == measure.Stress {
+		spec.FrozenIn0 = true
+		spec.SampleEvery = 20 * units.Minute
+	} else {
+		spec.SampleEvery = 30 * units.Minute
+	}
+	return spec
+}
+
+// key identifies a stored run: one case executed on one chip (chip 5
+// runs two stress and two recovery cases, so the ID alone is not
+// unique across a schedule, but ID+chip is).
+type key struct {
+	id   CaseID
+	chip int
+}
+
+func (k key) String() string { return fmt.Sprintf("%s/chip%d", k.id, k.chip) }

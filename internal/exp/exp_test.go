@@ -1,0 +1,515 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"selfheal/internal/fit"
+	"selfheal/internal/measure"
+	"selfheal/internal/rng"
+	"selfheal/internal/series"
+)
+
+// sharedLab runs the full schedule once for the whole test package.
+var sharedLab *Lab
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	if sharedLab == nil {
+		sharedLab = NewLab(2014)
+		if err := sharedLab.RunAll(); err != nil {
+			t.Fatalf("running the paper schedule: %v", err)
+		}
+	}
+	return sharedLab
+}
+
+func cell(t *testing.T, ta TableArtifact, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(ta.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, ta.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestScheduleShape(t *testing.T) {
+	sch := Schedule()
+	if len(sch) != 11 {
+		t.Fatalf("schedule has %d cases, want 11", len(sch))
+	}
+	chips := map[int]bool{}
+	stress, recov := 0, 0
+	for _, c := range sch {
+		chips[c.Chip] = true
+		if c.Kind == measure.Stress {
+			stress++
+		} else {
+			recov++
+			if c.AlphaRatio != 4 {
+				t.Errorf("%s: α = %g, want 4", c.ID, c.AlphaRatio)
+			}
+			if c.Hours != 6 && c.Hours != 12 {
+				t.Errorf("%s: sleep %g h", c.ID, c.Hours)
+			}
+		}
+		if err := c.PhaseSpec().Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", c.ID, err)
+		}
+	}
+	if len(chips) != 5 || stress != 6 || recov != 5 {
+		t.Errorf("chips=%d stress=%d recovery=%d, want 5/6/5", len(chips), stress, recov)
+	}
+}
+
+func TestPhaseSpecSamplingCadence(t *testing.T) {
+	sch := Schedule()
+	for _, c := range sch {
+		spec := c.PhaseSpec()
+		if c.Kind == measure.Stress && spec.SampleEvery != 20*60 {
+			t.Errorf("%s: stress sampling %v, want 20 min", c.ID, spec.SampleEvery)
+		}
+		if c.Kind == measure.Recovery && spec.SampleEvery != 30*60 {
+			t.Errorf("%s: recovery sampling %v, want 30 min", c.ID, spec.SampleEvery)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	f := Figure1()
+	if len(f.Series) != 1 || f.Series[0].Len() < 100 {
+		t.Fatalf("figure 1 series malformed")
+	}
+	pts := f.Series[0].Points
+	// Rises to a peak at t1, then drops during recovery but not to zero.
+	peak := pts[0].V
+	peakIdx := 0
+	for i, p := range pts {
+		if p.V > peak {
+			peak, peakIdx = p.V, i
+		}
+	}
+	last := pts[len(pts)-1].V
+	if peakIdx == len(pts)-1 {
+		t.Error("no recovery visible")
+	}
+	if last >= peak || last <= 0 {
+		t.Errorf("recovery end %v vs peak %v", last, peak)
+	}
+	if got := f.Render(); !strings.Contains(got, "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure4ACHalfDC(t *testing.T) {
+	f, err := lab(t).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series count = %d", len(f.Series))
+	}
+	acLast, _ := f.Series[0].Last()
+	dcLast, _ := f.Series[1].Last()
+	if ratio := acLast.V / dcLast.V; math.Abs(ratio-0.5) > 0.1 {
+		t.Errorf("AC/DC = %.3f, want ≈0.5", ratio)
+	}
+	// DC lands near the paper's 2.2 %.
+	if math.Abs(dcLast.V-2.2) > 0.35 {
+		t.Errorf("DC degradation = %.2f %%, want ≈2.2 %%", dcLast.V)
+	}
+	// Fast-then-slow: more than half the final degradation within the
+	// first quarter of the test.
+	quarter, err := f.Series[1].At(6 * 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarter < dcLast.V/2 {
+		t.Errorf("degradation not front-loaded: %.2f %% at 6 h vs %.2f %% final", quarter, dcLast.V)
+	}
+}
+
+func TestFigure5TemperatureOrderingAndModelFit(t *testing.T) {
+	f, err := lab(t).Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 { // 2 measurements + 2 models
+		t.Fatalf("series count = %d", len(f.Series))
+	}
+	hot, _ := f.Series[0].Last()
+	warm, _ := f.Series[2].Last()
+	if hot.V <= warm.V {
+		t.Errorf("110 °C (%v) not above 100 °C (%v)", hot.V, warm.V)
+	}
+	// Model fits are quoted with R² in the notes; all must exceed 0.95.
+	for _, n := range f.Notes {
+		i := strings.LastIndex(n, "R² = ")
+		if i < 0 {
+			continue
+		}
+		r2, err := strconv.ParseFloat(strings.TrimSpace(n[i+len("R² = "):]), 64)
+		if err != nil {
+			t.Fatalf("unparsable note %q", n)
+		}
+		if r2 < 0.95 {
+			t.Errorf("model fit poor: %s", n)
+		}
+	}
+}
+
+func TestFigure6VoltageHelpsAtBothTemperatures(t *testing.T) {
+	figs, err := lab(t).Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, fig := range figs {
+		if len(fig.Series) != 4 { // two conditions × (measured + model)
+			t.Fatalf("panel %d series count = %d", p, len(fig.Series))
+		}
+		zero, _ := fig.Series[0].Last() // 0 V measured
+		neg, _ := fig.Series[2].Last()  // −0.3 V measured
+		if neg.V <= zero.V {
+			t.Errorf("panel %d: negative rail (%v ns) not above 0 V (%v ns)", p, neg.V, zero.V)
+		}
+	}
+}
+
+func TestFigure7TemperatureHelpsAtBothVoltages(t *testing.T) {
+	figs, err := lab(t).Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, fig := range figs {
+		cold, _ := fig.Series[0].Last() // 20 °C measured
+		hot, _ := fig.Series[2].Last()  // 110 °C measured
+		if hot.V <= cold.V {
+			t.Errorf("panel %d: 110 °C (%v ns) not above 20 °C (%v ns)", p, hot.V, cold.V)
+		}
+	}
+}
+
+func TestFigure8OrderingMatchesPaper(t *testing.T) {
+	f, err := lab(t).Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 8 { // 4 measured + 4 models
+		t.Fatalf("series count = %d", len(f.Series))
+	}
+	// Measured series are at even indices, strongest condition first:
+	// final ΔTd must be increasing across them (deepest heal first).
+	var finals []float64
+	for i := 0; i < 8; i += 2 {
+		last, _ := f.Series[i].Last()
+		finals = append(finals, last.V)
+	}
+	for i := 1; i < len(finals); i++ {
+		if finals[i] <= finals[i-1] {
+			t.Errorf("Fig 8 ordering violated: %v", finals)
+			break
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	ta := Table1()
+	if len(ta.Rows) != 11 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	out := ta.Render()
+	for _, id := range []string{"AS110AC24", "AR110N12", "R20Z6"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("missing case %s", id)
+		}
+	}
+}
+
+func TestTable2PaperValues(t *testing.T) {
+	ta, err := lab(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc110 := cell(t, ta, 0, 2)
+	dc100 := cell(t, ta, 1, 2)
+	ac110 := cell(t, ta, 2, 2)
+	if math.Abs(dc110-2.2) > 0.35 {
+		t.Errorf("110 °C DC = %.2f %%, want ≈2.2", dc110)
+	}
+	if dc100 >= dc110 {
+		t.Errorf("100 °C (%v) not below 110 °C (%v)", dc100, dc110)
+	}
+	if ratio := ac110 / dc110; math.Abs(ratio-0.5) > 0.1 {
+		t.Errorf("AC/DC = %.2f, want ≈0.5", ratio)
+	}
+	// Preliminary-test observation: >1 % degradation in all hot cases.
+	for i := 0; i < 3; i++ {
+		if v := cell(t, ta, i, 2); v < 1 {
+			t.Errorf("case %d degradation %.2f %% below the 1 %% screening level", i, v)
+		}
+	}
+}
+
+func TestTable3FitsConverge(t *testing.T) {
+	ta, err := lab(t).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	for i := range ta.Rows {
+		if beta := cell(t, ta, i, 1); beta <= 0 {
+			t.Errorf("row %d: β = %v", i, beta)
+		}
+		if r2 := cell(t, ta, i, 3); r2 < 0.95 {
+			t.Errorf("row %d: R² = %v", i, r2)
+		}
+	}
+}
+
+func TestTable4MarginRelaxed(t *testing.T) {
+	ta, err := lab(t).Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// Row 0 is AR110N6 (strongest): ≈72.4 %.
+	if v := cell(t, ta, 0, 2); math.Abs(v-72.4) > 3 {
+		t.Errorf("AR110N6 margin relaxed = %.1f %%, want ≈72.4", v)
+	}
+	// Monotone decreasing down the legend order.
+	for i := 1; i < 4; i++ {
+		if cell(t, ta, i, 2) >= cell(t, ta, i-1, 2) {
+			t.Errorf("margin-relaxed ordering violated at row %d", i)
+		}
+	}
+	// All accelerated rows within 90 %, the passive row not.
+	for i := 0; i < 3; i++ {
+		if ta.Rows[i][4] != "yes" {
+			t.Errorf("accelerated row %d not within margin", i)
+		}
+	}
+	if ta.Rows[3][4] != "no" {
+		t.Error("passive row unexpectedly within margin")
+	}
+}
+
+func TestTable5SameAlphaSameMargin(t *testing.T) {
+	ta, err := lab(t).Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	a := cell(t, ta, 0, 4)
+	b := cell(t, ta, 1, 4)
+	if math.Abs(a-b) > 5 {
+		t.Errorf("α=4 margin relaxed differs: %.1f vs %.1f", a, b)
+	}
+}
+
+func TestHeadlineHolds(t *testing.T) {
+	ta, err := lab(t).Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ta.Notes[0], "HEADLINE HOLDS") {
+		t.Errorf("headline verdict: %q", ta.Notes[0])
+	}
+}
+
+func TestFigure9BoundedEnvelope(t *testing.T) {
+	f, err := lab(t).Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	contLast, _ := f.Series[0].Last()
+	cycLast, _ := f.Series[1].Last()
+	if cycLast.V >= contLast.V {
+		t.Errorf("rejuvenated (%v ns) not below continuous (%v ns)", cycLast.V, contLast.V)
+	}
+	// The cycled trace must be a sawtooth: its maximum exceeds its
+	// final value (final sample is a post-recovery trough).
+	peak := 0.0
+	for _, p := range f.Series[1].Points {
+		peak = math.Max(peak, p.V)
+	}
+	if peak <= cycLast.V {
+		t.Error("no sawtooth structure in the rejuvenated trace")
+	}
+}
+
+func TestFigure10CircadianWins(t *testing.T) {
+	ta, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	staticWorst := cell(t, ta, 0, 1)
+	circadianWorst := cell(t, ta, 2, 1)
+	if circadianWorst >= staticWorst {
+		t.Errorf("circadian worst %.4f not below static %.4f", circadianWorst, staticWorst)
+	}
+	if relaxed := cell(t, ta, 2, 6); relaxed <= 0 {
+		t.Errorf("no margin relaxed vs static: %v", relaxed)
+	}
+	// Equal throughput ⇒ near-equal energy; the healing rail costs only
+	// the pump overhead (sub-percent).
+	if st, ci := cell(t, ta, 0, 5), cell(t, ta, 2, 5); ci > st*1.01 {
+		t.Errorf("circadian energy %v more than 1 %% above static %v", ci, st)
+	}
+}
+
+// TestHeadlineRobustToModelPerturbation guards against the headline
+// being an artifact of one calibration point: perturbing the device
+// model's least-certain constants (irreversible fraction, AC exponent,
+// recovery prefactor) by ±tens of percent must leave every accelerated
+// case within 90 % of original margin.
+func TestHeadlineRobustToModelPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep")
+	}
+	perturbations := []struct {
+		name string
+		mod  func(*measure.BenchParams)
+	}{
+		{"perm+50%", func(p *measure.BenchParams) { p.FPGA.TD.PermFrac *= 1.5 }},
+		{"perm-50%", func(p *measure.BenchParams) { p.FPGA.TD.PermFrac *= 0.5 }},
+		{"K2-10%", func(p *measure.BenchParams) { p.FPGA.TD.K2 *= 0.9 }},
+		{"acexp+10%", func(p *measure.BenchParams) { p.FPGA.TD.ACExp *= 1.1 }},
+		{"C+50%", func(p *measure.BenchParams) { p.FPGA.TD.C *= 1.5 }},
+	}
+	for _, pert := range perturbations {
+		params := measure.DefaultBenchParams()
+		params.FPGA.ChipSigmaFrac = 0
+		params.FPGA.LocalSigmaFrac = 0
+		params.FPGA.VthSigmaV = 0
+		pert.mod(&params)
+		b, err := measure.NewBench("rob", params, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := b.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "stress", Kind: measure.Stress, Duration: 24 * 3600,
+			TempC: 110, Vdd: 1.2, FrozenIn0: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "sleep", Kind: measure.Recovery, Duration: 6 * 3600,
+			TempC: 110, Vdd: -0.3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		healed, err := b.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := measure.WithinOriginalMargin(fresh.DelayNS, healed.DelayNS,
+			measure.DefaultMarginFrac, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rem, _ := measure.RemainingMarginPct(fresh.DelayNS, healed.DelayNS, measure.DefaultMarginFrac)
+			t.Errorf("%s: headline broke — remaining margin %.1f %%", pert.name, rem)
+		}
+	}
+}
+
+func TestGetUnknownRun(t *testing.T) {
+	if _, err := lab(t).Get(CaseID("NOPE"), 1); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if _, err := lab(t).Get(AS110DC24, 1); err == nil {
+		t.Error("case on wrong chip accepted")
+	}
+}
+
+func TestLabFreshRequiresFabrication(t *testing.T) {
+	l := NewLab(99)
+	if _, err := l.Fresh(1); err == nil {
+		t.Error("Fresh on unfabricated chip accepted")
+	}
+	if _, err := l.Bench(0); err == nil {
+		t.Error("chip 0 accepted")
+	}
+}
+
+// TestDumpCSVRoundTrip exports every run's series and re-extracts the
+// Table 3 parameters from the files — the exact cmd/selfheal-fit
+// workflow — checking the pipeline end to end.
+func TestDumpCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	names, err := lab(t).DumpCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 11 {
+		t.Fatalf("wrote %d files, want 11", len(names))
+	}
+	f, err := os.Open(filepath.Join(dir, "AS110DC24_chip2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := series.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 73 {
+		t.Errorf("re-read series has %d samples", s.Len())
+	}
+	p, err := fit.ExtractWearout(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R2 < 0.95 || p.BetaNS <= 0 {
+		t.Errorf("round-trip fit poor: %+v", p)
+	}
+}
+
+func TestRunsOrderedBySchedule(t *testing.T) {
+	runs, err := lab(t).Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 11 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if runs[0].Case.ID != AS110AC24 || runs[10].Case.ID != AR110N12 {
+		t.Errorf("schedule order broken: first %s last %s", runs[0].Case.ID, runs[10].Case.ID)
+	}
+}
+
+func TestRunAllIdempotent(t *testing.T) {
+	l := lab(t)
+	r1, err := l.Get(AS110DC24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Get(AS110DC24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("RunAll re-executed cases")
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/netlist"
+	"selfheal/internal/rng"
+	"selfheal/internal/sched"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// ExtensionE6 runs the paper's experiment on *real logic* instead of a
+// ring oscillator: a 4-bit ripple-carry adder technology-mapped onto
+// the fabric, aged for 24 h at 110 °C under three input workloads, then
+// rejuvenated for 6 h under the combined condition. Degradation is the
+// static-timing critical path — what a deployed design actually loses.
+func (l *Lab) ExtensionE6() (TableArtifact, error) {
+	const inputs = 9 // 4+4 operand bits + carry-in
+	src := rng.New(l.Seed ^ 0xe6)
+	uniform := make([][]bool, 256)
+	for i := range uniform {
+		row := make([]bool, inputs)
+		for j := range row {
+			row[j] = src.Bernoulli(0.5)
+		}
+		uniform[i] = row
+	}
+	lowActivity := make([][]bool, 256)
+	for i := range lowActivity {
+		row := make([]bool, inputs)
+		for j := range row {
+			row[j] = src.Bernoulli(0.1)
+		}
+		lowActivity[i] = row
+	}
+	workloads := []struct {
+		label string
+		trace [][]bool
+	}{
+		{"idle (all-zero operands)", [][]bool{make([]bool, inputs)}},
+		{"low activity (p=0.1)", lowActivity},
+		{"uniform random (p=0.5)", uniform},
+	}
+
+	rows := make([][]string, 0, len(workloads))
+	for _, w := range workloads {
+		circ, err := netlist.RippleAdder(4)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		params := fpga.DefaultParams()
+		params.ChipSigmaFrac = 0
+		params.LocalSigmaFrac = 0
+		params.VthSigmaV = 0
+		chip, err := fpga.NewChip("E6", params, rng.New(l.Seed^0xadd))
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		placed, err := netlist.Place(circ, chip)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		fresh, err := placed.CriticalPathNS(1.2)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		phases, err := placed.Activity(w.trace)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		eng := stress.New(chip)
+		eng.StressIdleCells = false
+		if err := eng.AddActivity(stress.Activity{Mapping: placed.Mapping, CellPhases: phases}); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := eng.Step(1.2, 110, 24*units.Hour); err != nil {
+			return TableArtifact{}, err
+		}
+		aged, err := placed.CriticalPathNS(1.2)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if err := eng.Step(-0.3, 110, 6*units.Hour); err != nil {
+			return TableArtifact{}, err
+		}
+		healed, err := placed.CriticalPathNS(1.2)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		rows = append(rows, []string{
+			w.label,
+			fmt.Sprintf("%.2f", fresh),
+			fmt.Sprintf("%.2f", (aged-fresh)/fresh*100),
+			fmt.Sprintf("%.2f", (healed-fresh)/fresh*100),
+			fmt.Sprintf("%.1f", (aged-healed)/(aged-fresh)*100),
+		})
+	}
+	return TableArtifact{
+		ID:      "Extension E6",
+		Caption: "Workload-driven aging of mapped logic (4-bit adder, 24 h @ 110 °C, then 6 h @ 110 °C/−0.3 V)",
+		Header:  []string{"Workload", "Fresh CP (ns)", "Aged ΔCP (%)", "Healed ΔCP (%)", "Margin relaxed (%)"},
+		Rows:    rows,
+		Notes: []string{
+			"static (idle) inputs are the worst case — the DC-vs-AC result of Fig. 4 at circuit scale",
+			"rejuvenation heals whatever cut of the design the workload stressed (Hypothesis 1 at circuit scale)",
+		},
+	}, nil
+}
+
+// ExtensionE7 quantifies the paper's Section 7 future work — the
+// "virtual circadian rhythm": because the next scheduled rejuvenation
+// is known in advance, an adaptively clocked system can reclaim, every
+// slot, the difference between the no-recovery design margin and its
+// actual (bounded) degradation.
+func ExtensionE7() (TableArtifact, error) {
+	cfg := sched.DefaultConfig()
+	cfg.Horizon = 30 * units.Day
+	cfg.Slot = units.Hour
+
+	baseline, err := sched.Simulate(cfg, sched.NoRecovery{})
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	policies := []sched.Policy{
+		sched.NoRecovery{},
+		sched.Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: sched.PassiveSleep()},
+		sched.Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: sched.AcceleratedSleep()},
+	}
+	rows := make([][]string, 0, len(policies))
+	for _, p := range policies {
+		out, err := sched.Simulate(cfg, p)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		// Static design: ship margin for this policy's peak. Virtual
+		// circadian: re-time every slot against the known envelope —
+		// average reclaimable slack relative to the no-recovery margin.
+		avg := 0.0
+		for _, pt := range out.Trace.Points {
+			avg += baseline.PeakPct - pt.V
+		}
+		avg /= float64(out.Trace.Len())
+		rows = append(rows, []string{
+			out.Policy,
+			fmt.Sprintf("%.3f", out.PeakPct),
+			fmt.Sprintf("%.3f", avg),
+			fmt.Sprintf("%.2f", avg/(100+avg)*1000),
+		})
+	}
+	return TableArtifact{
+		ID:      "Extension E7",
+		Caption: "Virtual circadian rhythm (paper §7): margin reclaimable by schedule-aware clocking (30 days)",
+		Header:  []string{"Policy", "Static margin needed (%)", "Avg reclaimable slack (%)", "Avg clock gain (‰)"},
+		Rows:    rows,
+		Notes: []string{
+			"slack = no-recovery peak margin − actual degradation at each slot; a schedule-aware DVFS controller can convert it to frequency",
+			"clock gain ≈ slack/(1+slack) expressed per mille of nominal frequency",
+		},
+	}, nil
+}

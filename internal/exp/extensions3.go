@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/em"
+	"selfheal/internal/measure"
+	"selfheal/internal/rng"
+	"selfheal/internal/sram"
+	"selfheal/internal/stats"
+
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// ExtensionE8 applies accelerated self-healing to cache SRAM — the
+// system of the paper's ref [14] (Shin et al., ISCA'08): an 8-way data
+// array holding zero-skewed contents at 85 °C for 90 days under four
+// maintenance policies. The metric is static noise margin (SNM), whose
+// loss has an asymmetry term (whichever pull-up faces the stored zero
+// ages) and a common-mode term; bit-flipping attacks the former,
+// way-rotation onto an accelerated island the latter.
+func ExtensionE8() (TableArtifact, error) {
+	p := sram.DefaultArrayParams()
+	outs, err := sram.Compare(p, 90, 6*units.Hour, 2014)
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	rows := make([][]string, 0, len(outs))
+	for _, o := range outs {
+		rows = append(rows, []string{
+			o.Policy,
+			fmt.Sprintf("%.1f", o.MinSNMMV),
+			fmt.Sprintf("%.1f", o.MeanSNMMV),
+			fmt.Sprintf("%.1f", o.MarginConsumedPct),
+			fmt.Sprintf("%d", o.FailingCells),
+		})
+	}
+	return TableArtifact{
+		ID: "Extension E8",
+		Caption: fmt.Sprintf("Cache-SRAM self-healing (ref [14]): %d ways × %d cells, %g-biased data, 90 days @ %g °C",
+			p.Ways, p.CellsPerWay, p.OneBias, float64(p.TempC)),
+		Header: []string{"Policy", "Min SNM (mV)", "Mean SNM (mV)", "Margin consumed (%)", "Failing cells"},
+		Rows:   rows,
+		Notes: []string{
+			"bit-flip balances which pull-up ages; island rotation heals both; flip+recover combines them and has the best average SNM",
+			"combining exposes a genuine transient: a freshly healed way re-skews quickly on re-stress (TD fast component), so flip alone holds the tightest worst case at day granularity",
+		},
+	}, nil
+}
+
+// ExtensionE9 quantifies the paper's Section 7 limitation: the
+// first-order model "ignores other aging effects, such as EM".
+// Electromigration damage never heals — sleep only pauses it — so over
+// a product lifetime the margin-relaxed parameter of the α = 4
+// accelerated schedule decays from its BTI-dominated ≈70 % toward the
+// duty-cycling floor of ≈20 % (1 − α/(α+1)) as EM takes over the delay
+// budget.
+func ExtensionE9() (TableArtifact, error) {
+	const (
+		freshNS    = 100.0 // lumped path
+		gainNSPerV = 54.7  // BTI path gain (RO calibration)
+		emWeight   = 0.4   // interconnect share of path delay
+		jActive    = 1.6   // MA/cm² under load
+	)
+	tdp := td.DefaultParams()
+	emp := em.DefaultParams()
+	hotActive := units.Celsius(85).Kelvin()
+	sleepHot := units.Celsius(110).Kelvin()
+
+	type chipState struct {
+		bti  td.State
+		line em.Line
+	}
+	delay := func(c *chipState) float64 {
+		return freshNS + gainNSPerV*c.bti.Vth() + freshNS*emWeight*c.line.DeltaRFrac(emp)
+	}
+	var healed, baseline chipState
+
+	stressCond := td.StressCond{V: 1.2, T: hotActive, Duty: 0.5}
+	recovCond := td.RecoveryCond{VRev: 0.3, T: sleepHot}
+
+	checkpoints := map[int]bool{30: true, 180: true, 365: true, 730: true, 1460: true}
+	rows := [][]string{}
+	for day := 1; day <= 1460; day++ {
+		// Baseline runs 30 h of work per 30 h; the healed chip works
+		// 24 h then sleeps 6 h (identical throughput per wall-clock is
+		// not the comparison here — the paper compares margin at equal
+		// *work*, so the baseline also works 24 h then idles powered).
+		baseline.bti.Stress(tdp, stressCond, 24*units.Hour)
+		baseline.line.Age(emp, jActive, hotActive, 24*units.Hour)
+		baseline.bti.Stress(tdp, stressCond, 6*units.Hour)
+		baseline.line.Age(emp, jActive, hotActive, 6*units.Hour)
+
+		healed.bti.Stress(tdp, stressCond, 24*units.Hour)
+		healed.line.Age(emp, jActive, hotActive, 24*units.Hour)
+		healed.bti.Recover(tdp, recovCond, 6*units.Hour)
+		// Sleep pauses EM (no current), heals nothing.
+
+		if checkpoints[day] {
+			dBase := delay(&baseline) - freshNS
+			dHealed := delay(&healed) - freshNS
+			emShare := freshNS * emWeight * healed.line.DeltaRFrac(emp) / dHealed * 100
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f", float64(day)/365.25*12),
+				fmt.Sprintf("%.3f", dBase),
+				fmt.Sprintf("%.3f", dHealed),
+				fmt.Sprintf("%.1f", emShare),
+				fmt.Sprintf("%.1f", (1-dHealed/dBase)*100),
+			})
+		}
+	}
+	return TableArtifact{
+		ID:      "Extension E9",
+		Caption: "Limits of self-healing under electromigration (§7 limitation): α = 4 schedule vs idle-powered baseline",
+		Header:  []string{"Months", "Baseline ΔTd (ns)", "Healed ΔTd (ns)", "EM share of healed ΔTd (%)", "Margin relaxed (%)"},
+		Rows:    rows,
+		Notes: []string{
+			"EM damage only pauses during sleep (no current) — it never recovers, so it caps the benefit",
+			"the margin-relaxed parameter decays from the BTI-dominated ≈70 % toward the duty-cycling floor of 1 − α/(α+1) = 20 % as EM takes over",
+		},
+	}, nil
+}
+
+// ExtensionE10 addresses the paper's other stated limitation: "the
+// effects of chip to chip variations on aging are also ignored for
+// now". It fabricates a population of chips with full process
+// variation (global corner + within-die), runs the AR110N6 experiment
+// on each, and reports the distribution of the margin-relaxed
+// parameter and of the headline criterion.
+func (l *Lab) ExtensionE10() (TableArtifact, error) {
+	const population = 25
+	relaxed := make([]float64, 0, population)
+	remaining := make([]float64, 0, population)
+	pass := 0
+	for i := 0; i < population; i++ {
+		b, err := measure.NewBench(fmt.Sprintf("E10c%d", i), l.Params,
+			rng.New(l.Seed*1000003+uint64(i)))
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		fresh, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "stress", Kind: measure.Stress, Duration: 24 * units.Hour,
+			TempC: 110, Vdd: 1.2, FrozenIn0: true,
+		}); err != nil {
+			return TableArtifact{}, err
+		}
+		stressed, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "sleep", Kind: measure.Recovery, Duration: 6 * units.Hour,
+			TempC: 110, Vdd: -0.3,
+		}); err != nil {
+			return TableArtifact{}, err
+		}
+		healed, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		rel, err := measure.MarginRelaxedPct(fresh.DelayNS, stressed.DelayNS, healed.DelayNS)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		rem, err := measure.RemainingMarginPct(fresh.DelayNS, healed.DelayNS, measure.DefaultMarginFrac)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		ok, err := measure.WithinOriginalMargin(fresh.DelayNS, healed.DelayNS, measure.DefaultMarginFrac, 90)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if ok {
+			pass++
+		}
+		relaxed = append(relaxed, rel)
+		remaining = append(remaining, rem)
+	}
+	stat := func(xs []float64) (mean, sigma, lo, hi float64) {
+		mean, _ = stats.Mean(xs)
+		sigma, _ = stats.StdDev(xs)
+		lo, hi, _ = stats.MinMax(xs)
+		return
+	}
+	rm, rs, rlo, rhi := stat(relaxed)
+	mm, ms, mlo, mhi := stat(remaining)
+	rows := [][]string{
+		{"margin relaxed (%)", fmt.Sprintf("%.1f", rm), fmt.Sprintf("%.2f", rs),
+			fmt.Sprintf("%.1f", rlo), fmt.Sprintf("%.1f", rhi)},
+		{"remaining margin (%)", fmt.Sprintf("%.1f", mm), fmt.Sprintf("%.2f", ms),
+			fmt.Sprintf("%.1f", mlo), fmt.Sprintf("%.1f", mhi)},
+	}
+	return TableArtifact{
+		ID: "Extension E10",
+		Caption: fmt.Sprintf("Chip-to-chip variation study (§7 limitation): AR110N6 across %d varied chips",
+			population),
+		Header: []string{"Metric", "Mean", "σ", "Min", "Max"},
+		Rows:   rows,
+		Notes: []string{
+			fmt.Sprintf("headline criterion (≥90 %% of original margin): %d/%d chips pass", pass, population),
+			"the recovered *fraction* is ratio-metric, so process variation barely moves it — the reason the paper's RD metric makes cross-chip comparison fair",
+		},
+	}, nil
+}

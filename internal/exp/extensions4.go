@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/puf"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// ExtensionE11 reproduces the concern of the paper's ref [17] (Maiti &
+// Schaumont, FPL'11 — "The Impact of Aging on an FPGA-Based Physical
+// Unclonable Function") and applies the paper's remedy: RO-PUF bits
+// flip as asymmetric usage ages the oscillator pairs differentially,
+// and an accelerated rejuvenation shrinks the differential, reverting
+// most flipped bits. Averaged over a small population of chips.
+func (l *Lab) ExtensionE11() (TableArtifact, error) {
+	const (
+		chips       = 5
+		stressHours = 48
+		sleepHours  = 12
+		reads       = 25
+	)
+	type phase struct {
+		label string
+		flips float64
+		rel   float64
+	}
+	phases := []phase{{label: "fresh (enrolled)"},
+		{label: fmt.Sprintf("aged %d h @ 110 °C", stressHours)},
+		{label: fmt.Sprintf("healed %d h @ 110 °C / −0.3 V", sleepHours)}}
+
+	for c := 0; c < chips; c++ {
+		params := fpga.DefaultParams()
+		params.LocalSigmaFrac = 0.02 // PUF-grade device mismatch
+		chip, err := fpga.NewChip(fmt.Sprintf("E11c%d", c), params,
+			rng.New(l.Seed*7919+uint64(c)))
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		eng := stress.New(chip)
+		eng.StressIdleCells = false
+		u, err := puf.New(chip, eng, "puf", puf.DefaultParams(), rng.New(l.Seed+uint64(c)*13))
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		record := func(p *phase) error {
+			flips, err := u.FlippedBits()
+			if err != nil {
+				return err
+			}
+			rel, err := u.Reliability(reads)
+			if err != nil {
+				return err
+			}
+			p.flips += float64(flips) / chips
+			p.rel += rel / chips
+			return nil
+		}
+		if err := record(&phases[0]); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := eng.Step(1.2, 110, stressHours*units.Hour); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := record(&phases[1]); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := eng.Step(-0.3, 110, sleepHours*units.Hour); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := record(&phases[2]); err != nil {
+			return TableArtifact{}, err
+		}
+	}
+	rows := make([][]string, 0, len(phases))
+	for _, p := range phases {
+		rows = append(rows, []string{
+			p.label,
+			fmt.Sprintf("%.1f", p.flips),
+			fmt.Sprintf("%.1f", p.rel*100),
+		})
+	}
+	return TableArtifact{
+		ID:      "Extension E11",
+		Caption: fmt.Sprintf("RO-PUF aging and rejuvenation (ref [17]): 16-bit PUFs averaged over %d chips", chips),
+		Header:  []string{"Phase", "Flipped bits (of 16)", "Reliability vs enrolled (%)"},
+		Rows:    rows,
+		Notes: []string{
+			"asymmetric usage (one oscillator free-running, its pair frozen) ages the pairs differentially and flips enrolled bits",
+			"rejuvenation removes the same fraction of every device's shift, shrinking the differential — most flipped bits revert",
+		},
+	}, nil
+}

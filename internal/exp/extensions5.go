@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"selfheal/internal/measure"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/odometer"
+	"selfheal/internal/rng"
+	"selfheal/internal/ro"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// ExtensionE5 compares the two aging monitors the reproduction ships:
+// the paper's own single-RO counter (±5 counts at fref = 500 Hz,
+// Eq. 14) and the Silicon-Odometer differential sensor of ref [7]. At
+// several points along a stress run both read the same die; the table
+// reports each sensor's mean estimate and read-out scatter (σ of 50
+// reads), showing why ppm-level monitoring matters for reactive
+// policies that must trip on fractions of a percent.
+func (l *Lab) ExtensionE5() (TableArtifact, error) {
+	src := rng.New(l.Seed ^ 0xe5)
+	chip, err := fpga.NewChip("E5", fpga.DefaultParams(), src.Split())
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	eng := stress.New(chip)
+	sensor, err := odometer.New(chip, eng, "odo", odometer.DefaultParams(), src.Split())
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	// The counter reads the odometer's stressed oscillator (same CUT).
+	counterRO := sensor.Stressed()
+	freshCount, err := counterRO.MeasureAveraged(1.2, 1)
+	if err != nil {
+		return TableArtifact{}, err
+	}
+
+	sample := func() (ctrMean, ctrSigma, odoMean, odoSigma float64, err error) {
+		const reads = 50
+		var ctr, odo []float64
+		for i := 0; i < reads; i++ {
+			m, err := counterRO.Measure(1.2)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			ctr = append(ctr, ro.DegradationPct(freshCount, m)*1e4) // % → ppm
+			r, err := sensor.Measure(1.2)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			odo = append(odo, r.DegradationPPM)
+		}
+		mean := func(xs []float64) float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += x
+			}
+			return s / float64(len(xs))
+		}
+		sigma := func(xs []float64, m float64) float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += (x - m) * (x - m)
+			}
+			return math.Sqrt(s / float64(len(xs)-1))
+		}
+		cm, om := mean(ctr), mean(odo)
+		return cm, sigma(ctr, cm), om, sigma(odo, om), nil
+	}
+
+	rows := [][]string{}
+	record := func(label string) error {
+		cm, cs, om, os, err := sample()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{label,
+			fmt.Sprintf("%.0f ± %.0f", cm, cs),
+			fmt.Sprintf("%.0f ± %.1f", om, os),
+		})
+		return nil
+	}
+	if err := record("fresh"); err != nil {
+		return TableArtifact{}, err
+	}
+	for _, h := range []float64{1, 6, 24} {
+		prev := 0.0
+		if h > 1 {
+			prev = map[float64]float64{6: 1, 24: 6}[h]
+		}
+		if err := eng.Step(1.2, 110, units.HoursToSeconds(h-prev)); err != nil {
+			return TableArtifact{}, err
+		}
+		if err := record(fmt.Sprintf("after %g h @ 110 °C", h)); err != nil {
+			return TableArtifact{}, err
+		}
+	}
+	return TableArtifact{
+		ID:      "Extension E5",
+		Caption: "Aging-monitor resolution: the paper's RO counter vs the Silicon Odometer (ref [7]), same die",
+		Header:  []string{"Point", "Counter reading (ppm)", "Odometer reading (ppm)"},
+		Rows:    rows,
+		Notes: []string{
+			"the counter quantizes at 1 count = 200 ppm and carries ±5 counts of read-out noise; the odometer resolves single ppm",
+			"reactive rejuvenation policies tripping on sub-0.1 % thresholds need the differential sensor",
+		},
+	}, nil
+}
+
+// ExtensionE12 sweeps the stress-voltage knob of Eq. 8 — the
+// acceleration GNOMO trades on and accelerated testing exploits: 24 h
+// of DC stress at 110 °C across supply voltages, plus the recovered
+// fraction a standard 6 h combined sleep then buys. Degradation grows
+// exponentially with the rail; the recovered *fraction* barely moves —
+// the healing knobs and the stress knobs are independent.
+func (l *Lab) ExtensionE12() (TableArtifact, error) {
+	rows := [][]string{}
+	prevDeg := 0.0
+	for _, vdd := range []units.Volt{1.1, 1.2, 1.3, 1.4} {
+		b, err := measure.NewBench(fmt.Sprintf("E12v%g", vdd), l.Params,
+			rng.New(l.Seed^uint64(vdd*1e4)))
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		fresh, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "stress", Kind: measure.Stress, Duration: 24 * units.Hour,
+			TempC: 110, Vdd: vdd, FrozenIn0: true,
+		}); err != nil {
+			return TableArtifact{}, err
+		}
+		// Measure at the nominal operating point regardless of the
+		// stress rail, like the paper's read-outs.
+		b.PSU.SetNominal()
+		stressed, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if _, err := b.RunPhase(measure.PhaseSpec{
+			Name: "sleep", Kind: measure.Recovery, Duration: 6 * units.Hour,
+			TempC: 110, Vdd: -0.3,
+		}); err != nil {
+			return TableArtifact{}, err
+		}
+		healed, err := b.Sample()
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		deg := (stressed.DelayNS - fresh.DelayNS) / fresh.DelayNS * 100
+		relaxed, err := measure.MarginRelaxedPct(fresh.DelayNS, stressed.DelayNS, healed.DelayNS)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		accel := "-"
+		if prevDeg > 0 {
+			accel = fmt.Sprintf("%.2f×", deg/prevDeg)
+		}
+		prevDeg = deg
+		rows = append(rows, []string{
+			fmt.Sprintf("%g V", float64(vdd)),
+			fmt.Sprintf("%.2f", deg),
+			accel,
+			fmt.Sprintf("%.1f", relaxed),
+		})
+	}
+	return TableArtifact{
+		ID:      "Extension E12",
+		Caption: "Stress-voltage acceleration (Eq. 8 knob): 24 h DC @ 110 °C, then the standard 6 h combined sleep",
+		Header:  []string{"Stress rail", "Degradation (%)", "Step acceleration", "Margin relaxed (%)"},
+		Rows:    rows,
+		Notes: []string{
+			"degradation grows monotonically with the rail (the exp(Bs·V/(tox·kT)) term; ≈6 % per 100 mV at this calibration) — the lever accelerated test programs pull",
+			"the recovered fraction is nearly rail-independent: healing strength is set by the sleep conditions, not the damage source",
+		},
+	}, nil
+}

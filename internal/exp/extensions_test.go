@@ -1,0 +1,350 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExtensionE1LUTSizeStudy(t *testing.T) {
+	ta, err := ExtensionE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 5 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// DC degradation k-invariant (±2 %), AC and AC/DC strictly rising.
+	dc0 := cell(t, ta, 0, 3)
+	for i := range ta.Rows {
+		if dc := cell(t, ta, i, 3); math.Abs(dc-dc0)/dc0 > 0.02 {
+			t.Errorf("row %d: DC %.3f not invariant vs %.3f", i, dc, dc0)
+		}
+		if i == 0 {
+			continue
+		}
+		if cell(t, ta, i, 4) <= cell(t, ta, i-1, 4) {
+			t.Errorf("row %d: AC degradation not increasing", i)
+		}
+		if cell(t, ta, i, 5) <= cell(t, ta, i-1, 5) {
+			t.Errorf("row %d: AC/DC ratio not increasing", i)
+		}
+	}
+	// Transistor counts follow 2^(k+1)+1.
+	if got := cell(t, ta, 4, 1); got != 129 {
+		t.Errorf("LUT6 transistor count = %v", got)
+	}
+}
+
+func TestExtensionE2MitigationComparison(t *testing.T) {
+	ta, err := ExtensionE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	alwaysOn := cell(t, ta, 0, 4)
+	gating := cell(t, ta, 1, 4)
+	gnomo := cell(t, ta, 2, 4)
+	healing := cell(t, ta, 3, 4)
+	// Final degradation: self-healing < gating < always-on.
+	if !(healing < gating && gating < alwaysOn) {
+		t.Errorf("final ordering wrong: healing %v, gating %v, always-on %v",
+			healing, gating, alwaysOn)
+	}
+	// Self-healing also beats GNOMO at equal energy.
+	if healing >= gnomo {
+		t.Errorf("self-healing %v not below GNOMO %v", healing, gnomo)
+	}
+	// GNOMO pays the quadratic energy premium.
+	if e := cell(t, ta, 2, 5); math.Abs(e-1.21) > 0.01 {
+		t.Errorf("GNOMO energy = %v, want 1.21", e)
+	}
+	// GNOMO's boosted rail buys some active time back.
+	if cell(t, ta, 2, 2) >= cell(t, ta, 1, 2) {
+		t.Error("GNOMO not faster than nominal gating")
+	}
+}
+
+func TestExtensionE3AlphaSweep(t *testing.T) {
+	ta, err := lab(t).ExtensionE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 5 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// Margin relaxed decreases as α grows (less sleep), and the
+	// paper's α = 4 still exceeds 70 %.
+	for i := 1; i < len(ta.Rows); i++ {
+		if cell(t, ta, i, 3) >= cell(t, ta, i-1, 3) {
+			t.Errorf("row %d: margin relaxed not decreasing in α", i)
+		}
+	}
+	if a4 := cell(t, ta, 2, 3); a4 < 70 {
+		t.Errorf("α=4 margin relaxed = %v, want ≥70", a4)
+	}
+	// Front-loading: going from α=4 to α=1 (4× more sleep) buys less
+	// than 15 extra points.
+	if gain := cell(t, ta, 0, 3) - cell(t, ta, 2, 3); gain > 15 {
+		t.Errorf("α=1 gain over α=4 = %.1f points — sweep not front-loaded", gain)
+	}
+}
+
+func TestExtensionE4RailSweep(t *testing.T) {
+	ta, err := lab(t).ExtensionE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 6 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	for i := 1; i < len(ta.Rows); i++ {
+		if cell(t, ta, i, 1) <= cell(t, ta, i-1, 1) {
+			t.Errorf("row %d: margin relaxed not increasing with rail depth", i)
+		}
+	}
+	// −0.3 V feasible, −0.5 V not.
+	if !strings.HasPrefix(ta.Rows[3][2], "ok") {
+		t.Errorf("-0.3 V verdict: %q", ta.Rows[3][2])
+	}
+	if !strings.HasPrefix(ta.Rows[5][2], "infeasible") {
+		t.Errorf("-0.5 V verdict: %q", ta.Rows[5][2])
+	}
+	if ta.Rows[0][2] != "n/a (gated)" {
+		t.Errorf("0 V verdict: %q", ta.Rows[0][2])
+	}
+}
+
+func TestExtensionE5MonitorResolution(t *testing.T) {
+	ta, err := lab(t).ExtensionE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	parse := func(cellStr string) (mean, sigma float64) {
+		if _, err := fmt.Sscanf(cellStr, "%f ± %f", &mean, &sigma); err != nil {
+			t.Fatalf("unparsable cell %q: %v", cellStr, err)
+		}
+		return
+	}
+	for i, row := range ta.Rows {
+		_, ctrSigma := parse(row[1])
+		odoMean, odoSigma := parse(row[2])
+		// The odometer's scatter must sit far below the counter's
+		// quantization-dominated noise.
+		if odoSigma >= ctrSigma/10 {
+			t.Errorf("row %d: odometer σ %.1f not ≪ counter σ %.1f", i, odoSigma, ctrSigma)
+		}
+		if i > 0 {
+			prevMean, _ := parse(ta.Rows[i-1][2])
+			if odoMean <= prevMean {
+				t.Errorf("row %d: odometer mean not increasing with stress", i)
+			}
+		}
+	}
+}
+
+func TestExtensionE6WorkloadAging(t *testing.T) {
+	ta, err := lab(t).ExtensionE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// Ordering: idle (DC) worst, uniform (most switching) least.
+	idle := cell(t, ta, 0, 2)
+	low := cell(t, ta, 1, 2)
+	uniform := cell(t, ta, 2, 2)
+	if !(idle > low && low > uniform) {
+		t.Errorf("workload ordering wrong: idle %v, low %v, uniform %v", idle, low, uniform)
+	}
+	// Every workload heals most of its damage.
+	for i := range ta.Rows {
+		if relaxed := cell(t, ta, i, 4); relaxed < 60 {
+			t.Errorf("row %d: margin relaxed %v < 60 %%", i, relaxed)
+		}
+		if healed := cell(t, ta, i, 3); healed >= cell(t, ta, i, 2) {
+			t.Errorf("row %d: no healing visible", i)
+		}
+	}
+}
+
+func TestExtensionE7VirtualCircadian(t *testing.T) {
+	ta, err := ExtensionE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// No-recovery reclaims least; accelerated-proactive reclaims most.
+	none := cell(t, ta, 0, 2)
+	passive := cell(t, ta, 1, 2)
+	accel := cell(t, ta, 2, 2)
+	if !(accel > passive && passive > none) {
+		t.Errorf("reclaimable slack ordering wrong: %v / %v / %v", none, passive, accel)
+	}
+	// Static margin needed shrinks with better policies.
+	if cell(t, ta, 2, 1) >= cell(t, ta, 0, 1) {
+		t.Error("accelerated policy does not shrink the static margin")
+	}
+}
+
+func TestExtensionE8SRAM(t *testing.T) {
+	ta, err := ExtensionE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	noneMin := cell(t, ta, 0, 1)
+	bothMean := cell(t, ta, 3, 2)
+	// Every maintenance row beats none on min SNM; combined has the
+	// best mean.
+	for i := 1; i < 4; i++ {
+		if cell(t, ta, i, 1) <= noneMin {
+			t.Errorf("row %d min SNM %v not above none %v", i, cell(t, ta, i, 1), noneMin)
+		}
+		if i < 3 && cell(t, ta, i, 2) >= bothMean {
+			t.Errorf("row %d mean SNM %v not below combined %v", i, cell(t, ta, i, 2), bothMean)
+		}
+	}
+	// Nothing fails outright at this horizon.
+	for i := 0; i < 4; i++ {
+		if cell(t, ta, i, 4) != 0 {
+			t.Errorf("row %d reports failing cells", i)
+		}
+	}
+}
+
+func TestExtensionE9EMLimits(t *testing.T) {
+	ta, err := ExtensionE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 5 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// Margin relaxed decays monotonically toward (but stays above) the
+	// 20 % duty-cycling floor; the EM share rises monotonically.
+	for i := range ta.Rows {
+		relaxed := cell(t, ta, i, 4)
+		if relaxed <= 20 {
+			t.Errorf("row %d: relaxed %.1f %% at or below the duty floor", i, relaxed)
+		}
+		if i == 0 {
+			continue
+		}
+		if relaxed >= cell(t, ta, i-1, 4) {
+			t.Errorf("row %d: margin relaxed not decaying", i)
+		}
+		if cell(t, ta, i, 3) <= cell(t, ta, i-1, 3) {
+			t.Errorf("row %d: EM share not rising", i)
+		}
+	}
+	// First month is still BTI-dominated (≥60 % relaxed); by year four
+	// EM dominates (≥95 % share).
+	if cell(t, ta, 0, 4) < 60 {
+		t.Errorf("month-one relaxed %.1f %% too low", cell(t, ta, 0, 4))
+	}
+	if cell(t, ta, 4, 3) < 95 {
+		t.Errorf("year-four EM share %.1f %% too low", cell(t, ta, 4, 3))
+	}
+}
+
+func TestExtensionE10ChipVariation(t *testing.T) {
+	ta, err := lab(t).ExtensionE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	// Mean relaxed near the headline, tight sigma, whole population
+	// passes.
+	if mean := cell(t, ta, 0, 1); math.Abs(mean-72.4) > 3 {
+		t.Errorf("population mean relaxed = %v, want ≈72.4", mean)
+	}
+	if sigma := cell(t, ta, 0, 2); sigma > 3 {
+		t.Errorf("population σ = %v too wide", sigma)
+	}
+	if lo := cell(t, ta, 1, 3); lo < 90 {
+		t.Errorf("worst chip remaining margin = %v, headline broken", lo)
+	}
+	if !strings.Contains(ta.Notes[0], "25/25") {
+		t.Errorf("pass note = %q", ta.Notes[0])
+	}
+}
+
+func TestExtensionE11PUF(t *testing.T) {
+	ta, err := lab(t).ExtensionE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	freshFlips := cell(t, ta, 0, 1)
+	agedFlips := cell(t, ta, 1, 1)
+	healedFlips := cell(t, ta, 2, 1)
+	if freshFlips != 0 {
+		t.Errorf("fresh flips = %v", freshFlips)
+	}
+	if agedFlips <= 0 {
+		t.Error("aging flipped nothing — study vacuous")
+	}
+	if healedFlips >= agedFlips {
+		t.Errorf("healing did not revert flips: %v -> %v", agedFlips, healedFlips)
+	}
+	if cell(t, ta, 2, 2) <= cell(t, ta, 1, 2) {
+		t.Error("healing did not improve reliability")
+	}
+	if cell(t, ta, 0, 2) < 95 {
+		t.Errorf("fresh reliability = %v %%", cell(t, ta, 0, 2))
+	}
+}
+
+func TestExtensionE12VoltageAcceleration(t *testing.T) {
+	ta, err := lab(t).ExtensionE12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ta.Rows))
+	}
+	for i := range ta.Rows {
+		if i > 0 && cell(t, ta, i, 1) <= cell(t, ta, i-1, 1) {
+			t.Errorf("row %d: degradation not accelerating with the rail", i)
+		}
+		// Recovered fraction stays near the headline regardless of how
+		// the damage was created.
+		if relaxed := cell(t, ta, i, 3); math.Abs(relaxed-72.4) > 5 {
+			t.Errorf("row %d: margin relaxed %v strays from ≈72.4", i, relaxed)
+		}
+	}
+}
+
+func TestExtensionsBundle(t *testing.T) {
+	arts, err := lab(t).Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 12 {
+		t.Fatalf("extension count = %d", len(arts))
+	}
+	for i, a := range arts {
+		if !strings.HasPrefix(a.ID, "Extension E") {
+			t.Errorf("artifact %d ID = %q", i, a.ID)
+		}
+		if a.Render() == "" {
+			t.Errorf("artifact %d renders empty", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/multicore"
+	"selfheal/internal/units"
+)
+
+// Figure10 quantifies the multi-core self-healing illustration: an
+// eight-core system (2×4 floorplan, shared L3) delivering six cores of
+// throughput for 30 days under three schedulers — static affinity,
+// gating-only round-robin, and the paper's circadian scheduler whose
+// sleeping cores apply the negative rail while their active neighbours
+// serve as on-chip heaters.
+func Figure10() (TableArtifact, error) {
+	const (
+		demand = 6
+		days   = 30
+		slotH  = 6
+	)
+	schedulers := []multicore.Scheduler{
+		multicore.Static{}, multicore.RoundRobin{}, multicore.Circadian{},
+	}
+	rows := make([][]string, 0, len(schedulers))
+	var staticWorst float64
+	for i, sch := range schedulers {
+		sys, err := multicore.New(multicore.DefaultParams())
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		out, err := sys.Run(sch, demand, days*24/slotH, slotH*units.Hour)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		if i == 0 {
+			staticWorst = out.WorstPct
+		}
+		relaxed := (1 - out.WorstPct/staticWorst) * 100
+		rows = append(rows, []string{
+			out.Scheduler,
+			fmt.Sprintf("%.4f", out.WorstPct),
+			fmt.Sprintf("%.4f", out.MeanPct),
+			fmt.Sprintf("%.4f", out.SpreadPct),
+			fmt.Sprintf("%d", out.HealSlots),
+			fmt.Sprintf("%.2f", out.EnergyWh/1000),
+			fmt.Sprintf("%.1f", relaxed),
+		})
+	}
+	return TableArtifact{
+		ID:      "Figure 10",
+		Caption: "Multi-core self-healing: 8 cores, demand 6, 30 days (worst-core margin sets the clock)",
+		Header:  []string{"Scheduler", "Worst core (%)", "Mean (%)", "Spread (%)", "Heal core-slots", "Energy (kWh)", "Margin relaxed vs static (%)"},
+		Rows:    rows,
+		Notes: []string{
+			"circadian = rotate the most-aged cores into sleep with the −0.3 V rail; busy neighbours heat them (Fig. 10)",
+			"identical delivered throughput (6 cores × every slot) across all three schedulers",
+		},
+	}, nil
+}

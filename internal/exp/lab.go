@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"selfheal/internal/measure"
+	"selfheal/internal/rng"
+	"selfheal/internal/ro"
+	"selfheal/internal/series"
+	"selfheal/internal/units"
+)
+
+// Run is the stored outcome of one executed case.
+type Run struct {
+	Case Case
+	// Delay is the sampled CUT delay (ns) against phase-relative time.
+	Delay *series.Series
+	// FreshNS is the chip's post-baseline fresh delay; StartNS and
+	// EndNS bracket this phase.
+	FreshNS, StartNS, EndNS float64
+}
+
+// DegradationSeries returns the phase's delay change relative to the
+// chip's fresh delay, as ΔTd in nanoseconds.
+func (r *Run) DegradationSeries(name string) *series.Series {
+	return r.Delay.Map(name, func(v float64) float64 { return v - r.FreshNS })
+}
+
+// DegradationPctSeries returns frequency degradation percent over time:
+// (f0−f)/f0·100 = (Td−Td0)/Td·100.
+func (r *Run) DegradationPctSeries(name string) *series.Series {
+	return r.Delay.Map(name, func(v float64) float64 {
+		return (v - r.FreshNS) / v * 100
+	})
+}
+
+// RecoveredDelaySeries returns RD(t2) = Td(start) − Td(t2) in ns
+// (Eq. 16), the paper's recovery-phase metric.
+func (r *Run) RecoveredDelaySeries(name string) *series.Series {
+	return r.Delay.Map(name, func(v float64) float64 {
+		return measure.RecoveredDelay(r.StartNS, v)
+	})
+}
+
+// Lab owns the five chips and executes the paper's schedule once,
+// caching every run. All figure and table generators read from the
+// cache, so a single Run() powers the entire evaluation.
+type Lab struct {
+	Params measure.BenchParams
+	Seed   uint64
+
+	benches map[int]*measure.Bench
+	fresh   map[int]ro.Measurement
+	runs    map[key]*Run
+	ran     bool
+}
+
+// NewLab returns a lab with the paper's bench configuration.
+func NewLab(seed uint64) *Lab {
+	return &Lab{
+		Params:  measure.DefaultBenchParams(),
+		Seed:    seed,
+		benches: make(map[int]*measure.Bench),
+		fresh:   make(map[int]ro.Measurement),
+		runs:    make(map[key]*Run),
+	}
+}
+
+// Bench returns the bench for a chip number, fabricating it (with the
+// 2 h room-temperature baseline burn-in applied) on first use.
+func (l *Lab) Bench(chip int) (*measure.Bench, error) {
+	if b, ok := l.benches[chip]; ok {
+		return b, nil
+	}
+	if chip < 1 {
+		return nil, fmt.Errorf("exp: invalid chip number %d", chip)
+	}
+	b, err := measure.NewBench(fmt.Sprintf("Chip%d", chip), l.Params,
+		rng.New(l.Seed+uint64(chip)*0x9e37))
+	if err != nil {
+		return nil, err
+	}
+	// "As a baseline all chips are stressed at 20 °C and 1.2 V for
+	// 2 hours initially": a burn-in that settles the fastest traps so
+	// the fresh reference is stable.
+	if _, err := b.RunPhase(measure.PhaseSpec{
+		Name: string(Baseline), Kind: measure.Stress,
+		Duration: 2 * units.Hour, TempC: 20, Vdd: 1.2, AC: true,
+	}); err != nil {
+		return nil, fmt.Errorf("exp: baseline on chip %d: %w", chip, err)
+	}
+	m, err := b.Sample()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fresh sample on chip %d: %w", chip, err)
+	}
+	l.benches[chip] = b
+	l.fresh[chip] = m
+	return b, nil
+}
+
+// Fresh returns the post-baseline fresh measurement of a chip that has
+// been fabricated via Bench.
+func (l *Lab) Fresh(chip int) (ro.Measurement, error) {
+	m, ok := l.fresh[chip]
+	if !ok {
+		return ro.Measurement{}, fmt.Errorf("exp: chip %d not fabricated", chip)
+	}
+	return m, nil
+}
+
+// RunAll executes the full paper schedule once. Calling it again is a
+// no-op.
+func (l *Lab) RunAll() error {
+	if l.ran {
+		return nil
+	}
+	for _, c := range Schedule() {
+		if _, err := l.runCase(c); err != nil {
+			return err
+		}
+	}
+	l.ran = true
+	return nil
+}
+
+// runCase executes one case on its chip and caches the outcome.
+func (l *Lab) runCase(c Case) (*Run, error) {
+	k := key{id: c.ID, chip: c.Chip}
+	if r, ok := l.runs[k]; ok {
+		return r, nil
+	}
+	b, err := l.Bench(c.Chip)
+	if err != nil {
+		return nil, err
+	}
+	start, err := b.Sample()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %v pre-sample: %w", k, err)
+	}
+	s, err := b.RunPhase(c.PhaseSpec())
+	if err != nil {
+		return nil, fmt.Errorf("exp: running %v: %w", k, err)
+	}
+	last, _ := s.Last()
+	r := &Run{
+		Case:    c,
+		Delay:   s,
+		FreshNS: l.fresh[c.Chip].DelayNS,
+		StartNS: start.DelayNS,
+		EndNS:   last.V,
+	}
+	l.runs[k] = r
+	return r, nil
+}
+
+// Get returns the cached run for a case ID on a chip, running the full
+// schedule first if needed.
+func (l *Lab) Get(id CaseID, chip int) (*Run, error) {
+	if err := l.RunAll(); err != nil {
+		return nil, err
+	}
+	r, ok := l.runs[key{id: id, chip: chip}]
+	if !ok {
+		return nil, fmt.Errorf("exp: no run %s on chip %d", id, chip)
+	}
+	return r, nil
+}
+
+// Runs returns every cached run (running the schedule first if needed)
+// in schedule order.
+func (l *Lab) Runs() ([]*Run, error) {
+	if err := l.RunAll(); err != nil {
+		return nil, err
+	}
+	out := make([]*Run, 0, len(l.runs))
+	for _, c := range Schedule() {
+		if r, ok := l.runs[key{id: c.ID, chip: c.Chip}]; ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// DumpCSV writes every run's measurement series into dir as
+// "<case>_chip<N>.csv": for stress cases ΔTd (ns) against seconds, for
+// recovery cases the recovered delay RD (ns) — exactly the series
+// cmd/selfheal-fit consumes. It returns the written file names.
+func (l *Lab) DumpCSV(dir string) ([]string, error) {
+	runs, err := l.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, r := range runs {
+		name := fmt.Sprintf("%s_chip%d.csv", r.Case.ID, r.Case.Chip)
+		s := r.DegradationSeries("dTd_ns")
+		if r.Case.Kind == measure.Recovery {
+			s = r.RecoveredDelaySeries("RD_ns")
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
+		werr := s.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return nil, fmt.Errorf("exp: writing %s: %w", name, werr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("exp: closing %s: %w", name, cerr)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

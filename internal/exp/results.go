@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+
+	"selfheal/internal/plot"
+	"selfheal/internal/series"
+)
+
+// Figure is a renderable chart artifact: the series behind one of the
+// paper's figures (or one panel of a multi-panel figure).
+type Figure struct {
+	ID      string // e.g. "Figure 6a"
+	Caption string
+	Series  []*series.Series
+	Notes   []string
+}
+
+// Render draws the figure as an ASCII chart with caption and notes.
+func (f Figure) Render() string {
+	var b strings.Builder
+	b.WriteString(plot.Lines(f.ID+" — "+f.Caption, 64, 16, f.Series...))
+	for _, n := range f.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// TableArtifact is a renderable table artifact mirroring one of the
+// paper's tables.
+type TableArtifact struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render draws the table with caption and notes.
+func (t TableArtifact) Render() string {
+	var b strings.Builder
+	b.WriteString(plot.Table(t.ID+" — "+t.Caption, t.Header, t.Rows))
+	for _, n := range t.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"fmt"
+
+	"selfheal/internal/fit"
+	"selfheal/internal/measure"
+	"selfheal/internal/td"
+)
+
+// Table1 renders the paper's test-case matrix.
+func Table1() TableArtifact {
+	rows := [][]string{}
+	for _, c := range Schedule() {
+		phase := "Active (Stress)"
+		activity := "DC"
+		ratio := "-"
+		if c.AC {
+			activity = "AC"
+		}
+		if c.Kind == measure.Recovery {
+			phase = "Sleep (Recovery)"
+			activity = "-"
+			ratio = fmt.Sprintf("%g", c.AlphaRatio)
+		}
+		rows = append(rows, []string{
+			string(c.ID),
+			fmt.Sprintf("%d", c.Chip),
+			phase,
+			fmt.Sprintf("%g", float64(c.TempC)),
+			fmt.Sprintf("%g", float64(c.Vdd)),
+			fmt.Sprintf("%g", c.Hours),
+			activity,
+			ratio,
+		})
+	}
+	return TableArtifact{
+		ID:      "Table 1",
+		Caption: "Test cases for accelerated wearout and self-healing",
+		Header:  []string{"Case", "Chip", "Phase", "T (°C)", "Voltage (V)", "Time (h)", "Switching", "Active/Sleep"},
+		Rows:    rows,
+		Notes:   []string{"all chips receive a 2 h baseline at 20 °C / 1.2 V before their first case"},
+	}
+}
+
+// Table2 reports the end-of-stress delay change (%) per temperature and
+// switching-activity condition.
+func (l *Lab) Table2() (TableArtifact, error) {
+	entries := []struct {
+		id    CaseID
+		chip  int
+		label string
+	}{
+		{AS110DC24, 2, "110 °C, DC, 24 h"},
+		{AS100DC24, 4, "100 °C, DC, 24 h"},
+		{AS110AC24, 1, "110 °C, AC, 24 h"},
+	}
+	rows := make([][]string, 0, len(entries))
+	for _, e := range entries {
+		r, err := l.Get(e.id, e.chip)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		pct := (r.EndNS - r.FreshNS) / r.FreshNS * 100
+		rows = append(rows, []string{string(e.id), e.label,
+			fmt.Sprintf("%.2f", pct)})
+	}
+	return TableArtifact{
+		ID:      "Table 2",
+		Caption: "Delay change (%) for different stress conditions",
+		Header:  []string{"Case", "Condition", "Delay change (%)"},
+		Rows:    rows,
+		Notes:   []string{"paper shape: 110 °C > 100 °C; AC ≈ half of DC"},
+	}, nil
+}
+
+// Table3 reports the extracted model parameters: the Eq. 10 fits per
+// stress condition (β, C) plus the device-model constants behind them.
+func (l *Lab) Table3() (TableArtifact, error) {
+	entries := []struct {
+		id   CaseID
+		chip int
+	}{
+		{AS110DC24, 2}, {AS100DC24, 4}, {AS110AC24, 1},
+	}
+	rows := make([][]string, 0, len(entries))
+	for _, e := range entries {
+		r, err := l.Get(e.id, e.chip)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		p, err := fit.ExtractWearout(r.DegradationSeries(string(e.id)))
+		if err != nil {
+			return TableArtifact{}, fmt.Errorf("exp: table 3 fit for %s: %w", e.id, err)
+		}
+		rows = append(rows, []string{string(e.id),
+			fmt.Sprintf("%.4f", p.BetaNS),
+			fmt.Sprintf("%.3e", p.CPerS),
+			fmt.Sprintf("%.4f", p.R2),
+		})
+	}
+	dp := td.DefaultParams()
+	return TableArtifact{
+		ID:      "Table 3",
+		Caption: "Extracted model parameters (ΔTd(t) = β·ln(1 + C·t))",
+		Header:  []string{"Case", "β (ns)", "C (1/s)", "R²"},
+		Rows:    rows,
+		Notes: []string{
+			fmt.Sprintf("device constants: K1 = %.4f V, E0s = %.2f eV, Bs = %.3f, tox = %.1f nm", dp.K1, dp.E0s, dp.Bs, dp.ToxNM),
+			fmt.Sprintf("recovery constants: K2 = %.3f, E0r = %.4f eV, Br = %.3f nm/V, PermFrac = %.2f", dp.K2, dp.E0r, dp.Br, dp.PermFrac),
+		},
+	}, nil
+}
+
+// Table4 reports the design-margin-relaxed parameter for each recovery
+// condition, and the remaining-margin criterion the headline quotes.
+func (l *Lab) Table4() (TableArtifact, error) {
+	runs, err := l.recoveryRunSet()
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	rows := make([][]string, 0, len(runs))
+	for _, r := range runs {
+		relaxed, err := measure.MarginRelaxedPct(r.FreshNS, r.StartNS, r.EndNS)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		remaining, err := measure.RemainingMarginPct(r.FreshNS, r.EndNS, measure.DefaultMarginFrac)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		within := "no"
+		if remaining >= 90 {
+			within = "yes"
+		}
+		rows = append(rows, []string{
+			string(r.Case.ID),
+			fmt.Sprintf("%g °C / %g V", float64(r.Case.TempC), float64(r.Case.Vdd)),
+			fmt.Sprintf("%.1f", relaxed),
+			fmt.Sprintf("%.1f", remaining),
+			within,
+		})
+	}
+	return TableArtifact{
+		ID:      "Table 4",
+		Caption: "Design margin relaxed parameter per recovery condition",
+		Header:  []string{"Case", "Sleep condition", "Margin relaxed (%)", "Remaining margin (%)", "Within 90 % of original margin"},
+		Rows:    rows,
+		Notes: []string{
+			fmt.Sprintf("margin budget = %.0f %% of fresh path delay", measure.DefaultMarginFrac*100),
+			"paper headline: combined 110 °C ∧ −0.3 V relaxes ≈72.4 %; all accelerated cases return within 90 % of original margin",
+		},
+	}, nil
+}
+
+// Table5 compares the two α = 4 schedules on chip 5: AR110N6 after 24 h
+// of stress versus AR110N12 after 48 h of re-stress — the paper's
+// evidence that the ratio, not the absolute time, sets the relaxed
+// margin.
+func (l *Lab) Table5() (TableArtifact, error) {
+	r6, err := l.Get(AR110N6, 5)
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	r12, err := l.Get(AR110N12, 5)
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	rows := [][]string{}
+	var relaxed [2]float64
+	for i, r := range []*Run{r6, r12} {
+		v, err := measure.MarginRelaxedPct(r.FreshNS, r.StartNS, r.EndNS)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		relaxed[i] = v
+		stressH := 24.0
+		if r.Case.ID == AR110N12 {
+			stressH = 48
+		}
+		rows = append(rows, []string{
+			string(r.Case.ID),
+			fmt.Sprintf("%.0f h", stressH),
+			fmt.Sprintf("%g h", r.Case.Hours),
+			"4",
+			fmt.Sprintf("%.1f", v),
+		})
+	}
+	return TableArtifact{
+		ID:      "Table 5",
+		Caption: "Same active:sleep ratio ⇒ same design margin relaxed parameter",
+		Header:  []string{"Case", "Stress time", "Sleep time", "α", "Margin relaxed (%)"},
+		Rows:    rows,
+		Notes: []string{fmt.Sprintf("difference between the two schedules: %.1f points (paper: \"the same design margin relaxed parameter can be achieved\")",
+			relaxed[1]-relaxed[0])},
+	}, nil
+}
+
+// Headline evaluates the abstract's claim: stressed chips brought back
+// to within 90 % of their original margin by actively rejuvenating for
+// only 1/4 of the stress time.
+func (l *Lab) Headline() (TableArtifact, error) {
+	runs, err := l.recoveryRunSet()
+	if err != nil {
+		return TableArtifact{}, err
+	}
+	rows := [][]string{}
+	allAccelerated := true
+	for _, r := range runs {
+		accelerated := r.Case.ID != R20Z6
+		remaining, err := measure.RemainingMarginPct(r.FreshNS, r.EndNS, measure.DefaultMarginFrac)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		ok, err := measure.WithinOriginalMargin(r.FreshNS, r.EndNS, measure.DefaultMarginFrac, 90)
+		if err != nil {
+			return TableArtifact{}, err
+		}
+		verdict := "PASS"
+		if !ok {
+			verdict = "fail"
+		}
+		if accelerated && !ok {
+			allAccelerated = false
+		}
+		kind := "accelerated"
+		if !accelerated {
+			kind = "passive"
+		}
+		rows = append(rows, []string{string(r.Case.ID), kind,
+			fmt.Sprintf("%.1f", remaining), verdict})
+	}
+	note := "HEADLINE HOLDS: every accelerated case returns within 90 % of original margin at α = 4"
+	if !allAccelerated {
+		note = "HEADLINE VIOLATED: an accelerated case missed the 90 % criterion"
+	}
+	return TableArtifact{
+		ID:      "Headline",
+		Caption: "\"Back to within 90 % of original margin by rejuvenating 1/4 of the stress time\"",
+		Header:  []string{"Case", "Kind", "Remaining margin (%)", "≥90 %"},
+		Rows:    rows,
+		Notes:   []string{note, "passive gating (R20Z6) is expected to miss — that is the paper's motivation for *active* recovery"},
+	}, nil
+}

@@ -1,0 +1,326 @@
+// Package fit implements the parameter-extraction machinery behind the
+// paper's Table 3 ("the extracted parameters we use in the model"): a
+// from-scratch Levenberg–Marquardt nonlinear least-squares solver with a
+// numeric Jacobian, plus the paper's specific model shapes — the wearout
+// curve ΔTd(t) = β·ln(1 + C·t) (Eq. 10) and the recovery curve of
+// Eq. 11 — ready to fit against measured series.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/series"
+)
+
+// Model is a parameterized scalar function y = f(x; θ).
+type Model func(x float64, theta []float64) float64
+
+// Options tunes the Levenberg–Marquardt iteration. The zero value is
+// replaced by DefaultOptions.
+type Options struct {
+	MaxIter   int     // iteration cap
+	TolRel    float64 // relative SSE improvement convergence threshold
+	Lambda0   float64 // initial damping
+	LambdaUp  float64 // damping multiplier on a rejected step
+	LambdaDn  float64 // damping divisor on an accepted step
+	DiffScale float64 // relative finite-difference step for the Jacobian
+}
+
+// DefaultOptions returns settings that converge for all the paper's
+// curve shapes.
+func DefaultOptions() Options {
+	return Options{
+		MaxIter:   200,
+		TolRel:    1e-12,
+		Lambda0:   1e-3,
+		LambdaUp:  10,
+		LambdaDn:  10,
+		DiffScale: 1e-6,
+	}
+}
+
+// Result is a completed fit.
+type Result struct {
+	Theta      []float64 // fitted parameters
+	SSE        float64   // sum of squared residuals
+	RMSE       float64
+	Iterations int
+	Converged  bool
+}
+
+// Curve performs a Levenberg–Marquardt fit of model to the (x, y)
+// samples starting from theta0. It returns an error for degenerate
+// inputs or if the normal equations become singular at every damping
+// level.
+func Curve(model Model, x, y []float64, theta0 []float64, opt Options) (Result, error) {
+	if model == nil {
+		return Result{}, errors.New("fit: nil model")
+	}
+	if len(x) != len(y) {
+		return Result{}, errors.New("fit: mismatched x/y lengths")
+	}
+	np := len(theta0)
+	if np == 0 {
+		return Result{}, errors.New("fit: no parameters")
+	}
+	if len(x) < np {
+		return Result{}, fmt.Errorf("fit: %d samples cannot determine %d parameters", len(x), np)
+	}
+	if opt.MaxIter == 0 {
+		opt = DefaultOptions()
+	}
+
+	theta := append([]float64(nil), theta0...)
+	sse := sumSq(model, x, y, theta)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return Result{}, errors.New("fit: model not finite at the initial guess")
+	}
+	lambda := opt.Lambda0
+	res := Result{Theta: theta, SSE: sse}
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		res.Iterations = iter
+		jac := jacobian(model, x, theta, opt.DiffScale)
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr.
+		jtj := make([][]float64, np)
+		jtr := make([]float64, np)
+		for i := 0; i < np; i++ {
+			jtj[i] = make([]float64, np)
+		}
+		for k := range x {
+			r := y[k] - model(x[k], theta)
+			for i := 0; i < np; i++ {
+				jtr[i] += jac[k][i] * r
+				for j := 0; j < np; j++ {
+					jtj[i][j] += jac[k][i] * jac[k][j]
+				}
+			}
+		}
+
+		accepted := false
+		for try := 0; try < 8; try++ {
+			a := make([][]float64, np)
+			for i := range a {
+				a[i] = append([]float64(nil), jtj[i]...)
+				a[i][i] *= 1 + lambda
+			}
+			delta, err := solve(a, jtr)
+			if err != nil {
+				lambda *= opt.LambdaUp
+				continue
+			}
+			cand := make([]float64, np)
+			for i := range cand {
+				cand[i] = theta[i] + delta[i]
+			}
+			candSSE := sumSq(model, x, y, cand)
+			if !math.IsNaN(candSSE) && candSSE < sse {
+				rel := (sse - candSSE) / math.Max(sse, 1e-300)
+				theta, sse = cand, candSSE
+				lambda /= opt.LambdaDn
+				accepted = true
+				if rel < opt.TolRel {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= opt.LambdaUp
+		}
+		res.Theta, res.SSE = theta, sse
+		if res.Converged || !accepted {
+			// No damping level improved: stationary point (converged
+			// in practice) — report what we have.
+			res.Converged = res.Converged || sse < math.Inf(1)
+			break
+		}
+	}
+	res.RMSE = math.Sqrt(res.SSE / float64(len(x)))
+	return res, nil
+}
+
+// sumSq returns the SSE of the model against the samples.
+func sumSq(model Model, x, y, theta []float64) float64 {
+	s := 0.0
+	for i := range x {
+		r := y[i] - model(x[i], theta)
+		s += r * r
+	}
+	return s
+}
+
+// jacobian computes ∂f/∂θ by central differences at every sample.
+func jacobian(model Model, x, theta []float64, scale float64) [][]float64 {
+	if scale <= 0 {
+		scale = 1e-6
+	}
+	np := len(theta)
+	out := make([][]float64, len(x))
+	work := append([]float64(nil), theta...)
+	for k := range x {
+		out[k] = make([]float64, np)
+	}
+	for i := 0; i < np; i++ {
+		h := scale * math.Max(math.Abs(theta[i]), 1)
+		work[i] = theta[i] + h
+		for k := range x {
+			out[k][i] = model(x[k], work)
+		}
+		work[i] = theta[i] - h
+		for k := range x {
+			out[k][i] = (out[k][i] - model(x[k], work)) / (2 * h)
+		}
+		work[i] = theta[i]
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b.
+// a and b are consumed.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	bb := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, errors.New("fit: singular normal equations")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		bb[col], bb[pivot] = bb[pivot], bb[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			bb[r] -= f * bb[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := bb[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// WearoutModel is the paper's Eq. 10 shape: ΔTd(t) = β·ln(1 + C·t) with
+// θ = [β, C].
+func WearoutModel(t float64, theta []float64) float64 {
+	return theta[0] * math.Log1p(theta[1]*t)
+}
+
+// RecoveryModel is the recovered-delay shape implied by Eqs. 11/16:
+// RD(t2) = ΔTd(t1)·φr·(1 + ln(1+C·t2)) / (1 + ln(1+C·(t1+t2))) with
+// θ = [amp, C] where amp = ΔTd(t1)·φr; t1 is a fixed, known stress
+// history supplied by the caller.
+func RecoveryModel(t1 float64) Model {
+	return func(t2 float64, theta []float64) float64 {
+		num := 1 + math.Log1p(theta[1]*t2)
+		den := 1 + math.Log1p(theta[1]*(t1+t2))
+		return theta[0] * num / den
+	}
+}
+
+// WearoutParams is the Table 3 extraction result for one stress case.
+type WearoutParams struct {
+	BetaNS float64 // β in nanoseconds
+	CPerS  float64 // C in 1/s
+	RMSE   float64
+	R2     float64
+}
+
+// ExtractWearout fits Eq. 10 to a measured ΔTd(t) series (nanoseconds
+// versus seconds).
+func ExtractWearout(s *series.Series) (WearoutParams, error) {
+	if s.Len() < 3 {
+		return WearoutParams{}, errors.New("fit: need at least 3 samples")
+	}
+	x, y := s.Times(), s.Values()
+	res, err := Curve(WearoutModel, x, y, []float64{maxAbs(y), 1e-2}, DefaultOptions())
+	if err != nil {
+		return WearoutParams{}, err
+	}
+	return WearoutParams{
+		BetaNS: res.Theta[0],
+		CPerS:  res.Theta[1],
+		RMSE:   res.RMSE,
+		R2:     rSquared(y, predict(WearoutModel, x, res.Theta)),
+	}, nil
+}
+
+// RecoveryParams is the extraction result for one recovery case.
+type RecoveryParams struct {
+	AmpNS float64 // ΔTd(t1)·φr in nanoseconds
+	CPerS float64
+	RMSE  float64
+	R2    float64
+}
+
+// ExtractRecovery fits the recovery shape to a measured RD(t2) series,
+// given the known stress history t1.
+func ExtractRecovery(s *series.Series, t1Seconds float64) (RecoveryParams, error) {
+	if s.Len() < 3 {
+		return RecoveryParams{}, errors.New("fit: need at least 3 samples")
+	}
+	if t1Seconds <= 0 {
+		return RecoveryParams{}, errors.New("fit: stress history t1 must be positive")
+	}
+	x, y := s.Times(), s.Values()
+	model := RecoveryModel(t1Seconds)
+	res, err := Curve(model, x, y, []float64{maxAbs(y), 1e-2}, DefaultOptions())
+	if err != nil {
+		return RecoveryParams{}, err
+	}
+	return RecoveryParams{
+		AmpNS: res.Theta[0],
+		CPerS: res.Theta[1],
+		RMSE:  res.RMSE,
+		R2:    rSquared(y, predict(model, x, res.Theta)),
+	}, nil
+}
+
+func predict(m Model, x, theta []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = m(x[i], theta)
+	}
+	return out
+}
+
+func rSquared(y, yhat []float64) float64 {
+	my := 0.0
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(len(y))
+	var ssTot, ssRes float64
+	for i := range y {
+		ssTot += (y[i] - my) * (y[i] - my)
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+func maxAbs(xs []float64) float64 {
+	m := 1e-9
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,230 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/series"
+	"selfheal/internal/units"
+)
+
+func TestCurveRecoversLinearParams(t *testing.T) {
+	model := func(x float64, th []float64) float64 { return th[0]*x + th[1] }
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // 2x+1
+	res, err := Curve(model, x, y, []float64{0.5, 0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta[0]-2) > 1e-6 || math.Abs(res.Theta[1]-1) > 1e-6 {
+		t.Errorf("theta = %v", res.Theta)
+	}
+	if res.RMSE > 1e-6 {
+		t.Errorf("RMSE = %v", res.RMSE)
+	}
+}
+
+func TestCurveRecoversNonlinearParams(t *testing.T) {
+	// Exponential decay: a·exp(−b·x).
+	model := func(x float64, th []float64) float64 { return th[0] * math.Exp(-th[1]*x) }
+	var x, y []float64
+	for i := 0; i <= 20; i++ {
+		xi := float64(i) / 2
+		x = append(x, xi)
+		y = append(y, 3.5*math.Exp(-0.7*xi))
+	}
+	res, err := Curve(model, x, y, []float64{1, 0.1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta[0]-3.5) > 1e-4 || math.Abs(res.Theta[1]-0.7) > 1e-4 {
+		t.Errorf("theta = %v", res.Theta)
+	}
+}
+
+func TestCurveRecoversWearoutParams(t *testing.T) {
+	// Synthesize the paper's Eq. 10 with known β, C and verify recovery
+	// from a generic starting point.
+	trueTheta := []float64{2.3, 0.01}
+	var x, y []float64
+	for i := 1; i <= 48; i++ {
+		xi := float64(i) * 1800
+		x = append(x, xi)
+		y = append(y, WearoutModel(xi, trueTheta))
+	}
+	res, err := Curve(WearoutModel, x, y, []float64{1, 1e-3}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta[0]-2.3) > 1e-3 || math.Abs(res.Theta[1]-0.01)/0.01 > 1e-3 {
+		t.Errorf("theta = %v, want %v", res.Theta, trueTheta)
+	}
+}
+
+func TestCurveWithNoise(t *testing.T) {
+	src := rng.New(7)
+	trueTheta := []float64{2.3, 0.01}
+	var x, y []float64
+	for i := 1; i <= 96; i++ {
+		xi := float64(i) * 900
+		x = append(x, xi)
+		y = append(y, WearoutModel(xi, trueTheta)+src.NormalWith(0, 0.02))
+	}
+	res, err := Curve(WearoutModel, x, y, []float64{1, 1e-3}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta[0]-2.3) > 0.1 || math.Abs(res.Theta[1]-0.01)/0.01 > 0.1 {
+		t.Errorf("noisy fit theta = %v", res.Theta)
+	}
+}
+
+func TestCurveInputValidation(t *testing.T) {
+	model := func(x float64, th []float64) float64 { return th[0] * x }
+	if _, err := Curve(nil, []float64{1}, []float64{1}, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Curve(model, []float64{1, 2}, []float64{1}, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Curve(model, []float64{1}, []float64{1}, nil, DefaultOptions()); err == nil {
+		t.Error("no parameters accepted")
+	}
+	if _, err := Curve(model, []float64{1}, []float64{1}, []float64{1, 2}, DefaultOptions()); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	bad := func(x float64, th []float64) float64 { return math.NaN() }
+	if _, err := Curve(bad, []float64{1, 2}, []float64{1, 2}, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("non-finite initial model accepted")
+	}
+}
+
+func TestCurveZeroOptionsUsesDefaults(t *testing.T) {
+	model := func(x float64, th []float64) float64 { return th[0] * x }
+	res, err := Curve(model, []float64{1, 2, 3}, []float64{2, 4, 6}, []float64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta[0]-2) > 1e-9 {
+		t.Errorf("theta = %v", res.Theta)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}} // rank 1
+	if _, err := solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system solved")
+	}
+}
+
+func TestSolveWellConditioned(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	x, err := solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v", x)
+	}
+}
+
+func TestExtractWearout(t *testing.T) {
+	s := series.New("dTd")
+	trueTheta := []float64{2.2 / math.Log1p(0.01*86400), 0.01}
+	for i := 1; i <= 72; i++ {
+		tt := units.Seconds(i) * 20 * units.Minute
+		s.Add(tt, WearoutModel(float64(tt), trueTheta))
+	}
+	p, err := ExtractWearout(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.BetaNS-trueTheta[0])/trueTheta[0] > 0.01 {
+		t.Errorf("β = %v, want %v", p.BetaNS, trueTheta[0])
+	}
+	if math.Abs(p.CPerS-0.01)/0.01 > 0.01 {
+		t.Errorf("C = %v, want 0.01", p.CPerS)
+	}
+	if p.R2 < 0.999 {
+		t.Errorf("R² = %v", p.R2)
+	}
+}
+
+func TestExtractWearoutTooFewSamples(t *testing.T) {
+	s := series.New("x")
+	s.Add(0, 0)
+	s.Add(1, 1)
+	if _, err := ExtractWearout(s); err == nil {
+		t.Error("2 samples accepted")
+	}
+}
+
+func TestExtractRecovery(t *testing.T) {
+	t1 := float64(24 * units.Hour)
+	model := RecoveryModel(t1)
+	trueTheta := []float64{2.0, 0.01}
+	s := series.New("RD")
+	for i := 1; i <= 36; i++ {
+		tt := units.Seconds(i) * 10 * units.Minute
+		s.Add(tt, model(float64(tt), trueTheta))
+	}
+	p, err := ExtractRecovery(s, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.AmpNS-2.0)/2.0 > 0.02 {
+		t.Errorf("amp = %v, want 2.0", p.AmpNS)
+	}
+	if p.R2 < 0.999 {
+		t.Errorf("R² = %v", p.R2)
+	}
+}
+
+func TestExtractRecoveryValidation(t *testing.T) {
+	s := series.New("RD")
+	for i := 0; i < 5; i++ {
+		s.Add(units.Seconds(i), float64(i))
+	}
+	if _, err := ExtractRecovery(s, 0); err == nil {
+		t.Error("t1=0 accepted")
+	}
+	short := series.New("RD")
+	short.Add(0, 0)
+	if _, err := ExtractRecovery(short, 100); err == nil {
+		t.Error("1 sample accepted")
+	}
+}
+
+// TestRecoveryModelShape encodes the paper's prose about Eq. 3/11: fast
+// early recovery, slow logarithmic tail, never complete.
+func TestRecoveryModelShape(t *testing.T) {
+	m := RecoveryModel(float64(24 * units.Hour))
+	theta := []float64{2.0, 0.01}
+	firstHour := m(3600, theta) - m(0, theta)
+	sixthHour := m(6*3600, theta) - m(5*3600, theta)
+	if firstHour <= sixthHour {
+		t.Errorf("recovery not decelerating: %v vs %v", firstHour, sixthHour)
+	}
+	// Asymptote below the full amplitude at any finite time.
+	if m(1e9, theta) >= theta[0] {
+		t.Errorf("recovery reached full amplitude: %v", m(1e9, theta))
+	}
+}
+
+func BenchmarkCurveWearout(b *testing.B) {
+	trueTheta := []float64{2.3, 0.01}
+	var x, y []float64
+	for i := 1; i <= 72; i++ {
+		xi := float64(i) * 1200
+		x = append(x, xi)
+		y = append(y, WearoutModel(xi, trueTheta))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Curve(WearoutModel, x, y, []float64{1, 1e-3}, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package fpga models the 40 nm commercial FPGA the paper uses as its
+// test platform, at the granularity its cross-layer model needs: a grid
+// of 2-input pass-transistor LUT cells (package lut), bitstream-style
+// configuration, design mapping, and chip-to-chip plus within-die
+// process variation — the reason the paper compares chips by recovered
+// delay rather than absolute frequency.
+//
+// The paper's five "Chip 1…5" become five NewChip calls with distinct
+// variation seeds; every transistor on every chip carries its own aging
+// state, so the stress engine (package stress) can reproduce the
+// paper's accelerated test schedule cell by cell.
+package fpga
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/device"
+	"selfheal/internal/lut"
+	"selfheal/internal/rng"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// Params configures a chip model.
+type Params struct {
+	Rows, Cols int // CLB grid dimensions
+
+	Device device.Params // nominal transistor parameters
+	TD     td.Params     // BTI model constants
+
+	NominalVdd units.Volt // core supply (1.2 V for the paper's parts)
+
+	// ChipSigmaFrac is the chip-to-chip σ of the global delay factor
+	// (fractional). The paper's fresh ROs differ measurably between
+	// chips; ~1 % is typical for a 40 nm process corner spread.
+	ChipSigmaFrac float64
+	// LocalSigmaFrac is the within-die per-transistor σ of Td0
+	// (fractional).
+	LocalSigmaFrac float64
+	// VthSigmaV is the within-die per-transistor σ of the fresh
+	// threshold voltage, in volts.
+	VthSigmaV float64
+}
+
+// DefaultParams returns the 40 nm fabric model used throughout the
+// reproduction: a 16×16 LUT grid (plenty for the 75-stage RO), 1.2 V
+// nominal supply, 1 % chip-to-chip and 0.3 % local delay variation.
+func DefaultParams() Params {
+	return Params{
+		Rows:           16,
+		Cols:           16,
+		Device:         device.DefaultParams(),
+		TD:             td.DefaultParams(),
+		NominalVdd:     1.2,
+		ChipSigmaFrac:  0.01,
+		LocalSigmaFrac: 0.003,
+		VthSigmaV:      0.005,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Rows <= 0 || p.Cols <= 0:
+		return errors.New("fpga: grid dimensions must be positive")
+	case p.NominalVdd <= 0:
+		return errors.New("fpga: nominal supply must be positive")
+	case p.ChipSigmaFrac < 0 || p.LocalSigmaFrac < 0 || p.VthSigmaV < 0:
+		return errors.New("fpga: variation sigmas must be non-negative")
+	}
+	if err := p.Device.Validate(); err != nil {
+		return fmt.Errorf("fpga: %w", err)
+	}
+	if err := p.TD.Validate(); err != nil {
+		return fmt.Errorf("fpga: %w", err)
+	}
+	return nil
+}
+
+// Chip is one FPGA die: a grid of LUT cells with per-transistor aging
+// state and sampled process variation.
+type Chip struct {
+	id     string
+	params Params
+	grid   [][]*lut.LUT2
+	used   [][]bool
+	// chipFactor is this die's global delay multiplier from
+	// chip-to-chip variation.
+	chipFactor float64
+}
+
+// NewChip fabricates a chip, drawing its process variation from src.
+// Chips built with the same parameters and seed are identical.
+func NewChip(id string, p Params, src *rng.Source) (*Chip, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		id:         id,
+		params:     p,
+		grid:       make([][]*lut.LUT2, p.Rows),
+		used:       make([][]bool, p.Rows),
+		chipFactor: 1 + src.NormalWith(0, p.ChipSigmaFrac),
+	}
+	if c.chipFactor < 0.5 {
+		// A die more than 50 % fast would be a yield outlier; clamp to
+		// keep delay positive under any draw.
+		c.chipFactor = 0.5
+	}
+	for y := range c.grid {
+		c.grid[y] = make([]*lut.LUT2, p.Cols)
+		c.used[y] = make([]bool, p.Cols)
+		for x := range c.grid[y] {
+			cell := lut.New(fmt.Sprintf("%s.X%dY%d", id, x, y), p.Device)
+			for _, tr := range cell.Transistors() {
+				tr.Params.Td0NS *= c.chipFactor * (1 + src.NormalWith(0, p.LocalSigmaFrac))
+				tr.Params.Vth0 += units.Volt(src.NormalWith(0, p.VthSigmaV))
+			}
+			c.grid[y][x] = cell
+		}
+	}
+	return c, nil
+}
+
+// ID returns the chip identifier ("Chip 1" … in the paper's tables).
+func (c *Chip) ID() string { return c.id }
+
+// Params returns the fabrication parameters.
+func (c *Chip) Params() Params { return c.params }
+
+// ChipFactor returns the die's global delay multiplier (process corner).
+func (c *Chip) ChipFactor() float64 { return c.chipFactor }
+
+// Size returns the grid dimensions (cols, rows).
+func (c *Chip) Size() (cols, rows int) { return c.params.Cols, c.params.Rows }
+
+// LUT returns the cell at (x, y), or an error if out of range.
+func (c *Chip) LUT(x, y int) (*lut.LUT2, error) {
+	if y < 0 || y >= c.params.Rows || x < 0 || x >= c.params.Cols {
+		return nil, fmt.Errorf("fpga: cell (%d,%d) outside %dx%d grid",
+			x, y, c.params.Cols, c.params.Rows)
+	}
+	return c.grid[y][x], nil
+}
+
+// Used reports whether the cell at (x, y) belongs to a mapped design.
+func (c *Chip) Used(x, y int) bool {
+	if y < 0 || y >= c.params.Rows || x < 0 || x >= c.params.Cols {
+		return false
+	}
+	return c.used[y][x]
+}
+
+// Cells calls f for every cell with its coordinates and used flag.
+func (c *Chip) Cells(f func(x, y int, cell *lut.LUT2, used bool)) {
+	for y := range c.grid {
+		for x := range c.grid[y] {
+			f(x, y, c.grid[y][x], c.used[y][x])
+		}
+	}
+}
+
+// Transistors calls f for every transistor on the die.
+func (c *Chip) Transistors(f func(tr *device.Transistor)) {
+	c.Cells(func(_, _ int, cell *lut.LUT2, _ bool) {
+		for _, tr := range cell.Transistors() {
+			f(tr)
+		}
+	})
+}
+
+// Leakage returns the summed subthreshold leakage of the die in
+// nanoamps.
+func (c *Chip) Leakage() float64 {
+	sum := 0.0
+	c.Transistors(func(tr *device.Transistor) { sum += tr.Leakage() })
+	return sum
+}
+
+// MeanVthShift returns the die-average threshold shift in volts —
+// a convenient scalar health indicator.
+func (c *Chip) MeanVthShift() float64 {
+	sum, n := 0.0, 0
+	c.Transistors(func(tr *device.Transistor) { sum += tr.VthShift(); n++ })
+	return sum / float64(n)
+}
+
+// Reset returns every transistor to the fresh state and unmaps all
+// designs (configuration is preserved).
+func (c *Chip) Reset() {
+	c.Cells(func(x, y int, cell *lut.LUT2, _ bool) {
+		cell.Reset()
+		c.used[y][x] = false
+	})
+}
+
+// Mapping is a design placed on a chip: an ordered list of configured
+// cells (for the RO, inverter i feeds inverter i+1).
+type Mapping struct {
+	Chip  *Chip
+	Cells []*lut.LUT2
+	Name  string
+}
+
+// MapCells places n free cells in snake order into a new mapping,
+// marking them used but leaving their configuration untouched — the
+// raw placement primitive package netlist builds on. Multiple designs
+// coexist on one die; mapping fails (with full roll-back) only when
+// fewer than n free cells remain.
+func (c *Chip) MapCells(name string, n int) (*Mapping, error) {
+	if n <= 0 {
+		return nil, errors.New("fpga: cell count must be positive")
+	}
+	m := &Mapping{Chip: c, Name: name, Cells: make([]*lut.LUT2, 0, n)}
+	total := c.params.Rows * c.params.Cols
+	for i := 0; i < total && len(m.Cells) < n; i++ {
+		y := i / c.params.Cols
+		x := i % c.params.Cols
+		if y%2 == 1 { // snake: odd rows run right-to-left
+			x = c.params.Cols - 1 - x
+		}
+		if c.used[y][x] {
+			continue
+		}
+		c.used[y][x] = true
+		m.Cells = append(m.Cells, c.grid[y][x])
+	}
+	if len(m.Cells) < n {
+		// Roll back the partial placement.
+		for _, cell := range m.Cells {
+			c.Cells(func(x, y int, cc *lut.LUT2, _ bool) {
+				if cc == cell {
+					c.used[y][x] = false
+				}
+			})
+		}
+		return nil, fmt.Errorf("fpga: %d cells do not fit (%d free cells)",
+			n, c.FreeCells()+len(m.Cells))
+	}
+	return m, nil
+}
+
+// MapInverterChain places an n-stage LUT-inverter chain (the paper's
+// CUT) onto the first n free cells in snake order and configures each
+// cell as an inverter.
+func (c *Chip) MapInverterChain(name string, n int) (*Mapping, error) {
+	m, err := c.MapCells(name, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range m.Cells {
+		cell.ConfigureInverter()
+	}
+	return m, nil
+}
+
+// FreeCells returns the number of unmapped cells.
+func (c *Chip) FreeCells() int {
+	free := 0
+	c.Cells(func(_, _ int, _ *lut.LUT2, used bool) {
+		if !used {
+			free++
+		}
+	})
+	return free
+}
+
+// PathDelay returns the summed POI delay in nanoseconds of the whole
+// chain for a given per-stage input phase pattern. Because consecutive
+// inverter stages see complementary inputs, the stage input alternates
+// starting from in0 of the first stage.
+func (m *Mapping) PathDelay(vdd units.Volt, firstIn0 bool) (float64, error) {
+	total := 0.0
+	in0 := firstIn0
+	for _, cell := range m.Cells {
+		d, err := cell.PathDelay(vdd, in0, true)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+		in0 = !in0 // inverter output feeds the next stage
+	}
+	return total, nil
+}
+
+// MeasuredDelay returns the oscillation-averaged chain delay in
+// nanoseconds: the mean of the two alternating phase assignments, which
+// is what the ring oscillator frequency reflects.
+func (m *Mapping) MeasuredDelay(vdd units.Volt) (float64, error) {
+	a, err := m.PathDelay(vdd, false)
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.PathDelay(vdd, true)
+	if err != nil {
+		return 0, err
+	}
+	return (a + b) / 2, nil
+}
+
+// StagePhases returns the activity phases of stage i under DC stress
+// frozen with the chain input at frozenIn0, or under AC (oscillating)
+// stress when ac is true.
+func (m *Mapping) StagePhases(i int, ac, frozenIn0 bool) []lut.Phase {
+	if ac {
+		return lut.ACPhase()
+	}
+	in0 := frozenIn0
+	if i%2 == 1 {
+		in0 = !frozenIn0
+	}
+	return lut.DCPhase(in0, true)
+}

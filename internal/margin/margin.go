@@ -1,0 +1,194 @@
+// Package margin turns the paper's argument into a sign-off tool: BTI
+// guard-band budgeting over a mission profile. A designer asks either
+// "how much delay margin must I ship to survive N years under this
+// rejuvenation policy?" or the inverse, "how long does a given margin
+// last?" — and the answer is what the paper means by *relaxing design
+// margins* through accelerated self-healing.
+//
+// The calculator runs the calibrated first-order model over the mission
+// profile (closed form per cycle, so centuries evaluate in
+// microseconds) and reports the peak path-delay degradation the margin
+// must cover. Rejuvenated missions have a bounded sawtooth whose peak
+// creeps only through the irreversible component; no-recovery missions
+// grow logarithmically forever.
+package margin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// Mission describes the duty cycle the part will live through.
+type Mission struct {
+	// ActiveTempC and ActiveVdd describe operation; ActivityDuty the
+	// critical path's switching duty.
+	ActiveTempC  units.Celsius
+	ActiveVdd    units.Volt
+	ActivityDuty float64
+	// ActiveHours and SleepHours shape one mission cycle; SleepHours
+	// of zero means the part never rests (α = ∞).
+	ActiveHours, SleepHours float64
+	// SleepTempC and SleepVdd are the rejuvenation conditions (ignored
+	// when SleepHours is zero).
+	SleepTempC units.Celsius
+	SleepVdd   units.Volt
+}
+
+// Server24x7 is a hot always-on mission — the conventional design
+// target.
+func Server24x7() Mission {
+	return Mission{
+		ActiveTempC:  85,
+		ActiveVdd:    1.2,
+		ActivityDuty: 0.5,
+		ActiveHours:  24,
+		SleepHours:   0,
+	}
+}
+
+// CircadianServer is the paper's proposal applied to the same server:
+// α = 4 with accelerated sleep.
+func CircadianServer() Mission {
+	m := Server24x7()
+	m.ActiveHours = 24
+	m.SleepHours = 6
+	m.SleepTempC = 110
+	m.SleepVdd = -0.3
+	return m
+}
+
+// Validate reports whether the mission is well-formed.
+func (m Mission) Validate() error {
+	switch {
+	case m.ActiveVdd <= 0:
+		return errors.New("margin: active supply must be positive")
+	case m.ActivityDuty <= 0 || m.ActivityDuty > 1:
+		return errors.New("margin: activity duty must be in (0,1]")
+	case m.ActiveHours <= 0:
+		return errors.New("margin: active hours must be positive")
+	case m.SleepHours < 0:
+		return errors.New("margin: sleep hours must be non-negative")
+	case m.SleepHours > 0 && m.SleepVdd > 0:
+		return errors.New("margin: sleep rail must be ≤ 0")
+	}
+	return nil
+}
+
+// Alpha returns the mission's active:sleep ratio (Inf when it never
+// sleeps).
+func (m Mission) Alpha() float64 {
+	if m.SleepHours == 0 {
+		return math.Inf(1)
+	}
+	return m.ActiveHours / m.SleepHours
+}
+
+// Calculator budgets margins over missions for a calibrated path.
+type Calculator struct {
+	// TD is the device model; PathGainPctPerV converts the lumped ΔVth
+	// into percent path-delay degradation (the RO calibration gives
+	// ≈54.7 %/V·ns over a 100 ns path ⇒ 0.547 %/mV… expressed per
+	// volt: 54.7 %/V).
+	TD              td.Params
+	PathGainPctPerV float64
+}
+
+// NewCalculator returns the calculator for the calibrated 40 nm path.
+func NewCalculator() Calculator {
+	return Calculator{TD: td.DefaultParams(), PathGainPctPerV: 54.7}
+}
+
+// PeakDegradationPct simulates the mission for the given number of
+// years and returns the worst path-delay degradation (percent) the
+// margin must cover.
+func (c Calculator) PeakDegradationPct(m Mission, years float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if years <= 0 {
+		return 0, errors.New("margin: years must be positive")
+	}
+	var state td.State
+	stress := td.StressCond{V: m.ActiveVdd, T: m.ActiveTempC.Kelvin(), Duty: m.ActivityDuty}
+	recover := td.RecoveryCond{VRev: -m.SleepVdd, T: m.SleepTempC.Kelvin()}
+
+	cycleH := m.ActiveHours + m.SleepHours
+	total := years * 365.25 * 24
+	peak := 0.0
+	for t := 0.0; t < total; t += cycleH {
+		state.Stress(c.TD, stress, units.HoursToSeconds(m.ActiveHours))
+		if v := c.PathGainPctPerV * state.Vth(); v > peak {
+			peak = v
+		}
+		if m.SleepHours > 0 {
+			state.Recover(c.TD, recover, units.HoursToSeconds(m.SleepHours))
+		}
+	}
+	return peak, nil
+}
+
+// RequiredMarginPct returns the delay margin (percent of fresh path
+// delay) a design must ship to cover the mission for the given years,
+// including a safety factor (e.g. 1.2 for 20 % engineering reserve).
+func (c Calculator) RequiredMarginPct(m Mission, years, safetyFactor float64) (float64, error) {
+	if safetyFactor < 1 {
+		return 0, errors.New("margin: safety factor must be at least 1")
+	}
+	peak, err := c.PeakDegradationPct(m, years)
+	if err != nil {
+		return 0, err
+	}
+	return peak * safetyFactor, nil
+}
+
+// LifetimeYears returns how long the mission can run before the peak
+// degradation exhausts the given margin (percent of fresh delay). It
+// returns +Inf when the bounded envelope never reaches the margin
+// within the search horizon (200 years).
+func (c Calculator) LifetimeYears(m Mission, marginPct float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if marginPct <= 0 {
+		return 0, errors.New("margin: margin must be positive")
+	}
+	var state td.State
+	stress := td.StressCond{V: m.ActiveVdd, T: m.ActiveTempC.Kelvin(), Duty: m.ActivityDuty}
+	recover := td.RecoveryCond{VRev: -m.SleepVdd, T: m.SleepTempC.Kelvin()}
+
+	const horizonYears = 200
+	cycleH := m.ActiveHours + m.SleepHours
+	totalH := horizonYears * 365.25 * 24.0
+	for t := 0.0; t < totalH; t += cycleH {
+		state.Stress(c.TD, stress, units.HoursToSeconds(m.ActiveHours))
+		if c.PathGainPctPerV*state.Vth() >= marginPct {
+			return (t + m.ActiveHours) / (365.25 * 24), nil
+		}
+		if m.SleepHours > 0 {
+			state.Recover(c.TD, recover, units.HoursToSeconds(m.SleepHours))
+		}
+	}
+	return math.Inf(1), nil
+}
+
+// RelaxationPct returns how much of the baseline mission's required
+// margin the rejuvenated mission saves over the given years — the
+// paper's design-margin-relaxed parameter at mission scale.
+func (c Calculator) RelaxationPct(baseline, rejuvenated Mission, years float64) (float64, error) {
+	base, err := c.PeakDegradationPct(baseline, years)
+	if err != nil {
+		return 0, fmt.Errorf("margin: baseline: %w", err)
+	}
+	rej, err := c.PeakDegradationPct(rejuvenated, years)
+	if err != nil {
+		return 0, fmt.Errorf("margin: rejuvenated: %w", err)
+	}
+	if base == 0 {
+		return 0, errors.New("margin: baseline does not degrade")
+	}
+	return (1 - rej/base) * 100, nil
+}

@@ -1,0 +1,219 @@
+package margin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMissionValidate(t *testing.T) {
+	if err := Server24x7().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CircadianServer().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := []func(*Mission){
+		func(m *Mission) { m.ActiveVdd = 0 },
+		func(m *Mission) { m.ActivityDuty = 0 },
+		func(m *Mission) { m.ActivityDuty = 1.5 },
+		func(m *Mission) { m.ActiveHours = 0 },
+		func(m *Mission) { m.SleepHours = -1 },
+		func(m *Mission) { m.SleepHours = 6; m.SleepVdd = 1.2 },
+	}
+	for i, mod := range mods {
+		m := Server24x7()
+		mod(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	if a := CircadianServer().Alpha(); a != 4 {
+		t.Errorf("circadian α = %v", a)
+	}
+	if a := Server24x7().Alpha(); !math.IsInf(a, 1) {
+		t.Errorf("always-on α = %v", a)
+	}
+}
+
+func TestPeakDegradationValidation(t *testing.T) {
+	c := NewCalculator()
+	if _, err := c.PeakDegradationPct(Server24x7(), 0); err == nil {
+		t.Error("zero years accepted")
+	}
+	bad := Server24x7()
+	bad.ActiveVdd = 0
+	if _, err := c.PeakDegradationPct(bad, 1); err == nil {
+		t.Error("bad mission accepted")
+	}
+}
+
+// TestRejuvenationBoundsPeak is the core claim at sign-off scale: over
+// a 10-year mission the circadian server's peak degradation sits far
+// below the always-on server's.
+func TestRejuvenationBoundsPeak(t *testing.T) {
+	c := NewCalculator()
+	base, err := c.PeakDegradationPct(Server24x7(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej, err := c.PeakDegradationPct(CircadianServer(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej >= base {
+		t.Fatalf("rejuvenation did not reduce the peak: %v vs %v", rej, base)
+	}
+	relax, err := c.RelaxationPct(Server24x7(), CircadianServer(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relax < 30 {
+		t.Errorf("10-year margin relaxation = %.1f %%, expected substantial", relax)
+	}
+}
+
+func TestPeakGrowsWithYears(t *testing.T) {
+	c := NewCalculator()
+	prev := 0.0
+	for _, years := range []float64{1, 3, 10} {
+		peak, err := c.PeakDegradationPct(Server24x7(), years)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak <= prev {
+			t.Errorf("peak not increasing at %v years: %v", years, peak)
+		}
+		prev = peak
+	}
+}
+
+func TestRequiredMargin(t *testing.T) {
+	c := NewCalculator()
+	plain, err := c.RequiredMarginPct(Server24x7(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved, err := c.RequiredMarginPct(Server24x7(), 5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reserved/plain-1.2) > 1e-9 {
+		t.Errorf("safety factor not applied: %v vs %v", reserved, plain)
+	}
+	if _, err := c.RequiredMarginPct(Server24x7(), 5, 0.9); err == nil {
+		t.Error("safety factor below 1 accepted")
+	}
+}
+
+// TestLifetimeExtension: for the same shipped margin, the circadian
+// mission lives substantially longer — the paper's "improve lifetime"
+// claim quantified.
+func TestLifetimeExtension(t *testing.T) {
+	c := NewCalculator()
+	// Ship exactly the margin a 5-year always-on mission needs (no
+	// reserve): the baseline then dies around year five, give or take
+	// the cycle quantization.
+	fiveYearPeak, err := c.PeakDegradationPct(Server24x7(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginPct := fiveYearPeak * 0.99
+	baseLife, err := c.LifetimeYears(Server24x7(), marginPct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(baseLife, 1) || baseLife > 5.1 {
+		t.Fatalf("baseline lifetime = %v years, want ≈5", baseLife)
+	}
+	rejLife, err := c.LifetimeYears(CircadianServer(), marginPct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rejLife, 1) && rejLife < 2*baseLife {
+		t.Errorf("lifetime extension weak: %v vs %v years", rejLife, baseLife)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	c := NewCalculator()
+	if _, err := c.LifetimeYears(Server24x7(), 0); err == nil {
+		t.Error("zero margin accepted")
+	}
+	bad := Server24x7()
+	bad.ActiveHours = 0
+	if _, err := c.LifetimeYears(bad, 1); err == nil {
+		t.Error("bad mission accepted")
+	}
+}
+
+func TestLifetimeMonotoneInMargin(t *testing.T) {
+	c := NewCalculator()
+	// Anchor the margins to the mission's own 5-year peak so each one
+	// is actually exhausted within the search horizon.
+	peak, err := c.PeakDegradationPct(Server24x7(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, frac := range []float64{0.90, 0.95, 0.99} {
+		life, err := c.LifetimeYears(Server24x7(), peak*frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(life, 1) {
+			t.Fatalf("margin %.3f %% never exhausted", peak*frac)
+		}
+		if life <= prev {
+			t.Errorf("lifetime not increasing at %.0f %% of peak: %v", frac*100, life)
+		}
+		prev = life
+	}
+}
+
+func TestRelaxationValidation(t *testing.T) {
+	c := NewCalculator()
+	bad := Server24x7()
+	bad.ActiveHours = 0
+	if _, err := c.RelaxationPct(bad, CircadianServer(), 1); err == nil {
+		t.Error("bad baseline accepted")
+	}
+	if _, err := c.RelaxationPct(Server24x7(), bad, 1); err == nil {
+		t.Error("bad rejuvenated mission accepted")
+	}
+}
+
+// TestMarginMonotoneInAlpha: more sleep per cycle (smaller α) always
+// buys a smaller required margin, approaching but never beating the
+// irreversible floor.
+func TestMarginMonotoneInAlpha(t *testing.T) {
+	c := NewCalculator()
+	prev := 0.0
+	for _, alpha := range []float64{16, 8, 4, 2, 1} {
+		m := CircadianServer()
+		m.ActiveHours = alpha * m.SleepHours
+		peak, err := c.PeakDegradationPct(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 && peak >= prev {
+			t.Errorf("α=%g: peak %v not below α-larger %v", alpha, peak, prev)
+		}
+		if peak <= 0 {
+			t.Errorf("α=%g: no degradation at all", alpha)
+		}
+		prev = peak
+	}
+}
+
+func BenchmarkPeakDegradation10y(b *testing.B) {
+	c := NewCalculator()
+	m := CircadianServer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PeakDegradationPct(m, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

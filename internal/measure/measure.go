@@ -1,0 +1,309 @@
+// Package measure assembles the paper's test bench (Section 4): an FPGA
+// chip carrying the ring-oscillator CUT, the programmable power supply,
+// the thermal chamber and the aging engine — and runs scheduled stress
+// and recovery phases with periodic counter read-outs, exactly like the
+// paper's "RO is enabled only every 20 minutes for data recording" and
+// "RO wakes up every 30 minutes" procedures.
+//
+// It also defines the paper's metrics: frequency degradation, recovered
+// delay RD (Eq. 16), the design-margin-relaxed parameter, and the
+// "within X % of original margin" criterion.
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/ro"
+	"selfheal/internal/series"
+	"selfheal/internal/stress"
+	"selfheal/internal/supply"
+	"selfheal/internal/thermal"
+	"selfheal/internal/units"
+)
+
+// BenchParams configures a bench.
+type BenchParams struct {
+	FPGA    fpga.Params
+	RO      ro.Params
+	PSU     supply.PSUParams
+	Chamber thermal.ChamberParams
+	// AvgReads is the number of counter readings averaged per recorded
+	// sample ("read from a time range that has stable values").
+	AvgReads int
+	// ModelSamplingOverhead applies the <3 s of AC operation each
+	// wake-up costs during DC-stress and recovery phases.
+	ModelSamplingOverhead bool
+}
+
+// DefaultBenchParams matches the paper's setup.
+func DefaultBenchParams() BenchParams {
+	return BenchParams{
+		FPGA:                  fpga.DefaultParams(),
+		RO:                    ro.DefaultParams(),
+		PSU:                   supply.DefaultPSUParams(),
+		Chamber:               thermal.DefaultChamberParams(),
+		AvgReads:              16,
+		ModelSamplingOverhead: true,
+	}
+}
+
+// Bench is one chip under test with its instrumentation.
+type Bench struct {
+	params  BenchParams
+	Chip    *fpga.Chip
+	RO      *ro.Oscillator
+	PSU     *supply.PSU
+	Chamber *thermal.Chamber
+	Clock   *supply.ClockGen
+	Engine  *stress.Engine
+}
+
+// NewBench fabricates a chip (variation drawn from src), maps the RO,
+// and powers everything up at ambient.
+func NewBench(chipID string, p BenchParams, src *rng.Source) (*Bench, error) {
+	if p.AvgReads <= 0 {
+		return nil, errors.New("measure: AvgReads must be positive")
+	}
+	chip, err := fpga.NewChip(chipID, p.FPGA, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	osc, err := ro.New(chip, chipID+".cut", p.RO, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	psu, err := supply.NewPSU(p.PSU)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	chamber, err := thermal.NewChamber(p.Chamber, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	clock, err := supply.NewClockGen(p.RO.FRef)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	eng := stress.New(chip)
+	if err := eng.AddActivity(stress.Activity{Mapping: osc.Mapping(), AC: true}); err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	return &Bench{
+		params:  p,
+		Chip:    chip,
+		RO:      osc,
+		PSU:     psu,
+		Chamber: chamber,
+		Clock:   clock,
+		Engine:  eng,
+	}, nil
+}
+
+// Sample wakes the RO, takes an averaged counter reading at the nominal
+// supply, restores the previous mode, and (optionally) charges the
+// sampling overhead to the aging state.
+func (b *Bench) Sample() (ro.Measurement, error) {
+	wasEnabled := b.RO.Enabled()
+	frozen := b.RO.FrozenInput()
+	b.RO.Enable()
+	defer func() {
+		if !wasEnabled {
+			b.RO.Freeze(frozen)
+		}
+	}()
+
+	nominal := b.PSU.Voltage()
+	if b.PSU.Rail() != supply.RailNominal {
+		// Measurement always happens at the nominal operating point.
+		nominal = b.params.PSU.Nominal
+	}
+	m, err := b.RO.MeasureAveraged(nominal, b.params.AvgReads)
+	if err != nil {
+		return ro.Measurement{}, fmt.Errorf("measure: sampling: %w", err)
+	}
+	if b.params.ModelSamplingOverhead {
+		if err := b.Engine.SetAC(b.RO.Mapping().Name, true, false); err != nil {
+			return ro.Measurement{}, err
+		}
+		if err := b.Engine.Step(nominal, b.Chamber.Temperature(), b.params.RO.SampleTime); err != nil {
+			return ro.Measurement{}, err
+		}
+		if err := b.Engine.SetAC(b.RO.Mapping().Name, wasEnabled, frozen); err != nil {
+			return ro.Measurement{}, err
+		}
+	}
+	return m, nil
+}
+
+// PhaseKind distinguishes wearout from self-healing phases.
+type PhaseKind uint8
+
+const (
+	Stress PhaseKind = iota
+	Recovery
+)
+
+// String names the phase kind.
+func (k PhaseKind) String() string {
+	if k == Recovery {
+		return "recovery"
+	}
+	return "stress"
+}
+
+// PhaseSpec schedules one phase of the accelerated test.
+type PhaseSpec struct {
+	Name     string
+	Kind     PhaseKind
+	Duration units.Seconds
+	TempC    units.Celsius
+	// Vdd is the rail during the phase: the stress voltage for Stress
+	// phases (1.2 V in the paper), and 0 (gated) or negative (−0.3 V)
+	// for Recovery phases.
+	Vdd units.Volt
+	// AC selects oscillating stress; DC stress freezes the chain at
+	// FrozenIn0. Ignored for recovery phases (the fabric is unpowered).
+	AC        bool
+	FrozenIn0 bool
+	// SampleEvery is the wake-up period for data recording (the paper
+	// uses 20 min under stress, 30 min under recovery). Zero samples
+	// only at the phase boundary.
+	SampleEvery units.Seconds
+}
+
+// Validate reports whether the spec is runnable.
+func (s PhaseSpec) Validate() error {
+	switch {
+	case s.Duration <= 0:
+		return fmt.Errorf("measure: phase %q: duration must be positive", s.Name)
+	case s.SampleEvery < 0:
+		return fmt.Errorf("measure: phase %q: negative sampling period", s.Name)
+	case s.Kind == Stress && s.Vdd <= 0:
+		return fmt.Errorf("measure: phase %q: stress phase needs a positive rail", s.Name)
+	case s.Kind == Recovery && s.Vdd > 0:
+		return fmt.Errorf("measure: phase %q: recovery phase rail must be ≤ 0", s.Name)
+	}
+	return nil
+}
+
+// RunPhase executes one phase: it ramps the chamber to the setpoint
+// (unpowered — the paper's chips are heated and cooled between
+// conditions), applies the rail, steps the aging engine through the
+// schedule, and records a delay sample at t = 0 and at every sampling
+// instant. The returned series holds delay in nanoseconds against
+// phase-relative time.
+func (b *Bench) RunPhase(spec PhaseSpec) (*series.Series, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Chamber.SetTarget(spec.TempC); err != nil {
+		return nil, fmt.Errorf("measure: phase %q: %w", spec.Name, err)
+	}
+	// Ramp unpowered: gate the rail, let the die track the plate.
+	b.PSU.Gate()
+	for !b.Chamber.Settled() {
+		step := units.Minute
+		b.Chamber.Step(step)
+		if err := b.Engine.Step(0, b.Chamber.Temperature(), step); err != nil {
+			return nil, err
+		}
+	}
+
+	// Apply the phase rail and RO mode.
+	switch spec.Kind {
+	case Stress:
+		if err := b.PSU.SetStress(spec.Vdd); err != nil {
+			return nil, fmt.Errorf("measure: phase %q: %w", spec.Name, err)
+		}
+		if spec.AC {
+			b.RO.Enable()
+		} else {
+			b.RO.Freeze(spec.FrozenIn0)
+		}
+		if err := b.Engine.SetAC(b.RO.Mapping().Name, spec.AC, spec.FrozenIn0); err != nil {
+			return nil, err
+		}
+	case Recovery:
+		if spec.Vdd < 0 {
+			if err := b.PSU.SetNegative(spec.Vdd); err != nil {
+				return nil, fmt.Errorf("measure: phase %q: %w", spec.Name, err)
+			}
+		} else {
+			b.PSU.Gate()
+		}
+	}
+
+	out := series.New(spec.Name)
+	m, err := b.Sample()
+	if err != nil {
+		return nil, err
+	}
+	out.Add(0, m.DelayNS)
+
+	interval := spec.SampleEvery
+	if interval == 0 || interval > spec.Duration {
+		interval = spec.Duration
+	}
+	for elapsed := units.Seconds(0); elapsed < spec.Duration-1e-9; {
+		step := interval
+		if rem := spec.Duration - elapsed; step > rem {
+			step = rem
+		}
+		if err := b.Engine.Step(b.PSU.Voltage(), b.Chamber.Step(step), step); err != nil {
+			return nil, err
+		}
+		elapsed += step
+		m, err := b.Sample()
+		if err != nil {
+			return nil, err
+		}
+		out.Add(elapsed, m.DelayNS)
+	}
+	return out, nil
+}
+
+// RecoveredDelay is the paper's Eq. 16: RD(t2) = Td(t1) − Td(t1+t2), the
+// delay removed since the end of the stress phase.
+func RecoveredDelay(endOfStressNS, currentNS float64) float64 {
+	return endOfStressNS - currentNS
+}
+
+// MarginRelaxedPct is the paper's design-margin-relaxed parameter: the
+// percentage of the accumulated delay degradation removed by the
+// rejuvenation phase. It returns an error when no degradation existed.
+func MarginRelaxedPct(freshNS, endOfStressNS, healedNS float64) (float64, error) {
+	deg := endOfStressNS - freshNS
+	if deg <= 0 {
+		return 0, errors.New("measure: no degradation to relax")
+	}
+	return RecoveredDelay(endOfStressNS, healedNS) / deg * 100, nil
+}
+
+// DefaultMarginFrac is the delay-margin budget as a fraction of the
+// fresh path delay. 12 % is a representative guard band for an FPGA
+// design closed at the paper's conditions.
+const DefaultMarginFrac = 0.12
+
+// RemainingMarginPct returns how much of the design margin budget
+// (marginFrac·fresh) is still available at the current delay, in
+// percent. 100 means unconsumed, 0 means the path now misses timing.
+func RemainingMarginPct(freshNS, currentNS, marginFrac float64) (float64, error) {
+	if freshNS <= 0 || marginFrac <= 0 {
+		return 0, errors.New("measure: fresh delay and margin fraction must be positive")
+	}
+	budget := freshNS * marginFrac
+	return (1 - (currentNS-freshNS)/budget) * 100, nil
+}
+
+// WithinOriginalMargin reports the paper's headline criterion: after
+// rejuvenation the chip retains at least pct % of its original margin.
+func WithinOriginalMargin(freshNS, healedNS, marginFrac, pct float64) (bool, error) {
+	rem, err := RemainingMarginPct(freshNS, healedNS, marginFrac)
+	if err != nil {
+		return false, err
+	}
+	return rem >= pct, nil
+}

@@ -1,0 +1,267 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/units"
+)
+
+// nominalBench returns a bench on a variation-free chip so calibration
+// numbers are exact.
+func nominalBench(t *testing.T, seed uint64) *Bench {
+	t.Helper()
+	p := DefaultBenchParams()
+	p.FPGA.ChipSigmaFrac = 0
+	p.FPGA.LocalSigmaFrac = 0
+	p.FPGA.VthSigmaV = 0
+	b, err := NewBench("chip", p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBenchValidation(t *testing.T) {
+	p := DefaultBenchParams()
+	p.AvgReads = 0
+	if _, err := NewBench("c", p, rng.New(1)); err == nil {
+		t.Error("AvgReads=0 accepted")
+	}
+	p = DefaultBenchParams()
+	p.FPGA.Rows = 0
+	if _, err := NewBench("c", p, rng.New(1)); err == nil {
+		t.Error("bad FPGA params accepted")
+	}
+	p = DefaultBenchParams()
+	p.RO.Stages = 4
+	if _, err := NewBench("c", p, rng.New(1)); err == nil {
+		t.Error("bad RO params accepted")
+	}
+}
+
+func TestSampleFreshChip(t *testing.T) {
+	b := nominalBench(t, 1)
+	m, err := b.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.DelayNS-100) > 0.5 {
+		t.Errorf("fresh delay = %v ns, want ≈100", m.DelayNS)
+	}
+}
+
+func TestSampleRestoresFrozenMode(t *testing.T) {
+	b := nominalBench(t, 2)
+	b.RO.Freeze(true)
+	if _, err := b.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if b.RO.Enabled() || !b.RO.FrozenInput() {
+		t.Error("sampling did not restore the frozen mode")
+	}
+}
+
+func TestSampleOverheadAges(t *testing.T) {
+	with := nominalBench(t, 3)
+	without := nominalBench(t, 3)
+	without.params.ModelSamplingOverhead = false
+	for i := 0; i < 50; i++ {
+		if _, err := with.Sample(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := without.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if with.Chip.MeanVthShift() <= without.Chip.MeanVthShift() {
+		t.Error("sampling overhead not charged to aging")
+	}
+	// But it must stay negligible: 50 wakes × 3 s ≪ any phase.
+	if with.Chip.MeanVthShift() > 1e-3 {
+		t.Errorf("sampling overhead implausibly large: %v", with.Chip.MeanVthShift())
+	}
+}
+
+func TestPhaseSpecValidation(t *testing.T) {
+	cases := []PhaseSpec{
+		{Name: "no-duration", Kind: Stress, Vdd: 1.2},
+		{Name: "neg-sample", Kind: Stress, Vdd: 1.2, Duration: units.Hour, SampleEvery: -1},
+		{Name: "stress-no-rail", Kind: Stress, Vdd: 0, Duration: units.Hour},
+		{Name: "recovery-positive-rail", Kind: Recovery, Vdd: 1.2, Duration: units.Hour},
+	}
+	for _, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s accepted", spec.Name)
+		}
+	}
+	good := PhaseSpec{Name: "ok", Kind: Recovery, Vdd: -0.3, Duration: units.Hour, TempC: 110}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	if Stress.String() != "stress" || Recovery.String() != "recovery" {
+		t.Error("PhaseKind names wrong")
+	}
+}
+
+// TestStressPhaseProducesPaperDegradation runs the AS110DC24 schedule
+// end to end through the bench (chamber ramp, sampling wake-ups) and
+// checks the ≈2.2 % result survives the full instrumentation stack.
+func TestStressPhaseProducesPaperDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 24 h schedule")
+	}
+	b := nominalBench(t, 4)
+	fresh, err := b.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.RunPhase(PhaseSpec{
+		Name: "AS110DC24", Kind: Stress, Duration: 24 * units.Hour,
+		TempC: 110, Vdd: 1.2, AC: false, FrozenIn0: true,
+		SampleEvery: 20 * units.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 73 { // t=0 plus 72 twenty-minute samples
+		t.Errorf("sample count = %d, want 73", s.Len())
+	}
+	last, _ := s.Last()
+	pct := (last.V - fresh.DelayNS) / fresh.DelayNS * 100
+	if math.Abs(pct-2.2) > 0.35 {
+		t.Errorf("bench degradation = %.3f %%, want ≈2.2 %%", pct)
+	}
+	// Degradation is fast-then-slow: first 3 h exceed the last 3 h.
+	v3h, err := s.At(3 * units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v21h, err := s.At(21 * units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (v3h - fresh.DelayNS) <= (last.V - v21h) {
+		t.Error("degradation not front-loaded")
+	}
+}
+
+// TestRecoveryPhaseHealsChip runs a short stress then an accelerated
+// recovery and checks monotone healing through the bench stack.
+func TestRecoveryPhaseHealsChip(t *testing.T) {
+	b := nominalBench(t, 5)
+	if _, err := b.RunPhase(PhaseSpec{
+		Name: "stress", Kind: Stress, Duration: 6 * units.Hour,
+		TempC: 110, Vdd: 1.2, FrozenIn0: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stressEnd, err := b.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b.RunPhase(PhaseSpec{
+		Name: "AR110N2", Kind: Recovery, Duration: 2 * units.Hour,
+		TempC: 110, Vdd: -0.3, SampleEvery: 30 * units.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := rec.Last()
+	if last.V >= stressEnd.DelayNS {
+		t.Errorf("no healing: %v -> %v", stressEnd.DelayNS, last.V)
+	}
+	// Mostly monotone non-increasing apart from counter noise.
+	worse := 0
+	for i := 1; i < rec.Len(); i++ {
+		if rec.Points[i].V > rec.Points[i-1].V+0.06 {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("%d recovery samples increased beyond noise", worse)
+	}
+}
+
+func TestRunPhaseRejectsBadSpecs(t *testing.T) {
+	b := nominalBench(t, 6)
+	if _, err := b.RunPhase(PhaseSpec{Name: "bad", Kind: Stress, Vdd: 1.2}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := b.RunPhase(PhaseSpec{
+		Name: "too-hot", Kind: Stress, Vdd: 1.2, Duration: units.Hour, TempC: 500,
+	}); err == nil {
+		t.Error("out-of-range chamber setpoint accepted")
+	}
+	if _, err := b.RunPhase(PhaseSpec{
+		Name: "rail", Kind: Stress, Vdd: 3.0, Duration: units.Hour, TempC: 20,
+	}); err == nil {
+		t.Error("out-of-range stress rail accepted")
+	}
+}
+
+func TestRecoveredDelay(t *testing.T) {
+	if got := RecoveredDelay(102.2, 100.6); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("RD = %v", got)
+	}
+	if got := RecoveredDelay(100, 100); got != 0 {
+		t.Errorf("RD = %v", got)
+	}
+}
+
+func TestMarginRelaxedPct(t *testing.T) {
+	got, err := MarginRelaxedPct(100, 102.2, 100.607)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-72.4) > 0.1 {
+		t.Errorf("margin relaxed = %v %%, want ≈72.4", got)
+	}
+	if _, err := MarginRelaxedPct(100, 100, 100); err == nil {
+		t.Error("zero degradation accepted")
+	}
+	if _, err := MarginRelaxedPct(100, 99, 98); err == nil {
+		t.Error("negative degradation accepted")
+	}
+}
+
+func TestRemainingMarginPct(t *testing.T) {
+	// Budget 12 ns on a 100 ns path; residual 0.6 ns consumes 5 %.
+	got, err := RemainingMarginPct(100, 100.6, DefaultMarginFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-95) > 0.1 {
+		t.Errorf("remaining margin = %v %%, want 95", got)
+	}
+	if got, _ := RemainingMarginPct(100, 100, DefaultMarginFrac); got != 100 {
+		t.Errorf("fresh remaining margin = %v", got)
+	}
+	if got, _ := RemainingMarginPct(100, 112, DefaultMarginFrac); math.Abs(got) > 1e-9 {
+		t.Errorf("exhausted margin = %v", got)
+	}
+	if _, err := RemainingMarginPct(0, 1, 0.1); err == nil {
+		t.Error("zero fresh delay accepted")
+	}
+	if _, err := RemainingMarginPct(100, 101, 0); err == nil {
+		t.Error("zero margin fraction accepted")
+	}
+}
+
+func TestWithinOriginalMargin(t *testing.T) {
+	ok, err := WithinOriginalMargin(100, 100.6, DefaultMarginFrac, 90)
+	if err != nil || !ok {
+		t.Errorf("healed chip not within margin: %v %v", ok, err)
+	}
+	ok, err = WithinOriginalMargin(100, 102.2, DefaultMarginFrac, 90)
+	if err != nil || ok {
+		t.Errorf("stressed chip within margin: %v %v", ok, err)
+	}
+	if _, err := WithinOriginalMargin(0, 1, 0.1, 90); err == nil {
+		t.Error("bad inputs accepted")
+	}
+}

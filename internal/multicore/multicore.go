@@ -1,0 +1,330 @@
+// Package multicore builds the system the paper's Section 6.2 sketches
+// (Fig. 10): an eight-core processor with a shared L3 on a 2×4
+// floorplan, where cores take scheduled sleep slots and the *active
+// neighbours act as on-chip heaters* that accelerate a sleeping core's
+// BTI recovery — heat that a thermal chamber provides on the bench
+// comes for free from the floorplan.
+//
+// Each core carries a lumped critical-path aging state (the TD model is
+// linear in ΔVth, so a path of similarly stressed devices ages as a
+// scaled single device). A Scheduler assigns which cores run each slot
+// under a fixed parallelism demand; the thermal grid (package thermal)
+// turns the power map into per-core temperatures; stress and recovery
+// integrate on top.
+package multicore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/td"
+	"selfheal/internal/thermal"
+	"selfheal/internal/units"
+)
+
+// Params configures the system.
+type Params struct {
+	Grid thermal.GridParams
+	TD   td.Params
+
+	// ActivePowerW and SleepPowerW are per-core dissipation when
+	// running and when asleep (residual/pump power).
+	ActivePowerW, SleepPowerW float64
+
+	// Vdd is the core supply during activity; ActivityDuty is the
+	// effective switching duty of the critical path under load.
+	Vdd          units.Volt
+	ActivityDuty float64
+
+	// NegVRail is the reverse-bias magnitude sleeping cores apply when
+	// the scheduler enables accelerated recovery (0 disables).
+	NegVRail units.Volt
+	// PumpPowerW is the extra power the negative-rail charge pump
+	// draws per healing core (the Section 6.1 overhead).
+	PumpPowerW float64
+
+	// FreshDelayNS and PathGainNSPerV map the lumped ΔVth onto the
+	// core's critical-path delay: delay = fresh + gain·ΔVth.
+	FreshDelayNS, PathGainNSPerV float64
+}
+
+// DefaultParams returns an 8-core, 2×4 system with 10 W cores and the
+// paper's −0.3 V recovery rail. The path gain matches the RO
+// calibration (≈54.7 ns/V normalized to a 1 ns path: 0.55 ns/V with a
+// ≈1 GHz-class 1 ns critical path).
+func DefaultParams() Params {
+	return Params{
+		Grid:           thermal.DefaultGridParams(),
+		TD:             td.DefaultParams(),
+		ActivePowerW:   10,
+		SleepPowerW:    0.2,
+		PumpPowerW:     0.1,
+		Vdd:            1.2,
+		ActivityDuty:   0.5,
+		NegVRail:       0.3,
+		FreshDelayNS:   1.0,
+		PathGainNSPerV: 0.55,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.ActivePowerW <= 0 || p.SleepPowerW < 0:
+		return errors.New("multicore: active power must be positive, sleep power non-negative")
+	case p.Vdd <= 0:
+		return errors.New("multicore: Vdd must be positive")
+	case p.ActivityDuty <= 0 || p.ActivityDuty > 1:
+		return errors.New("multicore: activity duty must be in (0,1]")
+	case p.NegVRail < 0:
+		return errors.New("multicore: negative-rail magnitude must be non-negative")
+	case p.PumpPowerW < 0:
+		return errors.New("multicore: pump power must be non-negative")
+	case p.FreshDelayNS <= 0 || p.PathGainNSPerV <= 0:
+		return errors.New("multicore: path model must be positive")
+	}
+	if err := p.Grid.Validate(); err != nil {
+		return fmt.Errorf("multicore: %w", err)
+	}
+	if err := p.TD.Validate(); err != nil {
+		return fmt.Errorf("multicore: %w", err)
+	}
+	return nil
+}
+
+// Core is one processor core's health state.
+type Core struct {
+	ID    int
+	Aging td.State
+}
+
+// System is the simulated multi-core processor.
+type System struct {
+	params Params
+	grid   *thermal.Grid
+	cores  []*Core
+	active []bool
+	// heal[i] reports whether sleeping core i applies the negative
+	// rail (accelerated recovery) this slot.
+	heal    []bool
+	elapsed units.Seconds
+}
+
+// New builds a system settled at ambient with all cores active.
+func New(p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := thermal.NewGrid(p.Grid)
+	if err != nil {
+		return nil, err
+	}
+	n := grid.Tiles()
+	s := &System{
+		params: p,
+		grid:   grid,
+		cores:  make([]*Core, n),
+		active: make([]bool, n),
+		heal:   make([]bool, n),
+	}
+	for i := range s.cores {
+		s.cores[i] = &Core{ID: i}
+		s.active[i] = true
+	}
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Elapsed returns the simulated time.
+func (s *System) Elapsed() units.Seconds { return s.elapsed }
+
+// Active reports whether core i is running.
+func (s *System) Active(i int) bool { return s.active[i] }
+
+// Temperature returns core i's junction temperature.
+func (s *System) Temperature(i int) (units.Celsius, error) {
+	return s.grid.Temperature(i)
+}
+
+// DelayNS returns core i's present critical-path delay in nanoseconds.
+func (s *System) DelayNS(i int) float64 {
+	return s.params.FreshDelayNS + s.params.PathGainNSPerV*s.cores[i].Aging.Vth()
+}
+
+// DegradationPct returns core i's critical-path slowdown in percent.
+func (s *System) DegradationPct(i int) float64 {
+	return (s.DelayNS(i) - s.params.FreshDelayNS) / s.params.FreshDelayNS * 100
+}
+
+// WorstDegradationPct returns the slowest core's degradation — the
+// figure that sets the shared clock's margin.
+func (s *System) WorstDegradationPct() float64 {
+	worst := 0.0
+	for i := range s.cores {
+		worst = math.Max(worst, s.DegradationPct(i))
+	}
+	return worst
+}
+
+// SpreadPct returns the gap between the worst and best core — aging
+// imbalance a scheduler should keep low.
+func (s *System) SpreadPct() float64 {
+	worst, best := 0.0, math.Inf(1)
+	for i := range s.cores {
+		d := s.DegradationPct(i)
+		worst = math.Max(worst, d)
+		best = math.Min(best, d)
+	}
+	return worst - best
+}
+
+// Assignment is one slot's scheduling decision.
+type Assignment struct {
+	// Active[i] runs core i this slot. The number of true entries must
+	// equal the demanded parallelism.
+	Active []bool
+	// Heal[i] applies the negative rail to sleeping core i. Ignored
+	// for active cores.
+	Heal []bool
+}
+
+// Scheduler picks which cores run each slot.
+type Scheduler interface {
+	Name() string
+	// Assign returns the slot's assignment for the demanded number of
+	// active cores. Implementations may inspect the system's health
+	// and temperatures.
+	Assign(s *System, slot int, demand int) (Assignment, error)
+}
+
+// Step advances the system through one slot of length dt with the
+// given assignment under the demanded parallelism.
+func (s *System) Step(a Assignment, dt units.Seconds) error {
+	if dt <= 0 {
+		return errors.New("multicore: slot duration must be positive")
+	}
+	if len(a.Active) != len(s.cores) || (a.Heal != nil && len(a.Heal) != len(s.cores)) {
+		return fmt.Errorf("multicore: assignment sized %d/%d for %d cores",
+			len(a.Active), len(a.Heal), len(s.cores))
+	}
+	copy(s.active, a.Active)
+	for i := range s.heal {
+		s.heal[i] = a.Heal != nil && a.Heal[i] && !a.Active[i]
+	}
+	// Power map → temperatures.
+	for i := range s.cores {
+		p := s.params.SleepPowerW
+		if s.active[i] {
+			p = s.params.ActivePowerW
+		}
+		if err := s.grid.SetPower(i, p); err != nil {
+			return err
+		}
+	}
+	s.grid.Step(dt)
+	// Temperatures → aging.
+	for i, c := range s.cores {
+		tc, err := s.grid.Temperature(i)
+		if err != nil {
+			return err
+		}
+		k := tc.Kelvin()
+		if s.active[i] {
+			c.Aging.Stress(s.params.TD, td.StressCond{
+				V: s.params.Vdd, T: k, Duty: s.params.ActivityDuty,
+			}, dt)
+			continue
+		}
+		vrev := units.Volt(0)
+		if s.heal[i] {
+			vrev = s.params.NegVRail
+		}
+		c.Aging.Recover(s.params.TD, td.RecoveryCond{VRev: vrev, T: k}, dt)
+	}
+	s.elapsed += dt
+	return nil
+}
+
+// Run simulates slots×dt under the scheduler with a fixed parallelism
+// demand, returning the final outcome.
+func (s *System) Run(sch Scheduler, demand, slots int, dt units.Seconds) (Outcome, error) {
+	if sch == nil {
+		return Outcome{}, errors.New("multicore: nil scheduler")
+	}
+	if demand < 0 || demand > len(s.cores) {
+		return Outcome{}, fmt.Errorf("multicore: demand %d outside 0..%d", demand, len(s.cores))
+	}
+	if slots <= 0 {
+		return Outcome{}, errors.New("multicore: slot count must be positive")
+	}
+	var coreSlots, healSlots int
+	var energyWh float64
+	for slot := 0; slot < slots; slot++ {
+		a, err := sch.Assign(s, slot, demand)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("multicore: %s slot %d: %w", sch.Name(), slot, err)
+		}
+		got := 0
+		for _, on := range a.Active {
+			if on {
+				got++
+			}
+		}
+		if got != demand {
+			return Outcome{}, fmt.Errorf("multicore: %s slot %d: %d active, demand %d",
+				sch.Name(), slot, got, demand)
+		}
+		if err := s.Step(a, dt); err != nil {
+			return Outcome{}, err
+		}
+		coreSlots += got
+		hours := float64(dt) / 3600
+		for i := range s.cores {
+			switch {
+			case s.active[i]:
+				energyWh += s.params.ActivePowerW * hours
+			case s.heal[i]:
+				healSlots++
+				energyWh += (s.params.SleepPowerW + s.params.PumpPowerW) * hours
+			default:
+				energyWh += s.params.SleepPowerW * hours
+			}
+		}
+	}
+	out := Outcome{
+		Scheduler:    sch.Name(),
+		WorstPct:     s.WorstDegradationPct(),
+		SpreadPct:    s.SpreadPct(),
+		HealSlots:    healSlots,
+		CoreSlots:    coreSlots,
+		EnergyWh:     energyWh,
+		PerCorePct:   make([]float64, len(s.cores)),
+		Temperatures: s.grid.Temperatures(),
+	}
+	sum := 0.0
+	for i := range s.cores {
+		out.PerCorePct[i] = s.DegradationPct(i)
+		sum += out.PerCorePct[i]
+	}
+	out.MeanPct = sum / float64(len(s.cores))
+	return out, nil
+}
+
+// Outcome summarizes a scheduled run.
+type Outcome struct {
+	Scheduler string
+	WorstPct  float64 // slowest core's degradation (sets the margin)
+	MeanPct   float64
+	SpreadPct float64
+	HealSlots int // core-slots spent in accelerated recovery
+	CoreSlots int // core-slots of delivered compute (throughput)
+	// EnergyWh is the total electrical energy over the run, including
+	// the charge-pump overhead of healing slots.
+	EnergyWh   float64
+	PerCorePct []float64
+	// Temperatures is the final per-core temperature map.
+	Temperatures []units.Celsius
+}

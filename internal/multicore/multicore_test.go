@@ -1,0 +1,299 @@
+package multicore
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mods := []func(*Params){
+		func(p *Params) { p.ActivePowerW = 0 },
+		func(p *Params) { p.SleepPowerW = -1 },
+		func(p *Params) { p.Vdd = 0 },
+		func(p *Params) { p.ActivityDuty = 0 },
+		func(p *Params) { p.ActivityDuty = 1.5 },
+		func(p *Params) { p.NegVRail = -0.3 },
+		func(p *Params) { p.FreshDelayNS = 0 },
+		func(p *Params) { p.PathGainNSPerV = 0 },
+		func(p *Params) { p.Grid.Rows = 0 },
+		func(p *Params) { p.TD.K1 = 0 },
+	}
+	for i, mod := range mods {
+		p := DefaultParams()
+		mod(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestNewSystemShape(t *testing.T) {
+	s := newSystem(t)
+	if s.Cores() != 8 {
+		t.Fatalf("cores = %d", s.Cores())
+	}
+	for i := 0; i < 8; i++ {
+		if s.DegradationPct(i) != 0 {
+			t.Errorf("core %d not fresh", i)
+		}
+		if math.Abs(s.DelayNS(i)-1.0) > 1e-12 {
+			t.Errorf("core %d fresh delay = %v", i, s.DelayNS(i))
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s := newSystem(t)
+	if err := s.Step(Assignment{Active: make([]bool, 8)}, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if err := s.Step(Assignment{Active: make([]bool, 3)}, units.Hour); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := s.Step(Assignment{Active: make([]bool, 8), Heal: make([]bool, 2)}, units.Hour); err == nil {
+		t.Error("short heal vector accepted")
+	}
+}
+
+func TestActiveCoresHeatAndAge(t *testing.T) {
+	s := newSystem(t)
+	a := Assignment{Active: make([]bool, 8)}
+	a.Active[0] = true
+	for i := 0; i < 12; i++ {
+		if err := s.Step(a, 10*units.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot, _ := s.Temperature(0)
+	cold, _ := s.Temperature(7)
+	if hot <= cold {
+		t.Errorf("active core not hotter: %v vs %v", hot, cold)
+	}
+	if s.DegradationPct(0) <= 0 {
+		t.Error("active core did not age")
+	}
+	if s.DegradationPct(7) != 0 {
+		t.Error("never-active core aged")
+	}
+}
+
+// TestNeighborHeatingAcceleratesRecovery is the Fig. 10 mechanism in
+// aging terms: after identical stress, a sleeping core surrounded by
+// busy neighbours recovers faster than one in a cold corner.
+func TestNeighborHeatingAcceleratesRecovery(t *testing.T) {
+	run := func(neighborsBusy bool) float64 {
+		s := newSystem(t)
+		// Age core 1 (row 0, col 1) uniformly: everything active 24 h.
+		all := Assignment{Active: []bool{true, true, true, true, true, true, true, true}}
+		for i := 0; i < 24; i++ {
+			if err := s.Step(all, units.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		aged := s.DegradationPct(1)
+		// Now core 1 sleeps with the negative rail for 6 h; its
+		// neighbours (0, 2, 5) either run hot or sleep cold.
+		a := Assignment{Active: make([]bool, 8), Heal: make([]bool, 8)}
+		a.Heal[1] = true
+		if neighborsBusy {
+			a.Active[0], a.Active[2], a.Active[5] = true, true, true
+		}
+		for i := 0; i < 6; i++ {
+			if err := s.Step(a, units.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return (aged - s.DegradationPct(1)) / aged
+	}
+	heated := run(true)
+	isolated := run(false)
+	if heated <= isolated {
+		t.Errorf("neighbour heating did not help: heated %.3f vs isolated %.3f", heated, isolated)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newSystem(t)
+	if _, err := s.Run(nil, 6, 10, units.Hour); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := s.Run(Static{}, 9, 10, units.Hour); err == nil {
+		t.Error("demand above core count accepted")
+	}
+	if _, err := s.Run(Static{}, -1, 10, units.Hour); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := s.Run(Static{}, 6, 0, units.Hour); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestSchedulersMeetDemand(t *testing.T) {
+	for _, sch := range []Scheduler{Static{}, RoundRobin{}, Circadian{}} {
+		s := newSystem(t)
+		out, err := s.Run(sch, 6, 20, units.Hour)
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		if out.CoreSlots != 6*20 {
+			t.Errorf("%s delivered %d core-slots, want %d", sch.Name(), out.CoreSlots, 120)
+		}
+	}
+}
+
+// TestCircadianBeatsBaselines is the Section 6.2 payoff: with the same
+// delivered throughput (6 of 8 cores for 30 days), the circadian
+// scheduler holds the worst core's degradation below both the static
+// and the gating-only round-robin baselines, and keeps the cores
+// balanced.
+func TestCircadianBeatsBaselines(t *testing.T) {
+	const days = 30
+	results := map[string]Outcome{}
+	for _, sch := range []Scheduler{Static{}, RoundRobin{}, Circadian{}} {
+		s := newSystem(t)
+		out, err := s.Run(sch, 6, days*4, 6*units.Hour)
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		results[sch.Name()] = out
+	}
+	st, rr, ci := results["static"], results["round-robin"], results["circadian"]
+	if ci.WorstPct >= rr.WorstPct {
+		t.Errorf("circadian worst %.4f %% not below round-robin %.4f %%", ci.WorstPct, rr.WorstPct)
+	}
+	if ci.WorstPct >= st.WorstPct {
+		t.Errorf("circadian worst %.4f %% not below static %.4f %%", ci.WorstPct, st.WorstPct)
+	}
+	// Static concentrates wear: its spread must be the largest.
+	if st.SpreadPct <= ci.SpreadPct {
+		t.Errorf("static spread %.4f %% not above circadian %.4f %%", st.SpreadPct, ci.SpreadPct)
+	}
+	// Circadian actually used the healing rail.
+	if ci.HealSlots == 0 {
+		t.Error("circadian never healed")
+	}
+	if rr.HealSlots != 0 {
+		t.Error("round-robin unexpectedly healed")
+	}
+}
+
+// TestEnergyAccounting: at equal throughput the circadian scheduler
+// costs only the charge-pump overhead more than the gating baselines.
+func TestEnergyAccounting(t *testing.T) {
+	outs := map[string]Outcome{}
+	for _, sch := range []Scheduler{Static{}, RoundRobin{}, Circadian{}} {
+		s := newSystem(t)
+		out, err := s.Run(sch, 6, 40, 6*units.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[sch.Name()] = out
+	}
+	st, rr, ci := outs["static"], outs["round-robin"], outs["circadian"]
+	if st.EnergyWh <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	// Same active/sleep split ⇒ same base energy.
+	if st.EnergyWh != rr.EnergyWh {
+		t.Errorf("static %.1f Wh != round-robin %.1f Wh", st.EnergyWh, rr.EnergyWh)
+	}
+	// Circadian adds exactly the pump energy.
+	p := DefaultParams()
+	wantExtra := p.PumpPowerW * float64(ci.HealSlots) * 6
+	if extra := ci.EnergyWh - rr.EnergyWh; math.Abs(extra-wantExtra) > 1e-9 {
+		t.Errorf("pump energy = %.3f Wh, want %.3f", extra, wantExtra)
+	}
+	// And it stays a sub-percent premium.
+	if ci.EnergyWh/rr.EnergyWh > 1.01 {
+		t.Errorf("healing energy premium %.4f× too high", ci.EnergyWh/rr.EnergyWh)
+	}
+}
+
+func TestOutcomeFields(t *testing.T) {
+	s := newSystem(t)
+	out, err := s.Run(Circadian{}, 6, 8, 6*units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerCorePct) != 8 || len(out.Temperatures) != 8 {
+		t.Errorf("outcome vectors sized %d/%d", len(out.PerCorePct), len(out.Temperatures))
+	}
+	if out.MeanPct <= 0 || out.WorstPct < out.MeanPct {
+		t.Errorf("inconsistent stats: %+v", out)
+	}
+	if s.Elapsed() != 8*6*units.Hour {
+		t.Errorf("elapsed = %v", s.Elapsed())
+	}
+}
+
+// TestDarkSiliconRegime: at low demand (2 of 8 cores — the "dark
+// silicon" future the paper's §6.2 invokes) the circadian scheduler has
+// abundant healing slots and keeps every core nearly fresh, far below
+// the static scheduler's concentrated wear.
+func TestDarkSiliconRegime(t *testing.T) {
+	run := func(sch Scheduler) Outcome {
+		s := newSystem(t)
+		out, err := s.Run(sch, 2, 30*4, 6*units.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	st := run(Static{})
+	ci := run(Circadian{})
+	if ci.WorstPct >= st.WorstPct/2 {
+		t.Errorf("dark-silicon healing weak: circadian %v vs static %v", ci.WorstPct, st.WorstPct)
+	}
+	// With 6 sleepers per slot, most core-slots heal.
+	if ci.HealSlots < ci.CoreSlots {
+		t.Errorf("heal slots %d below compute slots %d at demand 2", ci.HealSlots, ci.CoreSlots)
+	}
+}
+
+func TestFullDemandNeverSleeps(t *testing.T) {
+	s := newSystem(t)
+	out, err := s.Run(Circadian{}, 8, 10, units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HealSlots != 0 {
+		t.Error("healed with zero sleep budget")
+	}
+	if out.SpreadPct > 1e-9 {
+		t.Errorf("uniform full load produced spread %v", out.SpreadPct)
+	}
+}
+
+func BenchmarkCircadianSlot(b *testing.B) {
+	s, err := New(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch := Circadian{}
+	for i := 0; i < b.N; i++ {
+		a, err := sch.Assign(s, i, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Step(a, 10*units.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package multicore
+
+import (
+	"sort"
+)
+
+// Static pins the first demand cores active forever — the conventional
+// baseline: fixed affinity, spare cores dark, no recovery thinking.
+type Static struct{}
+
+// Name implements Scheduler.
+func (Static) Name() string { return "static" }
+
+// Assign implements Scheduler.
+func (Static) Assign(s *System, _ int, demand int) (Assignment, error) {
+	a := Assignment{Active: make([]bool, s.Cores())}
+	for i := 0; i < demand; i++ {
+		a.Active[i] = true
+	}
+	return a, nil
+}
+
+// RoundRobin rotates which cores sleep each slot, spreading wear
+// evenly; sleep is plain power gating (passive recovery only).
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Assign implements Scheduler.
+func (RoundRobin) Assign(s *System, slot int, demand int) (Assignment, error) {
+	n := s.Cores()
+	a := Assignment{Active: make([]bool, n)}
+	for i := range a.Active {
+		a.Active[i] = true
+	}
+	for k := 0; k < n-demand; k++ {
+		a.Active[(slot+k)%n] = false
+	}
+	return a, nil
+}
+
+// Circadian is the paper's proposal: cores take scheduled sleep slots
+// in rotation, sleeping cores apply the negative recovery rail, and the
+// sleep set is chosen as the *most aged* cores whose neighbours are
+// active — so the floorplan's own heat (Fig. 10's "on-chip heaters")
+// accelerates their recovery.
+type Circadian struct{}
+
+// Name implements Scheduler.
+func (Circadian) Name() string { return "circadian" }
+
+// Assign implements Scheduler.
+func (Circadian) Assign(s *System, _ int, demand int) (Assignment, error) {
+	n := s.Cores()
+	a := Assignment{Active: make([]bool, n), Heal: make([]bool, n)}
+	// Rank cores by degradation, worst first; they sleep and heal.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return s.DegradationPct(order[x]) > s.DegradationPct(order[y])
+	})
+	for i := range a.Active {
+		a.Active[i] = true
+	}
+	for k := 0; k < n-demand; k++ {
+		c := order[k]
+		a.Active[c] = false
+		a.Heal[c] = true
+	}
+	return a, nil
+}

@@ -1,0 +1,70 @@
+package netlist
+
+import (
+	"sync"
+	"testing"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+)
+
+var (
+	fuzzOnce   sync.Once
+	fuzzPlaced *Placed
+	fuzzErr    error
+)
+
+func fuzzAdder() (*Placed, error) {
+	fuzzOnce.Do(func() {
+		c, err := RippleAdder(8)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		chip, err := fpga.NewChip("fuzz", fpga.DefaultParams(), rng.New(1))
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzPlaced, fuzzErr = Place(c, chip)
+	})
+	return fuzzPlaced, fuzzErr
+}
+
+// FuzzAdderFabricEquivalence checks, for arbitrary operands, that the
+// technology-mapped adder computes integer addition through the actual
+// LUT cells.
+func FuzzAdderFabricEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(0), false)
+	f.Add(uint8(255), uint8(255), true)
+	f.Add(uint8(170), uint8(85), false)
+	f.Fuzz(func(t *testing.T, a, b uint8, cin bool) {
+		p, err := fuzzAdder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]bool, 17)
+		for i := 0; i < 8; i++ {
+			in[i] = a>>i&1 == 1
+			in[8+i] = b>>i&1 == 1
+		}
+		in[16] = cin
+		out, err := p.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for i := 0; i <= 8; i++ {
+			if out[i] {
+				got |= 1 << i
+			}
+		}
+		want := int(a) + int(b)
+		if cin {
+			want++
+		}
+		if got != want {
+			t.Fatalf("%d + %d + %v = %d through the fabric, want %d", a, b, cin, got, want)
+		}
+	})
+}

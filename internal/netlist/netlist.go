@@ -1,0 +1,387 @@
+// Package netlist lets aging experiments run on *real logic* instead of
+// inverter chains: it provides a small gate-level netlist builder, a
+// technology mapper onto the chip's 2-input LUT fabric, workload-driven
+// switching statistics from input traces, and a static timing analysis
+// whose arrival times track per-transistor BTI damage.
+//
+// This closes the loop the paper motivates but does not need for its RO
+// experiments: on a deployed FPGA design, *which* transistors age is
+// set by the mapped logic and its input statistics (the paper's
+// Hypothesis 1 at circuit scale), so a biased workload ages a different
+// cut of the design than a uniform one — and scheduled rejuvenation
+// heals whatever the workload stressed.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/lut"
+	"selfheal/internal/units"
+)
+
+// Kind enumerates the supported gate types. All two-input gates map to
+// one LUT cell; Not and Buf use in0 with in1 tied high.
+type Kind uint8
+
+// Gate kinds.
+const (
+	KindInput Kind = iota
+	KindNot
+	KindBuf
+	KindAnd
+	KindOr
+	KindXor
+	KindNand
+	KindNor
+	KindXnor
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	names := [...]string{"input", "not", "buf", "and", "or", "xor", "nand", "nor", "xnor"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// eval computes the gate function.
+func (k Kind) eval(a, b bool) bool {
+	switch k {
+	case KindNot:
+		return !a
+	case KindBuf:
+		return a
+	case KindAnd:
+		return a && b
+	case KindOr:
+		return a || b
+	case KindXor:
+		return a != b
+	case KindNand:
+		return !(a && b)
+	case KindNor:
+		return !(a || b)
+	case KindXnor:
+		return a == b
+	default:
+		return a
+	}
+}
+
+// arity returns the number of fanins a kind consumes.
+func (k Kind) arity() int {
+	switch k {
+	case KindInput:
+		return 0
+	case KindNot, KindBuf:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Signal identifies a gate output within one circuit.
+type Signal int
+
+// gate is one node of the DAG. Fanins always reference earlier gates,
+// so circuits are acyclic by construction.
+type gate struct {
+	kind Kind
+	name string
+	in   [2]Signal
+}
+
+// Circuit is a combinational gate-level netlist under construction.
+type Circuit struct {
+	name    string
+	gates   []gate
+	inputs  []Signal
+	outputs []Signal
+	outName []string
+}
+
+// New returns an empty circuit.
+func New(name string) *Circuit { return &Circuit{name: name} }
+
+// Name returns the circuit name.
+func (c *Circuit) Name() string { return c.name }
+
+// Input declares a primary input and returns its signal.
+func (c *Circuit) Input(name string) Signal {
+	s := Signal(len(c.gates))
+	c.gates = append(c.gates, gate{kind: KindInput, name: name})
+	c.inputs = append(c.inputs, s)
+	return s
+}
+
+// add appends a gate after validating its fanins.
+func (c *Circuit) add(k Kind, name string, a, b Signal) Signal {
+	n := Signal(len(c.gates))
+	if a < 0 || a >= n || (k.arity() == 2 && (b < 0 || b >= n)) {
+		panic(fmt.Sprintf("netlist: gate %q references an undefined signal", name))
+	}
+	c.gates = append(c.gates, gate{kind: k, name: name, in: [2]Signal{a, b}})
+	return n
+}
+
+// Not, Buf, And, Or, Xor, Nand, Nor and Xnor append the corresponding
+// gate and return its output signal. Fanins must already exist; the
+// builder panics otherwise (a programming error, like an out-of-range
+// slice index).
+func (c *Circuit) Not(a Signal) Signal     { return c.add(KindNot, "not", a, a) }
+func (c *Circuit) Buf(a Signal) Signal     { return c.add(KindBuf, "buf", a, a) }
+func (c *Circuit) And(a, b Signal) Signal  { return c.add(KindAnd, "and", a, b) }
+func (c *Circuit) Or(a, b Signal) Signal   { return c.add(KindOr, "or", a, b) }
+func (c *Circuit) Xor(a, b Signal) Signal  { return c.add(KindXor, "xor", a, b) }
+func (c *Circuit) Nand(a, b Signal) Signal { return c.add(KindNand, "nand", a, b) }
+func (c *Circuit) Nor(a, b Signal) Signal  { return c.add(KindNor, "nor", a, b) }
+func (c *Circuit) Xnor(a, b Signal) Signal { return c.add(KindXnor, "xnor", a, b) }
+
+// MarkOutput declares a primary output.
+func (c *Circuit) MarkOutput(name string, s Signal) error {
+	if s < 0 || int(s) >= len(c.gates) {
+		return fmt.Errorf("netlist: output %q references undefined signal %d", name, s)
+	}
+	c.outputs = append(c.outputs, s)
+	c.outName = append(c.outName, name)
+	return nil
+}
+
+// Inputs and Outputs return the primary port counts.
+func (c *Circuit) Inputs() int  { return len(c.inputs) }
+func (c *Circuit) Outputs() int { return len(c.outputs) }
+
+// LogicGates returns the number of non-input gates (the LUT count
+// after mapping).
+func (c *Circuit) LogicGates() int { return len(c.gates) - len(c.inputs) }
+
+// evalAll computes every signal for the given primary-input vector.
+func (c *Circuit) evalAll(in []bool) ([]bool, error) {
+	if len(in) != len(c.inputs) {
+		return nil, fmt.Errorf("netlist: %d inputs, circuit has %d", len(in), len(c.inputs))
+	}
+	vals := make([]bool, len(c.gates))
+	next := 0
+	for i, g := range c.gates {
+		if g.kind == KindInput {
+			vals[i] = in[next]
+			next++
+			continue
+		}
+		vals[i] = g.kind.eval(vals[g.in[0]], vals[g.in[1]])
+	}
+	return vals, nil
+}
+
+// Eval computes the primary outputs for the given input vector.
+func (c *Circuit) Eval(in []bool) ([]bool, error) {
+	vals, err := c.evalAll(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(c.outputs))
+	for i, s := range c.outputs {
+		out[i] = vals[s]
+	}
+	return out, nil
+}
+
+// Placed is a circuit technology-mapped onto a chip: one LUT cell per
+// logic gate.
+type Placed struct {
+	Circuit *Circuit
+	Mapping *fpga.Mapping
+	// cellOf[signal] is the index into Mapping.Cells, or −1 for
+	// primary inputs.
+	cellOf []int
+}
+
+// Place maps the circuit onto free cells of the chip. Each two-input
+// gate becomes one LUT2 configured with the gate's truth table; Not and
+// Buf use in0 with in1 tied high.
+func Place(c *Circuit, chip *fpga.Chip) (*Placed, error) {
+	if c.LogicGates() == 0 {
+		return nil, errors.New("netlist: circuit has no logic gates")
+	}
+	if len(c.outputs) == 0 {
+		return nil, errors.New("netlist: circuit has no outputs")
+	}
+	m, err := chip.MapCells(c.name, c.LogicGates())
+	if err != nil {
+		return nil, fmt.Errorf("netlist: placing %q: %w", c.name, err)
+	}
+	p := &Placed{Circuit: c, Mapping: m, cellOf: make([]int, len(c.gates))}
+	idx := 0
+	for i, g := range c.gates {
+		if g.kind == KindInput {
+			p.cellOf[i] = -1
+			continue
+		}
+		p.cellOf[i] = idx
+		kind := g.kind
+		m.Cells[idx].ConfigureFunc(func(in0, in1 bool) bool {
+			if kind.arity() == 1 {
+				return kind.eval(in0, in0)
+			}
+			return kind.eval(in0, in1)
+		})
+		idx++
+	}
+	return p, nil
+}
+
+// cellInputs returns the LUT input pattern gate g sees for signal
+// values vals.
+func (p *Placed) cellInputs(gi int, vals []bool) (in0, in1 bool) {
+	g := p.Circuit.gates[gi]
+	in0 = vals[g.in[0]]
+	in1 = true // unary gates tie in1 high
+	if g.kind.arity() == 2 {
+		in1 = vals[g.in[1]]
+	}
+	return in0, in1
+}
+
+// Eval evaluates the *placed* design through the LUT cells (not the
+// abstract gates), verifying the technology mapping end to end.
+func (p *Placed) Eval(in []bool) ([]bool, error) {
+	if len(in) != len(p.Circuit.inputs) {
+		return nil, fmt.Errorf("netlist: %d inputs, circuit has %d", len(in), len(p.Circuit.inputs))
+	}
+	vals := make([]bool, len(p.Circuit.gates))
+	next := 0
+	for i, g := range p.Circuit.gates {
+		if g.kind == KindInput {
+			vals[i] = in[next]
+			next++
+			continue
+		}
+		in0, in1 := p.cellInputs(i, vals)
+		vals[i] = p.Mapping.Cells[p.cellOf[i]].Eval(in0, in1)
+	}
+	out := make([]bool, len(p.Circuit.outputs))
+	for i, s := range p.Circuit.outputs {
+		out[i] = vals[s]
+	}
+	return out, nil
+}
+
+// Activity derives per-cell switching statistics from an input trace:
+// for each cell, the observed distribution of its LUT input patterns.
+// The result plugs into the stress engine (stress.Activity.CellPhases).
+func (p *Placed) Activity(trace [][]bool) ([][]lut.Phase, error) {
+	if len(trace) == 0 {
+		return nil, errors.New("netlist: empty trace")
+	}
+	counts := make([][4]int, len(p.Mapping.Cells))
+	for r, in := range trace {
+		vals, err := p.Circuit.evalAll(in)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: trace row %d: %w", r, err)
+		}
+		for gi, g := range p.Circuit.gates {
+			if g.kind == KindInput {
+				continue
+			}
+			in0, in1 := p.cellInputs(gi, vals)
+			k := 0
+			if in0 {
+				k += 2
+			}
+			if in1 {
+				k++
+			}
+			counts[p.cellOf[gi]][k]++
+		}
+	}
+	phases := make([][]lut.Phase, len(p.Mapping.Cells))
+	n := float64(len(trace))
+	for ci, cnt := range counts {
+		var ph []lut.Phase
+		for k, c := range cnt {
+			if c == 0 {
+				continue
+			}
+			ph = append(ph, lut.Phase{
+				In0:    k>>1 == 1,
+				In1:    k&1 == 1,
+				Weight: float64(c) / n,
+			})
+		}
+		phases[ci] = ph
+	}
+	return phases, nil
+}
+
+// CriticalPathNS performs static timing analysis over the placed
+// design at supply vdd: per-gate delay is the worst POI delay across
+// the cell's input patterns (including accumulated BTI damage), and
+// arrival times propagate along the DAG. It returns the worst primary
+// output arrival in nanoseconds.
+func (p *Placed) CriticalPathNS(vdd units.Volt) (float64, error) {
+	arrival := make([]float64, len(p.Circuit.gates))
+	for gi, g := range p.Circuit.gates {
+		if g.kind == KindInput {
+			continue
+		}
+		cell := p.Mapping.Cells[p.cellOf[gi]]
+		worst := 0.0
+		for k := 0; k < 4; k++ {
+			d, err := cell.PathDelay(vdd, k>>1 == 1, k&1 == 1)
+			if err != nil {
+				return 0, fmt.Errorf("netlist: STA at gate %d: %w", gi, err)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		at := arrival[g.in[0]]
+		if g.kind.arity() == 2 && arrival[g.in[1]] > at {
+			at = arrival[g.in[1]]
+		}
+		arrival[gi] = at + worst
+	}
+	out := 0.0
+	for _, s := range p.Circuit.outputs {
+		if arrival[s] > out {
+			out = arrival[s]
+		}
+	}
+	return out, nil
+}
+
+// RippleAdder builds an n-bit ripple-carry adder (2n+1 inputs
+// a0..a(n−1), b0..b(n−1), cin; n+1 outputs s0..s(n−1), cout) — the
+// workhorse benchmark circuit.
+func RippleAdder(n int) (*Circuit, error) {
+	if n <= 0 {
+		return nil, errors.New("netlist: adder width must be positive")
+	}
+	c := New(fmt.Sprintf("adder%d", n))
+	a := make([]Signal, n)
+	b := make([]Signal, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := c.Input("cin")
+	for i := 0; i < n; i++ {
+		axb := c.Xor(a[i], b[i])
+		sum := c.Xor(axb, carry)
+		and1 := c.And(axb, carry)
+		and2 := c.And(a[i], b[i])
+		carry = c.Or(and1, and2)
+		if err := c.MarkOutput(fmt.Sprintf("s%d", i), sum); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.MarkOutput("cout", carry); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,510 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/lut"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+func nominalChip(t *testing.T, seed uint64) *fpga.Chip {
+	t.Helper()
+	p := fpga.DefaultParams()
+	p.ChipSigmaFrac = 0
+	p.LocalSigmaFrac = 0
+	p.VthSigmaV = 0
+	c, err := fpga.NewChip("net", p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	if KindXor.String() != "xor" || KindInput.String() != "input" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind unnamed")
+	}
+}
+
+func TestBuilderAndEval(t *testing.T) {
+	c := New("mux")
+	a := c.Input("a")
+	b := c.Input("b")
+	sel := c.Input("sel")
+	// out = sel ? b : a  built from primitive gates.
+	selN := c.Not(sel)
+	t1 := c.And(a, selN)
+	t2 := c.And(b, sel)
+	out := c.Or(t1, t2)
+	if err := c.MarkOutput("out", out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		av, bv, sv := i&1 == 1, i&2 == 2, i&4 == 4
+		got, err := c.Eval([]bool{av, bv, sv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := av
+		if sv {
+			want = bv
+		}
+		if got[0] != want {
+			t.Errorf("mux(%v,%v,%v) = %v, want %v", av, bv, sv, got[0], want)
+		}
+	}
+}
+
+func TestBuilderPanicsOnBadFanin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c := New("bad")
+	c.And(0, 1) // no signals defined yet
+}
+
+func TestMarkOutputValidation(t *testing.T) {
+	c := New("x")
+	a := c.Input("a")
+	if err := c.MarkOutput("ok", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkOutput("bad", Signal(99)); err == nil {
+		t.Error("undefined output accepted")
+	}
+}
+
+func TestEvalInputValidation(t *testing.T) {
+	c := New("x")
+	c.Input("a")
+	if _, err := c.Eval(nil); err == nil {
+		t.Error("wrong input count accepted")
+	}
+}
+
+// TestRippleAdderExhaustive verifies the 4-bit adder against integer
+// arithmetic for every input combination.
+func TestRippleAdderExhaustive(t *testing.T) {
+	c, err := RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inputs() != 9 || c.Outputs() != 5 {
+		t.Fatalf("ports = %d/%d", c.Inputs(), c.Outputs())
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			for cin := 0; cin < 2; cin++ {
+				in := make([]bool, 9)
+				for i := 0; i < 4; i++ {
+					in[i] = a>>i&1 == 1
+					in[4+i] = b>>i&1 == 1
+				}
+				in[8] = cin == 1
+				out, err := c.Eval(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := 0
+				for i := 0; i < 5; i++ {
+					if out[i] {
+						got |= 1 << i
+					}
+				}
+				if want := a + b + cin; got != want {
+					t.Fatalf("%d+%d+%d = %d, want %d", a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleAdderValidation(t *testing.T) {
+	if _, err := RippleAdder(0); err == nil {
+		t.Error("zero-width adder accepted")
+	}
+}
+
+// TestPlacedEvalMatchesLogical: the technology-mapped design computes
+// exactly what the gate-level netlist computes (for the adder this is
+// a 512-vector equivalence check through the actual LUT cells).
+func TestPlacedEvalMatchesLogical(t *testing.T) {
+	c, err := RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := nominalChip(t, 1)
+	p, err := Place(c, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mapping.Cells) != c.LogicGates() {
+		t.Fatalf("placed %d cells for %d gates", len(p.Mapping.Cells), c.LogicGates())
+	}
+	f := func(raw uint16) bool {
+		in := make([]bool, 9)
+		for i := 0; i < 9; i++ {
+			in[i] = raw>>i&1 == 1
+		}
+		logical, err1 := c.Eval(in)
+		placed, err2 := p.Eval(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range logical {
+			if logical[i] != placed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	chip := nominalChip(t, 2)
+	empty := New("empty")
+	empty.Input("a")
+	if _, err := Place(empty, chip); err == nil {
+		t.Error("gate-less circuit accepted")
+	}
+	noOut := New("noout")
+	a := noOut.Input("a")
+	noOut.Not(a)
+	if _, err := Place(noOut, chip); err == nil {
+		t.Error("output-less circuit accepted")
+	}
+	// Fabric exhaustion: a 16x16 chip holds 256 cells.
+	big := New("big")
+	x := big.Input("x")
+	for i := 0; i < 300; i++ {
+		x = big.Not(x)
+	}
+	if err := big.MarkOutput("y", x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(big, chip); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}
+
+func TestActivityFromTrace(t *testing.T) {
+	c := New("pair")
+	a := c.Input("a")
+	b := c.Input("b")
+	o := c.And(a, b)
+	if err := c.MarkOutput("o", o); err != nil {
+		t.Fatal(err)
+	}
+	chip := nominalChip(t, 3)
+	p, err := Place(c, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace: 3 of 4 rows at (1,1), one at (0,0).
+	trace := [][]bool{{true, true}, {true, true}, {true, true}, {false, false}}
+	phases, err := p.Activity(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatalf("phases for %d cells", len(phases))
+	}
+	if err := lut.ValidatePhases(phases[0]); err != nil {
+		t.Fatalf("invalid phases: %v", err)
+	}
+	var w11, w00 float64
+	for _, ph := range phases[0] {
+		switch {
+		case ph.In0 && ph.In1:
+			w11 = ph.Weight
+		case !ph.In0 && !ph.In1:
+			w00 = ph.Weight
+		default:
+			t.Errorf("unexpected phase %+v", ph)
+		}
+	}
+	if w11 != 0.75 || w00 != 0.25 {
+		t.Errorf("weights = %v / %v", w11, w00)
+	}
+	if _, err := p.Activity(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := p.Activity([][]bool{{true}}); err == nil {
+		t.Error("short trace row accepted")
+	}
+}
+
+func TestCriticalPathFreshAdder(t *testing.T) {
+	c, err := RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(c, nominalChip(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.CriticalPathNS(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carry chain: depth 3 gates for bit 0 then 3 per subsequent bit
+	// plus the final sum XOR; each gate ≈1.333 ns. Just pin the
+	// plausible range and the exact fresh value's stability.
+	if d < 8 || d > 20 {
+		t.Errorf("fresh adder critical path = %v ns", d)
+	}
+}
+
+// TestBiasedWorkloadAgesDifferently is Hypothesis 1 at circuit scale:
+// two identical placed adders stressed for 24 h, one under a uniform
+// input trace, one under an all-zeros idle trace, end with different
+// critical-path degradation.
+func TestBiasedWorkloadAgesDifferently(t *testing.T) {
+	run := func(trace [][]bool) float64 {
+		c, err := RippleAdder(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip := nominalChip(t, 5)
+		p, err := Place(c, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := p.CriticalPathNS(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases, err := p.Activity(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := stress.New(chip)
+		eng.StressIdleCells = false
+		if err := eng.AddActivity(stress.Activity{Mapping: p.Mapping, CellPhases: phases}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Step(1.2, 110, 24*units.Hour); err != nil {
+			t.Fatal(err)
+		}
+		aged, err := p.CriticalPathNS(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (aged - fresh) / fresh * 100
+	}
+
+	src := rng.New(99)
+	uniform := make([][]bool, 256)
+	for i := range uniform {
+		row := make([]bool, 9)
+		for j := range row {
+			row[j] = src.Bernoulli(0.5)
+		}
+		uniform[i] = row
+	}
+	idle := [][]bool{make([]bool, 9)}
+
+	uDeg := run(uniform)
+	iDeg := run(idle)
+	if uDeg <= 0 || iDeg <= 0 {
+		t.Fatalf("no aging: uniform %.3f %%, idle %.3f %%", uDeg, iDeg)
+	}
+	if diff := uDeg - iDeg; diff == 0 {
+		t.Error("workload bias invisible in aging")
+	}
+	// The idle (DC) pattern is the worst case, as the paper's AC/DC
+	// experiment predicts.
+	if iDeg <= uDeg {
+		t.Errorf("static idle stress (%.3f %%) not above uniform activity (%.3f %%)", iDeg, uDeg)
+	}
+}
+
+// TestRejuvenationHealsCriticalPath: after workload stress, a 6 h
+// accelerated sleep recovers most of the adder's critical-path
+// degradation — the paper's result transplanted onto real logic.
+func TestRejuvenationHealsCriticalPath(t *testing.T) {
+	c, err := RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := nominalChip(t, 6)
+	p, err := Place(c, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := p.CriticalPathNS(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := p.Activity([][]bool{make([]bool, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := stress.New(chip)
+	if err := eng.AddActivity(stress.Activity{Mapping: p.Mapping, CellPhases: phases}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(1.2, 110, 24*units.Hour); err != nil {
+		t.Fatal(err)
+	}
+	aged, err := p.CriticalPathNS(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(-0.3, 110, 6*units.Hour); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := p.CriticalPathNS(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := (aged - healed) / (aged - fresh)
+	if frac < 0.6 || frac > 0.85 {
+		t.Errorf("critical-path recovered fraction = %.3f, want ≈0.72", frac)
+	}
+}
+
+// randomCircuit builds a pseudo-random DAG of n gates over k inputs,
+// deterministic in the seed.
+func randomCircuit(seed uint64, inputs, gates int) *Circuit {
+	src := rng.New(seed)
+	c := New("rand")
+	var signals []Signal
+	for i := 0; i < inputs; i++ {
+		signals = append(signals, c.Input(string(rune('a'+i))))
+	}
+	kinds := []Kind{KindNot, KindBuf, KindAnd, KindOr, KindXor, KindNand, KindNor, KindXnor}
+	for g := 0; g < gates; g++ {
+		k := kinds[src.Intn(len(kinds))]
+		a := signals[src.Intn(len(signals))]
+		b := signals[src.Intn(len(signals))]
+		var s Signal
+		switch k {
+		case KindNot:
+			s = c.Not(a)
+		case KindBuf:
+			s = c.Buf(a)
+		case KindAnd:
+			s = c.And(a, b)
+		case KindOr:
+			s = c.Or(a, b)
+		case KindXor:
+			s = c.Xor(a, b)
+		case KindNand:
+			s = c.Nand(a, b)
+		case KindNor:
+			s = c.Nor(a, b)
+		default:
+			s = c.Xnor(a, b)
+		}
+		signals = append(signals, s)
+	}
+	// Mark the last few gates as outputs.
+	for i := 0; i < 4 && i < gates; i++ {
+		c.MarkOutput(string(rune('w'+i)), signals[len(signals)-1-i])
+	}
+	return c
+}
+
+// TestRandomCircuitFabricEquivalence is the mapping-correctness
+// property over random logic: for pseudo-random DAGs and random input
+// vectors, the placed design's LUT-level evaluation matches the
+// gate-level netlist.
+func TestRandomCircuitFabricEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		circ := randomCircuit(seed, 6, 40)
+		chip := nominalChip(t, 100+seed)
+		placed, err := Place(circ, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(seed * 31)
+		for trial := 0; trial < 32; trial++ {
+			in := make([]bool, 6)
+			for j := range in {
+				in[j] = src.Bernoulli(0.5)
+			}
+			logical, err := circ.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := placed.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range logical {
+				if logical[o] != mapped[o] {
+					t.Fatalf("seed %d trial %d output %d: logical %v, fabric %v",
+						seed, trial, o, logical[o], mapped[o])
+				}
+			}
+		}
+		// STA runs on arbitrary circuits.
+		if _, err := placed.CriticalPathNS(1.2); err != nil {
+			t.Fatalf("seed %d STA: %v", seed, err)
+		}
+	}
+}
+
+func TestSTAFailsBelowThreshold(t *testing.T) {
+	c, err := RippleAdder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(c, nominalChip(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CriticalPathNS(0.2); err == nil {
+		t.Error("sub-threshold STA accepted")
+	}
+}
+
+func BenchmarkPlaceAdder8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := RippleAdder(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chip, err := fpga.NewChip("b", fpga.DefaultParams(), rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Place(c, chip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTAAdder8(b *testing.B) {
+	c, err := RippleAdder(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip, err := fpga.NewChip("b", fpga.DefaultParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Place(c, chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CriticalPathNS(1.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package plot renders the reproduction's tables and figures as plain
+// text: fixed-width tables and ASCII line charts, so every artifact the
+// paper prints can be regenerated in a terminal and diffed in CI.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"selfheal/internal/series"
+)
+
+// Table renders rows under a header with column alignment.
+func Table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders one or more series as an ASCII chart of the given size,
+// with a shared linear axis range covering all points and a legend. An
+// empty input or series without points yields a note instead of a
+// panic.
+func Lines(title string, width, height int, ss ...*series.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var pts int
+	for _, s := range ss {
+		pts += s.Len()
+	}
+	if len(ss) == 0 || pts == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, p := range s.Points {
+			minX = math.Min(minX, float64(p.T))
+			maxX = math.Max(maxX, float64(p.T))
+			minY = math.Min(minY, p.V)
+			maxY = math.Max(maxY, p.V)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range ss {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			c := int(math.Round((float64(p.T) - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((p.V - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%10.3g ┤", maxY)
+	b.WriteString(string(grid[0]))
+	b.WriteByte('\n')
+	for r := 1; r < height-1; r++ {
+		b.WriteString("           │")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "            %-*s\n", width,
+		fmt.Sprintf("t: %.3g … %.3g s", minX, maxX))
+	for si, s := range ss {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/series"
+	"selfheal/internal/units"
+)
+
+func TestTableRendering(t *testing.T) {
+	out := Table("Table X", []string{"Case", "Value"}, [][]string{
+		{"AS110DC24", "2.2"},
+		{"AC", "1.1"},
+	})
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "AS110DC24") || !strings.Contains(out, "2.2") {
+		t.Error("missing cells")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	// Columns aligned: both data rows place the second column at the
+	// same offset.
+	if strings.Index(lines[3], "2.2") != strings.Index(lines[4], "1.1") {
+		t.Error("columns not aligned")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := Table("", []string{"A"}, [][]string{{"1"}})
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading blank line with empty title")
+	}
+}
+
+func TestLinesRendersMarkers(t *testing.T) {
+	a := series.New("rising")
+	b := series.New("falling")
+	for i := 0; i <= 10; i++ {
+		a.Add(units.Seconds(i), float64(i))
+		b.Add(units.Seconds(i), float64(10-i))
+	}
+	out := Lines("Fig", 40, 10, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "rising") || !strings.Contains(out, "falling") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "Fig") {
+		t.Error("missing title")
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("Empty", 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+	out = Lines("Empty2", 40, 10, series.New("void"))
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty-series chart output: %q", out)
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	s := series.New("flat")
+	s.Add(0, 5)
+	s.Add(10, 5)
+	out := Lines("Flat", 30, 6, s)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestLinesSinglePoint(t *testing.T) {
+	s := series.New("dot")
+	s.Add(3, 7)
+	out := Lines("Dot", 30, 6, s)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestLinesClampsTinyDimensions(t *testing.T) {
+	s := series.New("x")
+	s.Add(0, 0)
+	s.Add(1, 1)
+	out := Lines("tiny", 1, 1, s)
+	if out == "" {
+		t.Error("no output for tiny dimensions")
+	}
+}

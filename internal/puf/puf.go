@@ -1,0 +1,187 @@
+// Package puf builds the system of the paper's ref [17] (Maiti &
+// Schaumont, FPL'11): a ring-oscillator physical unclonable function on
+// the FPGA fabric, and what BTI aging does to it. Each response bit
+// compares the frequencies of an RO pair; the fresh frequency margins
+// come from within-die process variation, so *differential* aging —
+// one oscillator of a pair working harder than the other — erodes the
+// margins and flips enrolled bits.
+//
+// Because accelerated self-healing removes a *fraction* of every
+// device's shift, it shrinks the differential by the same fraction and
+// flipped bits revert: the paper's rejuvenation, applied to a security
+// primitive.
+package puf
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// Params configures a RO-PUF instance.
+type Params struct {
+	// Bits is the number of response bits (one RO pair each).
+	Bits int
+	// Stages is the inverter-chain length per oscillator; small and
+	// odd, so many pairs fit one die.
+	Stages int
+	// JitterFrac is the 1σ relative frequency noise of a single
+	// evaluation (thermal jitter of the counters).
+	JitterFrac float64
+}
+
+// DefaultParams fits a 16-bit PUF (32 five-stage oscillators, 160
+// cells) on the default 16×16 fabric with 0.01 % evaluation jitter.
+func DefaultParams() Params {
+	return Params{Bits: 16, Stages: 5, JitterFrac: 1e-4}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Bits <= 0:
+		return errors.New("puf: need at least one bit")
+	case p.Stages <= 0 || p.Stages%2 == 0:
+		return errors.New("puf: stages must be positive and odd")
+	case p.JitterFrac < 0:
+		return errors.New("puf: jitter must be non-negative")
+	}
+	return nil
+}
+
+// PUF is one enrolled RO-PUF on a chip.
+type PUF struct {
+	params Params
+	vdd    units.Volt
+	pairs  [][2]*fpga.Mapping
+	golden []bool
+	src    *rng.Source
+}
+
+// New maps 2·Bits oscillators onto the chip, registers their activity
+// with the engine — the A oscillator of each pair free-runs (AC) while
+// the B oscillator sits frozen between evaluations (DC), the usage
+// asymmetry that makes aging differential — and enrolls the golden
+// response from the fresh, noise-free frequencies.
+func New(chip *fpga.Chip, eng *stress.Engine, name string, p Params, src *rng.Source) (*PUF, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || eng.Chip() != chip {
+		return nil, errors.New("puf: engine must drive the PUF's chip")
+	}
+	u := &PUF{
+		params: p,
+		vdd:    chip.Params().NominalVdd,
+		golden: make([]bool, p.Bits),
+		src:    src,
+	}
+	for i := 0; i < p.Bits; i++ {
+		a, err := chip.MapCells(fmt.Sprintf("%s.bit%d.A", name, i), p.Stages)
+		if err != nil {
+			return nil, fmt.Errorf("puf: %w", err)
+		}
+		b, err := chip.MapCells(fmt.Sprintf("%s.bit%d.B", name, i), p.Stages)
+		if err != nil {
+			return nil, fmt.Errorf("puf: %w", err)
+		}
+		for _, m := range []*fpga.Mapping{a, b} {
+			for _, cell := range m.Cells {
+				cell.ConfigureInverter()
+			}
+		}
+		if err := eng.AddActivity(stress.Activity{Mapping: a, AC: true}); err != nil {
+			return nil, err
+		}
+		if err := eng.AddActivity(stress.Activity{Mapping: b, AC: false, FrozenIn0: true}); err != nil {
+			return nil, err
+		}
+		u.pairs = append(u.pairs, [2]*fpga.Mapping{a, b})
+	}
+	// Enrollment: golden bit i ⇔ oscillator A is faster (shorter
+	// chain delay), evaluated noise-free (enrollment majority-votes
+	// many reads in practice).
+	for i, pair := range u.pairs {
+		da, err := pair[0].MeasuredDelay(chip.Params().NominalVdd)
+		if err != nil {
+			return nil, err
+		}
+		db, err := pair[1].MeasuredDelay(chip.Params().NominalVdd)
+		if err != nil {
+			return nil, err
+		}
+		u.golden[i] = da < db
+	}
+	return u, nil
+}
+
+// Bits returns the response width.
+func (u *PUF) Bits() int { return u.params.Bits }
+
+// Golden returns a copy of the enrolled response.
+func (u *PUF) Golden() []bool { return append([]bool(nil), u.golden...) }
+
+// Read evaluates the PUF once with jitter noise.
+func (u *PUF) Read() ([]bool, error) {
+	out := make([]bool, u.params.Bits)
+	for i, pair := range u.pairs {
+		da, err := pair[0].MeasuredDelay(u.vdd)
+		if err != nil {
+			return nil, err
+		}
+		db, err := pair[1].MeasuredDelay(u.vdd)
+		if err != nil {
+			return nil, err
+		}
+		da *= 1 + u.src.NormalWith(0, u.params.JitterFrac)
+		db *= 1 + u.src.NormalWith(0, u.params.JitterFrac)
+		out[i] = da < db
+	}
+	return out, nil
+}
+
+// Reliability evaluates the PUF reads times and returns the average
+// fraction of bits matching the enrolled response — the metric of
+// ref [17].
+func (u *PUF) Reliability(reads int) (float64, error) {
+	if reads <= 0 {
+		return 0, errors.New("puf: need at least one read")
+	}
+	match := 0
+	for r := 0; r < reads; r++ {
+		resp, err := u.Read()
+		if err != nil {
+			return 0, err
+		}
+		for i, bit := range resp {
+			if bit == u.golden[i] {
+				match++
+			}
+		}
+	}
+	return float64(match) / float64(reads*u.params.Bits), nil
+}
+
+// FlippedBits returns how many bits of a noise-free evaluation differ
+// from the enrolled response — permanent drift, as opposed to jitter.
+func (u *PUF) FlippedBits() (int, error) {
+	flips := 0
+	for i, pair := range u.pairs {
+		da, err := pair[0].MeasuredDelay(u.vdd)
+		if err != nil {
+			return 0, err
+		}
+		db, err := pair[1].MeasuredDelay(u.vdd)
+		if err != nil {
+			return 0, err
+		}
+		if (da < db) != u.golden[i] {
+			flips++
+		}
+	}
+	return flips, nil
+}

@@ -1,0 +1,186 @@
+package puf
+
+import (
+	"testing"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+func rig(t *testing.T, seed uint64) (*fpga.Chip, *stress.Engine, *PUF) {
+	t.Helper()
+	params := fpga.DefaultParams()
+	// PUF bit margins come from device mismatch; the small transistors
+	// PUF cells use have far larger σ than the fabric's logic-sizing
+	// default (the classic PUF design choice).
+	params.LocalSigmaFrac = 0.02
+	chip, err := fpga.NewChip("puf", params, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := stress.New(chip)
+	eng.StressIdleCells = false
+	u, err := New(chip, eng, "puf", DefaultParams(), rng.New(seed+9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip, eng, u
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mods := []func(*Params){
+		func(p *Params) { p.Bits = 0 },
+		func(p *Params) { p.Stages = 0 },
+		func(p *Params) { p.Stages = 4 },
+		func(p *Params) { p.JitterFrac = -1 },
+	}
+	for i, mod := range mods {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+	chipA, err := fpga.NewChip("a", fpga.DefaultParams(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipB, err := fpga.NewChip("b", fpga.DefaultParams(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(chipA, stress.New(chipB), "x", DefaultParams(), rng.New(3)); err == nil {
+		t.Error("mismatched engine accepted")
+	}
+	if _, err := New(chipA, nil, "x", DefaultParams(), rng.New(3)); err == nil {
+		t.Error("nil engine accepted")
+	}
+	// Fabric exhaustion: 16 bits need 160 cells; a second 16-bit PUF
+	// needs another 160 of the remaining 96.
+	engA := stress.New(chipA)
+	if _, err := New(chipA, engA, "one", DefaultParams(), rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(chipA, engA, "two", DefaultParams(), rng.New(5)); err == nil {
+		t.Error("over-capacity PUF accepted")
+	}
+}
+
+func TestEnrollmentUniqueAndStable(t *testing.T) {
+	_, _, u := rig(t, 10)
+	if u.Bits() != 16 {
+		t.Fatalf("bits = %d", u.Bits())
+	}
+	golden := u.Golden()
+	// Process variation must give a mixed response (not all one value)
+	// with overwhelming probability across 16 bits.
+	zeros := 0
+	for _, b := range golden {
+		if !b {
+			zeros++
+		}
+	}
+	if zeros == 0 || zeros == 16 {
+		t.Errorf("degenerate golden response: %d zeros", zeros)
+	}
+	// Fresh reliability near 1 (only jitter can flip a bit).
+	rel, err := u.Reliability(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel < 0.97 {
+		t.Errorf("fresh reliability = %v", rel)
+	}
+	flips, err := u.FlippedBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 0 {
+		t.Errorf("fresh noise-free flips = %d", flips)
+	}
+	if _, err := u.Reliability(0); err == nil {
+		t.Error("zero reads accepted")
+	}
+}
+
+func TestUniquenessAcrossChips(t *testing.T) {
+	_, _, a := rig(t, 20)
+	_, _, b := rig(t, 21)
+	same := 0
+	ga, gb := a.Golden(), b.Golden()
+	for i := range ga {
+		if ga[i] == gb[i] {
+			same++
+		}
+	}
+	// Different dies must not produce identical responses.
+	if same == len(ga) {
+		t.Error("two chips enrolled identical responses")
+	}
+}
+
+// TestAgingDegradesAndHealingRestores is ref [17]'s observation plus
+// the paper's remedy: asymmetric usage (A free-running, B frozen) ages
+// the pairs differentially, flipping enrolled bits; an accelerated
+// rejuvenation shrinks every device's shift by the same fraction, so
+// the differential shrinks too and flipped bits revert.
+func TestAgingDegradesAndHealingRestores(t *testing.T) {
+	_, eng, u := rig(t, 30)
+	if err := eng.Step(1.2, 110, 48*units.Hour); err != nil {
+		t.Fatal(err)
+	}
+	agedFlips, err := u.FlippedBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agedFlips == 0 {
+		t.Fatal("aging flipped no bits — differential too weak to test healing")
+	}
+	agedRel, err := u.Reliability(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(-0.3, 110, 12*units.Hour); err != nil {
+		t.Fatal(err)
+	}
+	healedFlips, err := u.FlippedBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	healedRel, err := u.Reliability(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healedFlips >= agedFlips {
+		t.Errorf("healing did not revert flips: %d -> %d", agedFlips, healedFlips)
+	}
+	if healedRel <= agedRel {
+		t.Errorf("healing did not improve reliability: %.3f -> %.3f", agedRel, healedRel)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	chip, err := fpga.NewChip("b", fpga.DefaultParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := stress.New(chip)
+	u, err := New(chip, eng, "p", DefaultParams(), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

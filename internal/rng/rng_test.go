@@ -1,0 +1,244 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from distinct seeds", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	// Must not panic and must produce varying output.
+	x, y := s.Uint64(), s.Uint64()
+	if x == y {
+		t.Error("zero-value source produced repeated output")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.state == c2.state {
+		t.Fatal("successive splits share state")
+	}
+	// Child streams should not be shift-correlated with each other.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between split streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Uniform(2, 6)
+		if x < 2 || x >= 6 {
+			t.Fatalf("Uniform(2,6) out of range: %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-4) > 0.02 {
+		t.Errorf("mean = %v, want ~4", mean)
+	}
+	// Var of U(2,6) is (6-2)^2/12 = 4/3.
+	if math.Abs(variance-4.0/3) > 0.03 {
+		t.Errorf("variance = %v, want ~1.333", variance)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalWith(t *testing.T) {
+	s := New(17)
+	// sigma <= 0 disables the noise source.
+	if got := s.NormalWith(5, 0); got != 5 {
+		t.Errorf("NormalWith(5,0) = %v", got)
+	}
+	if got := s.NormalWith(5, -1); got != 5 {
+		t.Errorf("NormalWith(5,-1) = %v", got)
+	}
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.NormalWith(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+}
+
+func TestLogUniformRangeAndShape(t *testing.T) {
+	s := New(19)
+	lo, hi := 1e-6, 1e6
+	belowOne := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := s.LogUniform(lo, hi)
+		if x < lo || x > hi {
+			t.Fatalf("LogUniform out of range: %v", x)
+		}
+		if x < 1 {
+			belowOne++
+		}
+	}
+	// log-midpoint of [1e-6, 1e6] is 1, so about half below 1.
+	if frac := float64(belowOne) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below log-midpoint = %v, want ~0.5", frac)
+	}
+}
+
+func TestLogUniformPanics(t *testing.T) {
+	s := New(1)
+	for _, c := range []struct{ lo, hi float64 }{{0, 1}, {-1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogUniform(%v,%v) did not panic", c.lo, c.hi)
+				}
+			}()
+			s.LogUniform(c.lo, c.hi)
+		}()
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(23)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Intn(10)]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Errorf("value %d drawn %d times, want ~%d", v, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(29)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) rate = %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	f := func(seed uint64) bool {
+		p := New(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = s
+}
+
+func TestPermEmpty(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Errorf("Perm(0) = %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Normal()
+	}
+}

@@ -1,0 +1,321 @@
+package ro
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+)
+
+func nominalChip(t *testing.T, seed uint64) *fpga.Chip {
+	t.Helper()
+	p := fpga.DefaultParams()
+	p.ChipSigmaFrac = 0
+	p.LocalSigmaFrac = 0
+	p.VthSigmaV = 0
+	c, err := fpga.NewChip("nom", p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newRO(t *testing.T, chip *fpga.Chip, seed uint64) *Oscillator {
+	t.Helper()
+	o, err := New(chip, "cut", DefaultParams(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mods := []func(*Params){
+		func(p *Params) { p.Stages = 0 },
+		func(p *Params) { p.Stages = 74 }, // even rings latch
+		func(p *Params) { p.CounterBits = 0 },
+		func(p *Params) { p.CounterBits = 33 },
+		func(p *Params) { p.FRef = 0 },
+		func(p *Params) { p.NoiseCounts = -1 },
+		func(p *Params) { p.SampleTime = -1 },
+	}
+	for i, mod := range mods {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+// TestFreshFrequencyCalibration pins the 5 MHz-class fresh oscillator:
+// 75 stages × 1.3333 ns gives Td ≈ 100 ns, fosc ≈ 5 MHz, Cout ≈ 5000.
+func TestFreshFrequencyCalibration(t *testing.T) {
+	o := newRO(t, nominalChip(t, 1), 1)
+	f, err := o.TrueFrequency(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(f)-5e6) > 0.01e6 {
+		t.Errorf("fresh fosc = %v, want ≈5 MHz", f)
+	}
+	m, err := o.Measure(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counts < 4990 || m.Counts > 5010 {
+		t.Errorf("Cout = %d, want ≈5000", m.Counts)
+	}
+	if math.Abs(m.DelayNS-100) > 0.5 {
+		t.Errorf("Td = %v ns, want ≈100", m.DelayNS)
+	}
+}
+
+// TestEq14Eq15RoundTrip checks the counter arithmetic: fosc = 2·Cout·fref
+// and Td = 1/(4·Cout·fref).
+func TestEq14Eq15RoundTrip(t *testing.T) {
+	o := newRO(t, nominalChip(t, 2), 2)
+	m, err := o.Measure(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := 2 * float64(m.Counts) * 500
+	if math.Abs(float64(m.Fosc)-wantF) > 1e-9 {
+		t.Errorf("Eq14: fosc = %v, want %v", m.Fosc, wantF)
+	}
+	wantTd := 1 / (4 * float64(m.Counts) * 500) * 1e9
+	if math.Abs(m.DelayNS-wantTd) > 1e-9 {
+		t.Errorf("Eq15: Td = %v, want %v", m.DelayNS, wantTd)
+	}
+}
+
+func TestCounterNoiseWithinBand(t *testing.T) {
+	o := newRO(t, nominalChip(t, 3), 3)
+	f, _ := o.TrueFrequency(1.2)
+	ideal := int(float64(f) / 1000)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		c, err := o.Count(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < ideal-5 || c > ideal+5 {
+			t.Fatalf("count %d outside ±5 of %d", c, ideal)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("noise too quiet: only %d distinct counts", len(seen))
+	}
+}
+
+func TestMeasureAveragedReducesNoise(t *testing.T) {
+	o := newRO(t, nominalChip(t, 4), 4)
+	single := make([]float64, 50)
+	averaged := make([]float64, 50)
+	for i := range single {
+		m, err := o.Measure(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[i] = m.DelayNS
+		a, err := o.MeasureAveraged(1.2, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		averaged[i] = a.DelayNS
+	}
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return hi - lo
+	}
+	if spread(averaged) >= spread(single) {
+		t.Errorf("averaging did not reduce spread: %v vs %v", spread(averaged), spread(single))
+	}
+	if _, err := o.MeasureAveraged(1.2, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestFreezeBlocksMeasurement(t *testing.T) {
+	o := newRO(t, nominalChip(t, 5), 5)
+	o.Freeze(true)
+	if o.Enabled() || !o.FrozenInput() {
+		t.Error("freeze state wrong")
+	}
+	if _, err := o.TrueFrequency(1.2); err == nil {
+		t.Error("frozen RO measured")
+	}
+	if _, err := o.Measure(1.2); err == nil {
+		t.Error("frozen RO measured")
+	}
+	o.Enable()
+	if _, err := o.Measure(1.2); err != nil {
+		t.Errorf("re-enabled RO failed: %v", err)
+	}
+}
+
+func TestStagePhasesFollowMode(t *testing.T) {
+	o := newRO(t, nominalChip(t, 6), 6)
+	if got := o.StagePhases(0); len(got) != 2 {
+		t.Errorf("enabled phases = %v", got)
+	}
+	o.Freeze(true)
+	p0 := o.StagePhases(0)
+	p1 := o.StagePhases(1)
+	if len(p0) != 1 || p0[0].In0 != true {
+		t.Errorf("frozen stage 0 phases = %v", p0)
+	}
+	if len(p1) != 1 || p1[0].In0 != false {
+		t.Errorf("frozen stage 1 phases = %v (must alternate)", p1)
+	}
+}
+
+func TestCounterOverflow(t *testing.T) {
+	p := DefaultParams()
+	p.Stages = 3 // 4 ns chain → 125 MHz → count 125000 ≫ 16 bits
+	o, err := New(nominalChip(t, 7), "short", p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Count(1.2); err == nil {
+		t.Error("overflow undetected")
+	}
+	if _, err := o.Measure(1.2); err == nil {
+		t.Error("overflow undetected by Measure")
+	}
+}
+
+func TestMeasurementSupplyError(t *testing.T) {
+	o := newRO(t, nominalChip(t, 8), 8)
+	if _, err := o.Measure(0.2); err == nil {
+		t.Error("sub-threshold supply accepted")
+	}
+}
+
+func TestDegradationPct(t *testing.T) {
+	fresh := Measurement{Fosc: 5e6}
+	aged := Measurement{Fosc: 4.9e6}
+	if got := DegradationPct(fresh, aged); math.Abs(got-2) > 1e-9 {
+		t.Errorf("degradation = %v %%, want 2", got)
+	}
+	if got := DegradationPct(fresh, fresh); got != 0 {
+		t.Errorf("self-degradation = %v", got)
+	}
+}
+
+func TestFrequencySlowsOnLowerSupply(t *testing.T) {
+	o := newRO(t, nominalChip(t, 9), 9)
+	nominal, err := o.TrueFrequency(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := o.TrueFrequency(1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= nominal {
+		t.Errorf("frequency did not drop at lower supply: %v vs %v", low, nominal)
+	}
+}
+
+// TestChipVariationVisibleInFrequency reproduces the paper's
+// observation that fresh ROs on different chips differ (hence the RD
+// metric): two chips with process variation give different fresh counts.
+func TestChipVariationVisibleInFrequency(t *testing.T) {
+	p := fpga.DefaultParams()
+	src := rng.New(42)
+	freqs := make([]float64, 3)
+	for i := range freqs {
+		chip, err := fpga.NewChip("c", p, src.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := New(chip, "cut", DefaultParams(), rng.New(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := o.TrueFrequency(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs[i] = float64(f)
+	}
+	if freqs[0] == freqs[1] && freqs[1] == freqs[2] {
+		t.Error("process variation invisible in fresh frequencies")
+	}
+}
+
+// TestLocationSweep mirrors the paper's diagnostic procedure ("the CUT
+// is placed at different locations on the FPGA and a diagnostic
+// program is run"): short oscillators mapped across the die report
+// different frequencies from within-die variation, and the spread is
+// bounded by the process model.
+func TestLocationSweep(t *testing.T) {
+	chip, err := fpga.NewChip("sweep", fpga.DefaultParams(), rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freqs []float64
+	for loc := 0; loc < 8; loc++ {
+		m, err := chip.MapCells(string(rune('a'+loc)), 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range m.Cells {
+			cell.ConfigureInverter()
+		}
+		d, err := m.MeasuredDelay(1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs = append(freqs, 1/(2*d*1e-9))
+	}
+	lo, hi := freqs[0], freqs[0]
+	for _, f := range freqs {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	spread := (hi - lo) / lo
+	if spread == 0 {
+		t.Error("no location-to-location variation visible")
+	}
+	// 25 stages × 4 POI devices with 0.3 % local σ averages to well
+	// under 1 % chain-to-chain.
+	if spread > 0.01 {
+		t.Errorf("location spread %.4f implausibly wide", spread)
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	p := fpga.DefaultParams()
+	chip, err := fpga.NewChip("b", p, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(chip, "cut", DefaultParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Measure(1.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

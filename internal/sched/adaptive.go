@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/ro"
+	"selfheal/internal/stress"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// AdaptiveOutcome reports a run of the virtual-circadian clock
+// controller (the paper's Section 7 future work made concrete): because
+// the rejuvenation schedule is known in advance, the controller
+// *predicts* the degradation envelope from the first-order model and
+// re-times the clock every slot, instead of shipping one worst-case
+// period for the whole service life.
+type AdaptiveOutcome struct {
+	Policy string
+	// StaticPeriodNS is the single period a conventional design must
+	// ship: fresh delay plus the no-recovery end-of-horizon degradation
+	// plus the guard band — the design margin of a system that never
+	// rejuvenates and cannot adapt.
+	StaticPeriodNS float64
+	// MeanAdaptivePeriodNS is the time-averaged period the controller
+	// actually ran.
+	MeanAdaptivePeriodNS float64
+	// MeanSpeedupPct is the average clock-frequency gain of adaptive
+	// over static timing.
+	MeanSpeedupPct float64
+	// Violations counts slots where the true (measured) delay exceeded
+	// the period the controller had set — must be zero for a sound
+	// guard band.
+	Violations int
+	// Slots is the number of simulated decision slots.
+	Slots int
+}
+
+// AdaptiveConfig configures the controller simulation.
+type AdaptiveConfig struct {
+	Config
+	// GuardPct is the timing guard band applied on top of the
+	// predicted delay, in percent (covers model error, measurement
+	// noise and within-slot drift).
+	GuardPct float64
+}
+
+// DefaultAdaptiveConfig uses the standard 60-day schedule simulation
+// with a 1 % guard band.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{Config: DefaultConfig(), GuardPct: 1}
+}
+
+// SimulateAdaptive runs a proactive policy with the virtual-circadian
+// clock controller: each slot the controller predicts the end-of-slot
+// delay from the closed-form TD model (it knows the schedule, the
+// conditions and the chip's fresh delay — nothing measured), sets the
+// clock period to prediction × (1 + guard), and the simulation then
+// checks the *actual* aged delay against it.
+func SimulateAdaptive(cfg AdaptiveConfig, p Proactive) (AdaptiveOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return AdaptiveOutcome{}, err
+	}
+	if cfg.GuardPct < 0 {
+		return AdaptiveOutcome{}, errors.New("sched: guard band must be non-negative")
+	}
+	if p.Alpha <= 0 || p.SleepLen <= 0 {
+		return AdaptiveOutcome{}, errors.New("sched: adaptive control needs a positive proactive schedule")
+	}
+
+	src := rng.New(cfg.Seed)
+	chip, err := fpga.NewChip("adaptive", fpga.DefaultParams(), src.Split())
+	if err != nil {
+		return AdaptiveOutcome{}, err
+	}
+	osc, err := ro.New(chip, "monitor", ro.DefaultParams(), src.Split())
+	if err != nil {
+		return AdaptiveOutcome{}, err
+	}
+	eng := stress.New(chip)
+	if err := eng.AddActivity(stress.Activity{Mapping: osc.Mapping(), AC: true}); err != nil {
+		return AdaptiveOutcome{}, err
+	}
+	freshNS, err := osc.Mapping().MeasuredDelay(cfg.ActiveVdd)
+	if err != nil {
+		return AdaptiveOutcome{}, err
+	}
+
+	// The controller's model twin: a lumped device following the same
+	// schedule analytically. Path gain maps its ΔVth to delay, and the
+	// twin's duty is calibrated so its effectiveness factor equals the
+	// *path-level* AC factor of the oscillating design (≈0.5, Fig. 4):
+	// every transistor shares the ln(1+C·t) time shape, so a lumped
+	// device with the right prefactor predicts the path exactly.
+	tdp := chip.Params().TD
+	var twin, baseline td.State
+	gain := pathGainNSPerV(freshNS)
+	twinDuty := math.Pow(0.5, 1/tdp.ACExp)
+
+	predict := func() float64 { return freshNS + gain*twin.Vth() }
+
+	out := AdaptiveOutcome{Policy: p.Name()}
+	var periodSum float64
+	sleeping := false
+	var sleptFor units.Seconds
+	degPct := 0.0
+
+	for t := units.Seconds(0); t < cfg.Horizon-1e-9; t += cfg.Slot {
+		sleep, cond := p.Sleep(Status{Elapsed: t, DegradationPct: degPct,
+			Sleeping: sleeping, SleptFor: sleptFor})
+		// Advance the model twin first: the controller times the slot
+		// for its predicted END-of-slot delay (worst within the slot).
+		if sleep {
+			var vrev units.Volt
+			if cond.Vdd < 0 {
+				vrev = -cond.Vdd
+			}
+			twin.Recover(tdp, td.RecoveryCond{VRev: vrev, T: cond.TempC.Kelvin()}, cfg.Slot)
+		} else {
+			twin.Stress(tdp, td.StressCond{
+				V: cfg.ActiveVdd, T: cfg.ActiveTempC.Kelvin(), Duty: twinDuty,
+			}, cfg.Slot)
+		}
+		period := predict() * (1 + cfg.GuardPct/100)
+
+		// Reality advances.
+		if sleep {
+			if err := eng.Step(cond.Vdd, cond.TempC, cfg.Slot); err != nil {
+				return AdaptiveOutcome{}, err
+			}
+			sleptFor += cfg.Slot
+		} else {
+			if err := eng.Step(cfg.ActiveVdd, cfg.ActiveTempC, cfg.Slot); err != nil {
+				return AdaptiveOutcome{}, err
+			}
+			sleptFor = 0
+		}
+		sleeping = sleep
+
+		actual, err := osc.Mapping().MeasuredDelay(cfg.ActiveVdd)
+		if err != nil {
+			return AdaptiveOutcome{}, err
+		}
+		degPct = (actual - freshNS) / freshNS * 100
+		// The conventional reference never sleeps: its critical path
+		// keeps aging through every slot.
+		baseline.Stress(tdp, td.StressCond{
+			V: cfg.ActiveVdd, T: cfg.ActiveTempC.Kelvin(), Duty: twinDuty,
+		}, cfg.Slot)
+		if !sleep {
+			// Clock only matters while computing.
+			periodSum += period
+			out.Slots++
+			if actual > period {
+				out.Violations++
+			}
+		}
+	}
+	out.StaticPeriodNS = (freshNS + gain*baseline.Vth()) * (1 + cfg.GuardPct/100)
+	if out.Slots == 0 {
+		return AdaptiveOutcome{}, fmt.Errorf("sched: policy %s never ran an active slot", p.Name())
+	}
+	out.MeanAdaptivePeriodNS = periodSum / float64(out.Slots)
+	out.MeanSpeedupPct = (out.StaticPeriodNS/out.MeanAdaptivePeriodNS - 1) * 100
+	return out, nil
+}
+
+// pathGainNSPerV matches the controller twin's delay gain to the RO
+// calibration: the measured-path gain is ≈54.7 ns/V for a 100 ns fresh
+// path, scaling linearly with the fresh delay.
+func pathGainNSPerV(freshNS float64) float64 {
+	return 54.7 * freshNS / 100
+}

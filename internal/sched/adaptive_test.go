@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+func fastAdaptiveCfg() AdaptiveConfig {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Horizon = 15 * units.Day
+	cfg.Slot = 2 * units.Hour
+	return cfg
+}
+
+func proactive4() Proactive {
+	return Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: AcceleratedSleep()}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	cfg := fastAdaptiveCfg()
+	bad := cfg
+	bad.GuardPct = -1
+	if _, err := SimulateAdaptive(bad, proactive4()); err == nil {
+		t.Error("negative guard accepted")
+	}
+	bad = cfg
+	bad.Horizon = 0
+	if _, err := SimulateAdaptive(bad, proactive4()); err == nil {
+		t.Error("bad base config accepted")
+	}
+	if _, err := SimulateAdaptive(cfg, Proactive{}); err == nil {
+		t.Error("zero-valued policy accepted")
+	}
+}
+
+// TestAdaptiveNoViolations is the soundness requirement: the controller
+// predicts purely from the model (it never measures), and with a 1 %
+// guard band the actual aged delay never exceeds the period it set.
+func TestAdaptiveNoViolations(t *testing.T) {
+	out, err := SimulateAdaptive(fastAdaptiveCfg(), proactive4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violations != 0 {
+		t.Errorf("%d timing violations in %d slots", out.Violations, out.Slots)
+	}
+	if out.Slots == 0 {
+		t.Fatal("no active slots")
+	}
+}
+
+// TestAdaptiveSpeedup is the §7 payoff: re-timing against the known
+// envelope runs the clock measurably faster on average than shipping
+// the worst-case period.
+func TestAdaptiveSpeedup(t *testing.T) {
+	out, err := SimulateAdaptive(fastAdaptiveCfg(), proactive4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MeanSpeedupPct <= 0 {
+		t.Errorf("no speedup: %+v", out)
+	}
+	if out.MeanAdaptivePeriodNS >= out.StaticPeriodNS {
+		t.Errorf("adaptive period %v not below static %v",
+			out.MeanAdaptivePeriodNS, out.StaticPeriodNS)
+	}
+}
+
+// TestAdaptivePredictionTight: the speedup cannot exceed the policy's
+// whole degradation swing plus guard — a sanity bound on the model twin.
+func TestAdaptivePredictionTight(t *testing.T) {
+	out, err := SimulateAdaptive(fastAdaptiveCfg(), proactive4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MeanSpeedupPct > 3 {
+		t.Errorf("implausible speedup %.2f %%", out.MeanSpeedupPct)
+	}
+}
+
+// TestTighterGuardKeepsSoundnessAtCost: doubling the guard halves the
+// reclaimable slack but can never create violations.
+func TestGuardTradeoff(t *testing.T) {
+	cfg := fastAdaptiveCfg()
+	tight, err := SimulateAdaptive(cfg, proactive4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GuardPct = 3
+	loose, err := SimulateAdaptive(cfg, proactive4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Violations != 0 || tight.Violations != 0 {
+		t.Error("violations present")
+	}
+	// Bigger guard → longer periods.
+	if loose.MeanAdaptivePeriodNS <= tight.MeanAdaptivePeriodNS {
+		t.Errorf("guard did not lengthen the period: %v vs %v",
+			loose.MeanAdaptivePeriodNS, tight.MeanAdaptivePeriodNS)
+	}
+}

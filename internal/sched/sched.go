@@ -1,0 +1,265 @@
+// Package sched implements the scheduling side of the paper's proposal
+// (Section 2.2): *when* to rejuvenate. It provides three policies —
+// no recovery (today's practice), reactive accelerated recovery
+// (sleep once a degradation threshold trips), and proactive accelerated
+// recovery (scheduled sleep at a fixed active:sleep ratio α, the
+// circadian rhythm) — and a long-horizon simulator that runs a chip
+// under a policy and reports the margin and throughput consequences.
+//
+// The paper argues proactive beats reactive: reactive is "economic"
+// (sleeps only when needed) but operates longer in an aged mode and is
+// unpredictable; proactive keeps the system in a "refreshed" mode with
+// better cumulative metrics. The simulator makes those claims
+// measurable: peak and time-weighted delay degradation, active-time
+// fraction (throughput), and the margin a designer must provision.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/ro"
+	"selfheal/internal/series"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// SleepCond is the rejuvenation condition a policy requests.
+type SleepCond struct {
+	TempC units.Celsius
+	Vdd   units.Volt // ≤ 0: gated or negative rail
+}
+
+// AcceleratedSleep is the paper's best condition: 110 °C and −0.3 V.
+func AcceleratedSleep() SleepCond { return SleepCond{TempC: 110, Vdd: -0.3} }
+
+// PassiveSleep is conventional power gating at ambient.
+func PassiveSleep() SleepCond { return SleepCond{TempC: 45, Vdd: 0} }
+
+// Status is what a policy sees at each decision slot.
+type Status struct {
+	Elapsed units.Seconds
+	// DegradationPct is the current frequency degradation relative to
+	// fresh (from the on-chip RO monitor — the paper's refs [7,8]).
+	DegradationPct float64
+	// Sleeping reports whether the previous slot was a sleep slot.
+	Sleeping bool
+	// SleptFor is how long the current sleep streak has lasted.
+	SleptFor units.Seconds
+}
+
+// Policy decides, slot by slot, whether the chip works or sleeps.
+type Policy interface {
+	Name() string
+	// Sleep reports whether the next slot should be a sleep slot and
+	// under which condition (ignored when false).
+	Sleep(s Status) (bool, SleepCond)
+}
+
+// NoRecovery never sleeps — the aging baseline.
+type NoRecovery struct{}
+
+// Name implements Policy.
+func (NoRecovery) Name() string { return "no-recovery" }
+
+// Sleep implements Policy.
+func (NoRecovery) Sleep(Status) (bool, SleepCond) { return false, SleepCond{} }
+
+// Proactive sleeps on a fixed circadian schedule: after every
+// Alpha·SleepLen of activity, it sleeps for SleepLen under Cond —
+// ahead of any sign of stress.
+type Proactive struct {
+	Alpha    float64 // active:sleep ratio (4 in the paper)
+	SleepLen units.Seconds
+	Cond     SleepCond
+}
+
+// Name implements Policy.
+func (p Proactive) Name() string { return fmt.Sprintf("proactive(α=%g)", p.Alpha) }
+
+// Sleep implements Policy.
+func (p Proactive) Sleep(s Status) (bool, SleepCond) {
+	period := units.Seconds(p.Alpha+1) * p.SleepLen
+	into := units.Seconds(0)
+	if period > 0 {
+		into = units.Seconds(float64(int64(float64(s.Elapsed)) % int64(float64(period))))
+	}
+	return into >= units.Seconds(p.Alpha)*p.SleepLen, p.Cond
+}
+
+// Reactive sleeps only once the monitored degradation exceeds
+// TriggerPct, and then sleeps until it falls below RelaxPct (hysteresis
+// — without it the policy would thrash at the threshold).
+type Reactive struct {
+	TriggerPct float64
+	RelaxPct   float64
+	Cond       SleepCond
+}
+
+// Name implements Policy.
+func (r Reactive) Name() string { return fmt.Sprintf("reactive(%.2g%%)", r.TriggerPct) }
+
+// Sleep implements Policy.
+func (r Reactive) Sleep(s Status) (bool, SleepCond) {
+	if s.Sleeping {
+		return s.DegradationPct > r.RelaxPct, r.Cond
+	}
+	return s.DegradationPct >= r.TriggerPct, r.Cond
+}
+
+// Config drives a simulation.
+type Config struct {
+	Seed uint64
+	// Horizon and Slot set the simulated span and decision granularity.
+	Horizon units.Seconds
+	Slot    units.Seconds
+	// ActiveTempC and ActiveVdd describe normal operation (a hot die
+	// under load).
+	ActiveTempC units.Celsius
+	ActiveVdd   units.Volt
+	// MarginFrac is the delay-margin budget (fraction of fresh delay)
+	// used for lifetime accounting.
+	MarginFrac float64
+}
+
+// DefaultConfig simulates 60 days of hot operation in 1 h slots.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		Horizon:     60 * units.Day,
+		Slot:        units.Hour,
+		ActiveTempC: 85,
+		ActiveVdd:   1.2,
+		MarginFrac:  0.02,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.Horizon <= 0 || c.Slot <= 0:
+		return errors.New("sched: horizon and slot must be positive")
+	case c.Slot > c.Horizon:
+		return errors.New("sched: slot exceeds horizon")
+	case c.ActiveVdd <= 0:
+		return errors.New("sched: active supply must be positive")
+	case c.MarginFrac <= 0:
+		return errors.New("sched: margin fraction must be positive")
+	}
+	return nil
+}
+
+// Outcome summarizes one simulated policy run.
+type Outcome struct {
+	Policy string
+	// ActiveFraction is the share of wall time spent working — the
+	// throughput cost of the policy.
+	ActiveFraction float64
+	// PeakPct and FinalPct are the worst and final frequency
+	// degradation over the horizon; MeanPct is time-weighted across
+	// active slots only (what running software experiences).
+	PeakPct, FinalPct, MeanPct float64
+	// MarginProvisionPct is the margin a designer must budget to cover
+	// the peak: PeakPct expressed against the MarginFrac budget
+	// (100 % = budget exhausted).
+	MarginProvisionPct float64
+	// Trace is the degradation (%) over time.
+	Trace *series.Series
+}
+
+// Simulate runs one policy over the horizon on a freshly fabricated
+// chip carrying the standard RO monitor.
+func Simulate(cfg Config, p Policy) (Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if p == nil {
+		return Outcome{}, errors.New("sched: nil policy")
+	}
+	src := rng.New(cfg.Seed)
+	chip, err := fpga.NewChip("sched", fpga.DefaultParams(), src.Split())
+	if err != nil {
+		return Outcome{}, err
+	}
+	osc, err := ro.New(chip, "monitor", ro.DefaultParams(), src.Split())
+	if err != nil {
+		return Outcome{}, err
+	}
+	eng := stress.New(chip)
+	if err := eng.AddActivity(stress.Activity{Mapping: osc.Mapping(), AC: true}); err != nil {
+		return Outcome{}, err
+	}
+	freshNS, err := osc.Mapping().MeasuredDelay(cfg.ActiveVdd)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	out := Outcome{Policy: p.Name(), Trace: series.New(p.Name())}
+	var activeTime, sleptFor units.Seconds
+	var meanAcc float64
+	var activeSlots int
+	sleeping := false
+	degPct := 0.0
+
+	for t := units.Seconds(0); t < cfg.Horizon-1e-9; t += cfg.Slot {
+		sleep, cond := p.Sleep(Status{
+			Elapsed:        t,
+			DegradationPct: degPct,
+			Sleeping:       sleeping,
+			SleptFor:       sleptFor,
+		})
+		if sleep {
+			if err := eng.Step(cond.Vdd, cond.TempC, cfg.Slot); err != nil {
+				return Outcome{}, err
+			}
+			sleptFor += cfg.Slot
+		} else {
+			if err := eng.Step(cfg.ActiveVdd, cfg.ActiveTempC, cfg.Slot); err != nil {
+				return Outcome{}, err
+			}
+			activeTime += cfg.Slot
+			sleptFor = 0
+		}
+		sleeping = sleep
+
+		d, err := osc.Mapping().MeasuredDelay(cfg.ActiveVdd)
+		if err != nil {
+			return Outcome{}, err
+		}
+		degPct = (d - freshNS) / freshNS * 100
+		out.Trace.Add(t+cfg.Slot, degPct)
+		if degPct > out.PeakPct {
+			out.PeakPct = degPct
+		}
+		if !sleep {
+			meanAcc += degPct
+			activeSlots++
+		}
+	}
+	out.FinalPct = degPct
+	out.ActiveFraction = float64(activeTime) / float64(cfg.Horizon)
+	if activeSlots > 0 {
+		out.MeanPct = meanAcc / float64(activeSlots)
+	}
+	out.MarginProvisionPct = out.PeakPct / (cfg.MarginFrac * 100) * 100
+	return out, nil
+}
+
+// Compare simulates several policies under the same configuration and
+// seed (identical chips), returning outcomes in input order.
+func Compare(cfg Config, policies ...Policy) ([]Outcome, error) {
+	if len(policies) == 0 {
+		return nil, errors.New("sched: no policies")
+	}
+	outs := make([]Outcome, len(policies))
+	for i, p := range policies {
+		o, err := Simulate(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s: %w", p.Name(), err)
+		}
+		outs[i] = o
+	}
+	return outs, nil
+}

@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+// fastCfg keeps simulation cost low for unit tests: 10 days in 2 h
+// slots.
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Horizon = 10 * units.Day
+	cfg.Slot = 2 * units.Hour
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Slot = 0 },
+		func(c *Config) { c.Slot = c.Horizon * 2 },
+		func(c *Config) { c.ActiveVdd = 0 },
+		func(c *Config) { c.MarginFrac = 0 },
+	}
+	for i, mod := range mods {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (NoRecovery{}).Name() == "" {
+		t.Error("empty name")
+	}
+	if (Proactive{Alpha: 4}).Name() != "proactive(α=4)" {
+		t.Errorf("name = %q", Proactive{Alpha: 4}.Name())
+	}
+	if (Reactive{TriggerPct: 1.5}).Name() != "reactive(1.5%)" {
+		t.Errorf("name = %q", Reactive{TriggerPct: 1.5}.Name())
+	}
+}
+
+func TestProactiveSchedulePattern(t *testing.T) {
+	p := Proactive{Alpha: 4, SleepLen: units.Hour, Cond: AcceleratedSleep()}
+	// Period is 5 h: hours 0–3 active, hour 4 asleep.
+	for hour := 0; hour < 10; hour++ {
+		sleep, cond := p.Sleep(Status{Elapsed: units.Seconds(hour) * units.Hour})
+		wantSleep := hour%5 == 4
+		if sleep != wantSleep {
+			t.Errorf("hour %d: sleep = %v, want %v", hour, sleep, wantSleep)
+		}
+		if sleep && cond != AcceleratedSleep() {
+			t.Errorf("hour %d: wrong condition %+v", hour, cond)
+		}
+	}
+}
+
+func TestReactiveHysteresis(t *testing.T) {
+	r := Reactive{TriggerPct: 1.0, RelaxPct: 0.4, Cond: AcceleratedSleep()}
+	if sleep, _ := r.Sleep(Status{DegradationPct: 0.5}); sleep {
+		t.Error("slept below trigger")
+	}
+	if sleep, _ := r.Sleep(Status{DegradationPct: 1.1}); !sleep {
+		t.Error("did not sleep above trigger")
+	}
+	// While sleeping, keeps sleeping until below the relax level.
+	if sleep, _ := r.Sleep(Status{DegradationPct: 0.7, Sleeping: true}); !sleep {
+		t.Error("woke before relaxing")
+	}
+	if sleep, _ := r.Sleep(Status{DegradationPct: 0.3, Sleeping: true}); sleep {
+		t.Error("kept sleeping below relax level")
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(fastCfg(), nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad := fastCfg()
+	bad.Horizon = 0
+	if _, err := Simulate(bad, NoRecovery{}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := Compare(fastCfg()); err == nil {
+		t.Error("empty policy list accepted")
+	}
+}
+
+func TestNoRecoveryAlwaysActive(t *testing.T) {
+	out, err := Simulate(fastCfg(), NoRecovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ActiveFraction != 1 {
+		t.Errorf("active fraction = %v", out.ActiveFraction)
+	}
+	if out.PeakPct <= 0 || out.FinalPct <= 0 {
+		t.Errorf("no aging recorded: %+v", out)
+	}
+	// Without recovery, degradation is monotone: peak == final.
+	if math.Abs(out.PeakPct-out.FinalPct) > 1e-9 {
+		t.Errorf("peak %v != final %v without recovery", out.PeakPct, out.FinalPct)
+	}
+}
+
+// TestProactiveBeatsNoRecovery is the core Section 2.2 claim: scheduled
+// accelerated sleep bounds degradation far below the no-recovery
+// baseline at a modest throughput cost (α=4 ⇒ 80 % active).
+func TestProactiveBeatsNoRecovery(t *testing.T) {
+	cfg := fastCfg()
+	outs, err := Compare(cfg,
+		NoRecovery{},
+		Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: AcceleratedSleep()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, pro := outs[0], outs[1]
+	if pro.FinalPct >= none.FinalPct {
+		t.Errorf("proactive final %v not below baseline %v", pro.FinalPct, none.FinalPct)
+	}
+	if math.Abs(pro.ActiveFraction-0.8) > 0.05 {
+		t.Errorf("proactive active fraction = %v, want ≈0.8", pro.ActiveFraction)
+	}
+	if pro.MeanPct >= none.MeanPct {
+		t.Errorf("proactive mean %v not below baseline %v", pro.MeanPct, none.MeanPct)
+	}
+}
+
+// TestProactiveBeatsReactiveOnMeanDegradation encodes the paper's
+// argument for proactive scheduling: reactive sleeps less but runs
+// longer in an aged mode, so the software-visible mean degradation is
+// worse.
+func TestProactiveBeatsReactiveOnMeanDegradation(t *testing.T) {
+	cfg := fastCfg()
+	outs, err := Compare(cfg,
+		Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: AcceleratedSleep()},
+		Reactive{TriggerPct: 0.5, RelaxPct: 0.25, Cond: AcceleratedSleep()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, rea := outs[0], outs[1]
+	if pro.MeanPct >= rea.MeanPct {
+		t.Errorf("proactive mean %.3f %% not below reactive %.3f %%", pro.MeanPct, rea.MeanPct)
+	}
+	// The reactive trigger must actually have fired within the horizon
+	// for the comparison to mean anything.
+	if rea.ActiveFraction >= 1 {
+		t.Error("reactive policy never slept — trigger unreachable in this horizon")
+	}
+	// Reactive should spend at least as much time active (it only
+	// sleeps when forced).
+	if rea.ActiveFraction < pro.ActiveFraction-1e-9 {
+		t.Errorf("reactive active fraction %v below proactive %v",
+			rea.ActiveFraction, pro.ActiveFraction)
+	}
+}
+
+// TestAcceleratedSleepBeatsPassive: with the same proactive schedule,
+// the accelerated condition (110 °C, −0.3 V) holds degradation lower
+// than plain gating — the paper's central knob.
+func TestAcceleratedSleepBeatsPassive(t *testing.T) {
+	cfg := fastCfg()
+	outs, err := Compare(cfg,
+		Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: AcceleratedSleep()},
+		Proactive{Alpha: 4, SleepLen: 6 * units.Hour, Cond: PassiveSleep()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].FinalPct >= outs[1].FinalPct {
+		t.Errorf("accelerated sleep (%.3f %%) not better than passive (%.3f %%)",
+			outs[0].FinalPct, outs[1].FinalPct)
+	}
+}
+
+func TestOutcomeTraceComplete(t *testing.T) {
+	cfg := fastCfg()
+	out, err := Simulate(cfg, NoRecovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlots := int(float64(cfg.Horizon) / float64(cfg.Slot))
+	if out.Trace.Len() != wantSlots {
+		t.Errorf("trace has %d points, want %d", out.Trace.Len(), wantSlots)
+	}
+	if out.MarginProvisionPct <= 0 {
+		t.Error("margin provision not computed")
+	}
+}
+
+func TestCompareDeterministicAcrossRuns(t *testing.T) {
+	cfg := fastCfg()
+	a, err := Simulate(cfg, NoRecovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, NoRecovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalPct != b.FinalPct {
+		t.Errorf("same seed diverged: %v vs %v", a.FinalPct, b.FinalPct)
+	}
+}

@@ -1,0 +1,46 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+// FuzzCSVRoundTrip feeds arbitrary sample pairs through the CSV
+// encoder/decoder and requires a lossless round trip with a sorted time
+// axis.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add(0.0, 0.5, 1800.0, 1.25, 3600.0, 2.125)
+	f.Add(-5.0, -1e-9, 0.0, 0.0, 1e12, 42.0)
+	f.Add(1.5, 2.5, 1.5, 3.5, 1.5, 4.5) // duplicate timestamps
+	f.Fuzz(func(t *testing.T, t1, v1, t2, v2, t3, v3 float64) {
+		for _, x := range []float64{t1, v1, t2, v2, t3, v3} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Skip()
+			}
+		}
+		s := New("fuzz")
+		s.Add(units.Seconds(t1), v1)
+		s.Add(units.Seconds(t2), v2)
+		s.Add(units.Seconds(t3), v3)
+
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Len() != s.Len() {
+			t.Fatalf("length changed: %d -> %d", s.Len(), got.Len())
+		}
+		for i := range s.Points {
+			if got.Points[i] != s.Points[i] {
+				t.Fatalf("point %d: %+v != %+v", i, got.Points[i], s.Points[i])
+			}
+		}
+	})
+}

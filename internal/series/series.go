@@ -1,0 +1,221 @@
+// Package series provides the time-series container shared by the
+// measurement harness, the model evaluators and the figure generators.
+// A Series is an ordered list of (time, value) samples; the package adds
+// the operations the experiments need — evaluation of a model over the
+// same time base, alignment, arithmetic, resampling — plus CSV round-trip
+// so `cmd/selfheal-fit` can consume externally recorded data.
+package series
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"selfheal/internal/units"
+)
+
+// Point is a single timestamped sample.
+type Point struct {
+	T units.Seconds
+	V float64
+}
+
+// Series is an ordered sequence of samples. Construct with New or by
+// appending through Add, which keeps the time axis sorted.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// New returns an empty named series.
+func New(name string) *Series { return &Series{Name: name} }
+
+// FromFunc samples f at n+1 evenly spaced instants across [0, span]
+// (inclusive of both endpoints). It panics if n < 1 or span <= 0, which
+// indicate programming errors in figure generators.
+func FromFunc(name string, span units.Seconds, n int, f func(units.Seconds) float64) *Series {
+	if n < 1 || span <= 0 {
+		panic("series: FromFunc requires n >= 1 and span > 0")
+	}
+	s := New(name)
+	for i := 0; i <= n; i++ {
+		t := span * units.Seconds(float64(i)/float64(n))
+		s.Add(t, f(t))
+	}
+	return s
+}
+
+// Add appends a sample, maintaining ascending time order. Samples with
+// duplicate timestamps are kept in insertion order (stable).
+func (s *Series) Add(t units.Seconds, v float64) {
+	p := Point{T: t, V: v}
+	n := len(s.Points)
+	if n == 0 || s.Points[n-1].T <= t {
+		s.Points = append(s.Points, p)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return s.Points[i].T > t })
+	s.Points = append(s.Points, Point{})
+	copy(s.Points[i+1:], s.Points[i:])
+	s.Points[i] = p
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Times returns the time axis as a float slice (seconds).
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = float64(p.T)
+	}
+	return out
+}
+
+// Values returns the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Last returns the final sample. ok is false for an empty series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// At linearly interpolates the series at time t, clamping to the end
+// values outside the sampled range. It returns an error for an empty
+// series.
+func (s *Series) At(t units.Seconds) (float64, error) {
+	n := len(s.Points)
+	if n == 0 {
+		return 0, errors.New("series: empty")
+	}
+	if t <= s.Points[0].T {
+		return s.Points[0].V, nil
+	}
+	if t >= s.Points[n-1].T {
+		return s.Points[n-1].V, nil
+	}
+	i := sort.Search(n, func(i int) bool { return s.Points[i].T >= t })
+	a, b := s.Points[i-1], s.Points[i]
+	if a.T == b.T {
+		return b.V, nil
+	}
+	frac := float64(t-a.T) / float64(b.T-a.T)
+	return a.V + frac*(b.V-a.V), nil
+}
+
+// Map returns a new series with f applied to every value.
+func (s *Series) Map(name string, f func(float64) float64) *Series {
+	out := New(name)
+	for _, p := range s.Points {
+		out.Add(p.T, f(p.V))
+	}
+	return out
+}
+
+// Shift returns a new series with every timestamp offset by dt.
+func (s *Series) Shift(dt units.Seconds) *Series {
+	out := New(s.Name)
+	for _, p := range s.Points {
+		out.Add(p.T+dt, p.V)
+	}
+	return out
+}
+
+// Sub returns a − b evaluated on a's time base (b interpolated).
+func Sub(name string, a, b *Series) (*Series, error) {
+	out := New(name)
+	for _, p := range a.Points {
+		bv, err := b.At(p.T)
+		if err != nil {
+			return nil, fmt.Errorf("series: subtracting %q: %w", b.Name, err)
+		}
+		out.Add(p.T, p.V-bv)
+	}
+	return out, nil
+}
+
+// Resample returns the series re-evaluated at n+1 evenly spaced instants
+// across its own time range, by linear interpolation.
+func (s *Series) Resample(n int) (*Series, error) {
+	if len(s.Points) == 0 {
+		return nil, errors.New("series: empty")
+	}
+	if n < 1 {
+		return nil, errors.New("series: Resample requires n >= 1")
+	}
+	t0 := s.Points[0].T
+	t1 := s.Points[len(s.Points)-1].T
+	out := New(s.Name)
+	for i := 0; i <= n; i++ {
+		t := t0 + (t1-t0)*units.Seconds(float64(i)/float64(n))
+		v, err := s.At(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(t, v)
+	}
+	return out, nil
+}
+
+// WriteCSV emits the series as "t_seconds,value" rows with a header.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", s.Name}); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		rec := []string{
+			strconv.FormatFloat(float64(p.T), 'g', -1, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a two-column CSV written by WriteCSV (or any file with
+// a header row and "time,value" records) into a Series named after the
+// second column header.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("series: reading header: %w", err)
+	}
+	s := New(header[1])
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("series: line %d: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: line %d: bad time %q: %w", line, rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: line %d: bad value %q: %w", line, rec[1], err)
+		}
+		s.Add(units.Seconds(t), v)
+	}
+	return s, nil
+}

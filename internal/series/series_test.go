@@ -1,0 +1,258 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"selfheal/internal/units"
+)
+
+func TestAddKeepsOrder(t *testing.T) {
+	s := New("x")
+	s.Add(10, 1)
+	s.Add(5, 2)
+	s.Add(20, 3)
+	s.Add(5, 4) // duplicate timestamp, stable after the first 5
+	times := s.Times()
+	if !sort.Float64sAreSorted(times) {
+		t.Fatalf("times not sorted: %v", times)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Stability: the second sample at t=5 must come after the first.
+	if s.Points[0].T != 5 || s.Points[0].V != 2 || s.Points[1].V != 4 {
+		t.Errorf("duplicate-timestamp order wrong: %+v", s.Points)
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	s := FromFunc("lin", 10, 5, func(tt units.Seconds) float64 { return float64(tt) * 2 })
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	if s.Points[0].T != 0 || s.Points[5].T != 10 {
+		t.Errorf("endpoints: %+v", s.Points)
+	}
+	if s.Points[3].V != 12 {
+		t.Errorf("sample at t=6: %v", s.Points[3].V)
+	}
+}
+
+func TestFromFuncPanics(t *testing.T) {
+	for _, c := range []struct {
+		span units.Seconds
+		n    int
+	}{{0, 5}, {10, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromFunc(span=%v,n=%d) did not panic", c.span, c.n)
+				}
+			}()
+			FromFunc("bad", c.span, c.n, func(units.Seconds) float64 { return 0 })
+		}()
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := New("x")
+	s.Add(0, 0)
+	s.Add(10, 100)
+	got, err := s.At(5)
+	if err != nil || got != 50 {
+		t.Errorf("At(5) = %v, %v", got, err)
+	}
+	// Clamping outside the range.
+	if v, _ := s.At(-1); v != 0 {
+		t.Errorf("At(-1) = %v", v)
+	}
+	if v, _ := s.At(99); v != 100 {
+		t.Errorf("At(99) = %v", v)
+	}
+	// Exact hit.
+	if v, _ := s.At(10); v != 100 {
+		t.Errorf("At(10) = %v", v)
+	}
+}
+
+func TestAtEmpty(t *testing.T) {
+	if _, err := New("e").At(1); err == nil {
+		t.Error("At on empty series should fail")
+	}
+}
+
+func TestAtDuplicateTimestamp(t *testing.T) {
+	s := New("x")
+	s.Add(0, 1)
+	s.Add(5, 2)
+	s.Add(5, 8)
+	s.Add(10, 8)
+	v, err := s.At(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 && v != 8 {
+		t.Errorf("At(duplicate) = %v, want one of the recorded values", v)
+	}
+}
+
+func TestLast(t *testing.T) {
+	s := New("x")
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty should be !ok")
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	p, ok := s.Last()
+	if !ok || p.T != 2 || p.V != 20 {
+		t.Errorf("Last = %+v, %v", p, ok)
+	}
+}
+
+func TestMapAndShift(t *testing.T) {
+	s := New("x")
+	s.Add(0, 1)
+	s.Add(1, 2)
+	m := s.Map("double", func(v float64) float64 { return v * 2 })
+	if m.Points[1].V != 4 || m.Name != "double" {
+		t.Errorf("Map result: %+v", m)
+	}
+	sh := s.Shift(100)
+	if sh.Points[0].T != 100 || sh.Points[1].T != 101 {
+		t.Errorf("Shift result: %+v", sh.Points)
+	}
+	// Original untouched.
+	if s.Points[0].T != 0 || s.Points[1].V != 2 {
+		t.Error("Map/Shift mutated the source")
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := New("a")
+	a.Add(0, 10)
+	a.Add(10, 20)
+	b := New("b")
+	b.Add(0, 1)
+	b.Add(10, 2)
+	d, err := Sub("a-b", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Points[0].V != 9 || d.Points[1].V != 18 {
+		t.Errorf("Sub = %+v", d.Points)
+	}
+	if _, err := Sub("bad", a, New("empty")); err == nil {
+		t.Error("Sub with empty b should fail")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New("x")
+	s.Add(0, 0)
+	s.Add(4, 8)
+	r, err := s.Resample(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("resampled len = %d", r.Len())
+	}
+	for i, p := range r.Points {
+		want := float64(i) * 2
+		if math.Abs(p.V-want) > 1e-12 {
+			t.Errorf("point %d = %v, want %v", i, p.V, want)
+		}
+	}
+	if _, err := New("e").Resample(4); err == nil {
+		t.Error("Resample empty should fail")
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("Resample(0) should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New("delta_ns")
+	s.Add(0, 0.5)
+	s.Add(1800, 1.25)
+	s.Add(3600, 2.125)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "delta_ns" || got.Len() != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range s.Points {
+		if got.Points[i] != s.Points[i] {
+			t.Errorf("point %d: %+v != %+v", i, got.Points[i], s.Points[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // no header
+		"t,v\nabc,1\n",             // bad time
+		"t,v\n1,abc\n",             // bad value
+		"t,v\n1\n",                 // wrong field count
+		"t,v\n1,2\nnot,a,number\n", // wrong field count later
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestAddOrderProperty(t *testing.T) {
+	f := func(ts []float64) bool {
+		s := New("p")
+		for i, tt := range ts {
+			if math.IsNaN(tt) || math.IsInf(tt, 0) {
+				continue
+			}
+			s.Add(units.Seconds(tt), float64(i))
+		}
+		return sort.Float64sAreSorted(s.Times())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtWithinRangeProperty(t *testing.T) {
+	// Interpolation never leaves the [min,max] envelope of the values.
+	f := func(vals []float64, q float64) bool {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return true
+		}
+		s := New("p")
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(units.Seconds(i), v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		got, err := s.At(units.Seconds(q))
+		return err == nil && got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,418 @@
+// Package sram applies accelerated self-healing to the system the
+// paper's ref [14] (Shin et al., ISCA'08) targets: cache SRAM. A 6T
+// cell's two PMOS pull-ups age asymmetrically under NBTI — whichever
+// side holds a '0' at its gate is stressed — so data that sits still
+// (real cache contents are heavily biased) skews the cell and erodes
+// its static noise margin (SNM), the classic SRAM aging failure mode.
+//
+// The package models the cell-level asymmetric aging, a cache way as an
+// array of cells holding (biased) data, and three maintenance policies:
+//
+//   - None: data sits as written; the baseline.
+//   - BitFlip: periodically invert stored contents so both pull-ups
+//     share the stress (the symmetrization idea of ref [14]) —
+//     *passive* balancing, no healing.
+//   - ProactiveRecovery: rotate one way at a time onto a gated island
+//     under accelerated recovery conditions (the paper's contribution
+//     transplanted to SRAM), needing one spare way of redundancy.
+//
+// Metrics follow the SRAM literature: the array's worst-cell SNM, which
+// must stay above a functional threshold over the service life.
+package sram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// CellParams holds the 6T-cell electrical constants.
+type CellParams struct {
+	TD td.Params
+	// Vdd is the array supply during operation.
+	Vdd units.Volt
+	// SNM0MV is the fresh static noise margin in millivolts.
+	SNM0MV float64
+	// AsymMVPerV and CommonMVPerV convert the pull-up ΔVth asymmetry
+	// and common mode (in volts) into SNM loss (in millivolts):
+	// asymmetry is the dominant term.
+	AsymMVPerV, CommonMVPerV float64
+	// MinSNMMV is the functional limit: below it reads become
+	// unreliable.
+	MinSNMMV float64
+}
+
+// DefaultCellParams returns 40 nm-class constants: a 300 mV fresh SNM,
+// a 220 mV functional floor, and the literature's strong sensitivity to
+// pull-up asymmetry.
+func DefaultCellParams() CellParams {
+	return CellParams{
+		TD:           td.DefaultParams(),
+		Vdd:          1.2,
+		SNM0MV:       300,
+		AsymMVPerV:   800,
+		CommonMVPerV: 300,
+		MinSNMMV:     220,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p CellParams) Validate() error {
+	switch {
+	case p.Vdd <= 0:
+		return errors.New("sram: Vdd must be positive")
+	case p.SNM0MV <= 0:
+		return errors.New("sram: fresh SNM must be positive")
+	case p.AsymMVPerV < 0 || p.CommonMVPerV < 0:
+		return errors.New("sram: SNM sensitivities must be non-negative")
+	case p.MinSNMMV < 0 || p.MinSNMMV >= p.SNM0MV:
+		return errors.New("sram: MinSNMMV must be in [0, SNM0)")
+	}
+	return p.TD.Validate()
+}
+
+// Cell is one 6T bit cell: the two PMOS pull-ups carry the
+// NBTI-relevant aging state (the NMOS PBTI contribution is folded into
+// the calibrated sensitivities).
+type Cell struct {
+	// pl ages while the cell stores 1 (left pull-up gate low);
+	// pr ages while it stores 0.
+	pl, pr td.State
+	value  bool
+}
+
+// Store writes a value into the cell.
+func (c *Cell) Store(v bool) { c.value = v }
+
+// Value returns the stored bit.
+func (c *Cell) Value() bool { return c.value }
+
+// Flip inverts the stored bit (data remains recoverable by the
+// controller's flip flag — standard practice in ref [14]).
+func (c *Cell) Flip() { c.value = !c.value }
+
+// StoreBalancing stores the polarity that puts the *less worn* pull-up
+// under stress — wear-aware restore. After a deep heal, re-stress
+// refills the stressed side quickly (the TD fast component), so letting
+// the controller pick the polarity turns that refill into a
+// symmetrizing force instead of an asymmetry spike.
+func (c *Cell) StoreBalancing() { c.value = c.pl.Vth() <= c.pr.Vth() }
+
+// Stress ages the cell for dt while powered at temperature t: the
+// pull-up opposite the stored value's low node is under DC NBTI
+// stress, the other recovers passively.
+func (c *Cell) Stress(p CellParams, t units.Kelvin, dt units.Seconds) {
+	sc := td.StressCond{V: p.Vdd, T: t, Duty: 1}
+	rc := td.RecoveryCond{VRev: 0, T: t}
+	if c.value {
+		c.pl.Stress(p.TD, sc, dt)
+		if c.pr.Vth() > 0 {
+			c.pr.Recover(p.TD, rc, dt)
+		}
+	} else {
+		c.pr.Stress(p.TD, sc, dt)
+		if c.pl.Vth() > 0 {
+			c.pl.Recover(p.TD, rc, dt)
+		}
+	}
+}
+
+// Recover heals both pull-ups for dt under the sleep condition (the
+// way is power-islanded; contents are lost and must be refetched —
+// acceptable for a clean cache way).
+func (c *Cell) Recover(p CellParams, cond td.RecoveryCond, dt units.Seconds) {
+	c.pl.Recover(p.TD, cond, dt)
+	c.pr.Recover(p.TD, cond, dt)
+}
+
+// SNMMV returns the cell's present static noise margin in millivolts.
+func (c *Cell) SNMMV(p CellParams) float64 {
+	vl, vr := c.pl.Vth(), c.pr.Vth()
+	asym := math.Abs(vl - vr)
+	common := (vl + vr) / 2
+	return p.SNM0MV - p.AsymMVPerV*asym - p.CommonMVPerV*common
+}
+
+// Functional reports whether the cell still meets the SNM floor.
+func (c *Cell) Functional(p CellParams) bool { return c.SNMMV(p) >= p.MinSNMMV }
+
+// Policy selects the maintenance strategy for a cache array.
+type Policy uint8
+
+// The maintenance policies. BitFlip attacks the *asymmetry* term of the
+// SNM loss (it balances which pull-up is stressed but heals nothing);
+// ProactiveRecovery attacks the *common-mode* term (it heals both
+// pull-ups but biased data re-skews the same side between rotations);
+// FlipAndRecover combines them — the two mechanisms are orthogonal.
+const (
+	None Policy = iota
+	BitFlip
+	ProactiveRecovery
+	FlipAndRecover
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case BitFlip:
+		return "bit-flip"
+	case ProactiveRecovery:
+		return "proactive-recovery"
+	case FlipAndRecover:
+		return "flip+recover"
+	default:
+		return "none"
+	}
+}
+
+// ArrayParams configures a cache array simulation.
+type ArrayParams struct {
+	Cell CellParams
+	// Ways and CellsPerWay shape the array. ProactiveRecovery keeps
+	// one way offline at any time, so delivered capacity is Ways−1;
+	// the other policies use all ways (capacity comparisons in the
+	// artifact normalize for this).
+	Ways, CellsPerWay int
+	// OneBias is the probability a stored bit is 1 — cache contents
+	// are heavily skewed (zeros dominate real data).
+	OneBias float64
+	// ChurnPerSlot is the fraction of cells rewritten with fresh data
+	// each slot (cache line replacement).
+	ChurnPerSlot float64
+	// TempC is the array's operating temperature.
+	TempC units.Celsius
+	// MaintenanceEvery is how often maintenance acts (a flip pass or a
+	// way rotation).
+	MaintenanceEvery units.Seconds
+	// RecoveryCond is the island condition for ProactiveRecovery.
+	RecoveryTempC units.Celsius
+	RecoveryVRev  units.Volt
+}
+
+// DefaultArrayParams returns an 8-way, 512-cells-per-way array holding
+// zero-skewed data at a hot 85 °C, with daily maintenance and the
+// paper's accelerated island condition.
+func DefaultArrayParams() ArrayParams {
+	return ArrayParams{
+		Cell:             DefaultCellParams(),
+		Ways:             8,
+		CellsPerWay:      512,
+		OneBias:          0.25,
+		ChurnPerSlot:     0.02,
+		TempC:            85,
+		MaintenanceEvery: units.Day,
+		RecoveryTempC:    110,
+		RecoveryVRev:     0.3,
+	}
+}
+
+// Validate reports whether the array parameters are usable.
+func (p ArrayParams) Validate() error {
+	switch {
+	case p.Ways < 2 || p.CellsPerWay <= 0:
+		return errors.New("sram: need at least 2 ways and 1 cell per way")
+	case p.OneBias < 0 || p.OneBias > 1:
+		return errors.New("sram: OneBias must be in [0,1]")
+	case p.ChurnPerSlot < 0 || p.ChurnPerSlot > 1:
+		return errors.New("sram: ChurnPerSlot must be in [0,1]")
+	case p.MaintenanceEvery <= 0:
+		return errors.New("sram: maintenance period must be positive")
+	case p.RecoveryVRev < 0:
+		return errors.New("sram: recovery reverse bias must be non-negative")
+	}
+	return p.Cell.Validate()
+}
+
+// Array is a cache data array under one maintenance policy.
+type Array struct {
+	params  ArrayParams
+	policy  Policy
+	ways    [][]Cell
+	offline int // way index under recovery (ProactiveRecovery), else −1
+	src     *rng.Source
+	elapsed units.Seconds
+	sinceMx units.Seconds
+}
+
+// NewArray builds the array with freshly drawn biased contents.
+func NewArray(p ArrayParams, policy Policy, src *rng.Source) (*Array, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{params: p, policy: policy, ways: make([][]Cell, p.Ways), offline: -1, src: src}
+	for w := range a.ways {
+		a.ways[w] = make([]Cell, p.CellsPerWay)
+		for i := range a.ways[w] {
+			a.ways[w][i].Store(src.Bernoulli(p.OneBias))
+		}
+	}
+	if policy == ProactiveRecovery || policy == FlipAndRecover {
+		a.offline = 0
+	}
+	return a, nil
+}
+
+// Policy returns the maintenance policy.
+func (a *Array) Policy() Policy { return a.policy }
+
+// Elapsed returns the simulated time.
+func (a *Array) Elapsed() units.Seconds { return a.elapsed }
+
+// OfflineWay returns the way currently under recovery, or −1.
+func (a *Array) OfflineWay() int { return a.offline }
+
+// Step advances the array by dt: online ways hold and churn data under
+// stress; the offline way (if any) heals; maintenance fires on its
+// period.
+func (a *Array) Step(dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	hot := a.params.TempC.Kelvin()
+	island := td.RecoveryCond{VRev: a.params.RecoveryVRev, T: a.params.RecoveryTempC.Kelvin()}
+	for w := range a.ways {
+		if w == a.offline {
+			for i := range a.ways[w] {
+				a.ways[w][i].Recover(a.params.Cell, island, dt)
+			}
+			continue
+		}
+		for i := range a.ways[w] {
+			cell := &a.ways[w][i]
+			if a.src.Bernoulli(a.params.ChurnPerSlot) {
+				cell.Store(a.src.Bernoulli(a.params.OneBias))
+			}
+			cell.Stress(a.params.Cell, hot, dt)
+		}
+	}
+	a.elapsed += dt
+	a.sinceMx += dt
+	if a.sinceMx >= a.params.MaintenanceEvery {
+		a.sinceMx = 0
+		a.maintain()
+	}
+}
+
+// maintain performs one maintenance action per the policy.
+func (a *Array) maintain() {
+	if a.policy == BitFlip || a.policy == FlipAndRecover {
+		// The flip flag is controller metadata, so it advances for
+		// offline ways too — their image alternates on restore, which
+		// keeps every cell's stress alternation strictly periodic (a
+		// bounded asymmetry, not a random walk).
+		for w := range a.ways {
+			for i := range a.ways[w] {
+				a.ways[w][i].Flip()
+			}
+		}
+	}
+	if a.policy == ProactiveRecovery || a.policy == FlipAndRecover {
+		// Bring the healed way back online and take the next one
+		// offline. Without flipping, the restored way is refilled with
+		// fresh (biased) data; with flipping, the controller restores
+		// each cell at the wear-balancing polarity (it owns the flip
+		// flag, so the logical data is unchanged).
+		next := (a.offline + 1) % a.params.Ways
+		for i := range a.ways[next] {
+			if a.policy == ProactiveRecovery {
+				a.ways[next][i].Store(a.src.Bernoulli(a.params.OneBias))
+			} else {
+				a.ways[next][i].StoreBalancing()
+			}
+		}
+		a.offline = next
+	}
+}
+
+// MinSNMMV returns the worst cell's SNM across all ways — the array's
+// functional margin.
+func (a *Array) MinSNMMV() float64 {
+	worst := math.Inf(1)
+	for w := range a.ways {
+		for i := range a.ways[w] {
+			worst = math.Min(worst, a.ways[w][i].SNMMV(a.params.Cell))
+		}
+	}
+	return worst
+}
+
+// MeanSNMMV returns the array-average SNM.
+func (a *Array) MeanSNMMV() float64 {
+	sum, n := 0.0, 0
+	for w := range a.ways {
+		for i := range a.ways[w] {
+			sum += a.ways[w][i].SNMMV(a.params.Cell)
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// FailingCells counts cells below the SNM floor.
+func (a *Array) FailingCells() int {
+	n := 0
+	for w := range a.ways {
+		for i := range a.ways[w] {
+			if !a.ways[w][i].Functional(a.params.Cell) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Outcome summarizes a simulated service interval.
+type Outcome struct {
+	Policy       string
+	Days         float64
+	MinSNMMV     float64
+	MeanSNMMV    float64
+	FailingCells int
+	// MarginConsumedPct is the share of the SNM guard band
+	// (SNM0 − floor) eaten by the worst cell.
+	MarginConsumedPct float64
+}
+
+// Simulate runs the array for the given number of days in the given
+// slot length and returns the outcome.
+func Simulate(p ArrayParams, policy Policy, days float64, slot units.Seconds, seed uint64) (Outcome, error) {
+	if days <= 0 || slot <= 0 {
+		return Outcome{}, errors.New("sram: days and slot must be positive")
+	}
+	a, err := NewArray(p, policy, rng.New(seed))
+	if err != nil {
+		return Outcome{}, err
+	}
+	horizon := units.Seconds(days) * units.Day
+	for t := units.Seconds(0); t < horizon-1e-9; t += slot {
+		a.Step(slot)
+	}
+	min := a.MinSNMMV()
+	band := p.Cell.SNM0MV - p.Cell.MinSNMMV
+	return Outcome{
+		Policy:            policy.String(),
+		Days:              days,
+		MinSNMMV:          min,
+		MeanSNMMV:         a.MeanSNMMV(),
+		FailingCells:      a.FailingCells(),
+		MarginConsumedPct: (p.Cell.SNM0MV - min) / band * 100,
+	}, nil
+}
+
+// Compare simulates all four policies on identically seeded arrays.
+func Compare(p ArrayParams, days float64, slot units.Seconds, seed uint64) ([]Outcome, error) {
+	policies := []Policy{None, BitFlip, ProactiveRecovery, FlipAndRecover}
+	outs := make([]Outcome, len(policies))
+	for i, pol := range policies {
+		o, err := Simulate(p, pol, days, slot, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sram: %s: %w", pol, err)
+		}
+		outs[i] = o
+	}
+	return outs, nil
+}

@@ -1,0 +1,210 @@
+// Package stats implements the small statistical toolkit the experiment
+// harness needs: summary statistics, simple linear regression and
+// goodness-of-fit measures for comparing model curves against simulated
+// measurements. Everything is written against plain []float64 to stay
+// composable with the series package.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrMismatched is returned when paired inputs differ in length.
+var ErrMismatched = errors.New("stats: mismatched input lengths")
+
+// Mean returns the arithmetic mean. It returns ErrEmpty for no samples.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+// A single sample has zero variance by convention.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest sample.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// LinearFit holds the result of a simple least-squares line fit
+// y = Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// LinearRegression fits a straight line to (x, y) pairs by ordinary
+// least squares. It requires at least two points and non-degenerate x.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, ErrMismatched
+	}
+	if len(x) < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// R² = 1 − SS_res/SS_tot; define R² = 1 for constant y (perfect fit
+	// by the horizontal line).
+	ssTot := syy - sy*sy/n
+	r2 := 1.0
+	if ssTot > 0 {
+		ssRes := 0.0
+		for i := range x {
+			d := y[i] - (slope*x[i] + intercept)
+			ssRes += d * d
+		}
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// RMSE returns the root-mean-square error between paired samples.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatched
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a))), nil
+}
+
+// MAPE returns the mean absolute percentage error of b relative to a,
+// skipping points where the reference a is zero. If every reference is
+// zero it returns ErrEmpty.
+func MAPE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatched
+	}
+	sum, n := 0.0, 0
+	for i := range a {
+		if a[i] == 0 {
+			continue
+		}
+		sum += math.Abs((b[i] - a[i]) / a[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return sum / float64(n) * 100, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of the pairs.
+// Zero-variance inputs yield an error since r is undefined.
+func Correlation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatched
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: need at least 2 points")
+	}
+	mx, _ := Mean(x)
+	my, _ := Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

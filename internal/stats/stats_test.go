@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n-1: 32/7.
+	if !almostEq(v, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	sd, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(sd, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if v, _ := Variance([]float64{42}); v != 0 {
+		t.Errorf("Variance of single sample = %v", v)
+	}
+	if _, err := Variance(nil); err != ErrEmpty {
+		t.Error("Variance(nil) should fail")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("MinMax(nil) should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, %v, want %v", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should fail")
+	}
+	if got, _ := Percentile([]float64{9}, 75); got != 9 {
+		t.Errorf("single-sample percentile = %v", got)
+	}
+	// Input must not be modified.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0.1, 0.9, 2.1, 2.9, 4.1, 4.9} // ~y = x
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 1, 0.05) {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err != ErrMismatched {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+func TestLinearRegressionConstantY(t *testing.T) {
+	fit, err := LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 0, 1e-12) || !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %+v", fit)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("RMSE identical = %v, %v", got, err)
+	}
+	got, _ = RMSE([]float64{0, 0}, []float64{3, 4})
+	if !almostEq(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %v", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err != ErrMismatched {
+		t.Error("mismatched RMSE should fail")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Error("empty RMSE should fail")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{100, 200}, []float64{110, 180})
+	if err != nil || !almostEq(got, 10, 1e-9) {
+		t.Errorf("MAPE = %v, %v", got, err)
+	}
+	// Zero references skipped.
+	got, err = MAPE([]float64{0, 100}, []float64{5, 110})
+	if err != nil || !almostEq(got, 10, 1e-9) {
+		t.Errorf("MAPE with zero ref = %v, %v", got, err)
+	}
+	if _, err := MAPE([]float64{0}, []float64{1}); err != ErrEmpty {
+		t.Error("all-zero reference should fail")
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err != ErrMismatched {
+		t.Error("mismatched MAPE should fail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	r, err := Correlation([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect corr = %v, %v", r, err)
+	}
+	r, _ = Correlation([]float64{1, 2, 3}, []float64{6, 4, 2})
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anti-corr = %v", r)
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero-variance should fail")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := Correlation([]float64{1, 2}, []float64{2}); err != ErrMismatched {
+		t.Error("mismatched should fail")
+	}
+}
+
+func TestPercentileWithinBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pct := float64(p % 101)
+		v, err := Percentile(xs, pct)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMSETriangleProperty(t *testing.T) {
+	// RMSE is a metric: symmetric and non-negative.
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			// Keep magnitudes sane to avoid float overflow in squares.
+			if math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		ab, err1 := RMSE(a, b)
+		ba, err2 := RMSE(b, a)
+		return err1 == nil && err2 == nil && ab >= 0 && ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

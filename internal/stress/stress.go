@@ -1,0 +1,256 @@
+// Package stress is the aging engine: it advances every transistor on
+// an FPGA chip through scheduled stress (wearout) and sleep (recovery)
+// phases, applying the TD device model with the per-transistor duty
+// cycles derived from each mapped design's switching activity.
+//
+// The engine implements the paper's operating regimes:
+//
+//   - Active, rail at operating voltage: transistors whose bias pattern
+//     stresses them age (DC duty 1, AC duty 0.5, the LUT level-1 mux
+//     statically); transistors that carry accumulated damage but are
+//     not presently stressed recover passively at 0 V reverse bias —
+//     the reason the paper calls AC stress "a partially self-healing
+//     process with a slow recovery rate".
+//   - Sleep, rail gated to 0 V: the whole die recovers passively.
+//   - Sleep, rail negative (e.g. −0.3 V): the whole die recovers with
+//     the reverse-bias acceleration — the paper's accelerated
+//     self-healing.
+//
+// Idle (unmapped) cells can optionally be aged at their quiescent input
+// pattern; real fabrics age even where no design is placed.
+package stress
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/device"
+	"selfheal/internal/fpga"
+	"selfheal/internal/lut"
+	"selfheal/internal/units"
+)
+
+// Activity describes the switching behaviour of one mapped design.
+type Activity struct {
+	Mapping *fpga.Mapping
+	// AC reports whether the design is toggling (oscillating RO) or
+	// frozen (DC stress).
+	AC bool
+	// FrozenIn0 is the chain input value while frozen (ignored for AC).
+	FrozenIn0 bool
+	// CellPhases, when non-nil, overrides the inverter-chain activity
+	// model with explicit per-cell input phases (index-aligned with
+	// Mapping.Cells) — how arbitrary mapped logic (package netlist)
+	// describes its workload-driven switching statistics.
+	CellPhases [][]lut.Phase
+}
+
+// phasesFor returns the activity phases of stage i.
+func (a Activity) phasesFor(i int) []lut.Phase {
+	if a.CellPhases != nil {
+		return a.CellPhases[i]
+	}
+	return a.Mapping.StagePhases(i, a.AC, a.FrozenIn0)
+}
+
+// Engine ages one chip. Register the mapped designs' activities with
+// AddActivity, then drive time forward with Step.
+type Engine struct {
+	chip       *fpga.Chip
+	activities []Activity
+	// StressIdleCells ages unmapped cells at their quiescent pattern
+	// (inputs tied low) whenever the rail is up. Defaults to true in
+	// New; the paper's CUT-relative metrics are insensitive to it, but
+	// chip-level leakage and mean-shift metrics are not.
+	StressIdleCells bool
+	// protected cells sit on a separately gated power island: they see
+	// no stress while the chip operates (only passive recovery), the
+	// way a silicon-odometer reference oscillator is preserved.
+	protected map[*lut.LUT2]bool
+	elapsed   units.Seconds
+}
+
+// New returns an engine for the chip.
+func New(chip *fpga.Chip) *Engine {
+	return &Engine{chip: chip, StressIdleCells: true}
+}
+
+// Chip returns the chip under the engine.
+func (e *Engine) Chip() *fpga.Chip { return e.chip }
+
+// Elapsed returns the total simulated time.
+func (e *Engine) Elapsed() units.Seconds { return e.elapsed }
+
+// Protect places a mapped design on a gated power island: while the
+// chip operates, its cells accumulate no stress (they recover
+// passively at die temperature instead). Used for reference structures
+// such as the odometer's unstressed oscillator.
+func (e *Engine) Protect(m *fpga.Mapping) error {
+	if m == nil {
+		return errors.New("stress: nil mapping")
+	}
+	if m.Chip != e.chip {
+		return fmt.Errorf("stress: mapping %q belongs to chip %q, engine drives %q",
+			m.Name, m.Chip.ID(), e.chip.ID())
+	}
+	if e.protected == nil {
+		e.protected = make(map[*lut.LUT2]bool)
+	}
+	for _, cell := range m.Cells {
+		e.protected[cell] = true
+	}
+	return nil
+}
+
+// AddActivity registers a design's switching behaviour. The mapping
+// must live on the engine's chip.
+func (e *Engine) AddActivity(a Activity) error {
+	if a.Mapping == nil {
+		return errors.New("stress: nil mapping")
+	}
+	if a.Mapping.Chip != e.chip {
+		return fmt.Errorf("stress: mapping %q belongs to chip %q, engine drives %q",
+			a.Mapping.Name, a.Mapping.Chip.ID(), e.chip.ID())
+	}
+	if a.CellPhases != nil && len(a.CellPhases) != len(a.Mapping.Cells) {
+		return fmt.Errorf("stress: %d cell phases for %d mapped cells",
+			len(a.CellPhases), len(a.Mapping.Cells))
+	}
+	e.activities = append(e.activities, a)
+	return nil
+}
+
+// SetAC switches the registered design named name between AC and DC
+// activity (and sets the frozen input for DC).
+func (e *Engine) SetAC(name string, ac, frozenIn0 bool) error {
+	for i := range e.activities {
+		if e.activities[i].Mapping.Name == name {
+			e.activities[i].AC = ac
+			e.activities[i].FrozenIn0 = frozenIn0
+			return nil
+		}
+	}
+	return fmt.Errorf("stress: no activity named %q", name)
+}
+
+// operatingThreshold is the rail voltage above which the fabric is
+// considered powered and switching; below it the die is in (possibly
+// accelerated) recovery.
+const operatingThreshold units.Volt = 0.5
+
+// Step advances the chip by dt with the rail at vdd and the die at
+// temp. Negative dt panics; dt of zero is a no-op.
+func (e *Engine) Step(vdd units.Volt, temp units.Celsius, dt units.Seconds) error {
+	if dt < 0 {
+		panic(fmt.Sprintf("stress: negative step %v", dt))
+	}
+	if dt == 0 {
+		return nil
+	}
+	defer func() { e.elapsed += dt }()
+	k := temp.Kelvin()
+	tdp := e.chip.Params().TD
+
+	if vdd <= operatingThreshold {
+		// Sleep: the whole die recovers; a negative rail accelerates
+		// (Hypothesis 2 holds structurally — fresh devices carry no
+		// shift, so recovery cannot affect them).
+		var vrev units.Volt
+		if vdd < 0 {
+			vrev = -vdd
+		}
+		e.chip.Transistors(func(tr *device.Transistor) {
+			tr.Recover(tdp, vrev, k, dt)
+		})
+		return nil
+	}
+
+	// Active operation: compute each cell's per-transistor stress duty.
+	// Cells not covered by any registered activity are idle; their
+	// quiescent pattern (inputs low) stresses a fixed subset when
+	// StressIdleCells is set.
+	type plan struct {
+		cell   *lut.LUT2
+		duties [lut.NumTransistors]float64
+	}
+	covered := make(map[*lut.LUT2]bool)
+	var plans []plan
+
+	for _, a := range e.activities {
+		for i, cell := range a.Mapping.Cells {
+			if e.protected[cell] {
+				continue
+			}
+			duties, err := cell.StressDuties(a.phasesFor(i))
+			if err != nil {
+				return fmt.Errorf("stress: design %q stage %d: %w", a.Mapping.Name, i, err)
+			}
+			plans = append(plans, plan{cell: cell, duties: duties})
+			covered[cell] = true
+		}
+	}
+	if e.StressIdleCells {
+		idlePhases := lut.DCPhase(false, false)
+		var walkErr error
+		e.chip.Cells(func(_, _ int, cell *lut.LUT2, _ bool) {
+			if covered[cell] || e.protected[cell] || walkErr != nil {
+				return
+			}
+			duties, err := cell.StressDuties(idlePhases)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			plans = append(plans, plan{cell: cell, duties: duties})
+		})
+		if walkErr != nil {
+			return fmt.Errorf("stress: idle cells: %w", walkErr)
+		}
+	}
+	// Protected islands recover passively at die temperature whenever
+	// they carry damage, regardless of what the rest of the die does.
+	for cell := range e.protected {
+		for _, tr := range cell.Transistors() {
+			if tr.VthShift() > 0 {
+				tr.Recover(tdp, 0, k, dt)
+			}
+		}
+	}
+
+	for _, p := range plans {
+		for i, tr := range p.cell.Transistors() {
+			switch {
+			case p.duties[i] > 0:
+				tr.Stress(tdp, vdd, k, p.duties[i], dt)
+			case tr.VthShift() > 0:
+				// Biased out of its stress region while the chip runs:
+				// passive recovery at operating temperature.
+				tr.Recover(tdp, 0, k, dt)
+			}
+		}
+	}
+	return nil
+}
+
+// Run advances the chip through n equal steps of dt each at a fixed
+// condition, invoking sample (if non-nil) after every step with the
+// cumulative time into the run. It is the building block the experiment
+// harness uses for the paper's "wake every 20/30 minutes and record"
+// schedules.
+func (e *Engine) Run(vdd units.Volt, temp units.Celsius, dt units.Seconds, n int,
+	sample func(t units.Seconds) error) error {
+	if n < 0 {
+		return errors.New("stress: negative step count")
+	}
+	for i := 1; i <= n; i++ {
+		if err := e.Step(vdd, temp, dt); err != nil {
+			return err
+		}
+		if sample != nil {
+			if err := sample(units.Seconds(i) * dt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package supply
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+func newPSU(t *testing.T) *PSU {
+	t.Helper()
+	s, err := NewPSU(DefaultPSUParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPSUDefaultsValid(t *testing.T) {
+	if err := DefaultPSUParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSUValidate(t *testing.T) {
+	mods := []func(*PSUParams){
+		func(p *PSUParams) { p.Nominal = 0 },
+		func(p *PSUParams) { p.MaxV = 1.0 },
+		func(p *PSUParams) { p.MinV = 0 },
+		func(p *PSUParams) { p.StepV = 0 },
+		func(p *PSUParams) { p.NoiseVpp = -1 },
+	}
+	for i, mod := range mods {
+		p := DefaultPSUParams()
+		mod(&p)
+		if _, err := NewPSU(p); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestPSUPowersUpNominal(t *testing.T) {
+	s := newPSU(t)
+	if s.Rail() != RailNominal || s.Voltage() != 1.2 {
+		t.Errorf("power-up state: %v %v", s.Rail(), s.Voltage())
+	}
+}
+
+func TestPSUGate(t *testing.T) {
+	s := newPSU(t)
+	s.Gate()
+	if s.Rail() != RailGated || s.Voltage() != 0 {
+		t.Errorf("gated state: %v %v", s.Rail(), s.Voltage())
+	}
+	s.SetNominal()
+	if s.Rail() != RailNominal || s.Voltage() != 1.2 {
+		t.Errorf("back to nominal: %v %v", s.Rail(), s.Voltage())
+	}
+}
+
+func TestPSUSetNegative(t *testing.T) {
+	s := newPSU(t)
+	if err := s.SetNegative(-0.3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rail() != RailNegative || math.Abs(float64(s.Voltage()+0.3)) > 1e-9 {
+		t.Errorf("negative state: %v %v", s.Rail(), s.Voltage())
+	}
+	// Errors leave the rail untouched.
+	if err := s.SetNegative(0.3); err == nil {
+		t.Error("positive value accepted by SetNegative")
+	}
+	if err := s.SetNegative(-2); err == nil {
+		t.Error("below-minimum rail accepted")
+	}
+	if s.Voltage() != -0.3 {
+		t.Error("failed SetNegative disturbed the rail")
+	}
+}
+
+func TestPSUSetStress(t *testing.T) {
+	s := newPSU(t)
+	if err := s.SetStress(1.32); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(s.Voltage()-1.32)) > 1e-9 {
+		t.Errorf("stress voltage = %v", s.Voltage())
+	}
+	if err := s.SetStress(0); err == nil {
+		t.Error("zero stress voltage accepted")
+	}
+	if err := s.SetStress(2); err == nil {
+		t.Error("above-maximum stress voltage accepted")
+	}
+}
+
+func TestPSUQuantization(t *testing.T) {
+	s := newPSU(t)
+	if err := s.SetNegative(-0.2994); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(s.Voltage()+0.299)) > 1e-9 {
+		t.Errorf("quantized voltage = %v, want -0.299", s.Voltage())
+	}
+}
+
+func TestRailString(t *testing.T) {
+	if RailNominal.String() != "nominal" || RailGated.String() != "gated" || RailNegative.String() != "negative" {
+		t.Error("Rail names wrong")
+	}
+}
+
+func TestClockGen(t *testing.T) {
+	c, err := NewClockGen(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Frequency() != 500 {
+		t.Errorf("freq = %v", c.Frequency())
+	}
+	if got := c.GateWindow(); math.Abs(float64(got)-0.002) > 1e-12 {
+		t.Errorf("gate window = %v, want 2 ms", got)
+	}
+	if _, err := NewClockGen(0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := NewClockGen(-1); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+// TestNegativeRailFeasibility encodes Section 6.1: the paper's modest
+// −0.3 V rail is implementable on-chip, while an aggressive −0.5 V rail
+// blows the GIDL budget, and −0.7 V additionally reaches junction
+// breakdown.
+func TestNegativeRailFeasibility(t *testing.T) {
+	p := DefaultNegVGenParams()
+
+	ok, err := CheckNegativeRail(p, -0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.OK {
+		t.Errorf("-0.3 V infeasible: %v", ok.Reasons)
+	}
+	if ok.GIDLNAPerCell <= 0 || ok.AreaPerCellUM2 != p.AreaPerCellUM2 {
+		t.Errorf("feasibility details missing: %+v", ok)
+	}
+	// 60 % pump efficiency → ≈66.7 % power overhead.
+	if math.Abs(ok.PumpPowerOverheadPct-66.7) > 0.1 {
+		t.Errorf("pump overhead = %v %%", ok.PumpPowerOverheadPct)
+	}
+
+	bad, err := CheckNegativeRail(p, -0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK || len(bad.Reasons) != 1 {
+		t.Errorf("-0.5 V should fail on GIDL only: %+v", bad)
+	}
+
+	worse, err := CheckNegativeRail(p, -0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse.OK || len(worse.Reasons) != 2 {
+		t.Errorf("-0.7 V should fail on GIDL and breakdown: %+v", worse)
+	}
+}
+
+func TestCheckNegativeRailRejectsPositive(t *testing.T) {
+	if _, err := CheckNegativeRail(DefaultNegVGenParams(), 0.3); err == nil {
+		t.Error("positive candidate accepted")
+	}
+	if _, err := CheckNegativeRail(DefaultNegVGenParams(), 0); err == nil {
+		t.Error("zero candidate accepted")
+	}
+}
+
+func TestGIDLMonotoneInMagnitude(t *testing.T) {
+	p := DefaultNegVGenParams()
+	prev := 0.0
+	for _, v := range []units.Volt{-0.1, -0.2, -0.3, -0.4, -0.5} {
+		f, err := CheckNegativeRail(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.GIDLNAPerCell <= prev {
+			t.Errorf("GIDL not increasing at %v: %v", v, f.GIDLNAPerCell)
+		}
+		prev = f.GIDLNAPerCell
+	}
+}

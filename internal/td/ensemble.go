@@ -1,0 +1,238 @@
+package td
+
+import (
+	"errors"
+	"math"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/units"
+)
+
+// EnsembleParams configures a stochastic trap ensemble — the
+// finer-grained "ground truth" model (after Velamala et al., DAC'12)
+// that the first-order closed forms in this package are validated
+// against, playing the role the silicon measurements play in the paper.
+//
+// Each trap has a capture time constant τc and an emission time constant
+// τe drawn log-uniformly over many decades, and contributes an
+// exponentially distributed per-trap ΔVth impact when occupied. Stress
+// shortens effective capture times (more carriers available, higher
+// field), while temperature shortens both; a reverse bias during sleep
+// shortens emission times — exactly the accelerated self-healing knobs.
+type EnsembleParams struct {
+	TauLo float64 // shortest time constant, seconds
+	TauHi float64 // longest time constant, seconds
+	// EtaVolt is the mean per-trap ΔVth impact in volts. For an
+	// ensemble of n traps the saturated shift is ≈ n·EtaVolt.
+	EtaVolt float64
+	// PermProb is the probability that a trap, once captured, never
+	// emits (an irreversible interface state).
+	PermProb float64
+	// E0 is the activation energy (eV) accelerating both capture and
+	// emission with temperature, relative to TRef.
+	E0   float64
+	TRef units.Kelvin
+	// GammaV scales capture acceleration with stress overdrive (per
+	// volt) and emission acceleration with reverse bias (per volt).
+	GammaV float64
+}
+
+// DefaultEnsembleParams returns trap statistics spanning 1 s … 10⁸ s,
+// matching the accelerated-test timescales of the paper (hours to
+// days). EtaVolt is chosen so a 5000-trap ensemble lands on the same
+// ≈40 mV shift after 24 h of DC stress at 110 °C as the calibrated
+// first-order model; the total shift scales linearly with the
+// population size.
+func DefaultEnsembleParams() EnsembleParams {
+	return EnsembleParams{
+		TauLo:    1,
+		TauHi:    1e8,
+		EtaVolt:  9.1e-6,
+		PermProb: 0.08,
+		E0:       0.15,
+		TRef:     units.Celsius(20).Kelvin(),
+		GammaV:   2.5,
+	}
+}
+
+// Validate reports whether the ensemble parameters are usable.
+func (p EnsembleParams) Validate() error {
+	switch {
+	case p.TauLo <= 0 || p.TauHi < p.TauLo:
+		return errors.New("td: ensemble requires 0 < TauLo <= TauHi")
+	case p.EtaVolt <= 0:
+		return errors.New("td: ensemble EtaVolt must be positive")
+	case p.PermProb < 0 || p.PermProb > 1:
+		return errors.New("td: ensemble PermProb must be in [0,1]")
+	case p.TRef <= 0:
+		return errors.New("td: ensemble TRef must be positive")
+	}
+	return nil
+}
+
+// trap is a single defect in the gate stack.
+type trap struct {
+	tauC      float64 // nominal capture time constant, s
+	tauE      float64 // nominal emission time constant, s
+	impact    float64 // ΔVth contribution when occupied, V
+	occupied  bool
+	permanent bool // once captured, never emits
+}
+
+// Ensemble is a Monte-Carlo population of traps for one device.
+type Ensemble struct {
+	params EnsembleParams
+	traps  []trap
+	src    *rng.Source
+}
+
+// NewEnsemble draws n traps using the given random stream. It returns
+// an error for invalid parameters or n <= 0.
+func NewEnsemble(n int, p EnsembleParams, src *rng.Source) (*Ensemble, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("td: ensemble needs at least one trap")
+	}
+	e := &Ensemble{params: p, traps: make([]trap, n), src: src}
+	for i := range e.traps {
+		e.traps[i] = trap{
+			tauC: src.LogUniform(p.TauLo, p.TauHi),
+			tauE: src.LogUniform(p.TauLo, p.TauHi),
+			// Exponentially distributed impact with mean EtaVolt.
+			impact:    -p.EtaVolt * math.Log(1-src.Float64()),
+			permanent: src.Bernoulli(p.PermProb),
+		}
+	}
+	return e, nil
+}
+
+// Len returns the number of traps.
+func (e *Ensemble) Len() int { return len(e.traps) }
+
+// DeltaVth returns the present total threshold shift in volts.
+func (e *Ensemble) DeltaVth() float64 {
+	sum := 0.0
+	for i := range e.traps {
+		if e.traps[i].occupied {
+			sum += e.traps[i].impact
+		}
+	}
+	return sum
+}
+
+// Occupied returns the number of currently occupied traps.
+func (e *Ensemble) Occupied() int {
+	n := 0
+	for i := range e.traps {
+		if e.traps[i].occupied {
+			n++
+		}
+	}
+	return n
+}
+
+// arrhenius is the temperature acceleration factor relative to TRef.
+func (p EnsembleParams) arrhenius(t units.Kelvin) float64 {
+	return math.Exp(p.E0 / units.BoltzmannEV * (1/float64(p.TRef) - 1/float64(t)))
+}
+
+// Stress advances the ensemble through dt of stress: each unoccupied
+// trap captures with probability 1 − exp(−dt_eff/τc), where dt_eff is
+// accelerated by temperature and overdrive.
+func (e *Ensemble) Stress(c StressCond, dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	accel := e.params.arrhenius(c.T) * math.Exp(e.params.GammaV*float64(c.V))
+	eff := float64(dt) * accel * effDuty(c.Duty)
+	for i := range e.traps {
+		tr := &e.traps[i]
+		if tr.occupied {
+			continue
+		}
+		if e.src.Bernoulli(-math.Expm1(-eff / tr.tauC)) {
+			tr.occupied = true
+		}
+	}
+}
+
+// Recover advances the ensemble through dt of sleep: each occupied,
+// non-permanent trap emits with probability 1 − exp(−dt_eff/τe), where
+// dt_eff is accelerated by temperature and reverse bias.
+func (e *Ensemble) Recover(c RecoveryCond, dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	accel := e.params.arrhenius(c.T) * math.Exp(e.params.GammaV*float64(c.VRev))
+	eff := float64(dt) * accel
+	for i := range e.traps {
+		tr := &e.traps[i]
+		if !tr.occupied || tr.permanent {
+			continue
+		}
+		if e.src.Bernoulli(-math.Expm1(-eff / tr.tauE)) {
+			tr.occupied = false
+		}
+	}
+}
+
+// ExpectedEnsemble is the deterministic mean-field counterpart of
+// Ensemble: instead of Bernoulli draws it evolves each trap's occupancy
+// probability, giving the noise-free expectation trajectory. It is used
+// by tests to compare the first-order model's shape without Monte-Carlo
+// variance.
+type ExpectedEnsemble struct {
+	params EnsembleParams
+	traps  []trap
+	occ    []float64 // occupancy probabilities
+}
+
+// NewExpectedEnsemble draws trap statistics exactly like NewEnsemble but
+// evolves occupancy probabilities deterministically.
+func NewExpectedEnsemble(n int, p EnsembleParams, src *rng.Source) (*ExpectedEnsemble, error) {
+	mc, err := NewEnsemble(n, p, src)
+	if err != nil {
+		return nil, err
+	}
+	return &ExpectedEnsemble{params: p, traps: mc.traps, occ: make([]float64, n)}, nil
+}
+
+// DeltaVth returns the expected threshold shift in volts.
+func (e *ExpectedEnsemble) DeltaVth() float64 {
+	sum := 0.0
+	for i := range e.traps {
+		sum += e.occ[i] * e.traps[i].impact
+	}
+	return sum
+}
+
+// Stress advances the expectation through dt of stress.
+func (e *ExpectedEnsemble) Stress(c StressCond, dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	accel := e.params.arrhenius(c.T) * math.Exp(e.params.GammaV*float64(c.V))
+	eff := float64(dt) * accel * effDuty(c.Duty)
+	for i := range e.traps {
+		pCapture := -math.Expm1(-eff / e.traps[i].tauC)
+		e.occ[i] += (1 - e.occ[i]) * pCapture
+	}
+}
+
+// Recover advances the expectation through dt of sleep.
+func (e *ExpectedEnsemble) Recover(c RecoveryCond, dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	accel := e.params.arrhenius(c.T) * math.Exp(e.params.GammaV*float64(c.VRev))
+	eff := float64(dt) * accel
+	for i := range e.traps {
+		if e.traps[i].permanent {
+			continue
+		}
+		pEmit := -math.Expm1(-eff / e.traps[i].tauE)
+		e.occ[i] *= 1 - pEmit
+	}
+}

@@ -1,0 +1,230 @@
+package td
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/stats"
+	"selfheal/internal/units"
+)
+
+func newTestEnsemble(t *testing.T, n int, seed uint64) *Ensemble {
+	t.Helper()
+	e, err := NewEnsemble(n, DefaultEnsembleParams(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnsembleConstruction(t *testing.T) {
+	e := newTestEnsemble(t, 500, 1)
+	if e.Len() != 500 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if e.DeltaVth() != 0 || e.Occupied() != 0 {
+		t.Error("fresh ensemble not empty")
+	}
+}
+
+func TestEnsembleRejectsBadInput(t *testing.T) {
+	if _, err := NewEnsemble(0, DefaultEnsembleParams(), rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := DefaultEnsembleParams()
+	bad.TauLo = 0
+	if _, err := NewEnsemble(10, bad, rng.New(1)); err == nil {
+		t.Error("TauLo=0 accepted")
+	}
+	bad = DefaultEnsembleParams()
+	bad.TauHi = bad.TauLo / 2
+	if _, err := NewEnsemble(10, bad, rng.New(1)); err == nil {
+		t.Error("TauHi<TauLo accepted")
+	}
+	bad = DefaultEnsembleParams()
+	bad.EtaVolt = 0
+	if _, err := NewEnsemble(10, bad, rng.New(1)); err == nil {
+		t.Error("EtaVolt=0 accepted")
+	}
+	bad = DefaultEnsembleParams()
+	bad.PermProb = 1.5
+	if _, err := NewEnsemble(10, bad, rng.New(1)); err == nil {
+		t.Error("PermProb>1 accepted")
+	}
+	bad = DefaultEnsembleParams()
+	bad.TRef = 0
+	if _, err := NewEnsemble(10, bad, rng.New(1)); err == nil {
+		t.Error("TRef=0 accepted")
+	}
+}
+
+func TestEnsembleStressGrowsShift(t *testing.T) {
+	e := newTestEnsemble(t, 2000, 2)
+	prev := 0.0
+	for i := 0; i < 10; i++ {
+		e.Stress(dc110, units.Hour)
+		v := e.DeltaVth()
+		if v < prev {
+			t.Fatalf("shift decreased under stress at step %d", i)
+		}
+		prev = v
+	}
+	if prev <= 0 {
+		t.Fatal("no degradation after 10 h of stress")
+	}
+}
+
+func TestEnsembleRecoveryShrinksShift(t *testing.T) {
+	e := newTestEnsemble(t, 2000, 3)
+	e.Stress(dc110, 24*units.Hour)
+	v1 := e.DeltaVth()
+	e.Recover(r110N, 6*units.Hour)
+	v2 := e.DeltaVth()
+	if v2 >= v1 {
+		t.Fatalf("no recovery: %.6g -> %.6g", v1, v2)
+	}
+}
+
+func TestEnsemblePermanentTrapsNeverEmit(t *testing.T) {
+	p := DefaultEnsembleParams()
+	p.PermProb = 1 // every trap permanent
+	e, err := NewEnsemble(1000, p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stress(dc110, 24*units.Hour)
+	v1 := e.DeltaVth()
+	e.Recover(RecoveryCond{VRev: 0.5, T: units.Celsius(150).Kelvin()}, 1000*units.Hour)
+	if e.DeltaVth() != v1 {
+		t.Errorf("permanent traps emitted: %.6g -> %.6g", v1, e.DeltaVth())
+	}
+}
+
+func TestEnsembleAcceleratedRecoveryFaster(t *testing.T) {
+	// Identical seeds → identical trap populations; compare the four
+	// paper conditions on the same population.
+	fractions := make([]float64, len(allRecov))
+	for i, rc := range allRecov {
+		e := newTestEnsemble(t, 5000, 5)
+		e.Stress(dc110, 24*units.Hour)
+		v1 := e.DeltaVth()
+		e.Recover(rc, 6*units.Hour)
+		fractions[i] = (v1 - e.DeltaVth()) / v1
+	}
+	// Combined (idx 3) must beat passive (idx 0) decisively, and both
+	// single-knob conditions must beat passive.
+	if fractions[3] <= fractions[0]+0.05 {
+		t.Errorf("combined %.3f not decisively above passive %.3f", fractions[3], fractions[0])
+	}
+	if fractions[1] <= fractions[0] || fractions[2] <= fractions[0] {
+		t.Errorf("single-knob conditions not above passive: %v", fractions)
+	}
+}
+
+func TestEnsembleZeroDurationNoOp(t *testing.T) {
+	e := newTestEnsemble(t, 100, 6)
+	e.Stress(dc110, 0)
+	e.Recover(r20Z, 0)
+	e.Stress(dc110, -5)
+	if e.DeltaVth() != 0 {
+		t.Error("zero/negative duration changed state")
+	}
+}
+
+// TestExpectedEnsembleLogShape validates the first-order model's shape
+// against the mean-field trap ensemble: the ΔVth(t) trajectory under DC
+// stress must be strongly linear in ln(1+C·t), which is exactly the
+// closed form the paper fits (Eq. 10).
+func TestExpectedEnsembleLogShape(t *testing.T) {
+	e, err := NewExpectedEnsemble(4000, DefaultEnsembleParams(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	const step = units.Hour
+	for i := 1; i <= 24; i++ {
+		e.Stress(dc110, step)
+		tt := float64(i) * float64(step)
+		xs = append(xs, math.Log1p(0.01*tt))
+		ys = append(ys, e.DeltaVth())
+	}
+	fit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("ensemble trajectory not log-shaped: R² = %.4f", fit.R2)
+	}
+	if fit.Slope <= 0 {
+		t.Errorf("non-positive log slope %v", fit.Slope)
+	}
+}
+
+// TestExpectedEnsembleRecoveryFastThenSlow validates the recovery-shape
+// claim: the first sleep hour removes more shift than the sixth.
+func TestExpectedEnsembleRecoveryFastThenSlow(t *testing.T) {
+	e, err := NewExpectedEnsemble(4000, DefaultEnsembleParams(), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stress(dc110, 24*units.Hour)
+	drops := make([]float64, 6)
+	prev := e.DeltaVth()
+	for i := range drops {
+		e.Recover(r110N, units.Hour)
+		drops[i] = prev - e.DeltaVth()
+		prev = e.DeltaVth()
+	}
+	if drops[0] <= drops[5] {
+		t.Errorf("recovery not decelerating: first hour %.6g, sixth hour %.6g", drops[0], drops[5])
+	}
+}
+
+// TestAnalyticMatchesEnsembleOrdering cross-validates the two models:
+// the analytic recovered fractions and the mean-field ensemble fractions
+// must rank the four paper conditions identically.
+func TestAnalyticMatchesEnsembleOrdering(t *testing.T) {
+	p := DefaultParams()
+	analytic := make([]float64, len(allRecov))
+	ensemble := make([]float64, len(allRecov))
+	for i, rc := range allRecov {
+		analytic[i] = stressThenRecover(p, 24*units.Hour, rc, 6*units.Hour)
+		e, err := NewExpectedEnsemble(3000, DefaultEnsembleParams(), rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Stress(dc110, 24*units.Hour)
+		v1 := e.DeltaVth()
+		e.Recover(rc, 6*units.Hour)
+		ensemble[i] = (v1 - e.DeltaVth()) / v1
+	}
+	for i := 1; i < len(allRecov); i++ {
+		if (analytic[i] > analytic[i-1]) != (ensemble[i] > ensemble[i-1]) {
+			t.Errorf("models disagree on ordering at %d: analytic %v ensemble %v", i, analytic, ensemble)
+		}
+	}
+}
+
+func TestEnsembleDeterministicReplay(t *testing.T) {
+	run := func() float64 {
+		e := newTestEnsemble(t, 1000, 42)
+		e.Stress(dc110, 12*units.Hour)
+		e.Recover(r110N, 3*units.Hour)
+		return e.DeltaVth()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("replay differs: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkEnsembleStress(b *testing.B) {
+	e, err := NewEnsemble(1000, DefaultEnsembleParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Stress(dc110, units.Minute)
+	}
+}

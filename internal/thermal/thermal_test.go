@@ -1,0 +1,291 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/units"
+)
+
+func newChamber(t *testing.T) *Chamber {
+	t.Helper()
+	c, err := NewChamber(DefaultChamberParams(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChamberDefaultsValid(t *testing.T) {
+	if err := DefaultChamberParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChamberValidate(t *testing.T) {
+	mods := []func(*ChamberParams){
+		func(p *ChamberParams) { p.FluctuationC = -1 },
+		func(p *ChamberParams) { p.RampCPerMin = 0 },
+		func(p *ChamberParams) { p.MaxC = p.MinC },
+	}
+	for i, mod := range mods {
+		p := DefaultChamberParams()
+		mod(&p)
+		if _, err := NewChamber(p, rng.New(1)); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestChamberStartsAtAmbient(t *testing.T) {
+	c := newChamber(t)
+	if c.Temperature() != 20 || c.Target() != 20 {
+		t.Errorf("initial state: %v / %v", c.Temperature(), c.Target())
+	}
+	if !c.Settled() {
+		t.Error("chamber not settled at ambient")
+	}
+}
+
+func TestChamberSetpointRange(t *testing.T) {
+	c := newChamber(t)
+	if err := c.SetTarget(110); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTarget(200); err == nil {
+		t.Error("setpoint above range accepted")
+	}
+	if c.Target() != 110 {
+		t.Error("rejected setpoint overwrote previous target")
+	}
+	if err := c.SetTarget(-100); err == nil {
+		t.Error("setpoint below range accepted")
+	}
+}
+
+func TestChamberRampAndSettle(t *testing.T) {
+	c := newChamber(t)
+	if err := c.SetTarget(110); err != nil {
+		t.Fatal(err)
+	}
+	// 90 °C at 5 °C/min = 18 min of ramp.
+	want := c.SettleTime()
+	if math.Abs(float64(want)-18*60) > 1 {
+		t.Errorf("settle time = %v, want 18 min", want)
+	}
+	// After 9 minutes we are halfway, not settled.
+	c.Step(9 * units.Minute)
+	if c.Settled() {
+		t.Error("settled too early")
+	}
+	if math.Abs(float64(c.Temperature())-65) > 0.5 {
+		t.Errorf("mid-ramp temperature = %v, want ≈65 °C", c.Temperature())
+	}
+	// Finish the ramp.
+	c.Step(10 * units.Minute)
+	if !c.Settled() {
+		t.Errorf("not settled at %v", c.Temperature())
+	}
+}
+
+func TestChamberFluctuationBand(t *testing.T) {
+	c := newChamber(t)
+	if err := c.SetTarget(110); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(30 * units.Minute) // settle
+	for i := 0; i < 1000; i++ {
+		got := c.Step(units.Minute)
+		if math.Abs(float64(got-110)) > 0.3+1e-9 {
+			t.Fatalf("excursion outside ±0.3 °C: %v", got)
+		}
+	}
+}
+
+func TestChamberCoolDown(t *testing.T) {
+	c := newChamber(t)
+	if err := c.SetTarget(110); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(30 * units.Minute)
+	if err := c.SetTarget(20); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(30 * units.Minute)
+	if !c.Settled() || math.Abs(float64(c.Temperature()-20)) > 0.31 {
+		t.Errorf("cool-down failed: %v", c.Temperature())
+	}
+}
+
+func TestChamberPanicsOnNegativeStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	newChamber(t).Step(-1)
+}
+
+func newGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(DefaultGridParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridDefaultsValid(t *testing.T) {
+	if err := DefaultGridParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	mods := []func(*GridParams){
+		func(p *GridParams) { p.Rows = 0 },
+		func(p *GridParams) { p.Cols = 0 },
+		func(p *GridParams) { p.CapJPerC = 0 },
+		func(p *GridParams) { p.GAmbientWPerC = 0 },
+		func(p *GridParams) { p.GNeighborWPerC = -1 },
+	}
+	for i, mod := range mods {
+		p := DefaultGridParams()
+		mod(&p)
+		if _, err := NewGrid(p); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestGridStartsAtAmbient(t *testing.T) {
+	g := newGrid(t)
+	if g.Tiles() != 8 {
+		t.Fatalf("tiles = %d", g.Tiles())
+	}
+	for i := 0; i < g.Tiles(); i++ {
+		tc, err := g.Temperature(i)
+		if err != nil || tc != 45 {
+			t.Errorf("tile %d at %v", i, tc)
+		}
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	g := newGrid(t)
+	if err := g.SetPower(-1, 1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := g.SetPower(8, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := g.SetPower(0, -1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := g.Temperature(99); err == nil {
+		t.Error("out-of-range temperature accepted")
+	}
+}
+
+func TestGridSelfHeating(t *testing.T) {
+	g := newGrid(t)
+	if err := g.SetPower(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	temps := g.SteadyState(0.001, 10000)
+	if temps[0] <= 45 {
+		t.Fatalf("powered tile did not heat: %v", temps[0])
+	}
+	// A hot core should reach server-class junction temperatures.
+	if temps[0] < 60 || temps[0] > 110 {
+		t.Errorf("powered tile at %v, want 60–110 °C", temps[0])
+	}
+}
+
+// TestGridNeighborHeating is the paper's Section 6.2 mechanism: an idle
+// tile surrounded by busy tiles runs hot, much hotter than an idle tile
+// in an idle corner.
+func TestGridNeighborHeating(t *testing.T) {
+	g := newGrid(t)
+	// 2×4 grid: tile 1 (row 0, col 1) idle, neighbours 0, 2, 5 busy.
+	for _, busy := range []int{0, 2, 5} {
+		if err := g.SetPower(busy, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	temps := g.SteadyState(0.001, 10000)
+	idleSurrounded := float64(temps[1])
+	idleCorner := float64(temps[7]) // far corner, no powered neighbour
+	if idleSurrounded <= idleCorner+5 {
+		t.Errorf("neighbour heating weak: surrounded idle %v vs corner idle %v",
+			temps[1], temps[7])
+	}
+	// The surrounded sleeper should sit meaningfully above ambient —
+	// the free "recovery oven".
+	if idleSurrounded < 55 {
+		t.Errorf("surrounded idle tile only %v", temps[1])
+	}
+}
+
+func TestGridCoolsBackToAmbient(t *testing.T) {
+	g := newGrid(t)
+	g.SetPower(3, 10)
+	g.SteadyState(0.001, 10000)
+	g.SetPower(3, 0)
+	temps := g.SteadyState(0.0001, 100000)
+	for i, tc := range temps {
+		if math.Abs(float64(tc)-45) > 0.5 {
+			t.Errorf("tile %d stuck at %v after power-off", i, tc)
+		}
+	}
+}
+
+func TestGridEnergyMonotonicity(t *testing.T) {
+	// More power never lowers any tile's steady-state temperature.
+	a := newGrid(t)
+	b := newGrid(t)
+	a.SetPower(0, 5)
+	b.SetPower(0, 10)
+	ta := a.SteadyState(0.001, 10000)
+	tb := b.SteadyState(0.001, 10000)
+	for i := range ta {
+		if tb[i] < ta[i] {
+			t.Errorf("tile %d cooler at higher power: %v < %v", i, tb[i], ta[i])
+		}
+	}
+}
+
+func TestGridStepStability(t *testing.T) {
+	// A huge step must not oscillate or blow up thanks to sub-stepping.
+	g := newGrid(t)
+	g.SetPower(0, 10)
+	g.Step(1000)
+	for i := 0; i < g.Tiles(); i++ {
+		tc, _ := g.Temperature(i)
+		if math.IsNaN(float64(tc)) || tc < 40 || tc > 200 {
+			t.Fatalf("unstable integration: tile %d at %v", i, tc)
+		}
+	}
+}
+
+func TestGridPanicsOnNegativeStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	newGrid(t).Step(-1)
+}
+
+func BenchmarkGridStep(b *testing.B) {
+	g, err := NewGrid(DefaultGridParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.SetPower(0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Package units provides the physical quantities and constants used
+// throughout the self-healing library: voltages, temperatures, times and
+// frequencies, plus the Boltzmann constant and unit conversions.
+//
+// All quantities are thin named float64 types. They exist to make API
+// signatures self-documenting and to prevent the classic Celsius/Kelvin
+// and volt/millivolt mix-ups that plague reliability modeling code, while
+// still allowing ordinary arithmetic after an explicit conversion.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoltzmannEV is the Boltzmann constant in electronvolts per kelvin.
+// BTI activation energies are conventionally quoted in eV, so working in
+// eV/K keeps exp(-E0/kT) terms dimensionless without unit juggling.
+const BoltzmannEV = 8.617333262e-5
+
+// ZeroCelsiusK is the kelvin value of 0 °C.
+const ZeroCelsiusK = 273.15
+
+// Volt is an electric potential in volts. Negative values are meaningful:
+// the accelerated-recovery supply is −0.3 V.
+type Volt float64
+
+// Celsius is a temperature on the Celsius scale.
+type Celsius float64
+
+// Kelvin is an absolute temperature.
+type Kelvin float64
+
+// Seconds is a duration in seconds. The aging models are closed-form in
+// time, so a plain float duration is more convenient than time.Duration
+// (which would overflow for multi-year lifetimes and force ns rounding).
+type Seconds float64
+
+// Hertz is a frequency.
+type Hertz float64
+
+// Common time spans used by the experiment schedules.
+const (
+	Minute Seconds = 60
+	Hour   Seconds = 3600
+	Day    Seconds = 24 * Hour
+	Year   Seconds = 365.25 * Day
+)
+
+// Kelvin converts a Celsius temperature to kelvin.
+func (c Celsius) Kelvin() Kelvin { return Kelvin(float64(c) + ZeroCelsiusK) }
+
+// Celsius converts a kelvin temperature to Celsius.
+func (k Kelvin) Celsius() Celsius { return Celsius(float64(k) - ZeroCelsiusK) }
+
+// String formats the temperature as, e.g., "110.0°C".
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// String formats the temperature as, e.g., "383.15K".
+func (k Kelvin) String() string { return fmt.Sprintf("%.2fK", float64(k)) }
+
+// String formats the voltage as, e.g., "-0.300V".
+func (v Volt) String() string { return fmt.Sprintf("%.3fV", float64(v)) }
+
+// String formats a duration using the largest natural unit:
+// "36.0s", "30.0min", "6.0h" or "2.00d".
+func (s Seconds) String() string {
+	abs := math.Abs(float64(s))
+	switch {
+	case abs >= float64(Day):
+		return fmt.Sprintf("%.2fd", float64(s)/float64(Day))
+	case abs >= float64(Hour):
+		return fmt.Sprintf("%.1fh", float64(s)/float64(Hour))
+	case abs >= float64(Minute):
+		return fmt.Sprintf("%.1fmin", float64(s)/float64(Minute))
+	default:
+		return fmt.Sprintf("%.1fs", float64(s))
+	}
+}
+
+// String formats a frequency with an SI prefix: "5.000MHz", "500.0Hz".
+func (f Hertz) String() string {
+	abs := math.Abs(float64(f))
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3fGHz", float64(f)/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3fMHz", float64(f)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3fkHz", float64(f)/1e3)
+	default:
+		return fmt.Sprintf("%.1fHz", float64(f))
+	}
+}
+
+// Hours returns the duration expressed in hours.
+func (s Seconds) Hours() float64 { return float64(s) / float64(Hour) }
+
+// Days returns the duration expressed in days.
+func (s Seconds) Days() float64 { return float64(s) / float64(Day) }
+
+// HoursToSeconds converts a duration in hours to Seconds.
+func HoursToSeconds(h float64) Seconds { return Seconds(h * float64(Hour)) }
+
+// KT returns the thermal energy k·T in eV for an absolute temperature.
+// It panics on non-positive absolute temperatures, which can only arise
+// from a programming error upstream (e.g. passing Celsius where Kelvin
+// was meant).
+func KT(t Kelvin) float64 {
+	if t <= 0 {
+		panic(fmt.Sprintf("units: non-positive absolute temperature %v", t))
+	}
+	return BoltzmannEV * float64(t)
+}
+
+// Clamp returns x limited to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,150 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	cases := []Celsius{-40, 0, 20, 25, 85, 100, 110}
+	for _, c := range cases {
+		k := c.Kelvin()
+		if got := k.Celsius(); math.Abs(float64(got-c)) > 1e-9 {
+			t.Errorf("round trip %v -> %v -> %v", c, k, got)
+		}
+	}
+}
+
+func TestKelvinValues(t *testing.T) {
+	if got := Celsius(0).Kelvin(); math.Abs(float64(got)-273.15) > 1e-9 {
+		t.Errorf("0°C = %v, want 273.15K", got)
+	}
+	if got := Celsius(110).Kelvin(); math.Abs(float64(got)-383.15) > 1e-9 {
+		t.Errorf("110°C = %v, want 383.15K", got)
+	}
+}
+
+func TestKT(t *testing.T) {
+	// Room temperature thermal energy is the canonical ~25.85 meV.
+	kt := KT(Celsius(27).Kelvin())
+	if math.Abs(kt-0.02585) > 1e-4 {
+		t.Errorf("kT(300.15K) = %v, want ~0.02585 eV", kt)
+	}
+	// kT must increase with temperature (drives acceleration factors).
+	if KT(Celsius(110).Kelvin()) <= KT(Celsius(20).Kelvin()) {
+		t.Error("kT not monotonic in temperature")
+	}
+}
+
+func TestKTPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KT(0) did not panic")
+		}
+	}()
+	KT(0)
+}
+
+func TestKTPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KT(-1) did not panic")
+		}
+	}()
+	KT(-1)
+}
+
+func TestDurationConstants(t *testing.T) {
+	if Hour != 3600 {
+		t.Errorf("Hour = %v", float64(Hour))
+	}
+	if Day != 86400 {
+		t.Errorf("Day = %v", float64(Day))
+	}
+	if Seconds(7200).Hours() != 2 {
+		t.Errorf("7200s = %v hours", Seconds(7200).Hours())
+	}
+	if Seconds(43200).Days() != 0.5 {
+		t.Errorf("43200s = %v days", Seconds(43200).Days())
+	}
+	if HoursToSeconds(24) != Day {
+		t.Errorf("HoursToSeconds(24) = %v", HoursToSeconds(24))
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{Celsius(110).String(), "110.0°C"},
+		{Kelvin(383.15).String(), "383.15K"},
+		{Volt(-0.3).String(), "-0.300V"},
+		{Seconds(30).String(), "30.0s"},
+		{Seconds(1800).String(), "30.0min"},
+		{Seconds(21600).String(), "6.0h"},
+		{Seconds(172800).String(), "2.00d"},
+		{Hertz(5e6).String(), "5.000MHz"},
+		{Hertz(500).String(), "500.0Hz"},
+		{Hertz(2.5e9).String(), "2.500GHz"},
+		{Hertz(1.2e3).String(), "1.200kHz"},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("got %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestNegativeDurationString(t *testing.T) {
+	// Negative durations should still pick the unit by magnitude.
+	if s := Seconds(-7200).String(); !strings.HasPrefix(s, "-2.0") {
+		t.Errorf("Seconds(-7200) = %q", s)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+	}
+	for _, tc := range tests {
+		if got := Clamp(tc.x, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tc.x, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKelvinConversionProperty(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		cc := Celsius(c)
+		back := cc.Kelvin().Celsius()
+		return math.Abs(float64(back-cc)) < 1e-6*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

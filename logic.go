@@ -1,0 +1,147 @@
+package selfheal
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/netlist"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// Logic is a real circuit (currently a ripple-carry adder)
+// technology-mapped onto the simulated fabric: its outputs are computed
+// through the actual LUT cells, its timing through static timing
+// analysis over their aged transistors — so a workload's input
+// statistics decide exactly which devices wear out, and rejuvenation
+// heals whatever the workload stressed.
+type Logic struct {
+	bits   int
+	placed *netlist.Placed
+	chip   *fpga.Chip
+	engine *stress.Engine
+	fresh  float64
+	src    *rng.Source
+}
+
+// NewAdderLogic maps a bits-wide ripple-carry adder onto a fresh chip.
+func NewAdderLogic(bits int, seed uint64) (*Logic, error) {
+	if bits <= 0 || bits > 16 {
+		return nil, fmt.Errorf("selfheal: adder width %d outside 1..16", bits)
+	}
+	circ, err := netlist.RippleAdder(bits)
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	src := rng.New(seed)
+	chip, err := fpga.NewChip(fmt.Sprintf("adder%d", bits), fpga.DefaultParams(), src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	placed, err := netlist.Place(circ, chip)
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	eng := stress.New(chip)
+	eng.StressIdleCells = false
+	l := &Logic{bits: bits, placed: placed, chip: chip, engine: eng, src: src}
+	l.fresh, err = placed.CriticalPathNS(1.2)
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return l, nil
+}
+
+// Bits returns the adder width.
+func (l *Logic) Bits() int { return l.bits }
+
+// FreshCriticalPathNS returns the critical path of the fresh design.
+func (l *Logic) FreshCriticalPathNS() float64 { return l.fresh }
+
+// CriticalPathNS runs static timing analysis over the present aging
+// state and returns the critical-path delay in nanoseconds.
+func (l *Logic) CriticalPathNS() (float64, error) {
+	d, err := l.placed.CriticalPathNS(1.2)
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return d, nil
+}
+
+// Add computes a + b + carry *through the mapped LUT cells* and returns
+// the sum and carry-out. Operands must fit the adder width.
+func (l *Logic) Add(a, b uint64, carry bool) (sum uint64, cout bool, err error) {
+	limit := uint64(1)<<l.bits - 1
+	if a > limit || b > limit {
+		return 0, false, fmt.Errorf("selfheal: operands exceed %d bits", l.bits)
+	}
+	in := make([]bool, 2*l.bits+1)
+	for i := 0; i < l.bits; i++ {
+		in[i] = a>>i&1 == 1
+		in[l.bits+i] = b>>i&1 == 1
+	}
+	in[2*l.bits] = carry
+	out, err := l.placed.Eval(in)
+	if err != nil {
+		return 0, false, fmt.Errorf("selfheal: %w", err)
+	}
+	for i := 0; i < l.bits; i++ {
+		if out[i] {
+			sum |= 1 << i
+		}
+	}
+	return sum, out[l.bits], nil
+}
+
+// StressWithWorkload ages the design for hours under the operating
+// condition while it processes inputs whose bits are 1 with probability
+// oneBias (0.5 = uniform random operands; 0 = idle all-zero inputs, the
+// worst case).
+func (l *Logic) StressWithWorkload(cond StressCondition, hours, oneBias float64) error {
+	if hours <= 0 {
+		return errors.New("selfheal: stress duration must be positive")
+	}
+	if oneBias < 0 || oneBias > 1 {
+		return fmt.Errorf("selfheal: oneBias %v outside [0,1]", oneBias)
+	}
+	const rows = 256
+	trace := make([][]bool, rows)
+	for i := range trace {
+		row := make([]bool, 2*l.bits+1)
+		for j := range row {
+			row[j] = l.src.Bernoulli(oneBias)
+		}
+		trace[i] = row
+	}
+	phases, err := l.placed.Activity(trace)
+	if err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	eng := stress.New(l.chip)
+	eng.StressIdleCells = false
+	if err := eng.AddActivity(stress.Activity{Mapping: l.placed.Mapping, CellPhases: phases}); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	if err := eng.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}
+
+// Rejuvenate sleeps the design for hours under the recovery condition.
+func (l *Logic) Rejuvenate(cond SleepCondition, hours float64) error {
+	if hours <= 0 {
+		return errors.New("selfheal: sleep duration must be positive")
+	}
+	if cond.Vdd > 0 {
+		return errors.New("selfheal: sleep rail must be ≤ 0")
+	}
+	if err := l.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}

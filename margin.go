@@ -1,0 +1,91 @@
+package selfheal
+
+import (
+	"fmt"
+	"math"
+
+	"selfheal/internal/margin"
+	"selfheal/internal/units"
+)
+
+// Mission describes a duty-cycled service profile for sign-off margin
+// budgeting: hot operation interleaved with (optional) rejuvenation
+// sleep.
+type Mission struct {
+	// ActiveTempC, ActiveVdd and ActivityDuty describe operation.
+	ActiveTempC, ActiveVdd, ActivityDuty float64
+	// ActiveHours and SleepHours shape one cycle; SleepHours = 0 means
+	// the part never rests.
+	ActiveHours, SleepHours float64
+	// SleepTempC and SleepVdd are the rejuvenation conditions (SleepVdd
+	// ≤ 0; ignored when SleepHours is 0).
+	SleepTempC, SleepVdd float64
+}
+
+// AlwaysOnMission is the conventional design target: a hot server that
+// never sleeps.
+func AlwaysOnMission() Mission {
+	return Mission{
+		ActiveTempC: 85, ActiveVdd: 1.2, ActivityDuty: 0.5,
+		ActiveHours: 24,
+	}
+}
+
+// CircadianMission is the paper's proposal applied to the same server:
+// α = 4 with combined-condition sleep.
+func CircadianMission() Mission {
+	m := AlwaysOnMission()
+	m.SleepHours = 6
+	m.SleepTempC = 110
+	m.SleepVdd = -0.3
+	return m
+}
+
+func (m Mission) internal() margin.Mission {
+	return margin.Mission{
+		ActiveTempC:  units.Celsius(m.ActiveTempC),
+		ActiveVdd:    units.Volt(m.ActiveVdd),
+		ActivityDuty: m.ActivityDuty,
+		ActiveHours:  m.ActiveHours,
+		SleepHours:   m.SleepHours,
+		SleepTempC:   units.Celsius(m.SleepTempC),
+		SleepVdd:     units.Volt(m.SleepVdd),
+	}
+}
+
+// RequiredMarginPct returns the BTI delay margin (percent of fresh path
+// delay, including the safety factor ≥ 1) a design must ship to cover
+// the mission for the given years.
+func RequiredMarginPct(m Mission, years, safetyFactor float64) (float64, error) {
+	v, err := margin.NewCalculator().RequiredMarginPct(m.internal(), years, safetyFactor)
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return v, nil
+}
+
+// LifetimeYears returns how long the mission can run before the given
+// margin (percent of fresh delay) is exhausted; +Inf when the bounded
+// rejuvenated envelope never reaches it within 200 years.
+func LifetimeYears(m Mission, marginPct float64) (float64, error) {
+	v, err := margin.NewCalculator().LifetimeYears(m.internal(), marginPct)
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return v, nil
+}
+
+// MissionRelaxationPct returns how much of the baseline mission's
+// required margin the rejuvenated mission saves over the given years —
+// the paper's design-margin-relaxed parameter at mission scale.
+func MissionRelaxationPct(baseline, rejuvenated Mission, years float64) (float64, error) {
+	v, err := margin.NewCalculator().RelaxationPct(baseline.internal(), rejuvenated.internal(), years)
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return v, nil
+}
+
+// IsUnbounded reports whether a lifetime returned by LifetimeYears
+// means "never exhausted within the search horizon".
+func IsUnbounded(lifetimeYears float64) bool { return math.IsInf(lifetimeYears, 1) }

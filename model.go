@@ -1,0 +1,133 @@
+package selfheal
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/rng"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// StressShiftV evaluates the closed-form TD wearout model (paper
+// Eqs. 1–2): the threshold-voltage shift in volts after stressing a
+// fresh device for the given hours under the condition. duty is the
+// switching duty cycle (1 = DC stress).
+func StressShiftV(cond StressCondition, duty, hours float64) float64 {
+	return td.StressShift(td.DefaultParams(), td.StressCond{
+		V:    units.Volt(cond.Vdd),
+		T:    units.Celsius(cond.TempC).Kelvin(),
+		Duty: duty,
+	}, units.HoursToSeconds(hours))
+}
+
+// RecoveredFraction evaluates the closed-form TD recovery model (paper
+// Eqs. 3–4): the fraction of the recoverable shift removed after
+// sleepHours under the condition, following stressHours of accumulated
+// stress.
+func RecoveredFraction(cond SleepCondition, stressHours, sleepHours float64) float64 {
+	var vrev units.Volt
+	if cond.Vdd < 0 {
+		vrev = units.Volt(-cond.Vdd)
+	}
+	return td.RecoveredFraction(td.DefaultParams(), td.RecoveryCond{
+		VRev: vrev,
+		T:    units.Celsius(cond.TempC).Kelvin(),
+	}, units.HoursToSeconds(stressHours), units.HoursToSeconds(sleepHours))
+}
+
+// Device is a single transistor-level aging state under the TD model —
+// the building block everything else integrates. The zero value is not
+// usable; create with NewDevice.
+type Device struct {
+	params td.Params
+	state  td.State
+}
+
+// NewDevice returns a fresh device under the calibrated 40 nm model.
+func NewDevice() *Device {
+	return &Device{params: td.DefaultParams()}
+}
+
+// VthShiftV returns the present total threshold shift in volts.
+func (d *Device) VthShiftV() float64 { return d.state.Vth() }
+
+// PermanentV returns the irreversible component in volts.
+func (d *Device) PermanentV() float64 { return d.state.Permanent() }
+
+// Stress ages the device for hours under the condition at the given
+// switching duty (1 = DC).
+func (d *Device) Stress(cond StressCondition, duty, hours float64) {
+	d.state.Stress(d.params, td.StressCond{
+		V:    units.Volt(cond.Vdd),
+		T:    units.Celsius(cond.TempC).Kelvin(),
+		Duty: duty,
+	}, units.HoursToSeconds(hours))
+}
+
+// Rejuvenate heals the device for hours under the sleep condition.
+func (d *Device) Rejuvenate(cond SleepCondition, hours float64) {
+	var vrev units.Volt
+	if cond.Vdd < 0 {
+		vrev = units.Volt(-cond.Vdd)
+	}
+	d.state.Recover(d.params, td.RecoveryCond{
+		VRev: vrev,
+		T:    units.Celsius(cond.TempC).Kelvin(),
+	}, units.HoursToSeconds(hours))
+}
+
+// TrapEnsemble is the stochastic trapping/detrapping ground-truth
+// model (Velamala et al., DAC'12): a Monte-Carlo population of traps
+// with log-uniform capture/emission time constants. The first-order
+// closed forms above are validated against it.
+type TrapEnsemble struct {
+	ens *td.Ensemble
+}
+
+// NewTrapEnsemble draws n traps deterministically from the seed.
+func NewTrapEnsemble(n int, seed uint64) (*TrapEnsemble, error) {
+	e, err := td.NewEnsemble(n, td.DefaultEnsembleParams(), rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return &TrapEnsemble{ens: e}, nil
+}
+
+// VthShiftV returns the ensemble's present threshold shift in volts.
+func (e *TrapEnsemble) VthShiftV() float64 { return e.ens.DeltaVth() }
+
+// OccupiedTraps returns how many traps currently hold a carrier.
+func (e *TrapEnsemble) OccupiedTraps() int { return e.ens.Occupied() }
+
+// Traps returns the population size.
+func (e *TrapEnsemble) Traps() int { return e.ens.Len() }
+
+// Stress ages the ensemble for hours under the condition.
+func (e *TrapEnsemble) Stress(cond StressCondition, duty, hours float64) error {
+	if hours < 0 {
+		return errors.New("selfheal: negative duration")
+	}
+	e.ens.Stress(td.StressCond{
+		V:    units.Volt(cond.Vdd),
+		T:    units.Celsius(cond.TempC).Kelvin(),
+		Duty: duty,
+	}, units.HoursToSeconds(hours))
+	return nil
+}
+
+// Rejuvenate heals the ensemble for hours under the sleep condition.
+func (e *TrapEnsemble) Rejuvenate(cond SleepCondition, hours float64) error {
+	if hours < 0 {
+		return errors.New("selfheal: negative duration")
+	}
+	var vrev units.Volt
+	if cond.Vdd < 0 {
+		vrev = units.Volt(-cond.Vdd)
+	}
+	e.ens.Recover(td.RecoveryCond{
+		VRev: vrev,
+		T:    units.Celsius(cond.TempC).Kelvin(),
+	}, units.HoursToSeconds(hours))
+	return nil
+}

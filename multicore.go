@@ -1,0 +1,89 @@
+package selfheal
+
+import (
+	"fmt"
+
+	"selfheal/internal/multicore"
+	"selfheal/internal/units"
+)
+
+// MulticoreScheduler names a core-scheduling strategy for the
+// Section 6.2 exploration.
+type MulticoreScheduler string
+
+// The available multi-core schedulers.
+const (
+	// StaticScheduler pins the first N cores active forever.
+	StaticScheduler MulticoreScheduler = "static"
+	// RoundRobinScheduler rotates sleep slots with plain power gating.
+	RoundRobinScheduler MulticoreScheduler = "round-robin"
+	// CircadianScheduler rotates the most-aged cores into sleep with
+	// the negative recovery rail, letting busy neighbours heat them —
+	// the paper's proposal.
+	CircadianScheduler MulticoreScheduler = "circadian"
+)
+
+// MulticoreOutcome summarizes one scheduled multi-core run.
+type MulticoreOutcome struct {
+	Scheduler string
+	// WorstPct is the slowest core's critical-path degradation — it
+	// sets the shared clock's margin.
+	WorstPct float64
+	// MeanPct and SpreadPct describe the aging balance across cores.
+	MeanPct, SpreadPct float64
+	// HealSlots counts core-slots spent in accelerated recovery;
+	// CoreSlots counts delivered compute (identical across schedulers
+	// for a fair comparison).
+	HealSlots, CoreSlots int
+	// PerCorePct and TemperatureC are the final per-core degradation
+	// and temperature maps (row-major 2×4 floorplan).
+	PerCorePct   []float64
+	TemperatureC []float64
+}
+
+// RunMulticore simulates an 8-core system delivering `demand` cores of
+// throughput for `days` days in six-hour slots under the named
+// scheduler.
+func RunMulticore(scheduler MulticoreScheduler, demand int, days float64) (MulticoreOutcome, error) {
+	var sch multicore.Scheduler
+	switch scheduler {
+	case StaticScheduler:
+		sch = multicore.Static{}
+	case RoundRobinScheduler:
+		sch = multicore.RoundRobin{}
+	case CircadianScheduler:
+		sch = multicore.Circadian{}
+	default:
+		return MulticoreOutcome{}, fmt.Errorf("selfheal: unknown scheduler %q", scheduler)
+	}
+	if days <= 0 {
+		return MulticoreOutcome{}, fmt.Errorf("selfheal: days must be positive, got %v", days)
+	}
+	sys, err := multicore.New(multicore.DefaultParams())
+	if err != nil {
+		return MulticoreOutcome{}, fmt.Errorf("selfheal: %w", err)
+	}
+	const slotHours = 6
+	slots := int(days * 24 / slotHours)
+	if slots < 1 {
+		slots = 1
+	}
+	out, err := sys.Run(sch, demand, slots, slotHours*units.Hour)
+	if err != nil {
+		return MulticoreOutcome{}, fmt.Errorf("selfheal: %w", err)
+	}
+	temps := make([]float64, len(out.Temperatures))
+	for i, t := range out.Temperatures {
+		temps[i] = float64(t)
+	}
+	return MulticoreOutcome{
+		Scheduler:    out.Scheduler,
+		WorstPct:     out.WorstPct,
+		MeanPct:      out.MeanPct,
+		SpreadPct:    out.SpreadPct,
+		HealSlots:    out.HealSlots,
+		CoreSlots:    out.CoreSlots,
+		PerCorePct:   out.PerCorePct,
+		TemperatureC: temps,
+	}, nil
+}

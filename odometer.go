@@ -1,0 +1,101 @@
+package selfheal
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/odometer"
+	"selfheal/internal/rng"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// MonitoredChip is a chip carrying a Silicon-Odometer-style aging
+// sensor (the paper's ref [7]): a stressed oscillator and a protected
+// reference oscillator read out differentially at part-per-million
+// resolution — the monitoring infrastructure reactive rejuvenation
+// policies rely on.
+//
+// Unlike Chip (which models the paper's external bench with its
+// thermal chamber and counter read-out), MonitoredChip exposes the
+// bare die plus the on-die sensor: Stress and Rejuvenate apply
+// conditions directly.
+type MonitoredChip struct {
+	chip   *fpga.Chip
+	engine *stress.Engine
+	sensor *odometer.Sensor
+}
+
+// OdometerReading is one differential sensor read-out.
+type OdometerReading struct {
+	// BeatHz is the beat frequency between the reference and stressed
+	// oscillators.
+	BeatHz float64
+	// DegradationPPM is the measured frequency degradation in parts
+	// per million (±2 ppm read-out noise).
+	DegradationPPM float64
+}
+
+// NewMonitoredChip fabricates a chip with the odometer pair mapped and
+// wired: the stressed oscillator follows the workload, the reference
+// sits on a gated power island.
+func NewMonitoredChip(id string, seed uint64) (*MonitoredChip, error) {
+	if id == "" {
+		return nil, errors.New("selfheal: chip id must not be empty")
+	}
+	src := rng.New(seed)
+	chip, err := fpga.NewChip(id, fpga.DefaultParams(), src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	eng := stress.New(chip)
+	sensor, err := odometer.New(chip, eng, id+".odo", odometer.DefaultParams(), src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return &MonitoredChip{chip: chip, engine: eng, sensor: sensor}, nil
+}
+
+// ID returns the chip identifier.
+func (m *MonitoredChip) ID() string { return m.chip.ID() }
+
+// Stress runs the die under the operating condition for hours.
+func (m *MonitoredChip) Stress(cond StressCondition, hours float64) error {
+	if hours <= 0 {
+		return errors.New("selfheal: stress duration must be positive")
+	}
+	if cond.Vdd <= 0 {
+		return errors.New("selfheal: stress condition needs a positive rail")
+	}
+	if err := m.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}
+
+// Rejuvenate puts the die to sleep under the recovery condition for
+// hours.
+func (m *MonitoredChip) Rejuvenate(cond SleepCondition, hours float64) error {
+	if hours <= 0 {
+		return errors.New("selfheal: sleep duration must be positive")
+	}
+	if cond.Vdd > 0 {
+		return errors.New("selfheal: sleep rail must be ≤ 0")
+	}
+	if err := m.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}
+
+// Read takes one differential sensor measurement at the nominal rail.
+func (m *MonitoredChip) Read() (OdometerReading, error) {
+	r, err := m.sensor.Measure(m.chip.Params().NominalVdd)
+	if err != nil {
+		return OdometerReading{}, fmt.Errorf("selfheal: %w", err)
+	}
+	return OdometerReading{BeatHz: r.BeatHz, DegradationPPM: r.DegradationPPM}, nil
+}

@@ -1,0 +1,157 @@
+package selfheal
+
+import (
+	"fmt"
+	"strings"
+
+	"selfheal/internal/exp"
+)
+
+// Artifact is one regenerated table or figure from the paper's
+// evaluation, rendered as plain text.
+type Artifact struct {
+	ID      string // "Table 4", "Figure 8", …
+	Caption string
+	Text    string // rendered table or ASCII chart
+}
+
+// PaperReport holds every regenerated artifact of the DAC'14
+// evaluation, in the paper's order.
+type PaperReport struct {
+	Artifacts []Artifact
+}
+
+// Render concatenates all artifacts into one printable report.
+func (r *PaperReport) Render() string {
+	var b strings.Builder
+	for i, a := range r.Artifacts {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(a.Text)
+	}
+	return b.String()
+}
+
+// Find returns the artifact with the given ID, if present.
+func (r *PaperReport) Find(id string) (Artifact, bool) {
+	for _, a := range r.Artifacts {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Artifact{}, false
+}
+
+// ReproducePaper runs the paper's full accelerated-test schedule
+// (Table 1: five chips, eleven cases, with baseline burn-ins, chamber
+// ramps and periodic counter read-outs) plus the long-horizon and
+// multi-core simulations, and regenerates every table and figure.
+// The seed fixes process variation and measurement noise; the run is
+// deterministic and takes on the order of a second.
+func ReproducePaper(seed uint64) (*PaperReport, error) {
+	lab := exp.NewLab(seed)
+	if err := lab.RunAll(); err != nil {
+		return nil, fmt.Errorf("selfheal: running the paper schedule: %w", err)
+	}
+
+	report := &PaperReport{}
+	addF := func(f exp.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		report.Artifacts = append(report.Artifacts, Artifact{ID: f.ID, Caption: f.Caption, Text: f.Render()})
+		return nil
+	}
+	addT := func(t exp.TableArtifact, err error) error {
+		if err != nil {
+			return err
+		}
+		report.Artifacts = append(report.Artifacts, Artifact{ID: t.ID, Caption: t.Caption, Text: t.Render()})
+		return nil
+	}
+
+	if err := addF(exp.Figure1(), nil); err != nil {
+		return nil, err
+	}
+	if err := addT(exp.Table1(), nil); err != nil {
+		return nil, err
+	}
+	steps := []func() error{
+		func() error { f, err := lab.Figure4(); return addF(f, err) },
+		func() error { f, err := lab.Figure5(); return addF(f, err) },
+		func() error { t, err := lab.Table2(); return addT(t, err) },
+		func() error { t, err := lab.Table3(); return addT(t, err) },
+		func() error {
+			figs, err := lab.Figure6()
+			if err != nil {
+				return err
+			}
+			for _, f := range figs {
+				if err := addF(f, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			figs, err := lab.Figure7()
+			if err != nil {
+				return err
+			}
+			for _, f := range figs {
+				if err := addF(f, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error { f, err := lab.Figure8(); return addF(f, err) },
+		func() error { t, err := lab.Table4(); return addT(t, err) },
+		func() error { t, err := lab.Table5(); return addT(t, err) },
+		func() error { f, err := lab.Figure9(); return addF(f, err) },
+		func() error { t, err := exp.Figure10(); return addT(t, err) },
+		func() error { t, err := lab.Headline(); return addT(t, err) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, fmt.Errorf("selfheal: %w", err)
+		}
+	}
+	return report, nil
+}
+
+// ExportMeasurements runs the paper schedule and writes every case's
+// measurement series into dir as CSV files ("AS110DC24_chip2.csv", …):
+// delay degradation for stress cases, recovered delay for recovery
+// cases — the inputs cmd/selfheal-fit extracts Table 3 parameters from.
+// It returns the written file names.
+func ExportMeasurements(seed uint64, dir string) ([]string, error) {
+	lab := exp.NewLab(seed)
+	names, err := lab.DumpCSV(dir)
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return names, nil
+}
+
+// ReproduceExtensions runs the evaluation extensions that go beyond the
+// paper's printed artifacts: the LUT-size aging study (E1, after the
+// paper's ref [18]), the GNOMO mitigation comparison (E2, refs
+// [12,13]), the active:sleep ratio sweep (E3), the negative-rail sweep
+// with on-chip feasibility (E4), workload-driven aging of mapped logic
+// (E6) and the §7 virtual-circadian margin analysis (E7).
+func ReproduceExtensions(seed uint64) (*PaperReport, error) {
+	lab := exp.NewLab(seed)
+	arts, err := lab.Extensions()
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: running extensions: %w", err)
+	}
+	report := &PaperReport{}
+	for _, a := range arts {
+		report.Artifacts = append(report.Artifacts, Artifact{
+			ID: a.ID, Caption: a.Caption, Text: a.Render(),
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,142 @@
+package selfheal
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/fpga"
+	"selfheal/internal/puf"
+	"selfheal/internal/rng"
+	"selfheal/internal/sched"
+	"selfheal/internal/stress"
+	"selfheal/internal/units"
+)
+
+// PUFChip is a chip carrying an enrolled 16-bit ring-oscillator PUF
+// (the paper's ref [17]): aging flips response bits; rejuvenation
+// reverts them.
+type PUFChip struct {
+	chip   *fpga.Chip
+	engine *stress.Engine
+	puf    *puf.PUF
+}
+
+// NewPUFChip fabricates a chip with PUF-grade device mismatch, maps and
+// enrolls the oscillator pairs, and wires the asymmetric-usage aging
+// (one oscillator of each pair free-runs, the other sits frozen).
+func NewPUFChip(id string, seed uint64) (*PUFChip, error) {
+	if id == "" {
+		return nil, errors.New("selfheal: chip id must not be empty")
+	}
+	src := rng.New(seed)
+	params := fpga.DefaultParams()
+	params.LocalSigmaFrac = 0.02 // PUF-grade mismatch
+	chip, err := fpga.NewChip(id, params, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	eng := stress.New(chip)
+	eng.StressIdleCells = false
+	u, err := puf.New(chip, eng, id+".puf", puf.DefaultParams(), src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return &PUFChip{chip: chip, engine: eng, puf: u}, nil
+}
+
+// Bits returns the response width.
+func (p *PUFChip) Bits() int { return p.puf.Bits() }
+
+// Read evaluates the PUF once (with evaluation jitter).
+func (p *PUFChip) Read() ([]bool, error) {
+	r, err := p.puf.Read()
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	return r, nil
+}
+
+// Reliability returns the average fraction of bits matching the
+// enrolled response over n evaluations.
+func (p *PUFChip) Reliability(n int) (float64, error) {
+	r, err := p.puf.Reliability(n)
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return r, nil
+}
+
+// FlippedBits returns the noise-free drift from the enrolled response.
+func (p *PUFChip) FlippedBits() (int, error) {
+	f, err := p.puf.FlippedBits()
+	if err != nil {
+		return 0, fmt.Errorf("selfheal: %w", err)
+	}
+	return f, nil
+}
+
+// Stress ages the die under the operating condition for hours.
+func (p *PUFChip) Stress(cond StressCondition, hours float64) error {
+	if hours <= 0 || cond.Vdd <= 0 {
+		return errors.New("selfheal: stress needs positive duration and rail")
+	}
+	if err := p.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}
+
+// Rejuvenate sleeps the die under the recovery condition for hours.
+func (p *PUFChip) Rejuvenate(cond SleepCondition, hours float64) error {
+	if hours <= 0 || cond.Vdd > 0 {
+		return errors.New("selfheal: sleep needs positive duration and rail ≤ 0")
+	}
+	if err := p.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
+		units.HoursToSeconds(hours)); err != nil {
+		return fmt.Errorf("selfheal: %w", err)
+	}
+	return nil
+}
+
+// AdaptiveClockOutcome reports a run of the virtual-circadian clock
+// controller (paper §7): model-predicted per-slot re-timing against a
+// known rejuvenation schedule.
+type AdaptiveClockOutcome struct {
+	Policy string
+	// StaticPeriodNS is the worst-case period a conventional design
+	// ships; MeanAdaptivePeriodNS is what the controller averaged.
+	StaticPeriodNS, MeanAdaptivePeriodNS float64
+	// MeanSpeedupPct is the average clock gain of adaptive timing.
+	MeanSpeedupPct float64
+	// Violations counts slots where true delay exceeded the set
+	// period; a sound guard band keeps it at zero.
+	Violations int
+	ActiveSlot int
+}
+
+// SimulateAdaptiveClock runs the §7 controller for horizonDays under a
+// proactive α/sleepHours schedule with the given guard band (percent).
+func SimulateAdaptiveClock(seed uint64, horizonDays, alpha, sleepHours, guardPct float64,
+	cond SleepCondition) (AdaptiveClockOutcome, error) {
+	cfg := sched.DefaultAdaptiveConfig()
+	cfg.Seed = seed
+	cfg.Horizon = units.Seconds(horizonDays) * units.Day
+	cfg.GuardPct = guardPct
+	out, err := sched.SimulateAdaptive(cfg, sched.Proactive{
+		Alpha:    alpha,
+		SleepLen: units.HoursToSeconds(sleepHours),
+		Cond:     toSleepCond(cond),
+	})
+	if err != nil {
+		return AdaptiveClockOutcome{}, fmt.Errorf("selfheal: %w", err)
+	}
+	return AdaptiveClockOutcome{
+		Policy:               out.Policy,
+		StaticPeriodNS:       out.StaticPeriodNS,
+		MeanAdaptivePeriodNS: out.MeanAdaptivePeriodNS,
+		MeanSpeedupPct:       out.MeanSpeedupPct,
+		Violations:           out.Violations,
+		ActiveSlot:           out.Slots,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package selfheal
+
+import (
+	"fmt"
+
+	"selfheal/internal/sched"
+	"selfheal/internal/units"
+)
+
+// Policy selects when a system sleeps (Section 2.2 of the paper).
+// Construct with NoRecoveryPolicy, ProactivePolicy or ReactivePolicy.
+type Policy struct {
+	inner sched.Policy
+}
+
+// Name returns the policy's display name.
+func (p Policy) Name() string { return p.inner.Name() }
+
+// NoRecoveryPolicy never sleeps — today's practice, the aging baseline.
+func NoRecoveryPolicy() Policy { return Policy{inner: sched.NoRecovery{}} }
+
+// ProactivePolicy sleeps on a fixed circadian schedule: alpha hours of
+// work per hour of sleep (the paper uses α = 4 with 6 h sleeps), under
+// the given sleep condition.
+func ProactivePolicy(alpha, sleepHours float64, cond SleepCondition) Policy {
+	return Policy{inner: sched.Proactive{
+		Alpha:    alpha,
+		SleepLen: units.HoursToSeconds(sleepHours),
+		Cond:     toSleepCond(cond),
+	}}
+}
+
+// ReactivePolicy sleeps only once the monitored degradation reaches
+// triggerPct, then sleeps until it relaxes below relaxPct.
+func ReactivePolicy(triggerPct, relaxPct float64, cond SleepCondition) Policy {
+	return Policy{inner: sched.Reactive{
+		TriggerPct: triggerPct,
+		RelaxPct:   relaxPct,
+		Cond:       toSleepCond(cond),
+	}}
+}
+
+func toSleepCond(c SleepCondition) sched.SleepCond {
+	return sched.SleepCond{TempC: units.Celsius(c.TempC), Vdd: units.Volt(c.Vdd)}
+}
+
+// ScheduleOutcome summarizes a policy simulated over a service life.
+type ScheduleOutcome struct {
+	Policy string
+	// ActiveFraction is the share of wall time delivering work.
+	ActiveFraction float64
+	// PeakPct, FinalPct and MeanPct are frequency-degradation
+	// percentages: worst over the horizon, at the end, and
+	// time-weighted over active slots.
+	PeakPct, FinalPct, MeanPct float64
+	// MarginProvisionPct is the share of the delay-margin budget a
+	// designer must provision to cover the peak.
+	MarginProvisionPct float64
+	// Trace samples degradation (%) against hours.
+	Trace []TracePoint
+}
+
+// CompareSchedules simulates the policies over horizonDays of hot
+// operation on identical chips (same seed) and returns outcomes in
+// input order.
+func CompareSchedules(seed uint64, horizonDays float64, policies ...Policy) ([]ScheduleOutcome, error) {
+	cfg := sched.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Horizon = units.Seconds(horizonDays) * units.Day
+	inner := make([]sched.Policy, len(policies))
+	for i, p := range policies {
+		if p.inner == nil {
+			return nil, fmt.Errorf("selfheal: policy %d is zero-valued; use a constructor", i)
+		}
+		inner[i] = p.inner
+	}
+	outs, err := sched.Compare(cfg, inner...)
+	if err != nil {
+		return nil, fmt.Errorf("selfheal: %w", err)
+	}
+	result := make([]ScheduleOutcome, len(outs))
+	for i, o := range outs {
+		result[i] = ScheduleOutcome{
+			Policy:             o.Policy,
+			ActiveFraction:     o.ActiveFraction,
+			PeakPct:            o.PeakPct,
+			FinalPct:           o.FinalPct,
+			MeanPct:            o.MeanPct,
+			MarginProvisionPct: o.MarginProvisionPct,
+			Trace:              tracePoints(o.Trace.Times(), o.Trace.Values()),
+		}
+	}
+	return result, nil
+}

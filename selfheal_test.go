@@ -1,0 +1,616 @@
+package selfheal
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewChipValidation(t *testing.T) {
+	if _, err := NewChip("", 1); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestChipLifecycle(t *testing.T) {
+	chip, err := NewChip("demo", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.ID() != "demo" {
+		t.Errorf("ID = %q", chip.ID())
+	}
+	fresh, err := chip.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.DelayNS < 90 || fresh.DelayNS > 110 {
+		t.Errorf("fresh delay = %v ns", fresh.DelayNS)
+	}
+	if math.Abs(fresh.DegradationPct) > 0.2 {
+		t.Errorf("fresh degradation = %v %%", fresh.DegradationPct)
+	}
+	if fresh.Counts <= 0 || fresh.FrequencyHz <= 0 {
+		t.Errorf("reading incomplete: %+v", fresh)
+	}
+
+	// Stress 24 h accelerated.
+	trace, err := chip.Stress(AcceleratedStress(), 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 7 { // t=0 plus 6 four-hour samples
+		t.Errorf("trace samples = %d", len(trace))
+	}
+	stressed, err := chip.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stressed.DegradationPct < 1.5 {
+		t.Errorf("stress degradation = %v %%", stressed.DegradationPct)
+	}
+
+	// Rejuvenate 6 h under the headline condition.
+	if _, err := chip.Rejuvenate(AcceleratedSleep(), 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := chip.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := MarginRelaxedPct(chip.FreshDelayNS(), stressed.DelayNS, healed.DelayNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(relaxed-72.4) > 5 {
+		t.Errorf("margin relaxed = %.1f %%, want ≈72.4", relaxed)
+	}
+	ok, err := chip.WithinOriginalMargin(healed.DelayNS, 90)
+	if err != nil || !ok {
+		t.Errorf("healed chip not within 90%% of original margin: %v %v", ok, err)
+	}
+	rem, err := chip.RemainingMarginPct(healed.DelayNS)
+	if err != nil || rem < 90 {
+		t.Errorf("remaining margin = %v %%", rem)
+	}
+}
+
+func TestChipDurationValidation(t *testing.T) {
+	chip, err := NewChip("v", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chip.Stress(AcceleratedStress(), 0, 0); err == nil {
+		t.Error("zero stress duration accepted")
+	}
+	if _, err := chip.Rejuvenate(AcceleratedSleep(), -1, 0); err == nil {
+		t.Error("negative sleep duration accepted")
+	}
+}
+
+func TestChipDeterministicReplay(t *testing.T) {
+	run := func() float64 {
+		chip, err := NewChip("r", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chip.Stress(AcceleratedStress(), 6, 0); err != nil {
+			t.Fatal(err)
+		}
+		m, err := chip.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.DelayNS
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("replay differs: %v vs %v", a, b)
+	}
+}
+
+func TestChipAgingDropsLeakage(t *testing.T) {
+	chip, err := NewChip("lk", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := chip.LeakageNA()
+	if _, err := chip.Stress(AcceleratedStress(), 24, 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := chip.LeakageNA(); after >= before {
+		t.Errorf("leakage did not drop: %v -> %v", before, after)
+	}
+	if chip.MeanVthShiftV() <= 0 {
+		t.Error("no mean Vth shift recorded")
+	}
+}
+
+func TestModelClosedForms(t *testing.T) {
+	// Stress grows with time, temperature, voltage.
+	base := StressShiftV(AcceleratedStress(), 1, 24)
+	if base <= 0 {
+		t.Fatal("no stress shift")
+	}
+	if StressShiftV(AcceleratedStress(), 1, 48) <= base {
+		t.Error("shift not increasing in time")
+	}
+	cooler := AcceleratedStress()
+	cooler.TempC = 100
+	if StressShiftV(cooler, 1, 24) >= base {
+		t.Error("shift not increasing in temperature")
+	}
+	// Recovery fractions reproduce the paper's ordering and headline.
+	conds := []SleepCondition{PassiveSleep(), NegativeVoltageSleep(), HotSleep(), AcceleratedSleep()}
+	prev := 0.0
+	for i, c := range conds {
+		r := RecoveredFraction(c, 24, 6)
+		if r <= prev {
+			t.Errorf("condition %d fraction %v not above previous %v", i, r, prev)
+		}
+		prev = r
+	}
+	// Combined condition recovered fraction of recoverable ≈ 0.787
+	// (total 72.4 % after the 8 % permanent part).
+	if r := RecoveredFraction(AcceleratedSleep(), 24, 6); math.Abs(r-0.787) > 0.02 {
+		t.Errorf("accelerated fraction = %v", r)
+	}
+}
+
+func TestDeviceFacade(t *testing.T) {
+	d := NewDevice()
+	d.Stress(AcceleratedStress(), 1, 24)
+	v1 := d.VthShiftV()
+	if v1 <= 0 || d.PermanentV() <= 0 {
+		t.Fatalf("device did not age: %v / %v", v1, d.PermanentV())
+	}
+	d.Rejuvenate(AcceleratedSleep(), 6)
+	if frac := (v1 - d.VthShiftV()) / v1; math.Abs(frac-0.724) > 0.01 {
+		t.Errorf("device recovered fraction = %v, want ≈0.724", frac)
+	}
+}
+
+func TestTrapEnsembleFacade(t *testing.T) {
+	e, err := NewTrapEnsemble(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Traps() != 2000 || e.OccupiedTraps() != 0 {
+		t.Fatalf("fresh ensemble: %d traps, %d occupied", e.Traps(), e.OccupiedTraps())
+	}
+	if err := e.Stress(AcceleratedStress(), 1, 24); err != nil {
+		t.Fatal(err)
+	}
+	v1 := e.VthShiftV()
+	if v1 <= 0 {
+		t.Fatal("ensemble did not age")
+	}
+	if err := e.Rejuvenate(AcceleratedSleep(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if e.VthShiftV() >= v1 {
+		t.Error("ensemble did not recover")
+	}
+	if err := e.Stress(AcceleratedStress(), 1, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := e.Rejuvenate(AcceleratedSleep(), -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := NewTrapEnsemble(0, 1); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}
+
+func TestCompareSchedulesFacade(t *testing.T) {
+	outs, err := CompareSchedules(11, 5,
+		NoRecoveryPolicy(),
+		ProactivePolicy(4, 6, AcceleratedSleep()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if outs[1].FinalPct >= outs[0].FinalPct {
+		t.Errorf("proactive %v not below baseline %v", outs[1].FinalPct, outs[0].FinalPct)
+	}
+	if len(outs[0].Trace) == 0 {
+		t.Error("empty trace")
+	}
+	// Zero-valued policy rejected.
+	if _, err := CompareSchedules(1, 5, Policy{}); err == nil {
+		t.Error("zero policy accepted")
+	}
+	// Reactive constructor works through the facade.
+	if _, err := CompareSchedules(1, 2, ReactivePolicy(1.0, 0.5, AcceleratedSleep())); err != nil {
+		t.Errorf("reactive policy failed: %v", err)
+	}
+}
+
+func TestRunMulticoreFacade(t *testing.T) {
+	ci, err := RunMulticore(CircadianScheduler, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunMulticore(StaticScheduler, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.WorstPct >= st.WorstPct {
+		t.Errorf("circadian worst %v not below static %v", ci.WorstPct, st.WorstPct)
+	}
+	if len(ci.PerCorePct) != 8 || len(ci.TemperatureC) != 8 {
+		t.Error("outcome maps incomplete")
+	}
+	if ci.CoreSlots != st.CoreSlots {
+		t.Error("throughput not held equal")
+	}
+	if _, err := RunMulticore("bogus", 6, 10); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := RunMulticore(StaticScheduler, 6, 0); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := RunMulticore(StaticScheduler, 99, 10); err == nil {
+		t.Error("absurd demand accepted")
+	}
+}
+
+func TestMonitoredChip(t *testing.T) {
+	chip, err := NewMonitoredChip("mon", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.ID() != "mon" {
+		t.Errorf("ID = %q", chip.ID())
+	}
+	fresh, err := chip.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh.DegradationPPM) > 10 {
+		t.Errorf("fresh reading = %v ppm", fresh.DegradationPPM)
+	}
+	if err := chip.Stress(AcceleratedStress(), 12); err != nil {
+		t.Fatal(err)
+	}
+	stressed, err := chip.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stressed.DegradationPPM < 1000 {
+		t.Errorf("stressed reading = %v ppm, want thousands", stressed.DegradationPPM)
+	}
+	if err := chip.Rejuvenate(AcceleratedSleep(), 3); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := chip.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.DegradationPPM >= stressed.DegradationPPM {
+		t.Errorf("no healing visible: %v -> %v ppm", stressed.DegradationPPM, healed.DegradationPPM)
+	}
+	// Validation.
+	if _, err := NewMonitoredChip("", 1); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := chip.Stress(AcceleratedStress(), 0); err == nil {
+		t.Error("zero stress duration accepted")
+	}
+	if err := chip.Stress(StressCondition{TempC: 110, Vdd: 0}, 1); err == nil {
+		t.Error("zero stress rail accepted")
+	}
+	if err := chip.Rejuvenate(AcceleratedSleep(), -1); err == nil {
+		t.Error("negative sleep duration accepted")
+	}
+	if err := chip.Rejuvenate(SleepCondition{TempC: 20, Vdd: 1.2}, 1); err == nil {
+		t.Error("positive sleep rail accepted")
+	}
+}
+
+func TestAdderLogicFacade(t *testing.T) {
+	adder, err := NewAdderLogic(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adder.Bits() != 8 {
+		t.Errorf("Bits = %d", adder.Bits())
+	}
+	// Arithmetic through the fabric.
+	sum, cout, err := adder.Add(200, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 301&0xff || !cout {
+		t.Errorf("200+100+1 = %d cout %v", sum, cout)
+	}
+	if _, _, err := adder.Add(256, 0, false); err == nil {
+		t.Error("oversized operand accepted")
+	}
+	fresh := adder.FreshCriticalPathNS()
+	if fresh <= 0 {
+		t.Fatal("no fresh critical path")
+	}
+	// Idle workload ages the path; arithmetic survives; sleep heals.
+	if err := adder.StressWithWorkload(AcceleratedStress(), 24, 0); err != nil {
+		t.Fatal(err)
+	}
+	aged, err := adder.CriticalPathNS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged <= fresh {
+		t.Fatal("no aging")
+	}
+	if sum, _, err := adder.Add(17, 25, false); err != nil || sum != 42 {
+		t.Errorf("aged adder broke: %d, %v", sum, err)
+	}
+	if err := adder.Rejuvenate(AcceleratedSleep(), 6); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := adder.CriticalPathNS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed >= aged || healed < fresh {
+		t.Errorf("healing wrong: fresh %v aged %v healed %v", fresh, aged, healed)
+	}
+	// Validation.
+	if _, err := NewAdderLogic(0, 1); err == nil {
+		t.Error("zero-width adder accepted")
+	}
+	if _, err := NewAdderLogic(99, 1); err == nil {
+		t.Error("huge adder accepted")
+	}
+	if err := adder.StressWithWorkload(AcceleratedStress(), 0, 0.5); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := adder.StressWithWorkload(AcceleratedStress(), 1, 2); err == nil {
+		t.Error("bias > 1 accepted")
+	}
+	if err := adder.Rejuvenate(SleepCondition{TempC: 20, Vdd: 1}, 1); err == nil {
+		t.Error("positive sleep rail accepted")
+	}
+	if err := adder.Rejuvenate(AcceleratedSleep(), -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestRunCacheSRAMFacade(t *testing.T) {
+	none, err := RunCacheSRAM(SRAMNone, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := RunCacheSRAM(SRAMFlipAndRecover, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.MinSNMMV <= none.MinSNMMV {
+		t.Errorf("maintenance did not help: %v vs %v", both.MinSNMMV, none.MinSNMMV)
+	}
+	if none.MarginConsumedPct <= both.MarginConsumedPct {
+		t.Error("margin accounting inverted")
+	}
+	if _, err := RunCacheSRAM("bogus", 30, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := RunCacheSRAM(SRAMNone, 0, 1); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestMissionMarginFacade(t *testing.T) {
+	base, err := RequiredMarginPct(AlwaysOnMission(), 10, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej, err := RequiredMarginPct(CircadianMission(), 10, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej >= base {
+		t.Errorf("circadian margin %v not below always-on %v", rej, base)
+	}
+	relax, err := MissionRelaxationPct(AlwaysOnMission(), CircadianMission(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relax < 30 {
+		t.Errorf("relaxation = %v %%", relax)
+	}
+	// Lifetime at the 5-year baseline margin: circadian unbounded.
+	fiveYear, err := RequiredMarginPct(AlwaysOnMission(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life, err := LifetimeYears(CircadianMission(), fiveYear*0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLife, err := LifetimeYears(AlwaysOnMission(), fiveYear*0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsUnbounded(baseLife) || baseLife > 5.1 {
+		t.Errorf("baseline lifetime = %v", baseLife)
+	}
+	if !IsUnbounded(life) && life < 2*baseLife {
+		t.Errorf("circadian lifetime %v not a clear extension of %v", life, baseLife)
+	}
+	// Validation propagates.
+	bad := AlwaysOnMission()
+	bad.ActiveVdd = 0
+	if _, err := RequiredMarginPct(bad, 10, 1.2); err == nil {
+		t.Error("bad mission accepted")
+	}
+	if _, err := LifetimeYears(AlwaysOnMission(), 0); err == nil {
+		t.Error("zero margin accepted")
+	}
+	if _, err := MissionRelaxationPct(bad, CircadianMission(), 1); err == nil {
+		t.Error("bad baseline accepted")
+	}
+}
+
+func TestReproduceExtensions(t *testing.T) {
+	report, err := ReproduceExtensions(2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"Extension E1", "Extension E2", "Extension E3",
+		"Extension E4", "Extension E5", "Extension E6", "Extension E7", "Extension E8",
+		"Extension E9", "Extension E10", "Extension E11", "Extension E12"}
+	if len(report.Artifacts) != len(wantIDs) {
+		t.Fatalf("artifact count = %d", len(report.Artifacts))
+	}
+	for i, id := range wantIDs {
+		if report.Artifacts[i].ID != id {
+			t.Errorf("artifact %d = %q, want %q", i, report.Artifacts[i].ID, id)
+		}
+	}
+	text := report.Render()
+	if !strings.Contains(text, "GNOMO") || !strings.Contains(text, "LUT6") {
+		t.Error("extension report incomplete")
+	}
+}
+
+func TestPUFChipFacade(t *testing.T) {
+	chip, err := NewPUFChip("p", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Bits() != 16 {
+		t.Errorf("bits = %d", chip.Bits())
+	}
+	if flips, err := chip.FlippedBits(); err != nil || flips != 0 {
+		t.Errorf("fresh flips = %d, %v", flips, err)
+	}
+	if err := chip.Stress(AcceleratedStress(), 48); err != nil {
+		t.Fatal(err)
+	}
+	aged, err := chip.FlippedBits()
+	if err != nil || aged == 0 {
+		t.Fatalf("no drift after stress: %d, %v", aged, err)
+	}
+	if err := chip.Rejuvenate(AcceleratedSleep(), 12); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := chip.FlippedBits()
+	if err != nil || healed >= aged {
+		t.Errorf("no healing: %d -> %d, %v", aged, healed, err)
+	}
+	rel, err := chip.Reliability(10)
+	if err != nil || rel <= 0 {
+		t.Errorf("reliability = %v, %v", rel, err)
+	}
+	resp, err := chip.Read()
+	if err != nil || len(resp) != 16 {
+		t.Errorf("read = %v, %v", resp, err)
+	}
+	// Validation.
+	if _, err := NewPUFChip("", 1); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := chip.Stress(AcceleratedStress(), 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := chip.Rejuvenate(SleepCondition{Vdd: 1}, 1); err == nil {
+		t.Error("positive sleep rail accepted")
+	}
+	if _, err := chip.Reliability(0); err == nil {
+		t.Error("zero reads accepted")
+	}
+}
+
+func TestSimulateAdaptiveClockFacade(t *testing.T) {
+	out, err := SimulateAdaptiveClock(9, 10, 4, 6, 1, AcceleratedSleep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violations != 0 {
+		t.Errorf("violations = %d", out.Violations)
+	}
+	if out.MeanSpeedupPct <= 0 {
+		t.Errorf("speedup = %v", out.MeanSpeedupPct)
+	}
+	if out.ActiveSlot == 0 {
+		t.Error("no active slots")
+	}
+	if _, err := SimulateAdaptiveClock(9, 10, 0, 6, 1, AcceleratedSleep()); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := SimulateAdaptiveClock(9, 10, 4, 6, -1, AcceleratedSleep()); err == nil {
+		t.Error("negative guard accepted")
+	}
+}
+
+func TestExportMeasurementsFacade(t *testing.T) {
+	dir := t.TempDir()
+	names, err := ExportMeasurements(3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 11 {
+		t.Errorf("wrote %d files", len(names))
+	}
+}
+
+func TestReproducePaper(t *testing.T) {
+	report, err := ReproducePaper(2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{
+		"Figure 1", "Table 1", "Figure 4", "Figure 5", "Table 2", "Table 3",
+		"Figure 6a", "Figure 6b", "Figure 7a", "Figure 7b", "Figure 8",
+		"Table 4", "Table 5", "Figure 9", "Figure 10", "Headline",
+	}
+	if len(report.Artifacts) != len(wantIDs) {
+		t.Fatalf("artifact count = %d, want %d", len(report.Artifacts), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if report.Artifacts[i].ID != id {
+			t.Errorf("artifact %d = %q, want %q", i, report.Artifacts[i].ID, id)
+		}
+	}
+	if _, ok := report.Find("Table 4"); !ok {
+		t.Error("Find failed")
+	}
+	if _, ok := report.Find("Table 99"); ok {
+		t.Error("Find invented an artifact")
+	}
+	text := report.Render()
+	if !strings.Contains(text, "HEADLINE HOLDS") {
+		t.Error("headline verdict missing from the report")
+	}
+	if !strings.Contains(text, "AR110N6") || !strings.Contains(text, "circadian") {
+		t.Error("report incomplete")
+	}
+}
+
+// TestReproducePaperDeterministic: the same seed regenerates the whole
+// evaluation byte-for-byte — figures, tables, noise, everything.
+func TestReproducePaperDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full schedule twice")
+	}
+	a, err := ReproducePaper(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReproducePaper(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("same seed produced different reports")
+	}
+	c, err := ReproducePaper(78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == c.Render() {
+		t.Error("different seeds produced identical reports")
+	}
+}

@@ -1,0 +1,72 @@
+package selfheal
+
+import (
+	"fmt"
+
+	"selfheal/internal/sram"
+	"selfheal/internal/units"
+)
+
+// SRAMPolicy names a cache-SRAM maintenance strategy (the ref-[14]
+// application).
+type SRAMPolicy string
+
+// The available SRAM maintenance policies.
+const (
+	// SRAMNone lets biased data sit and skew the cells.
+	SRAMNone SRAMPolicy = "none"
+	// SRAMBitFlip periodically inverts stored contents, balancing
+	// which pull-up ages (ref [14]'s symmetrization) but healing
+	// nothing.
+	SRAMBitFlip SRAMPolicy = "bit-flip"
+	// SRAMProactiveRecovery rotates one way at a time onto a gated
+	// island under the accelerated condition — this paper's healing.
+	SRAMProactiveRecovery SRAMPolicy = "proactive-recovery"
+	// SRAMFlipAndRecover combines both mechanisms.
+	SRAMFlipAndRecover SRAMPolicy = "flip+recover"
+)
+
+// SRAMOutcome summarizes a simulated cache-array service interval.
+type SRAMOutcome struct {
+	Policy string
+	Days   float64
+	// MinSNMMV and MeanSNMMV are the worst-cell and array-average
+	// static noise margins in millivolts.
+	MinSNMMV, MeanSNMMV float64
+	// MarginConsumedPct is the share of the SNM guard band the worst
+	// cell has eaten.
+	MarginConsumedPct float64
+	// FailingCells counts cells below the functional SNM floor.
+	FailingCells int
+}
+
+// RunCacheSRAM simulates the default 8-way cache data array holding
+// zero-skewed contents at 85 °C for the given number of days under the
+// named maintenance policy.
+func RunCacheSRAM(policy SRAMPolicy, days float64, seed uint64) (SRAMOutcome, error) {
+	var pol sram.Policy
+	switch policy {
+	case SRAMNone:
+		pol = sram.None
+	case SRAMBitFlip:
+		pol = sram.BitFlip
+	case SRAMProactiveRecovery:
+		pol = sram.ProactiveRecovery
+	case SRAMFlipAndRecover:
+		pol = sram.FlipAndRecover
+	default:
+		return SRAMOutcome{}, fmt.Errorf("selfheal: unknown SRAM policy %q", policy)
+	}
+	out, err := sram.Simulate(sram.DefaultArrayParams(), pol, days, 6*units.Hour, seed)
+	if err != nil {
+		return SRAMOutcome{}, fmt.Errorf("selfheal: %w", err)
+	}
+	return SRAMOutcome{
+		Policy:            out.Policy,
+		Days:              out.Days,
+		MinSNMMV:          out.MinSNMMV,
+		MeanSNMMV:         out.MeanSNMMV,
+		MarginConsumedPct: out.MarginConsumedPct,
+		FailingCells:      out.FailingCells,
+	}, nil
+}
