@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench serve
+
+## check: everything CI needs — gofmt, vet, build, tests with the race detector
+check: fmt vet build race
+
+fmt:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one pass over every paper artifact + the service cache benchmark
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+## serve: run the fleet aging service locally
+serve:
+	$(GO) run ./cmd/selfheal-serve

@@ -9,11 +9,13 @@ package selfheal
 // experiments; its cost is measured separately by BenchmarkLabRunAll.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
 
 	"selfheal/internal/exp"
+	"selfheal/internal/lru"
 )
 
 var (
@@ -276,6 +278,33 @@ func BenchmarkChipStressHour(b *testing.B) {
 		if _, err := chip.Stress(AcceleratedStress(), 1, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictCache measures the fleet service's memoization
+// strategy: a prediction request answered through the bounded LRU memo
+// cache (internal/lru, the cache behind internal/serve's engine).
+// Every simulation is deterministic given its parameters, so only the
+// first iteration pays for the 30-day circadian run — compare against
+// BenchmarkMulticoreMonth, which pays it every time.
+func BenchmarkPredictCache(b *testing.B) {
+	cache, err := lru.New[string, MulticoreOutcome](16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := fmt.Sprintf("multicore|%s|%d|%g", CircadianScheduler, 6, 30.0)
+	for i := 0; i < b.N; i++ {
+		if _, ok := cache.Get(key); ok {
+			continue
+		}
+		out, err := RunMulticore(CircadianScheduler, 6, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Add(key, out)
+	}
+	if hits, misses := cache.Stats(); b.N > 1 && hits != uint64(b.N-1) {
+		b.Fatalf("cache hits = %d, want %d (misses %d)", hits, b.N-1, misses)
 	}
 }
 

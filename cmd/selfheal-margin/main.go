@@ -9,7 +9,11 @@
 //
 //	selfheal-margin [-years 10] [-alpha 4] [-sleephours 6]
 //	                [-activetemp 85] [-sleeptemp 110] [-sleeprail -0.3]
-//	                [-safety 1.2] [-margin 0]
+//	                [-safety 1.2] [-margin 0] [-json]
+//
+// With -json the report is emitted as machine-readable JSON (the fleet
+// aging service's shared response schema); an infinite lifetime is
+// encoded as -1.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"selfheal/internal/margin"
+	"selfheal/internal/serve"
 	"selfheal/internal/units"
 )
 
@@ -31,6 +36,7 @@ func main() {
 	sleepRail := flag.Float64("sleeprail", -0.3, "rejuvenation rail, volts (≤0)")
 	safety := flag.Float64("safety", 1.2, "engineering safety factor on the shipped margin")
 	marginPct := flag.Float64("margin", 0, "if >0: also report the lifetime this margin (%) buys")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (the service's response schema)")
 	flag.Parse()
 
 	baseline := margin.Server24x7()
@@ -49,6 +55,48 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	report := serve.MarginResponse{
+		ActiveHours:       mission.ActiveHours,
+		ActiveTempC:       *activeTemp,
+		Years:             *years,
+		Safety:            *safety,
+		RequiredMarginPct: need,
+	}
+	if mission.SleepHours > 0 {
+		report.SleepHours = mission.SleepHours
+		report.SleepTempC = *sleepTemp
+		report.SleepVdd = *sleepRail
+		report.Alpha = mission.Alpha()
+		baseNeed, err := calc.RequiredMarginPct(baseline, *years, *safety)
+		if err != nil {
+			fail(err)
+		}
+		relax, err := calc.RelaxationPct(baseline, mission, *years)
+		if err != nil {
+			fail(err)
+		}
+		report.BaselineMarginPct = &baseNeed
+		report.RelaxedPct = &relax
+	}
+	if *marginPct > 0 {
+		life, err := calc.LifetimeYears(mission, *marginPct)
+		if err != nil {
+			fail(err)
+		}
+		if math.IsInf(life, 1) {
+			life = -1
+		}
+		report.LifetimeYears = &life
+	}
+
+	if *jsonOut {
+		if err := serve.WriteJSON(os.Stdout, report); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	fmt.Printf("mission: %g h active @ %g °C", mission.ActiveHours, *activeTemp)
 	if mission.SleepHours > 0 {
 		fmt.Printf(" + %g h sleep @ %g °C / %g V (α = %g)",
@@ -60,27 +108,15 @@ func main() {
 	fmt.Printf("required BTI delay margin for %g years (safety %.2f): %.3f %%\n",
 		*years, *safety, need)
 
-	if mission.SleepHours > 0 {
-		baseNeed, err := calc.RequiredMarginPct(baseline, *years, *safety)
-		if err != nil {
-			fail(err)
-		}
-		relax, err := calc.RelaxationPct(baseline, mission, *years)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("always-on baseline would need:               %.3f %%\n", baseNeed)
-		fmt.Printf("design margin relaxed by the schedule:       %.1f %%\n", relax)
+	if report.BaselineMarginPct != nil {
+		fmt.Printf("always-on baseline would need:               %.3f %%\n", *report.BaselineMarginPct)
+		fmt.Printf("design margin relaxed by the schedule:       %.1f %%\n", *report.RelaxedPct)
 	}
-	if *marginPct > 0 {
-		life, err := calc.LifetimeYears(mission, *marginPct)
-		if err != nil {
-			fail(err)
-		}
-		if math.IsInf(life, 1) {
+	if report.LifetimeYears != nil {
+		if *report.LifetimeYears < 0 {
 			fmt.Printf("a %.3f %% margin is never exhausted within 200 years\n", *marginPct)
 		} else {
-			fmt.Printf("a %.3f %% margin lasts %.1f years\n", *marginPct, life)
+			fmt.Printf("a %.3f %% margin lasts %.1f years\n", *marginPct, *report.LifetimeYears)
 		}
 	}
 }

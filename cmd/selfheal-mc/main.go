@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	selfheal-mc [-scheduler circadian|round-robin|static] [-demand 6] [-days 30] [-compare]
+//	selfheal-mc [-scheduler circadian|round-robin|static] [-demand 6] [-days 30] [-compare] [-json]
+//
+// With -json the outcomes are emitted as machine-readable JSON using
+// the same schema the fleet aging service serves from
+// POST /v1/predict/multicore.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 
 	"selfheal"
+	"selfheal/internal/serve"
 )
 
 func main() {
@@ -21,6 +26,7 @@ func main() {
 	demand := flag.Int("demand", 6, "cores of throughput demanded every slot")
 	days := flag.Float64("days", 30, "simulated span in days")
 	compare := flag.Bool("compare", false, "run all three schedulers and compare")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (the service's response schema)")
 	flag.Parse()
 
 	names := []selfheal.MulticoreScheduler{selfheal.MulticoreScheduler(*scheduler)}
@@ -29,13 +35,34 @@ func main() {
 			selfheal.StaticScheduler, selfheal.RoundRobinScheduler, selfheal.CircadianScheduler,
 		}
 	}
-	var staticWorst float64
+	outs := make([]selfheal.MulticoreOutcome, len(names))
 	for i, name := range names {
 		out, err := selfheal.RunMulticore(name, *demand, *days)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selfheal-mc:", err)
 			os.Exit(1)
 		}
+		outs[i] = out
+	}
+
+	if *jsonOut {
+		bodies := make([]serve.MulticoreResponse, len(outs))
+		for i, out := range outs {
+			bodies[i] = serve.NewMulticoreResponse(out)
+		}
+		var v any = bodies
+		if !*compare {
+			v = bodies[0]
+		}
+		if err := serve.WriteJSON(os.Stdout, v); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-mc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var staticWorst float64
+	for i, out := range outs {
 		if i > 0 {
 			fmt.Println()
 		}

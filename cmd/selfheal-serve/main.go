@@ -1,0 +1,79 @@
+// Command selfheal-serve runs the fleet aging service: an HTTP JSON
+// API hosting a registry of named simulated chips (stress, rejuvenate,
+// measure — per-chip locked, so different chips progress in parallel)
+// and memoized prediction endpoints for the closed-form model, the
+// schedule comparison and the multi-core exploration.
+//
+// Usage:
+//
+//	selfheal-serve [-addr :8040] [-cache 256] [-max-body 1048576]
+//	               [-grace 10s] [-log-level info]
+//
+// Endpoints:
+//
+//	POST /v1/chips                   create a chip  {"id","seed","kind"}
+//	GET  /v1/chips                   list the fleet
+//	POST /v1/chips/{id}/stress       age it         {"temp_c","vdd","ac","hours","sample_hours"}
+//	POST /v1/chips/{id}/rejuvenate   heal it        {"temp_c","vdd","hours","sample_hours"}
+//	GET  /v1/chips/{id}/measure      bench read-out (kind "bench")
+//	GET  /v1/chips/{id}/odometer     on-die sensor  (kind "monitored")
+//	POST /v1/predict/shift           closed-form ΔVth / recovered fraction
+//	POST /v1/predict/schedules       policy comparison over a horizon
+//	POST /v1/predict/multicore       8-core scheduling exploration
+//	GET  /healthz                    liveness
+//	GET  /metrics                    counters, latency histogram, cache, per-chip usage
+//
+// The service shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get the grace period, then their contexts are cancelled and
+// long simulations abort at the next slot boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"selfheal/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8040", "listen address")
+	cacheSize := flag.Int("cache", 256, "prediction memo-cache capacity (results)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv, err := serve.New(serve.Config{
+		Addr:          *addr,
+		CacheSize:     *cacheSize,
+		MaxBodyBytes:  *maxBody,
+		ShutdownGrace: *grace,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(1)
+	}
+}

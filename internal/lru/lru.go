@@ -1,0 +1,89 @@
+// Package lru is a small, thread-safe, bounded least-recently-used
+// cache with hit/miss accounting. It memoizes the service's prediction
+// endpoints (internal/serve): every simulation in this repository is
+// deterministic given its parameters, so a cache entry never goes
+// stale — the only reason to evict is the capacity bound.
+package lru
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Cache maps K to V, evicting the least-recently-used entry once more
+// than its capacity are resident. The zero value is not usable; create
+// with New.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[K]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type entry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// New returns an empty cache holding at most capacity entries.
+func New[K comparable, V any](capacity int) (*Cache[K, V], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("lru: capacity must be positive, got %d", capacity)
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}, nil
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes key, evicting the LRU entry if needed.
+func (c *Cache[K, V]) Add(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, value: value})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Capacity returns the configured bound.
+func (c *Cache[K, V]) Capacity() int { return c.capacity }
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

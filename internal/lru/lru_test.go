@@ -1,0 +1,93 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		if _, err := New[string, int](capacity); err == nil {
+			t.Errorf("capacity %d: want error", capacity)
+		}
+	}
+}
+
+func TestGetAddRoundTrip(t *testing.T) {
+	c, err := New[string, int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c, err := New[int, int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Get(1) // 2 is now the LRU entry
+	c.Add(3, 3)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently used entry 1 was evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c, err := New[string, int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("a", 1)
+	c.Add("a", 2)
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refreshed value = %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New[string, int](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if _, ok := c.Get(key); !ok {
+					c.Add(key, g*1000+i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity 16", c.Len())
+	}
+}

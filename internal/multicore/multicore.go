@@ -14,6 +14,7 @@
 package multicore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -251,6 +252,13 @@ func (s *System) Step(a Assignment, dt units.Seconds) error {
 // Run simulates slots×dt under the scheduler with a fixed parallelism
 // demand, returning the final outcome.
 func (s *System) Run(sch Scheduler, demand, slots int, dt units.Seconds) (Outcome, error) {
+	return s.RunContext(context.Background(), sch, demand, slots, dt)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked before every slot, so a long exploration aborts promptly
+// (e.g. on server shutdown) instead of finishing a multi-year sweep.
+func (s *System) RunContext(ctx context.Context, sch Scheduler, demand, slots int, dt units.Seconds) (Outcome, error) {
 	if sch == nil {
 		return Outcome{}, errors.New("multicore: nil scheduler")
 	}
@@ -263,6 +271,9 @@ func (s *System) Run(sch Scheduler, demand, slots int, dt units.Seconds) (Outcom
 	var coreSlots, healSlots int
 	var energyWh float64
 	for slot := 0; slot < slots; slot++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, fmt.Errorf("multicore: run aborted at slot %d/%d: %w", slot, slots, err)
+		}
 		a, err := sch.Assign(s, slot, demand)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("multicore: %s slot %d: %w", sch.Name(), slot, err)

@@ -17,6 +17,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"selfheal/internal/fpga"
 	"selfheal/internal/rng"
@@ -34,6 +35,22 @@ type SleepCond struct {
 
 // AcceleratedSleep is the paper's best condition: 110 °C and −0.3 V.
 func AcceleratedSleep() SleepCond { return SleepCond{TempC: 110, Vdd: -0.3} }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validate rejects NaN/Inf fields and positive sleep rails (a positive
+// rail during "sleep" would stress the die, not heal it).
+func (c SleepCond) validate() error {
+	switch {
+	case !isFinite(float64(c.TempC)):
+		return fmt.Errorf("sched: sleep temperature must be finite, got %v °C", float64(c.TempC))
+	case !isFinite(float64(c.Vdd)):
+		return fmt.Errorf("sched: sleep rail must be finite, got %v V", float64(c.Vdd))
+	case c.Vdd > 0:
+		return fmt.Errorf("sched: sleep rail must be ≤ 0 (gated or negative), got %v V", float64(c.Vdd))
+	}
+	return nil
+}
 
 // PassiveSleep is conventional power gating at ambient.
 func PassiveSleep() SleepCond { return SleepCond{TempC: 45, Vdd: 0} }
@@ -79,6 +96,19 @@ type Proactive struct {
 // Name implements Policy.
 func (p Proactive) Name() string { return fmt.Sprintf("proactive(α=%g)", p.Alpha) }
 
+// Validate reports whether the schedule's parameters are physical:
+// positive finite α and sleep length, and a finite sleep condition
+// with a non-positive rail.
+func (p Proactive) Validate() error {
+	switch {
+	case !isFinite(p.Alpha) || p.Alpha <= 0:
+		return fmt.Errorf("sched: proactive α must be a positive finite active:sleep ratio, got %v", p.Alpha)
+	case !isFinite(float64(p.SleepLen)) || p.SleepLen <= 0:
+		return fmt.Errorf("sched: proactive sleep length must be positive, got %v s", float64(p.SleepLen))
+	}
+	return p.Cond.validate()
+}
+
 // Sleep implements Policy.
 func (p Proactive) Sleep(s Status) (bool, SleepCond) {
 	period := units.Seconds(p.Alpha+1) * p.SleepLen
@@ -100,6 +130,21 @@ type Reactive struct {
 
 // Name implements Policy.
 func (r Reactive) Name() string { return fmt.Sprintf("reactive(%.2g%%)", r.TriggerPct) }
+
+// Validate reports whether the trigger/relax hysteresis band is
+// well-formed and the sleep condition is physical.
+func (r Reactive) Validate() error {
+	switch {
+	case !isFinite(r.TriggerPct) || r.TriggerPct <= 0:
+		return fmt.Errorf("sched: reactive trigger must be a positive finite degradation %%, got %v", r.TriggerPct)
+	case !isFinite(r.RelaxPct) || r.RelaxPct < 0:
+		return fmt.Errorf("sched: reactive relax threshold must be ≥ 0 and finite, got %v", r.RelaxPct)
+	case r.RelaxPct >= r.TriggerPct:
+		return fmt.Errorf("sched: reactive relax threshold %v must sit below the trigger %v (hysteresis)",
+			r.RelaxPct, r.TriggerPct)
+	}
+	return r.Cond.validate()
+}
 
 // Sleep implements Policy.
 func (r Reactive) Sleep(s Status) (bool, SleepCond) {
@@ -177,6 +222,11 @@ func Simulate(cfg Config, p Policy) (Outcome, error) {
 	}
 	if p == nil {
 		return Outcome{}, errors.New("sched: nil policy")
+	}
+	if v, ok := p.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return Outcome{}, err
+		}
 	}
 	src := rng.New(cfg.Seed)
 	chip, err := fpga.NewChip("sched", fpga.DefaultParams(), src.Split())

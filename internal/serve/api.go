@@ -1,0 +1,255 @@
+// Package serve is the fleet aging service: an HTTP JSON API that
+// hosts a registry of named simulated chips (stress / rejuvenate /
+// measure, guarded per chip so different chips progress in parallel)
+// and a stateless prediction engine for the closed-form model, fronted
+// by a bounded LRU memo cache — every simulation here is deterministic
+// given its parameters, so identical requests are served from cache.
+//
+// The wire types in this file are shared with the CLIs (`selfheal-mc
+// -json`, `selfheal-margin -json`) so scripted pipelines see one
+// schema whether they shell out or curl.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+
+	"selfheal"
+)
+
+// WriteJSON writes v as two-space-indented JSON with a trailing
+// newline — the one encoder behind every service response and every
+// CLI -json flag.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Chip kinds accepted by CreateChipRequest.
+const (
+	// KindBench is a Chip on the paper's external measurement bench
+	// (thermal chamber, counter read-out, delay traces).
+	KindBench = "bench"
+	// KindMonitored is a MonitoredChip: the bare die with an on-die
+	// Silicon-Odometer differential sensor.
+	KindMonitored = "monitored"
+)
+
+// CreateChipRequest fabricates a chip into the registry. Kind defaults
+// to "bench"; the seed fixes process variation and noise, so the same
+// (seed, kind) always yields an identical chip.
+type CreateChipRequest struct {
+	ID   string `json:"id"`
+	Seed uint64 `json:"seed"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// ChipResponse describes one registered chip.
+type ChipResponse struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// FreshDelayNS is the post-burn-in CUT delay (bench chips only).
+	FreshDelayNS float64 `json:"fresh_delay_ns,omitempty"`
+}
+
+// ChipListResponse is the GET /v1/chips body.
+type ChipListResponse struct {
+	Chips []ChipResponse `json:"chips"`
+}
+
+// PhaseRequest drives POST /v1/chips/{id}/stress and /rejuvenate.
+// TempC/Vdd name the condition; for stress the rail must be positive,
+// for rejuvenation ≤ 0 (0 = gated, negative = accelerated recovery).
+// SampleHours > 0 asks bench chips for a delay trace.
+type PhaseRequest struct {
+	TempC       float64 `json:"temp_c"`
+	Vdd         float64 `json:"vdd"`
+	AC          bool    `json:"ac,omitempty"`
+	Hours       float64 `json:"hours"`
+	SampleHours float64 `json:"sample_hours,omitempty"`
+}
+
+// TracePoint is one sample of a bench chip's delay trace.
+type TracePoint struct {
+	Hours   float64 `json:"hours"`
+	DelayNS float64 `json:"delay_ns"`
+}
+
+// PhaseResponse reports a completed stress or rejuvenation phase.
+type PhaseResponse struct {
+	ID    string       `json:"id"`
+	Phase string       `json:"phase"`
+	Hours float64      `json:"hours"`
+	Trace []TracePoint `json:"trace,omitempty"`
+}
+
+// ReadingResponse is a bench chip's ring-oscillator measurement.
+type ReadingResponse struct {
+	ID             string  `json:"id"`
+	Counts         int     `json:"counts"`
+	FrequencyHz    float64 `json:"frequency_hz"`
+	DelayNS        float64 `json:"delay_ns"`
+	DegradationPct float64 `json:"degradation_pct"`
+}
+
+// OdometerResponse is a monitored chip's differential sensor read-out.
+type OdometerResponse struct {
+	ID             string  `json:"id"`
+	BeatHz         float64 `json:"beat_hz"`
+	DegradationPPM float64 `json:"degradation_ppm"`
+}
+
+// ShiftRequest evaluates the closed-form TD model: the threshold shift
+// after StressHours under (TempC, Vdd, Duty), and — when SleepHours is
+// set — the fraction of the recoverable shift a subsequent sleep under
+// (SleepTempC, SleepVdd) removes.
+type ShiftRequest struct {
+	TempC       float64 `json:"temp_c"`
+	Vdd         float64 `json:"vdd"`
+	Duty        float64 `json:"duty"`
+	StressHours float64 `json:"stress_hours"`
+	SleepTempC  float64 `json:"sleep_temp_c,omitempty"`
+	SleepVdd    float64 `json:"sleep_vdd,omitempty"`
+	SleepHours  float64 `json:"sleep_hours,omitempty"`
+}
+
+// ShiftResponse is the POST /v1/predict/shift body.
+type ShiftResponse struct {
+	ShiftV            float64  `json:"shift_v"`
+	RecoveredFraction *float64 `json:"recovered_fraction,omitempty"`
+	Cached            bool     `json:"cached"`
+}
+
+// PolicySpec names one rejuvenation policy for a schedule comparison.
+// Kind is "none", "proactive" (Alpha, SleepHours, SleepTempC,
+// SleepVdd) or "reactive" (TriggerPct, RelaxPct, SleepTempC, SleepVdd).
+type PolicySpec struct {
+	Kind       string  `json:"kind"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	SleepHours float64 `json:"sleep_hours,omitempty"`
+	TriggerPct float64 `json:"trigger_pct,omitempty"`
+	RelaxPct   float64 `json:"relax_pct,omitempty"`
+	SleepTempC float64 `json:"sleep_temp_c,omitempty"`
+	SleepVdd   float64 `json:"sleep_vdd,omitempty"`
+}
+
+// SchedulesRequest drives POST /v1/predict/schedules.
+type SchedulesRequest struct {
+	Seed        uint64       `json:"seed"`
+	HorizonDays float64      `json:"horizon_days"`
+	Policies    []PolicySpec `json:"policies"`
+	// IncludeTrace adds per-policy degradation traces to the response
+	// (they can be large; cached outcomes always retain them).
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// ScheduleOutcomeBody mirrors selfheal.ScheduleOutcome on the wire.
+type ScheduleOutcomeBody struct {
+	Policy             string       `json:"policy"`
+	ActiveFraction     float64      `json:"active_fraction"`
+	PeakPct            float64      `json:"peak_pct"`
+	FinalPct           float64      `json:"final_pct"`
+	MeanPct            float64      `json:"mean_pct"`
+	MarginProvisionPct float64      `json:"margin_provision_pct"`
+	Trace              []TracePoint `json:"trace,omitempty"`
+}
+
+// SchedulesResponse is the POST /v1/predict/schedules body.
+type SchedulesResponse struct {
+	Outcomes []ScheduleOutcomeBody `json:"outcomes"`
+	Cached   bool                  `json:"cached"`
+}
+
+// MulticoreRequest drives POST /v1/predict/multicore.
+type MulticoreRequest struct {
+	Scheduler string  `json:"scheduler"`
+	Demand    int     `json:"demand"`
+	Days      float64 `json:"days"`
+}
+
+// MulticoreResponse mirrors selfheal.MulticoreOutcome on the wire. It
+// is also what `selfheal-mc -json` emits.
+type MulticoreResponse struct {
+	Scheduler    string    `json:"scheduler"`
+	WorstPct     float64   `json:"worst_pct"`
+	MeanPct      float64   `json:"mean_pct"`
+	SpreadPct    float64   `json:"spread_pct"`
+	HealSlots    int       `json:"heal_slots"`
+	CoreSlots    int       `json:"core_slots"`
+	PerCorePct   []float64 `json:"per_core_pct"`
+	TemperatureC []float64 `json:"temperature_c"`
+	Cached       bool      `json:"cached,omitempty"`
+}
+
+// NewMulticoreResponse converts a library outcome to the wire form.
+func NewMulticoreResponse(out selfheal.MulticoreOutcome) MulticoreResponse {
+	return MulticoreResponse{
+		Scheduler:    out.Scheduler,
+		WorstPct:     out.WorstPct,
+		MeanPct:      out.MeanPct,
+		SpreadPct:    out.SpreadPct,
+		HealSlots:    out.HealSlots,
+		CoreSlots:    out.CoreSlots,
+		PerCorePct:   out.PerCorePct,
+		TemperatureC: out.TemperatureC,
+	}
+}
+
+// MarginResponse is what `selfheal-margin -json` emits: the mission
+// profile and the margins/lifetimes the sign-off calculator derives.
+// It lives here, beside the service's other response types, so the two
+// output paths stay one schema.
+type MarginResponse struct {
+	ActiveHours       float64  `json:"active_hours"`
+	ActiveTempC       float64  `json:"active_temp_c"`
+	SleepHours        float64  `json:"sleep_hours,omitempty"`
+	SleepTempC        float64  `json:"sleep_temp_c,omitempty"`
+	SleepVdd          float64  `json:"sleep_vdd,omitempty"`
+	Alpha             float64  `json:"alpha,omitempty"`
+	Years             float64  `json:"years"`
+	Safety            float64  `json:"safety"`
+	RequiredMarginPct float64  `json:"required_margin_pct"`
+	BaselineMarginPct *float64 `json:"baseline_margin_pct,omitempty"`
+	RelaxedPct        *float64 `json:"relaxed_pct,omitempty"`
+	// LifetimeYears is present when a -margin was given; null-equivalent
+	// omission means it was not requested, +Inf is encoded as -1.
+	LifetimeYears *float64 `json:"lifetime_years,omitempty"`
+}
+
+// NewScheduleOutcomeBodies converts library outcomes to wire form,
+// optionally stripping the (large) traces.
+func NewScheduleOutcomeBodies(outs []selfheal.ScheduleOutcome, includeTrace bool) []ScheduleOutcomeBody {
+	bodies := make([]ScheduleOutcomeBody, len(outs))
+	for i, o := range outs {
+		b := ScheduleOutcomeBody{
+			Policy:             o.Policy,
+			ActiveFraction:     o.ActiveFraction,
+			PeakPct:            o.PeakPct,
+			FinalPct:           o.FinalPct,
+			MeanPct:            o.MeanPct,
+			MarginProvisionPct: o.MarginProvisionPct,
+		}
+		if includeTrace {
+			b.Trace = newTracePoints(o.Trace)
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+func newTracePoints(trace []selfheal.TracePoint) []TracePoint {
+	if len(trace) == 0 {
+		return nil
+	}
+	out := make([]TracePoint, len(trace))
+	for i, p := range trace {
+		out[i] = TracePoint{Hours: p.Hours, DelayNS: p.DelayNS}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// decodeJSON strictly decodes a request body: unknown fields and
+// trailing garbage are errors, so client typos surface as 400s instead
+// of silently-defaulted parameters.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("serve: bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// writeJSON writes a response body with the shared encoder.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := WriteJSON(w, v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+// writeError classifies an error into a status code: duplicate ids and
+// kind mismatches are 409, an aborted simulation is 503, an oversized
+// body is 413, everything else a validation 400.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var dup errDuplicateChip
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &dup), errors.Is(err, errKindMismatch):
+		status = http.StatusConflict
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry))
+}
+
+func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
+	var req CreateChipRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	entry, err := s.registry.Create(req.ID, req.Seed, req.Kind)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+func (s *Server) handleListChips(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, ChipListResponse{Chips: s.registry.List()})
+}
+
+// chip resolves the {id} path segment or writes a 404.
+func (s *Server) chip(w http.ResponseWriter, r *http.Request) (*ChipEntry, bool) {
+	id := r.PathValue("id")
+	entry, ok := s.registry.Get(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: fmt.Sprintf("serve: no chip %q in the registry", id)})
+	}
+	return entry, ok
+}
+
+func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.chip(w, r)
+	if !ok {
+		return
+	}
+	var req PhaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := entry.Stress(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.chip(w, r)
+	if !ok {
+		return
+	}
+	var req PhaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := entry.Rejuvenate(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.chip(w, r)
+	if !ok {
+		return
+	}
+	resp, err := entry.Measure()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOdometer(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.chip(w, r)
+	if !ok {
+		return
+	}
+	resp, err := entry.Odometer()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictShift(w http.ResponseWriter, r *http.Request) {
+	var req ShiftRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.engine.Shift(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictSchedules(w http.ResponseWriter, r *http.Request) {
+	var req SchedulesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.engine.Schedules(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictMulticore(w http.ResponseWriter, r *http.Request) {
+	var req MulticoreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.engine.Multicore(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

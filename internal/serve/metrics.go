@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds; a
+// final implicit +Inf bucket catches the rest.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// Metrics is the service's expvar-style instrumentation: request and
+// status counts per route, a latency histogram, and (via snapshots
+// taken at read time) cache and per-chip usage numbers. Plain JSON on
+// GET /metrics, standard library only.
+type Metrics struct {
+	start time.Time
+
+	mu      sync.Mutex
+	routes  map[string]*routeStats
+	latency []uint64 // len(latencyBounds)+1 counters; last is +Inf
+}
+
+type routeStats struct {
+	count    uint64
+	byStatus map[int]uint64
+}
+
+// NewMetrics starts the clock.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:   time.Now(),
+		routes:  make(map[string]*routeStats),
+		latency: make([]uint64, len(latencyBounds)+1),
+	}
+}
+
+// Observe records one served request.
+func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
+	bucket := len(latencyBounds)
+	for i, le := range latencyBounds {
+		if elapsed.Seconds() <= le {
+			bucket = i
+			break
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{byStatus: make(map[int]uint64)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.byStatus[status]++
+	m.latency[bucket]++
+}
+
+// RouteSnapshot is one route's counters in a MetricsSnapshot.
+type RouteSnapshot struct {
+	Count    uint64            `json:"count"`
+	ByStatus map[string]uint64 `json:"by_status"`
+}
+
+// LatencyBucket is one cumulative histogram bucket ("le" = upper bound
+// in seconds, "+Inf" for the overflow bucket).
+type LatencyBucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// CacheSnapshot reports the prediction memo cache.
+type CacheSnapshot struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// MetricsSnapshot is the GET /metrics body.
+type MetricsSnapshot struct {
+	UptimeSeconds  float64                  `json:"uptime_seconds"`
+	Requests       map[string]RouteSnapshot `json:"requests"`
+	LatencySeconds []LatencyBucket          `json:"latency_seconds"`
+	Cache          CacheSnapshot            `json:"cache"`
+	Chips          map[string]ChipUsage     `json:"chips"`
+}
+
+// Snapshot assembles the exported view, folding in the engine's cache
+// stats and the registry's per-chip usage.
+func (m *Metrics) Snapshot(engine *Engine, registry *Registry) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]RouteSnapshot),
+		Chips:         registry.Usage(),
+	}
+	hits, misses, entries, capacity := engine.CacheStats()
+	snap.Cache = CacheSnapshot{Hits: hits, Misses: misses, Entries: entries, Capacity: capacity}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.routes {
+		byStatus := make(map[string]uint64, len(rs.byStatus))
+		for status, n := range rs.byStatus {
+			byStatus[fmt.Sprintf("%d", status)] = n
+		}
+		snap.Requests[route] = RouteSnapshot{Count: rs.count, ByStatus: byStatus}
+	}
+	var cum uint64
+	for i, n := range m.latency[:len(latencyBounds)] {
+		cum += n
+		snap.LatencySeconds = append(snap.LatencySeconds,
+			LatencyBucket{Le: fmt.Sprintf("%g", latencyBounds[i]), Count: cum})
+	}
+	cum += m.latency[len(latencyBounds)]
+	snap.LatencySeconds = append(snap.LatencySeconds, LatencyBucket{Le: "+Inf", Count: cum})
+	return snap
+}

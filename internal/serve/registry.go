@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"selfheal"
+)
+
+// Registry is the fleet: a concurrent map of named chips. The registry
+// lock only guards the map; each chip carries its own mutex, so
+// stress/rejuvenate/measure on *different* chips run in parallel while
+// operations on the *same* chip serialize (a die can only live through
+// one history).
+type Registry struct {
+	mu    sync.RWMutex
+	chips map[string]*ChipEntry
+}
+
+// NewRegistry returns an empty fleet.
+func NewRegistry() *Registry {
+	return &Registry{chips: make(map[string]*ChipEntry)}
+}
+
+// ChipEntry is one registered chip plus its usage accounting.
+type ChipEntry struct {
+	id   string
+	kind string
+
+	mu    sync.Mutex // guards the simulated die and the counters below
+	bench *selfheal.Chip
+	mon   *selfheal.MonitoredChip
+
+	stressSeconds float64
+	healSeconds   float64
+	ops           uint64
+}
+
+// ChipUsage is a snapshot of one chip's accumulated history, exported
+// under /metrics.
+type ChipUsage struct {
+	Kind          string  `json:"kind"`
+	StressSeconds float64 `json:"stress_seconds"`
+	HealSeconds   float64 `json:"heal_seconds"`
+	Ops           uint64  `json:"ops"`
+}
+
+// errDuplicateChip distinguishes 409s from validation 400s.
+type errDuplicateChip struct{ id string }
+
+func (e errDuplicateChip) Error() string {
+	return fmt.Sprintf("serve: chip %q already exists", e.id)
+}
+
+// errKindMismatch marks a sensor read against the wrong chip kind.
+var errKindMismatch = errors.New("wrong chip kind")
+
+// Create fabricates a chip of the given kind and registers it. The
+// (expensive, deterministic) fabrication runs outside the registry
+// lock; if two racers fabricate the same id, exactly one wins and the
+// other gets a duplicate error.
+func (r *Registry) Create(id string, seed uint64, kind string) (*ChipEntry, error) {
+	if kind == "" {
+		kind = KindBench
+	}
+	entry := &ChipEntry{id: id, kind: kind}
+	switch kind {
+	case KindBench:
+		chip, err := selfheal.NewChip(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		entry.bench = chip
+	case KindMonitored:
+		chip, err := selfheal.NewMonitoredChip(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		entry.mon = chip
+	default:
+		return nil, fmt.Errorf("serve: unknown chip kind %q (want %q or %q)", kind, KindBench, KindMonitored)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.chips[id]; exists {
+		return nil, errDuplicateChip{id: id}
+	}
+	r.chips[id] = entry
+	return entry, nil
+}
+
+// Get returns the chip registered under id.
+func (r *Registry) Get(id string) (*ChipEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.chips[id]
+	return e, ok
+}
+
+// List returns every chip's ChipResponse sorted by id.
+func (r *Registry) List() []ChipResponse {
+	r.mu.RLock()
+	entries := make([]*ChipEntry, 0, len(r.chips))
+	for _, e := range r.chips {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]ChipResponse, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// Usage snapshots every chip's accumulated stress/heal seconds.
+func (r *Registry) Usage() map[string]ChipUsage {
+	r.mu.RLock()
+	entries := make(map[string]*ChipEntry, len(r.chips))
+	for id, e := range r.chips {
+		entries[id] = e
+	}
+	r.mu.RUnlock()
+	out := make(map[string]ChipUsage, len(entries))
+	for id, e := range entries {
+		e.mu.Lock()
+		out[id] = ChipUsage{
+			Kind:          e.kind,
+			StressSeconds: e.stressSeconds,
+			HealSeconds:   e.healSeconds,
+			Ops:           e.ops,
+		}
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// Info describes the chip without touching its simulated state.
+func (e *ChipEntry) Info() ChipResponse {
+	resp := ChipResponse{ID: e.id, Kind: e.kind}
+	if e.bench != nil {
+		resp.FreshDelayNS = e.bench.FreshDelayNS()
+	}
+	return resp
+}
+
+// Stress ages the chip under its per-chip lock.
+func (e *ChipEntry) Stress(req PhaseRequest) (PhaseResponse, error) {
+	cond := selfheal.StressCondition{TempC: req.TempC, Vdd: req.Vdd, AC: req.AC}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	resp := PhaseResponse{ID: e.id, Phase: "stress", Hours: req.Hours}
+	if e.bench != nil {
+		trace, err := e.bench.Stress(cond, req.Hours, req.SampleHours)
+		if err != nil {
+			return PhaseResponse{}, err
+		}
+		resp.Trace = newTracePoints(trace)
+	} else if err := e.mon.Stress(cond, req.Hours); err != nil {
+		return PhaseResponse{}, err
+	}
+	e.stressSeconds += req.Hours * 3600
+	e.ops++
+	return resp, nil
+}
+
+// Rejuvenate heals the chip under its per-chip lock.
+func (e *ChipEntry) Rejuvenate(req PhaseRequest) (PhaseResponse, error) {
+	cond := selfheal.SleepCondition{TempC: req.TempC, Vdd: req.Vdd}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	resp := PhaseResponse{ID: e.id, Phase: "rejuvenate", Hours: req.Hours}
+	if e.bench != nil {
+		trace, err := e.bench.Rejuvenate(cond, req.Hours, req.SampleHours)
+		if err != nil {
+			return PhaseResponse{}, err
+		}
+		resp.Trace = newTracePoints(trace)
+	} else if err := e.mon.Rejuvenate(cond, req.Hours); err != nil {
+		return PhaseResponse{}, err
+	}
+	e.healSeconds += req.Hours * 3600
+	e.ops++
+	return resp, nil
+}
+
+// Measure reads a bench chip's ring-oscillator sensor.
+func (e *ChipEntry) Measure() (ReadingResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bench == nil {
+		return ReadingResponse{}, fmt.Errorf(
+			"serve: chip %q is %q — use /odometer for its on-die sensor: %w", e.id, e.kind, errKindMismatch)
+	}
+	r, err := e.bench.Measure()
+	if err != nil {
+		return ReadingResponse{}, err
+	}
+	e.ops++
+	return ReadingResponse{
+		ID:             e.id,
+		Counts:         r.Counts,
+		FrequencyHz:    r.FrequencyHz,
+		DelayNS:        r.DelayNS,
+		DegradationPct: r.DegradationPct,
+	}, nil
+}
+
+// Odometer reads a monitored chip's differential aging sensor.
+func (e *ChipEntry) Odometer() (OdometerResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mon == nil {
+		return OdometerResponse{}, fmt.Errorf(
+			"serve: chip %q is %q — use /measure for its bench read-out: %w", e.id, e.kind, errKindMismatch)
+	}
+	r, err := e.mon.Read()
+	if err != nil {
+		return OdometerResponse{}, err
+	}
+	e.ops++
+	return OdometerResponse{ID: e.id, BeatHz: r.BeatHz, DegradationPPM: r.DegradationPPM}, nil
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the service; zero fields take the defaults below.
+type Config struct {
+	// Addr is the listen address (default ":8040").
+	Addr string
+	// CacheSize bounds the prediction memo cache (default 256 results).
+	CacheSize int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace is how long in-flight requests get to finish after
+	// SIGINT/SIGTERM before their contexts are cancelled (default 10 s).
+	ShutdownGrace time.Duration
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8040"
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server hosts the fleet registry and the prediction engine behind the
+// HTTP API described in the package comment.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	registry *Registry
+	engine   *Engine
+	metrics  *Metrics
+	handler  http.Handler
+}
+
+// New assembles a server from the configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	engine, err := NewEngine(cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		registry: NewRegistry(),
+		engine:   engine,
+		metrics:  NewMetrics(),
+	}
+	s.handler = s.routes()
+	return s, nil
+}
+
+// Handler returns the fully-wired HTTP handler (exported for httptest).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Engine returns the prediction engine (exported for tests and for
+// embedding the service into a larger process).
+func (s *Server) Engine() *Engine { return s.engine }
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	for pattern, h := range map[string]http.HandlerFunc{
+		"GET /healthz":                   s.handleHealthz,
+		"GET /metrics":                   s.handleMetrics,
+		"POST /v1/chips":                 s.handleCreateChip,
+		"GET /v1/chips":                  s.handleListChips,
+		"POST /v1/chips/{id}/stress":     s.handleStress,
+		"POST /v1/chips/{id}/rejuvenate": s.handleRejuvenate,
+		"GET /v1/chips/{id}/measure":     s.handleMeasure,
+		"GET /v1/chips/{id}/odometer":    s.handleOdometer,
+		"POST /v1/predict/shift":         s.handlePredictShift,
+		"POST /v1/predict/schedules":     s.handlePredictSchedules,
+		"POST /v1/predict/multicore":     s.handlePredictMulticore,
+	} {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	return mux
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the request-size limit, the metrics
+// counters (labelled by route *pattern*, so cardinality stays bounded)
+// and structured request logging.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.Observe(pattern, sw.status, elapsed)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// Run serves until ctx is cancelled (typically by SIGINT/SIGTERM via
+// signal.NotifyContext), then shuts down gracefully: new connections
+// stop, in-flight requests get ShutdownGrace to finish, and if any are
+// still running after that their contexts are cancelled — which aborts
+// long multicore simulations at the next slot boundary.
+func (s *Server) Run(ctx context.Context) error {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.handler,
+		BaseContext:       func(net.Listener) context.Context { return base },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	s.log.Info("fleet aging service listening", "addr", s.cfg.Addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "grace", s.cfg.ShutdownGrace)
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		s.log.Warn("grace period expired; cancelling in-flight simulations", "err", err)
+		cancelBase()
+		if err := srv.Close(); err != nil {
+			return err
+		}
+	}
+	<-errc // drain http.ErrServerClosed from the serve goroutine
+	s.log.Info("shutdown complete")
+	return nil
+}

@@ -1,6 +1,7 @@
 package selfheal
 
 import (
+	"context"
 	"fmt"
 
 	"selfheal/internal/multicore"
@@ -45,6 +46,13 @@ type MulticoreOutcome struct {
 // throughput for `days` days in six-hour slots under the named
 // scheduler.
 func RunMulticore(scheduler MulticoreScheduler, demand int, days float64) (MulticoreOutcome, error) {
+	return RunMulticoreContext(context.Background(), scheduler, demand, days)
+}
+
+// RunMulticoreContext is RunMulticore with cooperative cancellation:
+// the context is honoured between slots, so long explorations driven
+// by a server or pipeline abort promptly when the caller goes away.
+func RunMulticoreContext(ctx context.Context, scheduler MulticoreScheduler, demand int, days float64) (MulticoreOutcome, error) {
 	var sch multicore.Scheduler
 	switch scheduler {
 	case StaticScheduler:
@@ -55,6 +63,9 @@ func RunMulticore(scheduler MulticoreScheduler, demand int, days float64) (Multi
 		sch = multicore.Circadian{}
 	default:
 		return MulticoreOutcome{}, fmt.Errorf("selfheal: unknown scheduler %q", scheduler)
+	}
+	if err := checkFinite("multicore span (days)", days); err != nil {
+		return MulticoreOutcome{}, err
 	}
 	if days <= 0 {
 		return MulticoreOutcome{}, fmt.Errorf("selfheal: days must be positive, got %v", days)
@@ -68,7 +79,7 @@ func RunMulticore(scheduler MulticoreScheduler, demand int, days float64) (Multi
 	if slots < 1 {
 		slots = 1
 	}
-	out, err := sys.Run(sch, demand, slots, slotHours*units.Hour)
+	out, err := sys.RunContext(ctx, sch, demand, slots, slotHours*units.Hour)
 	if err != nil {
 		return MulticoreOutcome{}, fmt.Errorf("selfheal: %w", err)
 	}

@@ -62,11 +62,17 @@ func (m *MonitoredChip) ID() string { return m.chip.ID() }
 
 // Stress runs the die under the operating condition for hours.
 func (m *MonitoredChip) Stress(cond StressCondition, hours float64) error {
-	if hours <= 0 {
-		return errors.New("selfheal: stress duration must be positive")
+	if err := checkPhaseArgs("stress", hours, 0); err != nil {
+		return err
+	}
+	if err := checkFinite("stress temperature (°C)", cond.TempC); err != nil {
+		return err
+	}
+	if err := checkFinite("stress rail (V)", cond.Vdd); err != nil {
+		return err
 	}
 	if cond.Vdd <= 0 {
-		return errors.New("selfheal: stress condition needs a positive rail")
+		return fmt.Errorf("selfheal: stress condition needs a positive rail, got %v V", cond.Vdd)
 	}
 	if err := m.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
 		units.HoursToSeconds(hours)); err != nil {
@@ -78,11 +84,17 @@ func (m *MonitoredChip) Stress(cond StressCondition, hours float64) error {
 // Rejuvenate puts the die to sleep under the recovery condition for
 // hours.
 func (m *MonitoredChip) Rejuvenate(cond SleepCondition, hours float64) error {
-	if hours <= 0 {
-		return errors.New("selfheal: sleep duration must be positive")
+	if err := checkPhaseArgs("sleep", hours, 0); err != nil {
+		return err
+	}
+	if err := checkFinite("sleep temperature (°C)", cond.TempC); err != nil {
+		return err
+	}
+	if err := checkFinite("sleep rail (V)", cond.Vdd); err != nil {
+		return err
 	}
 	if cond.Vdd > 0 {
-		return errors.New("selfheal: sleep rail must be ≤ 0")
+		return fmt.Errorf("selfheal: sleep rail must be ≤ 0 (gated or negative), got %v V", cond.Vdd)
 	}
 	if err := m.engine.Step(units.Volt(cond.Vdd), units.Celsius(cond.TempC),
 		units.HoursToSeconds(hours)); err != nil {

@@ -64,6 +64,12 @@ type ScheduleOutcome struct {
 // operation on identical chips (same seed) and returns outcomes in
 // input order.
 func CompareSchedules(seed uint64, horizonDays float64, policies ...Policy) ([]ScheduleOutcome, error) {
+	if err := checkFinite("schedule horizon (days)", horizonDays); err != nil {
+		return nil, err
+	}
+	if horizonDays <= 0 {
+		return nil, fmt.Errorf("selfheal: schedule horizon must be positive, got %v days", horizonDays)
+	}
 	cfg := sched.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Horizon = units.Seconds(horizonDays) * units.Day

@@ -38,11 +38,41 @@ package selfheal
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"selfheal/internal/measure"
 	"selfheal/internal/rng"
 	"selfheal/internal/units"
 )
+
+// checkFinite rejects NaN and ±Inf with a descriptive error so callers
+// (and the HTTP layer in internal/serve) can surface exactly which
+// parameter was malformed instead of silently propagating NaNs through
+// the physics.
+func checkFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("selfheal: %s must be finite, got %v", name, v)
+	}
+	return nil
+}
+
+// checkPhaseArgs validates the duration and sampling arguments shared
+// by Chip.Stress and Chip.Rejuvenate.
+func checkPhaseArgs(phase string, hours, sampleHours float64) error {
+	if err := checkFinite(phase+" duration (hours)", hours); err != nil {
+		return err
+	}
+	if hours <= 0 {
+		return fmt.Errorf("selfheal: %s duration must be positive, got %v h", phase, hours)
+	}
+	if err := checkFinite(phase+" sampling period (hours)", sampleHours); err != nil {
+		return err
+	}
+	if sampleHours < 0 {
+		return fmt.Errorf("selfheal: %s sampling period must be ≥ 0, got %v h", phase, sampleHours)
+	}
+	return nil
+}
 
 // StressCondition describes an operating (wearout) phase.
 type StressCondition struct {
@@ -158,8 +188,17 @@ func (c *Chip) Measure() (Reading, error) {
 // given number of hours, sampling every sampleHours (0 samples only at
 // the boundary), and returns the recorded delay trace.
 func (c *Chip) Stress(cond StressCondition, hours, sampleHours float64) ([]TracePoint, error) {
-	if hours <= 0 {
-		return nil, errors.New("selfheal: stress duration must be positive")
+	if err := checkPhaseArgs("stress", hours, sampleHours); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("stress temperature (°C)", cond.TempC); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("stress rail (V)", cond.Vdd); err != nil {
+		return nil, err
+	}
+	if cond.Vdd <= 0 {
+		return nil, fmt.Errorf("selfheal: stress condition needs a positive rail, got %v V", cond.Vdd)
 	}
 	s, err := c.bench.RunPhase(measure.PhaseSpec{
 		Name:        "stress",
@@ -181,8 +220,17 @@ func (c *Chip) Stress(cond StressCondition, hours, sampleHours float64) ([]Trace
 // for the given number of hours, sampling every sampleHours, and
 // returns the recorded delay trace.
 func (c *Chip) Rejuvenate(cond SleepCondition, hours, sampleHours float64) ([]TracePoint, error) {
-	if hours <= 0 {
-		return nil, errors.New("selfheal: sleep duration must be positive")
+	if err := checkPhaseArgs("sleep", hours, sampleHours); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("sleep temperature (°C)", cond.TempC); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("sleep rail (V)", cond.Vdd); err != nil {
+		return nil, err
+	}
+	if cond.Vdd > 0 {
+		return nil, fmt.Errorf("selfheal: sleep rail must be ≤ 0 (gated or negative), got %v V", cond.Vdd)
 	}
 	s, err := c.bench.RunPhase(measure.PhaseSpec{
 		Name:        "sleep",

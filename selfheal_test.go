@@ -1,6 +1,7 @@
 package selfheal
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -85,6 +86,98 @@ func TestChipDurationValidation(t *testing.T) {
 	}
 	if _, err := chip.Rejuvenate(AcceleratedSleep(), -1, 0); err == nil {
 		t.Error("negative sleep duration accepted")
+	}
+}
+
+func TestChipConditionValidation(t *testing.T) {
+	chip, err := NewChip("v2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"NaN stress hours", func() error { _, err := chip.Stress(AcceleratedStress(), nan, 0); return err }},
+		{"NaN stress sampling", func() error { _, err := chip.Stress(AcceleratedStress(), 1, nan); return err }},
+		{"NaN stress temperature", func() error {
+			_, err := chip.Stress(StressCondition{TempC: nan, Vdd: 1.2}, 1, 0)
+			return err
+		}},
+		{"Inf stress rail", func() error {
+			_, err := chip.Stress(StressCondition{TempC: 110, Vdd: math.Inf(1)}, 1, 0)
+			return err
+		}},
+		{"zero stress rail", func() error {
+			_, err := chip.Stress(StressCondition{TempC: 110, Vdd: 0}, 1, 0)
+			return err
+		}},
+		{"NaN sleep temperature", func() error {
+			_, err := chip.Rejuvenate(SleepCondition{TempC: nan, Vdd: -0.3}, 1, 0)
+			return err
+		}},
+		{"positive sleep rail", func() error {
+			_, err := chip.Rejuvenate(SleepCondition{TempC: 110, Vdd: 1.2}, 1, 0)
+			return err
+		}},
+		{"NaN sleep hours", func() error { _, err := chip.Rejuvenate(AcceleratedSleep(), nan, 0); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// The rejected calls must not have perturbed the die.
+	if trace, err := chip.Stress(AcceleratedStress(), 1, 0); err != nil || len(trace) == 0 {
+		t.Fatalf("valid stress after rejections: trace %d points, err %v", len(trace), err)
+	}
+}
+
+func TestCompareSchedulesValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		horizon float64
+		policy  Policy
+	}{
+		{"zero alpha", 1, ProactivePolicy(0, 6, AcceleratedSleep())},
+		{"NaN alpha", 1, ProactivePolicy(math.NaN(), 6, AcceleratedSleep())},
+		{"zero sleep length", 1, ProactivePolicy(4, 0, AcceleratedSleep())},
+		{"NaN sleep temperature", 1, ProactivePolicy(4, 6, SleepCondition{TempC: math.NaN(), Vdd: -0.3})},
+		{"positive sleep rail", 1, ProactivePolicy(4, 6, SleepCondition{TempC: 110, Vdd: 0.5})},
+		{"inverted hysteresis", 1, ReactivePolicy(0.25, 0.5, AcceleratedSleep())},
+		{"NaN trigger", 1, ReactivePolicy(math.NaN(), 0.25, AcceleratedSleep())},
+		{"NaN horizon", math.NaN(), NoRecoveryPolicy()},
+		{"negative horizon", -1, NoRecoveryPolicy()},
+	}
+	for _, tc := range cases {
+		if _, err := CompareSchedules(1, tc.horizon, tc.policy); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestMonitoredChipConditionValidation(t *testing.T) {
+	chip, err := NewMonitoredChip("v3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.Stress(StressCondition{TempC: math.NaN(), Vdd: 1.2}, 1); err == nil {
+		t.Error("NaN stress temperature accepted")
+	}
+	if err := chip.Rejuvenate(SleepCondition{TempC: 110, Vdd: math.Inf(-1)}, 1); err == nil {
+		t.Error("-Inf sleep rail accepted")
+	}
+}
+
+func TestRunMulticoreContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMulticoreContext(ctx, CircadianScheduler, 6, 30); err == nil {
+		t.Error("cancelled context accepted")
+	}
+	if _, err := RunMulticore(CircadianScheduler, 6, math.NaN()); err == nil {
+		t.Error("NaN days accepted")
 	}
 }
 
