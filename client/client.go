@@ -1,0 +1,363 @@
+// Package client is the Go client for the fleet aging service
+// (cmd/selfheal-serve). It speaks the same wire types the service and
+// the -json CLIs share, adds context deadlines, and retries safely:
+//
+//   - 429 (the service's load shedder) is always retried — the limiter
+//     rejects before the handler runs, so nothing was executed — and
+//     its Retry-After hint is honored, capped by the backoff ceiling.
+//   - Idempotent requests (reads, the pure prediction endpoints, and
+//     delete, which converges to the same end state) are additionally
+//     retried on transport errors and 5xx responses.
+//   - Non-idempotent mutations (create, stress, rejuvenate) are never
+//     retried after reaching the server: a 500 may mean "executed but
+//     not journaled", and re-stressing a die would age it twice.
+//
+// Backoff is capped exponential with jitter from a seeded source, so
+// tests are reproducible.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"selfheal/internal/serve"
+)
+
+// Wire types re-exported so callers need only this package.
+type (
+	CreateChipRequest  = serve.CreateChipRequest
+	ChipResponse       = serve.ChipResponse
+	ChipListResponse   = serve.ChipListResponse
+	DeleteChipResponse = serve.DeleteChipResponse
+	PhaseRequest       = serve.PhaseRequest
+	PhaseResponse      = serve.PhaseResponse
+	ReadingResponse    = serve.ReadingResponse
+	OdometerResponse   = serve.OdometerResponse
+	ShiftRequest       = serve.ShiftRequest
+	ShiftResponse      = serve.ShiftResponse
+	SchedulesRequest   = serve.SchedulesRequest
+	SchedulesResponse  = serve.SchedulesResponse
+	MulticoreRequest   = serve.MulticoreRequest
+	MulticoreResponse  = serve.MulticoreResponse
+	MetricsSnapshot    = serve.MetricsSnapshot
+)
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status    int
+	Message   string
+	RequestID string
+
+	// retryAfter is the server's Retry-After hint, if any.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("client: server returned %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one fleet aging service.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxAttempts caps total tries per call, first included (default 4).
+func WithMaxAttempts(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxAttempts = n
+		}
+	}
+}
+
+// WithBackoff sets the first retry delay and the delay ceiling
+// (defaults 100 ms and 2 s). The ceiling also caps how long a
+// Retry-After hint is honored, so a saturated server cannot park a
+// client beyond its own patience.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.baseBackoff = base
+		}
+		if max > 0 {
+			c.maxBackoff = max
+		}
+	}
+}
+
+// WithJitterSeed fixes the jitter stream for reproducible tests.
+func WithJitterSeed(seed uint64) Option {
+	return func(c *Client) { c.rnd = rand.New(rand.NewSource(int64(seed))) }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8040").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          http.DefaultClient,
+		maxAttempts: 4,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
+		rnd:         rand.New(rand.NewSource(1)),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// backoffFor returns the jittered delay before retry number attempt
+// (1-based): the exponential term capped at maxBackoff, then jittered
+// into [d/2, d) so synchronized clients spread out.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	d := c.baseBackoff << (attempt - 1)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d/2 + time.Duration(c.rnd.Int63n(int64(d/2)+1))
+}
+
+// retryAfter parses a Retry-After header as delta-seconds; 0 means
+// absent or unusable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do issues one logical call with retries. idempotent marks requests
+// that are safe to re-send after they may have executed; 429s are
+// retried regardless because the shedder rejects before execution.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		delay, retryable := c.retryPlan(lastErr, idempotent, attempt)
+		if !retryable || attempt >= c.maxAttempts {
+			return lastErr
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+	}
+}
+
+// retryPlan decides whether err warrants another attempt and how long
+// to wait first.
+func (c *Client) retryPlan(err error, idempotent bool, attempt int) (time.Duration, bool) {
+	delay := c.backoffFor(attempt)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		// Transport error: the request may or may not have reached the
+		// handler, so only idempotent calls are safe to re-send.
+		return delay, idempotent
+	}
+	switch {
+	case apiErr.Status == http.StatusTooManyRequests:
+		if ra := apiErr.retryAfter; ra > 0 && ra < delay {
+			delay = ra
+		} else if ra > delay {
+			if ra < c.maxBackoff {
+				delay = ra
+			} else {
+				delay = c.maxBackoff
+			}
+		}
+		return delay, true
+	case apiErr.Status >= 500:
+		return delay, idempotent
+	default:
+		return 0, false
+	}
+}
+
+// once issues a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+		}
+		return nil
+	}
+	var eb serve.ErrorResponse
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(raw))
+		if eb.Error == "" {
+			eb.Error = http.StatusText(resp.StatusCode)
+		}
+	}
+	return &APIError{
+		Status:     resp.StatusCode,
+		Message:    eb.Error,
+		RequestID:  eb.RequestID,
+		retryAfter: retryAfter(resp),
+	}
+}
+
+// CreateChip fabricates a chip into the fleet. Not retried after
+// reaching the server (a duplicate-id 409 would mask the first
+// outcome); the service rolls back un-journaled creates, so a caller
+// seeing a 5xx may safely issue the call again itself.
+func (c *Client) CreateChip(ctx context.Context, req CreateChipRequest) (ChipResponse, error) {
+	var out ChipResponse
+	err := c.do(ctx, http.MethodPost, "/v1/chips", req, &out, false)
+	return out, err
+}
+
+// ListChips returns the fleet sorted by id.
+func (c *Client) ListChips(ctx context.Context) ([]ChipResponse, error) {
+	var out ChipListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/chips", nil, &out, true)
+	return out.Chips, err
+}
+
+// DeleteChip retires a chip. Idempotent: retrying a delete converges
+// to the same end state (a retry racing its own success reports 404).
+func (c *Client) DeleteChip(ctx context.Context, id string) (DeleteChipResponse, error) {
+	var out DeleteChipResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/chips/"+url.PathEscape(id), nil, &out, true)
+	return out, err
+}
+
+// Stress ages a chip. Never retried once sent: a second run would age
+// the die twice.
+func (c *Client) Stress(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	var out PhaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/chips/"+url.PathEscape(id)+"/stress", req, &out, false)
+	return out, err
+}
+
+// Rejuvenate heals a chip. Never retried once sent.
+func (c *Client) Rejuvenate(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	var out PhaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/chips/"+url.PathEscape(id)+"/rejuvenate", req, &out, false)
+	return out, err
+}
+
+// Measure reads a bench chip's ring-oscillator sensor.
+func (c *Client) Measure(ctx context.Context, id string) (ReadingResponse, error) {
+	var out ReadingResponse
+	err := c.do(ctx, http.MethodGet, "/v1/chips/"+url.PathEscape(id)+"/measure", nil, &out, true)
+	return out, err
+}
+
+// Odometer reads a monitored chip's differential aging sensor.
+func (c *Client) Odometer(ctx context.Context, id string) (OdometerResponse, error) {
+	var out OdometerResponse
+	err := c.do(ctx, http.MethodGet, "/v1/chips/"+url.PathEscape(id)+"/odometer", nil, &out, true)
+	return out, err
+}
+
+// PredictShift evaluates the closed-form model. The prediction
+// endpoints are pure functions of their request, so they retry as
+// idempotent despite being POSTs.
+func (c *Client) PredictShift(ctx context.Context, req ShiftRequest) (ShiftResponse, error) {
+	var out ShiftResponse
+	err := c.do(ctx, http.MethodPost, "/v1/predict/shift", req, &out, true)
+	return out, err
+}
+
+// PredictSchedules compares rejuvenation policies over a horizon.
+func (c *Client) PredictSchedules(ctx context.Context, req SchedulesRequest) (SchedulesResponse, error) {
+	var out SchedulesResponse
+	err := c.do(ctx, http.MethodPost, "/v1/predict/schedules", req, &out, true)
+	return out, err
+}
+
+// PredictMulticore runs the 8-core scheduling exploration.
+func (c *Client) PredictMulticore(ctx context.Context, req MulticoreRequest) (MulticoreResponse, error) {
+	var out MulticoreResponse
+	err := c.do(ctx, http.MethodPost, "/v1/predict/multicore", req, &out, true)
+	return out, err
+}
+
+// Metrics fetches the service's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out, true)
+	return out, err
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
+}

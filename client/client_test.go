@@ -1,0 +1,222 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// script serves canned responses per path: each request pops the next
+// step; the last step repeats once the script is exhausted.
+type script struct {
+	mu    sync.Mutex
+	calls map[string]int
+	steps map[string][]func(w http.ResponseWriter)
+}
+
+func newScript() *script {
+	return &script{calls: make(map[string]int), steps: make(map[string][]func(w http.ResponseWriter))}
+}
+
+func (s *script) on(path string, steps ...func(w http.ResponseWriter)) { s.steps[path] = steps }
+
+func (s *script) count(path string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[path]
+}
+
+func (s *script) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := s.calls[r.URL.Path]
+	s.calls[r.URL.Path] = n + 1
+	steps := s.steps[r.URL.Path]
+	s.mu.Unlock()
+	if len(steps) == 0 {
+		http.NotFound(w, r)
+		return
+	}
+	if n >= len(steps) {
+		n = len(steps) - 1
+	}
+	steps[n](w)
+}
+
+func respond(status int, body string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(body))
+	}
+}
+
+func respond429(retryAfter string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", retryAfter)
+		respond(http.StatusTooManyRequests, `{"error":"fleet saturated"}`)(w)
+	}
+}
+
+func dropConnection(w http.ResponseWriter) { panic(http.ErrAbortHandler) }
+
+func newTestClient(t *testing.T, sc *script, opts ...Option) *Client {
+	t.Helper()
+	ts := httptest.NewServer(sc)
+	t.Cleanup(ts.Close)
+	opts = append([]Option{WithBackoff(time.Millisecond, 20*time.Millisecond), WithJitterSeed(7)}, opts...)
+	return New(ts.URL, opts...)
+}
+
+func TestShedRetriedWithRetryAfterCap(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips",
+		respond429("5"), // 5 s hint must be capped by the 20 ms ceiling
+		respond429("1"),
+		respond(http.StatusOK, `{"chips":[{"id":"c0","kind":"bench"}]}`),
+	)
+	cl := newTestClient(t, sc)
+	start := time.Now()
+	chips, err := cl.ListChips(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 1 || chips[0].ID != "c0" {
+		t.Fatalf("chips = %+v", chips)
+	}
+	if got := sc.count("/v1/chips"); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("two shed retries took %v; Retry-After hint not capped", elapsed)
+	}
+}
+
+// A shed 429 is retried even on non-idempotent calls: the limiter
+// rejects before the handler runs, so nothing executed.
+func TestShedRetriedForMutations(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/stress",
+		respond429("1"),
+		respond(http.StatusOK, `{"id":"c0","phase":"stress","hours":1}`),
+	)
+	cl := newTestClient(t, sc)
+	if _, err := cl.Stress(context.Background(), "c0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.count("/v1/chips/c0/stress"); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+}
+
+func TestMutationNotRetriedAfter500(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/stress", respond(http.StatusInternalServerError,
+		`{"error":"journal: disk failed","request_id":"rid-9"}`))
+	cl := newTestClient(t, sc)
+	_, err := cl.Stress(context.Background(), "c0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want APIError 500", err)
+	}
+	if apiErr.RequestID != "rid-9" {
+		t.Fatalf("request id = %q, want rid-9", apiErr.RequestID)
+	}
+	if got := sc.count("/v1/chips/c0/stress"); got != 1 {
+		t.Fatalf("attempts = %d; a 500 stress must not be re-sent (the die may have aged)", got)
+	}
+}
+
+func TestMutationNotRetriedAfterTransportError(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips", dropConnection, respond(http.StatusCreated, `{"id":"c0","kind":"bench"}`))
+	cl := newTestClient(t, sc)
+	if _, err := cl.CreateChip(context.Background(), CreateChipRequest{ID: "c0", Seed: 1}); err == nil {
+		t.Fatal("create succeeded despite dropped connection")
+	}
+	if got := sc.count("/v1/chips"); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+func TestIdempotentRetriedOn5xxAndTransportError(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/measure",
+		respond(http.StatusInternalServerError, `{"error":"injected"}`),
+		dropConnection,
+		respond(http.StatusOK, `{"id":"c0","counts":4976,"frequency_hz":4.97e6,"delay_ns":100.5,"degradation_pct":0.3}`),
+	)
+	cl := newTestClient(t, sc)
+	reading, err := cl.Measure(context.Background(), "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reading.Counts != 4976 {
+		t.Fatalf("reading = %+v", reading)
+	}
+	if got := sc.count("/v1/chips/c0/measure"); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func Test4xxIsTerminal(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/ghost/measure", respond(http.StatusNotFound, `{"error":"no chip \"ghost\""}`))
+	cl := newTestClient(t, sc)
+	_, err := cl.Measure(context.Background(), "ghost")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if got := sc.count("/v1/chips/ghost/measure"); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+func TestMaxAttemptsExhausted(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips", respond(http.StatusInternalServerError, `{"error":"still broken"}`))
+	cl := newTestClient(t, sc, WithMaxAttempts(3))
+	_, err := cl.ListChips(context.Background())
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if got := sc.count("/v1/chips"); got != 3 {
+		t.Fatalf("attempts = %d, want exactly maxAttempts (3)", got)
+	}
+}
+
+func TestContextCancelsBackoffSleep(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips", respond(http.StatusInternalServerError, `{"error":"boom"}`))
+	cl := newTestClient(t, sc, WithBackoff(10*time.Second, 10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.ListChips(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep ignored the context", elapsed)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	c := New("http://unused", WithBackoff(10*time.Millisecond, 80*time.Millisecond), WithJitterSeed(3))
+	for attempt := 1; attempt <= 8; attempt++ {
+		want := 10 * time.Millisecond << (attempt - 1)
+		if want > 80*time.Millisecond {
+			want = 80 * time.Millisecond
+		}
+		for i := 0; i < 20; i++ {
+			d := c.backoffFor(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

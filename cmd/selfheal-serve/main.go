@@ -8,24 +8,45 @@
 //
 //	selfheal-serve [-addr :8040] [-cache 256] [-max-body 1048576]
 //	               [-grace 10s] [-log-level info]
+//	               [-data DIR] [-max-inflight 1024]
+//	               [-op-timeout 30s] [-predict-timeout 2m]
+//	               [-faults spec]
 //
 // Endpoints:
 //
-//	POST /v1/chips                   create a chip  {"id","seed","kind"}
-//	GET  /v1/chips                   list the fleet
-//	POST /v1/chips/{id}/stress       age it         {"temp_c","vdd","ac","hours","sample_hours"}
-//	POST /v1/chips/{id}/rejuvenate   heal it        {"temp_c","vdd","hours","sample_hours"}
-//	GET  /v1/chips/{id}/measure      bench read-out (kind "bench")
-//	GET  /v1/chips/{id}/odometer     on-die sensor  (kind "monitored")
-//	POST /v1/predict/shift           closed-form ΔVth / recovered fraction
-//	POST /v1/predict/schedules       policy comparison over a horizon
-//	POST /v1/predict/multicore       8-core scheduling exploration
-//	GET  /healthz                    liveness
-//	GET  /metrics                    counters, latency histogram, cache, per-chip usage
+//	POST   /v1/chips                   create a chip  {"id","seed","kind"}
+//	GET    /v1/chips                   list the fleet
+//	DELETE /v1/chips/{id}              retire a die
+//	POST   /v1/chips/{id}/stress       age it         {"temp_c","vdd","ac","hours","sample_hours"}
+//	POST   /v1/chips/{id}/rejuvenate   heal it        {"temp_c","vdd","hours","sample_hours"}
+//	GET    /v1/chips/{id}/measure      bench read-out (kind "bench")
+//	GET    /v1/chips/{id}/odometer     on-die sensor  (kind "monitored")
+//	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
+//	POST   /v1/predict/schedules       policy comparison over a horizon
+//	POST   /v1/predict/multicore       8-core scheduling exploration
+//	GET    /healthz                    liveness
+//	GET    /metrics                    counters, latency histogram, cache, per-chip
+//	                                   usage, journal fsync latency, faults
 //
-// The service shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get the grace period, then their contexts are cancelled and
-// long simulations abort at the next slot boundary.
+// With -data the fleet is durable: every operation — create, stress,
+// rejuvenate, delete, and the sensor reads, which perturb the die —
+// is appended to an fsync'd journal in that directory before the
+// response commits, and on startup the journal is replayed —
+// simulations are deterministic per seed, so replay reconstructs every
+// chip's exact aged state even after a hard kill.
+//
+// -faults enables the seeded chaos injector on the /v1 routes and the
+// journal writer, e.g.:
+//
+//	selfheal-serve -data /var/lib/selfheal \
+//	    -faults 'seed=7,latency_p=0.2,latency=50ms,error_p=0.05,panic_p=0.01,partial_p=0.05'
+//
+// The service sheds load with 429 + Retry-After when more than
+// -max-inflight requests are executing, recovers handler panics into
+// JSON 500s, bounds every route with a timeout, and shuts down
+// gracefully on SIGINT/SIGTERM: in-flight requests get the grace
+// period, then their contexts are cancelled and long simulations abort
+// at the next slot boundary.
 package main
 
 import (
@@ -40,6 +61,8 @@ import (
 	"syscall"
 	"time"
 
+	"selfheal/internal/faults"
+	"selfheal/internal/journal"
 	"selfheal/internal/serve"
 )
 
@@ -49,6 +72,11 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	dataDir := flag.String("data", "", "journal directory for a durable fleet (empty: in-memory only)")
+	maxInflight := flag.Int("max-inflight", 1024, "concurrent /v1 requests before shedding with 429")
+	opTimeout := flag.Duration("op-timeout", 30*time.Second, "timeout for registry and sensor routes")
+	predictTimeout := flag.Duration("predict-timeout", 2*time.Minute, "timeout for /v1/predict routes")
+	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F")
 	flag.Parse()
 
 	var level slog.Level
@@ -58,12 +86,45 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		cfg, err := faults.ParseConfig(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(2)
+		}
+		if injector, err = faults.New(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(2)
+		}
+		logger.Warn("chaos fault injection enabled", "spec", *faultSpec)
+	}
+
+	var jl *journal.Journal
+	if *dataDir != "" {
+		opts := journal.Options{}
+		if injector != nil {
+			opts.Hook = injector.JournalHook()
+		}
+		var err error
+		if jl, err = journal.Open(*dataDir, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(1)
+		}
+		defer jl.Close()
+	}
+
 	srv, err := serve.New(serve.Config{
-		Addr:          *addr,
-		CacheSize:     *cacheSize,
-		MaxBodyBytes:  *maxBody,
-		ShutdownGrace: *grace,
-		Logger:        logger,
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		ShutdownGrace:  *grace,
+		Logger:         logger,
+		Journal:        jl,
+		Faults:         injector,
+		MaxInFlight:    *maxInflight,
+		OpTimeout:      *opTimeout,
+		PredictTimeout: *predictTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)

@@ -1,0 +1,266 @@
+// Package faults is a seeded, deterministic fault injector for chaos
+// testing the fleet service. It makes two kinds of decisions: per-HTTP-
+// request (added latency, an injected 500, a panic) and per-journal-
+// write (latency, a failed write, a torn partial write). The decisions
+// come from one seeded PRNG, so a chaos run is reproducible: the same
+// seed and the same sequence of draws yield the same faults.
+//
+// The injector only decides; the caller applies. The serve package
+// turns Request decisions into slept latency, JSON 500s and recovered
+// panics, and the journal applies Write decisions via its write hook.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a deliberately injected failure, so handlers and
+// the journal can classify it (and tests can assert on it).
+var ErrInjected = errors.New("faults: injected error")
+
+// Config sets the independent per-event probabilities (all in [0,1])
+// and the injected latency ceiling.
+type Config struct {
+	// Seed fixes the decision stream; the same seed replays the same
+	// faults for the same sequence of draws.
+	Seed uint64
+	// LatencyP is the probability of injecting latency, drawn uniformly
+	// from (0, Latency].
+	LatencyP float64
+	// Latency is the injected latency ceiling (default 25 ms when
+	// LatencyP > 0 and no ceiling is given).
+	Latency time.Duration
+	// ErrorP is the probability of failing the event with ErrInjected.
+	ErrorP float64
+	// PanicP is the probability of panicking an HTTP request (journal
+	// writes fail with ErrInjected instead — a storage layer reports
+	// errors, it does not panic).
+	PanicP float64
+	// PartialP is the probability that a failed journal write is torn:
+	// a strict prefix of the record reaches the disk before the error.
+	PartialP float64
+}
+
+// Active reports whether the config injects anything at all.
+func (c Config) Active() bool {
+	return c.LatencyP > 0 || c.ErrorP > 0 || c.PanicP > 0 || c.PartialP > 0
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency_p", c.LatencyP}, {"error_p", c.ErrorP},
+		{"panic_p", c.PanicP}, {"partial_p", c.PartialP},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s must be in [0,1], got %v", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("faults: latency must be ≥ 0, got %v", c.Latency)
+	}
+	return nil
+}
+
+// ParseConfig parses the CLI spec: comma-separated key=value pairs
+// with keys seed, latency_p, latency (a Go duration), error_p,
+// panic_p and partial_p, e.g.
+//
+//	seed=7,latency_p=0.2,latency=50ms,error_p=0.05,panic_p=0.01,partial_p=0.1
+func ParseConfig(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "latency_p":
+			cfg.LatencyP, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "error_p":
+			cfg.ErrorP, err = strconv.ParseFloat(val, 64)
+		case "panic_p":
+			cfg.PanicP, err = strconv.ParseFloat(val, 64)
+		case "partial_p":
+			cfg.PartialP, err = strconv.ParseFloat(val, 64)
+		default:
+			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: spec %s: %w", key, err)
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Latencies     uint64 `json:"latencies"`
+	Errors        uint64 `json:"errors"`
+	Panics        uint64 `json:"panics"`
+	PartialWrites uint64 `json:"partial_writes"`
+}
+
+// Injector makes fault decisions. A nil *Injector is inert, so callers
+// can thread it through unconditionally.
+type Injector struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies, errors, panics, partials atomic.Uint64
+}
+
+// New validates the config and returns an enabled injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LatencyP > 0 && cfg.Latency == 0 {
+		cfg.Latency = 25 * time.Millisecond
+	}
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+	in.enabled.Store(true)
+	return in, nil
+}
+
+// SetEnabled flips injection on or off (off: every decision is clean).
+// Chaos tests use it to set up fixtures through a quiet service before
+// turning the noise on.
+func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// Enabled reports whether the injector is live.
+func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() }
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Latencies:     in.latencies.Load(),
+		Errors:        in.errors.Load(),
+		Panics:        in.panics.Load(),
+		PartialWrites: in.partials.Load(),
+	}
+}
+
+// Decision is the fault plan for one HTTP request.
+type Decision struct {
+	Latency time.Duration
+	Err     bool
+	Panic   bool
+}
+
+// Request draws the fault plan for one HTTP request. Panic and error
+// are exclusive (panic wins); latency composes with either.
+func (in *Injector) Request() Decision {
+	if !in.Enabled() {
+		return Decision{}
+	}
+	in.mu.Lock()
+	var d Decision
+	if in.cfg.LatencyP > 0 && in.rng.Float64() < in.cfg.LatencyP {
+		d.Latency = time.Duration(in.rng.Int63n(int64(in.cfg.Latency))) + 1
+	}
+	switch {
+	case in.cfg.PanicP > 0 && in.rng.Float64() < in.cfg.PanicP:
+		d.Panic = true
+	case in.cfg.ErrorP > 0 && in.rng.Float64() < in.cfg.ErrorP:
+		d.Err = true
+	}
+	in.mu.Unlock()
+	if d.Latency > 0 {
+		in.latencies.Add(1)
+	}
+	if d.Panic {
+		in.panics.Add(1)
+	}
+	if d.Err {
+		in.errors.Add(1)
+	}
+	return d
+}
+
+// WriteDecision is the fault plan for one journal write. Keep < 0
+// means the full record; 0 ≤ Keep < n means a torn write of the first
+// Keep bytes (always paired with Err).
+type WriteDecision struct {
+	Latency time.Duration
+	Err     bool
+	Keep    int
+}
+
+// Write draws the fault plan for one journal write of n bytes.
+func (in *Injector) Write(n int) WriteDecision {
+	d := WriteDecision{Keep: -1}
+	if !in.Enabled() {
+		return d
+	}
+	in.mu.Lock()
+	if in.cfg.LatencyP > 0 && in.rng.Float64() < in.cfg.LatencyP {
+		d.Latency = time.Duration(in.rng.Int63n(int64(in.cfg.Latency))) + 1
+	}
+	if in.cfg.ErrorP > 0 && in.rng.Float64() < in.cfg.ErrorP {
+		d.Err = true
+	}
+	if in.cfg.PartialP > 0 && in.rng.Float64() < in.cfg.PartialP {
+		d.Err = true
+		if n > 1 {
+			d.Keep = in.rng.Intn(n-1) + 1 // a strict, non-empty prefix
+		} else {
+			d.Keep = 0
+		}
+	}
+	in.mu.Unlock()
+	if d.Latency > 0 {
+		in.latencies.Add(1)
+	}
+	if d.Keep >= 0 {
+		in.partials.Add(1)
+	} else if d.Err {
+		in.errors.Add(1)
+	}
+	return d
+}
+
+// JournalHook adapts the injector to the journal's write hook: it
+// sleeps any injected latency, then fails the write cleanly or tears
+// it (returning the surviving prefix with the error).
+func (in *Injector) JournalHook() func(op string, encoded []byte) ([]byte, error) {
+	return func(_ string, encoded []byte) ([]byte, error) {
+		d := in.Write(len(encoded))
+		if d.Latency > 0 {
+			time.Sleep(d.Latency)
+		}
+		if !d.Err {
+			return encoded, nil
+		}
+		if d.Keep >= 0 && d.Keep < len(encoded) {
+			return encoded[:d.Keep], fmt.Errorf("%w (torn write: %d of %d bytes)", ErrInjected, d.Keep, len(encoded))
+		}
+		return nil, ErrInjected
+	}
+}

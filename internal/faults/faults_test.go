@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("seed=7,latency_p=0.2,latency=50ms,error_p=0.05,panic_p=0.01,partial_p=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, LatencyP: 0.2, Latency: 50 * time.Millisecond, ErrorP: 0.05, PanicP: 0.01, PartialP: 0.1}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Active() {
+		t.Fatal("parsed config reports inactive")
+	}
+	if cfg, err := ParseConfig("  "); err != nil || cfg.Active() {
+		t.Fatalf("blank spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"seed", "bogus=1", "error_p=2", "latency=fast", "panic_p=-0.1"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicDecisionStream(t *testing.T) {
+	cfg := Config{Seed: 42, LatencyP: 0.5, Latency: time.Millisecond, ErrorP: 0.3, PanicP: 0.2}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(cfg)
+	for i := 0; i < 200; i++ {
+		da, db := a.Request(), b.Request()
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestProbabilityEdges(t *testing.T) {
+	never, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if d := never.Request(); d != (Decision{}) {
+			t.Fatalf("zero-probability injector decided %+v", d)
+		}
+	}
+	always, err := New(Config{Seed: 1, ErrorP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if d := always.Request(); !d.Err {
+			t.Fatal("error_p=1 produced a clean request")
+		}
+	}
+	if _, err := New(Config{ErrorP: 1.5}); err == nil {
+		t.Fatal("New accepted error_p > 1")
+	}
+}
+
+func TestDisabledInjectorIsClean(t *testing.T) {
+	in, err := New(Config{Seed: 1, ErrorP: 1, PanicP: 1, PartialP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(false)
+	if d := in.Request(); d != (Decision{}) {
+		t.Fatalf("disabled injector decided %+v", d)
+	}
+	if d := in.Write(100); d.Err || d.Keep != -1 {
+		t.Fatalf("disabled injector write decision %+v", d)
+	}
+	var nilIn *Injector
+	if nilIn.Enabled() || nilIn.Request() != (Decision{}) {
+		t.Fatal("nil injector is not inert")
+	}
+}
+
+func TestJournalHookTearsWrites(t *testing.T) {
+	in, err := New(Config{Seed: 3, PartialP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.JournalHook()
+	record := []byte(`{"seq":1,"op":"stress","id":"c0"}` + "\n")
+	b, err := hook("stress", record)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	if len(b) == 0 || len(b) >= len(record) {
+		t.Fatalf("torn write kept %d of %d bytes, want a strict non-empty prefix", len(b), len(record))
+	}
+	if st := in.Stats(); st.PartialWrites == 0 {
+		t.Fatalf("stats = %+v, want partial writes counted", st)
+	}
+}

@@ -1,0 +1,455 @@
+// Package journal is the fleet's crash-safe operation log. Aging state
+// is history: a die's threshold shift is the integral of every stress
+// and rejuvenation phase it ever saw, and none of it is recoverable if
+// the process dies. Because every simulation in this repository is
+// deterministic given its parameters, the full chip state never needs
+// to be serialized — it is enough to persist the *operations* (create,
+// stress, rejuvenate, delete, and the sensor reads, which perturb the
+// die) and replay them on startup.
+//
+// The on-disk layout is two files in the data directory:
+//
+//	snapshot.json  compacted records, rewritten atomically (tmp+rename)
+//	journal.log    one JSON record per line, appended and fsync'd per op
+//
+// Appends are fsync'd before the caller's HTTP response commits, so an
+// acknowledged operation survives a hard stop. A truncated final record
+// (torn write at crash) is tolerated on open: replay stops at the last
+// complete record and the tail is trimmed. Records carry sequence
+// numbers so a crash between writing a snapshot and truncating the log
+// never double-applies an operation.
+//
+// Compaction prunes the history of deleted chips (their records can
+// never matter again) and folds the log into the snapshot; it runs on
+// open and every CompactEvery appends.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Op enumerates the journaled operations.
+type Op string
+
+// The journaled fleet operations. Measure and odometer reads are
+// journaled too: reading a sensor ages the die (sampling overhead) and
+// consumes noise draws, so a replay that skipped reads would land on a
+// different state than the fleet had at the crash.
+const (
+	OpCreate     Op = "create"
+	OpStress     Op = "stress"
+	OpRejuvenate Op = "rejuvenate"
+	OpDelete     Op = "delete"
+	OpMeasure    Op = "measure"
+	OpOdometer   Op = "odometer"
+)
+
+// Record is one journaled operation. Create records carry Seed and
+// Kind; stress/rejuvenate records carry the full phase parameters —
+// including SampleHours, because sampling wakes the sensor and both
+// ages the die and consumes noise draws, so replay must re-run the
+// phase with identical settings to land on the identical state.
+type Record struct {
+	Seq         uint64  `json:"seq"`
+	Op          Op      `json:"op"`
+	ID          string  `json:"id"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Kind        string  `json:"kind,omitempty"`
+	TempC       float64 `json:"temp_c,omitempty"`
+	Vdd         float64 `json:"vdd,omitempty"`
+	AC          bool    `json:"ac,omitempty"`
+	Hours       float64 `json:"hours,omitempty"`
+	SampleHours float64 `json:"sample_hours,omitempty"`
+}
+
+// Hook intercepts the encoded bytes of a record on their way to the
+// log file — the fault-injection seam (op is the Record.Op as a plain
+// string so injectors need not import this package). It may delay,
+// return an error (nothing gets written), or return a short prefix
+// alongside an error (a torn write: the prefix hits the disk, then the
+// append fails and the journal repairs itself by truncating back).
+type Hook func(op string, encoded []byte) ([]byte, error)
+
+// Options tunes a journal; the zero value is production defaults.
+type Options struct {
+	// CompactEvery folds the log into the snapshot after this many
+	// appends (default 4096; negative disables size-triggered runs).
+	CompactEvery int
+	// Hook, when set, intercepts every record write (fault injection).
+	Hook Hook
+}
+
+// Stats is a snapshot of the journal's counters, exported under the
+// service's /metrics.
+type Stats struct {
+	Appends     uint64        // records durably appended since open
+	Compactions uint64        // snapshot rewrites since open
+	Records     int           // live records (replay length)
+	LastSeq     uint64        // sequence number of the newest record
+	FsyncCount  uint64        // fsyncs issued
+	FsyncTotal  time.Duration // summed fsync latency
+	FsyncMax    time.Duration // slowest single fsync
+}
+
+// Journal is the append-only operation log. All methods are safe for
+// concurrent use; Append serializes internally, which also fixes the
+// on-disk order (callers append while holding the per-chip lock, so
+// the disk order always matches the application order per chip).
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64 // bytes of complete records in journal.log
+	failed error // set when a write could not be repaired; appends refuse
+
+	recs         []Record // live (compacted) history, snapshot source
+	lastSeq      uint64
+	sinceCompact int
+
+	appends     uint64
+	compactions uint64
+	fsyncCount  uint64
+	fsyncTotal  time.Duration
+	fsyncMax    time.Duration
+}
+
+const (
+	snapshotName = "snapshot.json"
+	logName      = "journal.log"
+)
+
+// Open creates dir if needed, loads the snapshot and the log (trimming
+// a torn final record), compacts the pair, and returns a journal ready
+// for appends. Call Records for the replay list.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+
+	snap, err := readRecords(filepath.Join(dir, snapshotName), false)
+	if err != nil {
+		return nil, err
+	}
+	logRecs, err := readRecords(filepath.Join(dir, logName), true)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range snap {
+		j.absorb(rec)
+	}
+	for _, rec := range logRecs {
+		// Skip log records already folded into the snapshot (a crash
+		// between snapshot rename and log truncation leaves overlap).
+		if rec.Seq <= j.snapSeq(snap) && containsSeq(snap, rec.Seq) {
+			continue
+		}
+		j.absorb(rec)
+	}
+
+	j.pruneTrailingReads()
+
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	// Fold everything into the snapshot so the next open replays one
+	// clean file, and so the torn tail (if any) is physically gone.
+	if err := j.compactLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// isRead reports whether op is a sensor read. Reads are journaled —
+// sampling perturbs the die, so later mutations build on the post-read
+// state — but a read nothing built on yet is prunable (see below).
+func (op Op) isRead() bool { return op == OpMeasure || op == OpOdometer }
+
+// pruneTrailingReads drops, per chip, the sensor reads with no later
+// mutating record. Replaying them would shift the post-restart reading
+// to the *next* noise draw; dropping them makes the first post-restart
+// read reproduce the last pre-crash reading exactly. Open compacts
+// right after, so the pruned view is what the next open replays —
+// without that persistence a later mutation would journal on top of
+// records the live state never included.
+func (j *Journal) pruneTrailingReads() {
+	lastMut := make(map[string]uint64)
+	for _, r := range j.recs {
+		if !r.Op.isRead() {
+			lastMut[r.ID] = r.Seq
+		}
+	}
+	kept := j.recs[:0]
+	for _, r := range j.recs {
+		if !r.Op.isRead() || r.Seq < lastMut[r.ID] {
+			kept = append(kept, r)
+		}
+	}
+	j.recs = kept
+}
+
+// snapSeq returns the newest sequence number in the snapshot records.
+func (j *Journal) snapSeq(snap []Record) uint64 {
+	var max uint64
+	for _, r := range snap {
+		if r.Seq > max {
+			max = r.Seq
+		}
+	}
+	return max
+}
+
+func containsSeq(recs []Record, seq uint64) bool {
+	for _, r := range recs {
+		if r.Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// absorb applies one record to the in-memory live history: deletes
+// prune every earlier record for that chip (their replay could never
+// be observed again), everything else accumulates.
+func (j *Journal) absorb(rec Record) {
+	if rec.Seq > j.lastSeq {
+		j.lastSeq = rec.Seq
+	}
+	if rec.Op == OpDelete {
+		kept := j.recs[:0]
+		for _, r := range j.recs {
+			if r.ID != rec.ID {
+				kept = append(kept, r)
+			}
+		}
+		j.recs = kept
+		return
+	}
+	j.recs = append(j.recs, rec)
+}
+
+// readRecords parses one JSON record per line. With tolerateTail, a
+// final line that does not parse is treated as a torn write and
+// dropped; a bad line *followed by good ones* is real corruption and
+// an error either way.
+func readRecords(path string, tolerateTail bool) ([]Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	var badLine string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if badLine != "" {
+			return nil, fmt.Errorf("journal: %s: corrupt record %q is not the final line", path, badLine)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
+			badLine = string(line)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	if badLine != "" && !tolerateTail {
+		return nil, fmt.Errorf("journal: %s: corrupt record %q", path, badLine)
+	}
+	return recs, nil
+}
+
+// Records returns a copy of the live (compacted) history in sequence
+// order — the replay list that reconstructs the fleet.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.recs))
+	copy(out, j.recs)
+	return out
+}
+
+// Append assigns the next sequence number, writes the record to the
+// log and fsyncs it. It returns only after the record is durable — or
+// with an error after repairing any partial write, so the log never
+// accumulates garbage between records. A journal whose repair failed
+// refuses further appends rather than corrupt the history.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return fmt.Errorf("journal: log is failed (%w); refusing append", j.failed)
+	}
+	rec.Seq = j.lastSeq + 1
+	encoded, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	encoded = append(encoded, '\n')
+
+	toWrite := encoded
+	var hookErr error
+	if j.opts.Hook != nil {
+		toWrite, hookErr = j.opts.Hook(string(rec.Op), encoded)
+	}
+	if len(toWrite) > 0 {
+		if _, werr := j.f.WriteAt(toWrite, j.size); werr != nil && hookErr == nil {
+			hookErr = werr
+		}
+	}
+	if hookErr != nil || len(toWrite) != len(encoded) {
+		// Partial or failed write: truncate back to the last complete
+		// record so the next append starts on a clean boundary.
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.failed = terr
+			return fmt.Errorf("journal: append failed (%v) and repair failed: %w", hookErr, terr)
+		}
+		if hookErr == nil {
+			hookErr = errors.New("journal: short write")
+		}
+		return fmt.Errorf("journal: append: %w", hookErr)
+	}
+	if err := j.fsync(); err != nil {
+		// The bytes are written but not provably durable; trim them so
+		// the in-memory and on-disk histories stay in agreement.
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.failed = terr
+		}
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.size += int64(len(encoded))
+	j.lastSeq = rec.Seq
+	j.absorb(rec)
+	j.appends++
+	j.sinceCompact++
+	if j.opts.CompactEvery > 0 && j.sinceCompact >= j.opts.CompactEvery {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *Journal) fsync() error {
+	start := time.Now()
+	err := j.f.Sync()
+	elapsed := time.Since(start)
+	j.fsyncCount++
+	j.fsyncTotal += elapsed
+	if elapsed > j.fsyncMax {
+		j.fsyncMax = elapsed
+	}
+	return err
+}
+
+// Compact folds the log into the snapshot immediately.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+// compactLocked writes the live records to snapshot.json.tmp, fsyncs,
+// renames over the snapshot, then truncates the log. A crash at any
+// point is safe: the rename is atomic and replay deduplicates by
+// sequence number.
+func (j *Journal) compactLocked() error {
+	tmpPath := filepath.Join(j.dir, snapshotName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, rec := range j.recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: encode: %w", err)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.dir, snapshotName)); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	syncDir(j.dir) // best effort: persist the rename itself
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: compact: truncate log: %w", err)
+	}
+	j.size = 0
+	j.sinceCompact = 0
+	j.compactions++
+	return nil
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Appends:     j.appends,
+		Compactions: j.compactions,
+		Records:     len(j.recs),
+		LastSeq:     j.lastSeq,
+		FsyncCount:  j.fsyncCount,
+		FsyncTotal:  j.fsyncTotal,
+		FsyncMax:    j.fsyncMax,
+	}
+}
+
+// Close releases the log file. A hard stop without Close loses
+// nothing: every acknowledged append was already fsync'd.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,310 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ids(recs []Record) string {
+	var b strings.Builder
+	for i, r := range recs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(string(r.Op) + ":" + r.ID)
+	}
+	return b.String()
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 7, Kind: "bench"})
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 110, Vdd: 1.2, Hours: 24, SampleHours: 12})
+	mustAppend(t, j, Record{Op: OpRejuvenate, ID: "c0", TempC: 110, Vdd: -0.3, Hours: 6})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Records()
+	if got, want := ids(recs), "create:c0 stress:c0 rejuvenate:c0"; got != want {
+		t.Fatalf("replay = %q, want %q", got, want)
+	}
+	if recs[1].SampleHours != 12 || recs[1].Vdd != 1.2 || recs[2].Vdd != -0.3 {
+		t.Fatalf("phase parameters lost in replay: %+v", recs)
+	}
+	if recs[0].Seq != 1 || recs[2].Seq != 3 {
+		t.Fatalf("sequence numbers = %d..%d, want 1..3", recs[0].Seq, recs[2].Seq)
+	}
+}
+
+func TestTruncatedFinalRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1})
+	j.Close()
+
+	// Simulate a crash mid-write: a torn, incomplete final record.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"stress","id":"c0","temp_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer j2.Close()
+	if got := ids(j2.Records()); got != "create:c0 stress:c0" {
+		t.Fatalf("replay after torn tail = %q", got)
+	}
+	// The torn tail must be physically gone: appends continue cleanly
+	// and a third open sees a consistent history.
+	mustAppend(t, j2, Record{Op: OpRejuvenate, ID: "c0", TempC: 110, Vdd: -0.3, Hours: 2})
+	j2.Close()
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := ids(j3.Records()); got != "create:c0 stress:c0 rejuvenate:c0" {
+		t.Fatalf("replay after repair = %q", got)
+	}
+}
+
+func TestCorruptMiddleRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	j.Close()
+	f, err := os.OpenFile(filepath.Join(dir, "journal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("garbage not json\n")
+	f.WriteString(`{"seq":9,"op":"stress","id":"c0","vdd":1.2,"hours":1}` + "\n")
+	f.Close()
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open accepted corruption followed by valid records")
+	}
+}
+
+func TestDeleteCompactsHistory(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1})
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c1", Seed: 2})
+	mustAppend(t, j, Record{Op: OpDelete, ID: "c0"})
+	if got := ids(j.Records()); got != "create:c1" {
+		t.Fatalf("live records after delete = %q, want only c1's create", got)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := ids(j2.Records()); got != "create:c1" {
+		t.Fatalf("replay after delete = %q", got)
+	}
+	// Sequence numbering continues past the pruned records.
+	mustAppend(t, j2, Record{Op: OpStress, ID: "c1", TempC: 85, Vdd: 1.2, Hours: 1})
+	recs := j2.Records()
+	if recs[len(recs)-1].Seq != 5 {
+		t.Fatalf("next seq = %d, want 5", recs[len(recs)-1].Seq)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	for i := 0; i < 7; i++ {
+		mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1})
+	}
+	st := j.Stats()
+	if st.Compactions < 2 { // one on open would be zero records; two size-triggered
+		t.Fatalf("compactions = %d, want ≥ 2", st.Compactions)
+	}
+	if st.Records != 8 || st.LastSeq != 8 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+	log, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(log), "\n"); n >= 8 {
+		t.Fatalf("log still holds %d records; compaction did not fold them", n)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Records()) != 8 {
+		t.Fatalf("replay after compaction = %d records, want 8", len(j2.Records()))
+	}
+}
+
+func TestFsyncStats(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpDelete, ID: "c0"})
+	st := j.Stats()
+	if st.Appends != 2 || st.FsyncCount < 2 {
+		t.Fatalf("stats = %+v, want 2 appends and ≥ 2 fsyncs", st)
+	}
+	if st.FsyncTotal <= 0 || st.FsyncMax <= 0 || st.FsyncMax > st.FsyncTotal {
+		t.Fatalf("fsync latency accounting broken: %+v", st)
+	}
+}
+
+func TestHookPartialWriteRepaired(t *testing.T) {
+	dir := t.TempDir()
+	fail := true
+	j, err := Open(dir, Options{Hook: func(op string, b []byte) ([]byte, error) {
+		if fail && op == "stress" {
+			return b[:len(b)/2], errors.New("torn")
+		}
+		return b, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	if err := j.Append(Record{Op: OpStress, ID: "c0", Vdd: 1.2, Hours: 1}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The half record must have been truncated away: the next append
+	// lands on a clean boundary and the log replays fully.
+	fail = false
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 2})
+	if got := ids(j.Records()); got != "create:c0 stress:c0" {
+		t.Fatalf("live records = %q", got)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Records()
+	if got := ids(recs); got != "create:c0 stress:c0" {
+		t.Fatalf("replay = %q", got)
+	}
+	if recs[1].Hours != 2 {
+		t.Fatalf("surviving stress record = %+v, want the post-repair one", recs[1])
+	}
+}
+
+func TestTrailingReadsPrunedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpMeasure, ID: "c0"}) // observed by the stress below: kept
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1})
+	mustAppend(t, j, Record{Op: OpMeasure, ID: "c0"}) // trailing: pruned
+	mustAppend(t, j, Record{Op: OpMeasure, ID: "c0"}) // trailing: pruned
+	mustAppend(t, j, Record{Op: OpCreate, ID: "m0", Seed: 2, Kind: "monitored"})
+	mustAppend(t, j, Record{Op: OpOdometer, ID: "m0"}) // trailing: pruned
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(j2.Records()); got != "create:c0 measure:c0 stress:c0 create:m0" {
+		t.Fatalf("replay after prune = %q", got)
+	}
+	// Sequence numbering still counts the pruned records, and the prune
+	// is persisted: appends land after them, and a third open agrees.
+	mustAppend(t, j2, Record{Op: OpStress, ID: "m0", TempC: 85, Vdd: 1.2, Hours: 1})
+	recs := j2.Records()
+	if recs[len(recs)-1].Seq != 8 {
+		t.Fatalf("next seq = %d, want 8", recs[len(recs)-1].Seq)
+	}
+	j2.Close()
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := ids(j3.Records()); got != "create:c0 measure:c0 stress:c0 create:m0 stress:m0" {
+		t.Fatalf("replay after persisted prune = %q", got)
+	}
+}
+
+func TestSnapshotLogOverlapDeduplicated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1})
+	// Force the snapshot, then re-write the same records into the log —
+	// the state a crash between snapshot rename and log truncate leaves.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, "journal.log"), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := ids(j2.Records()); got != "create:c0 stress:c0" {
+		t.Fatalf("replay with overlapping snapshot+log = %q (double-applied?)", got)
+	}
+}

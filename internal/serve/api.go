@@ -26,9 +26,12 @@ func WriteJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RequestID (the
+// X-Request-ID the client sent, or the one the service minted) links
+// the error to the server-side request log.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Chip kinds accepted by CreateChipRequest.
@@ -61,6 +64,12 @@ type ChipResponse struct {
 // ChipListResponse is the GET /v1/chips body.
 type ChipListResponse struct {
 	Chips []ChipResponse `json:"chips"`
+}
+
+// DeleteChipResponse is the DELETE /v1/chips/{id} body.
+type DeleteChipResponse struct {
+	ID      string `json:"id"`
+	Deleted bool   `json:"deleted"`
 }
 
 // PhaseRequest drives POST /v1/chips/{id}/stress and /rejuvenate.

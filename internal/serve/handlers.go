@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+
+	"selfheal/internal/faults"
+	"selfheal/internal/journal"
 )
 
 // decodeJSON strictly decodes a request body: unknown fields and
@@ -23,31 +27,51 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// writeJSON writes a response body with the shared encoder.
+// writeJSON writes a response body with the shared encoder. The body
+// is encoded into a buffer *before* the status line is committed, so
+// an encoding failure becomes a clean 500 instead of a 200 with a
+// truncated body.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, v); err != nil {
+		s.log.Error("encode response", "err", err)
+		buf.Reset()
+		status = http.StatusInternalServerError
+		// ErrorResponse is two plain strings; encoding it cannot fail.
+		WriteJSON(&buf, ErrorResponse{Error: "serve: response encoding failed"})
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	if err := WriteJSON(w, v); err != nil {
-		s.log.Error("encode response", "err", err)
-	}
+	w.Write(buf.Bytes())
 }
 
-// writeError classifies an error into a status code: duplicate ids and
-// kind mismatches are 409, an aborted simulation is 503, an oversized
-// body is 413, everything else a validation 400.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError classifies an error into a status code: missing chips are
+// 404, duplicate ids and kind mismatches 409, an oversized body 413, a
+// cancelled or timed-out request 503, injected faults and journal
+// failures 500, everything else a validation 400. The response carries
+// the request ID so failures are correlatable in the logs.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
 	var dup errDuplicateChip
+	var missing errNotFound
+	var notDurable errNotDurable
 	var tooBig *http.MaxBytesError
 	switch {
+	case errors.As(err, &missing):
+		status = http.StatusNotFound
 	case errors.As(err, &dup), errors.Is(err, errKindMismatch):
 		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &notDurable), errors.Is(err, faults.ErrInjected):
+		status = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	s.writeJSON(w, status, ErrorResponse{
+		Error:     err.Error(),
+		RequestID: RequestIDFrom(r.Context()),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -55,18 +79,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry))
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry, s.journal, s.faults))
 }
 
 func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
 	var req CreateChipRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	entry, err := s.registry.Create(req.ID, req.Seed, req.Kind)
+	if req.Kind == "" {
+		req.Kind = KindBench
+	}
+	entry, err := s.registry.Create(req.ID, req.Seed, req.Kind, s.commit(journal.Record{
+		Op: journal.OpCreate, ID: req.ID, Seed: req.Seed, Kind: req.Kind,
+	}))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, entry.Info())
@@ -76,13 +105,26 @@ func (s *Server) handleListChips(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, ChipListResponse{Chips: s.registry.List()})
 }
 
+func (s *Server) handleDeleteChip(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	existed, err := s.registry.Delete(id, s.commit(journal.Record{Op: journal.OpDelete, ID: id}))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if !existed {
+		s.writeError(w, r, errNotFound{id: id})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, DeleteChipResponse{ID: id, Deleted: true})
+}
+
 // chip resolves the {id} path segment or writes a 404.
 func (s *Server) chip(w http.ResponseWriter, r *http.Request) (*ChipEntry, bool) {
 	id := r.PathValue("id")
 	entry, ok := s.registry.Get(id)
 	if !ok {
-		s.writeJSON(w, http.StatusNotFound, ErrorResponse{
-			Error: fmt.Sprintf("serve: no chip %q in the registry", id)})
+		s.writeError(w, r, errNotFound{id: id})
 	}
 	return entry, ok
 }
@@ -94,12 +136,16 @@ func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
 	}
 	var req PhaseRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	resp, err := entry.Stress(req)
+	resp, err := entry.Stress(req, s.commit(journal.Record{
+		Op: journal.OpStress, ID: entry.id,
+		TempC: req.TempC, Vdd: req.Vdd, AC: req.AC,
+		Hours: req.Hours, SampleHours: req.SampleHours,
+	}))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -112,12 +158,16 @@ func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req PhaseRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	resp, err := entry.Rejuvenate(req)
+	resp, err := entry.Rejuvenate(req, s.commit(journal.Record{
+		Op: journal.OpRejuvenate, ID: entry.id,
+		TempC: req.TempC, Vdd: req.Vdd,
+		Hours: req.Hours, SampleHours: req.SampleHours,
+	}))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -128,9 +178,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := entry.Measure()
+	resp, err := entry.Measure(s.commit(journal.Record{Op: journal.OpMeasure, ID: entry.id}))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -141,9 +191,9 @@ func (s *Server) handleOdometer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := entry.Odometer()
+	resp, err := entry.Odometer(s.commit(journal.Record{Op: journal.OpOdometer, ID: entry.id}))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -152,12 +202,12 @@ func (s *Server) handleOdometer(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePredictShift(w http.ResponseWriter, r *http.Request) {
 	var req ShiftRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp, err := s.engine.Shift(r.Context(), req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -166,12 +216,12 @@ func (s *Server) handlePredictShift(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePredictSchedules(w http.ResponseWriter, r *http.Request) {
 	var req SchedulesRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp, err := s.engine.Schedules(r.Context(), req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -180,12 +230,12 @@ func (s *Server) handlePredictSchedules(w http.ResponseWriter, r *http.Request) 
 func (s *Server) handlePredictMulticore(w http.ResponseWriter, r *http.Request) {
 	var req MulticoreRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp, err := s.engine.Multicore(r.Context(), req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)

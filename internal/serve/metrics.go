@@ -3,7 +3,11 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"selfheal/internal/faults"
+	"selfheal/internal/journal"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; a
@@ -16,6 +20,10 @@ var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // GET /metrics, standard library only.
 type Metrics struct {
 	start time.Time
+
+	panics   atomic.Uint64 // handler panics recovered into 500s
+	shed     atomic.Uint64 // requests rejected 429 by the load shedder
+	timeouts atomic.Uint64 // requests cut off 503 by a route timeout
 
 	mu      sync.Mutex
 	routes  map[string]*routeStats
@@ -57,6 +65,15 @@ func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
 	m.latency[bucket]++
 }
 
+// RecordPanic counts one recovered handler panic.
+func (m *Metrics) RecordPanic() { m.panics.Add(1) }
+
+// RecordShed counts one request rejected by the concurrency limiter.
+func (m *Metrics) RecordShed() { m.shed.Add(1) }
+
+// RecordTimeout counts one request cut off by its route timeout.
+func (m *Metrics) RecordTimeout() { m.timeouts.Add(1) }
+
 // RouteSnapshot is one route's counters in a MetricsSnapshot.
 type RouteSnapshot struct {
 	Count    uint64            `json:"count"`
@@ -78,22 +95,62 @@ type CacheSnapshot struct {
 	Capacity int    `json:"capacity"`
 }
 
+// JournalSnapshot reports the durability layer: append volume and the
+// fsync latency the fleet pays per mutating operation.
+type JournalSnapshot struct {
+	Appends     uint64  `json:"appends"`
+	Compactions uint64  `json:"compactions"`
+	Records     int     `json:"records"`
+	LastSeq     uint64  `json:"last_seq"`
+	FsyncCount  uint64  `json:"fsync_count"`
+	FsyncMeanMS float64 `json:"fsync_mean_ms"`
+	FsyncMaxMS  float64 `json:"fsync_max_ms"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
-	UptimeSeconds  float64                  `json:"uptime_seconds"`
-	Requests       map[string]RouteSnapshot `json:"requests"`
-	LatencySeconds []LatencyBucket          `json:"latency_seconds"`
-	Cache          CacheSnapshot            `json:"cache"`
-	Chips          map[string]ChipUsage     `json:"chips"`
+	UptimeSeconds   float64                  `json:"uptime_seconds"`
+	Requests        map[string]RouteSnapshot `json:"requests"`
+	LatencySeconds  []LatencyBucket          `json:"latency_seconds"`
+	Cache           CacheSnapshot            `json:"cache"`
+	Chips           map[string]ChipUsage     `json:"chips"`
+	PanicsRecovered uint64                   `json:"panics_recovered"`
+	RequestsShed    uint64                   `json:"requests_shed"`
+	RequestTimeouts uint64                   `json:"request_timeouts"`
+	Journal         *JournalSnapshot         `json:"journal,omitempty"`
+	Faults          *faults.Stats            `json:"faults,omitempty"`
 }
 
 // Snapshot assembles the exported view, folding in the engine's cache
-// stats and the registry's per-chip usage.
-func (m *Metrics) Snapshot(engine *Engine, registry *Registry) MetricsSnapshot {
+// stats, the registry's per-chip usage, and — when configured — the
+// journal's fsync accounting and the chaos injector's counters.
+func (m *Metrics) Snapshot(engine *Engine, registry *Registry, jl *journal.Journal, inj *faults.Injector) MetricsSnapshot {
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Requests:      make(map[string]RouteSnapshot),
-		Chips:         registry.Usage(),
+		UptimeSeconds:   time.Since(m.start).Seconds(),
+		Requests:        make(map[string]RouteSnapshot),
+		Chips:           registry.Usage(),
+		PanicsRecovered: m.panics.Load(),
+		RequestsShed:    m.shed.Load(),
+		RequestTimeouts: m.timeouts.Load(),
+	}
+	if jl != nil {
+		st := jl.Stats()
+		js := JournalSnapshot{
+			Appends:     st.Appends,
+			Compactions: st.Compactions,
+			Records:     st.Records,
+			LastSeq:     st.LastSeq,
+			FsyncMaxMS:  float64(st.FsyncMax) / float64(time.Millisecond),
+			FsyncCount:  st.FsyncCount,
+		}
+		if st.FsyncCount > 0 {
+			js.FsyncMeanMS = float64(st.FsyncTotal) / float64(st.FsyncCount) / float64(time.Millisecond)
+		}
+		snap.Journal = &js
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		snap.Faults = &fs
 	}
 	hits, misses, entries, capacity := engine.CacheStats()
 	snap.Cache = CacheSnapshot{Hits: hits, Misses: misses, Entries: entries, Capacity: capacity}

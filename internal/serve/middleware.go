@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"selfheal/internal/faults"
+)
+
+// ridKey is the context key for the request ID.
+type ridKey struct{}
+
+// RequestIDFrom returns the request ID attached by the middleware, or
+// "" outside a request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID accepts a caller-supplied X-Request-ID (bounded, so a
+// hostile client cannot bloat the logs) or mints one, echoes it on the
+// response, and threads it through the context so request logs and
+// error bodies are correlatable — the thing that makes a chaos-test
+// failure debuggable.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 64 {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, id)))
+	})
+}
+
+// withRecover converts a panicking handler into a logged JSON 500
+// instead of a dropped connection. http.ErrAbortHandler is re-panicked
+// — it is net/http's own "abort this connection" sentinel.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.metrics.RecordPanic()
+			s.log.Error("panic recovered",
+				"panic", fmt.Sprint(p),
+				"path", r.URL.Path,
+				"request_id", RequestIDFrom(r.Context()),
+				"stack", string(debug.Stack()),
+			)
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+					Error:     "serve: internal error",
+					RequestID: RequestIDFrom(r.Context()),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLimit is the load shedder: a concurrency semaphore over the /v1
+// routes. When the fleet is saturated the request is rejected
+// immediately with 429 and a Retry-After, instead of queueing without
+// bound until every client times out.
+func (s *Server) withLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.metrics.RecordShed()
+			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error:     "serve: fleet saturated; retry later",
+				RequestID: RequestIDFrom(r.Context()),
+			})
+		}
+	})
+}
+
+// timeoutWriter buffers a handler's response so a timed-out handler
+// can never interleave bytes with the 503 the timeout wrote, and a
+// partially-written body is never sent. Only the handler goroutine
+// touches it; the parent reads it exactly once, after the handler is
+// done.
+type timeoutWriter struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func newTimeoutWriter() *timeoutWriter {
+	return &timeoutWriter{header: make(http.Header), status: http.StatusOK}
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.header }
+
+func (tw *timeoutWriter) WriteHeader(status int) {
+	if tw.status == http.StatusOK {
+		tw.status = status
+	}
+}
+
+func (tw *timeoutWriter) Write(b []byte) (int, error) { return tw.buf.Write(b) }
+
+func (tw *timeoutWriter) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, v := range tw.header {
+		h[k] = v
+	}
+	w.WriteHeader(tw.status)
+	w.Write(tw.buf.Bytes())
+}
+
+// withTimeout bounds one route's handler. The handler runs in a child
+// goroutine against a buffered writer and its context carries the
+// deadline, so cooperative simulations (multicore slot loops) abort on
+// their own; if the deadline passes first the client gets a JSON 503
+// now and the stragglers' output is discarded when it finishes.
+func (s *Server) withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		tw := newTimeoutWriter()
+		done := make(chan struct{})
+		panicc := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicc <- p
+				}
+			}()
+			next.ServeHTTP(tw, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicc:
+			panic(p) // re-raised on the request goroutine for withRecover
+		case <-done:
+			tw.flush(w)
+		case <-ctx.Done():
+			s.metrics.RecordTimeout()
+			s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error:     fmt.Sprintf("serve: request exceeded the %v route budget", d),
+				RequestID: RequestIDFrom(r.Context()),
+			})
+		}
+	})
+}
+
+// withFaults applies the chaos injector's per-request decision:
+// latency (context-aware, so shutdown is not held hostage), then
+// either a panic — exercising withRecover — or an injected 500.
+func (s *Server) withFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.faults.Request()
+		if d.Latency > 0 {
+			t := time.NewTimer(d.Latency)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if d.Panic {
+			panic("faults: injected panic")
+		}
+		if d.Err {
+			s.writeError(w, r, fmt.Errorf("serve: %w", faults.ErrInjected))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit caps the request body. It sits innermost so the
+// limiter talks to the same writer the handler sees (relevant inside
+// withTimeout's buffered writer).
+func (s *Server) withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		next.ServeHTTP(w, r)
+	})
+}

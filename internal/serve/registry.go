@@ -14,6 +14,12 @@ import (
 // stress/rejuvenate/measure on *different* chips run in parallel while
 // operations on the *same* chip serialize (a die can only live through
 // one history).
+//
+// Mutating operations take a commit callback: the journal append. It
+// runs while the per-chip lock is still held, so the on-disk record
+// order always matches the order the operations were applied in — the
+// invariant replay depends on. Lock order, where both are held, is
+// always chip lock → registry lock.
 type Registry struct {
 	mu    sync.RWMutex
 	chips map[string]*ChipEntry
@@ -29,9 +35,10 @@ type ChipEntry struct {
 	id   string
 	kind string
 
-	mu    sync.Mutex // guards the simulated die and the counters below
-	bench *selfheal.Chip
-	mon   *selfheal.MonitoredChip
+	mu      sync.Mutex // guards the simulated die and the fields below
+	deleted bool       // set by Delete; later ops see 404, not stale state
+	bench   *selfheal.Chip
+	mon     *selfheal.MonitoredChip
 
 	stressSeconds float64
 	healSeconds   float64
@@ -54,14 +61,38 @@ func (e errDuplicateChip) Error() string {
 	return fmt.Sprintf("serve: chip %q already exists", e.id)
 }
 
+// errNotFound marks a missing (or just-deleted) chip — a 404.
+type errNotFound struct{ id string }
+
+func (e errNotFound) Error() string {
+	return fmt.Sprintf("serve: no chip %q in the registry", e.id)
+}
+
+// errNotDurable wraps a journal-append failure — a 500. For create and
+// delete the operation was rolled back and can be retried; for phases
+// the in-memory state advanced but will not survive a restart.
+type errNotDurable struct {
+	op  string
+	err error
+}
+
+func (e errNotDurable) Error() string {
+	return fmt.Sprintf("serve: %s could not be journaled: %v", e.op, e.err)
+}
+
+func (e errNotDurable) Unwrap() error { return e.err }
+
 // errKindMismatch marks a sensor read against the wrong chip kind.
 var errKindMismatch = errors.New("wrong chip kind")
 
 // Create fabricates a chip of the given kind and registers it. The
 // (expensive, deterministic) fabrication runs outside the registry
 // lock; if two racers fabricate the same id, exactly one wins and the
-// other gets a duplicate error.
-func (r *Registry) Create(id string, seed uint64, kind string) (*ChipEntry, error) {
+// other gets a duplicate error. The new entry's chip lock is held
+// until the commit lands, so no stress/delete on the chip can be
+// journaled ahead of its create record; a failed commit rolls the
+// registration back, making a retried create safe.
+func (r *Registry) Create(id string, seed uint64, kind string, commit func() error) (*ChipEntry, error) {
 	if kind == "" {
 		kind = KindBench
 	}
@@ -83,13 +114,54 @@ func (r *Registry) Create(id string, seed uint64, kind string) (*ChipEntry, erro
 		return nil, fmt.Errorf("serve: unknown chip kind %q (want %q or %q)", kind, KindBench, KindMonitored)
 	}
 
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, exists := r.chips[id]; exists {
+		r.mu.Unlock()
 		return nil, errDuplicateChip{id: id}
 	}
 	r.chips[id] = entry
+	r.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil {
+			r.mu.Lock()
+			delete(r.chips, id)
+			r.mu.Unlock()
+			return nil, errNotDurable{op: "create", err: err}
+		}
+	}
 	return entry, nil
+}
+
+// Delete retires a chip: it marks the entry deleted under the chip
+// lock (waiting out any in-flight operation, whose journal record
+// therefore precedes the delete record), commits, and removes it from
+// the map. The first return reports whether the chip existed; a failed
+// commit rolls the mark back so the delete can be retried.
+func (r *Registry) Delete(id string, commit func() error) (bool, error) {
+	r.mu.RLock()
+	e, ok := r.chips[id]
+	r.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return false, nil
+	}
+	e.deleted = true
+	if commit != nil {
+		if err := commit(); err != nil {
+			e.deleted = false
+			return true, errNotDurable{op: "delete", err: err}
+		}
+	}
+	r.mu.Lock()
+	delete(r.chips, id)
+	r.mu.Unlock()
+	return true, nil
 }
 
 // Get returns the chip registered under id.
@@ -147,11 +219,17 @@ func (e *ChipEntry) Info() ChipResponse {
 	return resp
 }
 
-// Stress ages the chip under its per-chip lock.
-func (e *ChipEntry) Stress(req PhaseRequest) (PhaseResponse, error) {
+// Stress ages the chip under its per-chip lock and commits the journal
+// record before the lock is released. A commit failure is reported as
+// errNotDurable: the in-memory state has advanced (aging cannot be
+// rolled back) but the operation will not survive a restart.
+func (e *ChipEntry) Stress(req PhaseRequest, commit func() error) (PhaseResponse, error) {
 	cond := selfheal.StressCondition{TempC: req.TempC, Vdd: req.Vdd, AC: req.AC}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return PhaseResponse{}, errNotFound{id: e.id}
+	}
 	resp := PhaseResponse{ID: e.id, Phase: "stress", Hours: req.Hours}
 	if e.bench != nil {
 		trace, err := e.bench.Stress(cond, req.Hours, req.SampleHours)
@@ -164,14 +242,23 @@ func (e *ChipEntry) Stress(req PhaseRequest) (PhaseResponse, error) {
 	}
 	e.stressSeconds += req.Hours * 3600
 	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return PhaseResponse{}, errNotDurable{op: "stress", err: err}
+		}
+	}
 	return resp, nil
 }
 
-// Rejuvenate heals the chip under its per-chip lock.
-func (e *ChipEntry) Rejuvenate(req PhaseRequest) (PhaseResponse, error) {
+// Rejuvenate heals the chip under its per-chip lock; commit semantics
+// match Stress.
+func (e *ChipEntry) Rejuvenate(req PhaseRequest, commit func() error) (PhaseResponse, error) {
 	cond := selfheal.SleepCondition{TempC: req.TempC, Vdd: req.Vdd}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return PhaseResponse{}, errNotFound{id: e.id}
+	}
 	resp := PhaseResponse{ID: e.id, Phase: "rejuvenate", Hours: req.Hours}
 	if e.bench != nil {
 		trace, err := e.bench.Rejuvenate(cond, req.Hours, req.SampleHours)
@@ -184,13 +271,23 @@ func (e *ChipEntry) Rejuvenate(req PhaseRequest) (PhaseResponse, error) {
 	}
 	e.healSeconds += req.Hours * 3600
 	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return PhaseResponse{}, errNotDurable{op: "rejuvenate", err: err}
+		}
+	}
 	return resp, nil
 }
 
-// Measure reads a bench chip's ring-oscillator sensor.
-func (e *ChipEntry) Measure() (ReadingResponse, error) {
+// Measure reads a bench chip's ring-oscillator sensor. The read is a
+// mutation in disguise — sampling ages the die and consumes noise
+// draws — so it journals through commit like the phase operations.
+func (e *ChipEntry) Measure(commit func() error) (ReadingResponse, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return ReadingResponse{}, errNotFound{id: e.id}
+	}
 	if e.bench == nil {
 		return ReadingResponse{}, fmt.Errorf(
 			"serve: chip %q is %q — use /odometer for its on-die sensor: %w", e.id, e.kind, errKindMismatch)
@@ -200,6 +297,11 @@ func (e *ChipEntry) Measure() (ReadingResponse, error) {
 		return ReadingResponse{}, err
 	}
 	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return ReadingResponse{}, errNotDurable{op: "measure", err: err}
+		}
+	}
 	return ReadingResponse{
 		ID:             e.id,
 		Counts:         r.Counts,
@@ -209,10 +311,14 @@ func (e *ChipEntry) Measure() (ReadingResponse, error) {
 	}, nil
 }
 
-// Odometer reads a monitored chip's differential aging sensor.
-func (e *ChipEntry) Odometer() (OdometerResponse, error) {
+// Odometer reads a monitored chip's differential aging sensor; commit
+// semantics match Measure.
+func (e *ChipEntry) Odometer(commit func() error) (OdometerResponse, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return OdometerResponse{}, errNotFound{id: e.id}
+	}
 	if e.mon == nil {
 		return OdometerResponse{}, fmt.Errorf(
 			"serve: chip %q is %q — use /measure for its bench read-out: %w", e.id, e.kind, errKindMismatch)
@@ -222,5 +328,10 @@ func (e *ChipEntry) Odometer() (OdometerResponse, error) {
 		return OdometerResponse{}, err
 	}
 	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return OdometerResponse{}, errNotDurable{op: "odometer", err: err}
+		}
+	}
 	return OdometerResponse{ID: e.id, BeatHz: r.BeatHz, DegradationPPM: r.DegradationPPM}, nil
 }

@@ -2,10 +2,15 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"time"
+
+	"selfheal/internal/faults"
+	"selfheal/internal/journal"
 )
 
 // Config tunes the service; zero fields take the defaults below.
@@ -21,6 +26,27 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+
+	// Journal, when set, makes the fleet durable: every successful
+	// create/stress/rejuvenate/delete is appended and fsync'd before
+	// the response commits, and New replays the journal to reconstruct
+	// the fleet's exact aged state.
+	Journal *journal.Journal
+	// Faults, when set and enabled, injects latency, errors and panics
+	// into the /v1 routes for chaos testing (never into /healthz or
+	// /metrics, which stay observable while the fleet misbehaves).
+	Faults *faults.Injector
+	// MaxInFlight bounds concurrently-executing /v1 requests; excess
+	// load is shed with 429 + Retry-After (default 1024).
+	MaxInFlight int
+	// RetryAfter is the hint sent with a 429, rounded up to whole
+	// seconds on the wire (default 1 s).
+	RetryAfter time.Duration
+	// OpTimeout bounds registry and sensor routes (default 30 s).
+	OpTimeout time.Duration
+	// PredictTimeout bounds the /v1/predict routes, whose simulations
+	// can legitimately run much longer (default 2 min).
+	PredictTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +65,18 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	if c.PredictTimeout == 0 {
+		c.PredictTimeout = 2 * time.Minute
+	}
 	return c
 }
 
@@ -50,10 +88,17 @@ type Server struct {
 	registry *Registry
 	engine   *Engine
 	metrics  *Metrics
+	journal  *journal.Journal
+	faults   *faults.Injector
+	sem      chan struct{}
 	handler  http.Handler
 }
 
-// New assembles a server from the configuration.
+// New assembles a server from the configuration. When a journal is
+// configured its records are replayed first: every simulation is
+// deterministic per seed, so re-running the logged operations lands
+// every chip on its exact pre-shutdown aged state (including the usage
+// accounting under /metrics).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	engine, err := NewEngine(cfg.CacheSize)
@@ -66,9 +111,76 @@ func New(cfg Config) (*Server, error) {
 		registry: NewRegistry(),
 		engine:   engine,
 		metrics:  NewMetrics(),
+		journal:  cfg.Journal,
+		faults:   cfg.Faults,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+	}
+	if s.journal != nil {
+		recs := s.journal.Records()
+		for _, rec := range recs {
+			if err := s.applyRecord(rec); err != nil {
+				return nil, fmt.Errorf("serve: journal replay: record %d (%s %s): %w", rec.Seq, rec.Op, rec.ID, err)
+			}
+		}
+		if len(recs) > 0 {
+			s.log.Info("journal replayed", "records", len(recs), "chips", len(s.registry.List()))
+		}
 	}
 	s.handler = s.routes()
 	return s, nil
+}
+
+// applyRecord re-runs one journaled operation without re-journaling it.
+func (s *Server) applyRecord(rec journal.Record) error {
+	phase := PhaseRequest{
+		TempC: rec.TempC, Vdd: rec.Vdd, AC: rec.AC,
+		Hours: rec.Hours, SampleHours: rec.SampleHours,
+	}
+	switch rec.Op {
+	case journal.OpCreate:
+		_, err := s.registry.Create(rec.ID, rec.Seed, rec.Kind, nil)
+		return err
+	case journal.OpStress, journal.OpRejuvenate:
+		entry, ok := s.registry.Get(rec.ID)
+		if !ok {
+			return errNotFound{id: rec.ID}
+		}
+		var err error
+		if rec.Op == journal.OpStress {
+			_, err = entry.Stress(phase, nil)
+		} else {
+			_, err = entry.Rejuvenate(phase, nil)
+		}
+		return err
+	case journal.OpMeasure, journal.OpOdometer:
+		// Sensor reads age the die and consume noise draws; re-run them
+		// (discarding the reading) so the RNG stream lines up exactly.
+		entry, ok := s.registry.Get(rec.ID)
+		if !ok {
+			return errNotFound{id: rec.ID}
+		}
+		var err error
+		if rec.Op == journal.OpMeasure {
+			_, err = entry.Measure(nil)
+		} else {
+			_, err = entry.Odometer(nil)
+		}
+		return err
+	case journal.OpDelete:
+		_, err := s.registry.Delete(rec.ID, nil)
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// commit returns the journal-append callback for one operation, or nil
+// when the fleet is running without durability.
+func (s *Server) commit(rec journal.Record) func() error {
+	if s.journal == nil {
+		return nil
+	}
+	return func() error { return s.journal.Append(rec) }
 }
 
 // Handler returns the fully-wired HTTP handler (exported for httptest).
@@ -78,6 +190,15 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // embedding the service into a larger process).
 func (s *Server) Engine() *Engine { return s.engine }
 
+// routes assembles the mux. Each route runs the hardened-edge stack,
+// outermost first:
+//
+//	request ID → metrics/log → panic recovery → load shedding →
+//	per-route timeout → fault injection → body limit → handler
+//
+// /healthz and /metrics skip shedding and fault injection: during an
+// overload or a chaos run they are exactly the routes that must keep
+// answering.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	for pattern, h := range map[string]http.HandlerFunc{
@@ -85,6 +206,7 @@ func (s *Server) routes() http.Handler {
 		"GET /metrics":                   s.handleMetrics,
 		"POST /v1/chips":                 s.handleCreateChip,
 		"GET /v1/chips":                  s.handleListChips,
+		"DELETE /v1/chips/{id}":          s.handleDeleteChip,
 		"POST /v1/chips/{id}/stress":     s.handleStress,
 		"POST /v1/chips/{id}/rejuvenate": s.handleRejuvenate,
 		"GET /v1/chips/{id}/measure":     s.handleMeasure,
@@ -93,31 +215,58 @@ func (s *Server) routes() http.Handler {
 		"POST /v1/predict/schedules":     s.handlePredictSchedules,
 		"POST /v1/predict/multicore":     s.handlePredictMulticore,
 	} {
-		mux.Handle(pattern, s.instrument(pattern, h))
+		limited := strings.Contains(pattern, "/v1/")
+		timeout := s.cfg.OpTimeout
+		if strings.Contains(pattern, "/v1/predict/") {
+			timeout = s.cfg.PredictTimeout
+		}
+		var hh http.Handler = s.withBodyLimit(h)
+		if limited {
+			hh = s.withFaults(hh)
+		}
+		hh = s.withTimeout(timeout, hh)
+		if limited {
+			hh = s.withLimit(hh)
+		}
+		hh = s.withRecover(hh)
+		hh = s.instrument(pattern, hh)
+		hh = s.withRequestID(hh)
+		mux.Handle(pattern, hh)
 	}
 	return mux
 }
 
-// statusWriter captures the response status for metrics and logs.
+// statusWriter captures the response status for metrics and logs, and
+// whether anything was written at all (so panic recovery knows if a
+// clean 500 is still possible).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with the request-size limit, the metrics
-// counters (labelled by route *pattern*, so cardinality stays bounded)
-// and structured request logging.
-func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the metrics counters (labelled by
+// route *pattern*, so cardinality stays bounded) and structured
+// request logging.
+func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		h.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		s.metrics.Observe(pattern, sw.status, elapsed)
 		s.log.Info("request",
@@ -126,27 +275,38 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 			"status", sw.status,
 			"elapsed", elapsed,
 			"remote", r.RemoteAddr,
+			"request_id", RequestIDFrom(r.Context()),
 		)
 	})
 }
 
-// Run serves until ctx is cancelled (typically by SIGINT/SIGTERM via
-// signal.NotifyContext), then shuts down gracefully: new connections
-// stop, in-flight requests get ShutdownGrace to finish, and if any are
-// still running after that their contexts are cancelled — which aborts
-// long multicore simulations at the next slot boundary.
+// Run listens on the configured address and serves until ctx is
+// cancelled; see RunListener.
 func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.RunListener(ctx, ln)
+}
+
+// RunListener serves on ln until ctx is cancelled (typically by
+// SIGINT/SIGTERM via signal.NotifyContext), then shuts down
+// gracefully: new connections stop, in-flight requests get
+// ShutdownGrace to finish, and if any are still running after that
+// their contexts are cancelled — which aborts long multicore
+// simulations at the next slot boundary.
+func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
 	base, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	srv := &http.Server{
-		Addr:              s.cfg.Addr,
 		Handler:           s.handler,
 		BaseContext:       func(net.Listener) context.Context { return base },
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	s.log.Info("fleet aging service listening", "addr", s.cfg.Addr)
+	go func() { errc <- srv.Serve(ln) }()
+	s.log.Info("fleet aging service listening", "addr", ln.Addr().String())
 
 	select {
 	case err := <-errc:
