@@ -147,13 +147,15 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
+	snapSeqs := make(map[uint64]struct{}, len(snap))
 	for _, rec := range snap {
+		snapSeqs[rec.Seq] = struct{}{}
 		j.absorb(rec)
 	}
 	for _, rec := range logRecs {
 		// Skip log records already folded into the snapshot (a crash
 		// between snapshot rename and log truncation leaves overlap).
-		if rec.Seq <= j.snapSeq(snap) && containsSeq(snap, rec.Seq) {
+		if _, folded := snapSeqs[rec.Seq]; folded {
 			continue
 		}
 		j.absorb(rec)
@@ -201,26 +203,6 @@ func (j *Journal) pruneTrailingReads() {
 		}
 	}
 	j.recs = kept
-}
-
-// snapSeq returns the newest sequence number in the snapshot records.
-func (j *Journal) snapSeq(snap []Record) uint64 {
-	var max uint64
-	for _, r := range snap {
-		if r.Seq > max {
-			max = r.Seq
-		}
-	}
-	return max
-}
-
-func containsSeq(recs []Record, seq uint64) bool {
-	for _, r := range recs {
-		if r.Seq == seq {
-			return true
-		}
-	}
-	return false
 }
 
 // absorb applies one record to the in-memory live history: deletes

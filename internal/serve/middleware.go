@@ -82,7 +82,10 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 // withLimit is the load shedder: a concurrency semaphore over the /v1
 // routes. When the fleet is saturated the request is rejected
 // immediately with 429 and a Retry-After, instead of queueing without
-// bound until every client times out.
+// bound until every client times out. It runs *inside* withTimeout, on
+// the handler goroutine, so a timed-out handler keeps its slot until it
+// actually finishes — the number of running handlers never exceeds
+// MaxInFlight even when the server is slow enough to time out.
 func (s *Server) withLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -154,11 +157,11 @@ func (s *Server) withTimeout(d time.Duration, next http.Handler) http.Handler {
 
 		tw := newTimeoutWriter()
 		done := make(chan struct{})
-		panicc := make(chan any, 1)
+		panicc := make(chan handlerPanic, 1)
 		go func() {
 			defer func() {
 				if p := recover(); p != nil {
-					panicc <- p
+					panicc <- handlerPanic{val: p, stack: debug.Stack()}
 				}
 			}()
 			next.ServeHTTP(tw, r)
@@ -166,7 +169,7 @@ func (s *Server) withTimeout(d time.Duration, next http.Handler) http.Handler {
 		}()
 		select {
 		case p := <-panicc:
-			panic(p) // re-raised on the request goroutine for withRecover
+			panic(p.val) // re-raised on the request goroutine for withRecover
 		case <-done:
 			tw.flush(w)
 		case <-ctx.Done():
@@ -175,8 +178,41 @@ func (s *Server) withTimeout(d time.Duration, next http.Handler) http.Handler {
 				Error:     fmt.Sprintf("serve: request exceeded the %v route budget", d),
 				RequestID: RequestIDFrom(r.Context()),
 			})
+			// The handler goroutine is still running; its output will be
+			// discarded, but a late panic must not be — withRecover can
+			// no longer see it, so drain panicc here and log/count it.
+			// (If the deadline and a panic fire together, this is also
+			// the only reader left.) Capture fields first: r may be
+			// reused by net/http once this ServeHTTP returns.
+			rid := RequestIDFrom(r.Context())
+			path := r.URL.Path
+			go func() {
+				select {
+				case p := <-panicc:
+					if p.val == http.ErrAbortHandler {
+						return // net/http's deliberate-abort sentinel
+					}
+					s.metrics.RecordPanic()
+					s.log.Error("panic recovered after timeout",
+						"panic", fmt.Sprint(p.val),
+						"path", path,
+						"request_id", rid,
+						"stack", string(p.stack),
+					)
+				case <-done:
+				}
+			}()
 		}
 	})
+}
+
+// handlerPanic carries a recovered panic out of withTimeout's handler
+// goroutine, with the stack captured at recovery time — by the time the
+// parent (or the post-timeout drain) sees it, the panicking stack is
+// gone.
+type handlerPanic struct {
+	val   any
+	stack []byte
 }
 
 // withFaults applies the chaos injector's per-request decision:

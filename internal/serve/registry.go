@@ -125,6 +125,13 @@ func (r *Registry) Create(id string, seed uint64, kind string, commit func() err
 	r.mu.Unlock()
 	if commit != nil {
 		if err := commit(); err != nil {
+			// A concurrent request may already hold a reference from Get
+			// and be blocked on entry.mu; marking the entry deleted (we
+			// still hold the lock) makes such waiters see the rollback
+			// and 404 instead of journaling an operation for a chip whose
+			// create record never reached disk — which would poison the
+			// journal and fail every subsequent replay.
+			entry.deleted = true
 			r.mu.Lock()
 			delete(r.chips, id)
 			r.mu.Unlock()

@@ -193,8 +193,13 @@ func (s *Server) Engine() *Engine { return s.engine }
 // routes assembles the mux. Each route runs the hardened-edge stack,
 // outermost first:
 //
-//	request ID → metrics/log → panic recovery → load shedding →
-//	per-route timeout → fault injection → body limit → handler
+//	request ID → metrics/log → panic recovery → per-route timeout →
+//	load shedding → fault injection → body limit → handler
+//
+// The shedder sits *inside* the timeout so its semaphore slot is
+// acquired and released on the handler goroutine: a request that times
+// out keeps holding its slot until the straggling handler actually
+// returns, so the count of running handlers never exceeds MaxInFlight.
 //
 // /healthz and /metrics skip shedding and fault injection: during an
 // overload or a chaos run they are exactly the routes that must keep
@@ -223,11 +228,9 @@ func (s *Server) routes() http.Handler {
 		var hh http.Handler = s.withBodyLimit(h)
 		if limited {
 			hh = s.withFaults(hh)
-		}
-		hh = s.withTimeout(timeout, hh)
-		if limited {
 			hh = s.withLimit(hh)
 		}
+		hh = s.withTimeout(timeout, hh)
 		hh = s.withRecover(hh)
 		hh = s.instrument(pattern, hh)
 		hh = s.withRequestID(hh)
