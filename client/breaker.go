@@ -1,0 +1,123 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker is
+// open: the service has answered 503 — degraded mode, route timeouts —
+// enough times in a row that hammering it further only slows its
+// recovery. Callers fail fast and should try again after the cooldown.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Breaker states, reported by Client.BreakerState.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is a three-state circuit breaker keyed on consecutive 503
+// responses — the status the service uses for degraded read-only mode
+// and exhausted route budgets. Closed passes everything through; after
+// `threshold` consecutive 503s it opens and fails calls locally; after
+// `cooldown` it half-opens, letting exactly one probe request through —
+// success re-closes it, failure re-opens it for another cooldown. This
+// mirrors the service's own probe loop from the outside: the client
+// stops sending writes that can only be 503'd, and discovers recovery
+// with a single request instead of a stampede. A nil *breaker is inert.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// allow gates one attempt: nil to proceed, or a wrapped ErrBreakerOpen
+// to fail fast. An open breaker past its cooldown transitions to
+// half-open and admits the caller as the probe.
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		remaining := b.cooldown - time.Since(b.openedAt)
+		if remaining > 0 {
+			return fmt.Errorf("%w (service kept answering 503; retry in %v)", ErrBreakerOpen, remaining.Round(time.Millisecond))
+		}
+		b.state = BreakerHalfOpen
+		return nil
+	case BreakerHalfOpen:
+		// One probe is already in flight; everyone else keeps failing
+		// fast until it reports back.
+		return fmt.Errorf("%w (recovery probe in flight)", ErrBreakerOpen)
+	default:
+		return nil
+	}
+}
+
+// record feeds one attempt's outcome back. Only 503s count toward
+// opening: other API errors prove the service is processing requests
+// and reset the streak, while transport errors are ambiguous and do
+// neither. In half-open, any failure of the probe re-opens.
+func (b *breaker) record(err error) {
+	if b == nil {
+		return
+	}
+	var apiErr *APIError
+	isAPI := errors.As(err, &apiErr)
+	unavailable := isAPI && apiErr.Status == http.StatusServiceUnavailable
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if err != nil {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			return
+		}
+		b.state = BreakerClosed
+		b.consecutive = 0
+	case BreakerClosed:
+		switch {
+		case unavailable:
+			b.consecutive++
+			if b.consecutive >= b.threshold {
+				b.state = BreakerOpen
+				b.openedAt = time.Now()
+			}
+		case err == nil || isAPI:
+			b.consecutive = 0
+		}
+	}
+}
+
+// current reports the state without transitioning it.
+func (b *breaker) current() string {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

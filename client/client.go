@@ -14,6 +14,12 @@
 //
 // Backoff is capped exponential with jitter from a seeded source, so
 // tests are reproducible.
+//
+// An optional circuit breaker (WithBreaker) opens after consecutive
+// 503s — the status the service uses for degraded read-only mode — so
+// a fleet that is busy healing its storage is not hammered with writes
+// it can only reject; after a cooldown a single half-open probe
+// discovers recovery.
 package client
 
 import (
@@ -52,9 +58,12 @@ type (
 	MetricsSnapshot    = serve.MetricsSnapshot
 )
 
-// APIError is a non-2xx response from the service.
+// APIError is a non-2xx response from the service. Code carries the
+// service's machine-readable classification when present — "degraded"
+// marks a 503 from the fleet's read-only recovery mode.
 type APIError struct {
 	Status    int
+	Code      string
 	Message   string
 	RequestID string
 
@@ -76,6 +85,7 @@ type Client struct {
 	maxAttempts int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
+	breaker     *breaker
 
 	mu  sync.Mutex
 	rnd *rand.Rand
@@ -115,6 +125,19 @@ func WithBackoff(base, max time.Duration) Option {
 func WithJitterSeed(seed uint64) Option {
 	return func(c *Client) { c.rnd = rand.New(rand.NewSource(int64(seed))) }
 }
+
+// WithBreaker enables the circuit breaker: after threshold consecutive
+// 503 responses the client fails calls locally with ErrBreakerOpen
+// instead of sending them, then after cooldown lets one probe request
+// through (half-open) to discover recovery. threshold ≤ 0 disables;
+// cooldown ≤ 0 defaults to 1 s.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) { c.breaker = newBreaker(threshold, cooldown) }
+}
+
+// BreakerState reports the circuit breaker's state ("closed", "open"
+// or "half-open"); without WithBreaker it is always "closed".
+func (c *Client) BreakerState() string { return c.breaker.current() }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8040").
@@ -184,7 +207,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+			return err
+		}
 		lastErr = c.once(ctx, method, path, body, out)
+		c.breaker.record(lastErr)
 		if lastErr == nil {
 			return nil
 		}
@@ -210,21 +240,32 @@ func (c *Client) retryPlan(err error, idempotent bool, attempt int) (time.Durati
 	}
 	switch {
 	case apiErr.Status == http.StatusTooManyRequests:
-		if ra := apiErr.retryAfter; ra > 0 && ra < delay {
-			delay = ra
-		} else if ra > delay {
-			if ra < c.maxBackoff {
-				delay = ra
-			} else {
-				delay = c.maxBackoff
-			}
-		}
-		return delay, true
+		return c.honorRetryAfter(apiErr, delay), true
 	case apiErr.Status >= 500:
-		return delay, idempotent
+		// 5xx responses carry Retry-After too when the service knows
+		// its own recovery cadence (degraded mode does), so honor it
+		// the same way.
+		return c.honorRetryAfter(apiErr, delay), idempotent
 	default:
 		return 0, false
 	}
+}
+
+// honorRetryAfter folds the server's Retry-After hint into the planned
+// delay: a shorter hint wins outright, a longer one wins only up to
+// the backoff ceiling (a saturated server cannot park a client beyond
+// its own patience).
+func (c *Client) honorRetryAfter(apiErr *APIError, delay time.Duration) time.Duration {
+	if ra := apiErr.retryAfter; ra > 0 && ra < delay {
+		delay = ra
+	} else if ra > delay {
+		if ra < c.maxBackoff {
+			delay = ra
+		} else {
+			delay = c.maxBackoff
+		}
+	}
+	return delay
 }
 
 // once issues a single HTTP exchange.
@@ -267,6 +308,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	return &APIError{
 		Status:     resp.StatusCode,
+		Code:       eb.Code,
 		Message:    eb.Error,
 		RequestID:  eb.RequestID,
 		retryAfter: retryAfter(resp),

@@ -220,3 +220,128 @@ func TestBackoffBounds(t *testing.T) {
 		}
 	}
 }
+
+func respondDegraded() func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "1")
+		respond(http.StatusServiceUnavailable, `{"error":"serve: degraded read-only mode","code":"degraded"}`)(w)
+	}
+}
+
+// TestBreakerOpensOnConsecutive503s: after the configured number of
+// consecutive 503s the breaker opens and the next call fails fast with
+// ErrBreakerOpen — no request reaches the wire.
+func TestBreakerOpensOnConsecutive503s(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips", respondDegraded())
+	cl := newTestClient(t, sc, WithMaxAttempts(1), WithBreaker(2, 50*time.Millisecond))
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		var apiErr *APIError
+		if _, err := cl.ListChips(ctx); !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("call %d: err = %v, want a 503 APIError", i, err)
+		}
+	}
+	if got := cl.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state = %q, want %q", got, BreakerOpen)
+	}
+	hits := sc.count("/v1/chips")
+	if _, err := cl.ListChips(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker call: err = %v, want ErrBreakerOpen", err)
+	}
+	if got := sc.count("/v1/chips"); got != hits {
+		t.Fatalf("open breaker let a request through: %d hits, want %d", got, hits)
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers: after the cooldown one probe is
+// admitted; its success closes the breaker and traffic flows again.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips",
+		respondDegraded(),
+		respondDegraded(),
+		respond(http.StatusOK, `{"chips":[]}`),
+	)
+	cl := newTestClient(t, sc, WithMaxAttempts(1), WithBreaker(2, 5*time.Millisecond))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		cl.ListChips(ctx)
+	}
+	if got := cl.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state = %q, want %q", got, BreakerOpen)
+	}
+	time.Sleep(10 * time.Millisecond) // past the cooldown
+	if _, err := cl.ListChips(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if got := cl.BreakerState(); got != BreakerClosed {
+		t.Fatalf("breaker state after good probe = %q, want %q", got, BreakerClosed)
+	}
+	if _, err := cl.ListChips(ctx); err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe snaps the
+// breaker back open for another full cooldown.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips", respondDegraded())
+	cl := newTestClient(t, sc, WithMaxAttempts(1), WithBreaker(1, 5*time.Millisecond))
+	ctx := context.Background()
+	cl.ListChips(ctx) // opens (threshold 1)
+	if got := cl.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state = %q, want %q", got, BreakerOpen)
+	}
+	time.Sleep(10 * time.Millisecond)
+	var apiErr *APIError
+	if _, err := cl.ListChips(ctx); !errors.As(err, &apiErr) {
+		t.Fatalf("probe err = %v, want the 503 APIError", err)
+	}
+	if got := cl.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after failed probe = %q, want %q", got, BreakerOpen)
+	}
+	if _, err := cl.ListChips(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen during renewed cooldown", err)
+	}
+}
+
+// TestBreakerResetBySuccessAndOtherStatuses: only *consecutive* 503s
+// open the breaker — a success or a non-503 failure resets the streak
+// — and a client without WithBreaker never opens.
+func TestBreakerResetBySuccessAndOtherStatuses(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips",
+		respondDegraded(),
+		respond(http.StatusOK, `{"chips":[]}`),
+		respondDegraded(),
+		respond(http.StatusNotFound, `{"error":"nope"}`),
+		respondDegraded(),
+		respond(http.StatusOK, `{"chips":[]}`),
+	)
+	cl := newTestClient(t, sc, WithMaxAttempts(1), WithBreaker(2, time.Minute))
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		cl.ListChips(ctx)
+	}
+	if got := cl.BreakerState(); got != BreakerClosed {
+		t.Fatalf("interleaved failures opened the breaker: %q", got)
+	}
+	if got := sc.count("/v1/chips"); got != 6 {
+		t.Fatalf("server hits = %d, want 6 (no fail-fast)", got)
+	}
+
+	// Degraded 503 carries its error code through to the APIError.
+	sc2 := newScript()
+	sc2.on("/v1/chips", respondDegraded())
+	cl2 := newTestClient(t, sc2, WithMaxAttempts(1))
+	var apiErr *APIError
+	if _, err := cl2.ListChips(ctx); !errors.As(err, &apiErr) || apiErr.Code != "degraded" {
+		t.Fatalf("err = %v, want APIError with code \"degraded\"", err)
+	}
+	if got := cl2.BreakerState(); got != BreakerClosed {
+		t.Fatalf("breaker-less client state = %q, want %q", got, BreakerClosed)
+	}
+}

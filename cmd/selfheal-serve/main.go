@@ -8,7 +8,7 @@
 //
 //	selfheal-serve [-addr :8040] [-cache 256] [-max-body 1048576]
 //	               [-grace 10s] [-log-level info]
-//	               [-data DIR] [-max-inflight 1024]
+//	               [-data DIR] [-repair] [-max-inflight 1024]
 //	               [-op-timeout 30s] [-predict-timeout 2m]
 //	               [-faults spec]
 //
@@ -25,15 +25,30 @@
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
 //	GET    /healthz                    liveness
+//	GET    /readyz                     write-readiness (503 while degraded)
 //	GET    /metrics                    counters, latency histogram, cache, per-chip
-//	                                   usage, journal fsync latency, faults
+//	                                   usage, journal fsync/batching, degraded
+//	                                   mode, faults
 //
 // With -data the fleet is durable: every operation — create, stress,
 // rejuvenate, delete, and the sensor reads, which perturb the die —
-// is appended to an fsync'd journal in that directory before the
-// response commits, and on startup the journal is replayed —
+// is appended to a checksummed, fsync'd journal in that directory
+// before the response commits (concurrent operations share one fsync
+// via group commit), and on startup the journal is replayed —
 // simulations are deterministic per seed, so replay reconstructs every
 // chip's exact aged state even after a hard kill.
+//
+// If the journal fails at runtime (disk full, I/O errors) the service
+// enters degraded read-only mode instead of crashing: mutating routes
+// answer 503 with the "degraded" error code and a Retry-After, reads
+// keep serving from memory, /readyz reports 503, and a background
+// probe restores write mode automatically when the disk recovers.
+//
+// If a journal file carries a corrupt record (failed checksum), the
+// service refuses to start by default. -repair salvages instead: the
+// damaged file is backed up beside itself (journal.log.corrupt.N), the
+// file is truncated at the first bad record, and the dropped sequence
+// numbers are logged.
 //
 // -faults enables the seeded chaos injector on the /v1 routes and the
 // journal writer, e.g.:
@@ -73,10 +88,11 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	dataDir := flag.String("data", "", "journal directory for a durable fleet (empty: in-memory only)")
+	repair := flag.Bool("repair", false, "salvage a corrupt journal: back it up, truncate at the first bad record, report dropped seqs")
 	maxInflight := flag.Int("max-inflight", 1024, "concurrent /v1 requests before shedding with 429")
 	opTimeout := flag.Duration("op-timeout", 30*time.Second, "timeout for registry and sensor routes")
 	predictTimeout := flag.Duration("predict-timeout", 2*time.Minute, "timeout for /v1/predict routes")
-	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F")
+	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F,disk=MODE[:N]")
 	flag.Parse()
 
 	var level slog.Level
@@ -102,9 +118,10 @@ func main() {
 
 	var jl *journal.Journal
 	if *dataDir != "" {
-		opts := journal.Options{}
+		opts := journal.Options{Repair: *repair}
 		if injector != nil {
 			opts.Hook = injector.JournalHook()
+			opts.SyncHook = injector.JournalSyncHook()
 		}
 		var err error
 		if jl, err = journal.Open(*dataDir, opts); err != nil {
@@ -112,6 +129,17 @@ func main() {
 			os.Exit(1)
 		}
 		defer jl.Close()
+		for _, rep := range jl.Repairs() {
+			logger.Warn("journal salvaged",
+				"file", rep.File,
+				"backup", rep.Backup,
+				"truncated_at", rep.TruncatedAt,
+				"line", rep.Line,
+				"reason", rep.Reason,
+				"dropped_records", rep.DroppedRecords,
+				"dropped_seqs", fmt.Sprint(rep.DroppedSeqs),
+			)
+		}
 	}
 
 	srv, err := serve.New(serve.Config{

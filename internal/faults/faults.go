@@ -25,6 +25,37 @@ import (
 // the journal can classify it (and tests can assert on it).
 var ErrInjected = errors.New("faults: injected error")
 
+// DiskMode selects a deterministic storage fault. Unlike the seeded
+// probabilistic faults, disk modes fire on *every* matching operation
+// until cleared (or until a recover-after-N budget runs out), which is
+// what acceptance tests for degraded mode need: the transition must
+// happen on a known operation, not eventually.
+type DiskMode string
+
+const (
+	// DiskNone injects no disk faults.
+	DiskNone DiskMode = ""
+	// DiskFailAppend fails every journal record write cleanly (nothing
+	// reaches the disk), like a full disk returning ENOSPC.
+	DiskFailAppend DiskMode = "fail-append"
+	// DiskFailFsync lets record writes through but fails the fsync —
+	// the write-back failure shape of a dying device (EIO).
+	DiskFailFsync DiskMode = "fail-fsync"
+	// DiskCorrupt flips a byte mid-record and reports success: silent
+	// bit rot, detected only by the journal's checksums on the next
+	// open.
+	DiskCorrupt DiskMode = "corrupt-on-write"
+)
+
+func parseDiskMode(s string) (DiskMode, error) {
+	switch m := DiskMode(s); m {
+	case DiskNone, DiskFailAppend, DiskFailFsync, DiskCorrupt:
+		return m, nil
+	default:
+		return DiskNone, fmt.Errorf("faults: unknown disk mode %q (want fail-append, fail-fsync or corrupt-on-write)", s)
+	}
+}
+
 // Config sets the independent per-event probabilities (all in [0,1])
 // and the injected latency ceiling.
 type Config struct {
@@ -46,11 +77,18 @@ type Config struct {
 	// PartialP is the probability that a failed journal write is torn:
 	// a strict prefix of the record reaches the disk before the error.
 	PartialP float64
+	// Disk arms a deterministic disk-fault mode at construction; see
+	// SetDiskFault.
+	Disk DiskMode
+	// DiskN bounds the armed disk fault: after DiskN injections the
+	// mode auto-clears (recover-after-N). Zero or negative means the
+	// fault persists until SetDiskFault clears it.
+	DiskN int
 }
 
 // Active reports whether the config injects anything at all.
 func (c Config) Active() bool {
-	return c.LatencyP > 0 || c.ErrorP > 0 || c.PanicP > 0 || c.PartialP > 0
+	return c.LatencyP > 0 || c.ErrorP > 0 || c.PanicP > 0 || c.PartialP > 0 || c.Disk != DiskNone
 }
 
 func (c Config) validate() error {
@@ -73,9 +111,11 @@ func (c Config) validate() error {
 
 // ParseConfig parses the CLI spec: comma-separated key=value pairs
 // with keys seed, latency_p, latency (a Go duration), error_p,
-// panic_p and partial_p, e.g.
+// panic_p, partial_p and disk (`<mode>` or `<mode>:<n>` for
+// recover-after-N), e.g.
 //
 //	seed=7,latency_p=0.2,latency=50ms,error_p=0.05,panic_p=0.01,partial_p=0.1
+//	disk=fail-fsync:3
 func ParseConfig(spec string) (Config, error) {
 	var cfg Config
 	if strings.TrimSpace(spec) == "" {
@@ -100,6 +140,15 @@ func ParseConfig(spec string) (Config, error) {
 			cfg.PanicP, err = strconv.ParseFloat(val, 64)
 		case "partial_p":
 			cfg.PartialP, err = strconv.ParseFloat(val, 64)
+		case "disk":
+			mode, budget, hasN := strings.Cut(val, ":")
+			cfg.Disk, err = parseDiskMode(mode)
+			if err == nil && hasN {
+				cfg.DiskN, err = strconv.Atoi(budget)
+				if err == nil && cfg.DiskN < 0 {
+					err = fmt.Errorf("negative recover-after budget %d", cfg.DiskN)
+				}
+			}
 		default:
 			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 		}
@@ -119,6 +168,7 @@ type Stats struct {
 	Errors        uint64 `json:"errors"`
 	Panics        uint64 `json:"panics"`
 	PartialWrites uint64 `json:"partial_writes"`
+	DiskFaults    uint64 `json:"disk_faults"`
 }
 
 // Injector makes fault decisions. A nil *Injector is inert, so callers
@@ -130,7 +180,11 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	latencies, errors, panics, partials atomic.Uint64
+	diskMu        sync.Mutex
+	diskMode      DiskMode
+	diskRemaining int // >0: injections left before auto-recovery; 0: unlimited
+
+	latencies, errors, panics, partials, disk atomic.Uint64
 }
 
 // New validates the config and returns an enabled injector.
@@ -142,8 +196,48 @@ func New(cfg Config) (*Injector, error) {
 		cfg.Latency = 25 * time.Millisecond
 	}
 	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+	in.SetDiskFault(cfg.Disk, cfg.DiskN)
 	in.enabled.Store(true)
 	return in, nil
+}
+
+// SetDiskFault arms (or, with DiskNone, clears) a deterministic disk
+// fault. With n > 0 the mode auto-clears after n injections — the
+// recover-after-N shape, which lets a test drive "the disk heals on
+// its own" without a second control call. n ≤ 0 keeps the fault armed
+// until explicitly cleared.
+func (in *Injector) SetDiskFault(mode DiskMode, n int) {
+	if in == nil {
+		return
+	}
+	in.diskMu.Lock()
+	in.diskMode = mode
+	if n < 0 {
+		n = 0
+	}
+	in.diskRemaining = n
+	in.diskMu.Unlock()
+}
+
+// takeDisk consumes one injection of mode if it is armed, handling the
+// recover-after-N countdown.
+func (in *Injector) takeDisk(mode DiskMode) bool {
+	if !in.Enabled() {
+		return false
+	}
+	in.diskMu.Lock()
+	defer in.diskMu.Unlock()
+	if in.diskMode != mode {
+		return false
+	}
+	if in.diskRemaining > 0 {
+		in.diskRemaining--
+		if in.diskRemaining == 0 {
+			in.diskMode = DiskNone
+		}
+	}
+	in.disk.Add(1)
+	return true
 }
 
 // SetEnabled flips injection on or off (off: every decision is clean).
@@ -164,6 +258,7 @@ func (in *Injector) Stats() Stats {
 		Errors:        in.errors.Load(),
 		Panics:        in.panics.Load(),
 		PartialWrites: in.partials.Load(),
+		DiskFaults:    in.disk.Load(),
 	}
 }
 
@@ -246,11 +341,20 @@ func (in *Injector) Write(n int) WriteDecision {
 	return d
 }
 
-// JournalHook adapts the injector to the journal's write hook: it
-// sleeps any injected latency, then fails the write cleanly or tears
-// it (returning the surviving prefix with the error).
+// JournalHook adapts the injector to the journal's write hook. Armed
+// disk modes fire first (deterministically): fail-append fails with
+// nothing written, corrupt-on-write returns a silently bit-flipped
+// line with no error. Otherwise the seeded probabilistic plan applies:
+// injected latency is slept, then the write fails cleanly or is torn
+// (returning the surviving prefix with the error).
 func (in *Injector) JournalHook() func(op string, encoded []byte) ([]byte, error) {
 	return func(_ string, encoded []byte) ([]byte, error) {
+		if in.takeDisk(DiskFailAppend) {
+			return nil, fmt.Errorf("%w (disk: fail-append)", ErrInjected)
+		}
+		if in.takeDisk(DiskCorrupt) {
+			return corruptLine(encoded), nil
+		}
 		d := in.Write(len(encoded))
 		if d.Latency > 0 {
 			time.Sleep(d.Latency)
@@ -263,4 +367,32 @@ func (in *Injector) JournalHook() func(op string, encoded []byte) ([]byte, error
 		}
 		return nil, ErrInjected
 	}
+}
+
+// JournalSyncHook adapts the injector to the journal's fsync seam:
+// with fail-fsync armed the record write succeeds but its durability
+// barrier reports EIO-shaped failure.
+func (in *Injector) JournalSyncHook() func() error {
+	return func() error {
+		if in.takeDisk(DiskFailFsync) {
+			return fmt.Errorf("%w (disk: fail-fsync)", ErrInjected)
+		}
+		return nil
+	}
+}
+
+// corruptLine flips one low bit mid-payload and keeps the length (so
+// the write itself looks clean). XOR with 0x01 can never mint a
+// newline from a JSON byte, so the damage stays inside the one record.
+func corruptLine(encoded []byte) []byte {
+	c := make([]byte, len(encoded))
+	copy(c, encoded)
+	end := len(c)
+	if i := strings.LastIndexByte(string(c), '\t'); i > 0 {
+		end = i // corrupt the JSON payload, not the checksum suffix
+	}
+	if end > 0 {
+		c[end/2] ^= 0x01
+	}
+	return c
 }

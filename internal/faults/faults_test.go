@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"time"
@@ -101,5 +102,127 @@ func TestJournalHookTearsWrites(t *testing.T) {
 	}
 	if st := in.Stats(); st.PartialWrites == 0 {
 		t.Fatalf("stats = %+v, want partial writes counted", st)
+	}
+}
+
+func TestParseConfigDiskModes(t *testing.T) {
+	cfg, err := ParseConfig("seed=9,disk=fail-fsync:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Disk != DiskFailFsync || cfg.DiskN != 3 {
+		t.Fatalf("parsed %+v, want disk=fail-fsync n=3", cfg)
+	}
+	if !cfg.Active() {
+		t.Fatal("disk-only spec reports inactive")
+	}
+	if cfg, err := ParseConfig("seed=1,disk=corrupt-on-write"); err != nil || cfg.Disk != DiskCorrupt || cfg.DiskN != 0 {
+		t.Fatalf("unbounded corrupt mode: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"disk=melt", "disk=fail-fsync:x", "disk=fail-append:-2"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDiskFailAppendCountsDownAndRecovers: disk=fail-append:2 fails
+// exactly two appends, then the disk "recovers" and writes flow again
+// — the deterministic recover-after-N contract.
+func TestDiskFailAppendCountsDownAndRecovers(t *testing.T) {
+	in, err := New(Config{Seed: 1, Disk: DiskFailAppend, DiskN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.JournalHook()
+	record := []byte(`{"seq":1,"op":"stress","id":"c0"}` + "\n")
+	for i := 0; i < 2; i++ {
+		if _, err := hook("stress", record); !errors.Is(err, ErrInjected) {
+			t.Fatalf("append %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		b, err := hook("stress", record)
+		if err != nil || string(b) != string(record) {
+			t.Fatalf("post-recovery append %d altered: err=%v", i, err)
+		}
+	}
+	if st := in.Stats(); st.DiskFaults != 2 {
+		t.Fatalf("disk faults = %d, want 2", st.DiskFaults)
+	}
+}
+
+func TestDiskFailFsync(t *testing.T) {
+	in, err := New(Config{Seed: 1, Disk: DiskFailFsync, DiskN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := in.JournalSyncHook()
+	if err := sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first fsync err = %v, want ErrInjected", err)
+	}
+	if err := sync(); err != nil {
+		t.Fatalf("fsync after countdown: %v", err)
+	}
+	// SetDiskFault re-arms at runtime (how tests drive degraded mode).
+	in.SetDiskFault(DiskFailFsync, 0)
+	for i := 0; i < 3; i++ {
+		if err := sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("re-armed fsync %d: err = %v", i, err)
+		}
+	}
+	in.SetDiskFault(DiskNone, 0)
+	if err := sync(); err != nil {
+		t.Fatalf("fsync after clearing: %v", err)
+	}
+}
+
+// TestDiskCorruptOnWrite: corrupt-on-write returns nil error (the
+// write "succeeds") but the bytes differ from what was handed in,
+// keep the same length, and never gain a newline — silent bit rot for
+// the checksum layer to catch on replay.
+func TestDiskCorruptOnWrite(t *testing.T) {
+	in, err := New(Config{Seed: 1, Disk: DiskCorrupt, DiskN: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.JournalHook()
+	record := []byte(`{"seq":1,"op":"stress","id":"c0"}` + "\tc1a2b3c4d\n")
+	for i := 0; i < 4; i++ {
+		b, err := hook("stress", append([]byte(nil), record...))
+		if err != nil {
+			t.Fatalf("corrupt-on-write %d surfaced error %v, want silent corruption", i, err)
+		}
+		if len(b) != len(record) {
+			t.Fatalf("corrupted length %d, want %d", len(b), len(record))
+		}
+		if string(b) == string(record) {
+			t.Fatalf("write %d not corrupted", i)
+		}
+		if bytes.Count(b, []byte("\n")) != 1 || b[len(b)-1] != '\n' {
+			t.Fatalf("corruption minted or moved a newline: %q", b)
+		}
+	}
+	if st := in.Stats(); st.DiskFaults != 4 {
+		t.Fatalf("disk faults = %d, want 4", st.DiskFaults)
+	}
+}
+
+func TestDiskFaultDisabledInjectorInert(t *testing.T) {
+	in, err := New(Config{Seed: 1, Disk: DiskFailAppend, DiskN: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(false)
+	record := []byte(`{"seq":1,"op":"stress","id":"c0"}` + "\n")
+	if b, err := in.JournalHook()("stress", record); err != nil || string(b) != string(record) {
+		t.Fatalf("disabled injector touched the write: err=%v", err)
+	}
+	if err := in.JournalSyncHook()(); err != nil {
+		t.Fatalf("disabled injector failed fsync: %v", err)
+	}
+	var nilIn *Injector
+	if err := nilIn.JournalSyncHook()(); err != nil {
+		t.Fatalf("nil injector sync hook: %v", err)
 	}
 }

@@ -10,27 +10,47 @@
 // The on-disk layout is two files in the data directory:
 //
 //	snapshot.json  compacted records, rewritten atomically (tmp+rename)
-//	journal.log    one JSON record per line, appended and fsync'd per op
+//	journal.log    one record per line, appended and fsync'd per commit
 //
-// Appends are fsync'd before the caller's HTTP response commits, so an
-// acknowledged operation survives a hard stop. A truncated final record
-// (torn write at crash) is tolerated on open: replay stops at the last
-// complete record and the tail is trimmed. Records carry sequence
-// numbers so a crash between writing a snapshot and truncating the log
-// never double-applies an operation.
+// Each line is the record's JSON followed by a tab and a CRC32
+// checksum of the JSON bytes (a raw tab can never appear inside a
+// single-line JSON encoding, so the suffix is unambiguous). Lines
+// written by older versions carry no checksum and are still accepted.
+// The checksum turns silent bit rot into a detected corruption: by
+// default a damaged mid-log record refuses startup, and with
+// Options.Repair the file is backed up, truncated at the first bad
+// record, and the dropped sequence numbers are reported.
+//
+// Appends are group-committed: each record is written under the lock,
+// but concurrent appends share a single fsync — the first appender to
+// reach the sync gate flushes every record staged so far, so tail
+// latency under load is one fsync per batch instead of one per op. An
+// append returns only after its record is provably durable, so an
+// acknowledged operation survives a hard stop. A truncated final
+// record (torn write at crash) is tolerated on open: replay stops at
+// the last complete record and the tail is trimmed. Records carry
+// sequence numbers so a crash between writing a snapshot and
+// truncating the log never double-applies an operation.
 //
 // Compaction prunes the history of deleted chips (their records can
-// never matter again) and folds the log into the snapshot; it runs on
-// open and every CompactEvery appends.
+// never matter again) and folds the log into the snapshot. It runs on
+// open and — off the append hot path — in a supervised background
+// goroutine after every CompactEvery durable appends. The data
+// directory itself is fsync'd after the snapshot rename and on log
+// creation, so the rename survives power loss.
 package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -71,10 +91,13 @@ type Record struct {
 
 // Hook intercepts the encoded bytes of a record on their way to the
 // log file — the fault-injection seam (op is the Record.Op as a plain
-// string so injectors need not import this package). It may delay,
-// return an error (nothing gets written), or return a short prefix
+// string so injectors need not import this package). The bytes are the
+// full on-disk line: JSON payload, tab, CRC32 suffix, newline. It may
+// delay, return an error (nothing gets written), return a short prefix
 // alongside an error (a torn write: the prefix hits the disk, then the
-// append fails and the journal repairs itself by truncating back).
+// append fails and the journal repairs itself by truncating back), or
+// return silently corrupted bytes with no error — which the checksum
+// catches on the next open.
 type Hook func(op string, encoded []byte) ([]byte, error)
 
 // Options tunes a journal; the zero value is production defaults.
@@ -84,52 +107,105 @@ type Options struct {
 	CompactEvery int
 	// Hook, when set, intercepts every record write (fault injection).
 	Hook Hook
+	// SyncHook, when set, runs before every fsync of the log file and
+	// may return an error to simulate fsync failure (ENOSPC/EIO).
+	SyncHook func() error
+	// Repair enables salvage on open: a file with a corrupt mid-log
+	// record is backed up, truncated at the first bad record, and the
+	// dropped records are reported via Repairs. Without it, corruption
+	// refuses to open (a torn *final* log record is always tolerated —
+	// that is the signature of a crash mid-append, not of bit rot).
+	Repair bool
 }
 
 // Stats is a snapshot of the journal's counters, exported under the
 // service's /metrics.
 type Stats struct {
-	Appends     uint64        // records durably appended since open
-	Compactions uint64        // snapshot rewrites since open
-	Records     int           // live records (replay length)
-	LastSeq     uint64        // sequence number of the newest record
-	FsyncCount  uint64        // fsyncs issued
-	FsyncTotal  time.Duration // summed fsync latency
-	FsyncMax    time.Duration // slowest single fsync
+	Appends      uint64        // records durably appended since open
+	Compactions  uint64        // snapshot rewrites since open
+	Records      int           // live records (replay length)
+	LastSeq      uint64        // sequence number of the newest durable record
+	FsyncCount   uint64        // fsyncs issued
+	FsyncTotal   time.Duration // summed fsync latency
+	FsyncMax     time.Duration // slowest single fsync
+	SyncBatches  uint64        // group commits (appends sharing one fsync)
+	BatchMax     int           // largest number of appends in one group commit
+	CompactError string        // last background-compaction failure, "" when healthy
+}
+
+// RepairReport describes one salvage performed by Open with
+// Options.Repair: which file was damaged, where it was backed up,
+// where it was truncated, and exactly which records were dropped.
+type RepairReport struct {
+	File           string   // the damaged file
+	Backup         string   // full pre-truncation copy
+	TruncatedAt    int64    // byte offset the file was cut at
+	Line           int      // 1-based line number of the first bad record
+	Reason         string   // why that record failed to decode
+	DroppedRecords int      // lines dropped (the bad one and everything after)
+	DroppedSeqs    []uint64 // seqs of still-parseable records past the corruption
+}
+
+// pendingAppend is one staged record awaiting its group fsync.
+type pendingAppend struct {
+	rec  Record
+	done chan error // buffered; receives the group commit's verdict
 }
 
 // Journal is the append-only operation log. All methods are safe for
-// concurrent use; Append serializes internally, which also fixes the
-// on-disk order (callers append while holding the per-chip lock, so
-// the disk order always matches the application order per chip).
+// concurrent use; record writes serialize internally (which also fixes
+// the on-disk order — callers append while holding the per-chip lock,
+// so the disk order always matches the application order per chip),
+// while the fsync is shared across concurrent appends.
 type Journal struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	f      *os.File
-	size   int64 // bytes of complete records in journal.log
-	failed error // set when a write could not be repaired; appends refuse
+	mu         sync.Mutex
+	f          *os.File
+	size       int64 // bytes of complete records written to journal.log
+	synced     int64 // prefix of size proven durable by fsync
+	failed     error // set when a write could not be repaired; appends refuse
+	pending    []*pendingAppend
+	committing bool // a drained batch's fsync is in flight
 
-	recs         []Record // live (compacted) history, snapshot source
-	lastSeq      uint64
+	recs       []Record // durable live (compacted) history, snapshot source
+	lastSeq    uint64   // newest assigned sequence number (staged included)
+	durableSeq uint64   // newest fsync'd sequence number
+
 	sinceCompact int
+	appends      uint64
+	compactions  uint64
+	fsyncCount   uint64
+	fsyncTotal   time.Duration
+	fsyncMax     time.Duration
+	syncBatches  uint64
+	batchMax     int
+	compactErr   error
 
-	appends     uint64
-	compactions uint64
-	fsyncCount  uint64
-	fsyncTotal  time.Duration
-	fsyncMax    time.Duration
+	repairs []RepairReport
+
+	// groupMu is the commit gate: the appender holding it fsyncs every
+	// record staged so far and resolves their done channels.
+	groupMu sync.Mutex
+
+	compactc  chan struct{}
+	closedc   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 const (
 	snapshotName = "snapshot.json"
 	logName      = "journal.log"
+	// maxLine bounds one record line; anything longer is corruption.
+	maxLine = 1 << 20
 )
 
 // Open creates dir if needed, loads the snapshot and the log (trimming
-// a torn final record), compacts the pair, and returns a journal ready
-// for appends. Call Records for the replay list.
+// a torn final record; salvaging deeper corruption when opts.Repair is
+// set), compacts the pair, fsyncs the directory, and starts the
+// background compaction supervisor. Call Records for the replay list.
 func Open(dir string, opts Options) (*Journal, error) {
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = 4096
@@ -139,11 +215,11 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	j := &Journal{dir: dir, opts: opts}
 
-	snap, err := readRecords(filepath.Join(dir, snapshotName), false)
+	snap, err := j.readOrSalvage(filepath.Join(dir, snapshotName), false)
 	if err != nil {
 		return nil, err
 	}
-	logRecs, err := readRecords(filepath.Join(dir, logName), true)
+	logRecs, err := j.readOrSalvage(filepath.Join(dir, logName), true)
 	if err != nil {
 		return nil, err
 	}
@@ -162,20 +238,35 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 
 	j.pruneTrailingReads()
+	j.durableSeq = j.lastSeq
 
 	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
+	// Persist the log file's creation (and any salvage truncation)
+	// before acknowledging anything written into it.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync dir: %w", err)
+	}
 	// Fold everything into the snapshot so the next open replays one
 	// clean file, and so the torn tail (if any) is physically gone.
 	if err := j.compactLocked(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	j.compactc = make(chan struct{}, 1)
+	j.closedc = make(chan struct{})
+	j.wg.Add(1)
+	go j.compactLoop()
 	return j, nil
 }
+
+// Repairs returns the salvage reports from Open (empty unless
+// Options.Repair was set and corruption was found).
+func (j *Journal) Repairs() []RepairReport { return j.repairs }
 
 // isRead reports whether op is a sensor read. Reads are journaled —
 // sampling perturbs the die, so later mutations build on the post-read
@@ -225,50 +316,210 @@ func (j *Journal) absorb(rec Record) {
 	j.recs = append(j.recs, rec)
 }
 
-// readRecords parses one JSON record per line. With tolerateTail, a
-// final line that does not parse is treated as a torn write and
-// dropped; a bad line *followed by good ones* is real corruption and
-// an error either way.
-func readRecords(path string, tolerateTail bool) ([]Record, error) {
+// encodeLine renders one on-disk line: JSON payload, tab, CRC32 of the
+// payload as 8 hex digits, newline.
+func encodeLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+12)
+	line = append(line, payload...)
+	line = fmt.Appendf(line, "\tc%08x", crc32.ChecksumIEEE(payload))
+	return append(line, '\n'), nil
+}
+
+// parseLine decodes one journal line (without its newline). Lines
+// written by this version carry a trailing "\tc<crc32 hex>" suffix,
+// verified against the JSON payload; lines from older logs are bare
+// JSON and are accepted without verification.
+func parseLine(line []byte) (Record, error) {
+	payload := line
+	if i := bytes.LastIndexByte(line, '\t'); i >= 0 {
+		sum := line[i+1:]
+		payload = line[:i]
+		if len(sum) != 9 || sum[0] != 'c' {
+			return Record{}, fmt.Errorf("malformed checksum suffix %q", sum)
+		}
+		want, err := strconv.ParseUint(string(sum[1:]), 16, 32)
+		if err != nil {
+			return Record{}, fmt.Errorf("malformed checksum %q", sum)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+			return Record{}, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", uint32(want), got)
+		}
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("bad record: %w", err)
+	}
+	if rec.Op == "" {
+		return Record{}, errors.New("record has no op")
+	}
+	return rec, nil
+}
+
+// corruption describes the first undecodable record found in a file.
+type corruption struct {
+	offset       int64 // byte offset of the bad line's start
+	line         int   // 1-based line number of the bad line
+	reason       error
+	droppedLines int      // the bad line plus everything after it
+	droppedSeqs  []uint64 // seqs of still-parseable records past the corruption
+}
+
+// readRecords parses one record per line, returning the records before
+// the first undecodable line and — when one exists — a description of
+// the corruption. With tolerateTail, a single bad *final* line is
+// treated as a torn crash write and silently dropped. The error return
+// is reserved for I/O failures.
+func readRecords(path string, tolerateTail bool) ([]Record, *corruption, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
 
-	var recs []Record
-	var badLine string
+	var (
+		recs   []Record
+		corr   *corruption
+		offset int64
+		lineNo int
+	)
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
+		start := offset
+		offset += int64(len(line)) + 1
 		if len(line) == 0 {
 			continue
 		}
-		if badLine != "" {
-			return nil, fmt.Errorf("journal: %s: corrupt record %q is not the final line", path, badLine)
+		if corr != nil {
+			// Past the corruption everything is dropped; keep parsing
+			// best-effort so the salvage report can name the seqs.
+			corr.droppedLines++
+			if rec, perr := parseLine(line); perr == nil {
+				corr.droppedSeqs = append(corr.droppedSeqs, rec.Seq)
+			}
+			continue
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
-			badLine = string(line)
+		rec, perr := parseLine(line)
+		if perr != nil {
+			corr = &corruption{offset: start, line: lineNo, reason: perr, droppedLines: 1}
 			continue
 		}
 		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: %s: %w", path, err)
+		if !errors.Is(err, bufio.ErrTooLong) {
+			return nil, nil, fmt.Errorf("journal: %s: %w", path, err)
+		}
+		// An oversized line is corruption; scanning cannot continue, so
+		// the dropped-record details past this point are unknown.
+		if corr == nil {
+			corr = &corruption{
+				offset: offset, line: lineNo + 1, droppedLines: 1,
+				reason: fmt.Errorf("record exceeds %d bytes", maxLine),
+			}
+		}
+		return recs, corr, nil
 	}
-	if badLine != "" && !tolerateTail {
-		return nil, fmt.Errorf("journal: %s: corrupt record %q", path, badLine)
+	// A lone bad line at the very end of the log is the signature of a
+	// torn append at crash time, not of bit rot: drop it silently.
+	if corr != nil && corr.droppedLines == 1 && tolerateTail {
+		corr = nil
 	}
+	return recs, corr, nil
+}
+
+// readOrSalvage loads one file. Corruption either refuses the open
+// (default — the operator must opt in to dropping records) or, with
+// Options.Repair, backs the file up, truncates it at the first bad
+// record, and records a RepairReport.
+func (j *Journal) readOrSalvage(path string, tolerateTail bool) ([]Record, error) {
+	recs, corr, err := readRecords(path, tolerateTail)
+	if err != nil {
+		return nil, err
+	}
+	if corr == nil {
+		return recs, nil
+	}
+	if !j.opts.Repair {
+		return nil, fmt.Errorf(
+			"journal: %s: line %d: %v; refusing to start (enable repair — selfheal-serve -repair — to back up the file, truncate at the corruption, and drop %d record(s))",
+			path, corr.line, corr.reason, corr.droppedLines)
+	}
+	rep, err := salvage(path, corr)
+	if err != nil {
+		return nil, err
+	}
+	j.repairs = append(j.repairs, rep)
 	return recs, nil
 }
 
-// Records returns a copy of the live (compacted) history in sequence
-// order — the replay list that reconstructs the fleet.
+// salvage backs path up to the first free "<path>.corrupt.N", truncates
+// the original at the corruption, and fsyncs both file and directory.
+func salvage(path string, corr *corruption) (RepairReport, error) {
+	backup, err := backupFile(path)
+	if err != nil {
+		return RepairReport{}, fmt.Errorf("journal: salvage %s: %w", path, err)
+	}
+	if err := os.Truncate(path, corr.offset); err != nil {
+		return RepairReport{}, fmt.Errorf("journal: salvage %s: truncate: %w", path, err)
+	}
+	if err := syncFilePath(path); err != nil {
+		return RepairReport{}, fmt.Errorf("journal: salvage %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return RepairReport{}, fmt.Errorf("journal: salvage %s: sync dir: %w", path, err)
+	}
+	return RepairReport{
+		File:           path,
+		Backup:         backup,
+		TruncatedAt:    corr.offset,
+		Line:           corr.line,
+		Reason:         corr.reason.Error(),
+		DroppedRecords: corr.droppedLines,
+		DroppedSeqs:    corr.droppedSeqs,
+	}, nil
+}
+
+// backupFile copies path to the first unused "<path>.corrupt.N" and
+// fsyncs the copy, so the damaged original survives for forensics.
+func backupFile(path string) (string, error) {
+	src, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer src.Close()
+	for n := 0; ; n++ {
+		cand := fmt.Sprintf("%s.corrupt.%d", path, n)
+		dst, err := os.OpenFile(cand, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			dst.Close()
+			return "", err
+		}
+		if err := dst.Sync(); err != nil {
+			dst.Close()
+			return "", err
+		}
+		return cand, dst.Close()
+	}
+}
+
+// Records returns a copy of the durable live (compacted) history in
+// sequence order — the replay list that reconstructs the fleet.
 func (j *Journal) Records() []Record {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -278,89 +529,237 @@ func (j *Journal) Records() []Record {
 }
 
 // Append assigns the next sequence number, writes the record to the
-// log and fsyncs it. It returns only after the record is durable — or
-// with an error after repairing any partial write, so the log never
-// accumulates garbage between records. A journal whose repair failed
-// refuses further appends rather than corrupt the history.
+// log, and waits for a group commit to make it durable. It returns
+// only after the record is fsync'd — or with an error after repairing
+// any partial write, so the log never accumulates garbage between
+// records. Concurrent appends share one fsync. A journal whose repair
+// failed refuses further appends rather than corrupt the history.
 func (j *Journal) Append(rec Record) error {
+	p, err := j.stage(rec)
+	if err != nil {
+		return err
+	}
+	return j.awaitCommit(p)
+}
+
+// stage serializes the record write: it reserves the sequence number,
+// runs the fault hook, writes the line at the log's tail, and — on a
+// failed or torn write — truncates straight back to the last complete
+// record so the next append starts on a clean boundary.
+func (j *Journal) stage(rec Record) (*pendingAppend, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.failed != nil {
-		return fmt.Errorf("journal: log is failed (%w); refusing append", j.failed)
+		return nil, fmt.Errorf("journal: log is failed (%w); refusing append", j.failed)
 	}
 	rec.Seq = j.lastSeq + 1
-	encoded, err := json.Marshal(rec)
+	line, err := encodeLine(rec)
 	if err != nil {
-		return fmt.Errorf("journal: encode record: %w", err)
+		return nil, err
 	}
-	encoded = append(encoded, '\n')
-
-	toWrite := encoded
+	toWrite := line
 	var hookErr error
 	if j.opts.Hook != nil {
-		toWrite, hookErr = j.opts.Hook(string(rec.Op), encoded)
+		toWrite, hookErr = j.opts.Hook(string(rec.Op), line)
 	}
 	if len(toWrite) > 0 {
 		if _, werr := j.f.WriteAt(toWrite, j.size); werr != nil && hookErr == nil {
 			hookErr = werr
 		}
 	}
-	if hookErr != nil || len(toWrite) != len(encoded) {
-		// Partial or failed write: truncate back to the last complete
-		// record so the next append starts on a clean boundary.
+	if hookErr != nil || len(toWrite) != len(line) {
 		if terr := j.f.Truncate(j.size); terr != nil {
 			j.failed = terr
-			return fmt.Errorf("journal: append failed (%v) and repair failed: %w", hookErr, terr)
+			return nil, fmt.Errorf("journal: append failed (%v) and repair failed: %w", hookErr, terr)
 		}
 		if hookErr == nil {
 			hookErr = errors.New("journal: short write")
 		}
-		return fmt.Errorf("journal: append: %w", hookErr)
+		return nil, fmt.Errorf("journal: append: %w", hookErr)
 	}
-	if err := j.fsync(); err != nil {
-		// The bytes are written but not provably durable; trim them so
-		// the in-memory and on-disk histories stay in agreement.
-		if terr := j.f.Truncate(j.size); terr != nil {
+	j.size += int64(len(line))
+	j.lastSeq = rec.Seq
+	p := &pendingAppend{rec: rec, done: make(chan error, 1)}
+	j.pending = append(j.pending, p)
+	return p, nil
+}
+
+// awaitCommit resolves one staged append: either an earlier appender's
+// group commit already covered it, or this appender becomes the leader
+// and commits every record staged so far.
+func (j *Journal) awaitCommit(p *pendingAppend) error {
+	select {
+	case err := <-p.done:
+		return err
+	default:
+	}
+	j.groupMu.Lock()
+	select {
+	case err := <-p.done: // the previous leader's group covered us
+		j.groupMu.Unlock()
+		return err
+	default:
+	}
+	j.commitGroup()
+	j.groupMu.Unlock()
+	// commitGroup drained the pending set we are in, so done is resolved.
+	return <-p.done
+}
+
+// commitGroup fsyncs every staged record in one shot. On success the
+// batch becomes durable and is absorbed into the live history; on
+// failure the log is truncated back to the durable prefix — failing,
+// alongside the batch, any append staged while the fsync was in
+// flight, since its bytes sit past the truncation point.
+func (j *Journal) commitGroup() {
+	j.mu.Lock()
+	batch := j.pending
+	j.pending = nil
+	end := j.size
+	if len(batch) == 0 {
+		j.mu.Unlock()
+		return
+	}
+	// Block compaction until the batch is absorbed: its bytes live only
+	// in the log, and compaction truncates the log.
+	j.committing = true
+	j.mu.Unlock()
+
+	// The fsync runs outside mu so concurrent appenders keep staging
+	// into the next batch while the disk works.
+	start := time.Now()
+	serr := j.doSync()
+	elapsed := time.Since(start)
+
+	j.mu.Lock()
+	j.committing = false
+	j.fsyncCount++
+	j.fsyncTotal += elapsed
+	if elapsed > j.fsyncMax {
+		j.fsyncMax = elapsed
+	}
+	if serr == nil {
+		if end > j.synced {
+			j.synced = end
+		}
+		j.syncBatches++
+		if len(batch) > j.batchMax {
+			j.batchMax = len(batch)
+		}
+		for _, p := range batch {
+			j.absorb(p.rec)
+			if p.rec.Seq > j.durableSeq {
+				j.durableSeq = p.rec.Seq
+			}
+			j.appends++
+			j.sinceCompact++
+		}
+		if j.opts.CompactEvery > 0 && j.sinceCompact >= j.opts.CompactEvery {
+			select {
+			case j.compactc <- struct{}{}:
+			default:
+			}
+		}
+	} else {
+		serr = fmt.Errorf("journal: fsync: %w", serr)
+		// The batch's bytes are written but not provably durable; trim
+		// back so the on-disk and in-memory histories stay in
+		// agreement. Records staged during the failed fsync sit past
+		// the trim point, so they fail with the same verdict.
+		if terr := j.f.Truncate(j.synced); terr != nil {
 			j.failed = terr
 		}
-		return fmt.Errorf("journal: fsync: %w", err)
+		j.size = j.synced
+		j.lastSeq = j.durableSeq
+		batch = append(batch, j.pending...)
+		j.pending = nil
 	}
-	j.size += int64(len(encoded))
-	j.lastSeq = rec.Seq
-	j.absorb(rec)
-	j.appends++
-	j.sinceCompact++
-	if j.opts.CompactEvery > 0 && j.sinceCompact >= j.opts.CompactEvery {
-		if err := j.compactLocked(); err != nil {
+	j.mu.Unlock()
+	for _, p := range batch {
+		p.done <- serr
+	}
+}
+
+// doSync runs the fault seam, then fsyncs the log file.
+func (j *Journal) doSync() error {
+	if j.opts.SyncHook != nil {
+		if err := j.opts.SyncHook(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return j.f.Sync()
 }
 
-func (j *Journal) fsync() error {
+// Probe checks whether the journal can write durably again — the
+// recovery test the serve layer's degraded-mode supervisor polls. It
+// re-attempts the truncate of a failed repair, then runs the fsync
+// path (including the fault seam). A nil return means appends work.
+func (j *Journal) Probe() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		if err := j.f.Truncate(j.synced); err != nil {
+			return fmt.Errorf("journal: still failed: %w", err)
+		}
+		j.size = j.synced
+		j.lastSeq = j.durableSeq
+		j.failed = nil
+	}
 	start := time.Now()
-	err := j.f.Sync()
+	err := j.doSync()
 	elapsed := time.Since(start)
 	j.fsyncCount++
 	j.fsyncTotal += elapsed
 	if elapsed > j.fsyncMax {
 		j.fsyncMax = elapsed
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("journal: probe fsync: %w", err)
+	}
+	return nil
+}
+
+// compactLoop is the background compaction supervisor: it owns every
+// size-triggered snapshot rewrite, so a slow compaction never stalls
+// an appender. Errors are retained (surfaced via Stats) and retried on
+// the next trigger.
+func (j *Journal) compactLoop() {
+	defer j.wg.Done()
+	for {
+		select {
+		case <-j.closedc:
+			return
+		case <-j.compactc:
+		}
+		j.mu.Lock()
+		// Skip while appends are staged or a batch's fsync is in
+		// flight: compaction truncates the log, and those records are
+		// not in the snapshot yet. The next group commit re-triggers,
+		// so nothing is lost.
+		if j.failed == nil && len(j.pending) == 0 && !j.committing &&
+			j.opts.CompactEvery > 0 && j.sinceCompact >= j.opts.CompactEvery {
+			j.compactErr = j.compactLocked()
+		}
+		j.mu.Unlock()
+	}
 }
 
 // Compact folds the log into the snapshot immediately.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if len(j.pending) > 0 || j.committing {
+		return errors.New("journal: compact: appends in flight")
+	}
 	return j.compactLocked()
 }
 
 // compactLocked writes the live records to snapshot.json.tmp, fsyncs,
-// renames over the snapshot, then truncates the log. A crash at any
+// renames over the snapshot, fsyncs the directory (so the rename
+// itself survives power loss), then truncates the log. A crash at any
 // point is safe: the rename is atomic and replay deduplicates by
-// sequence number.
+// sequence number. Callers hold mu and have no staged-unsynced
+// records.
 func (j *Journal) compactLocked() error {
 	tmpPath := filepath.Join(j.dir, snapshotName+".tmp")
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -369,13 +768,12 @@ func (j *Journal) compactLocked() error {
 	}
 	w := bufio.NewWriter(tmp)
 	for _, rec := range j.recs {
-		b, err := json.Marshal(rec)
+		line, err := encodeLine(rec)
 		if err != nil {
 			tmp.Close()
-			return fmt.Errorf("journal: compact: encode: %w", err)
+			return fmt.Errorf("journal: compact: %w", err)
 		}
-		b = append(b, '\n')
-		if _, err := w.Write(b); err != nil {
+		if _, err := w.Write(line); err != nil {
 			tmp.Close()
 			return fmt.Errorf("journal: compact: %w", err)
 		}
@@ -394,43 +792,73 @@ func (j *Journal) compactLocked() error {
 	if err := os.Rename(tmpPath, filepath.Join(j.dir, snapshotName)); err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
-	syncDir(j.dir) // best effort: persist the rename itself
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: compact: sync dir: %w", err)
+	}
 	if err := j.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: compact: truncate log: %w", err)
 	}
 	j.size = 0
+	j.synced = 0
 	j.sinceCompact = 0
 	j.compactions++
 	return nil
 }
 
-func syncDir(dir string) {
+// syncDir fsyncs a directory, persisting renames and file creations
+// inside it.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncFilePath fsyncs the file at path.
+func syncFilePath(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Stats snapshots the journal's counters.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Appends:     j.appends,
 		Compactions: j.compactions,
 		Records:     len(j.recs),
-		LastSeq:     j.lastSeq,
+		LastSeq:     j.durableSeq,
 		FsyncCount:  j.fsyncCount,
 		FsyncTotal:  j.fsyncTotal,
 		FsyncMax:    j.fsyncMax,
+		SyncBatches: j.syncBatches,
+		BatchMax:    j.batchMax,
 	}
+	if j.compactErr != nil {
+		st.CompactError = j.compactErr.Error()
+	}
+	return st
 }
 
-// Close releases the log file. A hard stop without Close loses
-// nothing: every acknowledged append was already fsync'd.
+// Close stops the compaction supervisor and releases the log file. A
+// hard stop without Close loses nothing: every acknowledged append was
+// already fsync'd.
 func (j *Journal) Close() error {
+	j.closeOnce.Do(func() { close(j.closedc) })
+	j.wg.Wait()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.f.Close()

@@ -28,10 +28,28 @@ func WriteJSON(w io.Writer, v any) error {
 
 // ErrorResponse is the body of every non-2xx response. RequestID (the
 // X-Request-ID the client sent, or the one the service minted) links
-// the error to the server-side request log.
+// the error to the server-side request log. Code, when present, is a
+// machine-readable classification (currently only CodeDegraded) that
+// clients can branch on without parsing the message.
 type ErrorResponse struct {
 	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
+}
+
+// CodeDegraded marks a 503 caused by the journal being unable to make
+// writes durable: the fleet is serving reads from memory and will
+// restore write mode on its own when the storage recovers. Retry the
+// operation after the Retry-After hint.
+const CodeDegraded = "degraded"
+
+// ReadyResponse is the GET /readyz body: liveness stays on /healthz,
+// while this reports *write*-readiness — 200 when mutating routes are
+// accepted, 503 (with Reason) while the service is degraded.
+type ReadyResponse struct {
+	Status     string `json:"status"`
+	WriteReady bool   `json:"write_ready"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // Chip kinds accepted by CreateChipRequest.

@@ -47,11 +47,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError classifies an error into a status code: missing chips are
 // 404, duplicate ids and kind mismatches 409, an oversized body 413, a
-// cancelled or timed-out request 503, injected faults and journal
-// failures 500, everything else a validation 400. The response carries
-// the request ID so failures are correlatable in the logs.
+// cancelled or timed-out request 503, injected faults 500, everything
+// else a validation 400. A journal commit failure is the storage
+// wearing out, not a bug: it answers 503 with the `degraded` code and
+// a Retry-After, and trips the degraded-mode supervisor so subsequent
+// writes are rejected at the gate while the recovery probe works. The
+// response carries the request ID so failures are correlatable in the
+// logs.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
+	code := ""
 	var dup errDuplicateChip
 	var missing errNotFound
 	var notDurable errNotDurable
@@ -63,13 +68,21 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
-	case errors.As(err, &notDurable), errors.Is(err, faults.ErrInjected):
+	case errors.As(err, &notDurable):
+		// Checked before ErrInjected: an injected *journal* fault is
+		// still a real durability failure from the fleet's view.
+		status = http.StatusServiceUnavailable
+		code = CodeDegraded
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		s.gate.trip(err)
+	case errors.Is(err, faults.ErrInjected):
 		status = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, status, ErrorResponse{
 		Error:     err.Error(),
+		Code:      code,
 		RequestID: RequestIDFrom(r.Context()),
 	})
 }
@@ -78,8 +91,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports write-readiness. Liveness stays on /healthz —
+// a degraded fleet is alive (reads work, recovery is in progress), it
+// is just not ready to take writes, which is exactly the distinction a
+// load balancer needs.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if degraded, reason := s.gate.status(); degraded {
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		s.writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+			Status: "degraded", WriteReady: false, Reason: reason,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", WriteReady: true})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry, s.journal, s.faults))
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry, s.journal, s.faults, s.gate))
 }
 
 func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {

@@ -21,9 +21,10 @@ var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 type Metrics struct {
 	start time.Time
 
-	panics   atomic.Uint64 // handler panics recovered into 500s
-	shed     atomic.Uint64 // requests rejected 429 by the load shedder
-	timeouts atomic.Uint64 // requests cut off 503 by a route timeout
+	panics          atomic.Uint64 // handler panics recovered into 500s
+	shed            atomic.Uint64 // requests rejected 429 by the load shedder
+	timeouts        atomic.Uint64 // requests cut off 503 by a route timeout
+	degradedRejects atomic.Uint64 // writes rejected 503 by the degraded-mode gate
 
 	mu      sync.Mutex
 	routes  map[string]*routeStats
@@ -74,6 +75,10 @@ func (m *Metrics) RecordShed() { m.shed.Add(1) }
 // RecordTimeout counts one request cut off by its route timeout.
 func (m *Metrics) RecordTimeout() { m.timeouts.Add(1) }
 
+// RecordDegradedReject counts one write rejected by the degraded-mode
+// gate.
+func (m *Metrics) RecordDegradedReject() { m.degradedRejects.Add(1) }
+
 // RouteSnapshot is one route's counters in a MetricsSnapshot.
 type RouteSnapshot struct {
 	Count    uint64            `json:"count"`
@@ -95,16 +100,35 @@ type CacheSnapshot struct {
 	Capacity int    `json:"capacity"`
 }
 
-// JournalSnapshot reports the durability layer: append volume and the
-// fsync latency the fleet pays per mutating operation.
+// JournalSnapshot reports the durability layer: append volume, the
+// fsync latency the fleet pays per mutating operation, and how well
+// group commit is amortizing it (SyncBatchMax > 1 means concurrent
+// appends shared an fsync).
 type JournalSnapshot struct {
-	Appends     uint64  `json:"appends"`
-	Compactions uint64  `json:"compactions"`
-	Records     int     `json:"records"`
-	LastSeq     uint64  `json:"last_seq"`
-	FsyncCount  uint64  `json:"fsync_count"`
-	FsyncMeanMS float64 `json:"fsync_mean_ms"`
-	FsyncMaxMS  float64 `json:"fsync_max_ms"`
+	Appends      uint64  `json:"appends"`
+	Compactions  uint64  `json:"compactions"`
+	Records      int     `json:"records"`
+	LastSeq      uint64  `json:"last_seq"`
+	FsyncCount   uint64  `json:"fsync_count"`
+	FsyncMeanMS  float64 `json:"fsync_mean_ms"`
+	FsyncMaxMS   float64 `json:"fsync_max_ms"`
+	SyncBatches  uint64  `json:"sync_batches"`
+	SyncBatchMax int     `json:"sync_batch_max"`
+	CompactError string  `json:"compact_error,omitempty"`
+}
+
+// DegradedSnapshot reports the degraded-mode supervisor: whether the
+// service currently accepts writes, how many episodes it has entered
+// and recovered from, probe volume, and the writes turned away while
+// read-only.
+type DegradedSnapshot struct {
+	WriteReady     bool    `json:"write_ready"`
+	Enters         uint64  `json:"enters"`
+	Exits          uint64  `json:"exits"`
+	Probes         uint64  `json:"probes"`
+	WritesRejected uint64  `json:"writes_rejected"`
+	Reason         string  `json:"reason,omitempty"`
+	SinceSeconds   float64 `json:"since_seconds,omitempty"`
 }
 
 // MetricsSnapshot is the GET /metrics body.
@@ -118,13 +142,15 @@ type MetricsSnapshot struct {
 	RequestsShed    uint64                   `json:"requests_shed"`
 	RequestTimeouts uint64                   `json:"request_timeouts"`
 	Journal         *JournalSnapshot         `json:"journal,omitempty"`
+	Degraded        *DegradedSnapshot        `json:"degraded,omitempty"`
 	Faults          *faults.Stats            `json:"faults,omitempty"`
 }
 
 // Snapshot assembles the exported view, folding in the engine's cache
 // stats, the registry's per-chip usage, and — when configured — the
-// journal's fsync accounting and the chaos injector's counters.
-func (m *Metrics) Snapshot(engine *Engine, registry *Registry, jl *journal.Journal, inj *faults.Injector) MetricsSnapshot {
+// journal's fsync accounting, the degraded-mode supervisor, and the
+// chaos injector's counters.
+func (m *Metrics) Snapshot(engine *Engine, registry *Registry, jl *journal.Journal, inj *faults.Injector, g *gate) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds:   time.Since(m.start).Seconds(),
 		Requests:        make(map[string]RouteSnapshot),
@@ -136,18 +162,22 @@ func (m *Metrics) Snapshot(engine *Engine, registry *Registry, jl *journal.Journ
 	if jl != nil {
 		st := jl.Stats()
 		js := JournalSnapshot{
-			Appends:     st.Appends,
-			Compactions: st.Compactions,
-			Records:     st.Records,
-			LastSeq:     st.LastSeq,
-			FsyncMaxMS:  float64(st.FsyncMax) / float64(time.Millisecond),
-			FsyncCount:  st.FsyncCount,
+			Appends:      st.Appends,
+			Compactions:  st.Compactions,
+			Records:      st.Records,
+			LastSeq:      st.LastSeq,
+			FsyncMaxMS:   float64(st.FsyncMax) / float64(time.Millisecond),
+			FsyncCount:   st.FsyncCount,
+			SyncBatches:  st.SyncBatches,
+			SyncBatchMax: st.BatchMax,
+			CompactError: st.CompactError,
 		}
 		if st.FsyncCount > 0 {
 			js.FsyncMeanMS = float64(st.FsyncTotal) / float64(st.FsyncCount) / float64(time.Millisecond)
 		}
 		snap.Journal = &js
 	}
+	snap.Degraded = g.snapshot(m.degradedRejects.Load())
 	if inj != nil {
 		fs := inj.Stats()
 		snap.Faults = &fs

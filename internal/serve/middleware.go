@@ -94,16 +94,46 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			s.metrics.RecordShed()
-			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Retry-After", s.retryAfterSecs())
 			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 				Error:     "serve: fleet saturated; retry later",
 				RequestID: RequestIDFrom(r.Context()),
 			})
 		}
+	})
+}
+
+// retryAfterSecs renders the configured Retry-After hint as whole
+// seconds for the wire (minimum 1).
+func (s *Server) retryAfterSecs() string {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// withWriteGate suspends a mutating route while the service is in
+// degraded read-only mode: a fast 503 with the `degraded` error code
+// and a Retry-After, before the handler (and the journal) is touched.
+// Reads never pass through here, so they keep serving from memory for
+// the whole episode.
+func (s *Server) withWriteGate(next http.Handler) http.Handler {
+	if s.gate == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if degraded, reason := s.gate.status(); degraded {
+			s.metrics.RecordDegradedReject()
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error:     "serve: degraded read-only mode (" + reason + "); writes suspended until the journal recovers",
+				Code:      CodeDegraded,
+				RequestID: RequestIDFrom(r.Context()),
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
 	})
 }
 

@@ -160,10 +160,17 @@ func TestChaosTrafficStaysWellFormed(t *testing.T) {
 		Faults:      inj,
 		MaxInFlight: 4,
 		RetryAfter:  time.Second,
+		// Journal faults now trip degraded read-only mode; with fast
+		// probes (the disk itself is healthy here) each episode ends
+		// within a couple of milliseconds, well inside the retrying
+		// client's budget.
+		ProbeInterval:    2 * time.Millisecond,
+		ProbeMaxInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -185,9 +192,12 @@ func TestChaosTrafficStaysWellFormed(t *testing.T) {
 		workers = 12
 		opsEach = 15
 	)
+	// Journal faults trip whole degraded episodes now, which correlates
+	// failures across a single call's retries; the budget below spans
+	// many episodes so an idempotent call still always lands.
 	retrying := client.New(ts.URL,
-		client.WithMaxAttempts(15),
-		client.WithBackoff(time.Millisecond, 10*time.Millisecond),
+		client.WithMaxAttempts(25),
+		client.WithBackoff(time.Millisecond, 25*time.Millisecond),
 		client.WithJitterSeed(9),
 	)
 	var (

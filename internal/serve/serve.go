@@ -47,6 +47,12 @@ type Config struct {
 	// PredictTimeout bounds the /v1/predict routes, whose simulations
 	// can legitimately run much longer (default 2 min).
 	PredictTimeout time.Duration
+	// ProbeInterval is the first recovery-probe delay after the journal
+	// trips the service into degraded read-only mode (default 100 ms);
+	// subsequent probes back off exponentially to ProbeMaxInterval
+	// (default 5 s).
+	ProbeInterval    time.Duration
+	ProbeMaxInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +83,12 @@ func (c Config) withDefaults() Config {
 	if c.PredictTimeout == 0 {
 		c.PredictTimeout = 2 * time.Minute
 	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.ProbeMaxInterval <= 0 {
+		c.ProbeMaxInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -90,6 +102,7 @@ type Server struct {
 	metrics  *Metrics
 	journal  *journal.Journal
 	faults   *faults.Injector
+	gate     *gate
 	sem      chan struct{}
 	handler  http.Handler
 }
@@ -116,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 	}
 	if s.journal != nil {
+		s.gate = newGate(s.log, s.journal, cfg.ProbeInterval, cfg.ProbeMaxInterval)
 		recs := s.journal.Records()
 		for _, rec := range recs {
 			if err := s.applyRecord(rec); err != nil {
@@ -186,28 +200,50 @@ func (s *Server) commit(rec journal.Record) func() error {
 // Handler returns the fully-wired HTTP handler (exported for httptest).
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Close stops the degraded-mode supervisor's background probe. It does
+// not close the journal — the caller owns that. Safe on any server,
+// including one that never degraded.
+func (s *Server) Close() { s.gate.close() }
+
 // Engine returns the prediction engine (exported for tests and for
 // embedding the service into a larger process).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// mutatingRoutes are the patterns that journal an operation and are
+// therefore suspended in degraded read-only mode. The sensor reads are
+// here too: measuring ages the die and consumes noise draws, so it is
+// journaled — and an unjournalable measure would silently fork the
+// replayed state from the live one. The pure reads (list, predict,
+// metrics, health) stay up throughout an episode.
+var mutatingRoutes = map[string]bool{
+	"POST /v1/chips":                 true,
+	"DELETE /v1/chips/{id}":          true,
+	"POST /v1/chips/{id}/stress":     true,
+	"POST /v1/chips/{id}/rejuvenate": true,
+	"GET /v1/chips/{id}/measure":     true,
+	"GET /v1/chips/{id}/odometer":    true,
+}
 
 // routes assembles the mux. Each route runs the hardened-edge stack,
 // outermost first:
 //
 //	request ID → metrics/log → panic recovery → per-route timeout →
-//	load shedding → fault injection → body limit → handler
+//	load shedding → write gate (mutating routes) → fault injection →
+//	body limit → handler
 //
 // The shedder sits *inside* the timeout so its semaphore slot is
 // acquired and released on the handler goroutine: a request that times
 // out keeps holding its slot until the straggling handler actually
 // returns, so the count of running handlers never exceeds MaxInFlight.
 //
-// /healthz and /metrics skip shedding and fault injection: during an
-// overload or a chaos run they are exactly the routes that must keep
-// answering.
+// /healthz, /readyz and /metrics skip shedding and fault injection:
+// during an overload or a chaos run they are exactly the routes that
+// must keep answering.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	for pattern, h := range map[string]http.HandlerFunc{
 		"GET /healthz":                   s.handleHealthz,
+		"GET /readyz":                    s.handleReadyz,
 		"GET /metrics":                   s.handleMetrics,
 		"POST /v1/chips":                 s.handleCreateChip,
 		"GET /v1/chips":                  s.handleListChips,
@@ -228,6 +264,9 @@ func (s *Server) routes() http.Handler {
 		var hh http.Handler = s.withBodyLimit(h)
 		if limited {
 			hh = s.withFaults(hh)
+			if mutatingRoutes[pattern] {
+				hh = s.withWriteGate(hh)
+			}
 			hh = s.withLimit(hh)
 		}
 		hh = s.withTimeout(timeout, hh)
@@ -307,6 +346,7 @@ func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
 		BaseContext:       func(net.Listener) context.Context { return base },
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	defer s.Close()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	s.log.Info("fleet aging service listening", "addr", ln.Addr().String())
