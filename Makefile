@@ -21,9 +21,12 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-## bench: one pass over every paper artifact + the service cache benchmark
+## bench: one pass over every paper artifact, the service cache benchmark,
+## and the registry contention benchmark (single-mutex vs sharded) — cheap
+## enough (-benchtime 1x) to run as a CI smoke test
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) run ./cmd/selfheal-bench > /dev/null
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/store
 
 ## serve: run the fleet aging service locally
 serve:

@@ -56,6 +56,12 @@ type (
 	MulticoreRequest   = serve.MulticoreRequest
 	MulticoreResponse  = serve.MulticoreResponse
 	MetricsSnapshot    = serve.MetricsSnapshot
+
+	BatchOpSpec         = serve.BatchOpSpec
+	BatchCreateResult   = serve.BatchCreateResult
+	BatchOpResult       = serve.BatchOpResult
+	BatchCreateResponse = serve.BatchCreateResponse
+	BatchOpsResponse    = serve.BatchOpsResponse
 )
 
 // APIError is a non-2xx response from the service. Code carries the
@@ -366,6 +372,30 @@ func (c *Client) Measure(ctx context.Context, id string) (ReadingResponse, error
 func (c *Client) Odometer(ctx context.Context, id string) (OdometerResponse, error) {
 	var out OdometerResponse
 	err := c.do(ctx, http.MethodGet, "/v1/chips/"+url.PathEscape(id)+"/odometer", nil, &out, true)
+	return out, err
+}
+
+// BatchCreateChips fabricates up to serve.MaxBatchItems chips in one
+// round trip. Partial failure is normal: the call returns 200 with a
+// per-item Error string for each chip that could not be created, so
+// callers must inspect Results (or the Created/Failed tallies) rather
+// than rely on the error return alone. Never retried once sent — a
+// re-send would report every already-created id as a duplicate and
+// mask the first outcome.
+func (c *Client) BatchCreateChips(ctx context.Context, chips []CreateChipRequest) (BatchCreateResponse, error) {
+	var out BatchCreateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/chips:batch", serve.BatchCreateRequest{Chips: chips}, &out, false)
+	return out, err
+}
+
+// BatchOps applies a mixed batch of stress/rejuvenate/measure/odometer
+// operations in one round trip. Items run concurrently across chips
+// but in submission order per chip; failures are per item, reported in
+// Results. Never retried once sent: stress and rejuvenate items would
+// age or heal a die twice.
+func (c *Client) BatchOps(ctx context.Context, ops []BatchOpSpec) (BatchOpsResponse, error) {
+	var out BatchOpsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/ops:batch", serve.BatchOpsRequest{Ops: ops}, &out, false)
 	return out, err
 }
 

@@ -10,17 +10,19 @@
 //	               [-grace 10s] [-log-level info]
 //	               [-data DIR] [-repair] [-max-inflight 1024]
 //	               [-op-timeout 30s] [-predict-timeout 2m]
-//	               [-faults spec]
+//	               [-batch-workers N] [-faults spec]
 //
 // Endpoints:
 //
 //	POST   /v1/chips                   create a chip  {"id","seed","kind"}
+//	POST   /v1/chips:batch             bulk create    {"chips":[...]}, per-item results
 //	GET    /v1/chips                   list the fleet
 //	DELETE /v1/chips/{id}              retire a die
 //	POST   /v1/chips/{id}/stress       age it         {"temp_c","vdd","ac","hours","sample_hours"}
 //	POST   /v1/chips/{id}/rejuvenate   heal it        {"temp_c","vdd","hours","sample_hours"}
 //	GET    /v1/chips/{id}/measure      bench read-out (kind "bench")
 //	GET    /v1/chips/{id}/odometer     on-die sensor  (kind "monitored")
+//	POST   /v1/ops:batch               mixed op batch {"ops":[{"op","id",...}]}, per-item results
 //	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
@@ -77,8 +79,9 @@ import (
 	"time"
 
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
 	"selfheal/internal/serve"
+	"selfheal/internal/store"
 )
 
 func main() {
@@ -92,6 +95,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 1024, "concurrent /v1 requests before shedding with 429")
 	opTimeout := flag.Duration("op-timeout", 30*time.Second, "timeout for registry and sensor routes")
 	predictTimeout := flag.Duration("predict-timeout", 2*time.Minute, "timeout for /v1/predict routes")
+	batchWorkers := flag.Int("batch-workers", 0, "worker pool size for the :batch routes (0: GOMAXPROCS)")
 	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F,disk=MODE[:N]")
 	flag.Parse()
 
@@ -116,20 +120,21 @@ func main() {
 		logger.Warn("chaos fault injection enabled", "spec", *faultSpec)
 	}
 
-	var jl *journal.Journal
+	var st fleet.Store
 	if *dataDir != "" {
-		opts := journal.Options{Repair: *repair}
+		opts := store.JournalOptions{Repair: *repair}
 		if injector != nil {
 			opts.Hook = injector.JournalHook()
 			opts.SyncHook = injector.JournalSyncHook()
 		}
-		var err error
-		if jl, err = journal.Open(*dataDir, opts); err != nil {
+		durable, repairs, err := store.Open[*fleet.ChipEntry](*dataDir, opts)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
 			os.Exit(1)
 		}
-		defer jl.Close()
-		for _, rep := range jl.Repairs() {
+		st = durable
+		defer st.Close()
+		for _, rep := range repairs {
 			logger.Warn("journal salvaged",
 				"file", rep.File,
 				"backup", rep.Backup,
@@ -148,11 +153,12 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
-		Journal:        jl,
+		Store:          st,
 		Faults:         injector,
 		MaxInFlight:    *maxInflight,
 		OpTimeout:      *opTimeout,
 		PredictTimeout: *predictTimeout,
+		BatchWorkers:   *batchWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)

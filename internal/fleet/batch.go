@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Batch op names accepted by OpSpec.Op.
+const (
+	BatchOpStress     = "stress"
+	BatchOpRejuvenate = "rejuvenate"
+	BatchOpMeasure    = "measure"
+	BatchOpOdometer   = "odometer"
+)
+
+// OpSpec is one item of a mixed-operation batch: an op name, the
+// target chip, and (for the phase ops) the embedded phase parameters.
+type OpSpec struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	PhaseRequest
+}
+
+// CreateResult reports one item of a bulk create. Exactly one of Chip
+// and Error is set; Err carries the typed error for in-process callers
+// (the transport layer uses it to spot durability failures).
+type CreateResult struct {
+	ID    string        `json:"id"`
+	Chip  *ChipResponse `json:"chip,omitempty"`
+	Error string        `json:"error,omitempty"`
+	Err   error         `json:"-"`
+}
+
+// OpResult reports one item of a mixed-operation batch. On success the
+// field matching the op is set (Phase for stress/rejuvenate, Reading
+// for measure, Odometer for odometer); on failure Error carries the
+// message and Err the typed error.
+type OpResult struct {
+	Op       string            `json:"op"`
+	ID       string            `json:"id"`
+	Phase    *PhaseResponse    `json:"phase,omitempty"`
+	Reading  *ReadingResponse  `json:"reading,omitempty"`
+	Odometer *OdometerResponse `json:"odometer,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Err      error             `json:"-"`
+}
+
+// CreateBatch fabricates many chips concurrently on the bounded worker
+// pool. Items fail independently: results[i] corresponds to specs[i],
+// and a failed item never blocks the rest. On a durable fleet the
+// concurrent commits share group-committed fsyncs in the store's log.
+// A cancelled ctx stops scheduling new items; already-running items
+// finish and unstarted ones report the context error.
+func (s *Service) CreateBatch(ctx context.Context, specs []CreateSpec) []CreateResult {
+	results := make([]CreateResult, len(specs))
+	s.runBatch(ctx, len(specs), func(i int) {
+		res := CreateResult{ID: specs[i].ID}
+		chip, err := s.Create(specs[i])
+		if err != nil {
+			res.Err = err
+			res.Error = err.Error()
+		} else {
+			res.Chip = &chip
+		}
+		results[i] = res
+	}, func(i int, err error) {
+		results[i] = CreateResult{ID: specs[i].ID, Err: err, Error: err.Error()}
+	})
+	return results
+}
+
+// ApplyBatch runs a mixed stress/rejuvenate/measure/odometer batch
+// concurrently on the bounded worker pool. Sharded storage lets items
+// targeting different chips proceed in parallel; items targeting the
+// same chip serialize on its lock in scheduling order. Partial-failure
+// and cancellation semantics match CreateBatch.
+func (s *Service) ApplyBatch(ctx context.Context, specs []OpSpec) []OpResult {
+	results := make([]OpResult, len(specs))
+	s.runBatch(ctx, len(specs), func(i int) {
+		results[i] = s.applyOp(specs[i])
+	}, func(i int, err error) {
+		results[i] = OpResult{Op: specs[i].Op, ID: specs[i].ID, Err: err, Error: err.Error()}
+	})
+	return results
+}
+
+// applyOp dispatches one batch item to the matching chip operation.
+func (s *Service) applyOp(spec OpSpec) OpResult {
+	res := OpResult{Op: spec.Op, ID: spec.ID}
+	var err error
+	switch spec.Op {
+	case BatchOpStress:
+		var phase PhaseResponse
+		if phase, err = s.Stress(spec.ID, spec.PhaseRequest); err == nil {
+			res.Phase = &phase
+		}
+	case BatchOpRejuvenate:
+		var phase PhaseResponse
+		if phase, err = s.Rejuvenate(spec.ID, spec.PhaseRequest); err == nil {
+			res.Phase = &phase
+		}
+	case BatchOpMeasure:
+		var reading ReadingResponse
+		if reading, err = s.Measure(spec.ID); err == nil {
+			res.Reading = &reading
+		}
+	case BatchOpOdometer:
+		var odo OdometerResponse
+		if odo, err = s.Odometer(spec.ID); err == nil {
+			res.Odometer = &odo
+		}
+	default:
+		err = fmt.Errorf("fleet: unknown batch op %q (want %q, %q, %q or %q)",
+			spec.Op, BatchOpStress, BatchOpRejuvenate, BatchOpMeasure, BatchOpOdometer)
+	}
+	if err != nil {
+		res.Err = err
+		res.Error = err.Error()
+	}
+	return res
+}
+
+// runBatch fans n items out over the worker pool. run(i) executes item
+// i; skip(i, err) records an item that was never scheduled because ctx
+// was cancelled first. Every index gets exactly one of the two calls.
+func (s *Service) runBatch(ctx context.Context, n int, run func(i int), skip func(i int, err error)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				skip(j, ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"selfheal"
+)
+
+// ChipEntry is one registered chip plus its usage accounting. Each
+// entry carries its own mutex, at the top of the lock hierarchy (see
+// internal/store): stress/rejuvenate/measure on *different* chips run
+// in parallel while operations on the *same* chip serialize.
+//
+// Mutating methods take a commit callback — the store commit. It runs
+// while the per-chip lock is still held, so the persisted record order
+// always matches the order the operations were applied in — the
+// invariant replay depends on. A nil commit (replay, or a non-durable
+// store) applies the operation in memory only.
+type ChipEntry struct {
+	id   string
+	kind string
+
+	mu      sync.Mutex // guards the simulated die and the fields below
+	deleted bool       // set by Delete; later ops see 404, not stale state
+	bench   *selfheal.Chip
+	mon     *selfheal.MonitoredChip
+
+	stressSeconds float64
+	healSeconds   float64
+	ops           uint64
+}
+
+// newChipEntry fabricates the simulated die for a spec. Fabrication is
+// deterministic in (id, seed, kind) and runs without any locks held.
+func newChipEntry(spec CreateSpec) (*ChipEntry, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = KindBench
+	}
+	entry := &ChipEntry{id: spec.ID, kind: kind}
+	switch kind {
+	case KindBench:
+		chip, err := selfheal.NewChip(spec.ID, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		entry.bench = chip
+	case KindMonitored:
+		chip, err := selfheal.NewMonitoredChip(spec.ID, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		entry.mon = chip
+	default:
+		return nil, fmt.Errorf("fleet: unknown chip kind %q (want %q or %q)", kind, KindBench, KindMonitored)
+	}
+	return entry, nil
+}
+
+// ID returns the chip's registered id.
+func (e *ChipEntry) ID() string { return e.id }
+
+// Info describes the chip without touching its simulated state.
+func (e *ChipEntry) Info() ChipResponse {
+	resp := ChipResponse{ID: e.id, Kind: e.kind}
+	if e.bench != nil {
+		resp.FreshDelayNS = e.bench.FreshDelayNS()
+	}
+	return resp
+}
+
+// usage snapshots the accumulated history under the chip lock.
+func (e *ChipEntry) usage() ChipUsage {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ChipUsage{
+		Kind:          e.kind,
+		StressSeconds: e.stressSeconds,
+		HealSeconds:   e.healSeconds,
+		Ops:           e.ops,
+	}
+}
+
+// Stress ages the chip under its per-chip lock and commits the store
+// record before the lock is released. A commit failure is reported as
+// NotDurableError: the in-memory state has advanced (aging cannot be
+// rolled back) but the operation will not survive a restart.
+func (e *ChipEntry) Stress(req PhaseRequest, commit func() error) (PhaseResponse, error) {
+	cond := selfheal.StressCondition{TempC: req.TempC, Vdd: req.Vdd, AC: req.AC}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return PhaseResponse{}, NotFoundError{ID: e.id}
+	}
+	resp := PhaseResponse{ID: e.id, Phase: "stress", Hours: req.Hours}
+	if e.bench != nil {
+		trace, err := e.bench.Stress(cond, req.Hours, req.SampleHours)
+		if err != nil {
+			return PhaseResponse{}, err
+		}
+		resp.Trace = NewTracePoints(trace)
+	} else if err := e.mon.Stress(cond, req.Hours); err != nil {
+		return PhaseResponse{}, err
+	}
+	e.stressSeconds += req.Hours * 3600
+	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return PhaseResponse{}, NotDurableError{Op: "stress", Err: err}
+		}
+	}
+	return resp, nil
+}
+
+// Rejuvenate heals the chip under its per-chip lock; commit semantics
+// match Stress.
+func (e *ChipEntry) Rejuvenate(req PhaseRequest, commit func() error) (PhaseResponse, error) {
+	cond := selfheal.SleepCondition{TempC: req.TempC, Vdd: req.Vdd}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return PhaseResponse{}, NotFoundError{ID: e.id}
+	}
+	resp := PhaseResponse{ID: e.id, Phase: "rejuvenate", Hours: req.Hours}
+	if e.bench != nil {
+		trace, err := e.bench.Rejuvenate(cond, req.Hours, req.SampleHours)
+		if err != nil {
+			return PhaseResponse{}, err
+		}
+		resp.Trace = NewTracePoints(trace)
+	} else if err := e.mon.Rejuvenate(cond, req.Hours); err != nil {
+		return PhaseResponse{}, err
+	}
+	e.healSeconds += req.Hours * 3600
+	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return PhaseResponse{}, NotDurableError{Op: "rejuvenate", Err: err}
+		}
+	}
+	return resp, nil
+}
+
+// Measure reads a bench chip's ring-oscillator sensor. The read is a
+// mutation in disguise — sampling ages the die and consumes noise
+// draws — so it commits through the store like the phase operations.
+func (e *ChipEntry) Measure(commit func() error) (ReadingResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return ReadingResponse{}, NotFoundError{ID: e.id}
+	}
+	if e.bench == nil {
+		return ReadingResponse{}, fmt.Errorf(
+			"fleet: chip %q is %q — use /odometer for its on-die sensor: %w", e.id, e.kind, ErrKindMismatch)
+	}
+	r, err := e.bench.Measure()
+	if err != nil {
+		return ReadingResponse{}, err
+	}
+	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return ReadingResponse{}, NotDurableError{Op: "measure", Err: err}
+		}
+	}
+	return ReadingResponse{
+		ID:             e.id,
+		Counts:         r.Counts,
+		FrequencyHz:    r.FrequencyHz,
+		DelayNS:        r.DelayNS,
+		DegradationPct: r.DegradationPct,
+	}, nil
+}
+
+// Odometer reads a monitored chip's differential aging sensor; commit
+// semantics match Measure.
+func (e *ChipEntry) Odometer(commit func() error) (OdometerResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return OdometerResponse{}, NotFoundError{ID: e.id}
+	}
+	if e.mon == nil {
+		return OdometerResponse{}, fmt.Errorf(
+			"fleet: chip %q is %q — use /measure for its bench read-out: %w", e.id, e.kind, ErrKindMismatch)
+	}
+	r, err := e.mon.Read()
+	if err != nil {
+		return OdometerResponse{}, err
+	}
+	e.ops++
+	if commit != nil {
+		if err := commit(); err != nil {
+			return OdometerResponse{}, NotDurableError{Op: "odometer", Err: err}
+		}
+	}
+	return OdometerResponse{ID: e.id, BeatHz: r.BeatHz, DegradationPPM: r.DegradationPPM}, nil
+}

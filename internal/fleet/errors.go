@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DuplicateError reports a create against an id that is already
+// registered (the transport layer maps it to 409).
+type DuplicateError struct{ ID string }
+
+func (e DuplicateError) Error() string {
+	return fmt.Sprintf("fleet: chip %q already exists", e.ID)
+}
+
+// NotFoundError marks a missing (or just-deleted) chip — a 404.
+type NotFoundError struct{ ID string }
+
+func (e NotFoundError) Error() string {
+	return fmt.Sprintf("fleet: no chip %q in the fleet", e.ID)
+}
+
+// NotDurableError wraps a store-commit failure — the storage wearing
+// out, not a bug. For create and delete the operation was rolled back
+// and can be retried; for phases the in-memory state advanced but will
+// not survive a restart.
+type NotDurableError struct {
+	Op  string
+	Err error
+}
+
+func (e NotDurableError) Error() string {
+	return fmt.Sprintf("fleet: %s could not be committed: %v", e.Op, e.Err)
+}
+
+func (e NotDurableError) Unwrap() error { return e.Err }
+
+// ErrKindMismatch marks a sensor read against the wrong chip kind.
+var ErrKindMismatch = errors.New("wrong chip kind")

@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"selfheal/internal/store"
+)
+
+// Store is the chip table the fleet runs on — any store.Store holding
+// fleet entries. Assemble a durable fleet with store.Open (journal
+// backend) or an ephemeral one with store.NewMem.
+type Store = store.Store[*ChipEntry]
+
+// Option tunes a Service.
+type Option func(*Service)
+
+// WithBatchWorkers bounds the batch pipeline's worker pool (default
+// GOMAXPROCS). Values below 1 keep the default.
+func WithBatchWorkers(n int) Option {
+	return func(s *Service) {
+		if n >= 1 {
+			s.workers = n
+		}
+	}
+}
+
+// Service is the fleet: chip lifecycle and operation application over
+// a pluggable Store. All methods are safe for concurrent use; the
+// concurrency and durability models are described in the package
+// comment.
+type Service struct {
+	st       Store
+	workers  int
+	replayed int
+}
+
+// NewService assembles a fleet over st, replaying the store's durable
+// history first: every simulation is deterministic per seed, so
+// re-running the persisted operations lands every chip on its exact
+// pre-shutdown aged state (including the usage accounting).
+func NewService(st Store, opts ...Option) (*Service, error) {
+	s := &Service{st: st, workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	recs := st.Replay()
+	for _, rec := range recs {
+		if err := s.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("fleet: replay: record %d (%s %s): %w", rec.Seq, rec.Op, rec.ID, err)
+		}
+	}
+	s.replayed = len(recs)
+	return s, nil
+}
+
+// applyRecord re-runs one persisted operation without re-committing it.
+func (s *Service) applyRecord(rec store.Record) error {
+	phase := PhaseRequest{
+		TempC: rec.TempC, Vdd: rec.Vdd, AC: rec.AC,
+		Hours: rec.Hours, SampleHours: rec.SampleHours,
+	}
+	switch rec.Op {
+	case store.OpCreate:
+		entry, err := newChipEntry(CreateSpec{ID: rec.ID, Seed: rec.Seed, Kind: rec.Kind})
+		if err != nil {
+			return err
+		}
+		if !s.st.Insert(rec.ID, entry) {
+			return DuplicateError{ID: rec.ID}
+		}
+		return nil
+	case store.OpStress, store.OpRejuvenate:
+		entry, ok := s.st.Lookup(rec.ID)
+		if !ok {
+			return NotFoundError{ID: rec.ID}
+		}
+		var err error
+		if rec.Op == store.OpStress {
+			_, err = entry.Stress(phase, nil)
+		} else {
+			_, err = entry.Rejuvenate(phase, nil)
+		}
+		return err
+	case store.OpMeasure, store.OpOdometer:
+		// Sensor reads age the die and consume noise draws; re-run them
+		// (discarding the reading) so the RNG stream lines up exactly.
+		entry, ok := s.st.Lookup(rec.ID)
+		if !ok {
+			return NotFoundError{ID: rec.ID}
+		}
+		var err error
+		if rec.Op == store.OpMeasure {
+			_, err = entry.Measure(nil)
+		} else {
+			_, err = entry.Odometer(nil)
+		}
+		return err
+	case store.OpDelete:
+		_, err := s.delete(rec.ID, nil)
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// commit returns the store-commit callback for one operation, or nil
+// when the store provides no durability — the entry methods then skip
+// the call entirely, matching the replay path.
+func (s *Service) commit(rec store.Record) func() error {
+	if !s.st.Durable() {
+		return nil
+	}
+	return func() error { return s.st.Commit(rec) }
+}
+
+// Create fabricates a chip and registers it. The (expensive,
+// deterministic) fabrication runs outside all locks; if two racers
+// fabricate the same id, exactly one wins and the other gets a
+// DuplicateError. The new entry's chip lock is held until the commit
+// lands, so no stress/delete on the chip can be persisted ahead of its
+// create record; a failed commit rolls the registration back, making a
+// retried create safe.
+func (s *Service) Create(spec CreateSpec) (ChipResponse, error) {
+	if spec.Kind == "" {
+		spec.Kind = KindBench
+	}
+	entry, err := newChipEntry(spec)
+	if err != nil {
+		return ChipResponse{}, err
+	}
+	commit := s.commit(store.Record{
+		Op: store.OpCreate, ID: spec.ID, Seed: spec.Seed, Kind: spec.Kind,
+	})
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if !s.st.Insert(spec.ID, entry) {
+		return ChipResponse{}, DuplicateError{ID: spec.ID}
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			// A concurrent request may already hold a reference from Lookup
+			// and be blocked on entry.mu; marking the entry deleted (we
+			// still hold the lock) makes such waiters see the rollback and
+			// 404 instead of persisting an operation for a chip whose
+			// create record never reached disk — which would poison the
+			// history and fail every subsequent replay.
+			entry.deleted = true
+			s.st.Remove(spec.ID)
+			return ChipResponse{}, NotDurableError{Op: "create", Err: err}
+		}
+	}
+	return entry.Info(), nil
+}
+
+// Delete retires a chip: it marks the entry deleted under the chip
+// lock (waiting out any in-flight operation, whose persisted record
+// therefore precedes the delete record), commits, and removes it from
+// the store. The first return reports whether the chip existed; a
+// failed commit rolls the mark back so the delete can be retried.
+func (s *Service) Delete(id string) (bool, error) {
+	return s.delete(id, s.commit(store.Record{Op: store.OpDelete, ID: id}))
+}
+
+func (s *Service) delete(id string, commit func() error) (bool, error) {
+	e, ok := s.st.Lookup(id)
+	if !ok {
+		return false, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return false, nil
+	}
+	e.deleted = true
+	if commit != nil {
+		if err := commit(); err != nil {
+			e.deleted = false
+			return true, NotDurableError{Op: "delete", Err: err}
+		}
+	}
+	s.st.Remove(id)
+	return true, nil
+}
+
+// Get returns the chip registered under id.
+func (s *Service) Get(id string) (*ChipEntry, bool) { return s.st.Lookup(id) }
+
+// Stress ages a chip; see ChipEntry.Stress for the commit semantics.
+func (s *Service) Stress(id string, req PhaseRequest) (PhaseResponse, error) {
+	entry, ok := s.st.Lookup(id)
+	if !ok {
+		return PhaseResponse{}, NotFoundError{ID: id}
+	}
+	return entry.Stress(req, s.commit(store.Record{
+		Op: store.OpStress, ID: id,
+		TempC: req.TempC, Vdd: req.Vdd, AC: req.AC,
+		Hours: req.Hours, SampleHours: req.SampleHours,
+	}))
+}
+
+// Rejuvenate heals a chip; commit semantics match Stress.
+func (s *Service) Rejuvenate(id string, req PhaseRequest) (PhaseResponse, error) {
+	entry, ok := s.st.Lookup(id)
+	if !ok {
+		return PhaseResponse{}, NotFoundError{ID: id}
+	}
+	return entry.Rejuvenate(req, s.commit(store.Record{
+		Op: store.OpRejuvenate, ID: id,
+		TempC: req.TempC, Vdd: req.Vdd,
+		Hours: req.Hours, SampleHours: req.SampleHours,
+	}))
+}
+
+// Measure reads a bench chip's ring-oscillator sensor.
+func (s *Service) Measure(id string) (ReadingResponse, error) {
+	entry, ok := s.st.Lookup(id)
+	if !ok {
+		return ReadingResponse{}, NotFoundError{ID: id}
+	}
+	return entry.Measure(s.commit(store.Record{Op: store.OpMeasure, ID: id}))
+}
+
+// Odometer reads a monitored chip's differential aging sensor.
+func (s *Service) Odometer(id string) (OdometerResponse, error) {
+	entry, ok := s.st.Lookup(id)
+	if !ok {
+		return OdometerResponse{}, NotFoundError{ID: id}
+	}
+	return entry.Odometer(s.commit(store.Record{Op: store.OpOdometer, ID: id}))
+}
+
+// List returns every chip's ChipResponse sorted by id.
+func (s *Service) List() []ChipResponse {
+	var out []ChipResponse
+	s.st.ForEach(func(_ string, e *ChipEntry) bool {
+		out = append(out, e.Info())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Usage snapshots every chip's accumulated stress/heal seconds. The
+// visitor takes chip locks, which is safe because ForEach holds no
+// store locks while visiting (see the internal/store lock hierarchy).
+func (s *Service) Usage() map[string]ChipUsage {
+	out := make(map[string]ChipUsage)
+	s.st.ForEach(func(id string, e *ChipEntry) bool {
+		out[id] = e.usage()
+		return true
+	})
+	return out
+}
+
+// Len reports the number of registered chips.
+func (s *Service) Len() int { return s.st.Len() }
+
+// Durable reports whether the fleet's store survives restarts.
+func (s *Service) Durable() bool { return s.st.Durable() }
+
+// Probe rechecks the store's durability during a degraded episode.
+func (s *Service) Probe() error { return s.st.Probe() }
+
+// StoreStats reports the persistence backend's counters; ok is false
+// for non-durable fleets.
+func (s *Service) StoreStats() (store.Stats, bool) { return s.st.Stats() }
+
+// ReplayedRecords reports how many records NewService replayed.
+func (s *Service) ReplayedRecords() int { return s.replayed }
+
+// Close releases the store (and any journal it owns).
+func (s *Service) Close() error { return s.st.Close() }

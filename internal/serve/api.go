@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"selfheal"
+	"selfheal/internal/fleet"
 )
 
 // WriteJSON writes v as two-space-indented JSON with a trailing
@@ -54,30 +55,38 @@ type ReadyResponse struct {
 
 // Chip kinds accepted by CreateChipRequest.
 const (
-	// KindBench is a Chip on the paper's external measurement bench
-	// (thermal chamber, counter read-out, delay traces).
-	KindBench = "bench"
-	// KindMonitored is a MonitoredChip: the bare die with an on-die
-	// Silicon-Odometer differential sensor.
-	KindMonitored = "monitored"
+	KindBench     = fleet.KindBench
+	KindMonitored = fleet.KindMonitored
 )
 
-// CreateChipRequest fabricates a chip into the registry. Kind defaults
-// to "bench"; the seed fixes process variation and noise, so the same
-// (seed, kind) always yields an identical chip.
-type CreateChipRequest struct {
-	ID   string `json:"id"`
-	Seed uint64 `json:"seed"`
-	Kind string `json:"kind,omitempty"`
-}
-
-// ChipResponse describes one registered chip.
-type ChipResponse struct {
-	ID   string `json:"id"`
-	Kind string `json:"kind"`
-	// FreshDelayNS is the post-burn-in CUT delay (bench chips only).
-	FreshDelayNS float64 `json:"fresh_delay_ns,omitempty"`
-}
+// The chip-facing wire types live in the domain layer (internal/fleet)
+// and are aliased here so the client and the CLIs keep importing one
+// schema from one place.
+type (
+	// CreateChipRequest fabricates a chip into the fleet — the POST
+	// /v1/chips body.
+	CreateChipRequest = fleet.CreateSpec
+	// ChipResponse describes one registered chip.
+	ChipResponse = fleet.ChipResponse
+	// ChipUsage is one chip's accumulated history under /metrics.
+	ChipUsage = fleet.ChipUsage
+	// PhaseRequest drives POST /v1/chips/{id}/stress and /rejuvenate.
+	PhaseRequest = fleet.PhaseRequest
+	// TracePoint is one sample of a bench chip's delay trace.
+	TracePoint = fleet.TracePoint
+	// PhaseResponse reports a completed stress or rejuvenation phase.
+	PhaseResponse = fleet.PhaseResponse
+	// ReadingResponse is a bench chip's ring-oscillator measurement.
+	ReadingResponse = fleet.ReadingResponse
+	// OdometerResponse is a monitored chip's differential sensor read-out.
+	OdometerResponse = fleet.OdometerResponse
+	// BatchOpSpec is one item of a POST /v1/ops:batch request.
+	BatchOpSpec = fleet.OpSpec
+	// BatchCreateResult is one item of a POST /v1/chips:batch response.
+	BatchCreateResult = fleet.CreateResult
+	// BatchOpResult is one item of a POST /v1/ops:batch response.
+	BatchOpResult = fleet.OpResult
+)
 
 // ChipListResponse is the GET /v1/chips body.
 type ChipListResponse struct {
@@ -90,46 +99,37 @@ type DeleteChipResponse struct {
 	Deleted bool   `json:"deleted"`
 }
 
-// PhaseRequest drives POST /v1/chips/{id}/stress and /rejuvenate.
-// TempC/Vdd name the condition; for stress the rail must be positive,
-// for rejuvenation ≤ 0 (0 = gated, negative = accelerated recovery).
-// SampleHours > 0 asks bench chips for a delay trace.
-type PhaseRequest struct {
-	TempC       float64 `json:"temp_c"`
-	Vdd         float64 `json:"vdd"`
-	AC          bool    `json:"ac,omitempty"`
-	Hours       float64 `json:"hours"`
-	SampleHours float64 `json:"sample_hours,omitempty"`
+// MaxBatchItems caps the item count of one batch request; larger
+// batches are rejected 400 before any item runs — split them client
+// side.
+const MaxBatchItems = 1024
+
+// BatchCreateRequest is the POST /v1/chips:batch body: up to
+// MaxBatchItems chips fabricated concurrently.
+type BatchCreateRequest struct {
+	Chips []CreateChipRequest `json:"chips"`
 }
 
-// TracePoint is one sample of a bench chip's delay trace.
-type TracePoint struct {
-	Hours   float64 `json:"hours"`
-	DelayNS float64 `json:"delay_ns"`
+// BatchCreateResponse reports a bulk create item by item:
+// Results[i] corresponds to Chips[i], failures don't block the rest.
+type BatchCreateResponse struct {
+	Results []BatchCreateResult `json:"results"`
+	Created int                 `json:"created"`
+	Failed  int                 `json:"failed"`
 }
 
-// PhaseResponse reports a completed stress or rejuvenation phase.
-type PhaseResponse struct {
-	ID    string       `json:"id"`
-	Phase string       `json:"phase"`
-	Hours float64      `json:"hours"`
-	Trace []TracePoint `json:"trace,omitempty"`
+// BatchOpsRequest is the POST /v1/ops:batch body: a mixed
+// stress/rejuvenate/measure/odometer batch across many chips.
+type BatchOpsRequest struct {
+	Ops []BatchOpSpec `json:"ops"`
 }
 
-// ReadingResponse is a bench chip's ring-oscillator measurement.
-type ReadingResponse struct {
-	ID             string  `json:"id"`
-	Counts         int     `json:"counts"`
-	FrequencyHz    float64 `json:"frequency_hz"`
-	DelayNS        float64 `json:"delay_ns"`
-	DegradationPct float64 `json:"degradation_pct"`
-}
-
-// OdometerResponse is a monitored chip's differential sensor read-out.
-type OdometerResponse struct {
-	ID             string  `json:"id"`
-	BeatHz         float64 `json:"beat_hz"`
-	DegradationPPM float64 `json:"degradation_ppm"`
+// BatchOpsResponse reports a mixed-operation batch item by item;
+// Results[i] corresponds to Ops[i].
+type BatchOpsResponse struct {
+	Results   []BatchOpResult `json:"results"`
+	Succeeded int             `json:"succeeded"`
+	Failed    int             `json:"failed"`
 }
 
 // ShiftRequest evaluates the closed-form TD model: the threshold shift
@@ -263,20 +263,9 @@ func NewScheduleOutcomeBodies(outs []selfheal.ScheduleOutcome, includeTrace bool
 			MarginProvisionPct: o.MarginProvisionPct,
 		}
 		if includeTrace {
-			b.Trace = newTracePoints(o.Trace)
+			b.Trace = fleet.NewTracePoints(o.Trace)
 		}
 		bodies[i] = b
 	}
 	return bodies
-}
-
-func newTracePoints(trace []selfheal.TracePoint) []TracePoint {
-	if len(trace) == 0 {
-		return nil
-	}
-	out := make([]TracePoint, len(trace))
-	for i, p := range trace {
-		out[i] = TracePoint{Hours: p.Hours, DelayNS: p.DelayNS}
-	}
-	return out
 }

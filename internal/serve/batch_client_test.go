@@ -1,0 +1,102 @@
+// Batch client acceptance: the Batch* helpers drive the batch
+// endpoints end to end through the public selfheal/client, per-item
+// errors arrive over the wire, and a batch-built fleet replays across
+// a hard stop.
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"selfheal/client"
+)
+
+func TestClientBatchHelpersEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	_, ts := newDurableServer(t, dir, nil) // store deliberately not closed: hard stop below
+	cl := client.New(ts.URL)
+
+	const fleetSize = 5
+	specs := make([]client.CreateChipRequest, 0, fleetSize+1)
+	for i := 0; i < fleetSize; i++ {
+		specs = append(specs, client.CreateChipRequest{ID: fmt.Sprintf("c%d", i), Seed: uint64(i + 1)})
+	}
+	specs = append(specs, client.CreateChipRequest{ID: "c0", Seed: 99}) // duplicate of item 0
+
+	created, err := cl.BatchCreateChips(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Created != fleetSize || created.Failed != 1 {
+		t.Fatalf("batch create = %d/%d, want %d/1; results %+v",
+			created.Created, created.Failed, fleetSize, created.Results)
+	}
+	// Per-item errors cross the wire; the typed Err never does.
+	if r := created.Results[fleetSize]; r.Error == "" || r.Chip != nil {
+		t.Fatalf("duplicate result over the wire = %+v", r)
+	}
+	if r := created.Results[0]; r.Error != "" || r.Chip == nil || r.Chip.FreshDelayNS <= 0 {
+		t.Fatalf("created result over the wire = %+v", r)
+	}
+
+	ops := make([]client.BatchOpSpec, 0, 2*fleetSize+1)
+	for i := 0; i < fleetSize; i++ {
+		ops = append(ops, client.BatchOpSpec{
+			Op: "stress", ID: fmt.Sprintf("c%d", i),
+			PhaseRequest: client.PhaseRequest{TempC: 110, Vdd: 1.32, AC: true, Hours: 24},
+		})
+		ops = append(ops, client.BatchOpSpec{Op: "measure", ID: fmt.Sprintf("c%d", i)})
+	}
+	ops = append(ops, client.BatchOpSpec{Op: "measure", ID: "ghost"})
+
+	applied, err := cl.BatchOps(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Succeeded != 2*fleetSize || applied.Failed != 1 {
+		t.Fatalf("batch ops = %d/%d; results %+v", applied.Succeeded, applied.Failed, applied.Results)
+	}
+	preCrash := map[string]client.ReadingResponse{}
+	for _, r := range applied.Results[:2*fleetSize] {
+		switch r.Op {
+		case "stress":
+			if r.Phase == nil || r.Error != "" {
+				t.Fatalf("stress result = %+v", r)
+			}
+		case "measure":
+			if r.Reading == nil || r.Error != "" {
+				t.Fatalf("measure result = %+v", r)
+			}
+			preCrash[r.ID] = *r.Reading
+		}
+	}
+	if r := applied.Results[2*fleetSize]; r.Error == "" || r.Reading != nil {
+		t.Fatalf("ghost result = %+v", r)
+	}
+
+	// Hard stop, then the batch-built history must replay exactly.
+	ts.Close()
+	st2, ts2 := newDurableServer(t, dir, nil)
+	defer st2.Close()
+	cl2 := client.New(ts2.URL)
+	fleet, err := cl2.ListChips(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != fleetSize {
+		t.Fatalf("replayed fleet = %+v, want %d chips", fleet, fleetSize)
+	}
+	for i := 0; i < fleetSize; i++ {
+		id := fmt.Sprintf("c%d", i)
+		got, err := cl2.Measure(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != preCrash[id] {
+			t.Fatalf("%s post-restart measure = %+v, want %+v", id, got, preCrash[id])
+		}
+	}
+}

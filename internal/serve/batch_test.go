@@ -1,0 +1,323 @@
+// Batch endpoint acceptance tests: per-item partial failure on
+// /v1/chips:batch and /v1/ops:batch, size validation, the write gate
+// covering batch routes, and the replay-after-crash guarantee through
+// the journaling store decorator — acknowledged batch items survive a
+// hard stop, refused items leave no trace.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"selfheal/internal/faults"
+	"selfheal/internal/fleet"
+	"selfheal/internal/store"
+)
+
+func TestBatchCreatePartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, ts, "POST", "/v1/chips", `{"id":"taken","seed":1}`, http.StatusCreated, nil)
+
+	var resp BatchCreateResponse
+	do(t, ts, "POST", "/v1/chips:batch", `{"chips":[
+		{"id":"b0","seed":7},
+		{"id":"taken","seed":8},
+		{"id":"m0","seed":9,"kind":"monitored"},
+		{"id":"bad","seed":10,"kind":"quantum"}
+	]}`, http.StatusOK, &resp)
+
+	if resp.Created != 2 || resp.Failed != 2 {
+		t.Fatalf("created %d failed %d, want 2/2; results %+v", resp.Created, resp.Failed, resp.Results)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	// results[i] corresponds to chips[i].
+	if r := resp.Results[0]; r.ID != "b0" || r.Chip == nil || r.Error != "" || r.Chip.Kind != KindBench {
+		t.Fatalf("item 0 = %+v", r)
+	}
+	if r := resp.Results[1]; r.ID != "taken" || r.Chip != nil || !strings.Contains(r.Error, "already exists") {
+		t.Fatalf("duplicate item = %+v", r)
+	}
+	if r := resp.Results[2]; r.Chip == nil || r.Chip.Kind != KindMonitored {
+		t.Fatalf("monitored item = %+v", r)
+	}
+	if r := resp.Results[3]; r.Chip != nil || r.Error == "" {
+		t.Fatalf("bad-kind item = %+v", r)
+	}
+
+	// The failed items left nothing behind; the created ones are live.
+	var list ChipListResponse
+	do(t, ts, "GET", "/v1/chips", "", http.StatusOK, &list)
+	if len(list.Chips) != 3 {
+		t.Fatalf("fleet after batch = %+v", list.Chips)
+	}
+	do(t, ts, "GET", "/v1/chips/bad/measure", "", http.StatusNotFound, nil)
+}
+
+func TestBatchOpsMixedResults(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, ts, "POST", "/v1/chips:batch",
+		`{"chips":[{"id":"b0","seed":7},{"id":"m0","seed":9,"kind":"monitored"}]}`,
+		http.StatusOK, nil)
+
+	var resp BatchOpsResponse
+	do(t, ts, "POST", "/v1/ops:batch", `{"ops":[
+		{"op":"stress","id":"b0","temp_c":110,"vdd":1.32,"ac":true,"hours":24,"sample_hours":6},
+		{"op":"measure","id":"b0"},
+		{"op":"odometer","id":"m0"},
+		{"op":"odometer","id":"b0"},
+		{"op":"measure","id":"ghost"},
+		{"op":"teleport","id":"b0"}
+	]}`, http.StatusOK, &resp)
+
+	if resp.Succeeded != 3 || resp.Failed != 3 {
+		t.Fatalf("succeeded %d failed %d, want 3/3; results %+v", resp.Succeeded, resp.Failed, resp.Results)
+	}
+	if r := resp.Results[0]; r.Phase == nil || len(r.Phase.Trace) == 0 || r.Error != "" {
+		t.Fatalf("stress item = %+v", r)
+	}
+	if r := resp.Results[1]; r.Reading == nil || r.Reading.DelayNS <= 0 {
+		t.Fatalf("measure item = %+v", r)
+	}
+	if r := resp.Results[2]; r.Odometer == nil {
+		t.Fatalf("odometer item = %+v", r)
+	}
+	// Kind mismatch, missing chip and unknown op fail item-locally.
+	if r := resp.Results[3]; r.Odometer != nil || r.Error == "" {
+		t.Fatalf("kind-mismatch item = %+v", r)
+	}
+	if r := resp.Results[4]; !strings.Contains(r.Error, "no chip") {
+		t.Fatalf("ghost item = %+v", r)
+	}
+	if r := resp.Results[5]; !strings.Contains(r.Error, "unknown batch op") {
+		t.Fatalf("unknown-op item = %+v", r)
+	}
+}
+
+// TestBatchSizeValidation: empty and oversized batches are refused
+// whole with a 400 before any item runs.
+func TestBatchSizeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var eb ErrorResponse
+	do(t, ts, "POST", "/v1/chips:batch", `{"chips":[]}`, http.StatusBadRequest, &eb)
+	if !strings.Contains(eb.Error, "at least one item") {
+		t.Fatalf("empty batch error = %q", eb.Error)
+	}
+	do(t, ts, "POST", "/v1/ops:batch", `{}`, http.StatusBadRequest, &eb)
+	if !strings.Contains(eb.Error, "at least one item") {
+		t.Fatalf("empty ops error = %q", eb.Error)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`{"chips":[`)
+	for i := 0; i <= MaxBatchItems; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id":"c%d","seed":1}`, i)
+	}
+	sb.WriteString(`]}`)
+	do(t, ts, "POST", "/v1/chips:batch", sb.String(), http.StatusBadRequest, &eb)
+	if !strings.Contains(eb.Error, "exceeds the limit") {
+		t.Fatalf("oversized batch error = %q", eb.Error)
+	}
+	// Nothing was created: the oversized batch was refused whole.
+	var list ChipListResponse
+	do(t, ts, "GET", "/v1/chips", "", http.StatusOK, &list)
+	if len(list.Chips) != 0 {
+		t.Fatalf("oversized batch leaked %d chips", len(list.Chips))
+	}
+}
+
+// TestBatchRoutesRespectWriteGate: once degraded mode trips, both batch
+// routes are refused at the gate like any single mutation.
+func TestBatchRoutesRespectWriteGate(t *testing.T) {
+	inj, _, ts := newDegradedServer(t, t.TempDir())
+	do(t, ts, "POST", "/v1/chips", `{"id":"c0","seed":7}`, http.StatusCreated, nil)
+
+	inj.SetDiskFault(faults.DiskFailFsync, 0)
+	if resp, _ := doRaw(t, ts, "POST", "/v1/chips", `{"id":"trip","seed":1}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("trip write: status %d, want 503", resp.StatusCode)
+	}
+
+	for _, probe := range []struct{ path, body string }{
+		{"/v1/chips:batch", `{"chips":[{"id":"c1","seed":1}]}`},
+		{"/v1/ops:batch", `{"ops":[{"op":"stress","id":"c0","temp_c":85,"vdd":1.2,"hours":1}]}`},
+	} {
+		resp, raw := doRaw(t, ts, "POST", probe.path, probe.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("degraded POST %s: status %d, want 503; body %s", probe.path, resp.StatusCode, raw)
+		}
+		var eb ErrorResponse
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Code != CodeDegraded {
+			t.Fatalf("degraded POST %s: code %q err %v", probe.path, eb.Code, err)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("degraded POST %s missing Retry-After", probe.path)
+		}
+	}
+}
+
+// TestBatchDurabilityFailureTripsGate: a batch whose items die on the
+// disk reports them per item (the batch itself stays 200) and trips
+// degraded mode, so the next lone write is refused at the gate.
+func TestBatchDurabilityFailureTripsGate(t *testing.T) {
+	inj, _, ts := newDegradedServer(t, t.TempDir())
+
+	inj.SetDiskFault(faults.DiskFailAppend, 0) // every append fails
+	resp, raw := doRaw(t, ts, "POST", "/v1/chips:batch",
+		`{"chips":[{"id":"c0","seed":7},{"id":"c1","seed":8}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch on failing disk: status %d, body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("durability-failed batch missing Retry-After hint")
+	}
+	var br BatchCreateResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Created != 0 || br.Failed != 2 {
+		t.Fatalf("batch on failing disk = %+v", br)
+	}
+	for _, r := range br.Results {
+		if !strings.Contains(r.Error, "could not be committed") {
+			t.Fatalf("item error = %q", r.Error)
+		}
+	}
+	// The failed creates rolled back and the gate is now closed.
+	var list ChipListResponse
+	do(t, ts, "GET", "/v1/chips", "", http.StatusOK, &list)
+	if len(list.Chips) != 0 {
+		t.Fatalf("rolled-back batch left chips: %+v", list.Chips)
+	}
+	if resp, _ := doRaw(t, ts, "POST", "/v1/chips", `{"id":"late","seed":1}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write after failed batch: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBatchReplayAfterCrash is the decorator-path crash acceptance
+// test: a batch runs while the disk is refusing a bounded number of
+// appends, so some items are acknowledged and some refused; the server
+// is then hard-stopped with no store close or drain. On reopen every
+// acknowledged item must be present with its exact pre-crash state and
+// every refused item must have left no trace — a refused create that
+// leaked, or an acknowledged one that vanished, fails the test.
+func TestBatchReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	inj, _, ts := newDegradedServer(t, dir)
+
+	// A healthy baseline batch: fabricate the fleet, then age and read
+	// it in one mixed-op batch whose commits share the journal's group
+	// fsyncs.
+	const fleetSize = 6
+	var sb strings.Builder
+	sb.WriteString(`{"chips":[`)
+	for i := 0; i < fleetSize; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id":"c%d","seed":%d}`, i, 7+i)
+	}
+	sb.WriteString(`]}`)
+	var created BatchCreateResponse
+	do(t, ts, "POST", "/v1/chips:batch", sb.String(), http.StatusOK, &created)
+	if created.Created != fleetSize || created.Failed != 0 {
+		t.Fatalf("baseline batch = %+v", created)
+	}
+
+	sb.Reset()
+	sb.WriteString(`{"ops":[`)
+	for i := 0; i < fleetSize; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"op":"stress","id":"c%d","temp_c":110,"vdd":1.32,"ac":true,"hours":24},`, i)
+		fmt.Fprintf(&sb, `{"op":"measure","id":"c%d"}`, i)
+	}
+	sb.WriteString(`]}`)
+	var aged BatchOpsResponse
+	do(t, ts, "POST", "/v1/ops:batch", sb.String(), http.StatusOK, &aged)
+	if aged.Succeeded != 2*fleetSize || aged.Failed != 0 {
+		t.Fatalf("age batch = %+v", aged)
+	}
+	preCrash := map[string]ReadingResponse{}
+	for _, r := range aged.Results {
+		if r.Op == "measure" {
+			preCrash[r.ID] = *r.Reading
+		}
+	}
+
+	// Mid-batch disk death: the next 3 appends fail cleanly, then the
+	// disk heals. Some of these creates are refused and rolled back,
+	// the rest are acknowledged — the split is scheduling-dependent,
+	// so the test records what the server claimed.
+	inj.SetDiskFault(faults.DiskFailAppend, 3)
+	var crashBatch BatchCreateResponse
+	do(t, ts, "POST", "/v1/chips:batch",
+		`{"chips":[{"id":"x0","seed":20},{"id":"x1","seed":21},{"id":"x2","seed":22},{"id":"x3","seed":23},{"id":"x4","seed":24}]}`,
+		http.StatusOK, &crashBatch)
+	if crashBatch.Failed == 0 || crashBatch.Created == 0 {
+		t.Fatalf("crash batch did not split: %+v", crashBatch)
+	}
+	acked := map[string]bool{}
+	for _, r := range crashBatch.Results {
+		if r.Error == "" {
+			acked[r.ID] = true
+		} else if !strings.Contains(r.Error, "could not be committed") {
+			t.Fatalf("refused item %q failed for the wrong reason: %q", r.ID, r.Error)
+		}
+	}
+
+	// ---- Hard stop: no store close, no journal drain. ----
+	ts.Close()
+
+	st2, repairs, err := store.Open[*fleet.ChipEntry](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 0 {
+		t.Fatalf("clean-append crash needed repairs: %+v", repairs)
+	}
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	t.Cleanup(s2.Close)
+	t.Cleanup(func() { st2.Close() })
+
+	var list ChipListResponse
+	do(t, ts2, "GET", "/v1/chips", "", http.StatusOK, &list)
+	survivors := map[string]bool{}
+	for _, c := range list.Chips {
+		survivors[c.ID] = true
+	}
+	for i := 0; i < fleetSize; i++ {
+		if id := fmt.Sprintf("c%d", i); !survivors[id] {
+			t.Fatalf("baseline chip %s lost in crash; fleet = %v", id, survivors)
+		}
+	}
+	for _, r := range crashBatch.Results {
+		if acked[r.ID] != survivors[r.ID] {
+			t.Fatalf("item %s: acknowledged=%v survived=%v (results %+v, fleet %v)",
+				r.ID, acked[r.ID], survivors[r.ID], crashBatch.Results, survivors)
+		}
+	}
+	if len(survivors) != fleetSize+crashBatch.Created {
+		t.Fatalf("fleet size %d, want %d baseline + %d acknowledged", len(survivors), fleetSize, crashBatch.Created)
+	}
+
+	// Replay rebuilt exact aged state: the trailing measure records were
+	// pruned on open, so re-measuring reproduces each pre-crash reading
+	// bit for bit.
+	for i := 0; i < fleetSize; i++ {
+		id := fmt.Sprintf("c%d", i)
+		var m ReadingResponse
+		do(t, ts2, "GET", "/v1/chips/"+id+"/measure", "", http.StatusOK, &m)
+		if m != preCrash[id] {
+			t.Fatalf("%s post-crash measure = %+v, want %+v", id, m, preCrash[id])
+		}
+	}
+}

@@ -5,24 +5,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"selfheal/internal/journal"
 )
 
 // gate is the degraded-mode supervisor: the write-path analogue of the
-// paper's monitor→reconfigure loop. When the journal cannot make an
+// paper's monitor→reconfigure loop. When the store cannot make an
 // operation durable (disk full, I/O error), the service does not crash
 // and does not lie — it trips into a supervised read-only state where
 // mutating routes answer 503/degraded, reads keep serving from the
-// in-memory fleet, and a background probe retries the journal with
+// in-memory fleet, and a background probe retries the store with
 // exponential backoff until the storage heals, at which point write
 // mode restores itself. /healthz (liveness) stays green throughout;
 // /readyz (write-readiness) goes red for the episode.
 type gate struct {
-	log  *slog.Logger
-	jl   *journal.Journal
-	base time.Duration // first probe delay
-	max  time.Duration // backoff ceiling
+	log   *slog.Logger
+	probe func() error  // rechecks the store's durability (fleet.Service.Probe)
+	base  time.Duration // first probe delay
+	max   time.Duration // backoff ceiling
 
 	mu       sync.Mutex
 	degraded bool
@@ -36,18 +34,18 @@ type gate struct {
 	wg   sync.WaitGroup
 }
 
-func newGate(log *slog.Logger, jl *journal.Journal, base, max time.Duration) *gate {
+func newGate(log *slog.Logger, probe func() error, base, max time.Duration) *gate {
 	return &gate{
-		log:  log,
-		jl:   jl,
-		base: base,
-		max:  max,
-		stop: make(chan struct{}),
+		log:   log,
+		probe: probe,
+		base:  base,
+		max:   max,
+		stop:  make(chan struct{}),
 	}
 }
 
 // status reports whether writes are currently suspended, and why. Nil
-// gates (journal-less fleets) are always write-ready.
+// gates (non-durable fleets) are always write-ready.
 func (g *gate) status() (degraded bool, reason string) {
 	if g == nil {
 		return false, ""
@@ -75,13 +73,13 @@ func (g *gate) trip(err error) {
 	go g.probeLoop()
 	g.mu.Unlock()
 	g.enters.Add(1)
-	g.log.Warn("journal write failed; entering degraded read-only mode",
+	g.log.Warn("store commit failed; entering degraded read-only mode",
 		"err", err, "first_probe_in", g.base)
 }
 
-// probeLoop retries the journal with exponential backoff until it
-// proves writable again, then restores write mode. One loop runs per
-// degraded episode.
+// probeLoop retries the store with exponential backoff until it proves
+// writable again, then restores write mode. One loop runs per degraded
+// episode.
 func (g *gate) probeLoop() {
 	defer g.wg.Done()
 	delay := g.base
@@ -94,12 +92,12 @@ func (g *gate) probeLoop() {
 		case <-t.C:
 		}
 		g.probes.Add(1)
-		if err := g.jl.Probe(); err != nil {
+		if err := g.probe(); err != nil {
 			delay *= 2
 			if delay > g.max {
 				delay = g.max
 			}
-			g.log.Warn("journal probe failed; staying read-only",
+			g.log.Warn("store probe failed; staying read-only",
 				"err", err, "next_probe_in", delay)
 			continue
 		}
@@ -108,7 +106,7 @@ func (g *gate) probeLoop() {
 		g.reason = ""
 		g.mu.Unlock()
 		g.exits.Add(1)
-		g.log.Info("journal writable again; restoring write mode")
+		g.log.Info("store writable again; restoring write mode")
 		return
 	}
 }

@@ -18,7 +18,8 @@ import (
 	"time"
 
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
+	"selfheal/internal/store"
 )
 
 // newDegradedServer starts a durable server whose journal writes and
@@ -26,13 +27,13 @@ import (
 // armed — tests flip deterministic disk modes on it mid-flight. The
 // probe intervals are tightened so auto-recovery is observable within
 // a test's patience.
-func newDegradedServer(t *testing.T, dir string) (*faults.Injector, *journal.Journal, *httptest.Server) {
+func newDegradedServer(t *testing.T, dir string) (*faults.Injector, fleet.Store, *httptest.Server) {
 	t.Helper()
 	inj, err := faults.New(faults.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jl, err := journal.Open(dir, journal.Options{
+	st, _, err := store.Open[*fleet.ChipEntry](dir, store.JournalOptions{
 		Hook:     inj.JournalHook(),
 		SyncHook: inj.JournalSyncHook(),
 	})
@@ -40,13 +41,13 @@ func newDegradedServer(t *testing.T, dir string) (*faults.Injector, *journal.Jou
 		t.Fatal(err)
 	}
 	s, ts := newTestServer(t, Config{
-		Journal:          jl,
+		Store:            st,
 		Faults:           inj,
 		ProbeInterval:    2 * time.Millisecond,
 		ProbeMaxInterval: 10 * time.Millisecond,
 	})
 	t.Cleanup(s.Close)
-	return inj, jl, ts
+	return inj, st, ts
 }
 
 // doRaw issues a request and returns the response with its body read,
@@ -218,8 +219,8 @@ func TestDegradedModeSurvivesDiskFaultAndAutoRecovers(t *testing.T) {
 
 	// ---- Hard stop again; Server C sees the post-recovery history. ----
 	ts2.Close()
-	_, jlC, tsC := newDegradedServer(t, dir)
-	defer jlC.Close()
+	_, stC, tsC := newDegradedServer(t, dir)
+	defer stC.Close()
 	var m2c ReadingResponse
 	do(t, tsC, "GET", "/v1/chips/c0/measure", "", http.StatusOK, &m2c)
 	if m2c != m2 {
@@ -243,9 +244,9 @@ func TestReadyzHealthyAndDegradedMetricsBaseline(t *testing.T) {
 	}
 }
 
-// TestReadyzInMemoryServer: without a journal there is no disk to
-// degrade on — /readyz is always write-ready and /metrics carries no
-// degraded block.
+// TestReadyzInMemoryServer: without a durable store there is no disk
+// to degrade on — /readyz is always write-ready and /metrics carries
+// no degraded block.
 func TestReadyzInMemoryServer(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	var ready ReadyResponse
@@ -264,24 +265,24 @@ func TestReadyzInMemoryServer(t *testing.T) {
 // pile appends onto the group-commit leader, and asserts the batching
 // shows up in /metrics (sync_batch_max > 1, fewer fsyncs than appends).
 func TestGroupCommitBatchingVisibleInMetrics(t *testing.T) {
-	jl, err := journal.Open(t.TempDir(), journal.Options{
+	st, _, err := store.Open[*fleet.ChipEntry](t.TempDir(), store.JournalOptions{
 		SyncHook: func() error { time.Sleep(2 * time.Millisecond); return nil },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer jl.Close()
-	s, ts := newTestServer(t, Config{Journal: jl})
+	defer st.Close()
+	s, ts := newTestServer(t, Config{Store: st})
 	t.Cleanup(s.Close)
 
-	const fleet = 8
-	for i := 0; i < fleet; i++ {
+	const fleetSize = 8
+	for i := 0; i < fleetSize; i++ {
 		do(t, ts, "POST", "/v1/chips", `{"id":"c`+string(rune('0'+i))+`","seed":7}`, http.StatusCreated, nil)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for round := 0; ; round++ {
 		var wg sync.WaitGroup
-		for i := 0; i < fleet; i++ {
+		for i := 0; i < fleetSize; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()

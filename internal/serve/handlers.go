@@ -9,7 +9,7 @@ import (
 	"net/http"
 
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
 )
 
 // decodeJSON strictly decodes a request body: unknown fields and
@@ -48,23 +48,23 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError classifies an error into a status code: missing chips are
 // 404, duplicate ids and kind mismatches 409, an oversized body 413, a
 // cancelled or timed-out request 503, injected faults 500, everything
-// else a validation 400. A journal commit failure is the storage
-// wearing out, not a bug: it answers 503 with the `degraded` code and
-// a Retry-After, and trips the degraded-mode supervisor so subsequent
+// else a validation 400. A store commit failure is the storage wearing
+// out, not a bug: it answers 503 with the `degraded` code and a
+// Retry-After, and trips the degraded-mode supervisor so subsequent
 // writes are rejected at the gate while the recovery probe works. The
 // response carries the request ID so failures are correlatable in the
 // logs.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
 	code := ""
-	var dup errDuplicateChip
-	var missing errNotFound
-	var notDurable errNotDurable
+	var dup fleet.DuplicateError
+	var missing fleet.NotFoundError
+	var notDurable fleet.NotDurableError
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(err, &missing):
 		status = http.StatusNotFound
-	case errors.As(err, &dup), errors.Is(err, errKindMismatch):
+	case errors.As(err, &dup), errors.Is(err, fleet.ErrKindMismatch):
 		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
@@ -107,7 +107,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.registry, s.journal, s.faults, s.gate))
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate))
 }
 
 func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
@@ -116,62 +116,39 @@ func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	if req.Kind == "" {
-		req.Kind = KindBench
-	}
-	entry, err := s.registry.Create(req.ID, req.Seed, req.Kind, s.commit(journal.Record{
-		Op: journal.OpCreate, ID: req.ID, Seed: req.Seed, Kind: req.Kind,
-	}))
+	resp, err := s.fleet.Create(req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, entry.Info())
+	s.writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleListChips(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, ChipListResponse{Chips: s.registry.List()})
+	s.writeJSON(w, http.StatusOK, ChipListResponse{Chips: s.fleet.List()})
 }
 
 func (s *Server) handleDeleteChip(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	existed, err := s.registry.Delete(id, s.commit(journal.Record{Op: journal.OpDelete, ID: id}))
+	existed, err := s.fleet.Delete(id)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
 	if !existed {
-		s.writeError(w, r, errNotFound{id: id})
+		s.writeError(w, r, fleet.NotFoundError{ID: id})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, DeleteChipResponse{ID: id, Deleted: true})
 }
 
-// chip resolves the {id} path segment or writes a 404.
-func (s *Server) chip(w http.ResponseWriter, r *http.Request) (*ChipEntry, bool) {
-	id := r.PathValue("id")
-	entry, ok := s.registry.Get(id)
-	if !ok {
-		s.writeError(w, r, errNotFound{id: id})
-	}
-	return entry, ok
-}
-
 func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.chip(w, r)
-	if !ok {
-		return
-	}
 	var req PhaseRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := entry.Stress(req, s.commit(journal.Record{
-		Op: journal.OpStress, ID: entry.id,
-		TempC: req.TempC, Vdd: req.Vdd, AC: req.AC,
-		Hours: req.Hours, SampleHours: req.SampleHours,
-	}))
+	resp, err := s.fleet.Stress(r.PathValue("id"), req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -180,20 +157,12 @@ func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.chip(w, r)
-	if !ok {
-		return
-	}
 	var req PhaseRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := entry.Rejuvenate(req, s.commit(journal.Record{
-		Op: journal.OpRejuvenate, ID: entry.id,
-		TempC: req.TempC, Vdd: req.Vdd,
-		Hours: req.Hours, SampleHours: req.SampleHours,
-	}))
+	resp, err := s.fleet.Rejuvenate(r.PathValue("id"), req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -202,11 +171,7 @@ func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.chip(w, r)
-	if !ok {
-		return
-	}
-	resp, err := entry.Measure(s.commit(journal.Record{Op: journal.OpMeasure, ID: entry.id}))
+	resp, err := s.fleet.Measure(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -215,15 +180,93 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOdometer(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.chip(w, r)
-	if !ok {
-		return
-	}
-	resp, err := entry.Odometer(s.commit(journal.Record{Op: journal.OpOdometer, ID: entry.id}))
+	resp, err := s.fleet.Odometer(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// checkBatchSize validates a batch's item count before any item runs.
+func checkBatchSize(n int) error {
+	if n == 0 {
+		return errors.New("serve: batch must contain at least one item")
+	}
+	if n > MaxBatchItems {
+		return fmt.Errorf("serve: batch of %d items exceeds the limit of %d — split it", n, MaxBatchItems)
+	}
+	return nil
+}
+
+// tripOnBatchFailures scans a batch's per-item errors for durability
+// failures and trips the degraded-mode supervisor on the first one, so
+// a batch that wore out the storage suspends subsequent writes exactly
+// like a single failed request would.
+func (s *Server) tripOnBatchFailures(w http.ResponseWriter, errs []error) {
+	for _, err := range errs {
+		var notDurable fleet.NotDurableError
+		if errors.As(err, &notDurable) {
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			s.gate.trip(err)
+			return
+		}
+	}
+}
+
+// handleBatchCreate is POST /v1/chips:batch: bulk fabrication on the
+// fleet's worker pool. The response is 200 even when items failed —
+// per-item status lives in the results, and callers must check Failed.
+func (s *Server) handleBatchCreate(w http.ResponseWriter, r *http.Request) {
+	var req BatchCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := checkBatchSize(len(req.Chips)); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	results := s.fleet.CreateBatch(r.Context(), req.Chips)
+	resp := BatchCreateResponse{Results: results}
+	errs := make([]error, 0, len(results))
+	for _, res := range results {
+		if res.Err != nil {
+			resp.Failed++
+			errs = append(errs, res.Err)
+		} else {
+			resp.Created++
+		}
+	}
+	s.tripOnBatchFailures(w, errs)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatchOps is POST /v1/ops:batch: a mixed stress / rejuvenate /
+// measure / odometer batch across many chips, executed concurrently
+// where the targets differ. Response semantics match handleBatchCreate.
+func (s *Server) handleBatchOps(w http.ResponseWriter, r *http.Request) {
+	var req BatchOpsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := checkBatchSize(len(req.Ops)); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	results := s.fleet.ApplyBatch(r.Context(), req.Ops)
+	resp := BatchOpsResponse{Results: results}
+	errs := make([]error, 0, len(results))
+	for _, res := range results {
+		if res.Err != nil {
+			resp.Failed++
+			errs = append(errs, res.Err)
+		} else {
+			resp.Succeeded++
+		}
+	}
+	s.tripOnBatchFailures(w, errs)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; a
@@ -147,20 +147,19 @@ type MetricsSnapshot struct {
 }
 
 // Snapshot assembles the exported view, folding in the engine's cache
-// stats, the registry's per-chip usage, and — when configured — the
-// journal's fsync accounting, the degraded-mode supervisor, and the
-// chaos injector's counters.
-func (m *Metrics) Snapshot(engine *Engine, registry *Registry, jl *journal.Journal, inj *faults.Injector, g *gate) MetricsSnapshot {
+// stats, the fleet's per-chip usage, and — when the store is durable —
+// its journal's fsync accounting, the degraded-mode supervisor, and
+// the chaos injector's counters.
+func (m *Metrics) Snapshot(engine *Engine, fl *fleet.Service, inj *faults.Injector, g *gate) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds:   time.Since(m.start).Seconds(),
 		Requests:        make(map[string]RouteSnapshot),
-		Chips:           registry.Usage(),
+		Chips:           fl.Usage(),
 		PanicsRecovered: m.panics.Load(),
 		RequestsShed:    m.shed.Load(),
 		RequestTimeouts: m.timeouts.Load(),
 	}
-	if jl != nil {
-		st := jl.Stats()
+	if st, ok := fl.StoreStats(); ok {
 		js := JournalSnapshot{
 			Appends:      st.Appends,
 			Compactions:  st.Compactions,

@@ -21,31 +21,32 @@ import (
 
 	"selfheal/client"
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
 	"selfheal/internal/serve"
+	"selfheal/internal/store"
 )
 
 func quietLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-func newDurableServer(t *testing.T, dir string, inj *faults.Injector) (*journal.Journal, *httptest.Server) {
+func newDurableServer(t *testing.T, dir string, inj *faults.Injector) (fleet.Store, *httptest.Server) {
 	t.Helper()
-	opts := journal.Options{}
+	opts := store.JournalOptions{}
 	if inj != nil {
 		opts.Hook = inj.JournalHook()
 	}
-	jl, err := journal.Open(dir, opts)
+	st, _, err := store.Open[*fleet.ChipEntry](dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := serve.New(serve.Config{Logger: quietLogger(), Journal: jl, Faults: inj})
+	s, err := serve.New(serve.Config{Logger: quietLogger(), Store: st, Faults: inj})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return jl, ts
+	return st, ts
 }
 
 // TestDurabilityAcrossHardStop is the ISSUE acceptance scenario:
@@ -58,7 +59,7 @@ func TestDurabilityAcrossHardStop(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
 
-	_, ts1 := newDurableServer(t, dir, nil) // journal deliberately not closed: hard stop
+	_, ts1 := newDurableServer(t, dir, nil) // store deliberately not closed: hard stop
 	cl1 := client.New(ts1.URL)
 	if _, err := cl1.CreateChip(ctx, client.CreateChipRequest{ID: "c0", Seed: 7, Kind: "bench"}); err != nil {
 		t.Fatal(err)
@@ -95,8 +96,8 @@ func TestDurabilityAcrossHardStop(t *testing.T) {
 	}
 	f.Close()
 
-	jl2, ts2 := newDurableServer(t, dir, nil)
-	defer jl2.Close()
+	st2, ts2 := newDurableServer(t, dir, nil)
+	defer st2.Close()
 	cl2 := client.New(ts2.URL)
 	gotReading, err := cl2.Measure(ctx, "c0")
 	if err != nil {
@@ -121,8 +122,8 @@ func TestDurabilityAcrossHardStop(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts2.Close()
-	jl3, ts3 := newDurableServer(t, dir, nil)
-	defer jl3.Close()
+	st3, ts3 := newDurableServer(t, dir, nil)
+	defer st3.Close()
 	got2, err := client.New(ts3.URL).Measure(ctx, "c0")
 	if err != nil {
 		t.Fatal(err)
@@ -148,15 +149,14 @@ func TestChaosTrafficStaysWellFormed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := journal.Options{Hook: inj.JournalHook()}
-	jl, err := journal.Open(dir, opts)
+	st, _, err := store.Open[*fleet.ChipEntry](dir, store.JournalOptions{Hook: inj.JournalHook()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer jl.Close()
+	defer st.Close()
 	s, err := serve.New(serve.Config{
 		Logger:      quietLogger(),
-		Journal:     jl,
+		Store:       st,
 		Faults:      inj,
 		MaxInFlight: 4,
 		RetryAfter:  time.Second,
@@ -290,23 +290,23 @@ func TestChaosTrafficStaysWellFormed(t *testing.T) {
 	}
 
 	// Whatever the chaos did, the journal it left behind must replay.
-	jl2, err := journal.Open(dir, journal.Options{})
+	st2, _, err := store.Open[*fleet.ChipEntry](dir, store.JournalOptions{})
 	if err != nil {
 		t.Fatalf("journal does not reopen after chaos: %v", err)
 	}
-	defer jl2.Close()
-	s2, err := serve.New(serve.Config{Logger: quietLogger(), Journal: jl2})
+	defer st2.Close()
+	s2, err := serve.New(serve.Config{Logger: quietLogger(), Store: st2})
 	if err != nil {
 		t.Fatalf("replay after chaos: %v", err)
 	}
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()
-	fleet, err := client.New(ts2.URL).ListChips(ctx)
+	survivors, err := client.New(ts2.URL).ListChips(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fleet) != len(chips) {
-		t.Fatalf("replayed fleet has %d chips, want %d", len(fleet), len(chips))
+	if len(survivors) != len(chips) {
+		t.Fatalf("replayed fleet has %d chips, want %d", len(survivors), len(chips))
 	}
 }
 

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -10,7 +9,8 @@ import (
 	"time"
 
 	"selfheal/internal/faults"
-	"selfheal/internal/journal"
+	"selfheal/internal/fleet"
+	"selfheal/internal/store"
 )
 
 // Config tunes the service; zero fields take the defaults below.
@@ -27,11 +27,16 @@ type Config struct {
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 
-	// Journal, when set, makes the fleet durable: every successful
-	// create/stress/rejuvenate/delete is appended and fsync'd before
-	// the response commits, and New replays the journal to reconstruct
-	// the fleet's exact aged state.
-	Journal *journal.Journal
+	// Store is the fleet's backing chip table (default: an ephemeral
+	// lock-sharded in-memory store). Pass a journal-backed store from
+	// store.Open to make the fleet durable: every successful
+	// create/stress/rejuvenate/delete is committed before the response,
+	// and New replays the store's history to reconstruct the fleet's
+	// exact aged state.
+	Store fleet.Store
+	// BatchWorkers bounds the worker pool behind the :batch routes
+	// (default GOMAXPROCS).
+	BatchWorkers int
 	// Faults, when set and enabled, injects latency, errors and panics
 	// into the /v1 routes for chaos testing (never into /healthz or
 	// /metrics, which stay observable while the fleet misbehaves).
@@ -92,24 +97,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server hosts the fleet registry and the prediction engine behind the
-// HTTP API described in the package comment.
+// Server is the transport layer: routing, middleware and wire types
+// over the fleet domain service and the prediction engine. All chip
+// state lives in the fleet (and its store); the server owns only the
+// HTTP concerns — shedding, timeouts, the degraded-mode gate.
 type Server struct {
-	cfg      Config
-	log      *slog.Logger
-	registry *Registry
-	engine   *Engine
-	metrics  *Metrics
-	journal  *journal.Journal
-	faults   *faults.Injector
-	gate     *gate
-	sem      chan struct{}
-	handler  http.Handler
+	cfg     Config
+	log     *slog.Logger
+	fleet   *fleet.Service
+	engine  *Engine
+	metrics *Metrics
+	faults  *faults.Injector
+	gate    *gate
+	sem     chan struct{}
+	handler http.Handler
 }
 
-// New assembles a server from the configuration. When a journal is
-// configured its records are replayed first: every simulation is
-// deterministic per seed, so re-running the logged operations lands
+// New assembles a server from the configuration. When a durable store
+// is configured its history is replayed first: every simulation is
+// deterministic per seed, so re-running the persisted operations lands
 // every chip on its exact pre-shutdown aged state (including the usage
 // accounting under /metrics).
 func New(cfg Config) (*Server, error) {
@@ -118,90 +124,42 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		registry: NewRegistry(),
-		engine:   engine,
-		metrics:  NewMetrics(),
-		journal:  cfg.Journal,
-		faults:   cfg.Faults,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem[*fleet.ChipEntry]()
 	}
-	if s.journal != nil {
-		s.gate = newGate(s.log, s.journal, cfg.ProbeInterval, cfg.ProbeMaxInterval)
-		recs := s.journal.Records()
-		for _, rec := range recs {
-			if err := s.applyRecord(rec); err != nil {
-				return nil, fmt.Errorf("serve: journal replay: record %d (%s %s): %w", rec.Seq, rec.Op, rec.ID, err)
-			}
-		}
-		if len(recs) > 0 {
-			s.log.Info("journal replayed", "records", len(recs), "chips", len(s.registry.List()))
+	fl, err := fleet.NewService(st, fleet.WithBatchWorkers(cfg.BatchWorkers))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		fleet:   fl,
+		engine:  engine,
+		metrics: NewMetrics(),
+		faults:  cfg.Faults,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	if fl.Durable() {
+		s.gate = newGate(s.log, fl.Probe, cfg.ProbeInterval, cfg.ProbeMaxInterval)
+		if n := fl.ReplayedRecords(); n > 0 {
+			s.log.Info("store history replayed", "records", n, "chips", fl.Len())
 		}
 	}
 	s.handler = s.routes()
 	return s, nil
 }
 
-// applyRecord re-runs one journaled operation without re-journaling it.
-func (s *Server) applyRecord(rec journal.Record) error {
-	phase := PhaseRequest{
-		TempC: rec.TempC, Vdd: rec.Vdd, AC: rec.AC,
-		Hours: rec.Hours, SampleHours: rec.SampleHours,
-	}
-	switch rec.Op {
-	case journal.OpCreate:
-		_, err := s.registry.Create(rec.ID, rec.Seed, rec.Kind, nil)
-		return err
-	case journal.OpStress, journal.OpRejuvenate:
-		entry, ok := s.registry.Get(rec.ID)
-		if !ok {
-			return errNotFound{id: rec.ID}
-		}
-		var err error
-		if rec.Op == journal.OpStress {
-			_, err = entry.Stress(phase, nil)
-		} else {
-			_, err = entry.Rejuvenate(phase, nil)
-		}
-		return err
-	case journal.OpMeasure, journal.OpOdometer:
-		// Sensor reads age the die and consume noise draws; re-run them
-		// (discarding the reading) so the RNG stream lines up exactly.
-		entry, ok := s.registry.Get(rec.ID)
-		if !ok {
-			return errNotFound{id: rec.ID}
-		}
-		var err error
-		if rec.Op == journal.OpMeasure {
-			_, err = entry.Measure(nil)
-		} else {
-			_, err = entry.Odometer(nil)
-		}
-		return err
-	case journal.OpDelete:
-		_, err := s.registry.Delete(rec.ID, nil)
-		return err
-	default:
-		return fmt.Errorf("unknown op %q", rec.Op)
-	}
-}
-
-// commit returns the journal-append callback for one operation, or nil
-// when the fleet is running without durability.
-func (s *Server) commit(rec journal.Record) func() error {
-	if s.journal == nil {
-		return nil
-	}
-	return func() error { return s.journal.Append(rec) }
-}
+// Fleet returns the domain service (exported for tests and for
+// embedding the service into a larger process).
+func (s *Server) Fleet() *fleet.Service { return s.fleet }
 
 // Handler returns the fully-wired HTTP handler (exported for httptest).
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close stops the degraded-mode supervisor's background probe. It does
-// not close the journal — the caller owns that. Safe on any server,
+// not close the store — the caller owns that. Safe on any server,
 // including one that never degraded.
 func (s *Server) Close() { s.gate.close() }
 
@@ -209,19 +167,21 @@ func (s *Server) Close() { s.gate.close() }
 // embedding the service into a larger process).
 func (s *Server) Engine() *Engine { return s.engine }
 
-// mutatingRoutes are the patterns that journal an operation and are
-// therefore suspended in degraded read-only mode. The sensor reads are
-// here too: measuring ages the die and consumes noise draws, so it is
-// journaled — and an unjournalable measure would silently fork the
-// replayed state from the live one. The pure reads (list, predict,
-// metrics, health) stay up throughout an episode.
+// mutatingRoutes are the patterns that commit an operation to the
+// store and are therefore suspended in degraded read-only mode. The
+// sensor reads are here too: measuring ages the die and consumes noise
+// draws, so it is committed — and an uncommittable measure would
+// silently fork the replayed state from the live one. The pure reads
+// (list, predict, metrics, health) stay up throughout an episode.
 var mutatingRoutes = map[string]bool{
 	"POST /v1/chips":                 true,
+	"POST /v1/chips:batch":           true,
 	"DELETE /v1/chips/{id}":          true,
 	"POST /v1/chips/{id}/stress":     true,
 	"POST /v1/chips/{id}/rejuvenate": true,
 	"GET /v1/chips/{id}/measure":     true,
 	"GET /v1/chips/{id}/odometer":    true,
+	"POST /v1/ops:batch":             true,
 }
 
 // routes assembles the mux. Each route runs the hardened-edge stack,
@@ -246,19 +206,24 @@ func (s *Server) routes() http.Handler {
 		"GET /readyz":                    s.handleReadyz,
 		"GET /metrics":                   s.handleMetrics,
 		"POST /v1/chips":                 s.handleCreateChip,
+		"POST /v1/chips:batch":           s.handleBatchCreate,
 		"GET /v1/chips":                  s.handleListChips,
 		"DELETE /v1/chips/{id}":          s.handleDeleteChip,
 		"POST /v1/chips/{id}/stress":     s.handleStress,
 		"POST /v1/chips/{id}/rejuvenate": s.handleRejuvenate,
 		"GET /v1/chips/{id}/measure":     s.handleMeasure,
 		"GET /v1/chips/{id}/odometer":    s.handleOdometer,
+		"POST /v1/ops:batch":             s.handleBatchOps,
 		"POST /v1/predict/shift":         s.handlePredictShift,
 		"POST /v1/predict/schedules":     s.handlePredictSchedules,
 		"POST /v1/predict/multicore":     s.handlePredictMulticore,
 	} {
 		limited := strings.Contains(pattern, "/v1/")
 		timeout := s.cfg.OpTimeout
-		if strings.Contains(pattern, "/v1/predict/") {
+		// Predictions can legitimately simulate for minutes, and a batch
+		// is up to MaxBatchItems chip operations; both get the long
+		// timeout.
+		if strings.Contains(pattern, "/v1/predict/") || strings.Contains(pattern, ":batch") {
 			timeout = s.cfg.PredictTimeout
 		}
 		var hh http.Handler = s.withBodyLimit(h)

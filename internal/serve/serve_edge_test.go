@@ -2,7 +2,6 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -167,50 +166,6 @@ func TestRouteTimeout(t *testing.T) {
 	}
 	if snap.Faults == nil || snap.Faults.Latencies < 1 {
 		t.Fatalf("faults counters missing from metrics: %+v", snap.Faults)
-	}
-}
-
-// TestCreateRollbackVisibleToWaiters pins the create-rollback race: a
-// request that Gets the entry while the create's journal append is in
-// flight and blocks on the chip lock must observe the rollback (404)
-// when the append fails — if it instead journaled its operation, the
-// log would hold a stress record for a chip with no create record and
-// every subsequent replay would fail.
-func TestCreateRollbackVisibleToWaiters(t *testing.T) {
-	r := NewRegistry()
-	inCommit := make(chan struct{})
-	waiterReady := make(chan struct{})
-	waiterErr := make(chan error, 1)
-
-	go func() {
-		<-inCommit
-		e, ok := r.Get("c0")
-		if !ok {
-			waiterErr <- errors.New("chip not visible during commit")
-			return
-		}
-		close(waiterReady)
-		// Blocks on the chip lock until Create's rollback releases it.
-		_, err := e.Stress(PhaseRequest{TempC: 100, Vdd: 0.9, Hours: 1}, nil)
-		waiterErr <- err
-	}()
-
-	_, err := r.Create("c0", 1, KindBench, func() error {
-		close(inCommit)
-		<-waiterReady
-		time.Sleep(10 * time.Millisecond) // let the waiter reach entry.mu
-		return errors.New("injected journal failure")
-	})
-	var nd errNotDurable
-	if !errors.As(err, &nd) {
-		t.Fatalf("Create error = %v, want errNotDurable", err)
-	}
-	var nf errNotFound
-	if werr := <-waiterErr; !errors.As(werr, &nf) {
-		t.Fatalf("waiter Stress error = %v, want errNotFound (rollback must be visible)", werr)
-	}
-	if _, ok := r.Get("c0"); ok {
-		t.Fatal("chip still registered after rollback")
 	}
 }
 

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// singleMutexMap is the registry shape the sharded Mem replaced: one
+// RWMutex over one map. It exists only as the benchmark baseline.
+type singleMutexMap[E any] struct {
+	mu sync.RWMutex
+	m  map[string]E
+}
+
+func (s *singleMutexMap[E]) Insert(id string, e E) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; ok {
+		return false
+	}
+	s.m[id] = e
+	return true
+}
+
+func (s *singleMutexMap[E]) Lookup(id string) (E, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[id]
+	return e, ok
+}
+
+func (s *singleMutexMap[E]) Remove(id string) {
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// BenchmarkRegistryContention compares the single-mutex registry map
+// (the pre-refactor shape) against the sharded Mem under the access
+// mix a busy fleet sees: mostly Lookup with a sprinkle of
+// Insert/Remove churn, across a working set large enough that shards
+// actually spread. The delta justifies ShardCount with numbers.
+func BenchmarkRegistryContention(b *testing.B) {
+	const keys = 1024
+	ids := make([]string, keys)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("chip-%04d", i)
+	}
+
+	type table interface {
+		Insert(string, int) bool
+		Lookup(string) (int, bool)
+		Remove(string)
+	}
+	run := func(b *testing.B, tab table) {
+		for _, id := range ids {
+			tab.Insert(id, 1)
+		}
+		var ctr atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			n := ctr.Add(1) * 7919 // decorrelate workers' key streams
+			for pb.Next() {
+				n++
+				id := ids[n%keys]
+				if n%10 == 0 {
+					tab.Remove(id)
+					tab.Insert(id, int(n))
+				} else {
+					tab.Lookup(id)
+				}
+			}
+		})
+	}
+
+	b.Run("single-mutex", func(b *testing.B) {
+		run(b, &singleMutexMap[int]{m: make(map[string]int)})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		run(b, NewMem[int]())
+	})
+}
