@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve
+.PHONY: check fmt vet build test race bench obs-smoke serve
 
 ## check: everything CI needs — gofmt, vet, build, tests with the race detector
 check: fmt vet build race
@@ -27,6 +27,13 @@ race:
 bench:
 	$(GO) run ./cmd/selfheal-bench > /dev/null
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/store
+
+## obs-smoke: boot a durable server with JSON logs and the debug listener,
+## drive a batch through it, and verify the telemetry surface end to end —
+## both metric expositions, the batch trace (journal commit visible), the
+## pprof index, and a structured log line joining to the trace by trace_id
+obs-smoke:
+	$(GO) run ./scripts/obs-smoke
 
 ## serve: run the fleet aging service locally
 serve:

@@ -38,6 +38,8 @@ type breaker struct {
 	state       string
 	consecutive int
 	openedAt    time.Time
+	opens       uint64 // transitions into BreakerOpen (incl. re-opens)
+	halfOpens   uint64 // transitions into BreakerHalfOpen
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -66,6 +68,7 @@ func (b *breaker) allow() error {
 			return fmt.Errorf("%w (service kept answering 503; retry in %v)", ErrBreakerOpen, remaining.Round(time.Millisecond))
 		}
 		b.state = BreakerHalfOpen
+		b.halfOpens++
 		return nil
 	case BreakerHalfOpen:
 		// One probe is already in flight; everyone else keeps failing
@@ -94,6 +97,7 @@ func (b *breaker) record(err error) {
 		if err != nil {
 			b.state = BreakerOpen
 			b.openedAt = time.Now()
+			b.opens++
 			return
 		}
 		b.state = BreakerClosed
@@ -105,6 +109,7 @@ func (b *breaker) record(err error) {
 			if b.consecutive >= b.threshold {
 				b.state = BreakerOpen
 				b.openedAt = time.Now()
+				b.opens++
 			}
 		case err == nil || isAPI:
 			b.consecutive = 0
@@ -120,4 +125,14 @@ func (b *breaker) current() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// stats reports the transition counters and current state.
+func (b *breaker) stats() (opens, halfOpens uint64, state string) {
+	if b == nil {
+		return 0, 0, BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.halfOpens, b.state
 }

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selfheal/internal/serve"
@@ -93,8 +94,56 @@ type Client struct {
 	maxBackoff  time.Duration
 	breaker     *breaker
 
+	requests          atomic.Uint64 // logical calls started
+	attempts          atomic.Uint64 // HTTP exchanges issued
+	retries           atomic.Uint64 // exchanges beyond each call's first
+	retryAfterHonored atomic.Uint64 // retry delays taken from a Retry-After hint
+	retryWaitNS       atomic.Int64  // total time slept between attempts
+
 	mu  sync.Mutex
 	rnd *rand.Rand
+}
+
+// Stats is a snapshot of the client's retry and circuit-breaker
+// accounting, for callers exporting client-side health alongside the
+// service's own /metrics.
+type Stats struct {
+	// Requests counts logical calls (one per method invocation).
+	Requests uint64 `json:"requests"`
+	// Attempts counts HTTP exchanges; Attempts-Requests is the volume
+	// retries added.
+	Attempts uint64 `json:"attempts"`
+	// Retries counts exchanges beyond each call's first.
+	Retries uint64 `json:"retries"`
+	// RetryAfterHonored counts retry delays taken from a server
+	// Retry-After hint rather than the client's own backoff.
+	RetryAfterHonored uint64 `json:"retry_after_honored"`
+	// RetryWait is the total time spent sleeping between attempts.
+	RetryWait time.Duration `json:"retry_wait_ns"`
+	// BreakerOpens counts transitions into the open state (including
+	// re-opens after a failed half-open probe); BreakerHalfOpens counts
+	// cooldown expiries that admitted a probe. Both stay 0 without
+	// WithBreaker.
+	BreakerOpens     uint64 `json:"breaker_opens"`
+	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
+	// BreakerState is the current state ("closed", "open", "half-open").
+	BreakerState string `json:"breaker_state"`
+}
+
+// Stats snapshots the client's accounting. Safe for concurrent use;
+// the counters are monotonic over the client's lifetime.
+func (c *Client) Stats() Stats {
+	opens, halfOpens, state := c.breaker.stats()
+	return Stats{
+		Requests:          c.requests.Load(),
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		RetryAfterHonored: c.retryAfterHonored.Load(),
+		RetryWait:         time.Duration(c.retryWaitNS.Load()),
+		BreakerOpens:      opens,
+		BreakerHalfOpens:  halfOpens,
+		BreakerState:      state,
+	}
 }
 
 // Option customizes a Client.
@@ -211,6 +260,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			return fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	c.requests.Add(1)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := c.breaker.allow(); err != nil {
@@ -219,59 +269,75 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			}
 			return err
 		}
+		c.attempts.Add(1)
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
 		lastErr = c.once(ctx, method, path, body, out)
 		c.breaker.record(lastErr)
 		if lastErr == nil {
 			return nil
 		}
-		delay, retryable := c.retryPlan(lastErr, idempotent, attempt)
+		delay, retryable, viaHint := c.retryPlan(lastErr, idempotent, attempt)
 		if !retryable || attempt >= c.maxAttempts {
 			return lastErr
 		}
+		if viaHint {
+			c.retryAfterHonored.Add(1)
+		}
+		c.retryWaitNS.Add(int64(delay))
 		if err := c.sleep(ctx, delay); err != nil {
 			return fmt.Errorf("%w (last error: %v)", err, lastErr)
 		}
 	}
 }
 
-// retryPlan decides whether err warrants another attempt and how long
-// to wait first.
-func (c *Client) retryPlan(err error, idempotent bool, attempt int) (time.Duration, bool) {
+// retryPlan decides whether err warrants another attempt, how long to
+// wait first, and whether that wait came from a server Retry-After
+// hint (for the Stats accounting).
+func (c *Client) retryPlan(err error, idempotent bool, attempt int) (time.Duration, bool, bool) {
 	delay := c.backoffFor(attempt)
 	apiErr, ok := err.(*APIError)
 	if !ok {
 		// Transport error: the request may or may not have reached the
 		// handler, so only idempotent calls are safe to re-send.
-		return delay, idempotent
+		return delay, idempotent, false
 	}
 	switch {
 	case apiErr.Status == http.StatusTooManyRequests:
-		return c.honorRetryAfter(apiErr, delay), true
+		delay, viaHint := c.honorRetryAfter(apiErr, delay)
+		return delay, true, viaHint
 	case apiErr.Status >= 500:
 		// 5xx responses carry Retry-After too when the service knows
 		// its own recovery cadence (degraded mode does), so honor it
 		// the same way.
-		return c.honorRetryAfter(apiErr, delay), idempotent
+		delay, viaHint := c.honorRetryAfter(apiErr, delay)
+		return delay, idempotent, viaHint
 	default:
-		return 0, false
+		return 0, false, false
 	}
 }
 
 // honorRetryAfter folds the server's Retry-After hint into the planned
 // delay: a shorter hint wins outright, a longer one wins only up to
 // the backoff ceiling (a saturated server cannot park a client beyond
-// its own patience).
-func (c *Client) honorRetryAfter(apiErr *APIError, delay time.Duration) time.Duration {
-	if ra := apiErr.retryAfter; ra > 0 && ra < delay {
-		delay = ra
-	} else if ra > delay {
-		if ra < c.maxBackoff {
-			delay = ra
-		} else {
-			delay = c.maxBackoff
-		}
+// its own patience). The second return reports whether the hint set
+// the delay.
+func (c *Client) honorRetryAfter(apiErr *APIError, delay time.Duration) (time.Duration, bool) {
+	ra := apiErr.retryAfter
+	if ra <= 0 {
+		return delay, false
 	}
-	return delay
+	if ra < delay {
+		return ra, true
+	}
+	if ra > delay {
+		if ra < c.maxBackoff {
+			return ra, true
+		}
+		return c.maxBackoff, true
+	}
+	return delay, false
 }
 
 // once issues a single HTTP exchange.

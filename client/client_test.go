@@ -345,3 +345,78 @@ func TestBreakerResetBySuccessAndOtherStatuses(t *testing.T) {
 		t.Fatalf("breaker-less client state = %q, want %q", got, BreakerClosed)
 	}
 }
+
+func TestStatsCountsRetriesAndHints(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips",
+		respond429("1"), // hint wins over the 1 ms backoff... capped by 20 ms ceiling
+		respond(http.StatusOK, `{"chips":[]}`),
+	)
+	cl := newTestClient(t, sc)
+	if _, err := cl.ListChips(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Health(context.Background()); err == nil {
+		t.Fatal("scripted /healthz should 404")
+	}
+	st := cl.Stats()
+	if st.Requests != 2 {
+		t.Fatalf("Requests = %d, want 2", st.Requests)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3 (one retried, one terminal 404)", st.Attempts)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+	if st.RetryAfterHonored != 1 {
+		t.Fatalf("RetryAfterHonored = %d, want 1", st.RetryAfterHonored)
+	}
+	if st.RetryWait <= 0 || st.RetryWait > time.Second {
+		t.Fatalf("RetryWait = %v, want a small positive duration", st.RetryWait)
+	}
+	if st.BreakerOpens != 0 || st.BreakerHalfOpens != 0 || st.BreakerState != BreakerClosed {
+		t.Fatalf("breaker stats without WithBreaker: %+v", st)
+	}
+}
+
+func TestStatsCountsBreakerTransitions(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/measure", respond(http.StatusServiceUnavailable, `{"error":"degraded","code":"degraded"}`))
+	cl := newTestClient(t, sc,
+		WithMaxAttempts(1), WithBreaker(2, 10*time.Millisecond))
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Measure(ctx, "c0"); err == nil {
+			t.Fatal("expected 503")
+		}
+	}
+	st := cl.Stats()
+	if st.BreakerOpens != 1 || st.BreakerState != BreakerOpen {
+		t.Fatalf("after 2 consecutive 503s: %+v", st)
+	}
+
+	// Fail fast while open: no attempt issued.
+	before := cl.Stats().Attempts
+	if _, err := cl.Measure(ctx, "c0"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if cl.Stats().Attempts != before {
+		t.Fatal("open breaker still issued an HTTP attempt")
+	}
+
+	// After the cooldown the next call is the half-open probe; it fails
+	// (the script keeps answering 503), re-opening the breaker.
+	time.Sleep(15 * time.Millisecond)
+	if _, err := cl.Measure(ctx, "c0"); err == nil {
+		t.Fatal("probe should fail")
+	}
+	st = cl.Stats()
+	if st.BreakerHalfOpens != 1 {
+		t.Fatalf("BreakerHalfOpens = %d, want 1", st.BreakerHalfOpens)
+	}
+	if st.BreakerOpens != 2 || st.BreakerState != BreakerOpen {
+		t.Fatalf("failed probe should re-open: %+v", st)
+	}
+}

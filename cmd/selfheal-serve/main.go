@@ -7,10 +7,11 @@
 // Usage:
 //
 //	selfheal-serve [-addr :8040] [-cache 256] [-max-body 1048576]
-//	               [-grace 10s] [-log-level info]
+//	               [-grace 10s] [-log-level info] [-log-format text]
 //	               [-data DIR] [-repair] [-max-inflight 1024]
 //	               [-op-timeout 30s] [-predict-timeout 2m]
 //	               [-batch-workers N] [-faults spec]
+//	               [-trace-buffer 256] [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -28,9 +29,25 @@
 //	POST   /v1/predict/multicore       8-core scheduling exploration
 //	GET    /healthz                    liveness
 //	GET    /readyz                     write-readiness (503 while degraded)
-//	GET    /metrics                    counters, latency histogram, cache, per-chip
-//	                                   usage, journal fsync/batching, degraded
-//	                                   mode, faults
+//	GET    /metrics                    counters, latency histograms, cache, per-chip
+//	                                   usage and aging read-outs, journal
+//	                                   fsync/batching, degraded mode, faults;
+//	                                   ?format=prometheus for text exposition
+//	GET    /debug/traces               last completed /v1 request traces, one
+//	                                   span per layer crossed; filter with
+//	                                   ?route= &min_ms= &errors=only &limit=
+//
+// Every /v1 request is traced: the middleware opens a root span, and
+// the fleet, store and journal layers add spans for batch scheduling,
+// per-chip lock waits, shard lookups and the group-commit fsync (with
+// the leader/follower role visible). The last -trace-buffer completed
+// traces are retained in a ring served at /debug/traces. Logs carry
+// the same trace_id, so a log line joins to its trace; -log-format
+// json emits machine-parseable records.
+//
+// -debug-addr starts a second listener hosting /debug/pprof/ and
+// /debug/traces. pprof exposes heap contents — bind it to localhost,
+// never the public edge.
 //
 // With -data the fleet is durable: every operation — create, stress,
 // rejuvenate, delete, and the sensor reads, which perturb the die —
@@ -80,6 +97,7 @@ import (
 
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
+	"selfheal/internal/obs"
 	"selfheal/internal/serve"
 	"selfheal/internal/store"
 )
@@ -90,6 +108,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	dataDir := flag.String("data", "", "journal directory for a durable fleet (empty: in-memory only)")
 	repair := flag.Bool("repair", false, "salvage a corrupt journal: back it up, truncate at the first bad record, report dropped seqs")
 	maxInflight := flag.Int("max-inflight", 1024, "concurrent /v1 requests before shedding with 429")
@@ -97,6 +116,8 @@ func main() {
 	predictTimeout := flag.Duration("predict-timeout", 2*time.Minute, "timeout for /v1/predict routes")
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool size for the :batch routes (0: GOMAXPROCS)")
 	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F,disk=MODE[:N]")
+	traceBuffer := flag.Int("trace-buffer", 256, "completed request traces retained for /debug/traces")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof/ and /debug/traces (empty: disabled; bind to localhost)")
 	flag.Parse()
 
 	var level slog.Level
@@ -104,7 +125,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
 		os.Exit(2)
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(2)
+	}
 
 	var injector *faults.Injector
 	if *faultSpec != "" {
@@ -159,6 +184,7 @@ func main() {
 		OpTimeout:      *opTimeout,
 		PredictTimeout: *predictTimeout,
 		BatchWorkers:   *batchWorkers,
+		TraceBuffer:    *traceBuffer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
@@ -167,6 +193,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		defer dbg.Close()
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		// The debug listener needs no drain grace: profiles cut off at
+		// shutdown are re-runnable, unlike in-flight fleet mutations.
+		go func() { <-ctx.Done(); dbg.Close() }()
+	}
+
 	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
 		os.Exit(1)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"selfheal/internal/obs"
 )
 
 // Batch op names accepted by OpSpec.Op.
@@ -53,10 +55,13 @@ type OpResult struct {
 // A cancelled ctx stops scheduling new items; already-running items
 // finish and unstarted ones report the context error.
 func (s *Service) CreateBatch(ctx context.Context, specs []CreateSpec) []CreateResult {
+	bctx, batch := obs.StartSpan(ctx, "fleet.batch",
+		obs.String("kind", "create"), obs.Int("items", len(specs)))
+	defer batch.End()
 	results := make([]CreateResult, len(specs))
-	s.runBatch(ctx, len(specs), func(i int) {
+	s.runBatch(bctx, batch, len(specs), func(ictx context.Context, i int) {
 		res := CreateResult{ID: specs[i].ID}
-		chip, err := s.Create(specs[i])
+		chip, err := s.Create(ictx, specs[i])
 		if err != nil {
 			res.Err = err
 			res.Error = err.Error()
@@ -76,9 +81,12 @@ func (s *Service) CreateBatch(ctx context.Context, specs []CreateSpec) []CreateR
 // same chip serialize on its lock in scheduling order. Partial-failure
 // and cancellation semantics match CreateBatch.
 func (s *Service) ApplyBatch(ctx context.Context, specs []OpSpec) []OpResult {
+	bctx, batch := obs.StartSpan(ctx, "fleet.batch",
+		obs.String("kind", "ops"), obs.Int("items", len(specs)))
+	defer batch.End()
 	results := make([]OpResult, len(specs))
-	s.runBatch(ctx, len(specs), func(i int) {
-		results[i] = s.applyOp(specs[i])
+	s.runBatch(bctx, batch, len(specs), func(ictx context.Context, i int) {
+		results[i] = s.applyOp(ictx, specs[i])
 	}, func(i int, err error) {
 		results[i] = OpResult{Op: specs[i].Op, ID: specs[i].ID, Err: err, Error: err.Error()}
 	})
@@ -86,28 +94,28 @@ func (s *Service) ApplyBatch(ctx context.Context, specs []OpSpec) []OpResult {
 }
 
 // applyOp dispatches one batch item to the matching chip operation.
-func (s *Service) applyOp(spec OpSpec) OpResult {
+func (s *Service) applyOp(ctx context.Context, spec OpSpec) OpResult {
 	res := OpResult{Op: spec.Op, ID: spec.ID}
 	var err error
 	switch spec.Op {
 	case BatchOpStress:
 		var phase PhaseResponse
-		if phase, err = s.Stress(spec.ID, spec.PhaseRequest); err == nil {
+		if phase, err = s.Stress(ctx, spec.ID, spec.PhaseRequest); err == nil {
 			res.Phase = &phase
 		}
 	case BatchOpRejuvenate:
 		var phase PhaseResponse
-		if phase, err = s.Rejuvenate(spec.ID, spec.PhaseRequest); err == nil {
+		if phase, err = s.Rejuvenate(ctx, spec.ID, spec.PhaseRequest); err == nil {
 			res.Phase = &phase
 		}
 	case BatchOpMeasure:
 		var reading ReadingResponse
-		if reading, err = s.Measure(spec.ID); err == nil {
+		if reading, err = s.Measure(ctx, spec.ID); err == nil {
 			res.Reading = &reading
 		}
 	case BatchOpOdometer:
 		var odo OdometerResponse
-		if odo, err = s.Odometer(spec.ID); err == nil {
+		if odo, err = s.Odometer(ctx, spec.ID); err == nil {
 			res.Odometer = &odo
 		}
 	default:
@@ -121,10 +129,13 @@ func (s *Service) applyOp(spec OpSpec) OpResult {
 	return res
 }
 
-// runBatch fans n items out over the worker pool. run(i) executes item
-// i; skip(i, err) records an item that was never scheduled because ctx
+// runBatch fans n items out over the worker pool. run(ictx, i)
+// executes item i under a batch.item span (carried by ictx, so the
+// item's chip-lock/store/journal spans nest beneath it, labeled with
+// the worker that picked it up — the pool's scheduling made visible);
+// skip(i, err) records an item that was never scheduled because ctx
 // was cancelled first. Every index gets exactly one of the two calls.
-func (s *Service) runBatch(ctx context.Context, n int, run func(i int), skip func(i int, err error)) {
+func (s *Service) runBatch(ctx context.Context, batch *obs.Span, n int, run func(ictx context.Context, i int), skip func(i int, err error)) {
 	workers := s.workers
 	if workers > n {
 		workers = n
@@ -132,16 +143,20 @@ func (s *Service) runBatch(ctx context.Context, n int, run func(i int), skip fun
 	if workers < 1 {
 		return
 	}
+	batch.Annotate(obs.Int("workers", workers))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				run(i)
+				ictx, isp := obs.StartSpan(ctx, "batch.item",
+					obs.Int("index", i), obs.Int("worker", w))
+				run(ictx, i)
+				isp.End()
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < n; i++ {

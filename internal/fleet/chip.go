@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"selfheal"
+	"selfheal/internal/obs"
 )
 
 // ChipEntry is one registered chip plus its usage accounting. Each
@@ -29,6 +31,21 @@ type ChipEntry struct {
 	stressSeconds float64
 	healSeconds   float64
 	ops           uint64
+
+	// Most recent sensor read-outs, retained for the telemetry
+	// exposition (nil until the matching sensor has been read).
+	lastMeasure  *measureReading
+	lastOdometer *odometerReading
+}
+
+type measureReading struct {
+	delayNS        float64
+	degradationPct float64
+}
+
+type odometerReading struct {
+	beatHz         float64
+	degradationPPM float64
 }
 
 // newChipEntry fabricates the simulated die for a spec. Fabrication is
@@ -74,35 +91,61 @@ func (e *ChipEntry) Info() ChipResponse {
 func (e *ChipEntry) usage() ChipUsage {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return ChipUsage{
+	u := ChipUsage{
 		Kind:          e.kind,
 		StressSeconds: e.stressSeconds,
 		HealSeconds:   e.healSeconds,
 		Ops:           e.ops,
 	}
+	if m := e.lastMeasure; m != nil {
+		u.LastDelayNS = m.delayNS
+		pct := m.degradationPct
+		u.LastDegradationPct = &pct
+	}
+	if o := e.lastOdometer; o != nil {
+		u.LastBeatHz = o.beatHz
+		ppm := o.degradationPPM
+		u.LastDegradationPPM = &ppm
+	}
+	return u
+}
+
+// lock acquires the per-chip mutex, recording the wait as a chip.lock
+// span when ctx carries a trace — the contention a batch hammering one
+// chip shows up as, distinct from fsync or compute time.
+func (e *ChipEntry) lock(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "chip.lock", obs.String("chip_id", e.id))
+	e.mu.Lock()
+	sp.End()
 }
 
 // Stress ages the chip under its per-chip lock and commits the store
 // record before the lock is released. A commit failure is reported as
 // NotDurableError: the in-memory state has advanced (aging cannot be
 // rolled back) but the operation will not survive a restart.
-func (e *ChipEntry) Stress(req PhaseRequest, commit func() error) (PhaseResponse, error) {
+func (e *ChipEntry) Stress(ctx context.Context, req PhaseRequest, commit func() error) (PhaseResponse, error) {
 	cond := selfheal.StressCondition{TempC: req.TempC, Vdd: req.Vdd, AC: req.AC}
-	e.mu.Lock()
+	e.lock(ctx)
 	defer e.mu.Unlock()
 	if e.deleted {
 		return PhaseResponse{}, NotFoundError{ID: e.id}
 	}
+	_, sim := obs.StartSpan(ctx, "chip.stress", obs.String("chip_id", e.id))
 	resp := PhaseResponse{ID: e.id, Phase: "stress", Hours: req.Hours}
 	if e.bench != nil {
 		trace, err := e.bench.Stress(cond, req.Hours, req.SampleHours)
 		if err != nil {
+			sim.SetError(err)
+			sim.End()
 			return PhaseResponse{}, err
 		}
 		resp.Trace = NewTracePoints(trace)
 	} else if err := e.mon.Stress(cond, req.Hours); err != nil {
+		sim.SetError(err)
+		sim.End()
 		return PhaseResponse{}, err
 	}
+	sim.End()
 	e.stressSeconds += req.Hours * 3600
 	e.ops++
 	if commit != nil {
@@ -115,23 +158,29 @@ func (e *ChipEntry) Stress(req PhaseRequest, commit func() error) (PhaseResponse
 
 // Rejuvenate heals the chip under its per-chip lock; commit semantics
 // match Stress.
-func (e *ChipEntry) Rejuvenate(req PhaseRequest, commit func() error) (PhaseResponse, error) {
+func (e *ChipEntry) Rejuvenate(ctx context.Context, req PhaseRequest, commit func() error) (PhaseResponse, error) {
 	cond := selfheal.SleepCondition{TempC: req.TempC, Vdd: req.Vdd}
-	e.mu.Lock()
+	e.lock(ctx)
 	defer e.mu.Unlock()
 	if e.deleted {
 		return PhaseResponse{}, NotFoundError{ID: e.id}
 	}
+	_, sim := obs.StartSpan(ctx, "chip.rejuvenate", obs.String("chip_id", e.id))
 	resp := PhaseResponse{ID: e.id, Phase: "rejuvenate", Hours: req.Hours}
 	if e.bench != nil {
 		trace, err := e.bench.Rejuvenate(cond, req.Hours, req.SampleHours)
 		if err != nil {
+			sim.SetError(err)
+			sim.End()
 			return PhaseResponse{}, err
 		}
 		resp.Trace = NewTracePoints(trace)
 	} else if err := e.mon.Rejuvenate(cond, req.Hours); err != nil {
+		sim.SetError(err)
+		sim.End()
 		return PhaseResponse{}, err
 	}
+	sim.End()
 	e.healSeconds += req.Hours * 3600
 	e.ops++
 	if commit != nil {
@@ -145,8 +194,8 @@ func (e *ChipEntry) Rejuvenate(req PhaseRequest, commit func() error) (PhaseResp
 // Measure reads a bench chip's ring-oscillator sensor. The read is a
 // mutation in disguise — sampling ages the die and consumes noise
 // draws — so it commits through the store like the phase operations.
-func (e *ChipEntry) Measure(commit func() error) (ReadingResponse, error) {
-	e.mu.Lock()
+func (e *ChipEntry) Measure(ctx context.Context, commit func() error) (ReadingResponse, error) {
+	e.lock(ctx)
 	defer e.mu.Unlock()
 	if e.deleted {
 		return ReadingResponse{}, NotFoundError{ID: e.id}
@@ -155,11 +204,15 @@ func (e *ChipEntry) Measure(commit func() error) (ReadingResponse, error) {
 		return ReadingResponse{}, fmt.Errorf(
 			"fleet: chip %q is %q — use /odometer for its on-die sensor: %w", e.id, e.kind, ErrKindMismatch)
 	}
+	_, sim := obs.StartSpan(ctx, "chip.measure", obs.String("chip_id", e.id))
 	r, err := e.bench.Measure()
+	sim.SetError(err)
+	sim.End()
 	if err != nil {
 		return ReadingResponse{}, err
 	}
 	e.ops++
+	e.lastMeasure = &measureReading{delayNS: r.DelayNS, degradationPct: r.DegradationPct}
 	if commit != nil {
 		if err := commit(); err != nil {
 			return ReadingResponse{}, NotDurableError{Op: "measure", Err: err}
@@ -176,8 +229,8 @@ func (e *ChipEntry) Measure(commit func() error) (ReadingResponse, error) {
 
 // Odometer reads a monitored chip's differential aging sensor; commit
 // semantics match Measure.
-func (e *ChipEntry) Odometer(commit func() error) (OdometerResponse, error) {
-	e.mu.Lock()
+func (e *ChipEntry) Odometer(ctx context.Context, commit func() error) (OdometerResponse, error) {
+	e.lock(ctx)
 	defer e.mu.Unlock()
 	if e.deleted {
 		return OdometerResponse{}, NotFoundError{ID: e.id}
@@ -186,11 +239,15 @@ func (e *ChipEntry) Odometer(commit func() error) (OdometerResponse, error) {
 		return OdometerResponse{}, fmt.Errorf(
 			"fleet: chip %q is %q — use /measure for its bench read-out: %w", e.id, e.kind, ErrKindMismatch)
 	}
+	_, sim := obs.StartSpan(ctx, "chip.odometer", obs.String("chip_id", e.id))
 	r, err := e.mon.Read()
+	sim.SetError(err)
+	sim.End()
 	if err != nil {
 		return OdometerResponse{}, err
 	}
 	e.ops++
+	e.lastOdometer = &odometerReading{beatHz: r.BeatHz, degradationPPM: r.DegradationPPM}
 	if commit != nil {
 		if err := commit(); err != nil {
 			return OdometerResponse{}, NotDurableError{Op: "odometer", Err: err}

@@ -50,12 +50,21 @@ type ChipResponse struct {
 }
 
 // ChipUsage is a snapshot of one chip's accumulated history, exported
-// under /metrics.
+// under /metrics. The Last* fields retain the most recent sensor
+// read-out — the software analog of the paper's ring-oscillator
+// telemetry — and are nil/zero until the matching sensor has been
+// read (bench chips report delay/degradation-%, monitored chips
+// beat-frequency/degradation-ppm).
 type ChipUsage struct {
 	Kind          string  `json:"kind"`
 	StressSeconds float64 `json:"stress_seconds"`
 	HealSeconds   float64 `json:"heal_seconds"`
 	Ops           uint64  `json:"ops"`
+
+	LastDelayNS        float64  `json:"last_delay_ns,omitempty"`
+	LastDegradationPct *float64 `json:"last_degradation_pct,omitempty"`
+	LastBeatHz         float64  `json:"last_beat_hz,omitempty"`
+	LastDegradationPPM *float64 `json:"last_degradation_ppm,omitempty"`
 }
 
 // PhaseRequest drives a stress or rejuvenation phase. TempC/Vdd name

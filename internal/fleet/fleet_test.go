@@ -22,41 +22,41 @@ func newTestService(t *testing.T, opts ...Option) *Service {
 
 func TestLifecycle(t *testing.T) {
 	s := newTestService(t)
-	chip, err := s.Create(CreateSpec{ID: "c0", Seed: 7})
+	chip, err := s.Create(context.Background(), CreateSpec{ID: "c0", Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if chip.ID != "c0" || chip.Kind != KindBench || chip.FreshDelayNS <= 0 {
 		t.Fatalf("create = %+v", chip)
 	}
-	if _, err := s.Create(CreateSpec{ID: "c0", Seed: 7}); !errors.As(err, &DuplicateError{}) {
+	if _, err := s.Create(context.Background(), CreateSpec{ID: "c0", Seed: 7}); !errors.As(err, &DuplicateError{}) {
 		t.Fatalf("duplicate create error = %v", err)
 	}
-	if _, err := s.Create(CreateSpec{ID: "m0", Seed: 3, Kind: KindMonitored}); err != nil {
+	if _, err := s.Create(context.Background(), CreateSpec{ID: "m0", Seed: 3, Kind: KindMonitored}); err != nil {
 		t.Fatal(err)
 	}
 
-	if _, err := s.Stress("c0", PhaseRequest{TempC: 110, Vdd: 1.32, AC: true, Hours: 24}); err != nil {
+	if _, err := s.Stress(context.Background(), "c0", PhaseRequest{TempC: 110, Vdd: 1.32, AC: true, Hours: 24}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Rejuvenate("c0", PhaseRequest{TempC: 110, Vdd: -0.3, Hours: 6}); err != nil {
+	if _, err := s.Rejuvenate(context.Background(), "c0", PhaseRequest{TempC: 110, Vdd: -0.3, Hours: 6}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Measure("c0"); err != nil {
+	if _, err := s.Measure(context.Background(), "c0"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Odometer("m0"); err != nil {
+	if _, err := s.Odometer(context.Background(), "m0"); err != nil {
 		t.Fatal(err)
 	}
 	// Sensor reads against the wrong kind are kind mismatches.
-	if _, err := s.Measure("m0"); !errors.Is(err, ErrKindMismatch) {
+	if _, err := s.Measure(context.Background(), "m0"); !errors.Is(err, ErrKindMismatch) {
 		t.Fatalf("measure on monitored = %v", err)
 	}
-	if _, err := s.Odometer("c0"); !errors.Is(err, ErrKindMismatch) {
+	if _, err := s.Odometer(context.Background(), "c0"); !errors.Is(err, ErrKindMismatch) {
 		t.Fatalf("odometer on bench = %v", err)
 	}
 	// Missing chips are NotFoundError everywhere.
-	if _, err := s.Stress("ghost", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); !errors.As(err, &NotFoundError{}) {
+	if _, err := s.Stress(context.Background(), "ghost", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); !errors.As(err, &NotFoundError{}) {
 		t.Fatalf("stress on ghost = %v", err)
 	}
 
@@ -69,11 +69,11 @@ func TestLifecycle(t *testing.T) {
 		t.Fatalf("usage[c0] = %+v", u)
 	}
 
-	existed, err := s.Delete("c0")
+	existed, err := s.Delete(context.Background(), "c0")
 	if err != nil || !existed {
 		t.Fatalf("delete = %v, %v", existed, err)
 	}
-	if existed, _ := s.Delete("c0"); existed {
+	if existed, _ := s.Delete(context.Background(), "c0"); existed {
 		t.Fatal("second delete reported the chip existed")
 	}
 	if s.Len() != 1 {
@@ -90,8 +90,8 @@ type hookStore struct {
 	commit func(store.Record) error
 }
 
-func (h *hookStore) Commit(rec store.Record) error { return h.commit(rec) }
-func (h *hookStore) Durable() bool                 { return true }
+func (h *hookStore) Commit(_ context.Context, rec store.Record) error { return h.commit(rec) }
+func (h *hookStore) Durable() bool                                    { return true }
 
 // TestCreateRollbackVisibleToWaiters pins the create-rollback race: a
 // request that looks the entry up while the create's commit is in
@@ -128,11 +128,11 @@ func TestCreateRollbackVisibleToWaiters(t *testing.T) {
 		}
 		close(waiterReady)
 		// Blocks on the chip lock until Create's rollback releases it.
-		_, err := e.Stress(PhaseRequest{TempC: 100, Vdd: 0.9, Hours: 1}, nil)
+		_, err := e.Stress(context.Background(), PhaseRequest{TempC: 100, Vdd: 0.9, Hours: 1}, nil)
 		waiterErr <- err
 	}()
 
-	_, err = s.Create(CreateSpec{ID: "c0", Seed: 1, Kind: KindBench})
+	_, err = s.Create(context.Background(), CreateSpec{ID: "c0", Seed: 1, Kind: KindBench})
 	if !errors.As(err, &NotDurableError{}) {
 		t.Fatalf("Create error = %v, want NotDurableError", err)
 	}
@@ -176,15 +176,15 @@ func TestFleetShardCollisionHammer(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				switch i % 5 {
 				case 0:
-					s.Create(CreateSpec{ID: id, Seed: uint64(w + 1)})
+					s.Create(context.Background(), CreateSpec{ID: id, Seed: uint64(w + 1)})
 				case 1:
-					s.Stress(id, PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 0.1})
+					s.Stress(context.Background(), id, PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 0.1})
 				case 2:
-					s.Measure(id)
+					s.Measure(context.Background(), id)
 				case 3:
 					s.Usage() // visitor takes chip locks under ForEach
 				case 4:
-					s.Delete(id)
+					s.Delete(context.Background(), id)
 				}
 			}
 		}(w)
@@ -194,7 +194,7 @@ func TestFleetShardCollisionHammer(t *testing.T) {
 
 func TestCreateBatchPartialFailure(t *testing.T) {
 	s := newTestService(t, WithBatchWorkers(4))
-	if _, err := s.Create(CreateSpec{ID: "taken", Seed: 1}); err != nil {
+	if _, err := s.Create(context.Background(), CreateSpec{ID: "taken", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	specs := []CreateSpec{
@@ -232,10 +232,10 @@ func TestCreateBatchPartialFailure(t *testing.T) {
 
 func TestApplyBatchMixedOps(t *testing.T) {
 	s := newTestService(t)
-	if _, err := s.Create(CreateSpec{ID: "c0", Seed: 7}); err != nil {
+	if _, err := s.Create(context.Background(), CreateSpec{ID: "c0", Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Create(CreateSpec{ID: "m0", Seed: 3, Kind: KindMonitored}); err != nil {
+	if _, err := s.Create(context.Background(), CreateSpec{ID: "m0", Seed: 3, Kind: KindMonitored}); err != nil {
 		t.Fatal(err)
 	}
 	ops := []OpSpec{
@@ -278,13 +278,13 @@ func TestApplyBatchDeterministicPerChip(t *testing.T) {
 	sequential := newTestService(t)
 	batched := newTestService(t, WithBatchWorkers(8))
 	for _, s := range []*Service{sequential, batched} {
-		if _, err := s.Create(CreateSpec{ID: "c0", Seed: 7}); err != nil {
+		if _, err := s.Create(context.Background(), CreateSpec{ID: "c0", Seed: 7}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	phase := PhaseRequest{TempC: 110, Vdd: 1.32, Hours: 5}
 	for i := 0; i < 4; i++ {
-		if _, err := sequential.Stress("c0", phase); err != nil {
+		if _, err := sequential.Stress(context.Background(), "c0", phase); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -297,11 +297,11 @@ func TestApplyBatchDeterministicPerChip(t *testing.T) {
 			t.Fatalf("batch item failed: %+v", res)
 		}
 	}
-	want, err := sequential.Measure("c0")
+	want, err := sequential.Measure(context.Background(), "c0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := batched.Measure("c0")
+	got, err := batched.Measure(context.Background(), "c0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,13 +351,13 @@ func TestDurableReplayRoundTrip(t *testing.T) {
 	}
 
 	s1 := open()
-	if _, err := s1.Create(CreateSpec{ID: "c0", Seed: 7}); err != nil {
+	if _, err := s1.Create(context.Background(), CreateSpec{ID: "c0", Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.Stress("c0", PhaseRequest{TempC: 110, Vdd: 1.32, AC: true, Hours: 24}); err != nil {
+	if _, err := s1.Stress(context.Background(), "c0", PhaseRequest{TempC: 110, Vdd: 1.32, AC: true, Hours: 24}); err != nil {
 		t.Fatal(err)
 	}
-	want, err := s1.Measure("c0")
+	want, err := s1.Measure(context.Background(), "c0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +372,7 @@ func TestDurableReplayRoundTrip(t *testing.T) {
 	if n := s2.ReplayedRecords(); n != 2 {
 		t.Fatalf("replayed %d records, want 2", n)
 	}
-	got, err := s2.Measure("c0")
+	got, err := s2.Measure(context.Background(), "c0")
 	if err != nil {
 		t.Fatal(err)
 	}

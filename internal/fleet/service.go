@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 
+	"selfheal/internal/obs"
 	"selfheal/internal/store"
 )
 
@@ -78,9 +80,9 @@ func (s *Service) applyRecord(rec store.Record) error {
 		}
 		var err error
 		if rec.Op == store.OpStress {
-			_, err = entry.Stress(phase, nil)
+			_, err = entry.Stress(context.Background(), phase, nil)
 		} else {
-			_, err = entry.Rejuvenate(phase, nil)
+			_, err = entry.Rejuvenate(context.Background(), phase, nil)
 		}
 		return err
 	case store.OpMeasure, store.OpOdometer:
@@ -92,13 +94,13 @@ func (s *Service) applyRecord(rec store.Record) error {
 		}
 		var err error
 		if rec.Op == store.OpMeasure {
-			_, err = entry.Measure(nil)
+			_, err = entry.Measure(context.Background(), nil)
 		} else {
-			_, err = entry.Odometer(nil)
+			_, err = entry.Odometer(context.Background(), nil)
 		}
 		return err
 	case store.OpDelete:
-		_, err := s.delete(rec.ID, nil)
+		_, err := s.delete(context.Background(), rec.ID, nil)
 		return err
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
@@ -107,12 +109,24 @@ func (s *Service) applyRecord(rec store.Record) error {
 
 // commit returns the store-commit callback for one operation, or nil
 // when the store provides no durability — the entry methods then skip
-// the call entirely, matching the replay path.
-func (s *Service) commit(rec store.Record) func() error {
+// the call entirely, matching the replay path. The captured context
+// carries the request's trace into the journal's stage/commit spans;
+// it does not cancel the commit.
+func (s *Service) commit(ctx context.Context, rec store.Record) func() error {
 	if !s.st.Durable() {
 		return nil
 	}
-	return func() error { return s.st.Commit(rec) }
+	return func() error { return s.st.Commit(ctx, rec) }
+}
+
+// lookup finds a chip, timing the sharded-store access as a
+// store.lookup span when ctx carries a trace.
+func (s *Service) lookup(ctx context.Context, id string) (*ChipEntry, bool) {
+	_, sp := obs.StartSpan(ctx, "store.lookup",
+		obs.String("chip_id", id), obs.Int("shard", store.ShardOf(id)))
+	e, ok := s.st.Lookup(id)
+	sp.End()
+	return e, ok
 }
 
 // Create fabricates a chip and registers it. The (expensive,
@@ -122,20 +136,28 @@ func (s *Service) commit(rec store.Record) func() error {
 // lands, so no stress/delete on the chip can be persisted ahead of its
 // create record; a failed commit rolls the registration back, making a
 // retried create safe.
-func (s *Service) Create(spec CreateSpec) (ChipResponse, error) {
+func (s *Service) Create(ctx context.Context, spec CreateSpec) (ChipResponse, error) {
 	if spec.Kind == "" {
 		spec.Kind = KindBench
 	}
+	_, fab := obs.StartSpan(ctx, "chip.fabricate",
+		obs.String("chip_id", spec.ID), obs.String("kind", spec.Kind))
 	entry, err := newChipEntry(spec)
+	fab.SetError(err)
+	fab.End()
 	if err != nil {
 		return ChipResponse{}, err
 	}
-	commit := s.commit(store.Record{
+	commit := s.commit(ctx, store.Record{
 		Op: store.OpCreate, ID: spec.ID, Seed: spec.Seed, Kind: spec.Kind,
 	})
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
-	if !s.st.Insert(spec.ID, entry) {
+	_, ins := obs.StartSpan(ctx, "store.insert",
+		obs.String("chip_id", spec.ID), obs.Int("shard", store.ShardOf(spec.ID)))
+	ok := s.st.Insert(spec.ID, entry)
+	ins.End()
+	if !ok {
 		return ChipResponse{}, DuplicateError{ID: spec.ID}
 	}
 	if commit != nil {
@@ -159,16 +181,16 @@ func (s *Service) Create(spec CreateSpec) (ChipResponse, error) {
 // therefore precedes the delete record), commits, and removes it from
 // the store. The first return reports whether the chip existed; a
 // failed commit rolls the mark back so the delete can be retried.
-func (s *Service) Delete(id string) (bool, error) {
-	return s.delete(id, s.commit(store.Record{Op: store.OpDelete, ID: id}))
+func (s *Service) Delete(ctx context.Context, id string) (bool, error) {
+	return s.delete(ctx, id, s.commit(ctx, store.Record{Op: store.OpDelete, ID: id}))
 }
 
-func (s *Service) delete(id string, commit func() error) (bool, error) {
-	e, ok := s.st.Lookup(id)
+func (s *Service) delete(ctx context.Context, id string, commit func() error) (bool, error) {
+	e, ok := s.lookup(ctx, id)
 	if !ok {
 		return false, nil
 	}
-	e.mu.Lock()
+	e.lock(ctx)
 	defer e.mu.Unlock()
 	if e.deleted {
 		return false, nil
@@ -188,12 +210,12 @@ func (s *Service) delete(id string, commit func() error) (bool, error) {
 func (s *Service) Get(id string) (*ChipEntry, bool) { return s.st.Lookup(id) }
 
 // Stress ages a chip; see ChipEntry.Stress for the commit semantics.
-func (s *Service) Stress(id string, req PhaseRequest) (PhaseResponse, error) {
-	entry, ok := s.st.Lookup(id)
+func (s *Service) Stress(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	entry, ok := s.lookup(ctx, id)
 	if !ok {
 		return PhaseResponse{}, NotFoundError{ID: id}
 	}
-	return entry.Stress(req, s.commit(store.Record{
+	return entry.Stress(ctx, req, s.commit(ctx, store.Record{
 		Op: store.OpStress, ID: id,
 		TempC: req.TempC, Vdd: req.Vdd, AC: req.AC,
 		Hours: req.Hours, SampleHours: req.SampleHours,
@@ -201,12 +223,12 @@ func (s *Service) Stress(id string, req PhaseRequest) (PhaseResponse, error) {
 }
 
 // Rejuvenate heals a chip; commit semantics match Stress.
-func (s *Service) Rejuvenate(id string, req PhaseRequest) (PhaseResponse, error) {
-	entry, ok := s.st.Lookup(id)
+func (s *Service) Rejuvenate(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	entry, ok := s.lookup(ctx, id)
 	if !ok {
 		return PhaseResponse{}, NotFoundError{ID: id}
 	}
-	return entry.Rejuvenate(req, s.commit(store.Record{
+	return entry.Rejuvenate(ctx, req, s.commit(ctx, store.Record{
 		Op: store.OpRejuvenate, ID: id,
 		TempC: req.TempC, Vdd: req.Vdd,
 		Hours: req.Hours, SampleHours: req.SampleHours,
@@ -214,21 +236,21 @@ func (s *Service) Rejuvenate(id string, req PhaseRequest) (PhaseResponse, error)
 }
 
 // Measure reads a bench chip's ring-oscillator sensor.
-func (s *Service) Measure(id string) (ReadingResponse, error) {
-	entry, ok := s.st.Lookup(id)
+func (s *Service) Measure(ctx context.Context, id string) (ReadingResponse, error) {
+	entry, ok := s.lookup(ctx, id)
 	if !ok {
 		return ReadingResponse{}, NotFoundError{ID: id}
 	}
-	return entry.Measure(s.commit(store.Record{Op: store.OpMeasure, ID: id}))
+	return entry.Measure(ctx, s.commit(ctx, store.Record{Op: store.OpMeasure, ID: id}))
 }
 
 // Odometer reads a monitored chip's differential aging sensor.
-func (s *Service) Odometer(id string) (OdometerResponse, error) {
-	entry, ok := s.st.Lookup(id)
+func (s *Service) Odometer(ctx context.Context, id string) (OdometerResponse, error) {
+	entry, ok := s.lookup(ctx, id)
 	if !ok {
 		return OdometerResponse{}, NotFoundError{ID: id}
 	}
-	return entry.Odometer(s.commit(store.Record{Op: store.OpOdometer, ID: id}))
+	return entry.Odometer(ctx, s.commit(ctx, store.Record{Op: store.OpOdometer, ID: id}))
 }
 
 // List returns every chip's ChipResponse sorted by id.

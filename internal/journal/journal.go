@@ -43,6 +43,7 @@ package journal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +54,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"selfheal/internal/obs"
 )
 
 // Op enumerates the journaled operations.
@@ -534,12 +537,20 @@ func (j *Journal) Records() []Record {
 // any partial write, so the log never accumulates garbage between
 // records. Concurrent appends share one fsync. A journal whose repair
 // failed refuses further appends rather than corrupt the history.
-func (j *Journal) Append(rec Record) error {
+//
+// When ctx carries a trace, Append records a journal.stage span (the
+// serialized line write) and a journal.commit span showing whether
+// this appender led the group commit or rode another leader's fsync.
+func (j *Journal) Append(ctx context.Context, rec Record) error {
+	_, sp := obs.StartSpan(ctx, "journal.stage",
+		obs.String("op", string(rec.Op)), obs.String("chip_id", rec.ID))
 	p, err := j.stage(rec)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	return j.awaitCommit(p)
+	return j.awaitCommit(ctx, p)
 }
 
 // stage serializes the record write: it reserves the sequence number,
@@ -586,10 +597,16 @@ func (j *Journal) stage(rec Record) (*pendingAppend, error) {
 
 // awaitCommit resolves one staged append: either an earlier appender's
 // group commit already covered it, or this appender becomes the leader
-// and commits every record staged so far.
-func (j *Journal) awaitCommit(p *pendingAppend) error {
+// and commits every record staged so far. The journal.commit span makes
+// the group-commit roles visible: leader=true spans carry the batch
+// size and fsync duration; leader=false spans measure only the wait.
+func (j *Journal) awaitCommit(ctx context.Context, p *pendingAppend) error {
+	_, sp := obs.StartSpan(ctx, "journal.commit")
+	defer sp.End()
 	select {
 	case err := <-p.done:
+		sp.Annotate(obs.Bool("leader", false))
+		sp.SetError(err)
 		return err
 	default:
 	}
@@ -597,28 +614,34 @@ func (j *Journal) awaitCommit(p *pendingAppend) error {
 	select {
 	case err := <-p.done: // the previous leader's group covered us
 		j.groupMu.Unlock()
+		sp.Annotate(obs.Bool("leader", false))
+		sp.SetError(err)
 		return err
 	default:
 	}
-	j.commitGroup()
+	n, fsync := j.commitGroup()
 	j.groupMu.Unlock()
+	sp.Annotate(obs.Bool("leader", true), obs.Int("batch_size", n), obs.Duration("fsync", fsync))
 	// commitGroup drained the pending set we are in, so done is resolved.
-	return <-p.done
+	err := <-p.done
+	sp.SetError(err)
+	return err
 }
 
 // commitGroup fsyncs every staged record in one shot. On success the
 // batch becomes durable and is absorbed into the live history; on
 // failure the log is truncated back to the durable prefix — failing,
 // alongside the batch, any append staged while the fsync was in
-// flight, since its bytes sit past the truncation point.
-func (j *Journal) commitGroup() {
+// flight, since its bytes sit past the truncation point. It reports
+// the batch size and fsync duration for the leader's trace span.
+func (j *Journal) commitGroup() (int, time.Duration) {
 	j.mu.Lock()
 	batch := j.pending
 	j.pending = nil
 	end := j.size
 	if len(batch) == 0 {
 		j.mu.Unlock()
-		return
+		return 0, 0
 	}
 	// Block compaction until the batch is absorbed: its bytes live only
 	// in the log, and compaction truncates the log.
@@ -678,6 +701,7 @@ func (j *Journal) commitGroup() {
 	for _, p := range batch {
 		p.done <- serr
 	}
+	return len(batch), elapsed
 }
 
 // doSync runs the fault seam, then fsyncs the log file.

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func mustAppend(t *testing.T, j *Journal, rec Record) {
 	t.Helper()
-	if err := j.Append(rec); err != nil {
+	if err := j.Append(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -231,7 +232,7 @@ func TestHookPartialWriteRepaired(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
-	if err := j.Append(Record{Op: OpStress, ID: "c0", Vdd: 1.2, Hours: 1}); err == nil {
+	if err := j.Append(context.Background(), Record{Op: OpStress, ID: "c0", Vdd: 1.2, Hours: 1}); err == nil {
 		t.Fatal("torn append reported success")
 	}
 	// The half record must have been truncated away: the next append
@@ -478,7 +479,7 @@ func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = j.Append(Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: float64(i + 1)})
+			errs[i] = j.Append(context.Background(), Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: float64(i + 1)})
 		}(i)
 	}
 	wg.Wait()
@@ -539,7 +540,7 @@ func TestFsyncFailureFailsBatchAndProbeRecovers(t *testing.T) {
 	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
 
 	failing.Store(true)
-	if err := j.Append(Record{Op: OpStress, ID: "c0", Vdd: 1.2, Hours: 1}); err == nil {
+	if err := j.Append(context.Background(), Record{Op: OpStress, ID: "c0", Vdd: 1.2, Hours: 1}); err == nil {
 		t.Fatal("append acknowledged despite failed fsync")
 	}
 	if err := j.Probe(); err == nil {
@@ -609,7 +610,7 @@ func BenchmarkAppendGroupCommit(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if err := j.Append(Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
+			if err := j.Append(context.Background(), Record{Op: OpStress, ID: "c0", TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

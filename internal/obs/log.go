@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the service's structured logger: level-filtered,
+// "text" (logfmt-ish, the default) or "json" (one object per line, the
+// machine-scrapable form), with trace ids injected from the context of
+// every ctx-aware log call (see WithTraceIDs).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(WithTraceIDs(h)), nil
+}
+
+// WithTraceIDs wraps a slog.Handler so every record logged through a
+// context that carries a trace (slog's ...Context methods, LogAttrs)
+// gains a trace_id attribute — the join key between the request log
+// and GET /debug/traces. Records logged without a traced context pass
+// through untouched.
+func WithTraceIDs(h slog.Handler) slog.Handler {
+	if _, ok := h.(traceHandler); ok {
+		return h // already wrapped; don't stack trace_id attrs
+	}
+	return traceHandler{h}
+}
+
+type traceHandler struct{ inner slog.Handler }
+
+func (t traceHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return t.inner.Enabled(ctx, lvl)
+}
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r = r.Clone()
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return t.inner.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{t.inner.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{t.inner.WithGroup(name)}
+}

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndSnapshot(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "POST /v1/ops:batch")
+	if got := TraceIDFrom(ctx); got == "" {
+		t.Fatal("TraceIDFrom returned empty inside a trace")
+	}
+
+	bctx, batch := StartSpan(ctx, "fleet.batch", Int("items", 2))
+	_, item := StartSpan(bctx, "batch.item", Int("index", 0))
+	item.Annotate(String("chip_id", "c0"))
+	item.End()
+	batch.End()
+	root.SetStatus(200)
+	root.End()
+
+	views := tr.Snapshot(Filter{})
+	if len(views) != 1 {
+		t.Fatalf("Snapshot returned %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.Route != "POST /v1/ops:batch" || v.Status != 200 || v.Error {
+		t.Fatalf("unexpected trace view: %+v", v)
+	}
+	if len(v.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(v.Spans), v.Spans)
+	}
+	byName := map[string]SpanView{}
+	for _, s := range v.Spans {
+		byName[s.Name] = s
+	}
+	rootV := byName["POST /v1/ops:batch"]
+	batchV := byName["fleet.batch"]
+	itemV := byName["batch.item"]
+	if rootV.Parent != "" {
+		t.Fatalf("root span has parent %q", rootV.Parent)
+	}
+	if batchV.Parent != rootV.ID {
+		t.Fatalf("fleet.batch parent = %q, want %q", batchV.Parent, rootV.ID)
+	}
+	if itemV.Parent != batchV.ID {
+		t.Fatalf("batch.item parent = %q, want %q", itemV.Parent, batchV.ID)
+	}
+	if itemV.Attrs["chip_id"] != "c0" || itemV.Attrs["index"] != "0" {
+		t.Fatalf("batch.item attrs = %v", itemV.Attrs)
+	}
+	if itemV.Unfinished || batchV.Unfinished || rootV.Unfinished {
+		t.Fatalf("all spans ended but some marked unfinished: %+v", v.Spans)
+	}
+}
+
+func TestStartSpanWithoutTraceIsNop(t *testing.T) {
+	ctx := context.Background()
+	c2, sp := StartSpan(ctx, "anything", String("k", "v"))
+	if sp != nil {
+		t.Fatal("StartSpan outside a trace returned a non-nil span")
+	}
+	if c2 != ctx {
+		t.Fatal("StartSpan outside a trace changed the context")
+	}
+	// Every method must be nil-safe.
+	sp.Annotate(String("a", "b"))
+	sp.SetError(errors.New("x"))
+	sp.SetStatus(500)
+	sp.End()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("TraceIDFrom outside a trace = %q, want empty", got)
+	}
+}
+
+func TestSpanCapCountsDrops(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "GET /x")
+	for i := 0; i < MaxSpansPerTrace+10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	root.End()
+	v := tr.Snapshot(Filter{})[0]
+	if len(v.Spans) != MaxSpansPerTrace {
+		t.Fatalf("retained %d spans, want %d", len(v.Spans), MaxSpansPerTrace)
+	}
+	if v.SpansDropped != 11 { // 10 over cap + the one that hit the cap exactly
+		t.Fatalf("SpansDropped = %d, want 11", v.SpansDropped)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(8) // one slot per shard
+	for i := 0; i < 100; i++ {
+		_, root := tr.Start(context.Background(), "GET /x")
+		root.End()
+	}
+	if tr.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", tr.Total())
+	}
+	views := tr.Snapshot(Filter{Limit: 1000})
+	if len(views) != tr.Capacity() {
+		t.Fatalf("retained %d traces, want capacity %d", len(views), tr.Capacity())
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := NewTracer(32)
+
+	_, a := tr.Start(context.Background(), "GET /a")
+	a.SetStatus(200)
+	a.End()
+
+	_, b := tr.Start(context.Background(), "GET /b")
+	b.SetStatus(500)
+	b.End()
+
+	ctx, c := tr.Start(context.Background(), "GET /a")
+	_, child := StartSpan(ctx, "journal.commit")
+	child.SetError(errors.New("fsync: injected"))
+	child.End()
+	c.SetStatus(503)
+	c.End()
+
+	if got := tr.Snapshot(Filter{Route: "GET /a"}); len(got) != 2 {
+		t.Fatalf("route filter returned %d, want 2", len(got))
+	}
+	errs := tr.Snapshot(Filter{ErrorsOnly: true})
+	if len(errs) != 2 {
+		t.Fatalf("errors filter returned %d, want 2", len(errs))
+	}
+	for _, v := range errs {
+		if !v.Error {
+			t.Fatalf("errors-only snapshot contains non-error trace %+v", v)
+		}
+	}
+	both := tr.Snapshot(Filter{Route: "GET /a", ErrorsOnly: true})
+	if len(both) != 1 || both[0].Status != 503 {
+		t.Fatalf("combined filter = %+v, want the one failing GET /a", both)
+	}
+	// The failing trace carries the failing span's message.
+	var found bool
+	for _, s := range both[0].Spans {
+		if s.Name == "journal.commit" && strings.Contains(s.Error, "injected") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failing span not in view: %+v", both[0].Spans)
+	}
+
+	if got := tr.Snapshot(Filter{MinDuration: time.Hour}); len(got) != 0 {
+		t.Fatalf("min-duration filter returned %d, want 0", len(got))
+	}
+	if got := tr.Snapshot(Filter{Limit: 1}); len(got) != 1 {
+		t.Fatalf("limit filter returned %d, want 1", len(got))
+	}
+}
+
+func TestUnfinishedSpanVisible(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "GET /slow")
+	_, straggler := StartSpan(ctx, "slow.child")
+	root.End() // request finished; child still running (post-timeout work)
+
+	v := tr.Snapshot(Filter{})[0]
+	var sv SpanView
+	for _, s := range v.Spans {
+		if s.Name == "slow.child" {
+			sv = s
+		}
+	}
+	if !sv.Unfinished {
+		t.Fatalf("open span not marked unfinished: %+v", sv)
+	}
+	straggler.End()
+	v = tr.Snapshot(Filter{})[0]
+	for _, s := range v.Spans {
+		if s.Name == "slow.child" && s.Unfinished {
+			t.Fatalf("ended straggler still unfinished: %+v", s)
+		}
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	// Hammer trace creation, span churn and snapshots concurrently; the
+	// -race build is the assertion.
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), fmt.Sprintf("GET /w%d", w%2))
+				c2, sp := StartSpan(ctx, "child", Int("i", i))
+				sp.Annotate(String("k", "v"))
+				if i%3 == 0 {
+					sp.SetError(errors.New("boom"))
+				}
+				_, g := StartSpan(c2, "grandchild")
+				g.End()
+				sp.End()
+				root.SetStatus(200)
+				root.End()
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Snapshot(Filter{ErrorsOnly: i%2 == 0, Limit: 50})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*200 {
+		t.Fatalf("Total = %d, want %d", tr.Total(), 8*200)
+	}
+}
+
+func TestPromWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("selfheal_requests_total", "Total requests.", "counter")
+	p.Sample("selfheal_requests_total", []Label{{"route", `GET /v1/chips`}, {"status", "200"}}, 42)
+	p.Header("selfheal_request_duration_seconds", "Latency.", "histogram")
+	p.Sample("selfheal_request_duration_seconds_bucket", []Label{{"le", "+Inf"}}, 7)
+	p.Sample("selfheal_weird", []Label{{"v", "a\\b\"c\nd"}}, 0.5)
+	if err := p.Err(); err != nil {
+		t.Fatalf("PromWriter error: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP selfheal_requests_total Total requests.\n",
+		"# TYPE selfheal_requests_total counter\n",
+		`selfheal_requests_total{route="GET /v1/chips",status="200"} 42` + "\n",
+		"# TYPE selfheal_request_duration_seconds histogram\n",
+		`selfheal_request_duration_seconds_bucket{le="+Inf"} 7` + "\n",
+		`selfheal_weird{v="a\\b\"c\nd"} 0.5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be name[{labels}] value — a cheap
+	// structural validation of the exposition format.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+	}
+}
+
+func TestFormatPromValue(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.025:        "0.025",
+		3:            "3",
+	}
+	for in, want := range cases {
+		if got := FormatPromValue(in); got != want {
+			t.Fatalf("FormatPromValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatPromValue(math.NaN()); got != "NaN" {
+		t.Fatalf("FormatPromValue(NaN) = %q", got)
+	}
+}
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	WriteRuntimeMetrics(p)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"go_goroutines ", "go_memstats_heap_alloc_bytes ", "go_gc_pause_seconds_total "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerTraceIDInjection(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "GET /x")
+	logger.InfoContext(ctx, "inside", slog.String("chip_id", "c0"))
+	logger.Info("outside")
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var inside, outside map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &inside); err != nil {
+		t.Fatalf("bad json log line %q: %v", lines[0], err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &outside); err != nil {
+		t.Fatalf("bad json log line %q: %v", lines[1], err)
+	}
+	if inside["trace_id"] != TraceIDFrom(ctx) {
+		t.Fatalf("trace_id = %v, want %q", inside["trace_id"], TraceIDFrom(ctx))
+	}
+	if inside["chip_id"] != "c0" {
+		t.Fatalf("chip_id attr lost: %v", inside)
+	}
+	if _, ok := outside["trace_id"]; ok {
+		t.Fatalf("untraced log line gained a trace_id: %v", outside)
+	}
+}
+
+func TestLoggerTextFormatAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering wrong:\n%s", out)
+	}
+	if _, err := NewLogger(&buf, slog.LevelInfo, "yaml"); err == nil {
+		t.Fatal("NewLogger accepted bogus format")
+	}
+}
+
+func TestWithTraceIDsIdempotentAndGrouped(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.NewJSONHandler(&buf, nil)
+	h := WithTraceIDs(WithTraceIDs(base)) // double wrap must not stack
+	logger := slog.New(h).With(slog.String("svc", "selfheal")).WithGroup("g")
+
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "GET /x")
+	logger.InfoContext(ctx, "m", slog.String("k", "v"))
+	root.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("bad log json: %v\n%s", err, buf.String())
+	}
+	if rec["svc"] != "selfheal" {
+		t.Fatalf("WithAttrs lost through wrapper: %v", rec)
+	}
+	g, _ := rec["g"].(map[string]any)
+	if g == nil || g["k"] != "v" {
+		t.Fatalf("WithGroup lost through wrapper: %v", rec)
+	}
+	// trace_id must appear exactly once (inside the open group is where
+	// slog puts record attrs; either placement is fine, but not both).
+	n := strings.Count(buf.String(), "trace_id")
+	if n != 1 {
+		t.Fatalf("trace_id appears %d times, want 1:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the diagnostics mux cmd/selfheal-serve mounts
+// on the -debug-addr listener: the standard pprof endpoints under
+// /debug/pprof/ plus the trace ring under /debug/traces. It is a
+// separate handler (not part of routes) so profiling stays off the
+// service port unless the operator opts in — pprof exposes heap
+// contents and must never face the public edge.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	return mux
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -56,8 +57,11 @@ func (g *gate) status() (degraded bool, reason string) {
 }
 
 // trip enters degraded mode (idempotently — every failed commit calls
-// it) and starts the recovery probe for the episode.
-func (g *gate) trip(err error) {
+// it) and starts the recovery probe for the episode. ctx is the
+// request that hit the failure, so the episode-entry log line carries
+// its trace_id — the join key to the failing fsync span under
+// GET /debug/traces.
+func (g *gate) trip(ctx context.Context, err error) {
 	if g == nil {
 		return
 	}
@@ -73,7 +77,7 @@ func (g *gate) trip(err error) {
 	go g.probeLoop()
 	g.mu.Unlock()
 	g.enters.Add(1)
-	g.log.Warn("store commit failed; entering degraded read-only mode",
+	g.log.WarnContext(ctx, "store commit failed; entering degraded read-only mode",
 		"err", err, "first_probe_in", g.base)
 }
 

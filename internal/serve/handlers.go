@@ -74,7 +74,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusServiceUnavailable
 		code = CodeDegraded
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		s.gate.trip(err)
+		s.gate.trip(r.Context(), err)
 	case errors.Is(err, faults.ErrInjected):
 		status = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -106,17 +106,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", WriteReady: true})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate))
-}
-
 func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
 	var req CreateChipRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.fleet.Create(req)
+	resp, err := s.fleet.Create(r.Context(), req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -130,7 +126,7 @@ func (s *Server) handleListChips(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleDeleteChip(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	existed, err := s.fleet.Delete(id)
+	existed, err := s.fleet.Delete(r.Context(), id)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -148,7 +144,7 @@ func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.fleet.Stress(r.PathValue("id"), req)
+	resp, err := s.fleet.Stress(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -162,7 +158,7 @@ func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.fleet.Rejuvenate(r.PathValue("id"), req)
+	resp, err := s.fleet.Rejuvenate(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -171,7 +167,7 @@ func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.fleet.Measure(r.PathValue("id"))
+	resp, err := s.fleet.Measure(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -180,7 +176,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOdometer(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.fleet.Odometer(r.PathValue("id"))
+	resp, err := s.fleet.Odometer(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -203,12 +199,12 @@ func checkBatchSize(n int) error {
 // failures and trips the degraded-mode supervisor on the first one, so
 // a batch that wore out the storage suspends subsequent writes exactly
 // like a single failed request would.
-func (s *Server) tripOnBatchFailures(w http.ResponseWriter, errs []error) {
+func (s *Server) tripOnBatchFailures(w http.ResponseWriter, r *http.Request, errs []error) {
 	for _, err := range errs {
 		var notDurable fleet.NotDurableError
 		if errors.As(err, &notDurable) {
 			w.Header().Set("Retry-After", s.retryAfterSecs())
-			s.gate.trip(err)
+			s.gate.trip(r.Context(), err)
 			return
 		}
 	}
@@ -238,7 +234,7 @@ func (s *Server) handleBatchCreate(w http.ResponseWriter, r *http.Request) {
 			resp.Created++
 		}
 	}
-	s.tripOnBatchFailures(w, errs)
+	s.tripOnBatchFailures(w, r, errs)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -266,7 +262,7 @@ func (s *Server) handleBatchOps(w http.ResponseWriter, r *http.Request) {
 			resp.Succeeded++
 		}
 	}
-	s.tripOnBatchFailures(w, errs)
+	s.tripOnBatchFailures(w, r, errs)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

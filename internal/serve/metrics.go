@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +13,18 @@ import (
 // latencyBounds are the histogram bucket upper bounds in seconds; a
 // final implicit +Inf bucket catches the rest.
 var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// latencyLabels are the bucket bounds pre-rendered as the "le" label
+// strings (the final entry is "+Inf"), so Snapshot — which runs under
+// m.mu and is hit by every scrape — formats nothing.
+var latencyLabels = func() []string {
+	labels := make([]string, len(latencyBounds)+1)
+	for i, b := range latencyBounds {
+		labels[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	labels[len(latencyBounds)] = "+Inf"
+	return labels
+}()
 
 // Metrics is the service's expvar-style instrumentation: request and
 // status counts per route, a latency histogram, and (via snapshots
@@ -32,8 +44,10 @@ type Metrics struct {
 }
 
 type routeStats struct {
-	count    uint64
-	byStatus map[int]uint64
+	count      uint64
+	byStatus   map[int]uint64
+	latency    []uint64 // per-route histogram; same bounds as the global one
+	latencySum float64  // total seconds observed, for rate/mean queries
 }
 
 // NewMetrics starts the clock.
@@ -58,11 +72,16 @@ func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
 	defer m.mu.Unlock()
 	rs, ok := m.routes[route]
 	if !ok {
-		rs = &routeStats{byStatus: make(map[int]uint64)}
+		rs = &routeStats{
+			byStatus: make(map[int]uint64),
+			latency:  make([]uint64, len(latencyBounds)+1),
+		}
 		m.routes[route] = rs
 	}
 	rs.count++
 	rs.byStatus[status]++
+	rs.latency[bucket]++
+	rs.latencySum += elapsed.Seconds()
 	m.latency[bucket]++
 }
 
@@ -90,6 +109,16 @@ type RouteSnapshot struct {
 type LatencyBucket struct {
 	Le    string `json:"le"`
 	Count uint64 `json:"count"`
+}
+
+// RouteLatency is one route's latency histogram in a MetricsSnapshot:
+// cumulative buckets over the same bounds as the global histogram,
+// plus the observation count and the summed seconds (so mean latency
+// is SumSeconds/Count).
+type RouteLatency struct {
+	Buckets    []LatencyBucket `json:"buckets"`
+	Count      uint64          `json:"count"`
+	SumSeconds float64         `json:"sum_seconds"`
 }
 
 // CacheSnapshot reports the prediction memo cache.
@@ -136,6 +165,7 @@ type MetricsSnapshot struct {
 	UptimeSeconds   float64                  `json:"uptime_seconds"`
 	Requests        map[string]RouteSnapshot `json:"requests"`
 	LatencySeconds  []LatencyBucket          `json:"latency_seconds"`
+	LatencyByRoute  map[string]RouteLatency  `json:"latency_by_route"`
 	Cache           CacheSnapshot            `json:"cache"`
 	Chips           map[string]ChipUsage     `json:"chips"`
 	PanicsRecovered uint64                   `json:"panics_recovered"`
@@ -153,7 +183,6 @@ type MetricsSnapshot struct {
 func (m *Metrics) Snapshot(engine *Engine, fl *fleet.Service, inj *faults.Injector, g *gate) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds:   time.Since(m.start).Seconds(),
-		Requests:        make(map[string]RouteSnapshot),
 		Chips:           fl.Usage(),
 		PanicsRecovered: m.panics.Load(),
 		RequestsShed:    m.shed.Load(),
@@ -186,20 +215,32 @@ func (m *Metrics) Snapshot(engine *Engine, fl *fleet.Service, inj *faults.Inject
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	snap.Requests = make(map[string]RouteSnapshot, len(m.routes))
+	snap.LatencyByRoute = make(map[string]RouteLatency, len(m.routes))
 	for route, rs := range m.routes {
 		byStatus := make(map[string]uint64, len(rs.byStatus))
 		for status, n := range rs.byStatus {
-			byStatus[fmt.Sprintf("%d", status)] = n
+			byStatus[strconv.Itoa(status)] = n
 		}
 		snap.Requests[route] = RouteSnapshot{Count: rs.count, ByStatus: byStatus}
+		snap.LatencyByRoute[route] = RouteLatency{
+			Buckets:    cumulativeBuckets(rs.latency),
+			Count:      rs.count,
+			SumSeconds: rs.latencySum,
+		}
 	}
-	var cum uint64
-	for i, n := range m.latency[:len(latencyBounds)] {
-		cum += n
-		snap.LatencySeconds = append(snap.LatencySeconds,
-			LatencyBucket{Le: fmt.Sprintf("%g", latencyBounds[i]), Count: cum})
-	}
-	cum += m.latency[len(latencyBounds)]
-	snap.LatencySeconds = append(snap.LatencySeconds, LatencyBucket{Le: "+Inf", Count: cum})
+	snap.LatencySeconds = cumulativeBuckets(m.latency)
 	return snap
+}
+
+// cumulativeBuckets renders one histogram's raw counters as cumulative
+// labelled buckets (the last is "+Inf" and equals the total count).
+func cumulativeBuckets(counts []uint64) []LatencyBucket {
+	out := make([]LatencyBucket, len(counts))
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		out[i] = LatencyBucket{Le: latencyLabels[i], Count: cum}
+	}
+	return out
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"selfheal/internal/faults"
+	"selfheal/internal/obs"
 )
 
 // ridKey is the context key for the request ID.
@@ -123,7 +124,11 @@ func (s *Server) withWriteGate(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if degraded, reason := s.gate.status(); degraded {
+		_, sp := obs.StartSpan(r.Context(), "serve.gate")
+		degraded, reason := s.gate.status()
+		sp.Annotate(obs.Bool("degraded", degraded))
+		sp.End()
+		if degraded {
 			s.metrics.RecordDegradedReject()
 			w.Header().Set("Retry-After", s.retryAfterSecs())
 			s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"selfheal/internal/obs"
+)
+
+// handleMetrics serves the instrumentation snapshot. The default body
+// is the JSON MetricsSnapshot; `?format=prometheus` renders the same
+// snapshot in the Prometheus text exposition format instead, plus the
+// Go runtime gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeJSON(w, http.StatusOK, snap)
+	case "prometheus":
+		var buf bytes.Buffer
+		writeProm(&buf, snap)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
+	default:
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: "serve: unknown metrics format " + strconv.Quote(format) + " (want json or prometheus)"})
+	}
+}
+
+// writeProm renders a MetricsSnapshot in the Prometheus text format.
+// It works from the snapshot — the single source of truth both formats
+// share — so the two expositions can never disagree. Map iteration is
+// sorted so scrapes are diffable.
+func writeProm(buf *bytes.Buffer, snap MetricsSnapshot) {
+	p := obs.NewPromWriter(buf)
+
+	p.Header("selfheal_uptime_seconds", "Seconds since the service started.", "gauge")
+	p.Sample("selfheal_uptime_seconds", nil, snap.UptimeSeconds)
+
+	routes := make([]string, 0, len(snap.Requests))
+	for route := range snap.Requests {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+
+	p.Header("selfheal_requests_total", "Requests served, by route pattern and status.", "counter")
+	for _, route := range routes {
+		rs := snap.Requests[route]
+		statuses := make([]string, 0, len(rs.ByStatus))
+		for status := range rs.ByStatus {
+			statuses = append(statuses, status)
+		}
+		sort.Strings(statuses)
+		for _, status := range statuses {
+			p.Sample("selfheal_requests_total",
+				[]obs.Label{{Name: "route", Value: route}, {Name: "status", Value: status}},
+				float64(rs.ByStatus[status]))
+		}
+	}
+
+	p.Header("selfheal_request_duration_seconds", "Request latency, by route pattern.", "histogram")
+	for _, route := range routes {
+		rl, ok := snap.LatencyByRoute[route]
+		if !ok {
+			continue
+		}
+		for _, b := range rl.Buckets {
+			p.Sample("selfheal_request_duration_seconds_bucket",
+				[]obs.Label{{Name: "route", Value: route}, {Name: "le", Value: b.Le}},
+				float64(b.Count))
+		}
+		p.Sample("selfheal_request_duration_seconds_sum",
+			[]obs.Label{{Name: "route", Value: route}}, rl.SumSeconds)
+		p.Sample("selfheal_request_duration_seconds_count",
+			[]obs.Label{{Name: "route", Value: route}}, float64(rl.Count))
+	}
+
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"selfheal_panics_recovered_total", "Handler panics recovered into 500s.", snap.PanicsRecovered},
+		{"selfheal_requests_shed_total", "Requests rejected 429 by the load shedder.", snap.RequestsShed},
+		{"selfheal_request_timeouts_total", "Requests cut off 503 by a route timeout.", snap.RequestTimeouts},
+		{"selfheal_predict_cache_hits_total", "Prediction memo cache hits.", snap.Cache.Hits},
+		{"selfheal_predict_cache_misses_total", "Prediction memo cache misses.", snap.Cache.Misses},
+	} {
+		p.Header(c.name, c.help, "counter")
+		p.Sample(c.name, nil, float64(c.v))
+	}
+	p.Header("selfheal_predict_cache_entries", "Prediction memo cache residency.", "gauge")
+	p.Sample("selfheal_predict_cache_entries", nil, float64(snap.Cache.Entries))
+
+	writePromChips(p, snap.Chips)
+
+	if j := snap.Journal; j != nil {
+		for _, c := range []struct {
+			name, help string
+			v          float64
+		}{
+			{"selfheal_journal_appends_total", "Records appended to the journal.", float64(j.Appends)},
+			{"selfheal_journal_compactions_total", "Journal compactions completed.", float64(j.Compactions)},
+			{"selfheal_journal_fsync_total", "Journal fsync calls.", float64(j.FsyncCount)},
+			{"selfheal_journal_sync_batches_total", "Group commits that covered more than one append.", float64(j.SyncBatches)},
+		} {
+			p.Header(c.name, c.help, "counter")
+			p.Sample(c.name, nil, c.v)
+		}
+		p.Header("selfheal_journal_records", "Live records in the journal history.", "gauge")
+		p.Sample("selfheal_journal_records", nil, float64(j.Records))
+		p.Header("selfheal_journal_fsync_max_seconds", "Slowest fsync observed.", "gauge")
+		p.Sample("selfheal_journal_fsync_max_seconds", nil, j.FsyncMaxMS/1000)
+		p.Header("selfheal_journal_sync_batch_max", "Largest group-commit batch observed.", "gauge")
+		p.Sample("selfheal_journal_sync_batch_max", nil, float64(j.SyncBatchMax))
+	}
+
+	if d := snap.Degraded; d != nil {
+		ready := 0.0
+		if d.WriteReady {
+			ready = 1
+		}
+		p.Header("selfheal_write_ready", "1 when the service accepts writes, 0 while degraded read-only.", "gauge")
+		p.Sample("selfheal_write_ready", nil, ready)
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"selfheal_degraded_enters_total", "Degraded-mode episodes entered.", d.Enters},
+			{"selfheal_degraded_exits_total", "Degraded-mode episodes recovered from.", d.Exits},
+			{"selfheal_degraded_probes_total", "Recovery probes run.", d.Probes},
+			{"selfheal_degraded_writes_rejected_total", "Writes rejected 503 while degraded.", d.WritesRejected},
+		} {
+			p.Header(c.name, c.help, "counter")
+			p.Sample(c.name, nil, float64(c.v))
+		}
+	}
+
+	obs.WriteRuntimeMetrics(p)
+}
+
+// writePromChips emits the per-chip aging telemetry — the software
+// analog of the paper's ring-oscillator sensor read-out. Usage
+// counters always appear; the aging gauges appear once the matching
+// sensor has been read, reporting its most recent value.
+func writePromChips(p *obs.PromWriter, chips map[string]ChipUsage) {
+	ids := make([]string, 0, len(chips))
+	for id := range chips {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	p.Header("selfheal_chip_stress_seconds_total", "Accumulated stress time, per chip.", "counter")
+	for _, id := range ids {
+		p.Sample("selfheal_chip_stress_seconds_total",
+			[]obs.Label{{Name: "chip", Value: id}, {Name: "kind", Value: chips[id].Kind}},
+			chips[id].StressSeconds)
+	}
+	p.Header("selfheal_chip_heal_seconds_total", "Accumulated rejuvenation time, per chip.", "counter")
+	for _, id := range ids {
+		p.Sample("selfheal_chip_heal_seconds_total",
+			[]obs.Label{{Name: "chip", Value: id}, {Name: "kind", Value: chips[id].Kind}},
+			chips[id].HealSeconds)
+	}
+	p.Header("selfheal_chip_ops_total", "Operations applied, per chip.", "counter")
+	for _, id := range ids {
+		p.Sample("selfheal_chip_ops_total",
+			[]obs.Label{{Name: "chip", Value: id}, {Name: "kind", Value: chips[id].Kind}},
+			float64(chips[id].Ops))
+	}
+
+	p.Header("selfheal_chip_delay_ns", "Last measured CUT delay (bench chips).", "gauge")
+	for _, id := range ids {
+		if u := chips[id]; u.LastDegradationPct != nil {
+			p.Sample("selfheal_chip_delay_ns",
+				[]obs.Label{{Name: "chip", Value: id}}, u.LastDelayNS)
+		}
+	}
+	p.Header("selfheal_chip_degradation_pct", "Last measured frequency degradation percentage (bench chips).", "gauge")
+	for _, id := range ids {
+		if u := chips[id]; u.LastDegradationPct != nil {
+			p.Sample("selfheal_chip_degradation_pct",
+				[]obs.Label{{Name: "chip", Value: id}}, *u.LastDegradationPct)
+		}
+	}
+	p.Header("selfheal_chip_beat_hz", "Last odometer beat frequency (monitored chips).", "gauge")
+	for _, id := range ids {
+		if u := chips[id]; u.LastDegradationPPM != nil {
+			p.Sample("selfheal_chip_beat_hz",
+				[]obs.Label{{Name: "chip", Value: id}}, u.LastBeatHz)
+		}
+	}
+	p.Header("selfheal_chip_degradation_ppm", "Last odometer aging read-out in parts per million (monitored chips).", "gauge")
+	for _, id := range ids {
+		if u := chips[id]; u.LastDegradationPPM != nil {
+			p.Sample("selfheal_chip_degradation_ppm",
+				[]obs.Label{{Name: "chip", Value: id}}, *u.LastDegradationPPM)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
+	"selfheal/internal/obs"
 	"selfheal/internal/store"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// (default 5 s).
 	ProbeInterval    time.Duration
 	ProbeMaxInterval time.Duration
+	// TraceBuffer is how many completed request traces the in-memory
+	// ring retains for GET /debug/traces (default 256).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.ProbeMaxInterval <= 0 {
 		c.ProbeMaxInterval = 5 * time.Second
 	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 256
+	}
 	return c
 }
 
@@ -109,6 +116,7 @@ type Server struct {
 	metrics *Metrics
 	faults  *faults.Injector
 	gate    *gate
+	tracer  *obs.Tracer
 	sem     chan struct{}
 	handler http.Handler
 }
@@ -133,12 +141,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
+		cfg: cfg,
+		// Re-wrap the configured logger so every context-aware log line
+		// carries the trace_id of the request that emitted it (a no-op
+		// for handlers already wrapped, e.g. by cmd/selfheal-serve).
+		log:     slog.New(obs.WithTraceIDs(cfg.Logger.Handler())),
 		fleet:   fl,
 		engine:  engine,
 		metrics: NewMetrics(),
 		faults:  cfg.Faults,
+		tracer:  obs.NewTracer(cfg.TraceBuffer),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
 	if fl.Durable() {
@@ -166,6 +178,10 @@ func (s *Server) Close() { s.gate.close() }
 // Engine returns the prediction engine (exported for tests and for
 // embedding the service into a larger process).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// Tracer returns the request-trace ring (exported for tests and for
+// mounting the debug endpoints on a separate listener).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // mutatingRoutes are the patterns that commit an operation to the
 // store and are therefore suspended in degraded read-only mode. The
@@ -217,6 +233,7 @@ func (s *Server) routes() http.Handler {
 		"POST /v1/predict/shift":         s.handlePredictShift,
 		"POST /v1/predict/schedules":     s.handlePredictSchedules,
 		"POST /v1/predict/multicore":     s.handlePredictMulticore,
+		"GET /debug/traces":              s.handleTraces,
 	} {
 		limited := strings.Contains(pattern, "/v1/")
 		timeout := s.cfg.OpTimeout
@@ -267,16 +284,32 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler with the metrics counters (labelled by
-// route *pattern*, so cardinality stays bounded) and structured
-// request logging.
+// route *pattern*, so cardinality stays bounded), structured request
+// logging, and — on the /v1/ routes — a root trace span. Health and
+// metrics scrapes stay out of the trace ring so a tight scrape loop
+// cannot evict the request traces the ring exists to keep.
 func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
+	traced := strings.Contains(pattern, "/v1/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var root *obs.Span
+		if traced {
+			var ctx context.Context
+			ctx, root = s.tracer.Start(r.Context(), pattern)
+			root.Annotate(
+				obs.String("method", r.Method),
+				obs.String("path", r.URL.Path),
+				obs.String("request_id", RequestIDFrom(r.Context())),
+			)
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
+		root.SetStatus(sw.status)
+		root.End()
 		s.metrics.Observe(pattern, sw.status, elapsed)
-		s.log.Info("request",
+		s.log.InfoContext(r.Context(), "request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,

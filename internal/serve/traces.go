@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"selfheal/internal/obs"
+)
+
+// TracesResponse is the GET /debug/traces body.
+type TracesResponse struct {
+	// Total counts traces completed since startup (retained or evicted).
+	Total uint64 `json:"total"`
+	// Capacity is the ring size — how many completed traces are kept.
+	Capacity int `json:"capacity"`
+	// Traces are the retained traces matching the query, newest first.
+	Traces []obs.TraceView `json:"traces"`
+}
+
+// handleTraces serves the trace ring: the last N completed /v1/
+// requests decomposed into per-layer spans. Query parameters:
+//
+//	route=POST /v1/ops:batch   exact route-pattern match
+//	min_ms=50                  only traces at least this long
+//	errors=only                only failed traces (5xx or span error)
+//	limit=20                   max traces returned (newest first)
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := obs.Filter{Route: q.Get("route"), ErrorsOnly: q.Get("errors") == "only"}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: "serve: min_ms must be a non-negative number, got " + strconv.Quote(v)})
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: "serve: limit must be a positive integer, got " + strconv.Quote(v)})
+			return
+		}
+		f.Limit = n
+	}
+	s.writeJSON(w, http.StatusOK, TracesResponse{
+		Total:    s.tracer.Total(),
+		Capacity: s.tracer.Capacity(),
+		Traces:   s.tracer.Snapshot(f),
+	})
+}

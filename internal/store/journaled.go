@@ -1,6 +1,10 @@
 package store
 
-import "selfheal/internal/journal"
+import (
+	"context"
+
+	"selfheal/internal/journal"
+)
 
 // journaled decorates any Store with durability through a Log: the map
 // operations delegate to the inner store untouched, while Commit
@@ -21,7 +25,9 @@ func NewJournaled[E any](inner Store[E], log Log) Store[E] {
 }
 
 // Commit appends rec to the log, returning once it is durable.
-func (s *journaled[E]) Commit(rec Record) error { return s.log.Append(rec) }
+func (s *journaled[E]) Commit(ctx context.Context, rec Record) error {
+	return s.log.Append(ctx, rec)
+}
 
 // Replay returns the log's live history in sequence order.
 func (s *journaled[E]) Replay() []Record { return s.log.Records() }

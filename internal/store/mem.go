@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // ShardCount is the number of independent locks (and maps) a Mem store
 // spreads the fleet over. 32 keeps per-shard contention negligible up
@@ -119,7 +122,7 @@ func (s *Mem[E]) Len() int {
 }
 
 // Commit is a no-op: a bare Mem store provides no durability.
-func (s *Mem[E]) Commit(Record) error { return nil }
+func (s *Mem[E]) Commit(context.Context, Record) error { return nil }
 
 // Replay returns nil: an in-memory fleet always starts empty.
 func (s *Mem[E]) Replay() []Record { return nil }

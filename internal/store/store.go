@@ -36,6 +36,8 @@
 package store
 
 import (
+	"context"
+
 	"selfheal/internal/journal"
 )
 
@@ -72,8 +74,10 @@ const (
 // file journal.
 type Log interface {
 	// Append makes one record durable, returning only once it would
-	// survive a crash. Concurrent appends may share a group commit.
-	Append(Record) error
+	// survive a crash. Concurrent appends may share a group commit. The
+	// context carries the request's trace (if any) so the append's
+	// stage/fsync phases land in it; it does not cancel the write.
+	Append(ctx context.Context, rec Record) error
 	// Records returns the live history in sequence order — the replay
 	// list that reconstructs the fleet.
 	Records() []Record
@@ -117,8 +121,11 @@ type Store[E any] interface {
 	// Commit makes rec durable. The fleet layer calls it while holding
 	// the affected chip's lock, so the persisted order always matches
 	// the order operations were applied in — the invariant replay
-	// depends on. Non-durable stores return nil immediately.
-	Commit(rec Record) error
+	// depends on. Non-durable stores return nil immediately. The
+	// context carries the request's trace for span annotation; it does
+	// not cancel the commit (a half-cancelled durable write would
+	// desync the journal from memory).
+	Commit(ctx context.Context, rec Record) error
 	// Replay returns the durable history to re-apply on startup, in
 	// sequence order. Non-durable stores return nil.
 	Replay() []Record

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,7 +50,7 @@ func TestMemBasics(t *testing.T) {
 	if s.Durable() {
 		t.Fatal("Mem claims durability")
 	}
-	if s.Commit(Record{Op: OpCreate, ID: "a"}) != nil {
+	if s.Commit(context.Background(), Record{Op: OpCreate, ID: "a"}) != nil {
 		t.Fatal("Mem.Commit errored")
 	}
 	if s.Replay() != nil {
@@ -148,7 +149,7 @@ type failLog struct {
 	closed  bool
 }
 
-func (l *failLog) Append(rec Record) error {
+func (l *failLog) Append(_ context.Context, rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failN > 0 {
@@ -205,11 +206,11 @@ func TestJournaledDecorator(t *testing.T) {
 		t.Fatalf("Lookup = %d, %v", v, ok)
 	}
 	// Commit goes to the log — and surfaces its failures.
-	if err := s.Commit(Record{Op: OpStress, ID: "c0"}); err != nil {
+	if err := s.Commit(context.Background(), Record{Op: OpStress, ID: "c0"}); err != nil {
 		t.Fatal(err)
 	}
 	log.failN = 1
-	if err := s.Commit(Record{Op: OpStress, ID: "c0"}); err == nil {
+	if err := s.Commit(context.Background(), Record{Op: OpStress, ID: "c0"}); err == nil {
 		t.Fatal("failed append not surfaced")
 	}
 	if err := s.Probe(); err == nil {
@@ -241,10 +242,10 @@ func TestOpenRoundTrip(t *testing.T) {
 	if len(repairs) != 0 {
 		t.Fatalf("fresh dir reported repairs: %+v", repairs)
 	}
-	if err := s.Commit(Record{Op: OpCreate, ID: "c0", Seed: 7, Kind: "bench"}); err != nil {
+	if err := s.Commit(context.Background(), Record{Op: OpCreate, ID: "c0", Seed: 7, Kind: "bench"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Commit(Record{Op: OpStress, ID: "c0", Hours: 24}); err != nil {
+	if err := s.Commit(context.Background(), Record{Op: OpStress, ID: "c0", Hours: 24}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
