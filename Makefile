@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench obs-smoke serve
+.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke serve
 
 ## check: everything CI needs — gofmt, vet, build, tests with the race detector
 check: fmt vet build race
@@ -22,11 +22,17 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 ## bench: one pass over every paper artifact, the service cache benchmark,
-## and the registry contention benchmark (single-mutex vs sharded) — cheap
-## enough (-benchtime 1x) to run as a CI smoke test
-bench:
+## the registry contention benchmark (single-mutex vs sharded), and the
+## engine tick benchmark — which refreshes BENCH_engine.json, the
+## machine-readable perf artifact (ns/chip-epoch, chips/sec, allocs/epoch)
+bench: bench-engine
 	$(GO) run ./cmd/selfheal-bench > /dev/null
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/store
+
+## bench-engine: refresh BENCH_engine.json from the engine tick benchmark
+## (10k/100k/1M chips) and the td batch-vs-scalar kernel pair
+bench-engine:
+	$(GO) run ./scripts/bench-engine
 
 ## obs-smoke: boot a durable server with JSON logs and the debug listener,
 ## drive a batch through it, and verify the telemetry surface end to end —
@@ -34,6 +40,13 @@ bench:
 ## pprof index, and a structured log line joining to the trace by trace_id
 obs-smoke:
 	$(GO) run ./scripts/obs-smoke
+
+## engine-smoke: boot the server with the aging engine ticking fast, load
+## 50k chips through the batch APIs, let 100 epochs elapse under concurrent
+## monotone snapshot readers, and check odometers, epoch lag and the capped
+## Prometheus cardinality
+engine-smoke:
+	$(GO) run ./scripts/engine-smoke
 
 ## serve: run the fleet aging service locally
 serve:

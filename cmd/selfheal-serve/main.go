@@ -12,6 +12,8 @@
 //	               [-op-timeout 30s] [-predict-timeout 2m]
 //	               [-batch-workers N] [-faults spec]
 //	               [-trace-buffer 256] [-debug-addr addr]
+//	               [-engine] [-epoch 1s] [-epoch-hours 0.5]
+//	               [-engine-workers N] [-metrics-chips 50]
 //
 // Endpoints:
 //
@@ -24,6 +26,12 @@
 //	GET    /v1/chips/{id}/measure      bench read-out (kind "bench")
 //	GET    /v1/chips/{id}/odometer     on-die sensor  (kind "monitored")
 //	POST   /v1/ops:batch               mixed op batch {"ops":[{"op","id",...}]}, per-item results
+//	GET    /v1/engine                  aging-engine status and counters
+//	POST   /v1/engine/chips:batch      bulk register   {"chips":[{"id","temp_c","vdd","duty","schedule"}]}
+//	GET    /v1/engine/chips/{id}       snapshot view   (Vth shift, odometer, phase)
+//	POST   /v1/engine/chips/{id}/condition   change operating point / park in sleep
+//	POST   /v1/engine/chips/{id}/schedule    periodic stress/sleep alternation
+//	DELETE /v1/engine/chips/{id}       deregister (engine-native chips only)
 //	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
@@ -44,6 +52,14 @@
 // traces are retained in a ring served at /debug/traces. Logs carry
 // the same trace_id, so a log line joins to its trace; -log-format
 // json emits machine-parseable records.
+//
+// -engine starts the discrete-event fleet aging engine: every fleet
+// chip (and any chip bulk-registered through /v1/engine) advances one
+// epoch of the trapping/detrapping aging model every -epoch of wall
+// time, each epoch simulating -epoch-hours of operation. Readers get
+// immutable per-epoch snapshots; with -data the epoch count is
+// journaled, so a restart re-simulates the fleet to exactly where it
+// stopped.
 //
 // -debug-addr starts a second listener hosting /debug/pprof/ and
 // /debug/traces. pprof exposes heap contents — bind it to localhost,
@@ -118,6 +134,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F,disk=MODE[:N]")
 	traceBuffer := flag.Int("trace-buffer", 256, "completed request traces retained for /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof/ and /debug/traces (empty: disabled; bind to localhost)")
+	engineOn := flag.Bool("engine", false, "run the fleet aging engine (epoch-batched whole-fleet simulation)")
+	epoch := flag.Duration("epoch", time.Second, "wall-clock interval between engine epochs (negative: manual ticks only)")
+	epochHours := flag.Float64("epoch-hours", 0.5, "simulated hours each engine epoch advances")
+	engineWorkers := flag.Int("engine-workers", 0, "engine tick worker pool size (0: GOMAXPROCS)")
+	metricsChips := flag.Int("metrics-chips", 50, "per-chip series cap in the Prometheus exposition (0: unlimited)")
 	flag.Parse()
 
 	var level slog.Level
@@ -173,18 +194,23 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Addr:           *addr,
-		CacheSize:      *cacheSize,
-		MaxBodyBytes:   *maxBody,
-		ShutdownGrace:  *grace,
-		Logger:         logger,
-		Store:          st,
-		Faults:         injector,
-		MaxInFlight:    *maxInflight,
-		OpTimeout:      *opTimeout,
-		PredictTimeout: *predictTimeout,
-		BatchWorkers:   *batchWorkers,
-		TraceBuffer:    *traceBuffer,
+		Addr:             *addr,
+		CacheSize:        *cacheSize,
+		MaxBodyBytes:     *maxBody,
+		ShutdownGrace:    *grace,
+		Logger:           logger,
+		Store:            st,
+		Faults:           injector,
+		MaxInFlight:      *maxInflight,
+		OpTimeout:        *opTimeout,
+		PredictTimeout:   *predictTimeout,
+		BatchWorkers:     *batchWorkers,
+		TraceBuffer:      *traceBuffer,
+		EngineEnabled:    *engineOn,
+		EngineEpoch:      *epoch,
+		EngineEpochHours: *epochHours,
+		EngineWorkers:    *engineWorkers,
+		MetricsChipLimit: *metricsChips,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)

@@ -1,0 +1,499 @@
+// Package engine is the discrete-event fleet aging engine: instead of
+// advancing one chip at a time inside request handlers, a single
+// simulation clock advances the threshold shift and aging odometer of
+// the *entire* fleet, epoch by epoch.
+//
+// # Architecture
+//
+// Chip state lives in 32 partitions aligned with the store's shards
+// (store.ShardOf), each holding a struct-of-arrays td.Batch plus cold
+// per-chip metadata. Every tick advances all partitions one epoch on a
+// bounded worker pool; within a partition, chips sharing a condition
+// are grouped into classes so the model's exp/log prefactors are paid
+// once per class per epoch (td.AdvanceBatch), not once per chip. A
+// hierarchical timing wheel per partition schedules circadian
+// stress↔sleep transitions at epoch granularity.
+//
+// # Snapshot isolation
+//
+// Request handlers never touch live partitions: every tick publishes
+// an immutable Snapshot via atomic pointer swap, so reads are
+// wait-free, never block the tick, and always observe one consistent
+// epoch across all partitions. Writes (register, remove, condition and
+// schedule changes) are enqueued as events; a pump goroutine applies
+// them between epochs under the tick lock.
+//
+// # Durability and replay
+//
+// The engine persists operations, not state, through the same journal
+// as the fleet: registrations, removals, condition/schedule changes,
+// and one coalesced OpEngineEpoch record per flush window (the epoch
+// count plus the per-epoch simulated hours). Replay re-runs the
+// records in order and lands on the exact pre-shutdown state. Two
+// ordering invariants make this exact:
+//
+//  1. Events only apply under the tick lock, never mid-epoch.
+//  2. Pending epochs are flushed to the journal *before* any event
+//     record commits, so journal order equals application order.
+//
+// Chips registered on behalf of fleet chips commit OpEngineReg records
+// of their own (kind "fleet"); a fleet delete prunes the chip's engine
+// records in the journal, so no separate engine record is needed.
+//
+// # Lock hierarchy
+//
+// tick lock → partition lock → nothing. The store's chip→shard order
+// is never entered with engine locks held: the engine commits through
+// the journal only (no store map access), and handlers reading
+// snapshots take no locks at all. See internal/store for the canonical
+// fleet hierarchy; DESIGN.md states the combined ordering.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfheal/internal/obs"
+	"selfheal/internal/store"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// Journal is the slice of the store the engine persists through: the
+// shared operation log. Any store.Store satisfies it; a non-durable
+// store turns every commit into a no-op and the engine runs ephemeral.
+type Journal interface {
+	Commit(ctx context.Context, rec store.Record) error
+	Replay() []store.Record
+	Durable() bool
+}
+
+// KindFleet marks a registration made on behalf of a fleet chip; such
+// chips can only be removed through the fleet's delete (which prunes
+// their engine records journal-side).
+const KindFleet = "fleet"
+
+// Config tunes an Engine; zero values take the documented defaults.
+type Config struct {
+	Params     td.Params     // aging model constants (default td.DefaultParams)
+	EpochHours float64       // simulated hours per epoch (default 0.5)
+	Interval   time.Duration // wall-clock tick period; 0 = manual Tick only
+	Workers    int           // tick worker pool size (default GOMAXPROCS)
+	// FlushEpochs bounds how many epochs may pass between journal
+	// flushes (default 16). Smaller = less simulated time lost on a
+	// crash, more journal records.
+	FlushEpochs int
+	Tracer      *obs.Tracer // when set, every TraceEvery-th tick is traced
+	TraceEvery  int         // default 64
+}
+
+// Spec registers one chip with the engine.
+type Spec struct {
+	ID       string
+	Kind     string  // "" for engine-native, KindFleet for fleet-backed
+	Phase    string  // PhaseStressName (default) or PhaseSleepName
+	TempC    float64 // junction temperature, °C
+	Vdd      float64 // stress: gate voltage; sleep: <0 = reverse-biased rail
+	Duty     float64 // duty cycle in [0,1]
+	Schedule *Schedule
+}
+
+// Cond is a chip's phase + condition + duty, the payload of a
+// condition-change event.
+type Cond struct {
+	Phase string
+	TempC float64
+	Vdd   float64
+	Duty  float64
+}
+
+// Schedule is a circadian stress/sleep cycle: StressEpochs of the
+// chip's stress condition, then SleepEpochs at the sleep condition,
+// repeating. Both zero cancels the cycle.
+type Schedule struct {
+	StressEpochs uint64
+	SleepEpochs  uint64
+	SleepTempC   float64
+	SleepVdd     float64
+}
+
+// RegResult reports one item of a RegisterBatch.
+type RegResult struct {
+	ID  string
+	Err error
+}
+
+// Stats is the engine's observable state, exported under /metrics.
+type Stats struct {
+	Epoch           uint64  `json:"epoch"`
+	SimHours        float64 `json:"sim_hours"`
+	Chips           int     `json:"chips"`
+	Partitions      int     `json:"partitions"`
+	Workers         int     `json:"workers"`
+	EpochHours      float64 `json:"epoch_hours"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// EpochLagSeconds is how far the last tick started behind its due
+	// time — nonzero when ticks take longer than the interval.
+	EpochLagSeconds float64 `json:"epoch_lag_seconds"`
+	ChipsPerSecond  float64 `json:"chips_per_second"`
+	LastTickSeconds float64 `json:"last_tick_seconds"`
+	TicksTotal      uint64  `json:"ticks_total"`
+	EventsPending   int     `json:"events_pending"`
+	EventsApplied   uint64  `json:"events_applied"`
+	// PendingEpochs counts epochs advanced but not yet journaled (lost
+	// on a crash; bounded by FlushEpochs while the journal is healthy).
+	PendingEpochs  uint64 `json:"pending_epochs"`
+	CommitErrors   uint64 `json:"commit_errors"`
+	ReplayedEpochs uint64 `json:"replayed_epochs"`
+	AdvanceError   string `json:"advance_error,omitempty"`
+}
+
+// Engine is the fleet aging engine. Construct with New; all methods
+// are safe for concurrent use.
+type Engine struct {
+	j          Journal
+	params     td.Params
+	epochHours float64
+	dt         units.Seconds
+	interval   time.Duration
+	flushEvery uint64
+	workers    int
+	tracer     *obs.Tracer
+	traceEvery uint64
+
+	// tickMu serializes epoch advancement, event application, journal
+	// flushes, and snapshot publication — events never land mid-epoch.
+	tickMu        sync.Mutex
+	parts         [store.ShardCount]*partition
+	epoch         uint64
+	simHours      float64
+	pendingEpochs uint64
+
+	snap  atomic.Pointer[Snapshot]
+	chips atomic.Int64
+
+	events    chan *event
+	closedc   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
+
+	ticks          atomic.Uint64
+	eventsApplied  atomic.Uint64
+	commitErrors   atomic.Uint64
+	epochLagNanos  atomic.Int64
+	lastTickNanos  atomic.Int64
+	cpsBits        atomic.Uint64
+	advanceErr     atomic.Pointer[string]
+	replayedEpochs uint64
+}
+
+// New assembles an engine over the journal, replaying its engine
+// records (registrations, condition/schedule changes, coalesced epoch
+// advances) to land on the exact pre-shutdown state, then starts the
+// event pump and — when cfg.Interval > 0 — the background ticker.
+func New(j Journal, cfg Config) (*Engine, error) {
+	if cfg.EpochHours == 0 {
+		cfg.EpochHours = 0.5
+	}
+	if cfg.EpochHours < 0 || math.IsNaN(cfg.EpochHours) || math.IsInf(cfg.EpochHours, 0) {
+		return nil, fmt.Errorf("engine: invalid epoch hours %v", cfg.EpochHours)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.FlushEpochs < 1 {
+		cfg.FlushEpochs = 16
+	}
+	if cfg.TraceEvery < 1 {
+		cfg.TraceEvery = 64
+	}
+	zero := td.Params{}
+	if cfg.Params == zero {
+		cfg.Params = td.DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		j:          j,
+		params:     cfg.Params,
+		epochHours: cfg.EpochHours,
+		dt:         units.HoursToSeconds(cfg.EpochHours),
+		interval:   cfg.Interval,
+		flushEvery: uint64(cfg.FlushEpochs),
+		workers:    cfg.Workers,
+		tracer:     cfg.Tracer,
+		traceEvery: uint64(cfg.TraceEvery),
+		events:     make(chan *event, 256),
+		closedc:    make(chan struct{}),
+	}
+	for i := range e.parts {
+		e.parts[i] = newPartition()
+	}
+	if err := e.replay(); err != nil {
+		return nil, err
+	}
+	e.publishSnapshotLocked()
+	e.wg.Add(1)
+	go e.pump()
+	if e.interval > 0 {
+		e.wg.Add(1)
+		go e.run()
+	}
+	return e, nil
+}
+
+// replay re-applies the journal's engine records in sequence order.
+func (e *Engine) replay() error {
+	for _, rec := range e.j.Replay() {
+		if err := e.applyRecord(rec); err != nil {
+			return fmt.Errorf("engine: replay: record %d (%s %s): %w", rec.Seq, rec.Op, rec.ID, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) applyRecord(rec store.Record) error {
+	switch rec.Op {
+	case store.OpEngineReg:
+		sp := Spec{
+			ID: rec.ID, Kind: rec.Kind, Phase: rec.Phase,
+			TempC: rec.TempC, Vdd: rec.Vdd, Duty: rec.Duty,
+		}
+		if rec.StressEpochs > 0 || rec.SleepEpochs > 0 {
+			sp.Schedule = &Schedule{
+				StressEpochs: rec.StressEpochs, SleepEpochs: rec.SleepEpochs,
+				SleepTempC: rec.SleepTempC, SleepVdd: rec.SleepVdd,
+			}
+		}
+		if err := e.partFor(rec.ID).register(e.params, sp); err != nil {
+			return err
+		}
+		e.chips.Add(1)
+		return nil
+	case store.OpEngineRemove:
+		if e.partFor(rec.ID).remove(rec.ID) {
+			e.chips.Add(-1)
+		}
+		return nil
+	case store.OpEngineSet:
+		return e.partFor(rec.ID).setCondition(e.params, rec.ID, Cond{
+			Phase: rec.Phase, TempC: rec.TempC, Vdd: rec.Vdd, Duty: rec.Duty,
+		})
+	case store.OpEngineSchedule:
+		return e.partFor(rec.ID).setSchedule(rec.ID, Schedule{
+			StressEpochs: rec.StressEpochs, SleepEpochs: rec.SleepEpochs,
+			SleepTempC: rec.SleepTempC, SleepVdd: rec.SleepVdd,
+		})
+	case store.OpEngineEpoch:
+		dt := units.HoursToSeconds(rec.Hours)
+		for k := uint64(0); k < rec.Epochs; k++ {
+			if err := e.advanceAll(context.Background(), dt); err != nil {
+				return err
+			}
+			e.epoch++
+			e.simHours += rec.Hours
+		}
+		e.replayedEpochs += rec.Epochs
+		return nil
+	default:
+		return nil // fleet records; the fleet's own replay consumes them
+	}
+}
+
+func (e *Engine) partFor(id string) *partition { return e.parts[store.ShardOf(id)] }
+
+// run is the background ticker: one epoch per interval, with the lag
+// between due time and actual start exported as the epoch-lag gauge.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	due := time.Now().Add(e.interval)
+	for {
+		select {
+		case <-e.closedc:
+			return
+		case now := <-t.C:
+			lag := now.Sub(due)
+			if lag < 0 {
+				lag = 0
+			}
+			e.epochLagNanos.Store(int64(lag))
+			due = due.Add(e.interval)
+			if due.Before(now) {
+				due = now // ticker dropped ticks; measure fresh backlog
+			}
+			e.Tick(context.Background())
+		}
+	}
+}
+
+// Tick advances the whole fleet one epoch: fire due schedule
+// transitions, advance every partition on the worker pool, flush the
+// epoch window to the journal when due, and publish the new snapshot.
+// With Config.Interval set the background loop calls it; tests and
+// benchmarks drive it manually.
+func (e *Engine) Tick(ctx context.Context) {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+
+	n := e.ticks.Add(1)
+	var sp *obs.Span
+	if e.tracer != nil && n%e.traceEvery == 1 {
+		ctx, sp = e.tracer.Start(ctx, "engine.tick")
+		sp.Annotate(obs.Int("epoch", int(e.epoch+1)), obs.Int("chips", int(e.chips.Load())))
+		defer sp.End()
+	}
+
+	start := time.Now()
+	err := e.advanceAll(ctx, e.dt)
+	if sp != nil {
+		sp.SetError(err)
+	}
+	if err != nil {
+		s := err.Error()
+		e.advanceErr.Store(&s)
+		return
+	}
+	e.epoch++
+	e.simHours += e.epochHours
+	e.pendingEpochs++
+	if e.pendingEpochs >= e.flushEvery {
+		e.flushLocked(ctx)
+	}
+	e.publishSnapshotLocked()
+
+	elapsed := time.Since(start)
+	e.lastTickNanos.Store(int64(elapsed))
+	if secs := elapsed.Seconds(); secs > 0 {
+		e.cpsBits.Store(math.Float64bits(float64(e.chips.Load()) / secs))
+	}
+}
+
+// advanceAll steps every partition one epoch of dt on the bounded
+// worker pool.
+func (e *Engine) advanceAll(ctx context.Context, dt units.Seconds) error {
+	workers := e.workers
+	if workers > len(e.parts) {
+		workers = len(e.parts)
+	}
+	if workers <= 1 {
+		for pi, p := range e.parts {
+			if err := e.advanceOne(ctx, pi, p, dt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				pi := int(next.Add(1)) - 1
+				if pi >= len(e.parts) {
+					return
+				}
+				if err := e.advanceOne(ctx, pi, e.parts[pi], dt); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+func (e *Engine) advanceOne(ctx context.Context, pi int, p *partition, dt units.Seconds) error {
+	_, sp := obs.StartSpan(ctx, "engine.partition",
+		obs.Int("partition", pi), obs.Int("chips", len(p.meta)))
+	err := p.advance(e.params, dt)
+	sp.SetError(err)
+	sp.End()
+	return err
+}
+
+// flushLocked journals the epochs advanced since the last flush as one
+// coalesced OpEngineEpoch record. Callers hold tickMu. On failure the
+// window stays pending (counted in Stats) and is retried at the next
+// flush point; the simulation keeps advancing — matching the fleet's
+// degraded-mode semantics, where state advances but is not durable.
+func (e *Engine) flushLocked(ctx context.Context) error {
+	if e.pendingEpochs == 0 || !e.j.Durable() {
+		e.pendingEpochs = 0
+		return nil
+	}
+	err := e.j.Commit(ctx, store.Record{
+		Op: store.OpEngineEpoch, Epochs: e.pendingEpochs, Hours: e.epochHours,
+	})
+	if err != nil {
+		e.commitErrors.Add(1)
+		return err
+	}
+	e.pendingEpochs = 0
+	return nil
+}
+
+// Snapshot returns the newest published fleet snapshot. The result is
+// immutable and wait-free to read; successive calls observe
+// monotonically non-decreasing epochs.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	snap := e.snap.Load()
+	st := Stats{
+		Epoch:           snap.Epoch,
+		SimHours:        snap.SimHours,
+		Chips:           snap.Chips,
+		Partitions:      len(e.parts),
+		Workers:         e.workers,
+		EpochHours:      e.epochHours,
+		IntervalSeconds: e.interval.Seconds(),
+		EpochLagSeconds: time.Duration(e.epochLagNanos.Load()).Seconds(),
+		ChipsPerSecond:  math.Float64frombits(e.cpsBits.Load()),
+		LastTickSeconds: time.Duration(e.lastTickNanos.Load()).Seconds(),
+		TicksTotal:      e.ticks.Load(),
+		EventsPending:   len(e.events),
+		EventsApplied:   e.eventsApplied.Load(),
+		CommitErrors:    e.commitErrors.Load(),
+		ReplayedEpochs:  e.replayedEpochs,
+	}
+	e.tickMu.Lock()
+	st.PendingEpochs = e.pendingEpochs
+	e.tickMu.Unlock()
+	if s := e.advanceErr.Load(); s != nil {
+		st.AdvanceError = *s
+	}
+	return st
+}
+
+// ErrClosed is returned by mutations after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Close stops the ticker and the event pump, flushes any pending epoch
+// window, and returns the final flush's verdict. Safe to call twice.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closedc)
+		e.wg.Wait()
+		e.tickMu.Lock()
+		e.closeErr = e.flushLocked(context.Background())
+		e.tickMu.Unlock()
+	})
+	return e.closeErr
+}

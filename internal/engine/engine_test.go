@@ -1,0 +1,568 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"selfheal/internal/store"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+func memEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(store.NewMem[any](), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// mirrorChip replays the engine's per-chip semantics through the
+// scalar td model: the same wheel transition rule (a schedule booked at
+// epoch E fires at the start of epoch E+span) and the same sleep
+// voltage convention.
+type mirrorChip struct {
+	st           td.State
+	phase        uint8
+	tempC, vdd   float64
+	sTempC, sVdd float64
+	duty         float64
+	sched        Schedule
+	nextFire     uint64
+	odo          uint64
+}
+
+func newMirror(sp Spec) *mirrorChip {
+	m := &mirrorChip{
+		tempC: sp.TempC, vdd: sp.Vdd,
+		sTempC: sp.TempC, sVdd: sp.Vdd,
+		duty: sp.Duty,
+	}
+	if sp.Phase == PhaseSleepName {
+		m.phase = phaseSleep
+	}
+	if sp.Schedule != nil {
+		m.sched = *sp.Schedule
+		span := m.sched.StressEpochs
+		if m.phase == phaseSleep {
+			span = m.sched.SleepEpochs
+		}
+		m.nextFire = span
+	}
+	return m
+}
+
+// advance steps the mirror through engine epoch number `epoch`
+// (1-based) of dt simulated seconds.
+func (m *mirrorChip) advance(p td.Params, epoch uint64, dt units.Seconds) {
+	if m.nextFire != 0 && epoch >= m.nextFire {
+		if m.phase == phaseStress {
+			m.phase = phaseSleep
+			m.tempC, m.vdd = m.sched.SleepTempC, m.sched.SleepVdd
+			m.nextFire = epoch + m.sched.SleepEpochs
+		} else {
+			m.phase = phaseStress
+			m.tempC, m.vdd = m.sTempC, m.sVdd
+			m.nextFire = epoch + m.sched.StressEpochs
+		}
+	}
+	if m.phase == phaseStress {
+		m.st.Stress(p, td.StressCond{
+			V:    units.Volt(m.vdd),
+			T:    units.Celsius(m.tempC).Kelvin(),
+			Duty: m.duty,
+		}, dt)
+		m.odo++
+		return
+	}
+	var vrev units.Volt
+	if m.vdd < 0 {
+		vrev = units.Volt(-m.vdd)
+	}
+	m.st.Recover(p, td.RecoveryCond{
+		VRev: vrev,
+		T:    units.Celsius(m.tempC).Kelvin(),
+	}, dt)
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+// TestEngineMatchesScalar drives a mixed fleet — DC stress, AC stress,
+// sleeping chips, circadian schedules, a mid-run condition change —
+// and checks every chip against the scalar model after each epoch.
+func TestEngineMatchesScalar(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{EpochHours: 0.25, Workers: 4})
+	p := td.DefaultParams()
+	dt := units.HoursToSeconds(0.25)
+
+	specs := []Spec{
+		{ID: "dc-hot", TempC: 105, Vdd: 1.32, Duty: 1},
+		{ID: "ac-half", TempC: 80, Vdd: 1.2, Duty: 0.5},
+		{ID: "idle", TempC: 60, Vdd: 1.1, Duty: 0},
+		{ID: "asleep-rev", Phase: PhaseSleepName, TempC: 45, Vdd: -0.3, Duty: 1},
+		{ID: "asleep-gated", Phase: PhaseSleepName, TempC: 45, Vdd: 0, Duty: 0.7},
+		{ID: "circadian", TempC: 95, Vdd: 1.25, Duty: 0.8,
+			Schedule: &Schedule{StressEpochs: 3, SleepEpochs: 2, SleepTempC: 40, SleepVdd: -0.25}},
+		{ID: "long-cycle", TempC: 85, Vdd: 1.15, Duty: 1,
+			Schedule: &Schedule{StressEpochs: 7, SleepEpochs: 5, SleepTempC: 30, SleepVdd: 0}},
+	}
+	res, err := e.RegisterBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrors := make(map[string]*mirrorChip, len(specs))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("register %s: %v", r.ID, r.Err)
+		}
+		mirrors[r.ID] = newMirror(specs[i])
+	}
+
+	check := func(epoch uint64) {
+		t.Helper()
+		snap := e.Snapshot()
+		if snap.Epoch != epoch {
+			t.Fatalf("snapshot epoch %d, want %d", snap.Epoch, epoch)
+		}
+		for id, m := range mirrors {
+			cv, ok := snap.Chip(id)
+			if !ok {
+				t.Fatalf("epoch %d: chip %s missing from snapshot", epoch, id)
+			}
+			if !relClose(cv.VthShift, m.st.Vth(), 1e-12) {
+				t.Fatalf("epoch %d chip %s: engine Vth %.17g, scalar %.17g", epoch, id, cv.VthShift, m.st.Vth())
+			}
+			if cv.Odometer != m.odo {
+				t.Fatalf("epoch %d chip %s: odometer %d, scalar %d", epoch, id, cv.Odometer, m.odo)
+			}
+			if wantPhase := phaseName(m.phase); cv.Phase != wantPhase {
+				t.Fatalf("epoch %d chip %s: phase %s, scalar %s", epoch, id, cv.Phase, wantPhase)
+			}
+		}
+	}
+
+	var epoch uint64
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			e.Tick(ctx)
+			epoch++
+			for _, m := range mirrors {
+				m.advance(p, epoch, dt)
+			}
+			check(epoch)
+		}
+	}
+
+	tick(13)
+
+	// Flip the DC chip into reverse-biased sleep mid-run.
+	if err := e.SetCondition(ctx, "dc-hot", Cond{Phase: PhaseSleepName, TempC: 35, Vdd: -0.4, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m := mirrors["dc-hot"]
+	m.phase, m.tempC, m.vdd = phaseSleep, 35, -0.4
+
+	// Re-deal the circadian chip's cycle; its wheel item goes stale.
+	if err := e.SetSchedule(ctx, "circadian", Schedule{StressEpochs: 2, SleepEpochs: 4, SleepTempC: 25, SleepVdd: -0.1}); err != nil {
+		t.Fatal(err)
+	}
+	mc := mirrors["circadian"]
+	mc.sched = Schedule{StressEpochs: 2, SleepEpochs: 4, SleepTempC: 25, SleepVdd: -0.1}
+	span := mc.sched.StressEpochs
+	if mc.phase == phaseSleep {
+		span = mc.sched.SleepEpochs
+	}
+	mc.nextFire = epoch + span
+
+	tick(17)
+
+	if st := e.Stats(); st.Epoch != epoch || st.TicksTotal != epoch || st.Chips != len(specs) {
+		t.Fatalf("stats = %+v, want epoch/ticks %d, chips %d", st, epoch, len(specs))
+	}
+}
+
+func TestEngineReadYourWrites(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{})
+	if err := e.Register(ctx, Spec{ID: "r1", TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Visible in the snapshot immediately, without waiting for a tick.
+	if !e.Snapshot().Has("r1") {
+		t.Fatal("registered chip not visible in snapshot before first tick")
+	}
+	if err := e.Remove(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Snapshot().Has("r1") {
+		t.Fatal("removed chip still visible in snapshot")
+	}
+}
+
+func TestEngineEventValidation(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{})
+	if err := e.Register(ctx, Spec{ID: "v1", TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"dup-register", e.Register(ctx, Spec{ID: "v1", TempC: 80, Vdd: 1.2, Duty: 1}), "already registered"},
+		{"empty-id", e.Register(ctx, Spec{TempC: 80, Vdd: 1.2}), "needs an id"},
+		{"bad-phase", e.Register(ctx, Spec{ID: "v2", Phase: "hibernate", TempC: 80, Vdd: 1.2}), "unknown phase"},
+		{"nan-temp", e.Register(ctx, Spec{ID: "v3", TempC: math.NaN(), Vdd: 1.2}), ""},
+		{"nan-duty", e.Register(ctx, Spec{ID: "v4", TempC: 80, Vdd: 1.2, Duty: math.NaN()}), ""},
+		{"inf-vdd", e.Register(ctx, Spec{ID: "v5", TempC: 80, Vdd: math.Inf(1), Duty: 1}), ""},
+		{"bad-sleep-cond", e.Register(ctx, Spec{ID: "v6", TempC: 80, Vdd: 1.2, Duty: 1,
+			Schedule: &Schedule{StressEpochs: 2, SleepEpochs: 2, SleepTempC: math.Inf(-1)}}), ""},
+		{"one-sided-schedule", e.Register(ctx, Spec{ID: "v7", TempC: 80, Vdd: 1.2, Duty: 1,
+			Schedule: &Schedule{StressEpochs: 5}}), "both phase lengths"},
+		{"set-unknown-chip", e.SetCondition(ctx, "ghost", Cond{TempC: 80, Vdd: 1.2, Duty: 1}), "no chip"},
+		{"set-bad-phase", e.SetCondition(ctx, "v1", Cond{Phase: "off", TempC: 80, Vdd: 1.2}), "unknown phase"},
+		{"sched-unknown-chip", e.SetSchedule(ctx, "ghost", Schedule{StressEpochs: 1, SleepEpochs: 1}), "no chip"},
+		{"remove-unknown", e.Remove(ctx, "ghost"), "no chip"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(tc.err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, tc.err, tc.want)
+		}
+	}
+
+	// None of the rejected registrations may have landed.
+	for _, id := range []string{"v2", "v3", "v4", "v5", "v6", "v7"} {
+		if e.Snapshot().Has(id) {
+			t.Fatalf("rejected registration %s is visible", id)
+		}
+	}
+
+	// A zero schedule is a valid cancellation, not a one-sided error.
+	if err := e.SetSchedule(ctx, "v1", Schedule{}); err != nil {
+		t.Fatalf("cancelling schedule: %v", err)
+	}
+}
+
+func TestEngineFleetBackedLifecycle(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{})
+	if err := e.Register(ctx, Spec{ID: "fb", Kind: KindFleet, TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Remove(ctx, "fb")
+	if err == nil || !strings.Contains(err.Error(), "fleet") {
+		t.Fatalf("removing fleet-backed chip: err = %v, want fleet-backed refusal", err)
+	}
+	if err := e.ObserveFleetDelete(ctx, "fb"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Snapshot().Has("fb") {
+		t.Fatal("fleet-backed chip still visible after ObserveFleetDelete")
+	}
+}
+
+func TestEngineSyncFleet(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{})
+	if err := e.Register(ctx, Spec{ID: "native", TempC: 70, Vdd: 1.1, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(ctx, Spec{ID: "fleet-stale", Kind: KindFleet, TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	def := Spec{TempC: 80, Vdd: 1.2, Duty: 1}
+	regs, err := e.SyncFleet(ctx, []string{"fleet-a", "fleet-b"}, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("sync registered %d chips, want 2", len(regs))
+	}
+	for _, r := range regs {
+		if r.Err != nil {
+			t.Fatalf("sync register %s: %v", r.ID, r.Err)
+		}
+	}
+	snap := e.Snapshot()
+	for _, id := range []string{"native", "fleet-a", "fleet-b"} {
+		if !snap.Has(id) {
+			t.Fatalf("chip %s missing after sync", id)
+		}
+	}
+	if snap.Has("fleet-stale") {
+		t.Fatal("stale fleet-backed chip survived sync")
+	}
+	// A second sync with the same set is a no-op.
+	regs, err = e.SyncFleet(ctx, []string{"fleet-a", "fleet-b"}, def)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("idempotent sync: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestEngineClosed(t *testing.T) {
+	e := memEngine(t, Config{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(context.Background(), Spec{ID: "late", TempC: 80, Vdd: 1.2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestEngineReplayExact proves the durability contract: a reopened
+// engine replays the journal and lands on the bit-identical state —
+// epochs, Vth, odometers, phases, schedules in flight.
+func TestEngineReplayExact(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := Config{EpochHours: 0.5, FlushEpochs: 4, Workers: 2}
+
+	st1, _, err := store.Open[any](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := New(st1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{ID: "a", TempC: 105, Vdd: 1.32, Duty: 1},
+		{ID: "b", TempC: 80, Vdd: 1.2, Duty: 0.5},
+		{ID: "c", Phase: PhaseSleepName, TempC: 45, Vdd: -0.3, Duty: 1},
+		{ID: "d", TempC: 95, Vdd: 1.25, Duty: 0.8,
+			Schedule: &Schedule{StressEpochs: 3, SleepEpochs: 2, SleepTempC: 40, SleepVdd: -0.25}},
+		{ID: "gone", TempC: 70, Vdd: 1.1, Duty: 1},
+	}
+	res, err := e1.RegisterBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("register %s: %v", r.ID, r.Err)
+		}
+	}
+	for i := 0; i < 6; i++ { // 4 flushed, 2 pending at the event below
+		e1.Tick(ctx)
+	}
+	if err := e1.SetCondition(ctx, "a", Cond{Phase: PhaseSleepName, TempC: 35, Vdd: -0.4, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.SetSchedule(ctx, "b", Schedule{StressEpochs: 2, SleepEpochs: 2, SleepTempC: 30, SleepVdd: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Remove(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // 11 epochs total, 1 pending at close
+		e1.Tick(ctx)
+	}
+	snap1 := e1.Snapshot()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _, err := store.Open[any](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2, err := New(st2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	snap2 := e2.Snapshot()
+
+	if snap2.Epoch != snap1.Epoch || snap2.SimHours != snap1.SimHours || snap2.Chips != snap1.Chips {
+		t.Fatalf("replayed header epoch=%d hours=%g chips=%d, want epoch=%d hours=%g chips=%d",
+			snap2.Epoch, snap2.SimHours, snap2.Chips, snap1.Epoch, snap1.SimHours, snap1.Chips)
+	}
+	if st := e2.Stats(); st.ReplayedEpochs != snap1.Epoch {
+		t.Fatalf("replayed %d epochs, want %d", st.ReplayedEpochs, snap1.Epoch)
+	}
+	if snap2.Has("gone") {
+		t.Fatal("removed chip resurrected by replay")
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		want, ok := snap1.Chip(id)
+		if !ok {
+			t.Fatalf("chip %s missing pre-close", id)
+		}
+		got, ok := snap2.Chip(id)
+		if !ok {
+			t.Fatalf("chip %s missing after replay", id)
+		}
+		if got != want {
+			t.Fatalf("chip %s replayed as %+v, want %+v", id, got, want)
+		}
+	}
+
+	// The in-flight schedule must replay too: keep ticking both the
+	// reopened engine and a scalar mirror of chip d.
+	for i := 0; i < 10; i++ {
+		e2.Tick(ctx)
+	}
+	cv, _ := e2.Snapshot().Chip("d")
+	if cv.Odometer == 0 || cv.Odometer == snap1.Epoch+10 {
+		t.Fatalf("chip d odometer %d after 10 more epochs: schedule did not survive replay", cv.Odometer)
+	}
+}
+
+// TestEngineHardStop proves an acked registration survives a crash
+// that loses the unflushed epoch window (the documented trade: at most
+// FlushEpochs epochs of simulated time re-age from the last record).
+func TestEngineHardStop(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	st1, _, err := store.Open[any](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := New(st1, Config{FlushEpochs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Register(ctx, Spec{ID: "survivor", TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e1.Tick(ctx)
+	}
+	// Hard stop: the store closes underneath the engine; no engine
+	// Close, no final flush.
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _, err := store.Open[any](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2, err := New(st2, Config{FlushEpochs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	snap := e2.Snapshot()
+	if !snap.Has("survivor") {
+		t.Fatal("acked registration lost across hard stop")
+	}
+	if snap.Epoch != 0 {
+		t.Fatalf("unflushed epochs resurrected: epoch %d, want 0", snap.Epoch)
+	}
+	e1.Close() // leaked engine; its final flush fails against the closed store
+}
+
+func TestSnapshotTopByOdometer(t *testing.T) {
+	s := &Snapshot{Epoch: 9}
+	fill := func(pi int, chips ...ChipView) {
+		pv := &s.Parts[pi]
+		for _, c := range chips {
+			pv.IDs = append(pv.IDs, c.ID)
+			pv.Vth = append(pv.Vth, c.VthShift)
+			pv.Odo = append(pv.Odo, c.Odometer)
+			pv.Phase = append(pv.Phase, phaseStress)
+			pv.Duty = append(pv.Duty, 1)
+		}
+	}
+	fill(0,
+		ChipView{ID: "m", Odometer: 5},
+		ChipView{ID: "a", Odometer: 9},
+		ChipView{ID: "z", Odometer: 9})
+	fill(7,
+		ChipView{ID: "q", Odometer: 12},
+		ChipView{ID: "b", Odometer: 1})
+	fill(31, ChipView{ID: "k", Odometer: 9})
+
+	got := s.TopByOdometer(4)
+	wantIDs := []string{"q", "a", "k", "z"} // 12, then the 9s by id
+	if len(got) != len(wantIDs) {
+		t.Fatalf("top-4 returned %d chips", len(got))
+	}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("top[%d] = %s (odo %d), want %s", i, got[i].ID, got[i].Odometer, id)
+		}
+	}
+	if all := s.TopByOdometer(100); len(all) != 6 {
+		t.Fatalf("k beyond fleet size returned %d chips, want 6", len(all))
+	}
+	if s.TopByOdometer(0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{EpochHours: -1},
+		{EpochHours: math.NaN()},
+		{EpochHours: math.Inf(1)},
+	} {
+		if _, err := New(store.NewMem[any](), bad); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	badParams := td.DefaultParams()
+	badParams.K1 = -1
+	if _, err := New(store.NewMem[any](), Config{Params: badParams}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestEnginePartitionAlignment spreads ids over every store shard and
+// checks lookups resolve through the matching engine partition.
+func TestEnginePartitionAlignment(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{Workers: 8})
+	var specs []Spec
+	for i := 0; i < 4*store.ShardCount; i++ {
+		specs = append(specs, Spec{ID: fmt.Sprintf("chip-%03d", i), TempC: 80, Vdd: 1.2, Duty: 1})
+	}
+	res, err := e.RegisterBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("register %s: %v", r.ID, r.Err)
+		}
+	}
+	e.Tick(ctx)
+	snap := e.Snapshot()
+	if snap.Chips != len(specs) {
+		t.Fatalf("snapshot has %d chips, want %d", snap.Chips, len(specs))
+	}
+	for _, sp := range specs {
+		cv, ok := snap.Chip(sp.ID)
+		if !ok || cv.Odometer != 1 {
+			t.Fatalf("chip %s: view %+v ok=%v after one stress epoch", sp.ID, cv, ok)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package engine
+
+import "fmt"
+
+// NotFoundError reports an operation on a chip the engine does not
+// know. The serve layer maps it to 404.
+type NotFoundError struct{ ID string }
+
+func (e NotFoundError) Error() string { return fmt.Sprintf("engine: no chip %q", e.ID) }
+
+// DuplicateError reports a registration whose id is already taken. The
+// serve layer maps it to 409.
+type DuplicateError struct{ ID string }
+
+func (e DuplicateError) Error() string {
+	return fmt.Sprintf("engine: chip %q already registered", e.ID)
+}

@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"selfheal/internal/store"
+	"selfheal/internal/td"
+	"selfheal/internal/units"
+)
+
+// Event kinds. Mutations are enqueued as events and applied by the
+// pump goroutine under the tick lock, so they land between epochs —
+// never in the middle of one — and their journal records always
+// follow the flush of any epochs they were preceded by.
+type eventKind uint8
+
+const (
+	evRegister eventKind = iota
+	evRemove
+	evSet
+	evSchedule
+	evSync
+)
+
+type event struct {
+	kind  eventKind
+	specs []Spec // register additions
+	id    string
+	force bool // fleet-driven removal: no commit, fleet-backed allowed
+	cond  Cond
+	sched Schedule
+	// Sync payload: the fleet's full id list (ordered, plus a set for
+	// membership tests) and the default spec for missing chips. The
+	// pump computes additions/removals itself, under the tick lock.
+	ids  []string
+	have map[string]bool
+	def  Spec
+	done chan eventOut
+}
+
+type eventOut struct {
+	err  error
+	regs []RegResult
+}
+
+// enqueue submits one event and waits for the pump's verdict.
+func (e *Engine) enqueue(ev *event) (eventOut, error) {
+	ev.done = make(chan eventOut, 1)
+	select {
+	case e.events <- ev:
+	case <-e.closedc:
+		return eventOut{}, ErrClosed
+	}
+	select {
+	case out := <-ev.done:
+		return out, out.err
+	case <-e.closedc:
+		return eventOut{}, ErrClosed
+	}
+}
+
+// pump is the single event consumer: it drains whatever is queued,
+// takes the tick lock once for the batch, flushes pending epochs so
+// journal order matches application order, and applies each event.
+func (e *Engine) pump() {
+	defer e.wg.Done()
+	for {
+		var first *event
+		select {
+		case <-e.closedc:
+			return
+		case first = <-e.events:
+		}
+		batch := []*event{first}
+	drain:
+		for len(batch) < 256 {
+			select {
+			case ev := <-e.events:
+				batch = append(batch, ev)
+			default:
+				break drain
+			}
+		}
+		e.processBatch(batch)
+	}
+}
+
+func (e *Engine) processBatch(batch []*event) {
+	ctx := context.Background()
+	e.tickMu.Lock()
+	// Invariant: epoch records precede any event record committed now.
+	flushErr := e.flushLocked(ctx)
+	outs := make([]eventOut, len(batch))
+	for i, ev := range batch {
+		switch ev.kind {
+		case evRegister:
+			outs[i].regs = e.applyRegister(ctx, ev.specs, flushErr)
+		case evRemove:
+			outs[i].err = e.applyRemove(ctx, ev.id, ev.force, flushErr)
+		case evSet:
+			outs[i].err = e.applySet(ctx, ev.id, ev.cond, flushErr)
+		case evSchedule:
+			outs[i].err = e.applySchedule(ctx, ev.id, ev.sched, flushErr)
+		case evSync:
+			outs[i].regs = e.applySync(ctx, ev, flushErr)
+		}
+		e.eventsApplied.Add(1)
+	}
+	// Republish before waking any caller, and after every applied batch,
+	// so callers get read-your-writes on conditions and schedules, not
+	// just membership changes.
+	if len(batch) > 0 {
+		e.publishSnapshotLocked()
+	}
+	e.tickMu.Unlock()
+	for i, ev := range batch {
+		ev.done <- outs[i]
+	}
+}
+
+// commitMany commits records concurrently so the journal's group
+// commit amortizes the fsyncs of a bulk registration. Returns one
+// error slot per record. No-op (all nil) on a non-durable journal.
+func (e *Engine) commitMany(ctx context.Context, recs []store.Record) []error {
+	errs := make([]error, len(recs))
+	if !e.j.Durable() || len(recs) == 0 {
+		return errs
+	}
+	workers := 32
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	if workers == 1 {
+		errs[0] = e.j.Commit(ctx, recs[0])
+		return errs
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				errs[i] = e.j.Commit(ctx, recs[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range recs {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return errs
+}
+
+// normalizeSpec fills Spec defaults and validates the condition
+// through the same constructors the hot path uses, so a registration
+// that validates can never poison an epoch advance later.
+func (e *Engine) normalizeSpec(sp Spec) (Spec, error) {
+	if sp.ID == "" {
+		return sp, fmt.Errorf("engine: registration needs an id")
+	}
+	switch sp.Phase {
+	case "":
+		sp.Phase = PhaseStressName
+	case PhaseStressName, PhaseSleepName:
+	default:
+		return sp, fmt.Errorf("engine: chip %q: unknown phase %q (want %q or %q)",
+			sp.ID, sp.Phase, PhaseStressName, PhaseSleepName)
+	}
+	if err := e.validateCond(sp.Phase, sp.TempC, sp.Vdd); err != nil {
+		return sp, fmt.Errorf("engine: chip %q: %w", sp.ID, err)
+	}
+	if sp.Schedule != nil {
+		if err := e.validateSchedule(*sp.Schedule); err != nil {
+			return sp, fmt.Errorf("engine: chip %q: %w", sp.ID, err)
+		}
+		if sp.Schedule.StressEpochs == 0 && sp.Schedule.SleepEpochs == 0 {
+			sp.Schedule = nil
+		}
+	}
+	return sp, nil
+}
+
+// validateCond checks one (phase, temp, vdd) condition by building the
+// corresponding td step.
+func (e *Engine) validateCond(phase string, tempC, vdd float64) error {
+	key := classKey{tempC: tempC, vdd: vdd}
+	if phase == PhaseSleepName {
+		key.phase = phaseSleep
+	}
+	c := tdClass(key, nil)
+	var err error
+	if c.Stress {
+		_, err = td.NewStressStep(e.params, c.SCond, units.Seconds(1))
+	} else {
+		_, err = td.NewRecoverStep(e.params, c.RCond, units.Seconds(1))
+	}
+	return err
+}
+
+func (e *Engine) validateSchedule(s Schedule) error {
+	if (s.StressEpochs == 0) != (s.SleepEpochs == 0) {
+		return fmt.Errorf("engine: schedule needs both phase lengths (got stress=%d sleep=%d epochs)",
+			s.StressEpochs, s.SleepEpochs)
+	}
+	if s.StressEpochs == 0 {
+		return nil // cancellation
+	}
+	return e.validateCond(PhaseSleepName, s.SleepTempC, s.SleepVdd)
+}
+
+func regRecord(sp Spec) store.Record {
+	rec := store.Record{
+		Op: store.OpEngineReg, ID: sp.ID, Kind: sp.Kind, Phase: sp.Phase,
+		TempC: sp.TempC, Vdd: sp.Vdd, Duty: sp.Duty,
+	}
+	if sp.Schedule != nil {
+		rec.StressEpochs = sp.Schedule.StressEpochs
+		rec.SleepEpochs = sp.Schedule.SleepEpochs
+		rec.SleepTempC = sp.Schedule.SleepTempC
+		rec.SleepVdd = sp.Schedule.SleepVdd
+	}
+	return rec
+}
+
+// applyRegister validates, commits, and applies a batch of
+// registrations. Items fail independently; an item is applied only
+// after its record is durable, so an acked registration survives a
+// hard stop.
+func (e *Engine) applyRegister(ctx context.Context, specs []Spec, flushErr error) []RegResult {
+	results := make([]RegResult, len(specs))
+	norm := make([]Spec, len(specs))
+	commitIdx := make([]int, 0, len(specs))
+	recs := make([]store.Record, 0, len(specs))
+	inBatch := make(map[string]bool, len(specs))
+	for i, sp := range specs {
+		results[i].ID = sp.ID
+		nsp, err := e.normalizeSpec(sp)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		if inBatch[nsp.ID] {
+			results[i].Err = fmt.Errorf("engine: chip %q appears twice in the batch", nsp.ID)
+			continue
+		}
+		if _, taken := e.partFor(nsp.ID).index[nsp.ID]; taken {
+			results[i].Err = DuplicateError{ID: nsp.ID}
+			continue
+		}
+		if flushErr != nil {
+			// The epoch window could not be journaled; committing this
+			// registration would misorder replay. Fail it retryably.
+			results[i].Err = fmt.Errorf("engine: register %q: journal degraded: %w", nsp.ID, flushErr)
+			continue
+		}
+		inBatch[nsp.ID] = true
+		norm[i] = nsp
+		commitIdx = append(commitIdx, i)
+		recs = append(recs, regRecord(nsp))
+	}
+	errs := e.commitMany(ctx, recs)
+	for k, i := range commitIdx {
+		if errs[k] != nil {
+			e.commitErrors.Add(1)
+			results[i].Err = fmt.Errorf("engine: register %q could not be committed: %w", norm[i].ID, errs[k])
+			continue
+		}
+		p := e.partFor(norm[i].ID)
+		p.mu.Lock()
+		err := p.register(e.params, norm[i])
+		p.mu.Unlock()
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		e.chips.Add(1)
+	}
+	return results
+}
+
+func (e *Engine) applyRemove(ctx context.Context, id string, force bool, flushErr error) error {
+	p := e.partFor(id)
+	i, ok := p.index[id]
+	if !ok {
+		return NotFoundError{ID: id}
+	}
+	if p.meta[i].fleet && !force {
+		return fmt.Errorf("engine: chip %q is fleet-backed; delete it through the fleet API", id)
+	}
+	if !force && e.j.Durable() {
+		if flushErr != nil {
+			return fmt.Errorf("engine: remove %q: journal degraded: %w", id, flushErr)
+		}
+		if err := e.j.Commit(ctx, store.Record{Op: store.OpEngineRemove, ID: id}); err != nil {
+			e.commitErrors.Add(1)
+			return fmt.Errorf("engine: remove %q could not be committed: %w", id, err)
+		}
+	}
+	p.mu.Lock()
+	removed := p.remove(id)
+	p.mu.Unlock()
+	if removed {
+		e.chips.Add(-1)
+	}
+	return nil
+}
+
+func (e *Engine) applySet(ctx context.Context, id string, c Cond, flushErr error) error {
+	switch c.Phase {
+	case "":
+		c.Phase = PhaseStressName
+	case PhaseStressName, PhaseSleepName:
+	default:
+		return fmt.Errorf("engine: unknown phase %q", c.Phase)
+	}
+	if err := e.validateCond(c.Phase, c.TempC, c.Vdd); err != nil {
+		return fmt.Errorf("engine: chip %q: %w", id, err)
+	}
+	p := e.partFor(id)
+	if _, ok := p.index[id]; !ok {
+		return NotFoundError{ID: id}
+	}
+	if e.j.Durable() {
+		if flushErr != nil {
+			return fmt.Errorf("engine: set %q: journal degraded: %w", id, flushErr)
+		}
+		err := e.j.Commit(ctx, store.Record{
+			Op: store.OpEngineSet, ID: id, Phase: c.Phase,
+			TempC: c.TempC, Vdd: c.Vdd, Duty: c.Duty,
+		})
+		if err != nil {
+			e.commitErrors.Add(1)
+			return fmt.Errorf("engine: set %q could not be committed: %w", id, err)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.setCondition(e.params, id, c)
+}
+
+func (e *Engine) applySchedule(ctx context.Context, id string, s Schedule, flushErr error) error {
+	if err := e.validateSchedule(s); err != nil {
+		return err
+	}
+	p := e.partFor(id)
+	if _, ok := p.index[id]; !ok {
+		return NotFoundError{ID: id}
+	}
+	if e.j.Durable() {
+		if flushErr != nil {
+			return fmt.Errorf("engine: schedule %q: journal degraded: %w", id, flushErr)
+		}
+		err := e.j.Commit(ctx, store.Record{
+			Op: store.OpEngineSchedule, ID: id,
+			StressEpochs: s.StressEpochs, SleepEpochs: s.SleepEpochs,
+			SleepTempC: s.SleepTempC, SleepVdd: s.SleepVdd,
+		})
+		if err != nil {
+			e.commitErrors.Add(1)
+			return fmt.Errorf("engine: schedule %q could not be committed: %w", id, err)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.setSchedule(id, s)
+}
+
+// RegisterBatch registers chips with the engine. Results are
+// per-item; an item whose result has a nil Err is durably registered
+// (its record was fsync'd before the ack).
+func (e *Engine) RegisterBatch(ctx context.Context, specs []Spec) ([]RegResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out, err := e.enqueue(&event{kind: evRegister, specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	return out.regs, nil
+}
+
+// Register registers one chip.
+func (e *Engine) Register(ctx context.Context, sp Spec) error {
+	res, err := e.RegisterBatch(ctx, []Spec{sp})
+	if err != nil {
+		return err
+	}
+	return res[0].Err
+}
+
+// Remove unregisters an engine-native chip. Fleet-backed chips refuse
+// (delete them through the fleet API; see ObserveFleetDelete).
+func (e *Engine) Remove(ctx context.Context, id string) error {
+	_, err := e.enqueue(&event{kind: evRemove, id: id})
+	return err
+}
+
+// SetCondition changes a chip's phase, condition, and duty cycle.
+func (e *Engine) SetCondition(ctx context.Context, id string, c Cond) error {
+	_, err := e.enqueue(&event{kind: evSet, id: id, cond: c})
+	return err
+}
+
+// SetSchedule installs (or, with zero epoch counts, cancels) a chip's
+// circadian stress/sleep cycle.
+func (e *Engine) SetSchedule(ctx context.Context, id string, s Schedule) error {
+	_, err := e.enqueue(&event{kind: evSchedule, id: id, sched: s})
+	return err
+}
+
+// ObserveFleetDelete removes a fleet-backed chip after the fleet
+// deleted it. No engine record is committed: the fleet's delete record
+// already prunes the chip's engine history on replay.
+func (e *Engine) ObserveFleetDelete(ctx context.Context, id string) error {
+	_, err := e.enqueue(&event{kind: evRemove, id: id, force: true})
+	return err
+}
+
+// applySync reconciles engine membership with the fleet's id set
+// under the tick lock: missing fleet chips register with the sync's
+// default spec, and fleet-backed engine chips not in the set are
+// dropped (their engine records were already pruned by the fleet
+// delete's journal absorption, so no commit is needed).
+func (e *Engine) applySync(ctx context.Context, ev *event, flushErr error) []RegResult {
+	var specs []Spec
+	for _, id := range ev.ids {
+		if _, ok := e.partFor(id).index[id]; !ok {
+			sp := ev.def
+			sp.ID = id
+			sp.Kind = KindFleet
+			specs = append(specs, sp)
+		}
+	}
+	regs := e.applyRegister(ctx, specs, flushErr)
+	for _, p := range e.parts {
+		var stale []string
+		for i := range p.meta {
+			if p.meta[i].fleet && !ev.have[p.meta[i].id] {
+				stale = append(stale, p.meta[i].id)
+			}
+		}
+		for _, id := range stale {
+			p.mu.Lock()
+			removed := p.remove(id)
+			p.mu.Unlock()
+			if removed {
+				e.chips.Add(-1)
+			}
+		}
+	}
+	return regs
+}
+
+// SyncFleet reconciles engine membership with the fleet's chip set:
+// fleet chips the engine does not know get registered with def's
+// condition (id and kind are filled in per chip), and fleet-backed
+// engine chips no longer in the fleet are dropped. The serve layer
+// calls it once on startup — it covers both crash windows (a create
+// acked before its engine registration committed) and fleets that
+// predate the engine.
+func (e *Engine) SyncFleet(ctx context.Context, fleetIDs []string, def Spec) ([]RegResult, error) {
+	have := make(map[string]bool, len(fleetIDs))
+	for _, id := range fleetIDs {
+		have[id] = true
+	}
+	out, err := e.enqueue(&event{kind: evSync, ids: fleetIDs, have: have, def: def})
+	if err != nil {
+		return nil, err
+	}
+	return out.regs, nil
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineAcceptance is the issue's acceptance scenario: a large
+// fleet advances many epochs while concurrent readers hammer the
+// snapshot path. Every read must observe one internally consistent
+// epoch (monotone across reads, all per-chip arrays coherent), and a
+// chip under permanent stress must end with odometer == epochs.
+// Scale: acceptChips × acceptEpochs (reduced under -race, see
+// scale_race.go); -short trims it further.
+func TestEngineAcceptance(t *testing.T) {
+	chips, epochs := acceptChips, acceptEpochs
+	if testing.Short() {
+		if chips > 8192 {
+			chips = 8192
+		}
+		if epochs > 100 {
+			epochs = 100
+		}
+	}
+	ctx := context.Background()
+	e := memEngine(t, Config{EpochHours: 0.5, FlushEpochs: 64})
+
+	const regBatch = 4096
+	specs := make([]Spec, 0, regBatch)
+	registered := 0
+	flush := func() {
+		if len(specs) == 0 {
+			return
+		}
+		res, err := e.RegisterBatch(ctx, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("register %s: %v", r.ID, r.Err)
+			}
+		}
+		registered += len(specs)
+		specs = specs[:0]
+	}
+	for i := 0; i < chips; i++ {
+		sp := Spec{ID: fmt.Sprintf("acc-%06d", i), TempC: 80, Vdd: 1.2, Duty: 1}
+		switch i % 5 {
+		case 1:
+			sp.Duty = 0.5
+		case 2:
+			sp.TempC, sp.Vdd = 105, 1.32
+		case 3:
+			sp.Schedule = &Schedule{StressEpochs: 16, SleepEpochs: 8, SleepTempC: 40, SleepVdd: -0.3}
+		case 4:
+			sp.Phase = PhaseSleepName
+			sp.TempC, sp.Vdd = 45, -0.25
+		}
+		specs = append(specs, sp)
+		if len(specs) == regBatch {
+			flush()
+		}
+	}
+	flush()
+	if registered != chips {
+		t.Fatalf("registered %d chips, want %d", registered, chips)
+	}
+
+	stop := make(chan struct{})
+	var readErr atomic.Pointer[string]
+	fail := func(format string, args ...any) {
+		s := fmt.Sprintf(format, args...)
+		readErr.CompareAndSwap(nil, &s)
+	}
+	var wg sync.WaitGroup
+	const readers = 4
+	var reads atomic.Int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := fmt.Sprintf("acc-%06d", r) // i%5==r: phase known per spec
+			var lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.Snapshot()
+				if snap.Epoch < lastEpoch {
+					fail("reader %d: epoch went backwards: %d after %d", r, snap.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = snap.Epoch
+				if snap.Chips != chips {
+					fail("reader %d: snapshot has %d chips, want %d", r, snap.Chips, chips)
+					return
+				}
+				for pi := range snap.Parts {
+					pv := &snap.Parts[pi]
+					n := len(pv.IDs)
+					if len(pv.Vth) != n || len(pv.Odo) != n || len(pv.Phase) != n || len(pv.Duty) != n {
+						fail("reader %d: partition %d arrays ragged: ids=%d vth=%d odo=%d phase=%d duty=%d",
+							r, pi, n, len(pv.Vth), len(pv.Odo), len(pv.Phase), len(pv.Duty))
+						return
+					}
+				}
+				cv, ok := snap.Chip(probe)
+				if !ok {
+					fail("reader %d: probe chip %s missing", r, probe)
+					return
+				}
+				// A chip with no schedule never changes phase; its
+				// odometer is bounded by the snapshot's epoch.
+				if cv.Odometer > snap.Epoch {
+					fail("reader %d: chip %s odometer %d exceeds epoch %d", r, probe, cv.Odometer, snap.Epoch)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	for i := 0; i < epochs; i++ {
+		e.Tick(ctx)
+	}
+	close(stop)
+	wg.Wait()
+	if s := readErr.Load(); s != nil {
+		t.Fatal(*s)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers observed no snapshots")
+	}
+
+	snap := e.Snapshot()
+	if snap.Epoch != uint64(epochs) {
+		t.Fatalf("final epoch %d, want %d", snap.Epoch, epochs)
+	}
+	dc, _ := snap.Chip("acc-000000") // DC stress, no schedule
+	if dc.Odometer != uint64(epochs) {
+		t.Fatalf("DC chip odometer %d, want %d", dc.Odometer, epochs)
+	}
+	asleep, _ := snap.Chip("acc-000004") // registered asleep, no schedule
+	if asleep.Odometer != 0 || asleep.Phase != PhaseSleepName {
+		t.Fatalf("sleeping chip aged: %+v", asleep)
+	}
+	sched, _ := snap.Chip("acc-000003") // 16 stress / 8 sleep cycle
+	if sched.Odometer == 0 || sched.Odometer >= uint64(epochs) {
+		t.Fatalf("scheduled chip odometer %d, want strictly between 0 and %d", sched.Odometer, epochs)
+	}
+	if st := e.Stats(); st.AdvanceError != "" {
+		t.Fatalf("advance error: %s", st.AdvanceError)
+	}
+}
+
+// TestEngineHammer drives mutations, ticks, and snapshot reads from
+// many goroutines at once — primarily a race-detector workload.
+func TestEngineHammer(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{EpochHours: 0.5, Workers: 4})
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	res, err := e.RegisterBatch(ctx, []Spec{
+		{ID: "base-0", TempC: 80, Vdd: 1.2, Duty: 1},
+		{ID: "base-1", TempC: 90, Vdd: 1.25, Duty: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	var mutWg, loopWg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mutWg.Add(1)
+		go func(w int) {
+			defer mutWg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("h-%d-%d", w, i)
+				if err := e.Register(ctx, Spec{ID: id, TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					if err := e.SetCondition(ctx, id, Cond{Phase: PhaseSleepName, TempC: 40, Vdd: -0.3, Duty: 1}); err != nil {
+						t.Errorf("set %s: %v", id, err)
+						return
+					}
+				case 1:
+					if err := e.SetSchedule(ctx, id, Schedule{StressEpochs: 2, SleepEpochs: 2, SleepTempC: 30, SleepVdd: 0}); err != nil {
+						t.Errorf("schedule %s: %v", id, err)
+						return
+					}
+				case 2:
+					if err := e.Remove(ctx, id); err != nil {
+						t.Errorf("remove %s: %v", id, err)
+						return
+					}
+				}
+				_ = e.Snapshot().Has(id)
+				_ = e.Stats()
+			}
+		}(w)
+	}
+	loopWg.Add(2)
+	stop := make(chan struct{})
+	go func() {
+		defer loopWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Tick(ctx)
+			}
+		}
+	}()
+	go func() {
+		defer loopWg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := e.Snapshot()
+			if snap.Epoch < last {
+				t.Errorf("epoch went backwards: %d after %d", snap.Epoch, last)
+				return
+			}
+			last = snap.Epoch
+			_ = snap.TopByOdometer(5)
+		}
+	}()
+
+	// Let the mutators run their course under the churning tick and
+	// read loops, then shut the loops down.
+	mutWg.Wait()
+	close(stop)
+	loopWg.Wait()
+
+	if st := e.Stats(); st.AdvanceError != "" {
+		t.Fatalf("advance error: %s", st.AdvanceError)
+	}
+	want := 2 + workers*rounds - workers*rounds/4
+	if snap := e.Snapshot(); snap.Chips != want {
+		t.Fatalf("final fleet size %d, want %d", snap.Chips, want)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package engine
+
+// Reduced acceptance-test scale for the race-instrumented build; the
+// full 100k × 1000 criterion runs in scale_norace.go builds.
+const (
+	acceptChips  = 4096
+	acceptEpochs = 64
+)

@@ -26,11 +26,15 @@ type OpSpec struct {
 
 // CreateResult reports one item of a bulk create. Exactly one of Chip
 // and Error is set; Err carries the typed error for in-process callers
-// (the transport layer uses it to spot durability failures).
+// (the transport layer uses it to spot durability failures). Code,
+// when present, is a machine-readable classification of the failure —
+// currently only CodeCanceled, marking an item that was never run and
+// is safe to retry.
 type CreateResult struct {
 	ID    string        `json:"id"`
 	Chip  *ChipResponse `json:"chip,omitempty"`
 	Error string        `json:"error,omitempty"`
+	Code  string        `json:"code,omitempty"`
 	Err   error         `json:"-"`
 }
 
@@ -45,6 +49,7 @@ type OpResult struct {
 	Reading  *ReadingResponse  `json:"reading,omitempty"`
 	Odometer *OdometerResponse `json:"odometer,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	Code     string            `json:"code,omitempty"`
 	Err      error             `json:"-"`
 }
 
@@ -70,7 +75,8 @@ func (s *Service) CreateBatch(ctx context.Context, specs []CreateSpec) []CreateR
 		}
 		results[i] = res
 	}, func(i int, err error) {
-		results[i] = CreateResult{ID: specs[i].ID, Err: err, Error: err.Error()}
+		cerr := CanceledError{Err: err}
+		results[i] = CreateResult{ID: specs[i].ID, Err: cerr, Error: cerr.Error(), Code: CodeCanceled}
 	})
 	return results
 }
@@ -88,7 +94,8 @@ func (s *Service) ApplyBatch(ctx context.Context, specs []OpSpec) []OpResult {
 	s.runBatch(bctx, batch, len(specs), func(ictx context.Context, i int) {
 		results[i] = s.applyOp(ictx, specs[i])
 	}, func(i int, err error) {
-		results[i] = OpResult{Op: specs[i].Op, ID: specs[i].ID, Err: err, Error: err.Error()}
+		cerr := CanceledError{Err: err}
+		results[i] = OpResult{Op: specs[i].Op, ID: specs[i].ID, Err: cerr, Error: cerr.Error(), Code: CodeCanceled}
 	})
 	return results
 }

@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"selfheal/internal/store"
+)
+
+// TestBatchCancellationCode checks that items skipped because the
+// batch context was cancelled report CodeCanceled and a CanceledError
+// — distinguishable from a generic failure, so callers can retry them
+// blindly (the chip was never touched).
+func TestBatchCancellationCode(t *testing.T) {
+	s, err := NewService(store.NewMem[*ChipEntry](), WithBatchWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: every item is skipped
+
+	specs := make([]CreateSpec, 4)
+	for i := range specs {
+		specs[i] = CreateSpec{ID: fmt.Sprintf("c%d", i), Seed: uint64(i + 1)}
+	}
+	for i, res := range s.CreateBatch(ctx, specs) {
+		if res.Code != CodeCanceled {
+			t.Errorf("create item %d: Code=%q, want %q", i, res.Code, CodeCanceled)
+		}
+		var cerr CanceledError
+		if !errors.As(res.Err, &cerr) {
+			t.Errorf("create item %d: Err=%T, want CanceledError", i, res.Err)
+		}
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("create item %d: Err does not unwrap to context.Canceled", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("cancelled batch created %d chips", s.Len())
+	}
+
+	ops := []OpSpec{{Op: BatchOpStress, ID: "c0", PhaseRequest: PhaseRequest{TempC: 110, Vdd: 1.2, Hours: 1}}}
+	for i, res := range s.ApplyBatch(ctx, ops) {
+		if res.Code != CodeCanceled {
+			t.Errorf("op item %d: Code=%q, want %q", i, res.Code, CodeCanceled)
+		}
+		var cerr CanceledError
+		if !errors.As(res.Err, &cerr) {
+			t.Errorf("op item %d: Err=%T, want CanceledError", i, res.Err)
+		}
+	}
+
+	// A genuine failure must NOT carry the canceled code.
+	res := s.ApplyBatch(context.Background(), []OpSpec{{Op: BatchOpStress, ID: "missing", PhaseRequest: PhaseRequest{TempC: 110, Vdd: 1.2, Hours: 1}}})
+	if res[0].Code == CodeCanceled {
+		t.Errorf("not-found failure carries CodeCanceled")
+	}
+	if res[0].Err == nil {
+		t.Errorf("not-found failure carries no error")
+	}
+}
+
+// TestReplaySkipsEngineOps checks that the fleet replay passes over
+// engine records in the shared journal instead of refusing to start.
+func TestReplaySkipsEngineOps(t *testing.T) {
+	st := store.NewMem[*ChipEntry]()
+	s, err := NewService(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, op := range []store.Op{
+		store.OpEngineReg, store.OpEngineRemove, store.OpEngineSet,
+		store.OpEngineSchedule, store.OpEngineEpoch,
+	} {
+		if err := s.applyRecord(store.Record{Seq: 1, Op: op, ID: "e0"}); err != nil {
+			t.Errorf("applyRecord(%s): %v", op, err)
+		}
+	}
+	if err := s.applyRecord(store.Record{Seq: 2, Op: "bogus", ID: "x"}); err == nil {
+		t.Error("applyRecord(bogus op): want error")
+	}
+}

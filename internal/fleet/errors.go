@@ -35,5 +35,24 @@ func (e NotDurableError) Error() string {
 
 func (e NotDurableError) Unwrap() error { return e.Err }
 
+// CanceledError marks a batch item that was never executed because the
+// batch's context was cancelled before it was scheduled. The chip was
+// not touched, so the item is always safe to retry — unlike a generic
+// failure, where the operation may have half-happened (e.g. a
+// NotDurableError phase). Engine-enqueued batches rely on the
+// distinction to retry cancelled items blindly.
+type CanceledError struct{ Err error }
+
+func (e CanceledError) Error() string {
+	return fmt.Sprintf("fleet: batch item not run: %v", e.Err)
+}
+
+func (e CanceledError) Unwrap() error { return e.Err }
+
+// CodeCanceled is the machine-readable per-item result code matching
+// CanceledError, carried on CreateResult/OpResult and through the
+// transport layer's batch responses.
+const CodeCanceled = "canceled"
+
 // ErrKindMismatch marks a sensor read against the wrong chip kind.
 var ErrKindMismatch = errors.New("wrong chip kind")

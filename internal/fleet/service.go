@@ -103,6 +103,11 @@ func (s *Service) applyRecord(rec store.Record) error {
 		_, err := s.delete(context.Background(), rec.ID, nil)
 		return err
 	default:
+		if store.IsEngineOp(rec.Op) {
+			// Engine records share the journal but belong to the aging
+			// engine's replay (engine.New consumes the same history).
+			return nil
+		}
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}
 }

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"testing"
+)
+
+// TestEngineRecordRoundTrip persists the full set of engine record
+// kinds and checks every field survives a reopen (compaction included,
+// since Open always compacts).
+func TestEngineRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Op: OpEngineReg, ID: "e0", Phase: "stress",
+		TempC: 110, Vdd: 1.2, Duty: 0.5})
+	mustAppend(t, j, Record{Op: OpEngineSchedule, ID: "e0",
+		StressEpochs: 32, SleepEpochs: 16, SleepTempC: 80, SleepVdd: -0.3})
+	mustAppend(t, j, Record{Op: OpEngineEpoch, Epochs: 100, Hours: 0.5})
+	mustAppend(t, j, Record{Op: OpEngineSet, ID: "e0", Phase: "sleep",
+		TempC: 20, Vdd: -0.3, Duty: 1})
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Records()
+	if got, want := ids(recs), "engine_reg:e0 engine_schedule:e0 engine_epoch: engine_set:e0"; got != want {
+		t.Fatalf("replay = %q, want %q", got, want)
+	}
+	if r := recs[0]; r.Phase != "stress" || r.TempC != 110 || r.Vdd != 1.2 || r.Duty != 0.5 {
+		t.Fatalf("reg record lost fields: %+v", r)
+	}
+	if r := recs[1]; r.StressEpochs != 32 || r.SleepEpochs != 16 || r.SleepTempC != 80 || r.SleepVdd != -0.3 {
+		t.Fatalf("schedule record lost fields: %+v", r)
+	}
+	if r := recs[2]; r.Epochs != 100 || r.Hours != 0.5 {
+		t.Fatalf("epoch record lost fields: %+v", r)
+	}
+	if r := recs[3]; r.Phase != "sleep" || r.TempC != 20 || r.Duty != 1 {
+		t.Fatalf("set record lost fields: %+v", r)
+	}
+}
+
+// TestEngineRemovePrunesChipHistory checks that removing an
+// engine-native chip prunes its records like a fleet delete does —
+// while the global epoch records, which carry no chip ID, survive both
+// kinds of removal.
+func TestEngineRemovePrunesChipHistory(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	mustAppend(t, j, Record{Op: OpEngineReg, ID: "e0", Phase: "stress", TempC: 110, Vdd: 1.2, Duty: 1})
+	mustAppend(t, j, Record{Op: OpCreate, ID: "c0", Seed: 1})
+	mustAppend(t, j, Record{Op: OpEngineEpoch, Epochs: 10, Hours: 1})
+	mustAppend(t, j, Record{Op: OpEngineSet, ID: "e0", Phase: "sleep", TempC: 20})
+	mustAppend(t, j, Record{Op: OpEngineRemove, ID: "e0"})
+	mustAppend(t, j, Record{Op: OpDelete, ID: "c0"})
+
+	if got, want := ids(j.Records()), "engine_epoch:"; got != want {
+		t.Fatalf("after removals replay = %q, want %q", got, want)
+	}
+}
+
+// TestIsEngineOp pins the op classification the fleet replay skips on.
+func TestIsEngineOp(t *testing.T) {
+	engine := []Op{OpEngineReg, OpEngineRemove, OpEngineSet, OpEngineSchedule, OpEngineEpoch}
+	for _, op := range engine {
+		if !IsEngineOp(op) {
+			t.Errorf("IsEngineOp(%q) = false", op)
+		}
+	}
+	fleet := []Op{OpCreate, OpStress, OpRejuvenate, OpDelete, OpMeasure, OpOdometer}
+	for _, op := range fleet {
+		if IsEngineOp(op) {
+			t.Errorf("IsEngineOp(%q) = true", op)
+		}
+	}
+}

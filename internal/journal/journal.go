@@ -74,6 +74,39 @@ const (
 	OpOdometer   Op = "odometer"
 )
 
+// The journaled engine operations (see internal/engine). The engine's
+// aging state is deterministic given its operation history, so — like
+// the fleet — it persists operations, not state: chip registrations
+// and their later condition/schedule changes, and one coalesced epoch
+// record per flush window that advances simulation time on replay.
+//
+// OpEngineEpoch is the one global (ID-less) record kind in the log: it
+// applies to the whole engine, so chip-level pruning never touches it.
+// The engine coalesces epochs *before* committing (one record carries
+// an Epochs count); the journal must never merge adjacent epoch
+// records itself — a merged record would keep only one of the original
+// sequence numbers, and the seq-set overlap check in Open would then
+// re-absorb the others from a stale log after a crash, double-aging
+// the fleet.
+const (
+	OpEngineReg      Op = "engine_reg"      // chip joins the engine
+	OpEngineRemove   Op = "engine_remove"   // engine-native chip leaves
+	OpEngineSet      Op = "engine_set"      // condition change (phase/temp/vdd/duty)
+	OpEngineSchedule Op = "engine_schedule" // circadian schedule change
+	OpEngineEpoch    Op = "engine_epoch"    // global: Epochs ticks of Hours each
+)
+
+// IsEngineOp reports whether op belongs to the engine subsystem. The
+// fleet replay skips these; the engine replay consumes them (plus the
+// fleet's create/delete records, which double as engine membership).
+func IsEngineOp(op Op) bool {
+	switch op {
+	case OpEngineReg, OpEngineRemove, OpEngineSet, OpEngineSchedule, OpEngineEpoch:
+		return true
+	}
+	return false
+}
+
 // Record is one journaled operation. Create records carry Seed and
 // Kind; stress/rejuvenate records carry the full phase parameters —
 // including SampleHours, because sampling wakes the sensor and both
@@ -90,6 +123,19 @@ type Record struct {
 	AC          bool    `json:"ac,omitempty"`
 	Hours       float64 `json:"hours,omitempty"`
 	SampleHours float64 `json:"sample_hours,omitempty"`
+
+	// Engine fields (see the OpEngine* ops). Reg/set records reuse
+	// TempC and Vdd for the active condition and add Duty and Phase;
+	// epoch records carry Epochs (tick count) with Hours as the
+	// per-epoch simulated duration; schedule records carry the
+	// circadian stress/sleep epoch counts and the sleep condition.
+	Duty         float64 `json:"duty,omitempty"`
+	Phase        string  `json:"phase,omitempty"`
+	Epochs       uint64  `json:"epochs,omitempty"`
+	StressEpochs uint64  `json:"stress_epochs,omitempty"`
+	SleepEpochs  uint64  `json:"sleep_epochs,omitempty"`
+	SleepTempC   float64 `json:"sleep_temp_c,omitempty"`
+	SleepVdd     float64 `json:"sleep_vdd,omitempty"`
 }
 
 // Hook intercepts the encoded bytes of a record on their way to the
@@ -300,13 +346,16 @@ func (j *Journal) pruneTrailingReads() {
 }
 
 // absorb applies one record to the in-memory live history: deletes
-// prune every earlier record for that chip (their replay could never
-// be observed again), everything else accumulates.
+// (and engine removals — an engine-native chip's records are all
+// engine records) prune every earlier record for that chip, since
+// their replay could never be observed again; everything else
+// accumulates. Epoch records carry no ID, so chip pruning never
+// touches them.
 func (j *Journal) absorb(rec Record) {
 	if rec.Seq > j.lastSeq {
 		j.lastSeq = rec.Seq
 	}
-	if rec.Op == OpDelete {
+	if (rec.Op == OpDelete || rec.Op == OpEngineRemove) && rec.ID != "" {
 		kept := j.recs[:0]
 		for _, r := range j.recs {
 			if r.ID != rec.ID {

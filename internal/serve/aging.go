@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"selfheal/internal/engine"
+)
+
+// engineFleetDefault is the condition fleet chips simulate under in
+// the aging engine: DC stress at the service's nominal corner. The
+// fleet API's explicit stress/rejuvenate phases stay authoritative for
+// sensor reads; the engine's copy exists so fleet chips show up in
+// whole-fleet epoch advancement and the odometer telemetry.
+var engineFleetDefault = engine.Spec{TempC: 80, Vdd: 1.2, Duty: 1}
+
+// EngineSchedule is the wire form of a circadian stress/sleep cycle.
+// Both epoch counts zero cancels the cycle.
+type EngineSchedule struct {
+	StressEpochs uint64  `json:"stress_epochs"`
+	SleepEpochs  uint64  `json:"sleep_epochs"`
+	SleepTempC   float64 `json:"sleep_temp_c"`
+	SleepVdd     float64 `json:"sleep_vdd"`
+}
+
+func (s *EngineSchedule) toEngine() *engine.Schedule {
+	if s == nil {
+		return nil
+	}
+	return &engine.Schedule{
+		StressEpochs: s.StressEpochs, SleepEpochs: s.SleepEpochs,
+		SleepTempC: s.SleepTempC, SleepVdd: s.SleepVdd,
+	}
+}
+
+// EngineChipSpec registers one chip with the aging engine.
+type EngineChipSpec struct {
+	ID    string  `json:"id"`
+	Phase string  `json:"phase,omitempty"` // "stress" (default) or "sleep"
+	TempC float64 `json:"temp_c"`
+	Vdd   float64 `json:"vdd"`
+	Duty  float64 `json:"duty"`
+	// Schedule, when set, books a circadian stress/sleep cycle.
+	Schedule *EngineSchedule `json:"schedule,omitempty"`
+}
+
+// EngineRegisterRequest is the POST /v1/engine/chips:batch body.
+type EngineRegisterRequest struct {
+	Chips []EngineChipSpec `json:"chips"`
+}
+
+// EngineRegisterResult is one item's outcome in an
+// EngineRegisterResponse.
+type EngineRegisterResult struct {
+	ID         string `json:"id"`
+	Registered bool   `json:"registered"`
+	Error      string `json:"error,omitempty"`
+}
+
+// EngineRegisterResponse reports a bulk registration; per-item status
+// is in Results and callers must check Failed.
+type EngineRegisterResponse struct {
+	Results    []EngineRegisterResult `json:"results"`
+	Registered int                    `json:"registered"`
+	Failed     int                    `json:"failed"`
+}
+
+// EngineConditionRequest is the POST /v1/engine/chips/{id}/condition
+// body: the chip's new phase, corner, and duty cycle.
+type EngineConditionRequest struct {
+	Phase string  `json:"phase,omitempty"`
+	TempC float64 `json:"temp_c"`
+	Vdd   float64 `json:"vdd"`
+	Duty  float64 `json:"duty"`
+}
+
+// EngineStatusResponse is the GET /v1/engine body.
+type EngineStatusResponse struct {
+	Enabled bool          `json:"enabled"`
+	Stats   *engine.Stats `json:"stats,omitempty"`
+}
+
+// EngineDeleteResponse confirms DELETE /v1/engine/chips/{id}.
+type EngineDeleteResponse struct {
+	ID      string `json:"id"`
+	Removed bool   `json:"removed"`
+}
+
+// AgingEngine returns the fleet aging engine, or nil when the service
+// runs without one (exported for tests and embedders; the prediction
+// engine is Engine).
+func (s *Server) AgingEngine() *engine.Engine { return s.aging }
+
+// requireEngine 404s engine routes when the engine is not enabled.
+func (s *Server) requireEngine(w http.ResponseWriter, r *http.Request) bool {
+	if s.aging != nil {
+		return true
+	}
+	s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+		Error:     "serve: fleet aging engine not enabled; start the service with -engine",
+		RequestID: RequestIDFrom(r.Context()),
+	})
+	return false
+}
+
+func (s *Server) handleEngineStatus(w http.ResponseWriter, r *http.Request) {
+	if s.aging == nil {
+		s.writeJSON(w, http.StatusOK, EngineStatusResponse{Enabled: false})
+		return
+	}
+	st := s.aging.Stats()
+	s.writeJSON(w, http.StatusOK, EngineStatusResponse{Enabled: true, Stats: &st})
+}
+
+func (s *Server) handleEngineChip(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	cv, ok := s.aging.Snapshot().Chip(id)
+	if !ok {
+		s.writeError(w, r, engine.NotFoundError{ID: id})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, cv)
+}
+
+func (s *Server) handleEngineRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	var req EngineRegisterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := checkBatchSize(len(req.Chips)); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	specs := make([]engine.Spec, len(req.Chips))
+	for i, c := range req.Chips {
+		specs[i] = engine.Spec{
+			ID: c.ID, Phase: c.Phase, TempC: c.TempC, Vdd: c.Vdd,
+			Duty: c.Duty, Schedule: c.Schedule.toEngine(),
+		}
+	}
+	regs, err := s.aging.RegisterBatch(r.Context(), specs)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp := EngineRegisterResponse{Results: make([]EngineRegisterResult, len(regs))}
+	for i, res := range regs {
+		resp.Results[i] = EngineRegisterResult{ID: res.ID, Registered: res.Err == nil}
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			resp.Failed++
+		} else {
+			resp.Registered++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEngineCondition(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	var req EngineConditionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	id := r.PathValue("id")
+	err := s.aging.SetCondition(r.Context(), id, engine.Cond{
+		Phase: req.Phase, TempC: req.TempC, Vdd: req.Vdd, Duty: req.Duty,
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	cv, _ := s.aging.Snapshot().Chip(id)
+	s.writeJSON(w, http.StatusOK, cv)
+}
+
+func (s *Server) handleEngineSchedule(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	var req EngineSchedule
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.aging.SetSchedule(r.Context(), id, *req.toEngine()); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	cv, _ := s.aging.Snapshot().Chip(id)
+	s.writeJSON(w, http.StatusOK, cv)
+}
+
+func (s *Server) handleEngineDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.aging.Remove(r.Context(), id); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, EngineDeleteResponse{ID: id, Removed: true})
+}
+
+// engineObserveCreates mirrors freshly fabricated fleet chips into the
+// aging engine under the default fleet condition. Registration
+// failures are logged, not surfaced: the fleet create already
+// committed, and the startup SyncFleet reconciles any gap on the next
+// boot.
+func (s *Server) engineObserveCreates(r *http.Request, ids ...string) {
+	if s.aging == nil || len(ids) == 0 {
+		return
+	}
+	specs := make([]engine.Spec, len(ids))
+	for i, id := range ids {
+		sp := engineFleetDefault
+		sp.ID = id
+		sp.Kind = engine.KindFleet
+		specs[i] = sp
+	}
+	regs, err := s.aging.RegisterBatch(r.Context(), specs)
+	if err != nil {
+		s.log.WarnContext(r.Context(), "engine registration failed", "chips", len(ids), "err", err)
+		return
+	}
+	for _, res := range regs {
+		var dup engine.DuplicateError
+		if res.Err != nil && !errors.As(res.Err, &dup) {
+			s.log.WarnContext(r.Context(), "engine registration failed", "chip", res.ID, "err", res.Err)
+		}
+	}
+}
+
+// engineObserveDelete drops a fleet chip's engine twin after the
+// fleet delete committed (the delete record prunes the chip's engine
+// journal history, so no engine record is written).
+func (s *Server) engineObserveDelete(r *http.Request, id string) {
+	if s.aging == nil {
+		return
+	}
+	err := s.aging.ObserveFleetDelete(r.Context(), id)
+	var missing engine.NotFoundError
+	if err != nil && !errors.As(err, &missing) {
+		s.log.WarnContext(r.Context(), "engine removal failed", "chip", id, "err", err)
+	}
+}
+
+// syncEngineFleet reconciles engine membership with the fleet at
+// startup: fleet chips missing from the engine (a crash between a
+// fleet create's commit and its engine registration, or a fleet that
+// predates the engine) register under the default condition, and
+// fleet-backed engine chips whose fleet chip is gone are dropped.
+func (s *Server) syncEngineFleet() error {
+	list := s.fleet.List()
+	ids := make([]string, len(list))
+	for i, c := range list {
+		ids[i] = c.ID
+	}
+	regs, err := s.aging.SyncFleet(context.Background(), ids, engineFleetDefault)
+	if err != nil {
+		return err
+	}
+	synced := 0
+	for _, res := range regs {
+		if res.Err != nil {
+			s.log.Warn("engine fleet sync: registration failed", "chip", res.ID, "err", res.Err)
+		} else {
+			synced++
+		}
+	}
+	if synced > 0 {
+		s.log.Info("engine fleet sync: registered missing fleet chips", "chips", synced)
+	}
+	return nil
+}
+
+// engineErrorStatus classifies aging-engine errors for writeError.
+func engineErrorStatus(err error) (int, bool) {
+	var missing engine.NotFoundError
+	var dup engine.DuplicateError
+	switch {
+	case errors.As(err, &missing):
+		return http.StatusNotFound, true
+	case errors.As(err, &dup):
+		return http.StatusConflict, true
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
+}

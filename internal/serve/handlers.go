@@ -61,6 +61,13 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var missing fleet.NotFoundError
 	var notDurable fleet.NotDurableError
 	var tooBig *http.MaxBytesError
+	if st, ok := engineErrorStatus(err); ok {
+		s.writeJSON(w, st, ErrorResponse{
+			Error:     err.Error(),
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
 	switch {
 	case errors.As(err, &missing):
 		status = http.StatusNotFound
@@ -117,6 +124,7 @@ func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	s.engineObserveCreates(r, resp.ID)
 	s.writeJSON(w, http.StatusCreated, resp)
 }
 
@@ -135,6 +143,7 @@ func (s *Server) handleDeleteChip(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, fleet.NotFoundError{ID: id})
 		return
 	}
+	s.engineObserveDelete(r, id)
 	s.writeJSON(w, http.StatusOK, DeleteChipResponse{ID: id, Deleted: true})
 }
 
@@ -226,14 +235,17 @@ func (s *Server) handleBatchCreate(w http.ResponseWriter, r *http.Request) {
 	results := s.fleet.CreateBatch(r.Context(), req.Chips)
 	resp := BatchCreateResponse{Results: results}
 	errs := make([]error, 0, len(results))
+	created := make([]string, 0, len(results))
 	for _, res := range results {
 		if res.Err != nil {
 			resp.Failed++
 			errs = append(errs, res.Err)
 		} else {
 			resp.Created++
+			created = append(created, res.ID)
 		}
 	}
+	s.engineObserveCreates(r, created...)
 	s.tripOnBatchFailures(w, r, errs)
 	s.writeJSON(w, http.StatusOK, resp)
 }

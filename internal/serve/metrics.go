@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selfheal/internal/engine"
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
 )
@@ -160,6 +161,20 @@ type DegradedSnapshot struct {
 	SinceSeconds   float64 `json:"since_seconds,omitempty"`
 }
 
+// EngineMetrics is the aging-engine section of a MetricsSnapshot: the
+// engine's counters, whole-fleet aging aggregates, and the most-aged
+// chips (the same top-K list the Prometheus exposition emits instead
+// of one series per chip).
+type EngineMetrics struct {
+	Stats engine.Stats `json:"stats"`
+	// OdometerSum is the fleet-wide total of stress epochs endured.
+	OdometerSum uint64 `json:"odometer_epochs_sum"`
+	// VthShiftSum is the fleet-wide total threshold shift in volts —
+	// divide by Stats.Chips for the fleet mean.
+	VthShiftSum float64           `json:"vth_shift_v_sum"`
+	Top         []engine.ChipView `json:"top_by_odometer,omitempty"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
 	UptimeSeconds   float64                  `json:"uptime_seconds"`
@@ -174,6 +189,26 @@ type MetricsSnapshot struct {
 	Journal         *JournalSnapshot         `json:"journal,omitempty"`
 	Degraded        *DegradedSnapshot        `json:"degraded,omitempty"`
 	Faults          *faults.Stats            `json:"faults,omitempty"`
+	Engine          *EngineMetrics           `json:"engine,omitempty"`
+}
+
+// engineMetrics assembles the aging-engine section from one snapshot,
+// with the per-chip list capped at topK.
+func engineMetrics(e *engine.Engine, topK int) *EngineMetrics {
+	if e == nil {
+		return nil
+	}
+	em := &EngineMetrics{Stats: e.Stats()}
+	snap := e.Snapshot()
+	for pi := range snap.Parts {
+		pv := &snap.Parts[pi]
+		for i := range pv.Odo {
+			em.OdometerSum += pv.Odo[i]
+			em.VthShiftSum += pv.Vth[i]
+		}
+	}
+	em.Top = snap.TopByOdometer(topK)
+	return em
 }
 
 // Snapshot assembles the exported view, folding in the engine's cache

@@ -15,12 +15,13 @@ import (
 // Go runtime gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate)
+	snap.Engine = engineMetrics(s.aging, s.cfg.MetricsChipLimit)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		s.writeJSON(w, http.StatusOK, snap)
 	case "prometheus":
 		var buf bytes.Buffer
-		writeProm(&buf, snap)
+		writeProm(&buf, snap, s.cfg.MetricsChipLimit)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		w.Write(buf.Bytes())
@@ -33,8 +34,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // writeProm renders a MetricsSnapshot in the Prometheus text format.
 // It works from the snapshot — the single source of truth both formats
 // share — so the two expositions can never disagree. Map iteration is
-// sorted so scrapes are diffable.
-func writeProm(buf *bytes.Buffer, snap MetricsSnapshot) {
+// sorted so scrapes are diffable. chipLimit caps the per-chip series
+// (see writePromChips).
+func writeProm(buf *bytes.Buffer, snap MetricsSnapshot, chipLimit int) {
 	p := obs.NewPromWriter(buf)
 
 	p.Header("selfheal_uptime_seconds", "Seconds since the service started.", "gauge")
@@ -94,7 +96,7 @@ func writeProm(buf *bytes.Buffer, snap MetricsSnapshot) {
 	p.Header("selfheal_predict_cache_entries", "Prediction memo cache residency.", "gauge")
 	p.Sample("selfheal_predict_cache_entries", nil, float64(snap.Cache.Entries))
 
-	writePromChips(p, snap.Chips)
+	writePromChips(p, snap.Chips, chipLimit)
 
 	if j := snap.Journal; j != nil {
 		for _, c := range []struct {
@@ -138,19 +140,101 @@ func writeProm(buf *bytes.Buffer, snap MetricsSnapshot) {
 		}
 	}
 
+	if e := snap.Engine; e != nil {
+		writePromEngine(p, e)
+	}
+
 	obs.WriteRuntimeMetrics(p)
+}
+
+// writePromEngine emits the fleet aging engine's gauges. Per-chip
+// cardinality is already capped: the snapshot's Top list holds only
+// the most aged chips, with whole-fleet aging carried by the
+// aggregate sums.
+func writePromEngine(p *obs.PromWriter, e *EngineMetrics) {
+	st := e.Stats
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"selfheal_engine_epoch", "Current simulation epoch.", float64(st.Epoch)},
+		{"selfheal_engine_sim_hours", "Simulated hours advanced since the journal began.", st.SimHours},
+		{"selfheal_engine_chips", "Chips registered with the aging engine.", float64(st.Chips)},
+		{"selfheal_engine_epoch_lag_seconds", "How far the last tick started behind its due time.", st.EpochLagSeconds},
+		{"selfheal_engine_chips_per_second", "Chips advanced per wall-clock second in the last tick.", st.ChipsPerSecond},
+		{"selfheal_engine_tick_seconds", "Duration of the last tick.", st.LastTickSeconds},
+		{"selfheal_engine_pending_epochs", "Epochs advanced but not yet journaled.", float64(st.PendingEpochs)},
+		{"selfheal_engine_odometer_epochs_sum", "Stress epochs endured across the whole engine fleet.", float64(e.OdometerSum)},
+		{"selfheal_engine_vth_shift_v_sum", "Threshold shift in volts summed across the whole engine fleet.", e.VthShiftSum},
+	} {
+		p.Header(g.name, g.help, "gauge")
+		p.Sample(g.name, nil, g.v)
+	}
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"selfheal_engine_ticks_total", "Epoch ticks completed.", st.TicksTotal},
+		{"selfheal_engine_events_applied_total", "Mutation events applied between epochs.", st.EventsApplied},
+		{"selfheal_engine_commit_errors_total", "Engine journal commits that failed.", st.CommitErrors},
+	} {
+		p.Header(c.name, c.help, "counter")
+		p.Sample(c.name, nil, float64(c.v))
+	}
+
+	p.Header("selfheal_engine_chip_odometer_epochs", "Stress epochs endured, for the most aged chips.", "gauge")
+	for _, cv := range e.Top {
+		p.Sample("selfheal_engine_chip_odometer_epochs",
+			[]obs.Label{{Name: "chip", Value: cv.ID}}, float64(cv.Odometer))
+	}
+	p.Header("selfheal_engine_chip_vth_shift_v", "Threshold shift in volts, for the most aged chips.", "gauge")
+	for _, cv := range e.Top {
+		p.Sample("selfheal_engine_chip_vth_shift_v",
+			[]obs.Label{{Name: "chip", Value: cv.ID}}, cv.VthShift)
+	}
 }
 
 // writePromChips emits the per-chip aging telemetry — the software
 // analog of the paper's ring-oscillator sensor read-out. Usage
 // counters always appear; the aging gauges appear once the matching
 // sensor has been read, reporting its most recent value.
-func writePromChips(p *obs.PromWriter, chips map[string]ChipUsage) {
+//
+// Cardinality is capped at limit chips: fleet-wide aggregates are
+// always emitted, and once the fleet outgrows the limit only the most
+// aged chips (by accumulated stress time, ties by id) keep their
+// per-chip series — a scrape must not grow with an engine-scale fleet.
+func writePromChips(p *obs.PromWriter, chips map[string]ChipUsage, limit int) {
 	ids := make([]string, 0, len(chips))
-	for id := range chips {
+	var stressSum, healSum float64
+	var opsSum uint64
+	for id, u := range chips {
 		ids = append(ids, id)
+		stressSum += u.StressSeconds
+		healSum += u.HealSeconds
+		opsSum += u.Ops
 	}
 	sort.Strings(ids)
+
+	p.Header("selfheal_chips", "Chips registered in the fleet.", "gauge")
+	p.Sample("selfheal_chips", nil, float64(len(chips)))
+	p.Header("selfheal_chip_stress_seconds_sum", "Accumulated stress time across the whole fleet.", "counter")
+	p.Sample("selfheal_chip_stress_seconds_sum", nil, stressSum)
+	p.Header("selfheal_chip_heal_seconds_sum", "Accumulated rejuvenation time across the whole fleet.", "counter")
+	p.Sample("selfheal_chip_heal_seconds_sum", nil, healSum)
+	p.Header("selfheal_chip_ops_sum", "Operations applied across the whole fleet.", "counter")
+	p.Sample("selfheal_chip_ops_sum", nil, float64(opsSum))
+
+	if limit > 0 && len(ids) > limit {
+		sort.Slice(ids, func(i, j int) bool {
+			si, sj := chips[ids[i]].StressSeconds, chips[ids[j]].StressSeconds
+			if si != sj {
+				return si > sj
+			}
+			return ids[i] < ids[j]
+		})
+		ids = ids[:limit]
+		sort.Strings(ids)
+	}
 
 	p.Header("selfheal_chip_stress_seconds_total", "Accumulated stress time, per chip.", "counter")
 	for _, id := range ids {

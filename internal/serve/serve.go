@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"selfheal/internal/engine"
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
 	"selfheal/internal/obs"
@@ -62,6 +63,28 @@ type Config struct {
 	// TraceBuffer is how many completed request traces the in-memory
 	// ring retains for GET /debug/traces (default 256).
 	TraceBuffer int
+
+	// EngineEnabled turns on the discrete-event fleet aging engine: a
+	// single simulation clock that advances every registered chip one
+	// epoch per tick through the vectorized TD batch path, with
+	// wait-free snapshot reads under /v1/engine. Fleet chips are
+	// mirrored into the engine automatically.
+	EngineEnabled bool
+	// EngineEpoch is the wall-clock tick period (default 1 s). Negative
+	// disables the background ticker — epochs then only advance through
+	// explicit Engine.Tick calls (tests, benchmarks).
+	EngineEpoch time.Duration
+	// EngineEpochHours is how many simulated hours one epoch covers
+	// (default 0.5).
+	EngineEpochHours float64
+	// EngineWorkers bounds the engine's tick worker pool (default
+	// GOMAXPROCS).
+	EngineWorkers int
+	// MetricsChipLimit caps the per-chip series in the Prometheus
+	// exposition: when the fleet outgrows it, only the top chips by
+	// aging plus whole-fleet aggregates are emitted (default 50). The
+	// JSON /metrics body is never truncated.
+	MetricsChipLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +124,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
 	}
+	if c.EngineEpoch == 0 {
+		c.EngineEpoch = time.Second
+	}
+	if c.EngineEpochHours <= 0 {
+		c.EngineEpochHours = 0.5
+	}
+	if c.MetricsChipLimit <= 0 {
+		c.MetricsChipLimit = 50
+	}
 	return c
 }
 
@@ -113,6 +145,7 @@ type Server struct {
 	log     *slog.Logger
 	fleet   *fleet.Service
 	engine  *Engine
+	aging   *engine.Engine
 	metrics *Metrics
 	faults  *faults.Injector
 	gate    *gate
@@ -128,7 +161,7 @@ type Server struct {
 // accounting under /metrics).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	engine, err := NewEngine(cfg.CacheSize)
+	predict, err := NewEngine(cfg.CacheSize)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 		// for handlers already wrapped, e.g. by cmd/selfheal-serve).
 		log:     slog.New(obs.WithTraceIDs(cfg.Logger.Handler())),
 		fleet:   fl,
-		engine:  engine,
+		engine:  predict,
 		metrics: NewMetrics(),
 		faults:  cfg.Faults,
 		tracer:  obs.NewTracer(cfg.TraceBuffer),
@@ -158,6 +191,30 @@ func New(cfg Config) (*Server, error) {
 		if n := fl.ReplayedRecords(); n > 0 {
 			s.log.Info("store history replayed", "records", n, "chips", fl.Len())
 		}
+	}
+	if cfg.EngineEnabled {
+		interval := cfg.EngineEpoch
+		if interval < 0 {
+			interval = 0 // manual ticks only
+		}
+		aging, err := engine.New(st, engine.Config{
+			EpochHours: cfg.EngineEpochHours,
+			Interval:   interval,
+			Workers:    cfg.EngineWorkers,
+			Tracer:     s.tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.aging = aging
+		if err := s.syncEngineFleet(); err != nil {
+			aging.Close()
+			return nil, err
+		}
+		est := aging.Stats()
+		s.log.Info("fleet aging engine started",
+			"chips", est.Chips, "epoch", est.Epoch,
+			"epoch_hours", cfg.EngineEpochHours, "interval", interval)
 	}
 	s.handler = s.routes()
 	return s, nil
@@ -170,10 +227,18 @@ func (s *Server) Fleet() *fleet.Service { return s.fleet }
 // Handler returns the fully-wired HTTP handler (exported for httptest).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close stops the degraded-mode supervisor's background probe. It does
-// not close the store — the caller owns that. Safe on any server,
+// Close stops the degraded-mode supervisor's background probe and the
+// fleet aging engine (flushing its pending epoch window). It does not
+// close the store — the caller owns that. Safe on any server,
 // including one that never degraded.
-func (s *Server) Close() { s.gate.close() }
+func (s *Server) Close() {
+	s.gate.close()
+	if s.aging != nil {
+		if err := s.aging.Close(); err != nil {
+			s.log.Warn("engine close: final epoch flush failed", "err", err)
+		}
+	}
+}
 
 // Engine returns the prediction engine (exported for tests and for
 // embedding the service into a larger process).
@@ -198,6 +263,13 @@ var mutatingRoutes = map[string]bool{
 	"GET /v1/chips/{id}/measure":     true,
 	"GET /v1/chips/{id}/odometer":    true,
 	"POST /v1/ops:batch":             true,
+	// Engine mutations commit through the same journal, so they are
+	// suspended in degraded mode too; engine reads (status, chip views)
+	// are snapshot lookups and stay up.
+	"POST /v1/engine/chips:batch":          true,
+	"DELETE /v1/engine/chips/{id}":         true,
+	"POST /v1/engine/chips/{id}/condition": true,
+	"POST /v1/engine/chips/{id}/schedule":  true,
 }
 
 // routes assembles the mux. Each route runs the hardened-edge stack,
@@ -218,22 +290,28 @@ var mutatingRoutes = map[string]bool{
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	for pattern, h := range map[string]http.HandlerFunc{
-		"GET /healthz":                   s.handleHealthz,
-		"GET /readyz":                    s.handleReadyz,
-		"GET /metrics":                   s.handleMetrics,
-		"POST /v1/chips":                 s.handleCreateChip,
-		"POST /v1/chips:batch":           s.handleBatchCreate,
-		"GET /v1/chips":                  s.handleListChips,
-		"DELETE /v1/chips/{id}":          s.handleDeleteChip,
-		"POST /v1/chips/{id}/stress":     s.handleStress,
-		"POST /v1/chips/{id}/rejuvenate": s.handleRejuvenate,
-		"GET /v1/chips/{id}/measure":     s.handleMeasure,
-		"GET /v1/chips/{id}/odometer":    s.handleOdometer,
-		"POST /v1/ops:batch":             s.handleBatchOps,
-		"POST /v1/predict/shift":         s.handlePredictShift,
-		"POST /v1/predict/schedules":     s.handlePredictSchedules,
-		"POST /v1/predict/multicore":     s.handlePredictMulticore,
-		"GET /debug/traces":              s.handleTraces,
+		"GET /healthz":                         s.handleHealthz,
+		"GET /readyz":                          s.handleReadyz,
+		"GET /metrics":                         s.handleMetrics,
+		"POST /v1/chips":                       s.handleCreateChip,
+		"POST /v1/chips:batch":                 s.handleBatchCreate,
+		"GET /v1/chips":                        s.handleListChips,
+		"DELETE /v1/chips/{id}":                s.handleDeleteChip,
+		"POST /v1/chips/{id}/stress":           s.handleStress,
+		"POST /v1/chips/{id}/rejuvenate":       s.handleRejuvenate,
+		"GET /v1/chips/{id}/measure":           s.handleMeasure,
+		"GET /v1/chips/{id}/odometer":          s.handleOdometer,
+		"POST /v1/ops:batch":                   s.handleBatchOps,
+		"POST /v1/predict/shift":               s.handlePredictShift,
+		"POST /v1/predict/schedules":           s.handlePredictSchedules,
+		"POST /v1/predict/multicore":           s.handlePredictMulticore,
+		"GET /v1/engine":                       s.handleEngineStatus,
+		"GET /v1/engine/chips/{id}":            s.handleEngineChip,
+		"POST /v1/engine/chips:batch":          s.handleEngineRegister,
+		"DELETE /v1/engine/chips/{id}":         s.handleEngineDelete,
+		"POST /v1/engine/chips/{id}/condition": s.handleEngineCondition,
+		"POST /v1/engine/chips/{id}/schedule":  s.handleEngineSchedule,
+		"GET /debug/traces":                    s.handleTraces,
 	} {
 		limited := strings.Contains(pattern, "/v1/")
 		timeout := s.cfg.OpTimeout

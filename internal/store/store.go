@@ -67,6 +67,21 @@ const (
 	OpOdometer   = journal.OpOdometer
 )
 
+// The journaled engine operations (see internal/engine), re-exported
+// from the journal. The fleet replay skips these (IsEngineOp); the
+// engine replay consumes them alongside the fleet's create/delete
+// records, which double as engine membership changes.
+const (
+	OpEngineReg      = journal.OpEngineReg
+	OpEngineRemove   = journal.OpEngineRemove
+	OpEngineSet      = journal.OpEngineSet
+	OpEngineSchedule = journal.OpEngineSchedule
+	OpEngineEpoch    = journal.OpEngineEpoch
+)
+
+// IsEngineOp reports whether op belongs to the engine subsystem.
+func IsEngineOp(op Op) bool { return journal.IsEngineOp(op) }
+
 // Log is the durable operation history the Journaled decorator writes
 // through — the interface extracted from *journal.Journal, which
 // satisfies it. Any backend that can append records durably, replay

@@ -1,0 +1,403 @@
+package td
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"selfheal/internal/units"
+)
+
+// TestBatchMatchesScalar is the satellite property test: random fleets
+// advanced through random stress/recovery interleavings must track the
+// scalar model within 1e-12 on every state component. The batch path
+// replicates the scalar expressions operation for operation, so in
+// practice the trajectories come out bit-identical; the tolerance is
+// the contract, equality is the implementation detail.
+func TestBatchMatchesScalar(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(61))
+	const chips = 64
+	const steps = 400
+
+	b := NewBatch(chips)
+	scalars := make([]State, chips)
+	for i := 0; i < chips; i++ {
+		duty := rng.Float64()
+		switch i % 8 {
+		case 0:
+			duty = 0 // idle chip: must never move
+		case 1:
+			duty = 1 // DC stress
+		case 2:
+			duty = 1e-9 // nearly idle
+		case 3:
+			duty = 1.7 // out of range, clamps to 1
+		}
+		if _, err := b.Append(p, duty); err != nil {
+			t.Fatalf("Append(duty=%v): %v", duty, err)
+		}
+	}
+
+	randStress := func() StressCond {
+		return StressCond{
+			V: units.Volt(0.8 + rng.Float64()),
+			T: units.Celsius(20 + rng.Float64()*120).Kelvin(),
+		}
+	}
+	randRecover := func() RecoveryCond {
+		return RecoveryCond{
+			VRev: units.Volt(rng.Float64() * 0.5),
+			T:    units.Celsius(20 + rng.Float64()*120).Kelvin(),
+		}
+	}
+
+	check := func(step int) {
+		t.Helper()
+		const tol = 1e-12
+		for i := range scalars {
+			got, want := b.ExportState(i), scalars[i]
+			diffs := []struct {
+				name      string
+				got, want float64
+			}{
+				{"perm", got.perm, want.perm},
+				{"rec", got.rec, want.rec},
+				{"stressAge", float64(got.stressAge), float64(want.stressAge)},
+				{"effAge", float64(got.effAge), float64(want.effAge)},
+				{"rec0", got.rec0, want.rec0},
+				{"t1", float64(got.t1), float64(want.t1)},
+				{"t2", float64(got.t2), float64(want.t2)},
+				{"prevT2", float64(got.prevT2), float64(want.prevT2)},
+				{"interlude", got.interlude, want.interlude},
+			}
+			for _, d := range diffs {
+				if math.IsNaN(d.got) || math.IsInf(d.got, 0) {
+					t.Fatalf("step %d chip %d: batch %s is %v", step, i, d.name, d.got)
+				}
+				scale := math.Max(1, math.Abs(d.want))
+				if math.Abs(d.got-d.want) > tol*scale {
+					t.Fatalf("step %d chip %d: %s diverged: batch %.17g scalar %.17g",
+						step, i, d.name, d.got, d.want)
+				}
+			}
+			if got.phase != want.phase {
+				t.Fatalf("step %d chip %d: phase diverged: batch %d scalar %d",
+					step, i, got.phase, want.phase)
+			}
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		dt := units.Seconds(math.Exp(rng.Float64()*12 - 2)) // ~0.14 s … 6 days
+		if rng.Intn(20) == 0 {
+			dt = 0
+		}
+		// Occasionally re-deal a chip's duty cycle mid-life.
+		if rng.Intn(10) == 0 {
+			i := rng.Intn(chips)
+			d := rng.Float64() * 1.2
+			if err := b.SetDuty(p, i, d); err != nil {
+				t.Fatalf("SetDuty: %v", err)
+			}
+			// The scalar path passes duty per call; just record it.
+			_ = d
+		}
+		if rng.Intn(2) == 0 {
+			c := randStress()
+			ss, err := NewStressStep(p, c, dt)
+			if err != nil {
+				t.Fatalf("NewStressStep: %v", err)
+			}
+			b.AdvanceStress(p, ss, nil)
+			for i := range scalars {
+				sc := c
+				sc.Duty = b.Duty(i)
+				scalars[i].Stress(p, sc, dt)
+			}
+		} else {
+			c := randRecover()
+			rs, err := NewRecoverStep(p, c, dt)
+			if err != nil {
+				t.Fatalf("NewRecoverStep: %v", err)
+			}
+			b.AdvanceRecover(p, rs, nil)
+			for i := range scalars {
+				scalars[i].Recover(p, c, dt)
+			}
+		}
+		check(step)
+	}
+}
+
+// TestAdvanceBatchClasses drives AdvanceBatch with disjoint per-class
+// index lists (a stress class and a recovery class, as the engine
+// does) and checks each subset against scalar references.
+func TestAdvanceBatchClasses(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	const chips = 40
+
+	b := NewBatch(chips)
+	scalars := make([]State, chips)
+	for i := 0; i < chips; i++ {
+		if _, err := b.Append(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stressC := StressCond{V: 1.2, T: units.Celsius(110).Kelvin()}
+	sleepC := RecoveryCond{VRev: 0.3, T: units.Celsius(110).Kelvin()}
+
+	for step := 0; step < 100; step++ {
+		// Deal chips into the two classes at random each step.
+		var sIdx, rIdx []int
+		for i := 0; i < chips; i++ {
+			if rng.Intn(2) == 0 {
+				sIdx = append(sIdx, i)
+			} else {
+				rIdx = append(rIdx, i)
+			}
+		}
+		dt := units.Seconds(1800)
+		classes := []Class{
+			{Stress: true, SCond: stressC, Idx: sIdx},
+			{RCond: sleepC, Idx: rIdx},
+		}
+		if err := AdvanceBatch(p, b, dt, classes); err != nil {
+			t.Fatalf("AdvanceBatch: %v", err)
+		}
+		for _, i := range sIdx {
+			sc := stressC
+			sc.Duty = b.Duty(i)
+			scalars[i].Stress(p, sc, dt)
+		}
+		for _, i := range rIdx {
+			scalars[i].Recover(p, sleepC, dt)
+		}
+	}
+	for i := range scalars {
+		got, want := b.Vth(i), scalars[i].Vth()
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("chip %d: Vth diverged: batch %.17g scalar %.17g", i, got, want)
+		}
+	}
+}
+
+// TestBatchValidation exercises the NaN/Inf rejection paths the scalar
+// model lacks: a poisoned condition or duty must be refused before any
+// chip state is touched.
+func TestBatchValidation(t *testing.T) {
+	p := DefaultParams()
+	nan, inf := math.NaN(), math.Inf(1)
+
+	b := NewBatch(4)
+	if _, err := b.Append(p, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("duty", func(t *testing.T) {
+		for _, d := range []float64{nan, inf, -inf} {
+			if _, err := b.Append(p, d); err == nil {
+				t.Errorf("Append(duty=%v): want error", d)
+			}
+			if err := b.SetDuty(p, 0, d); err == nil {
+				t.Errorf("SetDuty(%v): want error", d)
+			}
+		}
+		// Out-of-range finite duty clamps (matching the scalar model).
+		if err := b.SetDuty(p, 0, 2.5); err != nil {
+			t.Errorf("SetDuty(2.5): %v", err)
+		} else if got := b.Duty(0); got != 1 {
+			t.Errorf("SetDuty(2.5) clamped to %v, want 1", got)
+		}
+	})
+
+	t.Run("stress-cond", func(t *testing.T) {
+		bad := []StressCond{
+			{V: units.Volt(nan), T: 383},
+			{V: units.Volt(inf), T: 383},
+			{V: 1.2, T: units.Kelvin(nan)},
+			{V: 1.2, T: units.Kelvin(inf)},
+			{V: 1.2, T: 0},
+			{V: 1.2, T: -300},
+		}
+		for _, c := range bad {
+			if _, err := NewStressStep(p, c, 1); err == nil {
+				t.Errorf("NewStressStep(%+v): want error", c)
+			}
+		}
+	})
+
+	t.Run("recovery-cond", func(t *testing.T) {
+		bad := []RecoveryCond{
+			{VRev: units.Volt(nan), T: 293},
+			{VRev: units.Volt(inf), T: 293},
+			{VRev: 0.3, T: units.Kelvin(nan)},
+			{VRev: 0.3, T: 0},
+		}
+		for _, c := range bad {
+			if _, err := NewRecoverStep(p, c, 1); err == nil {
+				t.Errorf("NewRecoverStep(%+v): want error", c)
+			}
+		}
+	})
+
+	t.Run("dt", func(t *testing.T) {
+		good := StressCond{V: 1.2, T: 383}
+		for _, dt := range []units.Seconds{units.Seconds(nan), units.Seconds(inf), -1} {
+			if _, err := NewStressStep(p, good, dt); err == nil {
+				t.Errorf("NewStressStep(dt=%v): want error", dt)
+			}
+			if _, err := NewRecoverStep(p, RecoveryCond{T: 293}, dt); err == nil {
+				t.Errorf("NewRecoverStep(dt=%v): want error", dt)
+			}
+		}
+	})
+
+	t.Run("params", func(t *testing.T) {
+		badP := p
+		badP.C = 0
+		if _, err := NewStressStep(badP, StressCond{V: 1.2, T: 383}, 1); err == nil {
+			t.Error("NewStressStep(bad params): want error")
+		}
+		if _, err := NewRecoverStep(badP, RecoveryCond{T: 293}, 1); err == nil {
+			t.Error("NewRecoverStep(bad params): want error")
+		}
+	})
+
+	t.Run("class-error-is-atomic", func(t *testing.T) {
+		bb := NewBatch(2)
+		if _, err := bb.Append(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		bb2, _ := bb.Append(p, 1)
+		_ = bb2
+		before := bb.ExportState(0)
+		classes := []Class{
+			{Stress: true, SCond: StressCond{V: 1.2, T: 383}, Idx: []int{0}},
+			{Stress: true, SCond: StressCond{V: units.Volt(nan), T: 383}, Idx: []int{1}},
+		}
+		if err := AdvanceBatch(p, bb, 3600, classes); err == nil {
+			t.Fatal("AdvanceBatch with poisoned class: want error")
+		}
+		if after := bb.ExportState(0); after != before {
+			t.Error("AdvanceBatch advanced chips before rejecting a later class")
+		}
+	})
+}
+
+// TestBatchSwapTruncate covers the engine's removal primitive.
+func TestBatchSwapTruncate(t *testing.T) {
+	p := DefaultParams()
+	b := NewBatch(3)
+	for i, d := range []float64{1, 0.5, 0.25} {
+		if got, err := b.Append(p, d); err != nil || got != i {
+			t.Fatalf("Append: idx %d err %v", got, err)
+		}
+	}
+	ss, err := NewStressStep(p, StressCond{V: 1.2, T: 383}, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AdvanceStress(p, ss, []int{1})
+	vth1 := b.Vth(1)
+	if vth1 <= 0 {
+		t.Fatal("chip 1 did not age")
+	}
+
+	// Swap-delete chip 0: move the last chip into its slot.
+	b.Swap(0, 2)
+	b.Truncate(2)
+	if b.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", b.Len())
+	}
+	if b.Duty(0) != 0.25 || b.Duty(1) != 0.5 {
+		t.Fatalf("duties after swap-delete: %v %v", b.Duty(0), b.Duty(1))
+	}
+	if b.Vth(1) != vth1 {
+		t.Fatalf("chip 1 state disturbed by unrelated swap-delete")
+	}
+	if b.Vth(0) != 0 {
+		t.Fatalf("moved chip should still be fresh, Vth=%v", b.Vth(0))
+	}
+}
+
+// TestBatchCopyVth checks the snapshot fast path.
+func TestBatchCopyVth(t *testing.T) {
+	p := DefaultParams()
+	b := NewBatch(8)
+	for i := 0; i < 8; i++ {
+		if _, err := b.Append(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := NewStressStep(p, StressCond{V: 1.2, T: 383}, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AdvanceStress(p, ss, []int{0, 3, 7})
+	dst := make([]float64, 8)
+	b.CopyVth(dst)
+	for i := 0; i < 8; i++ {
+		if dst[i] != b.Vth(i) {
+			t.Fatalf("CopyVth[%d]=%v, want %v", i, dst[i], b.Vth(i))
+		}
+	}
+}
+
+// BenchmarkAdvanceBatch measures the vectorized hot path against
+// BenchmarkScalarLoop (the same fleet advanced by calling the scalar
+// model per chip); the ratio is the headline of the tentpole. Metric:
+// ns/chip-step.
+func BenchmarkAdvanceBatch(bb *testing.B) {
+	p := DefaultParams()
+	for _, n := range []int{1024, 65536} {
+		bb.Run(fmt.Sprintf("chips=%d", n), func(bb *testing.B) {
+			b := NewBatch(n)
+			for i := 0; i < n; i++ {
+				if _, err := b.Append(p, 0.25+float64(i%3)*0.25); err != nil {
+					bb.Fatal(err)
+				}
+			}
+			c := StressCond{V: 1.2, T: units.Celsius(110).Kelvin()}
+			ss, err := NewStressStep(p, c, 1800)
+			if err != nil {
+				bb.Fatal(err)
+			}
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				b.AdvanceStress(p, ss, nil)
+			}
+			bb.StopTimer()
+			bb.ReportMetric(float64(bb.Elapsed().Nanoseconds())/float64(bb.N)/float64(n), "ns/chip-step")
+		})
+	}
+}
+
+// BenchmarkScalarLoop is the baseline AdvanceBatch is compared to:
+// the identical fleet advanced by calling State.Stress per chip.
+func BenchmarkScalarLoop(bb *testing.B) {
+	p := DefaultParams()
+	for _, n := range []int{1024, 65536} {
+		bb.Run(fmt.Sprintf("chips=%d", n), func(bb *testing.B) {
+			states := make([]State, n)
+			duties := make([]float64, n)
+			for i := 0; i < n; i++ {
+				duties[i] = 0.25 + float64(i%3)*0.25
+			}
+			c := StressCond{V: 1.2, T: units.Celsius(110).Kelvin()}
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				for j := range states {
+					sc := c
+					sc.Duty = duties[j]
+					states[j].Stress(p, sc, 1800)
+				}
+			}
+			bb.StopTimer()
+			bb.ReportMetric(float64(bb.Elapsed().Nanoseconds())/float64(bb.N)/float64(n), "ns/chip-step")
+		})
+	}
+}

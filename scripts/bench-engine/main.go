@@ -1,0 +1,173 @@
+// Command bench-engine runs the engine tick benchmark at its three
+// fleet sizes plus the td batch-vs-scalar kernel benchmarks, and
+// writes the results as machine-readable JSON to BENCH_engine.json —
+// the artifact `make bench` refreshes so perf regressions show up in
+// review diffs instead of anecdotes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TickResult is one BenchmarkEngineTick size point.
+type TickResult struct {
+	Chips        int     `json:"chips"`
+	NsPerChip    float64 `json:"ns_per_chip_epoch"`
+	ChipsPerSec  float64 `json:"chips_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_epoch"`
+	BytesPerOp   float64 `json:"bytes_per_epoch"`
+	NsPerEpoch   float64 `json:"ns_per_epoch"`
+	BenchmarkRun string  `json:"benchmark"`
+}
+
+// KernelResult is one td-level kernel benchmark (the vectorized batch
+// hot path vs the scalar model it must match).
+type KernelResult struct {
+	Name        string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Output is the BENCH_engine.json schema.
+type Output struct {
+	GoVersion   string         `json:"go_version"`
+	EngineTick  []TickResult   `json:"engine_tick"`
+	TdKernels   []KernelResult `json:"td_kernels"`
+	BatchSpeedX float64        `json:"td_batch_speedup_x,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// metrics parses the "123 ns/op 4 B/op 5 allocs/op 97.3 ns/chip-epoch"
+// tail of a benchmark line into unit → value.
+func metrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}
+
+func run(pattern, pkg, benchtime string) []byte {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-engine: %s on %s: %v\n%s", pattern, pkg, err, buf.String())
+		os.Exit(1)
+	}
+	return buf.Bytes()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path")
+	benchtime := flag.String("benchtime", "", "go test -benchtime (default: 1x for the 1M-chip tick, 100x kernels)")
+	flag.Parse()
+
+	tickTime, kernelTime := "1x", "100x"
+	if *benchtime != "" {
+		tickTime, kernelTime = *benchtime, *benchtime
+	}
+
+	res := Output{GoVersion: strings.TrimSpace(goVersion())}
+
+	sc := bufio.NewScanner(bytes.NewReader(run("BenchmarkEngineTick", "./internal/engine", tickTime)))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil || !strings.HasPrefix(m[1], "BenchmarkEngineTick/") {
+			continue
+		}
+		vals := metrics(m[3])
+		var chips int
+		if i := strings.Index(m[1], "chips="); i >= 0 {
+			chips, _ = strconv.Atoi(strings.Split(m[1][i+6:], "-")[0])
+		}
+		res.EngineTick = append(res.EngineTick, TickResult{
+			Chips:        chips,
+			NsPerChip:    vals["ns/chip-epoch"],
+			ChipsPerSec:  vals["chips/sec"],
+			AllocsPerOp:  vals["allocs/op"],
+			BytesPerOp:   vals["B/op"],
+			NsPerEpoch:   vals["ns/op"],
+			BenchmarkRun: m[1],
+		})
+	}
+	if len(res.EngineTick) != 3 {
+		fmt.Fprintf(os.Stderr, "bench-engine: parsed %d tick sizes, want 3\n", len(res.EngineTick))
+		os.Exit(1)
+	}
+
+	// The kernel pair: the vectorized batch advance vs the scalar loop
+	// over identical fleets. The speedup reported is at the larger size.
+	var scalarNs, batchNs float64
+	sc = bufio.NewScanner(bytes.NewReader(run("BenchmarkAdvanceBatch|BenchmarkScalarLoop", "./internal/td", kernelTime)))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		vals := metrics(m[3])
+		kr := KernelResult{Name: m[1], NsPerOp: vals["ns/op"], AllocsPerOp: vals["allocs/op"]}
+		if v, ok := vals["ns/chip-step"]; ok {
+			// Normalize to the per-chip cost so scalar and batch compare.
+			kr.NsPerOp = v
+		}
+		res.TdKernels = append(res.TdKernels, kr)
+		if strings.Contains(m[1], "chips=65536") {
+			switch {
+			case strings.HasPrefix(m[1], "BenchmarkScalarLoop"):
+				scalarNs = kr.NsPerOp
+			case strings.HasPrefix(m[1], "BenchmarkAdvanceBatch"):
+				batchNs = kr.NsPerOp
+			}
+		}
+	}
+	if scalarNs > 0 && batchNs > 0 {
+		res.BatchSpeedX = scalarNs / batchNs
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-engine:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-engine:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-engine:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-engine: wrote %s (%d tick sizes, %d kernels", *out, len(res.EngineTick), len(res.TdKernels))
+	if res.BatchSpeedX > 0 {
+		fmt.Printf(", batch %.2fx scalar", res.BatchSpeedX)
+	}
+	fmt.Println(")")
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return string(out)
+}

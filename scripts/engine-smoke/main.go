@@ -1,0 +1,304 @@
+// Command engine-smoke is the fleet-aging-engine smoke test CI runs
+// after the observability smoke: it builds selfheal-serve, boots it
+// with the engine ticking fast, loads 50k chips through the batch APIs
+// (a fleet-backed slice plus engine-native bulk registrations), lets
+// 100 epochs elapse while concurrent readers watch the snapshots, and
+// verifies the reads were monotone, the odometers advanced, the epoch
+// lag stayed bounded, and the Prometheus exposition kept its per-chip
+// cardinality capped.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+const (
+	totalChips  = 50_000
+	fleetChips  = 1_000 // fabricated through the fleet API; the rest bulk-register
+	batchSize   = 1_000
+	wantEpochs  = 100
+	epochPeriod = 25 * time.Millisecond
+	maxLagSecs  = 5.0 // generous: a 1-CPU CI box ticking 50k chips
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "engine-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func freePort() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("reserve port: %v", err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+func get(url string, wantStatus int) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		fatalf("GET %s: status %d, want %d; body: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+func post(url, body string, wantStatus int) []byte {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("POST %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		fatalf("POST %s: status %d, want %d; body: %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	return raw
+}
+
+// engineStatus mirrors the GET /v1/engine body.
+type engineStatus struct {
+	Enabled bool `json:"enabled"`
+	Stats   struct {
+		Epoch           uint64  `json:"epoch"`
+		Chips           int     `json:"chips"`
+		EpochLagSeconds float64 `json:"epoch_lag_seconds"`
+		ChipsPerSecond  float64 `json:"chips_per_second"`
+		AdvanceError    string  `json:"advance_error,omitempty"`
+	} `json:"stats"`
+}
+
+func status(base string) engineStatus {
+	var st engineStatus
+	if err := json.Unmarshal(get(base+"/v1/engine", http.StatusOK), &st); err != nil {
+		fatalf("decode engine status: %v", err)
+	}
+	return st
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "engine-smoke-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "selfheal-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/selfheal-serve")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		fatalf("build selfheal-serve: %v", err)
+	}
+
+	addr := freePort()
+	srv := exec.Command(bin,
+		"-addr", addr,
+		"-engine",
+		"-epoch", epochPeriod.String(),
+		"-log-level", "warn",
+		"-grace", "2s",
+	)
+	srv.Stdout, srv.Stderr = os.Stdout, os.Stderr
+	if err := srv.Start(); err != nil {
+		fatalf("start server: %v", err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+
+	base := "http://" + addr
+	up := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		fatalf("server never became healthy")
+	}
+
+	// ---- Load the fleet: a fabricated slice plus engine-native bulk. ----
+	loadStart := time.Now()
+	var specs []string
+	for i := 0; i < fleetChips; i++ {
+		specs = append(specs, fmt.Sprintf(`{"id":"f%05d","seed":%d}`, i, i+1))
+	}
+	var created struct {
+		Created int `json:"created"`
+		Failed  int `json:"failed"`
+	}
+	raw := post(base+"/v1/chips:batch", `{"chips":[`+strings.Join(specs, ",")+`]}`, http.StatusOK)
+	if err := json.Unmarshal(raw, &created); err != nil {
+		fatalf("decode fleet batch response: %v", err)
+	}
+	if created.Created != fleetChips || created.Failed != 0 {
+		fatalf("fleet batch created %d / failed %d, want %d / 0", created.Created, created.Failed, fleetChips)
+	}
+
+	for start := fleetChips; start < totalChips; start += batchSize {
+		specs = specs[:0]
+		for i := start; i < start+batchSize && i < totalChips; i++ {
+			// A mix of duty cycles and schedules, like a real fleet.
+			switch i % 3 {
+			case 0:
+				specs = append(specs, fmt.Sprintf(`{"id":"e%05d","temp_c":80,"vdd":1.2,"duty":1}`, i))
+			case 1:
+				specs = append(specs, fmt.Sprintf(`{"id":"e%05d","temp_c":105,"vdd":1.32,"duty":0.5}`, i))
+			default:
+				specs = append(specs, fmt.Sprintf(
+					`{"id":"e%05d","temp_c":80,"vdd":1.2,"duty":1,"schedule":{"stress_epochs":8,"sleep_epochs":4,"sleep_temp_c":40,"sleep_vdd":-0.3}}`, i))
+			}
+		}
+		var reg struct {
+			Registered int `json:"registered"`
+			Failed     int `json:"failed"`
+		}
+		if err := json.Unmarshal(post(base+"/v1/engine/chips:batch",
+			`{"chips":[`+strings.Join(specs, ",")+`]}`, http.StatusOK), &reg); err != nil {
+			fatalf("decode engine batch response: %v", err)
+		}
+		if reg.Failed != 0 {
+			fatalf("engine batch starting at %d: %d failed", start, reg.Failed)
+		}
+	}
+	st := status(base)
+	if st.Stats.Chips != totalChips {
+		fatalf("engine holds %d chips after load, want %d", st.Stats.Chips, totalChips)
+	}
+	fmt.Printf("engine-smoke: loaded %d chips in %v (epoch %d already ticking)\n",
+		totalChips, time.Since(loadStart).Round(time.Millisecond), st.Stats.Epoch)
+
+	// ---- Watch 100 epochs elapse with concurrent monotone readers. ----
+	startEpoch := st.Stats.Epoch
+	target := startEpoch + wantEpochs
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := uint64(0)
+			lastOdo := -1.0
+			// Any engine chip works: odometers only ever advance.
+			probe := fmt.Sprintf("e%05d", fleetChips+3*(r+1))
+			for !stop.Load() {
+				st := status(base)
+				if st.Stats.Epoch < last {
+					errc <- fmt.Sprintf("reader %d: epoch went backwards: %d after %d", r, st.Stats.Epoch, last)
+					return
+				}
+				last = st.Stats.Epoch
+				if st.Stats.Chips != totalChips {
+					errc <- fmt.Sprintf("reader %d: snapshot holds %d chips, want %d", r, st.Stats.Chips, totalChips)
+					return
+				}
+				var cv struct {
+					Odometer float64 `json:"odometer_epochs"`
+				}
+				if err := json.Unmarshal(get(base+"/v1/engine/chips/"+probe, http.StatusOK), &cv); err != nil {
+					errc <- fmt.Sprintf("reader %d: decode chip view: %v", r, err)
+					return
+				}
+				if cv.Odometer < lastOdo {
+					errc <- fmt.Sprintf("reader %d: %s odometer went backwards: %v after %v", r, probe, cv.Odometer, lastOdo)
+					return
+				}
+				lastOdo = cv.Odometer
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(r)
+	}
+
+	maxLag := 0.0
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		st = status(base)
+		if st.Stats.EpochLagSeconds > maxLag {
+			maxLag = st.Stats.EpochLagSeconds
+		}
+		if st.Stats.AdvanceError != "" {
+			fatalf("engine reported advance error: %s", st.Stats.AdvanceError)
+		}
+		if st.Stats.Epoch >= target {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("engine reached only epoch %d of %d before the deadline", st.Stats.Epoch, target)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		fatalf("%s", msg)
+	default:
+	}
+	if maxLag > maxLagSecs {
+		fatalf("epoch lag peaked at %.2fs, bound is %.2fs", maxLag, maxLagSecs)
+	}
+
+	// ---- A DC chip's odometer matches the epochs it lived through. ----
+	var cv struct {
+		Odometer uint64 `json:"odometer_epochs"`
+	}
+	if err := json.Unmarshal(get(base+"/v1/engine/chips/e01002", http.StatusOK), &cv); err != nil {
+		fatalf("decode final chip view: %v", err)
+	}
+	if cv.Odometer == 0 {
+		fatalf("DC chip e01002 never aged")
+	}
+
+	// ---- Cardinality stays capped with 50k chips registered. ----
+	prom := string(get(base+"/metrics?format=prometheus", http.StatusOK))
+	for _, want := range []string{
+		fmt.Sprintf("selfheal_engine_chips %d", totalChips),
+		"selfheal_engine_epoch ",
+		"selfheal_engine_chips_per_second",
+		fmt.Sprintf("selfheal_chips %d", fleetChips),
+	} {
+		if !strings.Contains(prom, want) {
+			fatalf("prometheus exposition missing %q", want)
+		}
+	}
+	if n := strings.Count(prom, "selfheal_engine_chip_odometer_epochs{"); n == 0 || n > 50 {
+		fatalf("engine per-chip odometer series = %d, want 1..50", n)
+	}
+	if n := strings.Count(prom, "selfheal_chip_ops_total{"); n > 50 {
+		fatalf("fleet per-chip ops series = %d, want <= 50", n)
+	}
+
+	fmt.Printf("engine-smoke: PASS — %d chips, %d epochs, peak lag %.3fs, %.0f chips/sec last tick\n",
+		totalChips, wantEpochs, maxLag, st.Stats.ChipsPerSecond)
+}
