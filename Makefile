@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke serve
+.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke guard-smoke serve
 
 ## check: everything CI needs — gofmt, vet, build, tests with the race detector
 check: fmt vet build race
@@ -47,6 +47,14 @@ obs-smoke:
 ## Prometheus cardinality
 engine-smoke:
 	$(GO) run ./scripts/engine-smoke
+
+## guard-smoke: boot a defended fleet and an undefended control (10k chips
+## each) under the same seeded wearout adversary on manual engine clocks,
+## and check bounded detection latency, the per-chip quarantine 503
+## contract, ≥90% margin recovery at ≤1/3 the control's stress time, and
+## the guard_* Prometheus series
+guard-smoke:
+	$(GO) run ./scripts/guard-smoke
 
 ## serve: run the fleet aging service locally
 serve:

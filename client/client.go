@@ -67,7 +67,10 @@ type (
 
 // APIError is a non-2xx response from the service. Code carries the
 // service's machine-readable classification when present — "degraded"
-// marks a 503 from the fleet's read-only recovery mode.
+// marks a 503 from the fleet's read-only recovery mode, "quarantined"
+// a 503 from the guard holding the target chip while it heals. Both
+// ride the ordinary 5xx retry policy: idempotent calls re-send after
+// the Retry-After hint, mutations surface the error to the caller.
 type APIError struct {
 	Status    int
 	Code      string
@@ -94,11 +97,12 @@ type Client struct {
 	maxBackoff  time.Duration
 	breaker     *breaker
 
-	requests          atomic.Uint64 // logical calls started
-	attempts          atomic.Uint64 // HTTP exchanges issued
-	retries           atomic.Uint64 // exchanges beyond each call's first
-	retryAfterHonored atomic.Uint64 // retry delays taken from a Retry-After hint
-	retryWaitNS       atomic.Int64  // total time slept between attempts
+	requests           atomic.Uint64 // logical calls started
+	attempts           atomic.Uint64 // HTTP exchanges issued
+	retries            atomic.Uint64 // exchanges beyond each call's first
+	retryAfterHonored  atomic.Uint64 // retry delays taken from a Retry-After hint
+	quarantinedRetries atomic.Uint64 // retries against guard-quarantined chips
+	retryWaitNS        atomic.Int64  // total time slept between attempts
 
 	mu  sync.Mutex
 	rnd *rand.Rand
@@ -118,6 +122,12 @@ type Stats struct {
 	// RetryAfterHonored counts retry delays taken from a server
 	// Retry-After hint rather than the client's own backoff.
 	RetryAfterHonored uint64 `json:"retry_after_honored"`
+	// QuarantinedRetries counts retries whose previous attempt was
+	// refused because the guard had quarantined the target chip (503
+	// with the "quarantined" code). A climbing value means callers are
+	// hammering chips that are healing — back off, or pick another
+	// chip.
+	QuarantinedRetries uint64 `json:"quarantined_retries"`
 	// RetryWait is the total time spent sleeping between attempts.
 	RetryWait time.Duration `json:"retry_wait_ns"`
 	// BreakerOpens counts transitions into the open state (including
@@ -135,14 +145,15 @@ type Stats struct {
 func (c *Client) Stats() Stats {
 	opens, halfOpens, state := c.breaker.stats()
 	return Stats{
-		Requests:          c.requests.Load(),
-		Attempts:          c.attempts.Load(),
-		Retries:           c.retries.Load(),
-		RetryAfterHonored: c.retryAfterHonored.Load(),
-		RetryWait:         time.Duration(c.retryWaitNS.Load()),
-		BreakerOpens:      opens,
-		BreakerHalfOpens:  halfOpens,
-		BreakerState:      state,
+		Requests:           c.requests.Load(),
+		Attempts:           c.attempts.Load(),
+		Retries:            c.retries.Load(),
+		RetryAfterHonored:  c.retryAfterHonored.Load(),
+		QuarantinedRetries: c.quarantinedRetries.Load(),
+		RetryWait:          time.Duration(c.retryWaitNS.Load()),
+		BreakerOpens:       opens,
+		BreakerHalfOpens:   halfOpens,
+		BreakerState:       state,
 	}
 }
 
@@ -284,6 +295,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		}
 		if viaHint {
 			c.retryAfterHonored.Add(1)
+		}
+		if apiErr, ok := lastErr.(*APIError); ok && apiErr.Code == serve.CodeQuarantined {
+			c.quarantinedRetries.Add(1)
 		}
 		c.retryWaitNS.Add(int64(delay))
 		if err := c.sleep(ctx, delay); err != nil {

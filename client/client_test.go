@@ -228,6 +228,60 @@ func respondDegraded() func(w http.ResponseWriter) {
 	}
 }
 
+func respondQuarantined(id string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "1")
+		respond(http.StatusServiceUnavailable,
+			`{"error":"fleet: chip `+id+` is quarantined (aging-rate outlier)","code":"quarantined"}`)(w)
+	}
+}
+
+// TestQuarantinedRetriedForReads: a guard-quarantined 503 rides the
+// ordinary 5xx policy — idempotent calls retry after the Retry-After
+// hint — and the episode is surfaced in Stats().QuarantinedRetries so
+// callers can tell healing chips from a degraded service.
+func TestQuarantinedRetriedForReads(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/odometer",
+		respondQuarantined("c0"), // released between the attempts
+		respond(http.StatusOK, `{"id":"c0","beat_hz":120,"elapsed_hours":4}`),
+	)
+	cl := newTestClient(t, sc)
+	if _, err := cl.Odometer(context.Background(), "c0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.count("/v1/chips/c0/odometer"); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+	st := cl.Stats()
+	if st.QuarantinedRetries != 1 {
+		t.Fatalf("QuarantinedRetries = %d, want 1; stats %+v", st.QuarantinedRetries, st)
+	}
+	if st.RetryAfterHonored == 0 {
+		t.Fatalf("Retry-After hint not honored; stats %+v", st)
+	}
+}
+
+// TestQuarantinedNotRetriedForMutations: stress against a quarantined
+// chip surfaces the typed error immediately — re-sending a mutation
+// the guard is refusing would just hammer a healing chip.
+func TestQuarantinedNotRetriedForMutations(t *testing.T) {
+	sc := newScript()
+	sc.on("/v1/chips/c0/stress", respondQuarantined("c0"))
+	cl := newTestClient(t, sc)
+	var apiErr *APIError
+	_, err := cl.Stress(context.Background(), "c0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1})
+	if !errors.As(err, &apiErr) || apiErr.Code != "quarantined" {
+		t.Fatalf("err = %v, want a code=quarantined APIError", err)
+	}
+	if got := sc.count("/v1/chips/c0/stress"); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no mutation retry)", got)
+	}
+	if st := cl.Stats(); st.QuarantinedRetries != 0 {
+		t.Fatalf("QuarantinedRetries = %d, want 0", st.QuarantinedRetries)
+	}
+}
+
 // TestBreakerOpensOnConsecutive503s: after the configured number of
 // consecutive 503s the breaker opens and the next call fails fast with
 // ErrBreakerOpen — no request reaches the wire.

@@ -14,6 +14,7 @@
 //	               [-trace-buffer 256] [-debug-addr addr]
 //	               [-engine] [-epoch 1s] [-epoch-hours 0.5]
 //	               [-engine-workers N] [-metrics-chips 50]
+//	               [-guard] [-guard-spec spec] [-adversary spec]
 //
 // Endpoints:
 //
@@ -32,6 +33,12 @@
 //	POST   /v1/engine/chips/{id}/condition   change operating point / park in sleep
 //	POST   /v1/engine/chips/{id}/schedule    periodic stress/sleep alternation
 //	DELETE /v1/engine/chips/{id}       deregister (engine-native chips only)
+//	POST   /v1/engine/tick             advance the clock {"epochs":N} (manual clock,
+//	                                   -epoch < 0, only; 409 when wall-driven)
+//	GET    /v1/guard                   blue-team status: config, quarantine roster,
+//	                                   counters, adversary view
+//	GET    /v1/guard/alerts            recent guard alerts, newest first (?limit=)
+//	POST   /v1/guard/config            retune the guard  {"spec":"sigma=4,streak=2,..."}
 //	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
@@ -59,7 +66,31 @@
 // time, each epoch simulating -epoch-hours of operation. Readers get
 // immutable per-epoch snapshots; with -data the epoch count is
 // journaled, so a restart re-simulates the fleet to exactly where it
-// stopped.
+// stopped. A negative -epoch disables the wall ticker entirely: the
+// clock is then manual and epochs advance only through POST
+// /v1/engine/tick, which is how deterministic drivers (guard-smoke,
+// red-team replays) pace the simulation.
+//
+// -guard (requires -engine) starts the blue team: a per-epoch
+// aging-rate monitor over the engine's snapshots that quarantines
+// outlier chips (mutations answer 503 with the "quarantined" code and
+// a Retry-After while reads keep serving), remaps their logic onto
+// spare fabric, and schedules accelerated rejuvenation — hot
+// negative-rail sleep epochs — until the wearout excess is recovered,
+// then releases them. -guard-spec tunes the thresholds, e.g.
+// 'sigma=4,rate_floor=5e-4,streak=2,rejuv_epochs=4,recover_frac=0.9'.
+// With -data, quarantine and release are journaled with the rest of
+// the fleet history, so a hard kill mid-episode replays back into the
+// exact same quarantine set and the restarted guard re-adopts and
+// finishes healing the held chips.
+//
+// -adversary arms the red team against the guard: a seeded wearout
+// attacker that picks victim chips and keeps forcing them to dc
+// stress at a hot, overdriven corner while spamming schedule
+// cancellations, e.g. 'seed=7,victims=2,start=10,deny_p=1,cancel_p=0.5'
+// (faults.ParseAdversary grammar). Its moves are applied through the
+// same engine API any workload would use — and refused the same way
+// once the guard quarantines its victims.
 //
 // -debug-addr starts a second listener hosting /debug/pprof/ and
 // /debug/traces. pprof exposes heap contents — bind it to localhost,
@@ -139,6 +170,9 @@ func main() {
 	epochHours := flag.Float64("epoch-hours", 0.5, "simulated hours each engine epoch advances")
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick worker pool size (0: GOMAXPROCS)")
 	metricsChips := flag.Int("metrics-chips", 50, "per-chip series cap in the Prometheus exposition (0: unlimited)")
+	guardOn := flag.Bool("guard", false, "run the blue-team guard: aging-rate monitoring, quarantine, remap, accelerated rejuvenation (requires -engine)")
+	guardSpec := flag.String("guard-spec", "", "guard tuning spec: sigma=F,rate_floor=F,streak=N,rejuv_epochs=N,recover_frac=F,... (empty: defaults)")
+	advSpec := flag.String("adversary", "", "red-team wearout attacker spec: seed=N,victims=N,start=N,deny_p=F,cancel_p=F,temp_c=F,vdd=F (empty: no adversary)")
 	flag.Parse()
 
 	var level slog.Level
@@ -164,6 +198,24 @@ func main() {
 			os.Exit(2)
 		}
 		logger.Warn("chaos fault injection enabled", "spec", *faultSpec)
+	}
+
+	var adversary *faults.Adversary
+	if *advSpec != "" {
+		cfg, err := faults.ParseAdversary(*advSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(2)
+		}
+		if adversary, err = faults.NewAdversary(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(2)
+		}
+		if !*guardOn {
+			fmt.Fprintln(os.Stderr, "selfheal-serve: -adversary requires -guard (the guard applies the red team's moves)")
+			os.Exit(2)
+		}
+		logger.Warn("red-team wearout adversary armed", "spec", *advSpec)
 	}
 
 	var st fleet.Store
@@ -211,6 +263,9 @@ func main() {
 		EngineEpochHours: *epochHours,
 		EngineWorkers:    *engineWorkers,
 		MetricsChipLimit: *metricsChips,
+		GuardEnabled:     *guardOn,
+		GuardSpec:        *guardSpec,
+		Adversary:        adversary,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)

@@ -91,6 +91,15 @@ type Config struct {
 	FlushEpochs int
 	Tracer      *obs.Tracer // when set, every TraceEvery-th tick is traced
 	TraceEvery  int         // default 64
+	// OnEpoch, when set, is called after every successfully completed
+	// tick with the new epoch number and the snapshot it published. It
+	// runs on the ticking goroutine *after* the tick lock is released,
+	// so the hook may call the engine's mutation API (the guard's
+	// detect→respond loop does exactly that); a slow hook delays the
+	// next tick, not concurrent readers. It is never called during
+	// replay — replayed history already contains whatever the hook's
+	// responses journaled the first time around.
+	OnEpoch func(epoch uint64, snap *Snapshot)
 }
 
 // Spec registers one chip with the engine.
@@ -166,6 +175,7 @@ type Engine struct {
 	workers    int
 	tracer     *obs.Tracer
 	traceEvery uint64
+	onEpoch    func(epoch uint64, snap *Snapshot)
 
 	// tickMu serializes epoch advancement, event application, journal
 	// flushes, and snapshot publication — events never land mid-epoch.
@@ -231,6 +241,7 @@ func New(j Journal, cfg Config) (*Engine, error) {
 		workers:    cfg.Workers,
 		tracer:     cfg.Tracer,
 		traceEvery: uint64(cfg.TraceEvery),
+		onEpoch:    cfg.OnEpoch,
 		events:     make(chan *event, 256),
 		closedc:    make(chan struct{}),
 	}
@@ -340,8 +351,17 @@ func (e *Engine) run() {
 // transitions, advance every partition on the worker pool, flush the
 // epoch window to the journal when due, and publish the new snapshot.
 // With Config.Interval set the background loop calls it; tests and
-// benchmarks drive it manually.
+// benchmarks drive it manually. When the tick completed, the OnEpoch
+// hook (if configured) runs synchronously after the tick lock is
+// released, so it can safely mutate the engine.
 func (e *Engine) Tick(ctx context.Context) {
+	epoch, snap, ok := e.tickLocked(ctx)
+	if ok && e.onEpoch != nil {
+		e.onEpoch(epoch, snap)
+	}
+}
+
+func (e *Engine) tickLocked(ctx context.Context) (uint64, *Snapshot, bool) {
 	e.tickMu.Lock()
 	defer e.tickMu.Unlock()
 
@@ -361,7 +381,7 @@ func (e *Engine) Tick(ctx context.Context) {
 	if err != nil {
 		s := err.Error()
 		e.advanceErr.Store(&s)
-		return
+		return 0, nil, false
 	}
 	e.epoch++
 	e.simHours += e.epochHours
@@ -376,6 +396,7 @@ func (e *Engine) Tick(ctx context.Context) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		e.cpsBits.Store(math.Float64bits(float64(e.chips.Load()) / secs))
 	}
+	return e.epoch, e.snap.Load(), true
 }
 
 // advanceAll steps every partition one epoch of dt on the bounded

@@ -20,6 +20,8 @@ const (
 	evRemove
 	evSet
 	evSchedule
+	evSetBatch
+	evScheduleBatch
 	evSync
 )
 
@@ -30,6 +32,8 @@ type event struct {
 	force bool // fleet-driven removal: no commit, fleet-backed allowed
 	cond  Cond
 	sched Schedule
+	conds []CondChange  // evSetBatch payload
+	schs  []SchedChange // evScheduleBatch payload
 	// Sync payload: the fleet's full id list (ordered, plus a set for
 	// membership tests) and the default spec for missing chips. The
 	// pump computes additions/removals itself, under the tick lock.
@@ -102,6 +106,10 @@ func (e *Engine) processBatch(batch []*event) {
 			outs[i].err = e.applySet(ctx, ev.id, ev.cond, flushErr)
 		case evSchedule:
 			outs[i].err = e.applySchedule(ctx, ev.id, ev.sched, flushErr)
+		case evSetBatch:
+			outs[i].regs = e.applySetBatch(ctx, ev.conds, flushErr)
+		case evScheduleBatch:
+			outs[i].regs = e.applyScheduleBatch(ctx, ev.schs, flushErr)
 		case evSync:
 			outs[i].regs = e.applySync(ctx, ev, flushErr)
 		}
@@ -310,63 +318,108 @@ func (e *Engine) applyRemove(ctx context.Context, id string, force bool, flushEr
 }
 
 func (e *Engine) applySet(ctx context.Context, id string, c Cond, flushErr error) error {
-	switch c.Phase {
-	case "":
-		c.Phase = PhaseStressName
-	case PhaseStressName, PhaseSleepName:
-	default:
-		return fmt.Errorf("engine: unknown phase %q", c.Phase)
-	}
-	if err := e.validateCond(c.Phase, c.TempC, c.Vdd); err != nil {
-		return fmt.Errorf("engine: chip %q: %w", id, err)
-	}
-	p := e.partFor(id)
-	if _, ok := p.index[id]; !ok {
-		return NotFoundError{ID: id}
-	}
-	if e.j.Durable() {
-		if flushErr != nil {
-			return fmt.Errorf("engine: set %q: journal degraded: %w", id, flushErr)
+	return e.applySetBatch(ctx, []CondChange{{ID: id, Cond: c}}, flushErr)[0].Err
+}
+
+// applySetBatch validates, commits, and applies a batch of condition
+// changes. Items fail independently; like registration, an item is
+// applied only after its record is durable, and commitMany lets the
+// journal's group commit amortize the fsyncs — the guard changes whole
+// victim sets per epoch through this path.
+func (e *Engine) applySetBatch(ctx context.Context, changes []CondChange, flushErr error) []RegResult {
+	results := make([]RegResult, len(changes))
+	norm := make([]Cond, len(changes))
+	commitIdx := make([]int, 0, len(changes))
+	recs := make([]store.Record, 0, len(changes))
+	for i, ch := range changes {
+		results[i].ID = ch.ID
+		c := ch.Cond
+		switch c.Phase {
+		case "":
+			c.Phase = PhaseStressName
+		case PhaseStressName, PhaseSleepName:
+		default:
+			results[i].Err = fmt.Errorf("engine: unknown phase %q", c.Phase)
+			continue
 		}
-		err := e.j.Commit(ctx, store.Record{
-			Op: store.OpEngineSet, ID: id, Phase: c.Phase,
+		if err := e.validateCond(c.Phase, c.TempC, c.Vdd); err != nil {
+			results[i].Err = fmt.Errorf("engine: chip %q: %w", ch.ID, err)
+			continue
+		}
+		if _, ok := e.partFor(ch.ID).index[ch.ID]; !ok {
+			results[i].Err = NotFoundError{ID: ch.ID}
+			continue
+		}
+		if e.j.Durable() && flushErr != nil {
+			results[i].Err = fmt.Errorf("engine: set %q: journal degraded: %w", ch.ID, flushErr)
+			continue
+		}
+		norm[i] = c
+		commitIdx = append(commitIdx, i)
+		recs = append(recs, store.Record{
+			Op: store.OpEngineSet, ID: ch.ID, Phase: c.Phase,
 			TempC: c.TempC, Vdd: c.Vdd, Duty: c.Duty,
 		})
-		if err != nil {
-			e.commitErrors.Add(1)
-			return fmt.Errorf("engine: set %q could not be committed: %w", id, err)
-		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.setCondition(e.params, id, c)
+	errs := e.commitMany(ctx, recs)
+	for k, i := range commitIdx {
+		if errs[k] != nil {
+			e.commitErrors.Add(1)
+			results[i].Err = fmt.Errorf("engine: set %q could not be committed: %w", changes[i].ID, errs[k])
+			continue
+		}
+		p := e.partFor(changes[i].ID)
+		p.mu.Lock()
+		results[i].Err = p.setCondition(e.params, changes[i].ID, norm[i])
+		p.mu.Unlock()
+	}
+	return results
 }
 
 func (e *Engine) applySchedule(ctx context.Context, id string, s Schedule, flushErr error) error {
-	if err := e.validateSchedule(s); err != nil {
-		return err
-	}
-	p := e.partFor(id)
-	if _, ok := p.index[id]; !ok {
-		return NotFoundError{ID: id}
-	}
-	if e.j.Durable() {
-		if flushErr != nil {
-			return fmt.Errorf("engine: schedule %q: journal degraded: %w", id, flushErr)
+	return e.applyScheduleBatch(ctx, []SchedChange{{ID: id, Schedule: s}}, flushErr)[0].Err
+}
+
+// applyScheduleBatch is applySetBatch for schedule changes (including
+// cancellations: both epoch counts zero).
+func (e *Engine) applyScheduleBatch(ctx context.Context, changes []SchedChange, flushErr error) []RegResult {
+	results := make([]RegResult, len(changes))
+	commitIdx := make([]int, 0, len(changes))
+	recs := make([]store.Record, 0, len(changes))
+	for i, ch := range changes {
+		results[i].ID = ch.ID
+		if err := e.validateSchedule(ch.Schedule); err != nil {
+			results[i].Err = err
+			continue
 		}
-		err := e.j.Commit(ctx, store.Record{
-			Op: store.OpEngineSchedule, ID: id,
-			StressEpochs: s.StressEpochs, SleepEpochs: s.SleepEpochs,
-			SleepTempC: s.SleepTempC, SleepVdd: s.SleepVdd,
+		if _, ok := e.partFor(ch.ID).index[ch.ID]; !ok {
+			results[i].Err = NotFoundError{ID: ch.ID}
+			continue
+		}
+		if e.j.Durable() && flushErr != nil {
+			results[i].Err = fmt.Errorf("engine: schedule %q: journal degraded: %w", ch.ID, flushErr)
+			continue
+		}
+		commitIdx = append(commitIdx, i)
+		recs = append(recs, store.Record{
+			Op: store.OpEngineSchedule, ID: ch.ID,
+			StressEpochs: ch.Schedule.StressEpochs, SleepEpochs: ch.Schedule.SleepEpochs,
+			SleepTempC: ch.Schedule.SleepTempC, SleepVdd: ch.Schedule.SleepVdd,
 		})
-		if err != nil {
-			e.commitErrors.Add(1)
-			return fmt.Errorf("engine: schedule %q could not be committed: %w", id, err)
-		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.setSchedule(id, s)
+	errs := e.commitMany(ctx, recs)
+	for k, i := range commitIdx {
+		if errs[k] != nil {
+			e.commitErrors.Add(1)
+			results[i].Err = fmt.Errorf("engine: schedule %q could not be committed: %w", changes[i].ID, errs[k])
+			continue
+		}
+		p := e.partFor(changes[i].ID)
+		p.mu.Lock()
+		results[i].Err = p.setSchedule(changes[i].ID, changes[i].Schedule)
+		p.mu.Unlock()
+	}
+	return results
 }
 
 // RegisterBatch registers chips with the engine. Results are
@@ -410,6 +463,46 @@ func (e *Engine) SetCondition(ctx context.Context, id string, c Cond) error {
 func (e *Engine) SetSchedule(ctx context.Context, id string, s Schedule) error {
 	_, err := e.enqueue(&event{kind: evSchedule, id: id, sched: s})
 	return err
+}
+
+// CondChange is one item of a SetConditionBatch.
+type CondChange struct {
+	ID   string
+	Cond Cond
+}
+
+// SchedChange is one item of a SetScheduleBatch.
+type SchedChange struct {
+	ID       string
+	Schedule Schedule
+}
+
+// SetConditionBatch changes many chips' conditions in one event: the
+// whole batch lands between two epochs (no chip can age under a stale
+// condition while its neighbours already moved), and the records share
+// the journal's group commit. Results are per-item.
+func (e *Engine) SetConditionBatch(ctx context.Context, changes []CondChange) ([]RegResult, error) {
+	if len(changes) == 0 {
+		return nil, nil
+	}
+	out, err := e.enqueue(&event{kind: evSetBatch, conds: changes})
+	if err != nil {
+		return nil, err
+	}
+	return out.regs, nil
+}
+
+// SetScheduleBatch installs or cancels many chips' circadian schedules
+// in one event; semantics mirror SetConditionBatch.
+func (e *Engine) SetScheduleBatch(ctx context.Context, changes []SchedChange) ([]RegResult, error) {
+	if len(changes) == 0 {
+		return nil, nil
+	}
+	out, err := e.enqueue(&event{kind: evScheduleBatch, schs: changes})
+	if err != nil {
+		return nil, err
+	}
+	return out.regs, nil
 }
 
 // ObserveFleetDelete removes a fleet-backed chip after the fleet

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestScheduleCancelUnderConcurrentReschedule hammers exactly the path
+// the guard's rejuvenation scheduler lives on: schedules installed,
+// replaced, and cancelled on the same chips from many goroutines while
+// the engine keeps ticking. Every change bumps the chip's schedule
+// generation; a stale wheel item whose generation check were broken
+// would fire a phantom transition after the cancel. The test drives
+// the race, then cancels everything, parks the fleet in stress, and
+// ticks far past the longest outstanding wheel span: any zombie fire
+// would flip a chip to sleep (visible in the snapshot) or stall its
+// odometer.
+func TestScheduleCancelUnderConcurrentReschedule(t *testing.T) {
+	ctx := context.Background()
+	// Workers: 1 keeps each tick on the calling goroutine — the race
+	// under test is schedule events vs. wheel fires, not the worker
+	// pool, and the tight tick loop would otherwise spawn a goroutine
+	// flood under -race.
+	e := memEngine(t, Config{EpochHours: 0.5, Workers: 1})
+
+	const chips = 24
+	ids := make([]string, chips)
+	specs := make([]Spec, chips)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%03d", i)
+		specs[i] = Spec{ID: ids[i], TempC: 80, Vdd: 1.2, Duty: 1}
+	}
+	if res, err := e.RegisterBatch(ctx, specs); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("register %s: %v", r.ID, r.Err)
+			}
+		}
+	}
+
+	// The race: per-chip single flows and whole-fleet batches install,
+	// replace, and cancel schedules while the main goroutine keeps
+	// ticking epochs underneath them.
+	var wg sync.WaitGroup
+	const rounds = 15
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cancel := Schedule{}
+			install := Schedule{StressEpochs: uint64(g + 1), SleepEpochs: uint64(g + 2), SleepTempC: 40, SleepVdd: -0.3}
+			for r := 0; r < rounds; r++ {
+				for _, id := range ids {
+					var err error
+					if (r+g)%2 == 0 {
+						err = e.SetSchedule(ctx, id, install)
+					} else {
+						err = e.SetSchedule(ctx, id, cancel)
+					}
+					if err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			chs := make([]SchedChange, chips)
+			for i, id := range ids {
+				s := Schedule{StressEpochs: 2, SleepEpochs: 6, SleepTempC: 45, SleepVdd: -0.2}
+				if (r+i)%3 == 0 {
+					s = Schedule{} // cancellation spam interleaved into the batch
+				}
+				chs[i] = SchedChange{ID: id, Schedule: s}
+			}
+			res, err := e.SetScheduleBatch(ctx, chs)
+			if err != nil {
+				t.Errorf("batch: %v", err)
+				return
+			}
+			for _, rr := range res {
+				if rr.Err != nil {
+					t.Errorf("batch item %s: %v", rr.ID, rr.Err)
+					return
+				}
+			}
+		}
+	}()
+	mutatorsDone := make(chan struct{})
+	go func() { wg.Wait(); close(mutatorsDone) }()
+ticking:
+	for {
+		select {
+		case <-mutatorsDone:
+			break ticking
+		default:
+			e.Tick(ctx)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce: cancel every schedule and pin every chip to stress.
+	chs := make([]SchedChange, chips)
+	conds := make([]CondChange, chips)
+	for i, id := range ids {
+		chs[i] = SchedChange{ID: id}
+		conds[i] = CondChange{ID: id, Cond: Cond{Phase: PhaseStressName, TempC: 80, Vdd: 1.2, Duty: 1}}
+	}
+	for _, call := range []func() ([]RegResult, error){
+		func() ([]RegResult, error) { return e.SetScheduleBatch(ctx, chs) },
+		func() ([]RegResult, error) { return e.SetConditionBatch(ctx, conds) },
+	} {
+		res, err := call()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("quiesce %s: %v", r.ID, r.Err)
+			}
+		}
+	}
+
+	// Any surviving wheel item was booked at most max(StressEpochs,
+	// SleepEpochs) = 6 epochs ahead; tick far past that and verify no
+	// stale generation ever fires: phases stay stress, odometers track
+	// every epoch exactly.
+	before := e.Snapshot()
+	baseOdo := make(map[string]uint64, chips)
+	for _, id := range ids {
+		cv, ok := before.Chip(id)
+		if !ok {
+			t.Fatalf("chip %s missing from snapshot", id)
+		}
+		baseOdo[id] = cv.Odometer
+	}
+	const settle = 64
+	for k := 1; k <= settle; k++ {
+		e.Tick(ctx)
+		snap := e.Snapshot()
+		for _, id := range ids {
+			cv, ok := snap.Chip(id)
+			if !ok {
+				t.Fatalf("chip %s missing after tick %d", id, k)
+			}
+			if cv.Phase != PhaseStressName {
+				t.Fatalf("tick %d: chip %s flipped to %q — a cancelled schedule's wheel item fired", k, id, cv.Phase)
+			}
+			if want := baseOdo[id] + uint64(k); cv.Odometer != want {
+				t.Fatalf("tick %d: chip %s odometer %v, want %v — a stale fire perturbed its phase",
+					k, id, cv.Odometer, want)
+			}
+		}
+	}
+}
+
+// TestSetConditionBatchSemantics covers the batch event kinds' per-item
+// verdicts and read-your-writes: valid items apply even when their
+// neighbours fail, and the published snapshot reflects the batch the
+// moment the call returns.
+func TestSetConditionBatchSemantics(t *testing.T) {
+	ctx := context.Background()
+	e := memEngine(t, Config{EpochHours: 0.5})
+	for _, id := range []string{"a", "b"} {
+		if err := e.Register(ctx, Spec{ID: id, TempC: 80, Vdd: 1.2, Duty: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.SetConditionBatch(ctx, []CondChange{
+		{ID: "a", Cond: Cond{Phase: PhaseSleepName, TempC: 110, Vdd: -0.3, Duty: 1}},
+		{ID: "ghost", Cond: Cond{Phase: PhaseStressName, TempC: 80, Vdd: 1.2, Duty: 1}},
+		{ID: "b", Cond: Cond{Phase: "limbo", TempC: 80, Vdd: 1.2, Duty: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("valid item failed: %v", res[0].Err)
+	}
+	if _, ok := res[1].Err.(NotFoundError); !ok {
+		t.Fatalf("missing chip error = %v", res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Fatal("bad phase accepted")
+	}
+	cv, ok := e.Snapshot().Chip("a")
+	if !ok || cv.Phase != PhaseSleepName {
+		t.Fatalf("read-your-writes: chip a = %+v, %v", cv, ok)
+	}
+	if cv2, _ := e.Snapshot().Chip("b"); cv2.Phase != PhaseStressName {
+		t.Fatalf("failed item mutated chip b: %+v", cv2)
+	}
+
+	sres, err := e.SetScheduleBatch(ctx, []SchedChange{
+		{ID: "b", Schedule: Schedule{StressEpochs: 2, SleepEpochs: 2, SleepTempC: 40, SleepVdd: -0.3}},
+		{ID: "ghost", Schedule: Schedule{}},
+		{ID: "a", Schedule: Schedule{StressEpochs: 1}}, // one-sided: invalid
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres[0].Err != nil {
+		t.Fatalf("valid schedule failed: %v", sres[0].Err)
+	}
+	if _, ok := sres[1].Err.(NotFoundError); !ok {
+		t.Fatalf("missing chip error = %v", sres[1].Err)
+	}
+	if sres[2].Err == nil {
+		t.Fatal("one-sided schedule accepted")
+	}
+	if res, err := e.SetConditionBatch(ctx, nil); err != nil || res != nil {
+		t.Fatalf("empty batch = (%v, %v)", res, err)
+	}
+}

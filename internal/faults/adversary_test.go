@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConfigStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"seed=9",
+		"seed=7,latency_p=0.2,latency=50ms,error_p=0.05,panic_p=0.01,partial_p=0.1",
+		"disk=fail-append",
+		"disk=fail-fsync:3",
+		"latency_p=0.001,latency=1h2m3s,disk=corrupt-on-write:1",
+	} {
+		cfg, err := ParseConfig(spec)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", spec, err)
+		}
+		cfg2, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("reparse String of %q (%q): %v", spec, cfg.String(), err)
+		}
+		if cfg != cfg2 {
+			t.Errorf("round trip %q: %+v != %+v", spec, cfg, cfg2)
+		}
+	}
+}
+
+func TestAdversaryDeterministic(t *testing.T) {
+	ids := []string{"c07", "c03", "c09", "c01", "c05", "c02"}
+	mk := func() *Adversary {
+		a, err := NewAdversary(AdversaryConfig{Seed: 42, Victims: 2, Start: 3, CancelP: 0.5, DenyP: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PickVictims(ids)
+		return a
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a.Victims(), b.Victims()) {
+		t.Fatalf("same seed picked different victims: %v vs %v", a.Victims(), b.Victims())
+	}
+	if len(a.Victims()) != 2 {
+		t.Fatalf("picked %d victims, want 2", len(a.Victims()))
+	}
+	for epoch := uint64(0); epoch < 20; epoch++ {
+		av, bv := a.Actions(epoch), b.Actions(epoch)
+		if !reflect.DeepEqual(av, bv) {
+			t.Fatalf("epoch %d: same seed drew different actions: %v vs %v", epoch, av, bv)
+		}
+		if epoch < 3 && av != nil {
+			t.Fatalf("epoch %d is before start, but drew %v", epoch, av)
+		}
+		if epoch == 3 && len(av) != 4 {
+			t.Fatalf("attack opening should stress+cancel both victims, got %v", av)
+		}
+	}
+	st := a.Stats()
+	if st.VictimsPicked != 2 || st.StressActs == 0 || st.CancelActs == 0 {
+		t.Fatalf("unexpected stats after attack: %+v", st)
+	}
+	a.RecordBlocked(3)
+	if got := a.Stats().Blocked; got != 3 {
+		t.Fatalf("Blocked = %d, want 3", got)
+	}
+}
+
+func TestAdversaryInactive(t *testing.T) {
+	a, err := NewAdversary(AdversaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatalf("inactive config built a live adversary")
+	}
+	// nil receivers are inert, like the Injector.
+	if a.Actions(5) != nil || a.Victims() != nil || a.PickVictims([]string{"x"}) != nil {
+		t.Fatal("nil adversary acted")
+	}
+	a.RecordBlocked(1)
+	if a.Stats() != (AdversaryStats{}) {
+		t.Fatal("nil adversary has stats")
+	}
+	if _, err := NewAdversary(AdversaryConfig{Victims: 1, CancelP: 1.5}); err == nil {
+		t.Fatal("want error for cancel_p out of range")
+	}
+}

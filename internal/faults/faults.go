@@ -162,6 +162,42 @@ func ParseConfig(spec string) (Config, error) {
 	return cfg, nil
 }
 
+// String re-emits the config in ParseConfig's grammar, so a spec can be
+// logged and replayed verbatim: ParseConfig(c.String()) reproduces c for
+// any valid config (the zero config renders as ""). Keys appear in the
+// documented order; zero-valued fields are omitted. A DiskN with no armed
+// mode is meaningless and is not emitted.
+func (c Config) String() string {
+	var parts []string
+	emit := func(key, val string) { parts = append(parts, key+"="+val) }
+	if c.Seed != 0 {
+		emit("seed", strconv.FormatUint(c.Seed, 10))
+	}
+	if c.LatencyP != 0 {
+		emit("latency_p", strconv.FormatFloat(c.LatencyP, 'g', -1, 64))
+	}
+	if c.Latency != 0 {
+		emit("latency", c.Latency.String())
+	}
+	if c.ErrorP != 0 {
+		emit("error_p", strconv.FormatFloat(c.ErrorP, 'g', -1, 64))
+	}
+	if c.PanicP != 0 {
+		emit("panic_p", strconv.FormatFloat(c.PanicP, 'g', -1, 64))
+	}
+	if c.PartialP != 0 {
+		emit("partial_p", strconv.FormatFloat(c.PartialP, 'g', -1, 64))
+	}
+	if c.Disk != DiskNone {
+		v := string(c.Disk)
+		if c.DiskN > 0 {
+			v += ":" + strconv.Itoa(c.DiskN)
+		}
+		emit("disk", v)
+	}
+	return strings.Join(parts, ",")
+}
+
 // Stats counts the faults actually injected.
 type Stats struct {
 	Latencies     uint64 `json:"latencies"`

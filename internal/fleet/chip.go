@@ -28,6 +28,12 @@ type ChipEntry struct {
 	bench   *selfheal.Chip
 	mon     *selfheal.MonitoredChip
 
+	// quarantined is set by the guard (journaled, so it survives a
+	// restart): mutations are refused with QuarantinedError while reads
+	// of already-materialized state (Info, usage) keep serving.
+	quarantined bool
+	quarReason  string
+
 	stressSeconds float64
 	healSeconds   float64
 	ops           uint64
@@ -110,6 +116,49 @@ func (e *ChipEntry) usage() ChipUsage {
 	return u
 }
 
+// Quarantined reports the chip's quarantine state and reason.
+func (e *ChipEntry) Quarantined() (bool, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.quarantined, e.quarReason
+}
+
+// setQuarantined flips the quarantine state under the chip lock,
+// committing the transition before the lock is released (same record-
+// order invariant as the aging mutations). It is idempotent: a repeat
+// transition changes nothing and commits nothing, so the journal holds
+// one record per actual state change. A failed commit rolls the flip
+// back, making a retry safe. The first return reports whether the
+// state changed.
+func (e *ChipEntry) setQuarantined(ctx context.Context, v bool, reason string, commit func() error) (bool, error) {
+	e.lock(ctx)
+	defer e.mu.Unlock()
+	if e.deleted {
+		return false, NotFoundError{ID: e.id}
+	}
+	if e.quarantined == v {
+		return false, nil
+	}
+	prevReason := e.quarReason
+	e.quarantined = v
+	e.quarReason = reason
+	if !v {
+		e.quarReason = ""
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			e.quarantined = !v
+			e.quarReason = prevReason
+			op := "quarantine"
+			if !v {
+				op = "release"
+			}
+			return false, NotDurableError{Op: op, Err: err}
+		}
+	}
+	return true, nil
+}
+
 // lock acquires the per-chip mutex, recording the wait as a chip.lock
 // span when ctx carries a trace — the contention a batch hammering one
 // chip shows up as, distinct from fsync or compute time.
@@ -129,6 +178,9 @@ func (e *ChipEntry) Stress(ctx context.Context, req PhaseRequest, commit func() 
 	defer e.mu.Unlock()
 	if e.deleted {
 		return PhaseResponse{}, NotFoundError{ID: e.id}
+	}
+	if e.quarantined {
+		return PhaseResponse{}, QuarantinedError{ID: e.id, Reason: e.quarReason}
 	}
 	_, sim := obs.StartSpan(ctx, "chip.stress", obs.String("chip_id", e.id))
 	resp := PhaseResponse{ID: e.id, Phase: "stress", Hours: req.Hours}
@@ -165,6 +217,9 @@ func (e *ChipEntry) Rejuvenate(ctx context.Context, req PhaseRequest, commit fun
 	if e.deleted {
 		return PhaseResponse{}, NotFoundError{ID: e.id}
 	}
+	if e.quarantined {
+		return PhaseResponse{}, QuarantinedError{ID: e.id, Reason: e.quarReason}
+	}
 	_, sim := obs.StartSpan(ctx, "chip.rejuvenate", obs.String("chip_id", e.id))
 	resp := PhaseResponse{ID: e.id, Phase: "rejuvenate", Hours: req.Hours}
 	if e.bench != nil {
@@ -200,6 +255,12 @@ func (e *ChipEntry) Measure(ctx context.Context, commit func() error) (ReadingRe
 	if e.deleted {
 		return ReadingResponse{}, NotFoundError{ID: e.id}
 	}
+	if e.quarantined {
+		// Sensor reads are mutations in disguise (they age the die and
+		// are journaled), so quarantine refuses them too; the reads that
+		// keep serving are the ones over already-materialized state.
+		return ReadingResponse{}, QuarantinedError{ID: e.id, Reason: e.quarReason}
+	}
 	if e.bench == nil {
 		return ReadingResponse{}, fmt.Errorf(
 			"fleet: chip %q is %q — use /odometer for its on-die sensor: %w", e.id, e.kind, ErrKindMismatch)
@@ -234,6 +295,9 @@ func (e *ChipEntry) Odometer(ctx context.Context, commit func() error) (Odometer
 	defer e.mu.Unlock()
 	if e.deleted {
 		return OdometerResponse{}, NotFoundError{ID: e.id}
+	}
+	if e.quarantined {
+		return OdometerResponse{}, QuarantinedError{ID: e.id, Reason: e.quarReason}
 	}
 	if e.mon == nil {
 		return OdometerResponse{}, fmt.Errorf(

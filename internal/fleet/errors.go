@@ -20,6 +20,23 @@ func (e NotFoundError) Error() string {
 	return fmt.Sprintf("fleet: no chip %q in the fleet", e.ID)
 }
 
+// QuarantinedError marks a mutation against a chip the guard has
+// quarantined: the chip is still registered and readable, but aging
+// operations are refused until the guard releases it (the transport
+// layer maps this to 503 with code "quarantined" and a Retry-After,
+// the per-chip analogue of the fleet-wide degraded gate).
+type QuarantinedError struct {
+	ID     string
+	Reason string
+}
+
+func (e QuarantinedError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("fleet: chip %q is quarantined (%s)", e.ID, e.Reason)
+	}
+	return fmt.Sprintf("fleet: chip %q is quarantined", e.ID)
+}
+
 // NotDurableError wraps a store-commit failure — the storage wearing
 // out, not a bug. For create and delete the operation was rolled back
 // and can be retried; for phases the in-memory state advanced but will

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"selfheal/internal/store"
+)
+
+func TestQuarantineLifecycle(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t)
+	for _, spec := range []CreateSpec{
+		{ID: "c0", Seed: 7},
+		{ID: "m0", Seed: 3, Kind: KindMonitored},
+	} {
+		if _, err := s.Create(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	changed, err := s.Quarantine(ctx, "c0", "aging-rate outlier")
+	if err != nil || !changed {
+		t.Fatalf("Quarantine = (%v, %v), want (true, nil)", changed, err)
+	}
+	// Idempotent: a second quarantine is a no-op, not a new journal record.
+	if changed, err = s.Quarantine(ctx, "c0", "again"); err != nil || changed {
+		t.Fatalf("repeat Quarantine = (%v, %v), want (false, nil)", changed, err)
+	}
+	if !s.Quarantined("c0") || s.Quarantined("m0") || s.Quarantined("ghost") {
+		t.Fatal("quarantine flags wrong")
+	}
+	if ids := s.QuarantinedIDs(); len(ids) != 1 || ids[0] != "c0" {
+		t.Fatalf("QuarantinedIDs = %v", ids)
+	}
+
+	// Every mutation refuses with QuarantinedError; reads keep serving.
+	var qe QuarantinedError
+	if _, err := s.Stress(ctx, "c0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); !errors.As(err, &qe) {
+		t.Fatalf("stress on quarantined = %v", err)
+	}
+	if qe.ID != "c0" || qe.Reason != "aging-rate outlier" {
+		t.Fatalf("QuarantinedError = %+v", qe)
+	}
+	if _, err := s.Rejuvenate(ctx, "c0", PhaseRequest{TempC: 85, Vdd: -0.3, Hours: 1}); !errors.As(err, &qe) {
+		t.Fatalf("rejuvenate on quarantined = %v", err)
+	}
+	if _, err := s.Measure(ctx, "c0"); !errors.As(err, &qe) {
+		t.Fatalf("measure on quarantined = %v", err)
+	}
+	if _, ok := s.Get("c0"); !ok {
+		t.Fatal("quarantined chip vanished from reads")
+	}
+	if u, ok := s.Usage()["c0"]; !ok || u.Kind != KindBench {
+		t.Fatal("usage read on quarantined chip failed")
+	}
+
+	// Unquarantined chips are untouched.
+	if _, err := s.Odometer(ctx, "m0"); err != nil {
+		t.Fatalf("odometer on clean chip: %v", err)
+	}
+
+	if changed, err = s.Release(ctx, "c0"); err != nil || !changed {
+		t.Fatalf("Release = (%v, %v), want (true, nil)", changed, err)
+	}
+	if changed, err = s.Release(ctx, "c0"); err != nil || changed {
+		t.Fatalf("repeat Release = (%v, %v), want (false, nil)", changed, err)
+	}
+	if _, err := s.Stress(ctx, "c0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
+		t.Fatalf("stress after release: %v", err)
+	}
+
+	// Missing chips are NotFoundError.
+	if _, err := s.Quarantine(ctx, "ghost", "x"); !errors.As(err, &NotFoundError{}) {
+		t.Fatalf("quarantine ghost = %v", err)
+	}
+	if _, err := s.Release(ctx, "ghost"); !errors.As(err, &NotFoundError{}) {
+		t.Fatalf("release ghost = %v", err)
+	}
+}
+
+// TestQuarantineReplay restarts a durable fleet mid-quarantine and
+// checks the quarantine set (and reasons) come back exactly: chips
+// quarantined at shutdown still refuse mutations, released ones serve.
+func TestQuarantineReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	st1, _, err := store.Open[*ChipEntry](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewService(st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"q0", "q1", "ok0"} {
+		if _, err := s1.Create(ctx, CreateSpec{ID: id, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.Stress(ctx, "q0", PhaseRequest{TempC: 110, Vdd: 1.32, Hours: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Quarantine(ctx, "q0", "adversary"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Quarantine(ctx, "q1", "budget"); err != nil {
+		t.Fatal(err)
+	}
+	// q1 went through a full quarantine→release cycle; only q0 stays.
+	if _, err := s1.Release(ctx, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _, err := store.Open[*ChipEntry](dir, store.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewService(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if ids := s2.QuarantinedIDs(); len(ids) != 1 || ids[0] != "q0" {
+		t.Fatalf("replayed QuarantinedIDs = %v, want [q0]", ids)
+	}
+	var qe QuarantinedError
+	if _, err := s2.Stress(ctx, "q0", PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); !errors.As(err, &qe) {
+		t.Fatalf("stress on replayed quarantined chip = %v", err)
+	}
+	if qe.Reason != "adversary" {
+		t.Fatalf("replayed reason = %q, want %q", qe.Reason, "adversary")
+	}
+	for _, id := range []string{"q1", "ok0"} {
+		if _, err := s2.Stress(ctx, id, PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
+			t.Fatalf("stress on %s after replay: %v", id, err)
+		}
+	}
+}

@@ -102,6 +102,13 @@ func (s *Service) applyRecord(rec store.Record) error {
 	case store.OpDelete:
 		_, err := s.delete(context.Background(), rec.ID, nil)
 		return err
+	case store.OpQuarantine, store.OpRelease:
+		entry, ok := s.st.Lookup(rec.ID)
+		if !ok {
+			return NotFoundError{ID: rec.ID}
+		}
+		_, err := entry.setQuarantined(context.Background(), rec.Op == store.OpQuarantine, rec.Kind, nil)
+		return err
 	default:
 		if store.IsEngineOp(rec.Op) {
 			// Engine records share the journal but belong to the aging
@@ -213,6 +220,53 @@ func (s *Service) delete(ctx context.Context, id string, commit func() error) (b
 
 // Get returns the chip registered under id.
 func (s *Service) Get(id string) (*ChipEntry, bool) { return s.st.Lookup(id) }
+
+// Quarantine marks a chip quarantined: mutations refuse with
+// QuarantinedError until Release, reads keep serving. The transition is
+// journaled (the reason rides in the record's Kind field), so replay
+// restores the quarantine set exactly. The first return reports whether
+// the state changed (false: it was already quarantined).
+func (s *Service) Quarantine(ctx context.Context, id, reason string) (bool, error) {
+	entry, ok := s.lookup(ctx, id)
+	if !ok {
+		return false, NotFoundError{ID: id}
+	}
+	return entry.setQuarantined(ctx, true, reason,
+		s.commit(ctx, store.Record{Op: store.OpQuarantine, ID: id, Kind: reason}))
+}
+
+// Release lifts a chip's quarantine; semantics mirror Quarantine.
+func (s *Service) Release(ctx context.Context, id string) (bool, error) {
+	entry, ok := s.lookup(ctx, id)
+	if !ok {
+		return false, NotFoundError{ID: id}
+	}
+	return entry.setQuarantined(ctx, false, "",
+		s.commit(ctx, store.Record{Op: store.OpRelease, ID: id}))
+}
+
+// Quarantined reports whether the chip is currently quarantined.
+func (s *Service) Quarantined(id string) bool {
+	entry, ok := s.st.Lookup(id)
+	if !ok {
+		return false
+	}
+	q, _ := entry.Quarantined()
+	return q
+}
+
+// QuarantinedIDs returns the ids of every quarantined chip, sorted.
+func (s *Service) QuarantinedIDs() []string {
+	var out []string
+	s.st.ForEach(func(id string, e *ChipEntry) bool {
+		if q, _ := e.Quarantined(); q {
+			out = append(out, id)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
 
 // Stress ages a chip; see ChipEntry.Stress for the commit semantics.
 func (s *Service) Stress(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {

@@ -1,0 +1,331 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"selfheal/internal/engine"
+	"selfheal/internal/faults"
+	"selfheal/internal/fleet"
+	"selfheal/internal/fpga"
+	"selfheal/internal/rng"
+	"selfheal/internal/store"
+)
+
+func TestConfigParseStringRoundTrip(t *testing.T) {
+	if cfg, err := Parse(""); err != nil || cfg != Defaults {
+		t.Fatalf("empty spec = (%+v, %v), want Defaults", cfg, err)
+	}
+	if Defaults.String() != "" {
+		t.Fatalf("Defaults.String() = %q, want empty", Defaults.String())
+	}
+	for _, spec := range []string{
+		"sigma=6",
+		"sigma=3,rate_floor=1e-3,streak=3",
+		"warmup=5,rejuv_epochs=8,rejuv_temp_c=105,rejuv_vdd=-0.25",
+		"recover_frac=0.8,max_quarantine_frac=0.1,remap_cells=4",
+		"nominal_temp_c=85,nominal_vdd=1.1",
+	} {
+		cfg, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(cfg.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", cfg.String(), spec, err)
+		}
+		if again != cfg {
+			t.Fatalf("round trip %q: %+v != %+v", spec, again, cfg)
+		}
+	}
+	for _, bad := range []string{
+		"sigma=-1", "streak=0", "rejuv_vdd=0.3", "recover_frac=0",
+		"recover_frac=1.5", "max_quarantine_frac=2", "remap_cells=0",
+		"nominal_vdd=0", "nope=1", "sigma",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// guardRig is an engine + guard pair ticking on the caller's goroutine.
+type guardRig struct {
+	eng   *engine.Engine
+	guard *Guard
+}
+
+func newGuardRig(t *testing.T, cfg Config, d Deps, chips int) *guardRig {
+	t.Helper()
+	ctx := context.Background()
+	var g *Guard
+	eng, err := engine.New(store.NewMem[any](), engine.Config{
+		EpochHours: 0.5,
+		Workers:    1,
+		OnEpoch:    func(epoch uint64, snap *engine.Snapshot) { g.OnEpoch(epoch, snap) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	d.Engine = eng
+	g, err = New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]engine.Spec, chips)
+	for i := range specs {
+		specs[i] = engine.Spec{ID: fmt.Sprintf("g%03d", i), TempC: 80, Vdd: 1.2, Duty: 1}
+	}
+	res, err := eng.RegisterBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("register %s: %v", r.ID, r.Err)
+		}
+	}
+	return &guardRig{eng: eng, guard: g}
+}
+
+func (r *guardRig) tick(n int) {
+	for i := 0; i < n; i++ {
+		r.eng.Tick(context.Background())
+	}
+}
+
+func alertsByKind(alerts []Alert) map[AlertKind][]Alert {
+	out := map[AlertKind][]Alert{}
+	for _, a := range alerts {
+		out[a.Kind] = append(out[a.Kind], a)
+	}
+	return out
+}
+
+// TestGuardClosedLoop runs the whole arena in miniature: a seeded
+// adversary opens a dc-stress attack on two victims, the monitor
+// convicts them from the fleet-relative aging rate, the responder
+// quarantines, remaps onto spare fabric and schedules accelerated
+// rejuvenation, and once the excess is recovered the victims rejoin
+// the fleet at the nominal condition.
+func TestGuardClosedLoop(t *testing.T) {
+	adv, err := faults.NewAdversary(faults.AdversaryConfig{Seed: 42, Victims: 2, Start: 4, DenyP: 1, CancelP: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fpga.DefaultParams()
+	sp.Rows, sp.Cols = 8, 8
+	spare, err := fpga.NewChip("spare-0", sp, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newGuardRig(t, Config{}, Deps{Adversary: adv, Spare: spare}, 16)
+	rig.tick(40)
+
+	victims := adv.Victims()
+	if len(victims) != 2 {
+		t.Fatalf("victims = %v", victims)
+	}
+	byKind := alertsByKind(rig.guard.Alerts(0))
+	quarantined := map[string]bool{}
+	for _, a := range byKind[AlertQuarantined] {
+		quarantined[a.Chip] = true
+	}
+	for _, v := range victims {
+		if !quarantined[v] {
+			t.Fatalf("victim %s never quarantined; alerts: %+v", v, byKind[AlertQuarantined])
+		}
+	}
+	// Only victims are ever convicted: the 14 bystander chips age at
+	// the fleet baseline and must not trip the detector.
+	for chip := range quarantined {
+		if chip != victims[0] && chip != victims[1] {
+			t.Fatalf("bystander %s quarantined", chip)
+		}
+	}
+	if len(byKind[AlertRemapped]) == 0 {
+		t.Fatal("no remap alerts despite spare fabric")
+	}
+	if len(byKind[AlertRejuvenating]) == 0 {
+		t.Fatal("no rejuvenation alerts")
+	}
+	released := map[string]bool{}
+	for _, a := range byKind[AlertReleased] {
+		released[a.Chip] = true
+	}
+	for _, v := range victims {
+		if !released[v] {
+			t.Fatalf("victim %s never released; metrics %+v", v, rig.guard.MetricsSnapshot())
+		}
+	}
+
+	// The quarantine actually blunted the attack: with deny_p=1 the
+	// adversary keeps re-asserting stress every epoch, and every move
+	// after conviction must have been refused.
+	if st := adv.Stats(); st.Blocked == 0 {
+		t.Fatalf("no adversary actions blocked: %+v", st)
+	}
+
+	m := rig.guard.MetricsSnapshot()
+	if m.AlertsTotal == 0 || m.RemapsTotal == 0 || m.RejuvenationEpochsTotal == 0 || m.ReleasesTotal == 0 {
+		t.Fatalf("metrics missing activity: %+v", m)
+	}
+	if m.SpareFreeCells != 64-int(m.RemapsTotal)*Defaults.RemapCells {
+		t.Fatalf("spare accounting: %+v", m)
+	}
+
+	status := rig.guard.StatusSnapshot()
+	if status.Adversary == nil || status.Adversary.Stats.StressActs == 0 {
+		t.Fatalf("status adversary view: %+v", status.Adversary)
+	}
+}
+
+// TestGuardQuarantineBudget pins the SLO: with a budget of one chip,
+// the second conviction is deferred (typed alert) and only lands
+// after the first victim is released.
+func TestGuardQuarantineBudget(t *testing.T) {
+	adv, err := faults.NewAdversary(faults.AdversaryConfig{Seed: 7, Victims: 2, Start: 4, DenyP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newGuardRig(t, Config{MaxQuarFrac: 0.01}, Deps{Adversary: adv}, 12)
+	rig.tick(60)
+
+	byKind := alertsByKind(rig.guard.Alerts(0))
+	if len(byKind[AlertDeferred]) == 0 {
+		t.Fatalf("no budget-deferred alert; kinds: %v", len(byKind))
+	}
+	quarantined := map[string]bool{}
+	for _, a := range byKind[AlertQuarantined] {
+		quarantined[a.Chip] = true
+	}
+	for _, v := range adv.Victims() {
+		if !quarantined[v] {
+			t.Fatalf("victim %s never quarantined under budget; %+v", v, rig.guard.MetricsSnapshot())
+		}
+	}
+	// The budget was never exceeded: quarantined alerts are serialized
+	// one at a time, so at no point do two overlap without a release
+	// in between. Releases ≥ 1 proves the slot recycled.
+	if m := rig.guard.MetricsSnapshot(); m.ReleasesTotal == 0 || m.QuarantinedChips > 1 {
+		t.Fatalf("budget not enforced: %+v", m)
+	}
+}
+
+// TestGuardRestartAdoption simulates the hard-kill path: the fleet
+// journal replayed a chip as quarantined, but the new guard instance
+// has no memory of the episode. The guard must re-adopt the chip on
+// its first epoch — healing rhythm re-installed — and release it on
+// the healthy bar (its pre-attack baseline is unknowable after a
+// restart), never stranding it in quarantine.
+func TestGuardRestartAdoption(t *testing.T) {
+	ctx := context.Background()
+	fl, err := fleet.NewService(store.NewMem[*fleet.ChipEntry]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	rig := newGuardRig(t, Config{}, Deps{Fleet: fl}, 8)
+	for i := 0; i < 8; i++ {
+		if _, err := fl.Create(ctx, fleet.CreateSpec{ID: fmt.Sprintf("g%03d", i), Seed: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pre-restart state: the old guard quarantined g003, then the
+	// process died. Replay restores the fleet-side quarantine only.
+	if _, err := fl.Quarantine(ctx, "g003", "aging-rate outlier at epoch 9"); err != nil {
+		t.Fatal(err)
+	}
+
+	rig.tick(1)
+	adopted := false
+	for _, a := range rig.guard.Alerts(0) {
+		if a.Kind == AlertRejuvenating && a.Chip == "g003" {
+			adopted = true
+		}
+	}
+	if !adopted {
+		t.Fatalf("no adoption alert; alerts %+v", rig.guard.Alerts(0))
+	}
+	st := rig.guard.StatusSnapshot()
+	if len(st.Quarantined) != 1 || st.Quarantined[0].Chip != "g003" {
+		t.Fatalf("adopted status = %+v", st.Quarantined)
+	}
+
+	rig.tick(20)
+	if ids := fl.QuarantinedIDs(); len(ids) != 0 {
+		t.Fatalf("adopted chip stranded in quarantine: %v", ids)
+	}
+	if m := rig.guard.MetricsSnapshot(); m.ReleasesTotal != 1 || m.QuarantinedChips != 0 {
+		t.Fatalf("adoption lifecycle metrics: %+v", m)
+	}
+}
+
+// TestGuardFleetQuarantine wires a real fleet service in: conviction
+// must quarantine the journaled fleet entry (mutations refuse with
+// QuarantinedError, reads serve), and release must lift it.
+func TestGuardFleetQuarantine(t *testing.T) {
+	ctx := context.Background()
+	fl, err := fleet.NewService(store.NewMem[*fleet.ChipEntry]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// One-shot attack (no deny/cancel spam): once the victim is
+	// released it must *stay* released, which the final assertions pin.
+	adv, advErr := faults.NewAdversary(faults.AdversaryConfig{Seed: 3, Victims: 1, Start: 4})
+	if advErr != nil {
+		t.Fatal(advErr)
+	}
+	rig := newGuardRig(t, Config{}, Deps{Adversary: adv, Fleet: fl}, 0)
+	// Mirror fleet chips into the engine under the same ids, as serve
+	// does; guard candidates are the intersection.
+	var specs []engine.Spec
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("f%02d", i)
+		if _, err := fl.Create(ctx, fleet.CreateSpec{ID: id, Seed: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, engine.Spec{ID: id, TempC: 80, Vdd: 1.2, Duty: 1})
+	}
+	if res, err := rig.eng.RegisterBatch(ctx, specs); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+
+	// Tick until the victim is quarantined, probing the fleet surface
+	// mid-quarantine.
+	var victim string
+	for i := 0; i < 30 && victim == ""; i++ {
+		rig.tick(1)
+		if ids := fl.QuarantinedIDs(); len(ids) > 0 {
+			victim = ids[0]
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no fleet quarantine after 30 epochs; alerts %+v", rig.guard.Alerts(0))
+	}
+	var qe fleet.QuarantinedError
+	if _, err := fl.Stress(ctx, victim, fleet.PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); !errors.As(err, &qe) {
+		t.Fatalf("stress on quarantined fleet chip = %v", err)
+	}
+	if _, ok := fl.Get(victim); !ok {
+		t.Fatal("read on quarantined chip failed")
+	}
+
+	rig.tick(30)
+	if ids := fl.QuarantinedIDs(); len(ids) != 0 {
+		t.Fatalf("still quarantined after recovery window: %v", ids)
+	}
+	if _, err := fl.Stress(ctx, victim, fleet.PhaseRequest{TempC: 85, Vdd: 1.2, Hours: 1}); err != nil {
+		t.Fatalf("stress after release: %v", err)
+	}
+}

@@ -74,6 +74,17 @@ const (
 	OpOdometer   Op = "odometer"
 )
 
+// The journaled guard operations (see internal/guard). Quarantine is
+// part of a chip's durable lifecycle — a quarantined chip must refuse
+// mutations across a crash until the guard releases it — so the
+// transitions are journaled like any other fleet op. They are not reads
+// (pruneTrailingReads must keep them) and compaction folds them like
+// ordinary per-chip records: a delete prunes them with the chip.
+const (
+	OpQuarantine Op = "quarantine"
+	OpRelease    Op = "release"
+)
+
 // The journaled engine operations (see internal/engine). The engine's
 // aging state is deterministic given its operation history, so — like
 // the fleet — it persists operations, not state: chip registrations

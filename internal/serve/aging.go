@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"selfheal/internal/engine"
+	"selfheal/internal/fleet"
 )
 
 // engineFleetDefault is the condition fleet chips simulate under in
@@ -87,6 +89,18 @@ type EngineDeleteResponse struct {
 	Removed bool   `json:"removed"`
 }
 
+// EngineTickRequest is the POST /v1/engine/tick body. The body may be
+// omitted entirely; it defaults to a single epoch.
+type EngineTickRequest struct {
+	Epochs uint64 `json:"epochs"`
+}
+
+// EngineTickResponse reports the epoch after a manual advance.
+type EngineTickResponse struct {
+	Ticked uint64 `json:"ticked"`
+	Epoch  uint64 `json:"epoch"`
+}
+
 // AgingEngine returns the fleet aging engine, or nil when the service
 // runs without one (exported for tests and embedders; the prediction
 // engine is Engine).
@@ -164,6 +178,23 @@ func (s *Server) handleEngineRegister(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// engineChipQuarantined refuses engine mutations against a chip the
+// guard has quarantined: the healing schedule owns its condition until
+// release, and an external condition or schedule write (the exact
+// moves the adversary makes) would undo the rejuvenation. Engine-only
+// chips (no fleet twin) are never quarantined.
+func (s *Server) engineChipQuarantined(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.fleet == nil || !s.fleet.Quarantined(id) {
+		return false
+	}
+	reason := ""
+	if entry, ok := s.fleet.Get(id); ok {
+		_, reason = entry.Quarantined()
+	}
+	s.writeError(w, r, fleet.QuarantinedError{ID: id, Reason: reason})
+	return true
+}
+
 func (s *Server) handleEngineCondition(w http.ResponseWriter, r *http.Request) {
 	if !s.requireEngine(w, r) {
 		return
@@ -174,6 +205,9 @@ func (s *Server) handleEngineCondition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if s.engineChipQuarantined(w, r, id) {
+		return
+	}
 	err := s.aging.SetCondition(r.Context(), id, engine.Cond{
 		Phase: req.Phase, TempC: req.TempC, Vdd: req.Vdd, Duty: req.Duty,
 	})
@@ -195,6 +229,9 @@ func (s *Server) handleEngineSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if s.engineChipQuarantined(w, r, id) {
+		return
+	}
 	if err := s.aging.SetSchedule(r.Context(), id, *req.toEngine()); err != nil {
 		s.writeError(w, r, err)
 		return
@@ -285,6 +322,52 @@ func (s *Server) syncEngineFleet() error {
 		s.log.Info("engine fleet sync: registered missing fleet chips", "chips", synced)
 	}
 	return nil
+}
+
+// maxTickEpochs bounds one POST /v1/engine/tick request; advancing a
+// simulation further belongs in a loop the caller paces.
+const maxTickEpochs = 10_000
+
+// handleEngineTick advances the engine clock by hand. It only exists
+// on a manual clock (-epoch < 0) — with a wall-clock ticker running,
+// two clock owners would interleave epochs unpredictably, so the
+// route refuses with 409. Deterministic drivers (guard-smoke, demos,
+// red-team replays) boot manual and pace the simulation themselves.
+func (s *Server) handleEngineTick(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w, r) {
+		return
+	}
+	if !s.manual {
+		s.writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error:     "serve: engine clock is wall-driven; manual ticks need -epoch < 0",
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	req := EngineTickRequest{Epochs: 1}
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+	}
+	if req.Epochs < 1 || req.Epochs > maxTickEpochs {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error:     fmt.Sprintf("serve: tick epochs must be in [1,%d], got %d", maxTickEpochs, req.Epochs),
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	for i := uint64(0); i < req.Epochs; i++ {
+		if r.Context().Err() != nil {
+			s.writeError(w, r, r.Context().Err())
+			return
+		}
+		s.aging.Tick(r.Context())
+	}
+	s.writeJSON(w, http.StatusOK, EngineTickResponse{
+		Ticked: req.Epochs, Epoch: s.aging.Stats().Epoch,
+	})
 }
 
 // engineErrorStatus classifies aging-engine errors for writeError.

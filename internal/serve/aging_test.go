@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"selfheal/internal/fleet"
 	"selfheal/internal/store"
@@ -239,4 +240,43 @@ func TestPromChipCardinalityCap(t *testing.T) {
 	if len(snap.Chips) != 4 {
 		t.Fatalf("JSON metrics lists %d chips, want all 4", len(snap.Chips))
 	}
+}
+
+func TestEngineTickRoute(t *testing.T) {
+	_, ts := engineTestServer(t, Config{})
+	do(t, ts, "POST", "/v1/engine/chips:batch",
+		`{"chips":[{"id":"t1","temp_c":80,"vdd":1.2,"duty":1}]}`, http.StatusOK, nil)
+
+	// An empty body advances one epoch; a counted body advances many.
+	var tick EngineTickResponse
+	do(t, ts, "POST", "/v1/engine/tick", "", http.StatusOK, &tick)
+	if tick.Ticked != 1 || tick.Epoch != 1 {
+		t.Fatalf("single tick = %+v", tick)
+	}
+	do(t, ts, "POST", "/v1/engine/tick", `{"epochs":9}`, http.StatusOK, &tick)
+	if tick.Ticked != 9 || tick.Epoch != 10 {
+		t.Fatalf("batch tick = %+v", tick)
+	}
+	var cv struct {
+		Odometer uint64 `json:"odometer_epochs"`
+	}
+	do(t, ts, "GET", "/v1/engine/chips/t1", "", http.StatusOK, &cv)
+	if cv.Odometer != 10 {
+		t.Fatalf("odometer %d after 10 manual epochs", cv.Odometer)
+	}
+
+	do(t, ts, "POST", "/v1/engine/tick", `{"epochs":0}`, http.StatusBadRequest, nil)
+	do(t, ts, "POST", "/v1/engine/tick", `{"epochs":1000000}`, http.StatusBadRequest, nil)
+
+	// A wall-driven clock refuses manual ticks: one clock owner only.
+	_, wall := newTestServer(t, Config{EngineEnabled: true, EngineEpoch: time.Hour})
+	var er ErrorResponse
+	do(t, wall, "POST", "/v1/engine/tick", "", http.StatusConflict, &er)
+	if !strings.Contains(er.Error, "-epoch") {
+		t.Fatalf("wall-clock refusal %q should point at -epoch", er.Error)
+	}
+
+	// No engine, no clock.
+	_, off := newTestServer(t, Config{})
+	do(t, off, "POST", "/v1/engine/tick", "", http.StatusNotFound, nil)
 }

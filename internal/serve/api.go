@@ -30,8 +30,8 @@ func WriteJSON(w io.Writer, v any) error {
 // ErrorResponse is the body of every non-2xx response. RequestID (the
 // X-Request-ID the client sent, or the one the service minted) links
 // the error to the server-side request log. Code, when present, is a
-// machine-readable classification (currently only CodeDegraded) that
-// clients can branch on without parsing the message.
+// machine-readable classification (CodeDegraded or CodeQuarantined)
+// that clients can branch on without parsing the message.
 type ErrorResponse struct {
 	Error     string `json:"error"`
 	Code      string `json:"code,omitempty"`
@@ -43,6 +43,14 @@ type ErrorResponse struct {
 // restore write mode on its own when the storage recovers. Retry the
 // operation after the Retry-After hint.
 const CodeDegraded = "degraded"
+
+// CodeQuarantined marks a 503 caused by the guard quarantining the
+// target chip: mutations are refused while it heals under accelerated
+// rejuvenation, reads keep serving, and the quarantine lifts on its
+// own once the wearout excess is recovered. Retry the operation after
+// the Retry-After hint (idempotent operations only — the chip's state
+// is unchanged by the refusal).
+const CodeQuarantined = "quarantined"
 
 // ReadyResponse is the GET /readyz body: liveness stays on /healthz,
 // while this reports *write*-readiness — 200 when mutating routes are

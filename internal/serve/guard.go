@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"selfheal/internal/guard"
+)
+
+// GuardStatusResponse is the GET /v1/guard body: the blue team's
+// configuration, quarantine roster, counters, and — when a red team is
+// wired in — the adversary's view.
+type GuardStatusResponse struct {
+	Enabled bool          `json:"enabled"`
+	Status  *guard.Status `json:"status,omitempty"`
+}
+
+// GuardAlertsResponse is the GET /v1/guard/alerts body, newest first.
+type GuardAlertsResponse struct {
+	Alerts []guard.Alert `json:"alerts"`
+}
+
+// GuardConfigRequest is the POST /v1/guard/config body: a spec in the
+// guard.Parse grammar; omitted keys (and the empty spec) reset to the
+// defaults.
+type GuardConfigRequest struct {
+	Spec string `json:"spec"`
+}
+
+// GuardService returns the guard, or nil when the service runs without
+// one (exported for tests and embedders).
+func (s *Server) GuardService() *guard.Guard { return s.guard }
+
+// requireGuard 404s guard routes when the guard is not enabled.
+func (s *Server) requireGuard(w http.ResponseWriter, r *http.Request) bool {
+	if s.guard != nil {
+		return true
+	}
+	s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+		Error:     "serve: guard not enabled; start the service with -guard",
+		RequestID: RequestIDFrom(r.Context()),
+	})
+	return false
+}
+
+func (s *Server) handleGuardStatus(w http.ResponseWriter, r *http.Request) {
+	if s.guard == nil {
+		s.writeJSON(w, http.StatusOK, GuardStatusResponse{Enabled: false})
+		return
+	}
+	st := s.guard.StatusSnapshot()
+	s.writeJSON(w, http.StatusOK, GuardStatusResponse{Enabled: true, Status: &st})
+}
+
+func (s *Server) handleGuardAlerts(w http.ResponseWriter, r *http.Request) {
+	if !s.requireGuard(w, r) {
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error:     "serve: bad limit " + strconv.Quote(raw) + " (want a non-negative integer)",
+				RequestID: RequestIDFrom(r.Context()),
+			})
+			return
+		}
+		limit = n
+	}
+	alerts := s.guard.Alerts(limit)
+	if alerts == nil {
+		alerts = []guard.Alert{}
+	}
+	s.writeJSON(w, http.StatusOK, GuardAlertsResponse{Alerts: alerts})
+}
+
+func (s *Server) handleGuardConfig(w http.ResponseWriter, r *http.Request) {
+	if !s.requireGuard(w, r) {
+		return
+	}
+	var req GuardConfigRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	cfg, err := guard.Parse(req.Spec)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := s.guard.Reconfigure(cfg); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.log.InfoContext(r.Context(), "guard reconfigured", "spec", cfg.String())
+	st := s.guard.StatusSnapshot()
+	s.writeJSON(w, http.StatusOK, GuardStatusResponse{Enabled: true, Status: &st})
+}

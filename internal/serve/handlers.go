@@ -60,6 +60,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var dup fleet.DuplicateError
 	var missing fleet.NotFoundError
 	var notDurable fleet.NotDurableError
+	var quarantined fleet.QuarantinedError
 	var tooBig *http.MaxBytesError
 	if st, ok := engineErrorStatus(err); ok {
 		s.writeJSON(w, st, ErrorResponse{
@@ -75,6 +76,13 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &quarantined):
+		// The chip is healing under guard quarantine. Unlike a
+		// durability failure this is per-chip, not service-wide, so the
+		// write gate is left alone: other chips keep taking writes.
+		status = http.StatusServiceUnavailable
+		code = CodeQuarantined
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 	case errors.As(err, &notDurable):
 		// Checked before ErrInjected: an injected *journal* fault is
 		// still a real durability failure from the fleet's view.

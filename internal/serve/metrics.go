@@ -9,6 +9,7 @@ import (
 	"selfheal/internal/engine"
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
+	"selfheal/internal/guard"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; a
@@ -175,6 +176,13 @@ type EngineMetrics struct {
 	Top         []engine.ChipView `json:"top_by_odometer,omitempty"`
 }
 
+// GuardMetrics is the guard section of a MetricsSnapshot: the blue
+// team's counters plus the current quarantine roster (ids, sorted).
+type GuardMetrics struct {
+	guard.Metrics
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
 	UptimeSeconds   float64                  `json:"uptime_seconds"`
@@ -190,6 +198,20 @@ type MetricsSnapshot struct {
 	Degraded        *DegradedSnapshot        `json:"degraded,omitempty"`
 	Faults          *faults.Stats            `json:"faults,omitempty"`
 	Engine          *EngineMetrics           `json:"engine,omitempty"`
+	Guard           *GuardMetrics            `json:"guard,omitempty"`
+}
+
+// guardMetrics assembles the guard section: counters from the guard,
+// roster from the fleet (the journaled source of truth).
+func guardMetrics(g *guard.Guard, fl *fleet.Service) *GuardMetrics {
+	if g == nil {
+		return nil
+	}
+	gm := &GuardMetrics{Metrics: g.MetricsSnapshot()}
+	if fl != nil {
+		gm.Quarantined = fl.QuarantinedIDs()
+	}
+	return gm
 }
 
 // engineMetrics assembles the aging-engine section from one snapshot,

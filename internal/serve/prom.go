@@ -16,6 +16,7 @@ import (
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate)
 	snap.Engine = engineMetrics(s.aging, s.cfg.MetricsChipLimit)
+	snap.Guard = guardMetrics(s.guard, s.fleet)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		s.writeJSON(w, http.StatusOK, snap)
@@ -143,8 +144,46 @@ func writeProm(buf *bytes.Buffer, snap MetricsSnapshot, chipLimit int) {
 	if e := snap.Engine; e != nil {
 		writePromEngine(p, e)
 	}
+	if g := snap.Guard; g != nil {
+		writePromGuard(p, g, chipLimit)
+	}
 
 	obs.WriteRuntimeMetrics(p)
+}
+
+// writePromGuard emits the blue team's counters. The per-chip roster
+// gauge respects the same cardinality cap as the rest of the scrape:
+// with more than limit chips quarantined at once (itself bounded by
+// the guard's SLO budget), only the first limit ids — the roster is
+// sorted, so the cut is stable — keep a labelled series, and the
+// guard_quarantined_chips aggregate carries the true count.
+func writePromGuard(p *obs.PromWriter, g *GuardMetrics, limit int) {
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"guard_alerts_total", "Guard alerts raised (all kinds).", g.AlertsTotal},
+		{"guard_remaps_total", "Quarantined chips remapped onto spare fabric.", g.RemapsTotal},
+		{"guard_rejuvenation_epochs_total", "Accelerated-rejuvenation sleep epochs delivered.", g.RejuvenationEpochsTotal},
+		{"guard_releases_total", "Chips released from quarantine after recovery.", g.ReleasesTotal},
+	} {
+		p.Header(c.name, c.help, "counter")
+		p.Sample(c.name, nil, float64(c.v))
+	}
+	p.Header("guard_quarantined_chips", "Chips currently quarantined.", "gauge")
+	p.Sample("guard_quarantined_chips", nil, float64(g.QuarantinedChips))
+	if g.SpareFreeCells >= 0 {
+		p.Header("guard_spare_free_cells", "Unallocated cells left on the spare fabric.", "gauge")
+		p.Sample("guard_spare_free_cells", nil, float64(g.SpareFreeCells))
+	}
+	ids := g.Quarantined
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	p.Header("guard_chip_quarantined", "1 for each currently quarantined chip.", "gauge")
+	for _, id := range ids {
+		p.Sample("guard_chip_quarantined", []obs.Label{{Name: "chip", Value: id}}, 1)
+	}
 }
 
 // writePromEngine emits the fleet aging engine's gauges. Per-chip

@@ -2,16 +2,21 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"selfheal/internal/engine"
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
+	"selfheal/internal/fpga"
+	"selfheal/internal/guard"
 	"selfheal/internal/obs"
+	"selfheal/internal/rng"
 	"selfheal/internal/store"
 )
 
@@ -85,6 +90,22 @@ type Config struct {
 	// aging plus whole-fleet aggregates are emitted (default 50). The
 	// JSON /metrics body is never truncated.
 	MetricsChipLimit int
+
+	// GuardEnabled turns on the blue team (requires EngineEnabled): a
+	// per-epoch aging-rate monitor over the engine's snapshots that
+	// quarantines outlier chips, remaps their logic onto spare fabric,
+	// and schedules accelerated rejuvenation until the wearout excess
+	// is recovered. Exposed under /v1/guard.
+	GuardEnabled bool
+	// GuardSpec tunes the guard in the guard.Parse grammar, e.g.
+	// "sigma=4,streak=2,rejuv_epochs=4"; empty means the defaults.
+	GuardSpec string
+	// Adversary, when set alongside GuardEnabled, is the red team: its
+	// decided attack actions (dc-stress at the worst corner, schedule
+	// cancellation, sleep denial) are applied by the guard through the
+	// same engine API a real workload would use, gated on the
+	// quarantine like any other mutation.
+	Adversary *faults.Adversary
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +167,8 @@ type Server struct {
 	fleet   *fleet.Service
 	engine  *Engine
 	aging   *engine.Engine
+	manual  bool // the aging engine's clock is manual (ticks via API only)
+	guard   *guard.Guard
 	metrics *Metrics
 	faults  *faults.Injector
 	gate    *gate
@@ -192,17 +215,39 @@ func New(cfg Config) (*Server, error) {
 			s.log.Info("store history replayed", "records", n, "chips", fl.Len())
 		}
 	}
+	var guardCfg guard.Config
+	if cfg.GuardEnabled {
+		if !cfg.EngineEnabled {
+			return nil, fmt.Errorf("serve: the guard requires the aging engine; enable it too")
+		}
+		var err error
+		if guardCfg, err = guard.Parse(cfg.GuardSpec); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.EngineEnabled {
 		interval := cfg.EngineEpoch
 		if interval < 0 {
 			interval = 0 // manual ticks only
+			s.manual = true
 		}
-		aging, err := engine.New(st, engine.Config{
+		ecfg := engine.Config{
 			EpochHours: cfg.EngineEpochHours,
 			Interval:   interval,
 			Workers:    cfg.EngineWorkers,
 			Tracer:     s.tracer,
-		})
+		}
+		// The guard is built after the engine it watches, but the
+		// engine's ticker may already be running by then, so the hook
+		// indirects through an atomic pointer (a nil guard is inert;
+		// any epochs before the handoff are simply unobserved).
+		var guardPtr atomic.Pointer[guard.Guard]
+		if cfg.GuardEnabled {
+			ecfg.OnEpoch = func(epoch uint64, snap *engine.Snapshot) {
+				guardPtr.Load().OnEpoch(epoch, snap)
+			}
+		}
+		aging, err := engine.New(st, ecfg)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +260,31 @@ func New(cfg Config) (*Server, error) {
 		s.log.Info("fleet aging engine started",
 			"chips", est.Chips, "epoch", est.Epoch,
 			"epoch_hours", cfg.EngineEpochHours, "interval", interval)
+		if cfg.GuardEnabled {
+			// The spare fabric quarantined chips remap onto: one
+			// dedicated FPGA-model chip owned by the guard.
+			spare, err := fpga.NewChip("guard-spare", fpga.DefaultParams(), rng.New(1))
+			if err != nil {
+				aging.Close()
+				return nil, err
+			}
+			gd, err := guard.New(guard.Deps{
+				Engine:    aging,
+				Fleet:     fl,
+				Adversary: cfg.Adversary,
+				Spare:     spare,
+				Tracer:    s.tracer,
+				Log:       s.log,
+			}, guardCfg)
+			if err != nil {
+				aging.Close()
+				return nil, err
+			}
+			s.guard = gd
+			guardPtr.Store(gd)
+			s.log.Info("guard started", "spec", guardCfg.String(),
+				"adversary", cfg.Adversary != nil)
+		}
 	}
 	s.handler = s.routes()
 	return s, nil
@@ -311,6 +381,10 @@ func (s *Server) routes() http.Handler {
 		"DELETE /v1/engine/chips/{id}":         s.handleEngineDelete,
 		"POST /v1/engine/chips/{id}/condition": s.handleEngineCondition,
 		"POST /v1/engine/chips/{id}/schedule":  s.handleEngineSchedule,
+		"POST /v1/engine/tick":                 s.handleEngineTick,
+		"GET /v1/guard":                        s.handleGuardStatus,
+		"GET /v1/guard/alerts":                 s.handleGuardAlerts,
+		"POST /v1/guard/config":                s.handleGuardConfig,
 		"GET /debug/traces":                    s.handleTraces,
 	} {
 		limited := strings.Contains(pattern, "/v1/")

@@ -67,6 +67,13 @@ const (
 	OpOdometer   = journal.OpOdometer
 )
 
+// The journaled guard operations (see internal/guard): durable per-chip
+// quarantine transitions, re-exported from the journal.
+const (
+	OpQuarantine = journal.OpQuarantine
+	OpRelease    = journal.OpRelease
+)
+
 // The journaled engine operations (see internal/engine), re-exported
 // from the journal. The fleet replay skips these (IsEngineOp); the
 // engine replay consumes them alongside the fleet's create/delete
