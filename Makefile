@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke guard-smoke serve
+.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke guard-smoke cluster-smoke serve
 
 ## check: everything CI needs — gofmt, vet, build, tests with the race detector
 check: fmt vet build race
@@ -55,6 +55,15 @@ engine-smoke:
 ## the guard_* Prometheus series
 guard-smoke:
 	$(GO) run ./scripts/guard-smoke
+
+## cluster-smoke: boot a three-primary fleet (consistent-hash placement,
+## node a in semisync replication to a hot standby), load 100k chips via
+## the batch APIs, kill -9 node a mid-traffic, promote the standby, and
+## audit zero acked-op loss with /readyz converged on all three node ids.
+## CLUSTER_SMOKE_CHIPS overrides the scale; CLUSTER_SMOKE_RACE=1 builds
+## the server with the race detector (and defaults to 5k chips)
+cluster-smoke:
+	$(GO) run ./scripts/cluster-smoke
 
 ## serve: run the fleet aging service locally
 serve:

@@ -19,13 +19,20 @@
 // 503s — the status the service uses for degraded read-only mode — so
 // a fleet that is busy healing its storage is not hammered with writes
 // it can only reject; after a cooldown a single half-open probe
-// discovers recovery.
+// discovers recovery. Breakers are scoped per host: in a multi-node
+// fleet a request can be 307-forwarded to the chip's owner (the client
+// follows the forward transparently), and one dead node must not open
+// the breaker for its healthy peers.
+//
+// For chip-id-aware routing over a whole fleet — hitting each chip's
+// owner directly instead of bouncing through forwards — see Cluster.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -88,18 +95,28 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
 }
 
-// Client talks to one fleet aging service.
+// Client talks to one fleet aging service (possibly one node of a
+// multi-node fleet, in which case it follows cross-node forwards).
 type Client struct {
 	base        string
+	baseHost    string // host:port of base, the default breaker key
 	hc          *http.Client
 	maxAttempts int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
-	breaker     *breaker
+
+	// Circuit breakers are per host: following a 307 forward to a
+	// wedged owner node must not open the breaker for the healthy node
+	// the client normally talks to, and vice versa.
+	brkThreshold int
+	brkCooldown  time.Duration
+	brkMu        sync.Mutex
+	breakers     map[string]*breaker
 
 	requests           atomic.Uint64 // logical calls started
 	attempts           atomic.Uint64 // HTTP exchanges issued
 	retries            atomic.Uint64 // exchanges beyond each call's first
+	forwards           atomic.Uint64 // cross-node 307/308 forwards followed
 	retryAfterHonored  atomic.Uint64 // retry delays taken from a Retry-After hint
 	quarantinedRetries atomic.Uint64 // retries against guard-quarantined chips
 	retryWaitNS        atomic.Int64  // total time slept between attempts
@@ -130,20 +147,36 @@ type Stats struct {
 	QuarantinedRetries uint64 `json:"quarantined_retries"`
 	// RetryWait is the total time spent sleeping between attempts.
 	RetryWait time.Duration `json:"retry_wait_ns"`
+	// Forwards counts 307/308 cross-node forwards followed — nonzero
+	// means this client is routing through non-owner nodes and would
+	// save a hop per call by using a Cluster.
+	Forwards uint64 `json:"forwards"`
 	// BreakerOpens counts transitions into the open state (including
-	// re-opens after a failed half-open probe); BreakerHalfOpens counts
-	// cooldown expiries that admitted a probe. Both stay 0 without
-	// WithBreaker.
+	// re-opens after a failed half-open probe) summed over every host
+	// this client has contacted; BreakerHalfOpens counts cooldown
+	// expiries that admitted a probe. Both stay 0 without WithBreaker.
 	BreakerOpens     uint64 `json:"breaker_opens"`
 	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
-	// BreakerState is the current state ("closed", "open", "half-open").
+	// BreakerState is the base host's current state ("closed", "open",
+	// "half-open"); forwarded-to hosts are reported by BreakerStateFor.
 	BreakerState string `json:"breaker_state"`
 }
 
 // Stats snapshots the client's accounting. Safe for concurrent use;
 // the counters are monotonic over the client's lifetime.
 func (c *Client) Stats() Stats {
-	opens, halfOpens, state := c.breaker.stats()
+	var opens, halfOpens uint64
+	state := BreakerClosed
+	c.brkMu.Lock()
+	for host, b := range c.breakers {
+		o, h, s := b.stats()
+		opens += o
+		halfOpens += h
+		if host == c.baseHost {
+			state = s
+		}
+	}
+	c.brkMu.Unlock()
 	return Stats{
 		Requests:           c.requests.Load(),
 		Attempts:           c.attempts.Load(),
@@ -151,6 +184,7 @@ func (c *Client) Stats() Stats {
 		RetryAfterHonored:  c.retryAfterHonored.Load(),
 		QuarantinedRetries: c.quarantinedRetries.Load(),
 		RetryWait:          time.Duration(c.retryWaitNS.Load()),
+		Forwards:           c.forwards.Load(),
 		BreakerOpens:       opens,
 		BreakerHalfOpens:   halfOpens,
 		BreakerState:       state,
@@ -192,18 +226,60 @@ func WithJitterSeed(seed uint64) Option {
 	return func(c *Client) { c.rnd = rand.New(rand.NewSource(int64(seed))) }
 }
 
-// WithBreaker enables the circuit breaker: after threshold consecutive
-// 503 responses the client fails calls locally with ErrBreakerOpen
-// instead of sending them, then after cooldown lets one probe request
-// through (half-open) to discover recovery. threshold ≤ 0 disables;
-// cooldown ≤ 0 defaults to 1 s.
+// WithBreaker enables circuit breaking: after threshold consecutive
+// 503 responses from one host the client fails calls to that host
+// locally with ErrBreakerOpen instead of sending them, then after
+// cooldown lets one probe request through (half-open) to discover
+// recovery. Each host a call reaches — the base URL, or a node a 307
+// forward lands on — gets its own breaker, so one dead node never
+// blocks traffic to healthy peers. threshold ≤ 0 disables; cooldown
+// ≤ 0 defaults to 1 s.
 func WithBreaker(threshold int, cooldown time.Duration) Option {
-	return func(c *Client) { c.breaker = newBreaker(threshold, cooldown) }
+	return func(c *Client) {
+		c.brkThreshold = threshold
+		c.brkCooldown = cooldown
+	}
 }
 
-// BreakerState reports the circuit breaker's state ("closed", "open"
-// or "half-open"); without WithBreaker it is always "closed".
-func (c *Client) BreakerState() string { return c.breaker.current() }
+// BreakerState reports the base host's circuit breaker state
+// ("closed", "open" or "half-open"); without WithBreaker it is always
+// "closed".
+func (c *Client) BreakerState() string { return c.breakerFor(c.baseHost).current() }
+
+// BreakerStateFor reports the breaker state for a specific host
+// ("host:port"), useful when cross-node forwards have taken this
+// client to nodes beyond its base URL. Hosts never contacted report
+// "closed".
+func (c *Client) BreakerStateFor(host string) string {
+	c.brkMu.Lock()
+	b := c.breakers[host]
+	c.brkMu.Unlock()
+	return b.current()
+}
+
+// breakerFor returns the breaker guarding host, creating it on first
+// contact. Nil (inert) when breaking is disabled.
+func (c *Client) breakerFor(host string) *breaker {
+	if c.brkThreshold <= 0 {
+		return nil
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	b := c.breakers[host]
+	if b == nil {
+		b = newBreaker(c.brkThreshold, c.brkCooldown)
+		c.breakers[host] = b
+	}
+	return b
+}
+
+// urlHost extracts the host:port breaker key from a request URL.
+func urlHost(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return rawURL
+}
 
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8040").
@@ -215,10 +291,18 @@ func New(baseURL string, opts ...Option) *Client {
 		baseBackoff: 100 * time.Millisecond,
 		maxBackoff:  2 * time.Second,
 		rnd:         rand.New(rand.NewSource(1)),
+		breakers:    make(map[string]*breaker),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.baseHost = urlHost(c.base)
+	// Redirects are handled in do, not by the transport: a 307 from a
+	// non-owner node must surface so the hop can be counted and gated
+	// on the target host's own breaker.
+	hc := *c.hc
+	hc.CheckRedirect = func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }
+	c.hc = &hc
 	return c
 }
 
@@ -260,6 +344,22 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// maxForwardHops caps how many consecutive 307/308 cross-node
+// forwards one attempt follows before giving up — enough for a
+// forward chain during a rebalance, small enough to break loops.
+const maxForwardHops = 3
+
+// redirectError is once's report of a 307/308 cross-node forward:
+// the node answered authoritatively, the resource lives at location.
+type redirectError struct {
+	status   int
+	location string
+}
+
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("client: %d forward to %s", e.status, e.location)
+}
+
 // do issues one logical call with retries. idempotent marks requests
 // that are safe to re-send after they may have executed; 429s are
 // retried regardless because the shedder rejects before execution.
@@ -272,9 +372,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		}
 	}
 	c.requests.Add(1)
+	// target is sticky across retries: once a forward reveals the
+	// owner, retries go straight there instead of re-bouncing.
+	target := c.base + path
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		if err := c.breaker.allow(); err != nil {
+		brk := c.breakerFor(urlHost(target))
+		if err := brk.allow(); err != nil {
 			if lastErr != nil {
 				return fmt.Errorf("%w (last error: %v)", err, lastErr)
 			}
@@ -284,10 +388,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		if attempt > 1 {
 			c.retries.Add(1)
 		}
-		lastErr = c.once(ctx, method, path, body, out)
-		c.breaker.record(lastErr)
+		lastErr = c.exchange(ctx, method, &target, body, out, brk)
 		if lastErr == nil {
 			return nil
+		}
+		if errors.Is(lastErr, ErrBreakerOpen) {
+			// A forward hop landed on a host whose breaker is open;
+			// fail fast like the pre-flight allow does.
+			return lastErr
 		}
 		delay, retryable, viaHint := c.retryPlan(lastErr, idempotent, attempt)
 		if !retryable || attempt >= c.maxAttempts {
@@ -354,13 +462,43 @@ func (c *Client) honorRetryAfter(apiErr *APIError, delay time.Duration) (time.Du
 	return delay, false
 }
 
-// once issues a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// exchange issues one attempt, following cross-node 307/308 forwards
+// (up to maxForwardHops), each hop gated on and recorded against the
+// breaker of the host it actually hits. target is updated in place so
+// the caller's retries go straight to wherever the resource lives.
+// brk is the already-admitted breaker for the first hop.
+func (c *Client) exchange(ctx context.Context, method string, target *string, body []byte, out any, brk *breaker) error {
+	for hop := 0; ; hop++ {
+		if hop > 0 {
+			brk = c.breakerFor(urlHost(*target))
+			if err := brk.allow(); err != nil {
+				return err
+			}
+		}
+		err := c.once(ctx, method, *target, body, out)
+		rd, ok := err.(*redirectError)
+		if !ok {
+			brk.record(err)
+			return err
+		}
+		// A forward is an authoritative answer from a healthy node:
+		// it closes this host's failure streak, never extends it.
+		brk.record(nil)
+		c.forwards.Add(1)
+		if hop+1 >= maxForwardHops {
+			return fmt.Errorf("client: gave up after %d cross-node forwards (last to %s); the ring may be looping", hop+1, rd.location)
+		}
+		*target = rd.location
+	}
+}
+
+// once issues a single HTTP exchange against an absolute URL.
+func (c *Client) once(ctx context.Context, method, target string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, target, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -369,21 +507,28 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return fmt.Errorf("client: %s %s: %w", method, target, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+		return fmt.Errorf("client: %s %s: read response: %w", method, target, err)
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if out == nil {
 			return nil
 		}
 		if err := json.Unmarshal(raw, out); err != nil {
-			return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+			return fmt.Errorf("client: %s %s: decode response: %w", method, target, err)
 		}
 		return nil
+	}
+	if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+		if loc := resp.Header.Get("Location"); loc != "" {
+			if u, perr := resp.Request.URL.Parse(loc); perr == nil {
+				return &redirectError{status: resp.StatusCode, location: u.String()}
+			}
+		}
 	}
 	var eb serve.ErrorResponse
 	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {

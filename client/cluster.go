@@ -1,0 +1,410 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"selfheal/internal/cluster"
+)
+
+// Cluster routes calls across a multi-node fleet by consistent-hash
+// chip placement: each chip-scoped call goes straight to the chip's
+// owner (the same ring the nodes use, so no 307 bounce on the happy
+// path), batches are partitioned per owner and the results re-merged
+// in input order, and fleet-wide reads fan out to every node.
+//
+// When the owner is unreachable — dead node, open breaker — the call
+// falls back to the next nodes on the ring, which either serve it
+// (during a membership change) or 307-forward it to wherever the chip
+// lives now; the per-host breakers inside each node's Client keep one
+// dead node from blocking the rest. An authoritative answer (any API
+// response, success or error) ends the fallback: only transport-level
+// failures move on to the next node.
+//
+// After a promotion, SetPeerAddr repoints a node id at its new
+// address; placement is by id, so no chips move.
+type Cluster struct {
+	opts []Option
+
+	mu    sync.RWMutex
+	ring  *cluster.Ring
+	peers map[string]*Client // node id -> that node's client
+
+	fallbacks atomic.Uint64 // chip calls answered by a non-owner route
+}
+
+// NewCluster builds a routing client over peers (node id -> base URL).
+// vnodes ≤ 0 uses cluster.DefaultVNodes; every node of the fleet must
+// be configured with the same vnodes for placement to agree. opts
+// apply to each per-node Client.
+func NewCluster(peers map[string]string, vnodes int, opts ...Option) (*Cluster, error) {
+	nodes := make([]cluster.Node, 0, len(peers))
+	for id, addr := range peers {
+		nodes = append(nodes, cluster.Node{ID: id, Addr: addr})
+	}
+	ring, err := cluster.New(nodes, vnodes)
+	if err != nil {
+		return nil, fmt.Errorf("client: cluster: %w", err)
+	}
+	cl := &Cluster{
+		opts:  opts,
+		ring:  ring,
+		peers: make(map[string]*Client, len(peers)),
+	}
+	for id, addr := range peers {
+		cl.peers[id] = New(addr, opts...)
+	}
+	return cl, nil
+}
+
+// SetPeerAddr repoints node id at addr — the client-side half of a
+// promotion: the standby took over the dead primary's id, so traffic
+// for that id's shards goes to the standby's address. Placement is by
+// id and does not change. Unknown ids are an error; growing the ring
+// needs a new Cluster (and a server-side rebalance).
+func (cl *Cluster) SetPeerAddr(id, addr string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, ok := cl.peers[id]; !ok {
+		return fmt.Errorf("client: cluster: unknown node id %q", id)
+	}
+	ring, err := cl.ring.WithAddr(id, addr)
+	if err != nil {
+		return fmt.Errorf("client: cluster: %w", err)
+	}
+	cl.ring = ring
+	cl.peers[id] = New(addr, cl.opts...)
+	return nil
+}
+
+// Owner reports which node id owns chipID under the current ring.
+func (cl *Cluster) Owner(chipID string) string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring.Owner(chipID).ID
+}
+
+// ClientFor returns the Client for a node id (nil if unknown) — an
+// escape hatch for node-scoped calls like Metrics.
+func (cl *Cluster) ClientFor(id string) *Client {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.peers[id]
+}
+
+// Nodes lists the ring's members sorted by id.
+func (cl *Cluster) Nodes() []cluster.Node {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring.Nodes()
+}
+
+// Fallbacks counts chip-scoped calls that were answered by a
+// non-owner route (owner dead or breaker open).
+func (cl *Cluster) Fallbacks() uint64 { return cl.fallbacks.Load() }
+
+// route returns the clients to try for chipID: the owner first, then
+// the remaining nodes in ring-walk-independent (sorted id) order.
+func (cl *Cluster) route(chipID string) []*Client {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	owner := cl.ring.Owner(chipID).ID
+	order := make([]*Client, 0, len(cl.peers))
+	order = append(order, cl.peers[owner])
+	for _, n := range cl.ring.Nodes() {
+		if n.ID != owner {
+			order = append(order, cl.peers[n.ID])
+		}
+	}
+	return order
+}
+
+// forChip runs fn against the chip's owner; for idempotent calls it
+// falls back across the remaining nodes on transport-level failure.
+// An *APIError is an authoritative answer (a node processed the
+// request) and stops the walk; so does success. Non-idempotent calls
+// never fall back: a transport error leaves "did it execute?"
+// unanswered, and re-sending via another node could age a die twice —
+// the same doctrine as the single-node client's retry policy.
+func (cl *Cluster) forChip(ctx context.Context, chipID string, idempotent bool, fn func(c *Client) error) error {
+	var lastErr error
+	for i, c := range cl.route(chipID) {
+		err := fn(c)
+		var apiErr *APIError
+		if err == nil || errors.As(err, &apiErr) {
+			if i > 0 {
+				cl.fallbacks.Add(1)
+			}
+			return err
+		}
+		lastErr = err
+		if !idempotent || ctx.Err() != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+// CreateChip fabricates a chip on its owner node.
+func (cl *Cluster) CreateChip(ctx context.Context, req CreateChipRequest) (ChipResponse, error) {
+	var out ChipResponse
+	err := cl.forChip(ctx, req.ID, false, func(c *Client) error {
+		var e error
+		out, e = c.CreateChip(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// DeleteChip retires a chip via its owner node.
+func (cl *Cluster) DeleteChip(ctx context.Context, id string) (DeleteChipResponse, error) {
+	var out DeleteChipResponse
+	err := cl.forChip(ctx, id, true, func(c *Client) error {
+		var e error
+		out, e = c.DeleteChip(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// Stress ages a chip via its owner node.
+func (cl *Cluster) Stress(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	var out PhaseResponse
+	err := cl.forChip(ctx, id, false, func(c *Client) error {
+		var e error
+		out, e = c.Stress(ctx, id, req)
+		return e
+	})
+	return out, err
+}
+
+// Rejuvenate heals a chip via its owner node.
+func (cl *Cluster) Rejuvenate(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	var out PhaseResponse
+	err := cl.forChip(ctx, id, false, func(c *Client) error {
+		var e error
+		out, e = c.Rejuvenate(ctx, id, req)
+		return e
+	})
+	return out, err
+}
+
+// Measure reads a bench chip's sensor via its owner node.
+func (cl *Cluster) Measure(ctx context.Context, id string) (ReadingResponse, error) {
+	var out ReadingResponse
+	err := cl.forChip(ctx, id, true, func(c *Client) error {
+		var e error
+		out, e = c.Measure(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// Odometer reads a monitored chip's sensor via its owner node.
+func (cl *Cluster) Odometer(ctx context.Context, id string) (OdometerResponse, error) {
+	var out OdometerResponse
+	err := cl.forChip(ctx, id, true, func(c *Client) error {
+		var e error
+		out, e = c.Odometer(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// ListChips fans out to every node and merges the fleet sorted by id.
+// Chips double-reported during a rebalance are deduplicated. Nodes
+// that fail are skipped; the call errors only when every node does.
+func (cl *Cluster) ListChips(ctx context.Context) ([]ChipResponse, error) {
+	cl.mu.RLock()
+	clients := make([]*Client, 0, len(cl.peers))
+	for _, c := range cl.peers {
+		clients = append(clients, c)
+	}
+	cl.mu.RUnlock()
+
+	var (
+		wg      sync.WaitGroup
+		resMu   sync.Mutex
+		byID    = make(map[string]ChipResponse)
+		errs    []error
+		anyGood bool
+	)
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			chips, err := c.ListChips(ctx)
+			resMu.Lock()
+			defer resMu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			anyGood = true
+			for _, ch := range chips {
+				byID[ch.ID] = ch
+			}
+		}(c)
+	}
+	wg.Wait()
+	if !anyGood {
+		return nil, errors.Join(errs...)
+	}
+	out := make([]ChipResponse, 0, len(byID))
+	for _, ch := range byID {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// BatchCreateChips partitions a bulk create by owner, issues one
+// batch per node concurrently, and re-merges the per-item results in
+// input order. A node-level failure is reported per item (Error set)
+// so one dead node fails only its own shard's items.
+func (cl *Cluster) BatchCreateChips(ctx context.Context, chips []CreateChipRequest) (BatchCreateResponse, error) {
+	var out BatchCreateResponse
+	out.Results = make([]BatchCreateResult, len(chips))
+	type part struct {
+		idx   []int
+		chips []CreateChipRequest
+	}
+	parts := make(map[string]*part)
+	for i, sp := range chips {
+		owner := cl.Owner(sp.ID)
+		p := parts[owner]
+		if p == nil {
+			p = &part{}
+			parts[owner] = p
+		}
+		p.idx = append(p.idx, i)
+		p.chips = append(p.chips, sp)
+	}
+	var (
+		wg    sync.WaitGroup
+		resMu sync.Mutex
+	)
+	for owner, p := range parts {
+		wg.Add(1)
+		go func(owner string, p *part) {
+			defer wg.Done()
+			var (
+				resp BatchCreateResponse
+				err  error
+			)
+			ferr := cl.forChip(ctx, p.chips[0].ID, false, func(c *Client) error {
+				resp, err = c.BatchCreateChips(ctx, p.chips)
+				return err
+			})
+			resMu.Lock()
+			defer resMu.Unlock()
+			if ferr != nil || len(resp.Results) != len(p.idx) {
+				for _, i := range p.idx {
+					msg := fmt.Sprintf("node %s unreachable", owner)
+					if ferr != nil {
+						msg = ferr.Error()
+					}
+					out.Results[i] = BatchCreateResult{ID: chips[i].ID, Error: msg, Err: ferr}
+					out.Failed++
+				}
+				return
+			}
+			for k, i := range p.idx {
+				out.Results[i] = resp.Results[k]
+				if resp.Results[k].Error != "" {
+					out.Failed++
+				} else {
+					out.Created++
+				}
+			}
+		}(owner, p)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// BatchOps partitions a mixed-operation batch by each item's chip
+// owner and re-merges the results in input order, like
+// BatchCreateChips.
+func (cl *Cluster) BatchOps(ctx context.Context, ops []BatchOpSpec) (BatchOpsResponse, error) {
+	var out BatchOpsResponse
+	out.Results = make([]BatchOpResult, len(ops))
+	type part struct {
+		idx []int
+		ops []BatchOpSpec
+	}
+	parts := make(map[string]*part)
+	for i, op := range ops {
+		owner := cl.Owner(op.ID)
+		p := parts[owner]
+		if p == nil {
+			p = &part{}
+			parts[owner] = p
+		}
+		p.idx = append(p.idx, i)
+		p.ops = append(p.ops, op)
+	}
+	var (
+		wg    sync.WaitGroup
+		resMu sync.Mutex
+	)
+	for owner, p := range parts {
+		wg.Add(1)
+		go func(owner string, p *part) {
+			defer wg.Done()
+			var (
+				resp BatchOpsResponse
+				err  error
+			)
+			ferr := cl.forChip(ctx, p.ops[0].ID, false, func(c *Client) error {
+				resp, err = c.BatchOps(ctx, p.ops)
+				return err
+			})
+			resMu.Lock()
+			defer resMu.Unlock()
+			if ferr != nil || len(resp.Results) != len(p.idx) {
+				for _, i := range p.idx {
+					msg := fmt.Sprintf("node %s unreachable", owner)
+					if ferr != nil {
+						msg = ferr.Error()
+					}
+					out.Results[i] = BatchOpResult{Op: ops[i].Op, ID: ops[i].ID, Error: msg, Err: ferr}
+					out.Failed++
+				}
+				return
+			}
+			for k, i := range p.idx {
+				out.Results[i] = resp.Results[k]
+				if resp.Results[k].Error != "" {
+					out.Failed++
+				} else {
+					out.Succeeded++
+				}
+			}
+		}(owner, p)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Health checks liveness of every node; the error joins each failing
+// node's report.
+func (cl *Cluster) Health(ctx context.Context) error {
+	cl.mu.RLock()
+	clients := make(map[string]*Client, len(cl.peers))
+	for id, c := range cl.peers {
+		clients[id] = c
+	}
+	cl.mu.RUnlock()
+	var errs []error
+	for id, c := range clients {
+		if err := c.Health(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("node %s: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -15,6 +15,10 @@
 //	               [-engine] [-epoch 1s] [-epoch-hours 0.5]
 //	               [-engine-workers N] [-metrics-chips 50]
 //	               [-guard] [-guard-spec spec] [-adversary spec]
+//	               [-node-id id] [-peers id=url,...] [-vnodes N]
+//	               [-repl-listen addr] [-repl-mode async|semisync]
+//	               [-repl-ack-timeout 3s]
+//	               [-repl-follow addr] [-advertise url]
 //
 // Endpoints:
 //
@@ -42,6 +46,13 @@
 //	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
+//	GET    /v1/cluster                 ring membership, placement counters,
+//	                                   replication role and lag
+//	POST   /v1/cluster/peers           repoint a node id after a failover
+//	                                   {"id","addr"} (placement is by id,
+//	                                   so no chips move)
+//	POST   /v1/cluster/promote         promote a standby into the serving
+//	                                   primary (409 on a serving node)
 //	GET    /healthz                    liveness
 //	GET    /readyz                     write-readiness (503 while degraded)
 //	GET    /metrics                    counters, latency histograms, cache, per-chip
@@ -92,6 +103,32 @@
 // same engine API any workload would use — and refused the same way
 // once the guard quarantines its victims.
 //
+// -node-id plus -peers run the service as one member of a multi-node
+// fleet: a consistent-hash ring over the peer *ids* assigns every chip
+// to exactly one node, misplaced chip requests are 307-forwarded to
+// their owner (the client package follows transparently), and batch
+// items for foreign chips are refused per item with the "wrong_node"
+// code so routing clients can re-partition. All nodes and clients must
+// agree on the id set and -vnodes.
+//
+// -repl-listen makes a durable node (-data required) a replication
+// primary: every journal commit is streamed over TCP to connected
+// followers, each session opening with a full snapshot. -repl-mode
+// semisync withholds every mutation's response until a follower has
+// durably acknowledged it — killing the primary then loses zero
+// acknowledged operations — and refuses mutations entirely (degraded,
+// 503) while no follower is connected. async acknowledges after local
+// commit only.
+//
+// -repl-follow runs the process as a hot standby instead of a serving
+// node: it tails the primary at that address into its own -data
+// journal and serves only /healthz, /readyz (503 — never routable) and
+// /v1/cluster until POST /v1/cluster/promote replays the replicated
+// journal and atomically swaps in the full service, advertising
+// -advertise for its -node-id. Placement hashes ids, not addresses, so
+// the takeover moves zero chips; surviving peers learn the new address
+// through POST /v1/cluster/peers.
+//
 // -debug-addr starts a second listener hosting /debug/pprof/ and
 // /debug/traces. pprof exposes heap contents — bind it to localhost,
 // never the public edge.
@@ -136,18 +173,102 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"selfheal/internal/faults"
 	"selfheal/internal/fleet"
+	"selfheal/internal/journal"
 	"selfheal/internal/obs"
+	"selfheal/internal/repl"
 	"selfheal/internal/serve"
 	"selfheal/internal/store"
 )
+
+// parsePeers parses the -peers grammar: comma-separated id=url pairs.
+func parsePeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
+
+// standbyOptions carries the -repl-follow wiring into runStandby.
+type standbyOptions struct {
+	dataDir   string
+	follow    string
+	nodeID    string
+	advertise string
+	peers     map[string]string
+	vnodes    int
+	base      serve.Config
+}
+
+// runStandby runs the hot-standby role: tail the primary's journal
+// into the local data directory and serve the minimal standby surface
+// until a promotion (or a signal) ends the process's run. The standby
+// owns its listener directly — serve.Server only exists after
+// promotion, inside the Standby's atomic handler swap.
+func runStandby(ctx context.Context, logger *slog.Logger, o standbyOptions) error {
+	fj, err := journal.Open(o.dataDir, journal.Options{})
+	if err != nil {
+		return err
+	}
+	fol := repl.NewFollower(fj, repl.FollowerConfig{
+		NodeID:      o.nodeID,
+		PrimaryAddr: o.follow,
+		Logger:      logger,
+	})
+	fol.Start()
+	sb, err := serve.NewStandby(serve.StandbyConfig{
+		NodeID:        o.nodeID,
+		AdvertiseAddr: o.advertise,
+		Peers:         o.peers,
+		VNodes:        o.vnodes,
+		DataDir:       o.dataDir,
+		Follower:      fol,
+		Base:          o.base,
+	})
+	if err != nil {
+		fol.Close()
+		return err
+	}
+	defer sb.Close()
+	httpSrv := &http.Server{Addr: o.base.Addr, Handler: sb, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("standby tailing primary",
+		"addr", o.base.Addr, "primary", o.follow,
+		"node", o.nodeID, "advertise", o.advertise)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.base.ShutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	<-errc
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8040", "listen address")
@@ -173,6 +294,14 @@ func main() {
 	guardOn := flag.Bool("guard", false, "run the blue-team guard: aging-rate monitoring, quarantine, remap, accelerated rejuvenation (requires -engine)")
 	guardSpec := flag.String("guard-spec", "", "guard tuning spec: sigma=F,rate_floor=F,streak=N,rejuv_epochs=N,recover_frac=F,... (empty: defaults)")
 	advSpec := flag.String("adversary", "", "red-team wearout attacker spec: seed=N,victims=N,start=N,deny_p=F,cancel_p=F,temp_c=F,vdd=F (empty: no adversary)")
+	nodeID := flag.String("node-id", "", "this node's id in a multi-node fleet (requires -peers)")
+	peersSpec := flag.String("peers", "", "ring membership as id=url,id=url including this node, e.g. 'a=http://h1:8040,b=http://h2:8040'")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0: default; all nodes and clients must agree)")
+	replListen := flag.String("repl-listen", "", "TCP address to stream this node's journal to followers (primary role; requires -data)")
+	replMode := flag.String("repl-mode", "async", "replication ack contract: async or semisync (semisync: acked writes survive a primary kill)")
+	replAckTimeout := flag.Duration("repl-ack-timeout", 3*time.Second, "semisync wait for a follower's durable ack before a mutation fails as indeterminate")
+	replFollow := flag.String("repl-follow", "", "primary repl address to tail as a hot standby (requires -data, -node-id, -peers, -advertise)")
+	advertise := flag.String("advertise", "", "this node's public base URL, advertised for its id when a standby promotes")
 	flag.Parse()
 
 	var level slog.Level
@@ -218,40 +347,26 @@ func main() {
 		logger.Warn("red-team wearout adversary armed", "spec", *advSpec)
 	}
 
-	var st fleet.Store
-	if *dataDir != "" {
-		opts := store.JournalOptions{Repair: *repair}
-		if injector != nil {
-			opts.Hook = injector.JournalHook()
-			opts.SyncHook = injector.JournalSyncHook()
+	peers, err := parsePeers(*peersSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(2)
+	}
+	var clusterCfg *serve.ClusterConfig
+	if *nodeID != "" || len(peers) > 0 {
+		if *nodeID == "" || len(peers) == 0 {
+			fmt.Fprintln(os.Stderr, "selfheal-serve: cluster mode needs both -node-id and -peers")
+			os.Exit(2)
 		}
-		durable, repairs, err := store.Open[*fleet.ChipEntry](*dataDir, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
-			os.Exit(1)
-		}
-		st = durable
-		defer st.Close()
-		for _, rep := range repairs {
-			logger.Warn("journal salvaged",
-				"file", rep.File,
-				"backup", rep.Backup,
-				"truncated_at", rep.TruncatedAt,
-				"line", rep.Line,
-				"reason", rep.Reason,
-				"dropped_records", rep.DroppedRecords,
-				"dropped_seqs", fmt.Sprint(rep.DroppedSeqs),
-			)
-		}
+		clusterCfg = &serve.ClusterConfig{NodeID: *nodeID, Peers: peers, VNodes: *vnodes}
 	}
 
-	srv, err := serve.New(serve.Config{
+	baseCfg := serve.Config{
 		Addr:             *addr,
 		CacheSize:        *cacheSize,
 		MaxBodyBytes:     *maxBody,
 		ShutdownGrace:    *grace,
 		Logger:           logger,
-		Store:            st,
 		Faults:           injector,
 		MaxInFlight:      *maxInflight,
 		OpTimeout:        *opTimeout,
@@ -266,14 +381,107 @@ func main() {
 		GuardEnabled:     *guardOn,
 		GuardSpec:        *guardSpec,
 		Adversary:        adversary,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
-		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replFollow != "" {
+		if *replListen != "" {
+			fmt.Fprintln(os.Stderr, "selfheal-serve: -repl-follow and -repl-listen are mutually exclusive (a node is a primary or a standby)")
+			os.Exit(2)
+		}
+		if *dataDir == "" || clusterCfg == nil || *advertise == "" {
+			fmt.Fprintln(os.Stderr, "selfheal-serve: -repl-follow (standby role) requires -data, -node-id, -peers and -advertise")
+			os.Exit(2)
+		}
+		if err := runStandby(ctx, logger, standbyOptions{
+			dataDir:   *dataDir,
+			follow:    *replFollow,
+			nodeID:    *nodeID,
+			advertise: *advertise,
+			peers:     peers,
+			vnodes:    *vnodes,
+			base:      baseCfg,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var st fleet.Store
+	if *replListen != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "selfheal-serve: -repl-listen (primary role) requires -data: replication streams the journal")
+		os.Exit(2)
+	}
+	if *dataDir != "" {
+		opts := store.JournalOptions{Repair: *repair}
+		if injector != nil {
+			opts.Hook = injector.JournalHook()
+			opts.SyncHook = injector.JournalSyncHook()
+		}
+		jl, err := journal.Open(*dataDir, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+			os.Exit(1)
+		}
+		for _, rep := range jl.Repairs() {
+			logger.Warn("journal salvaged",
+				"file", rep.File,
+				"backup", rep.Backup,
+				"truncated_at", rep.TruncatedAt,
+				"line", rep.Line,
+				"reason", rep.Reason,
+				"dropped_records", rep.DroppedRecords,
+				"dropped_seqs", fmt.Sprint(rep.DroppedSeqs),
+			)
+		}
+		var log store.Log = jl
+		if *replListen != "" {
+			mode, err := repl.ParseMode(*replMode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+				os.Exit(2)
+			}
+			pcfg := repl.PrimaryConfig{
+				NodeID:     *nodeID,
+				Mode:       mode,
+				AckTimeout: *replAckTimeout,
+				Logger:     logger,
+			}
+			if injector != nil {
+				pcfg.SendHook = injector.ReplSendHook()
+			}
+			prim := repl.NewPrimary(jl, pcfg)
+			ln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+				os.Exit(1)
+			}
+			go func() {
+				if err := prim.Serve(ln); err != nil {
+					logger.Error("replication listener failed", "err", err)
+				}
+			}()
+			logger.Info("replication primary listening",
+				"addr", ln.Addr().String(), "mode", mode)
+			log = prim
+			if clusterCfg != nil {
+				clusterCfg.ReplStats = prim.ReplStats
+			}
+		}
+		st = store.NewJournaled[*fleet.ChipEntry](store.NewMem[*fleet.ChipEntry](), log)
+		defer st.Close()
+	}
+
+	baseCfg.Store = st
+	baseCfg.Cluster = clusterCfg
+	srv, err := serve.New(baseCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfheal-serve:", err)
+		os.Exit(1)
+	}
 
 	if *debugAddr != "" {
 		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}

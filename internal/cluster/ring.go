@@ -1,0 +1,215 @@
+// Package cluster implements deterministic chip-id → node placement for a
+// multi-node selfheal fleet.
+//
+// Placement is a consistent-hash ring: every node contributes a fixed number
+// of virtual points (vnodes) hashed from its node *id*, and a chip id is
+// owned by the node whose first point follows the chip's hash clockwise.
+// Hashing only the id — never the address — means a failover that promotes a
+// standby under the dead node's id (the supported promotion procedure) moves
+// zero chips; only genuine membership changes (adding or removing an id)
+// rebalance, and then only ~1/N of the keyspace.
+//
+// The ring is immutable after construction; membership changes build a new
+// ring and PlanRebalance reports the data movement the change implies.
+// cluster sits outside the canonical lock hierarchy (see internal/store): it
+// holds no locks and is safe for concurrent use.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per physical node when a caller
+// passes vnodes <= 0. 64 points per node keeps the largest/smallest shard
+// ratio under ~1.5 at small cluster sizes while the ring stays tiny.
+const DefaultVNodes = 64
+
+// Node is one cluster member: a stable identity and the base URL clients and
+// peers use to reach it. Addr may change (failover, restart on a new port)
+// without affecting placement.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+type point struct {
+	hash uint64
+	id   string
+}
+
+// Ring places keys on nodes by consistent hashing. Immutable; build a new
+// Ring for every membership change.
+type Ring struct {
+	vnodes int
+	nodes  map[string]Node
+	points []point // sorted by hash
+}
+
+// New builds a ring from the given members. Node ids must be non-empty and
+// unique; at least one node is required.
+func New(nodes []Node, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  make(map[string]Node, len(nodes)),
+		points: make([]point, 0, len(nodes)*vnodes),
+	}
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, errors.New("cluster: node id must be non-empty")
+		}
+		if _, dup := r.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		r.nodes[n.ID] = n
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(n.ID + "#" + strconv.Itoa(i)), id: n.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on id so construction order never affects placement.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// Owner returns the node that owns key. The ring is never empty, so Owner
+// always succeeds.
+func (r *Ring) Owner(key string) Node {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].id]
+}
+
+// Lookup returns the node with the given id.
+func (r *Ring) Lookup(id string) (Node, bool) {
+	n, ok := r.nodes[id]
+	return n, ok
+}
+
+// Nodes returns the members sorted by id.
+func (r *Ring) Nodes() []Node {
+	out := make([]Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per physical node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// WithAddr returns a copy of the ring with node id's address replaced.
+// Placement is unchanged (points hash only ids). Returns an error if id is
+// not a member.
+func (r *Ring) WithAddr(id, addr string) (*Ring, error) {
+	if _, ok := r.nodes[id]; !ok {
+		return nil, fmt.Errorf("cluster: unknown node id %q", id)
+	}
+	nr := &Ring{vnodes: r.vnodes, nodes: make(map[string]Node, len(r.nodes)), points: r.points}
+	for nid, n := range r.nodes {
+		if nid == id {
+			n.Addr = addr
+		}
+		nr.nodes[nid] = n
+	}
+	return nr, nil
+}
+
+// Transfer is one directed edge of a rebalance plan: Keys of the sampled
+// keyspace move from node From to node To.
+type Transfer struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Keys int    `json:"keys"`
+}
+
+// Plan summarizes the data movement implied by replacing ring old with ring
+// next, estimated over a deterministic sample of the keyspace.
+type Plan struct {
+	Sampled   int        `json:"sampled"`
+	Moved     int        `json:"moved"`
+	Fraction  float64    `json:"fraction"`
+	Transfers []Transfer `json:"transfers,omitempty"`
+}
+
+// PlanRebalance estimates the movement caused by a membership change by
+// probing sample synthetic keys against both rings. sample <= 0 defaults to
+// 4096. The estimate is deterministic: the same pair of rings always yields
+// the same plan.
+func PlanRebalance(old, next *Ring, sample int) Plan {
+	if sample <= 0 {
+		sample = 4096
+	}
+	moved := map[[2]string]int{}
+	p := Plan{Sampled: sample}
+	for i := 0; i < sample; i++ {
+		key := "rebalance-probe-" + strconv.Itoa(i)
+		from, to := old.Owner(key).ID, next.Owner(key).ID
+		if from != to {
+			p.Moved++
+			moved[[2]string{from, to}]++
+		}
+	}
+	p.Fraction = float64(p.Moved) / float64(p.Sampled)
+	for edge, n := range moved {
+		p.Transfers = append(p.Transfers, Transfer{From: edge[0], To: edge[1], Keys: n})
+	}
+	sort.Slice(p.Transfers, func(i, j int) bool {
+		if p.Transfers[i].From != p.Transfers[j].From {
+			return p.Transfers[i].From < p.Transfers[j].From
+		}
+		return p.Transfers[i].To < p.Transfers[j].To
+	})
+	return p
+}
+
+// Moved returns the subset of keys whose owner differs between old and next,
+// preserving input order. Used to enumerate the chips a live membership
+// change would relocate.
+func Moved(old, next *Ring, keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		if old.Owner(k).ID != next.Owner(k).ID {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a avalanches poorly on short
+// inputs (single-character node ids land adjacent on the ring); a final mix
+// spreads the points uniformly regardless of id length.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

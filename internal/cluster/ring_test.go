@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "a", Addr: "http://127.0.0.1:8001"},
+		{ID: "b", Addr: "http://127.0.0.1:8002"},
+		{ID: "c", Addr: "http://127.0.0.1:8003"},
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	r1, err := New(threeNodes(), 64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Same membership in a different declaration order must place identically.
+	rev := []Node{threeNodes()[2], threeNodes()[0], threeNodes()[1]}
+	r2, err := New(rev, 64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 10000; i++ {
+		key := "chip-" + strconv.Itoa(i)
+		if got, want := r2.Owner(key).ID, r1.Owner(key).ID; got != want {
+			t.Fatalf("key %q: order-dependent placement: %q vs %q", key, got, want)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil, 64); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := New([]Node{{ID: ""}}, 64); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := New([]Node{{ID: "a"}, {ID: "a"}}, 64); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := New(threeNodes(), 64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner("chip-"+strconv.Itoa(i)).ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys; want roughly balanced (counts=%v)", id, frac*100, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+}
+
+func TestRingMinimalDisruptionOnAdd(t *testing.T) {
+	old, _ := New(threeNodes(), 64)
+	next, err := New(append(threeNodes(), Node{ID: "d", Addr: "http://127.0.0.1:8004"}), 64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var keys []string
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, "chip-"+strconv.Itoa(i))
+	}
+	moved := Moved(old, next, keys)
+	// Ideal is 1/4; allow generous slack but far below a full reshuffle.
+	if frac := float64(len(moved)) / float64(len(keys)); frac > 0.40 {
+		t.Fatalf("adding one node to three moved %.1f%% of keys; want ~25%%", frac*100)
+	}
+	// Every moved key must land on the new node — survivors never trade keys.
+	for _, k := range moved {
+		if got := next.Owner(k).ID; got != "d" {
+			t.Fatalf("key %q moved %s -> %s; moves on add must target the new node", k, old.Owner(k).ID, got)
+		}
+	}
+}
+
+func TestRingPromotionByIDReuseMovesNothing(t *testing.T) {
+	old, _ := New(threeNodes(), 64)
+	// Failover: node a's standby is promoted under the same id, new address.
+	promoted, err := old.WithAddr("a", "http://127.0.0.1:9001")
+	if err != nil {
+		t.Fatalf("WithAddr: %v", err)
+	}
+	for i := 0; i < 10000; i++ {
+		key := "chip-" + strconv.Itoa(i)
+		if old.Owner(key).ID != promoted.Owner(key).ID {
+			t.Fatalf("key %q moved after address-only failover", key)
+		}
+	}
+	if got := promoted.Owner("chip-anything"); got.ID == "a" && got.Addr != "http://127.0.0.1:9001" {
+		t.Fatalf("promoted addr not visible: %+v", got)
+	}
+	if n, _ := promoted.Lookup("a"); n.Addr != "http://127.0.0.1:9001" {
+		t.Fatalf("Lookup(a).Addr = %q", n.Addr)
+	}
+	if _, err := old.WithAddr("zzz", "x"); err == nil {
+		t.Fatal("WithAddr of unknown id accepted")
+	}
+}
+
+func TestPlanRebalance(t *testing.T) {
+	old, _ := New(threeNodes(), 64)
+	next, _ := New(append(threeNodes(), Node{ID: "d"}), 64)
+	p1 := PlanRebalance(old, next, 0)
+	p2 := PlanRebalance(old, next, 0)
+	if p1.Sampled != 4096 || p1.Moved == 0 {
+		t.Fatalf("plan: %+v", p1)
+	}
+	if p1.Moved != p2.Moved || p1.Fraction != p2.Fraction {
+		t.Fatalf("plan not deterministic: %+v vs %+v", p1, p2)
+	}
+	if p1.Fraction > 0.40 {
+		t.Fatalf("plan fraction %.2f too high for a 3->4 change", p1.Fraction)
+	}
+	for _, tr := range p1.Transfers {
+		if tr.To != "d" {
+			t.Fatalf("transfer %+v does not target the new node", tr)
+		}
+	}
+	// No membership change → empty plan.
+	p3 := PlanRebalance(old, old, 128)
+	if p3.Moved != 0 || len(p3.Transfers) != 0 {
+		t.Fatalf("no-op plan moved keys: %+v", p3)
+	}
+}
+
+func TestRingNodesSorted(t *testing.T) {
+	r, _ := New(threeNodes(), 8)
+	nodes := r.Nodes()
+	if len(nodes) != 3 || r.Len() != 3 {
+		t.Fatalf("nodes: %v", nodes)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatalf("nodes not sorted: %v", nodes)
+		}
+	}
+	if r.VNodes() != 8 {
+		t.Fatalf("vnodes = %d", r.VNodes())
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	var nodes []Node
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, Node{ID: fmt.Sprintf("node-%d", i)})
+	}
+	r, _ := New(nodes, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner("chip-" + strconv.Itoa(i&1023))
+	}
+}

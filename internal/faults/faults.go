@@ -56,6 +56,37 @@ func parseDiskMode(s string) (DiskMode, error) {
 	}
 }
 
+// NetMode selects a deterministic fault on the replication link. Like
+// disk modes these fire on every matching send until cleared or until
+// a recover-after-N budget runs out — chaos tests for follower lag,
+// partition, and reconnect need the transition on a known frame, not
+// eventually.
+type NetMode string
+
+const (
+	// NetNone injects no network faults.
+	NetNone NetMode = ""
+	// NetDrop silently discards outbound tail frames: the follower sees
+	// a sequence gap and resyncs.
+	NetDrop NetMode = "drop"
+	// NetDelay delays every outbound tail frame by the configured
+	// latency: follower lag without loss.
+	NetDelay NetMode = "delay"
+	// NetPartition fails outbound sends outright, cutting the
+	// connection: the follower reconnects (and the primary degrades in
+	// semisync until it does).
+	NetPartition NetMode = "partition"
+)
+
+func parseNetMode(s string) (NetMode, error) {
+	switch m := NetMode(s); m {
+	case NetNone, NetDrop, NetDelay, NetPartition:
+		return m, nil
+	default:
+		return NetNone, fmt.Errorf("faults: unknown net mode %q (want drop, delay or partition)", s)
+	}
+}
+
 // Config sets the independent per-event probabilities (all in [0,1])
 // and the injected latency ceiling.
 type Config struct {
@@ -84,11 +115,20 @@ type Config struct {
 	// mode auto-clears (recover-after-N). Zero or negative means the
 	// fault persists until SetDiskFault clears it.
 	DiskN int
+	// Net arms a deterministic replication-link fault at construction;
+	// see SetNetFault.
+	Net NetMode
+	// NetLatency is the per-frame delay for the delay mode (default
+	// 25 ms when the mode is armed without one).
+	NetLatency time.Duration
+	// NetN bounds the armed net fault like DiskN bounds Disk.
+	NetN int
 }
 
 // Active reports whether the config injects anything at all.
 func (c Config) Active() bool {
-	return c.LatencyP > 0 || c.ErrorP > 0 || c.PanicP > 0 || c.PartialP > 0 || c.Disk != DiskNone
+	return c.LatencyP > 0 || c.ErrorP > 0 || c.PanicP > 0 || c.PartialP > 0 ||
+		c.Disk != DiskNone || c.Net != NetNone
 }
 
 func (c Config) validate() error {
@@ -105,6 +145,12 @@ func (c Config) validate() error {
 	}
 	if c.Latency < 0 {
 		return fmt.Errorf("faults: latency must be ≥ 0, got %v", c.Latency)
+	}
+	if c.NetLatency < 0 {
+		return fmt.Errorf("faults: net latency must be ≥ 0, got %v", c.NetLatency)
+	}
+	if c.NetLatency > 0 && c.Net != NetDelay {
+		return fmt.Errorf("faults: net latency set but net mode is %q, not delay", c.Net)
 	}
 	return nil
 }
@@ -149,6 +195,8 @@ func ParseConfig(spec string) (Config, error) {
 					err = fmt.Errorf("negative recover-after budget %d", cfg.DiskN)
 				}
 			}
+		case "net":
+			cfg.Net, cfg.NetLatency, cfg.NetN, err = parseNetSpec(val)
 		default:
 			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 		}
@@ -160,6 +208,40 @@ func ParseConfig(spec string) (Config, error) {
 		return Config{}, err
 	}
 	return cfg, nil
+}
+
+// parseNetSpec parses the net spec value: `drop[:N]`, `partition[:N]`,
+// or `delay:<duration>[:N]` — N is the recover-after budget.
+func parseNetSpec(val string) (NetMode, time.Duration, int, error) {
+	parts := strings.Split(val, ":")
+	mode, err := parseNetMode(parts[0])
+	if err != nil {
+		return NetNone, 0, 0, err
+	}
+	var (
+		latency time.Duration
+		n       int
+	)
+	rest := parts[1:]
+	if mode == NetDelay && len(rest) > 0 {
+		if latency, err = time.ParseDuration(rest[0]); err != nil {
+			return NetNone, 0, 0, fmt.Errorf("net delay %q: %w", rest[0], err)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		if n, err = strconv.Atoi(rest[0]); err != nil {
+			return NetNone, 0, 0, fmt.Errorf("net recover-after budget %q: %w", rest[0], err)
+		}
+		if n < 0 {
+			return NetNone, 0, 0, fmt.Errorf("negative recover-after budget %d", n)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return NetNone, 0, 0, fmt.Errorf("trailing net spec fields %q", strings.Join(rest, ":"))
+	}
+	return mode, latency, n, nil
 }
 
 // String re-emits the config in ParseConfig's grammar, so a spec can be
@@ -195,6 +277,18 @@ func (c Config) String() string {
 		}
 		emit("disk", v)
 	}
+	if c.Net != NetNone {
+		v := string(c.Net)
+		// The delay duration is positional, so it must be present
+		// whenever a budget follows (delay:0s:3, never delay:3).
+		if c.Net == NetDelay && (c.NetLatency > 0 || c.NetN > 0) {
+			v += ":" + c.NetLatency.String()
+		}
+		if c.NetN > 0 {
+			v += ":" + strconv.Itoa(c.NetN)
+		}
+		emit("net", v)
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -205,6 +299,9 @@ type Stats struct {
 	Panics        uint64 `json:"panics"`
 	PartialWrites uint64 `json:"partial_writes"`
 	DiskFaults    uint64 `json:"disk_faults"`
+	NetDrops      uint64 `json:"net_drops"`
+	NetDelays     uint64 `json:"net_delays"`
+	NetPartitions uint64 `json:"net_partitions"`
 }
 
 // Injector makes fault decisions. A nil *Injector is inert, so callers
@@ -220,7 +317,13 @@ type Injector struct {
 	diskMode      DiskMode
 	diskRemaining int // >0: injections left before auto-recovery; 0: unlimited
 
+	netMu        sync.Mutex
+	netMode      NetMode
+	netLatency   time.Duration
+	netRemaining int // same recover-after-N countdown as disk
+
 	latencies, errors, panics, partials, disk atomic.Uint64
+	netDrops, netDelays, netPartitions        atomic.Uint64
 }
 
 // New validates the config and returns an enabled injector.
@@ -231,8 +334,12 @@ func New(cfg Config) (*Injector, error) {
 	if cfg.LatencyP > 0 && cfg.Latency == 0 {
 		cfg.Latency = 25 * time.Millisecond
 	}
+	if cfg.Net == NetDelay && cfg.NetLatency == 0 {
+		cfg.NetLatency = 25 * time.Millisecond
+	}
 	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
 	in.SetDiskFault(cfg.Disk, cfg.DiskN)
+	in.SetNetFault(cfg.Net, cfg.NetLatency, cfg.NetN)
 	in.enabled.Store(true)
 	return in, nil
 }
@@ -276,6 +383,71 @@ func (in *Injector) takeDisk(mode DiskMode) bool {
 	return true
 }
 
+// SetNetFault arms (or, with NetNone, clears) a deterministic
+// replication-link fault. latency applies to the delay mode; n > 0 is
+// the recover-after-N budget (the mode auto-clears after n frames),
+// n ≤ 0 keeps the fault armed until explicitly cleared.
+func (in *Injector) SetNetFault(mode NetMode, latency time.Duration, n int) {
+	if in == nil {
+		return
+	}
+	in.netMu.Lock()
+	in.netMode = mode
+	in.netLatency = latency
+	if n < 0 {
+		n = 0
+	}
+	in.netRemaining = n
+	in.netMu.Unlock()
+}
+
+// takeNet consumes one injection of mode if it is armed, handling the
+// recover-after-N countdown.
+func (in *Injector) takeNet(mode NetMode) bool {
+	if !in.Enabled() {
+		return false
+	}
+	in.netMu.Lock()
+	defer in.netMu.Unlock()
+	if in.netMode != mode {
+		return false
+	}
+	if in.netRemaining > 0 {
+		in.netRemaining--
+		if in.netRemaining == 0 {
+			in.netMode = NetNone
+		}
+	}
+	return true
+}
+
+// ReplSendHook adapts the injector to the replication primary's
+// outbound tail-frame seam (repl.SendHook): partition fails the send
+// (cutting the connection), drop discards the frame (the follower
+// detects the sequence gap and resyncs), delay stalls the frame. The
+// decisions are deterministic — armed mode plus countdown, no dice —
+// so a chaos test knows exactly which frames were hit.
+func (in *Injector) ReplSendHook() func(size int) (drop bool, delay time.Duration, err error) {
+	return func(int) (bool, time.Duration, error) {
+		if in.takeNet(NetPartition) {
+			in.netPartitions.Add(1)
+			return false, 0, fmt.Errorf("%w (net: partition)", ErrInjected)
+		}
+		if in.takeNet(NetDrop) {
+			in.netDrops.Add(1)
+			return true, 0, nil
+		}
+		if in.takeNet(NetDelay) {
+			in.netDelays.Add(1)
+			in.netMu.Lock()
+			d := in.netLatency
+			in.netMu.Unlock()
+			return false, d, nil
+		}
+		return false, 0, nil
+	}
+}
+
 // SetEnabled flips injection on or off (off: every decision is clean).
 // Chaos tests use it to set up fixtures through a quiet service before
 // turning the noise on.
@@ -295,6 +467,9 @@ func (in *Injector) Stats() Stats {
 		Panics:        in.panics.Load(),
 		PartialWrites: in.partials.Load(),
 		DiskFaults:    in.disk.Load(),
+		NetDrops:      in.netDrops.Load(),
+		NetDelays:     in.netDelays.Load(),
+		NetPartitions: in.netPartitions.Load(),
 	}
 }
 

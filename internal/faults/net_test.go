@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseConfigNetModes(t *testing.T) {
+	cases := []struct {
+		spec    string
+		mode    NetMode
+		latency time.Duration
+		n       int
+	}{
+		{"net=drop", NetDrop, 0, 0},
+		{"net=drop:5", NetDrop, 0, 5},
+		{"net=partition", NetPartition, 0, 0},
+		{"net=partition:3", NetPartition, 0, 3},
+		{"net=delay", NetDelay, 0, 0}, // latency defaults at New()
+		{"net=delay:50ms", NetDelay, 50 * time.Millisecond, 0},
+		{"net=delay:50ms:7", NetDelay, 50 * time.Millisecond, 7},
+	}
+	for _, tc := range cases {
+		cfg, err := ParseConfig(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", tc.spec, err)
+		}
+		if cfg.Net != tc.mode || cfg.NetLatency != tc.latency || cfg.NetN != tc.n {
+			t.Fatalf("ParseConfig(%q) = %+v", tc.spec, cfg)
+		}
+		if !cfg.Active() {
+			t.Fatalf("%q not Active", tc.spec)
+		}
+		// String must re-emit a spec that parses back to the same config.
+		re, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", cfg.String(), tc.spec, err)
+		}
+		if re != cfg {
+			t.Fatalf("round trip %q -> %q -> %+v != %+v", tc.spec, cfg.String(), re, cfg)
+		}
+	}
+	for _, bad := range []string{
+		"net=flood", "net=drop:-1", "net=drop:x", "net=delay:abc",
+		"net=drop:5:6", "net=delay:50ms:2:9",
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNetFaultCountsDownAndRecovers(t *testing.T) {
+	in, err := New(Config{Net: NetDrop, NetN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.ReplSendHook()
+	for i := 0; i < 2; i++ {
+		drop, _, herr := hook(100)
+		if !drop || herr != nil {
+			t.Fatalf("frame %d: drop=%v err=%v, want dropped", i, drop, herr)
+		}
+	}
+	// Budget exhausted: the link heals.
+	for i := 0; i < 5; i++ {
+		drop, delay, herr := hook(100)
+		if drop || delay != 0 || herr != nil {
+			t.Fatalf("post-recovery frame %d faulted: drop=%v delay=%v err=%v", i, drop, delay, herr)
+		}
+	}
+	if st := in.Stats(); st.NetDrops != 2 {
+		t.Fatalf("NetDrops = %d, want 2", st.NetDrops)
+	}
+}
+
+func TestNetPartitionAndDelay(t *testing.T) {
+	in, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.ReplSendHook()
+	in.SetNetFault(NetPartition, 0, 1)
+	if _, _, herr := hook(1); !errors.Is(herr, ErrInjected) {
+		t.Fatalf("partition: err = %v, want ErrInjected", herr)
+	}
+	if _, _, herr := hook(1); herr != nil {
+		t.Fatalf("partition after budget: %v", herr)
+	}
+	in.SetNetFault(NetDelay, 5*time.Millisecond, 0)
+	for i := 0; i < 3; i++ {
+		drop, delay, herr := hook(1)
+		if drop || herr != nil || delay != 5*time.Millisecond {
+			t.Fatalf("delay frame %d: drop=%v delay=%v err=%v", i, drop, delay, herr)
+		}
+	}
+	in.SetNetFault(NetNone, 0, 0)
+	if _, delay, _ := hook(1); delay != 0 {
+		t.Fatal("cleared net fault still delaying")
+	}
+	st := in.Stats()
+	if st.NetPartitions != 1 || st.NetDelays != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNetFaultDisabledInjectorInert(t *testing.T) {
+	in, err := New(Config{Net: NetDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(false)
+	if drop, _, herr := in.ReplSendHook()(1); drop || herr != nil {
+		t.Fatal("disabled injector still injecting net faults")
+	}
+	var nilIn *Injector
+	if drop, delay, herr := nilIn.ReplSendHook()(1); drop || delay != 0 || herr != nil {
+		t.Fatal("nil injector not inert")
+	}
+}

@@ -233,6 +233,10 @@ type Journal struct {
 	lastSeq    uint64   // newest assigned sequence number (staged included)
 	durableSeq uint64   // newest fsync'd sequence number
 
+	// onCommit, when set, observes every durably committed batch in
+	// commit order (the replication primary's streaming seam).
+	onCommit func(batch []Record)
+
 	sinceCompact int
 	appends      uint64
 	compactions  uint64
@@ -624,9 +628,24 @@ func (j *Journal) stage(rec Record) (*pendingAppend, error) {
 		return nil, fmt.Errorf("journal: log is failed (%w); refusing append", j.failed)
 	}
 	rec.Seq = j.lastSeq + 1
+	if err := j.writeLineLocked(rec); err != nil {
+		return nil, err
+	}
+	j.lastSeq = rec.Seq
+	p := &pendingAppend{rec: rec, done: make(chan error, 1)}
+	j.pending = append(j.pending, p)
+	return p, nil
+}
+
+// writeLineLocked encodes rec (whose Seq is already set), runs the
+// fault hook, and writes the line at the log's tail, advancing size. On
+// a failed or torn write it truncates back to the pre-write tail so the
+// log never holds a partial record between complete ones. Callers hold
+// mu.
+func (j *Journal) writeLineLocked(rec Record) error {
 	line, err := encodeLine(rec)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	toWrite := line
 	var hookErr error
@@ -641,18 +660,105 @@ func (j *Journal) stage(rec Record) (*pendingAppend, error) {
 	if hookErr != nil || len(toWrite) != len(line) {
 		if terr := j.f.Truncate(j.size); terr != nil {
 			j.failed = terr
-			return nil, fmt.Errorf("journal: append failed (%v) and repair failed: %w", hookErr, terr)
+			return fmt.Errorf("journal: append failed (%v) and repair failed: %w", hookErr, terr)
 		}
 		if hookErr == nil {
 			hookErr = errors.New("journal: short write")
 		}
-		return nil, fmt.Errorf("journal: append: %w", hookErr)
+		return fmt.Errorf("journal: append: %w", hookErr)
 	}
 	j.size += int64(len(line))
-	j.lastSeq = rec.Seq
-	p := &pendingAppend{rec: rec, done: make(chan error, 1)}
-	j.pending = append(j.pending, p)
-	return p, nil
+	return nil
+}
+
+// AppendReplica appends records that already carry sequence numbers —
+// the replication follower's write path. The whole batch shares one
+// group commit (one fsync), records whose seq is not past lastSeq are
+// skipped (snapshot/tail overlap and retransmits are harmless), and the
+// call returns only after the batch is durable. Unlike Append it never
+// assigns sequence numbers: replicas must preserve the primary's
+// numbering bit-for-bit so a promoted follower replays identically.
+func (j *Journal) AppendReplica(ctx context.Context, recs []Record) error {
+	j.mu.Lock()
+	if j.failed != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: log is failed (%w); refusing append", j.failed)
+	}
+	start, startSeq := j.size, j.lastSeq
+	var staged []*pendingAppend
+	fail := func(err error) error {
+		// Unwind every line this batch wrote so nothing half-applied is
+		// staged; pending from other appenders sits before start and is
+		// untouched.
+		if terr := j.f.Truncate(start); terr != nil {
+			j.failed = terr
+		}
+		j.size, j.lastSeq = start, startSeq
+		j.mu.Unlock()
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Seq == 0 {
+			return fail(errors.New("journal: replica record without sequence number"))
+		}
+		if rec.Seq <= j.lastSeq {
+			continue
+		}
+		if err := j.writeLineLocked(rec); err != nil {
+			return fail(err)
+		}
+		j.lastSeq = rec.Seq
+		staged = append(staged, &pendingAppend{rec: rec, done: make(chan error, 1)})
+	}
+	j.pending = append(j.pending, staged...)
+	j.mu.Unlock()
+	if len(staged) == 0 {
+		return nil // every record was a duplicate
+	}
+	// Waiting on the last record covers the whole batch: commitGroup
+	// resolves a batch all-or-nothing.
+	return j.awaitCommit(ctx, staged[len(staged)-1])
+}
+
+// ResetTo atomically replaces the journal's entire live history with
+// recs — the replication follower's snapshot-resync path. The records
+// must already carry the primary's sequence numbers; lastSeq is the
+// primary's durable sequence cursor, which can sit past the highest
+// record (deletes prune their chip's history *and* themselves), so the
+// replica's numbering keeps tracking the primary's. The new history is
+// compacted to disk before returning, so a crash right after ResetTo
+// replays exactly recs. It refuses while appends are staged or a commit
+// is in flight; the follower is normally the journal's only writer.
+func (j *Journal) ResetTo(recs []Record, lastSeq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return fmt.Errorf("journal: log is failed (%w); refusing reset", j.failed)
+	}
+	if len(j.pending) > 0 || j.committing {
+		return errors.New("journal: reset: appends in flight")
+	}
+	j.recs = append(j.recs[:0:0], recs...)
+	j.lastSeq = lastSeq
+	for _, rec := range recs {
+		if rec.Seq > j.lastSeq {
+			j.lastSeq = rec.Seq
+		}
+	}
+	j.durableSeq = j.lastSeq
+	return j.compactLocked()
+}
+
+// SetOnCommit registers fn to observe every durably committed batch.
+// Batches arrive in commit order (the group-commit gate serializes
+// them), after the batch is durable and absorbed but before the
+// appenders' Append calls return — so a replication primary can enqueue
+// the batch to followers before acknowledging. fn must not call back
+// into the journal and must not block (it runs on the commit path).
+func (j *Journal) SetOnCommit(fn func(batch []Record)) {
+	j.mu.Lock()
+	j.onCommit = fn
+	j.mu.Unlock()
 }
 
 // awaitCommit resolves one staged append: either an earlier appender's
@@ -716,6 +822,7 @@ func (j *Journal) commitGroup() (int, time.Duration) {
 
 	j.mu.Lock()
 	j.committing = false
+	onCommit := j.onCommit
 	j.fsyncCount++
 	j.fsyncTotal += elapsed
 	if elapsed > j.fsyncMax {
@@ -758,6 +865,17 @@ func (j *Journal) commitGroup() (int, time.Duration) {
 		j.pending = nil
 	}
 	j.mu.Unlock()
+	// The commit callback runs under the group-commit gate (the caller
+	// holds groupMu), so a replication primary observes batches in
+	// exactly the order they became durable — and before any appender in
+	// the batch is acknowledged.
+	if serr == nil && onCommit != nil {
+		recs := make([]Record, len(batch))
+		for i, p := range batch {
+			recs[i] = p.rec
+		}
+		onCommit(recs)
+	}
 	for _, p := range batch {
 		p.done <- serr
 	}

@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestAppendReplicaPreservesSeqs(t *testing.T) {
+	j := openT(t, t.TempDir(), Options{})
+	ctx := context.Background()
+	batch := []Record{
+		{Seq: 7, Op: OpCreate, ID: "x", Seed: 1, Kind: "lut"},
+		{Seq: 8, Op: OpStress, ID: "x", Hours: 2},
+		{Seq: 12, Op: OpCreate, ID: "y", Seed: 2, Kind: "lut"},
+	}
+	if err := j.AppendReplica(ctx, batch); err != nil {
+		t.Fatalf("AppendReplica: %v", err)
+	}
+	recs := j.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records: %+v", recs)
+	}
+	for i, want := range []uint64{7, 8, 12} {
+		if recs[i].Seq != want {
+			t.Fatalf("seq[%d] = %d, want %d (replica must preserve primary numbering)", i, recs[i].Seq, want)
+		}
+	}
+	if st := j.Stats(); st.LastSeq != 12 {
+		t.Fatalf("LastSeq = %d, want 12", st.LastSeq)
+	}
+
+	// Duplicates and stale seqs are skipped; new ones past lastSeq apply.
+	if err := j.AppendReplica(ctx, []Record{
+		{Seq: 8, Op: OpStress, ID: "x", Hours: 99}, // dup — must not double-apply
+		{Seq: 13, Op: OpStress, ID: "y", Hours: 1},
+	}); err != nil {
+		t.Fatalf("AppendReplica dup batch: %v", err)
+	}
+	recs = j.Records()
+	if len(recs) != 4 || recs[3].Seq != 13 {
+		t.Fatalf("after dup batch: %+v", recs)
+	}
+	// A batch of only duplicates is a durable no-op.
+	if err := j.AppendReplica(ctx, []Record{{Seq: 5, Op: OpStress, ID: "x"}}); err != nil {
+		t.Fatalf("all-dup batch: %v", err)
+	}
+	if err := j.AppendReplica(ctx, []Record{{Op: OpStress, ID: "x"}}); err == nil {
+		t.Fatal("replica record without seq accepted")
+	}
+
+	// Normal appends continue the replicated numbering.
+	if err := j.Append(ctx, Record{Op: OpStress, ID: "x", Hours: 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	recs = j.Records()
+	if got := recs[len(recs)-1].Seq; got != 14 {
+		t.Fatalf("post-replica Append seq = %d, want 14", got)
+	}
+}
+
+func TestAppendReplicaSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	if err := j.AppendReplica(context.Background(), []Record{
+		{Seq: 3, Op: OpCreate, ID: "x", Seed: 1, Kind: "lut"},
+		{Seq: 4, Op: OpStress, ID: "x", Hours: 2},
+	}); err != nil {
+		t.Fatalf("AppendReplica: %v", err)
+	}
+	j.Close()
+	j2 := openT(t, dir, Options{})
+	recs := j2.Records()
+	if len(recs) != 2 || recs[0].Seq != 3 || recs[1].Seq != 4 {
+		t.Fatalf("after reopen: %+v", recs)
+	}
+}
+
+func TestResetTo(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	ctx := context.Background()
+	// Local garbage that the reset must wipe.
+	for i := 0; i < 5; i++ {
+		if err := j.Append(ctx, Record{Op: OpCreate, ID: "stale", Seed: uint64(i), Kind: "lut"}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	snap := []Record{
+		{Seq: 100, Op: OpCreate, ID: "a", Seed: 9, Kind: "lut"},
+		{Seq: 101, Op: OpStress, ID: "a", Hours: 3},
+	}
+	if err := j.ResetTo(snap, 105); err != nil {
+		t.Fatalf("ResetTo: %v", err)
+	}
+	recs := j.Records()
+	if len(recs) != 2 || recs[0].ID != "a" || recs[1].Seq != 101 {
+		t.Fatalf("after reset: %+v", recs)
+	}
+	// The reset adopts the primary's cursor (105), which sits past the
+	// highest snapshot record — trailing deletes prune themselves.
+	if st := j.Stats(); st.LastSeq != 105 {
+		t.Fatalf("LastSeq = %d, want 105", st.LastSeq)
+	}
+	// Tail continues from the primary's numbering and survives reopen.
+	if err := j.AppendReplica(ctx, []Record{{Seq: 106, Op: OpStress, ID: "a", Hours: 1}}); err != nil {
+		t.Fatalf("AppendReplica: %v", err)
+	}
+	j.Close()
+	j2 := openT(t, dir, Options{})
+	recs = j2.Records()
+	if len(recs) != 3 || recs[2].Seq != 106 {
+		t.Fatalf("after reopen: %+v", recs)
+	}
+}
+
+func TestOnCommitOrderAndCoverage(t *testing.T) {
+	j := openT(t, t.TempDir(), Options{})
+	var (
+		mu   sync.Mutex
+		seen []uint64
+	)
+	j.SetOnCommit(func(batch []Record) {
+		mu.Lock()
+		for _, r := range batch {
+			seen = append(seen, r.Seq)
+		}
+		mu.Unlock()
+	})
+	ctx := context.Background()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append(ctx, Record{Op: OpCreate, ID: "c", Seed: uint64(i), Kind: "lut"}); err != nil {
+				t.Errorf("Append: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Fatalf("onCommit observed %d records, want %d", len(seen), n)
+	}
+	// Batches arrive in commit order, so the concatenated seqs are
+	// strictly increasing — the property the replication stream needs.
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("onCommit seqs out of order at %d: %v", i, seen)
+		}
+	}
+}
+
+func TestOnCommitNotCalledOnFailedSync(t *testing.T) {
+	var failSync bool
+	j := openT(t, t.TempDir(), Options{SyncHook: func() error {
+		if failSync {
+			return errors.New("injected fsync failure")
+		}
+		return nil
+	}})
+	var called int
+	j.SetOnCommit(func(batch []Record) { called += len(batch) })
+	ctx := context.Background()
+	if err := j.Append(ctx, Record{Op: OpCreate, ID: "x", Seed: 1, Kind: "lut"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	failSync = true
+	if err := j.Append(ctx, Record{Op: OpStress, ID: "x", Hours: 1}); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	if called != 1 {
+		t.Fatalf("onCommit saw %d records; an unacknowledged batch must never stream", called)
+	}
+}

@@ -1,0 +1,142 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xab}, 100_000),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&b, p); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	var buf []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&b, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame #%d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		buf = got[:cap(got)]
+	}
+	if _, err := ReadFrame(&b, buf); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, []byte("some payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := b.Bytes()
+	// Every proper prefix (except the empty one, which is clean EOF)
+	// must be a typed truncation.
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil)
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameCorruptCRC(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, []byte("some payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	for _, flip := range []int{4, 8, len(raw) - 1} { // crc byte, payload bytes
+		mut := append([]byte(nil), raw...)
+		mut[flip] ^= 0x01
+		_, err := ReadFrame(bytes.NewReader(mut), nil)
+		if !errors.Is(err, ErrFrameChecksum) {
+			t.Fatalf("flip byte %d: err = %v, want ErrFrameChecksum", flip, err)
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MaxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame oversize: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzReplFrame feeds arbitrary bytes to the frame reader: any input
+// must yield either a valid frame (which re-encodes to the same bytes)
+// or a typed error — never a panic, and never an allocation driven by
+// an unvalidated length prefix.
+func FuzzReplFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, []byte(`{"seq":1,"op":"create","id":"x"}`))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})                               // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})       // oversized length
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})                   // empty payload, bad crc
+	f.Add(append(seed.Bytes()[:len(seed.Bytes())-1], 0xee)) // corrupt tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				if err == io.EOF ||
+					errors.Is(err, ErrFrameTruncated) ||
+					errors.Is(err, ErrFrameChecksum) ||
+					errors.Is(err, ErrFrameTooLarge) {
+					return
+				}
+				t.Fatalf("untyped error: %v", err)
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("payload of %d bytes exceeds MaxFrame", len(payload))
+			}
+			// A frame the reader accepts must survive a round trip.
+			var out bytes.Buffer
+			if err := WriteFrame(&out, payload); err != nil {
+				t.Fatalf("re-encode accepted frame: %v", err)
+			}
+			re, err := ReadFrame(&out, nil)
+			if err != nil || !bytes.Equal(re, payload) {
+				t.Fatalf("round trip mismatch: %v", err)
+			}
+			buf = payload[:cap(payload)]
+		}
+	})
+}
+
+func TestFrameHeaderLayout(t *testing.T) {
+	var b bytes.Buffer
+	payload := []byte("abc")
+	if err := WriteFrame(&b, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	if got := binary.BigEndian.Uint32(raw[0:4]); got != 3 {
+		t.Fatalf("length prefix = %d", got)
+	}
+	if got := binary.BigEndian.Uint32(raw[4:8]); got != crc32.ChecksumIEEE(payload) {
+		t.Fatalf("crc = %08x", got)
+	}
+}

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"selfheal/internal/cluster"
+	"selfheal/internal/repl"
+)
+
+// ClusterConfig wires a server into a multi-node fleet. Each chip is
+// owned by exactly one node — the consistent-hash ring over the
+// configured peer *ids* decides which — and every node enforces that
+// placement: a chip-scoped request landing on the wrong node is
+// 307-forwarded to the owner (Location carries the full URL), before
+// the degraded-mode write gate so even a degraded node still routes.
+// Degradation is thereby per shard: one node losing its journal (or,
+// in semisync, its follower) suspends writes for its chips only;
+// every other shard keeps serving writes.
+type ClusterConfig struct {
+	// NodeID is this node's id; it must appear in Peers.
+	NodeID string
+	// Peers maps node id -> base URL (e.g. "http://10.0.0.1:8040"),
+	// including this node. All nodes must agree on the id set.
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count (default
+	// cluster.DefaultVNodes); all nodes and clients must agree.
+	VNodes int
+	// ReplStats, when set, surfaces this node's replication counters
+	// (primary or follower role) under /v1/cluster and /metrics.
+	ReplStats func() *repl.Stats
+}
+
+// clusterState is the server's runtime view of the ring.
+type clusterState struct {
+	nodeID    string
+	vnodes    int
+	replStats func() *repl.Stats
+
+	mu   sync.RWMutex
+	ring *cluster.Ring
+
+	forwards  atomic.Uint64 // chip requests 307-forwarded to their owner
+	wrongNode atomic.Uint64 // batch items refused with CodeWrongNode
+}
+
+func newClusterState(cfg *ClusterConfig) (*clusterState, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("serve: cluster: NodeID is required")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("serve: cluster: NodeID %q missing from Peers", cfg.NodeID)
+	}
+	nodes := make([]cluster.Node, 0, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		nodes = append(nodes, cluster.Node{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	ring, err := cluster.New(nodes, cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cluster: %w", err)
+	}
+	return &clusterState{
+		nodeID:    cfg.NodeID,
+		vnodes:    ring.VNodes(),
+		replStats: cfg.ReplStats,
+		ring:      ring,
+	}, nil
+}
+
+// owner returns the owning node for a chip id under the current ring.
+func (cs *clusterState) owner(chipID string) cluster.Node {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.ring.Owner(chipID)
+}
+
+// misplaced reports whether chipID belongs to another node, and which.
+func (cs *clusterState) misplaced(chipID string) (cluster.Node, bool) {
+	n := cs.owner(chipID)
+	return n, n.ID != cs.nodeID
+}
+
+// setPeerAddr repoints an existing node id (the server-side half of a
+// promotion). Placement is by id, so no chips move.
+func (cs *clusterState) setPeerAddr(id, addr string) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ring, err := cs.ring.WithAddr(id, strings.TrimRight(addr, "/"))
+	if err != nil {
+		return err
+	}
+	cs.ring = ring
+	return nil
+}
+
+// CodeWrongNode marks a 307 (or a batch item error) caused by chip
+// placement: this node does not own the target chip. The response's
+// Location header carries the owner's URL; single-chip clients follow
+// it transparently, batch clients should re-partition.
+const CodeWrongNode = "wrong_node"
+
+// withOwnership enforces chip placement on the /v1/chips/{id} routes:
+// a request for a chip this node does not own is 307-forwarded to the
+// owner. It wraps OUTSIDE the write gate so a degraded node still
+// forwards misplaced traffic — only its own shard is down.
+func (s *Server) withOwnership(next http.Handler) http.Handler {
+	if s.cluster == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if id == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if owner, wrong := s.cluster.misplaced(id); wrong {
+			s.forwardToOwner(w, r, id, owner)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// forwardToOwner answers 307 with the owner's URL for the same
+// request. 307 (not 301/302) so the method and body are preserved by
+// the client.
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, chipID string, owner cluster.Node) {
+	s.cluster.forwards.Add(1)
+	w.Header().Set("Location", owner.Addr+r.URL.RequestURI())
+	s.writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{
+		Error:     fmt.Sprintf("serve: chip %q is owned by node %s", chipID, owner.ID),
+		Code:      CodeWrongNode,
+		RequestID: RequestIDFrom(r.Context()),
+	})
+}
+
+// checkOwnedCreate guards the create path, whose chip id arrives in
+// the body rather than the URL. Returns true when the request was
+// forwarded (the caller must stop).
+func (s *Server) checkOwnedCreate(w http.ResponseWriter, r *http.Request, chipID string) bool {
+	if s.cluster == nil {
+		return false
+	}
+	owner, wrong := s.cluster.misplaced(chipID)
+	if wrong {
+		s.forwardToOwner(w, r, chipID, owner)
+	}
+	return wrong
+}
+
+// wrongNodeItem fills one batch item's error for a misplaced chip —
+// batches are never forwarded wholesale (items may map to different
+// owners); the cluster client partitions by owner before sending.
+func (s *Server) wrongNodeItem(chipID string) (string, string) {
+	owner := s.cluster.owner(chipID)
+	s.cluster.wrongNode.Add(1)
+	return fmt.Sprintf("serve: chip %q is owned by node %s (%s)", chipID, owner.ID, owner.Addr), CodeWrongNode
+}
+
+// ownsChip reports whether this node owns chipID (always true outside
+// cluster mode).
+func (s *Server) ownsChip(chipID string) bool {
+	if s.cluster == nil {
+		return true
+	}
+	_, wrong := s.cluster.misplaced(chipID)
+	return !wrong
+}
+
+// ClusterPeer is one ring member in a ClusterResponse.
+type ClusterPeer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+}
+
+// ClusterResponse is the GET /v1/cluster body: this node's view of
+// the ring plus its replication role.
+type ClusterResponse struct {
+	NodeID    string        `json:"node_id"`
+	Role      string        `json:"role"` // "primary" | "standby" | "single"
+	VNodes    int           `json:"vnodes"`
+	Peers     []ClusterPeer `json:"peers"`
+	Forwards  uint64        `json:"forwards"`
+	WrongNode uint64        `json:"wrong_node_rejects"`
+	Repl      *repl.Stats   `json:"repl,omitempty"`
+}
+
+// ClusterPeerRequest is the POST /v1/cluster/peers body: repoint an
+// existing node id at a new address after a failover. The id keeps
+// its ring positions, so no chips move.
+type ClusterPeerRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ClusterPeerResponse acknowledges a repoint.
+type ClusterPeerResponse struct {
+	ID    string        `json:"id"`
+	Addr  string        `json:"addr"`
+	Peers []ClusterPeer `json:"peers"`
+}
+
+func (cs *clusterState) peerList() []ClusterPeer {
+	cs.mu.RLock()
+	nodes := cs.ring.Nodes()
+	cs.mu.RUnlock()
+	peers := make([]ClusterPeer, len(nodes))
+	for i, n := range nodes {
+		peers[i] = ClusterPeer{ID: n.ID, Addr: n.Addr, Self: n.ID == cs.nodeID}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return peers
+}
+
+// clusterResponse assembles the shared status body.
+func (cs *clusterState) response() ClusterResponse {
+	resp := ClusterResponse{
+		NodeID:    cs.nodeID,
+		Role:      "single",
+		VNodes:    cs.vnodes,
+		Peers:     cs.peerList(),
+		Forwards:  cs.forwards.Load(),
+		WrongNode: cs.wrongNode.Load(),
+	}
+	if cs.replStats != nil {
+		resp.Repl = cs.replStats()
+		if resp.Repl != nil {
+			resp.Role = resp.Repl.Role
+		}
+	}
+	return resp
+}
+
+// handleCluster is GET /v1/cluster.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error:     "serve: not running in cluster mode",
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.response())
+}
+
+// handleClusterPeers is POST /v1/cluster/peers: repoint a node id at
+// a new address (after promoting a standby that took over the id).
+func (s *Server) handleClusterPeers(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error:     "serve: not running in cluster mode",
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	var req ClusterPeerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error:     "serve: cluster peer repoint needs id and addr",
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	if err := s.cluster.setPeerAddr(req.ID, req.Addr); err != nil {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error:     err.Error(),
+			RequestID: RequestIDFrom(r.Context()),
+		})
+		return
+	}
+	s.log.Info("cluster peer repointed", "peer", req.ID, "addr", req.Addr)
+	s.writeJSON(w, http.StatusOK, ClusterPeerResponse{
+		ID: req.ID, Addr: req.Addr, Peers: s.cluster.peerList(),
+	})
+}
+
+// handleClusterPromote on a serving node is a refusal: only a standby
+// (see Standby) can be promoted. Keeping the route mounted makes the
+// operator error explicit instead of a 404.
+func (s *Server) handleClusterPromote(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusConflict, ErrorResponse{
+		Error:     "serve: this node is already serving; only a standby can be promoted",
+		RequestID: RequestIDFrom(r.Context()),
+	})
+}
+
+// ClusterMetrics is the cluster section of a MetricsSnapshot.
+type ClusterMetrics struct {
+	NodeID    string      `json:"node_id"`
+	Peers     int         `json:"peers"`
+	Forwards  uint64      `json:"forwards"`
+	WrongNode uint64      `json:"wrong_node_rejects"`
+	Repl      *repl.Stats `json:"repl,omitempty"`
+}
+
+// clusterMetrics assembles the cluster section (nil outside cluster
+// mode).
+func clusterMetrics(cs *clusterState) *ClusterMetrics {
+	if cs == nil {
+		return nil
+	}
+	cm := &ClusterMetrics{
+		NodeID:    cs.nodeID,
+		Peers:     len(cs.peerList()),
+		Forwards:  cs.forwards.Load(),
+		WrongNode: cs.wrongNode.Load(),
+	}
+	if cs.replStats != nil {
+		cm.Repl = cs.replStats()
+	}
+	return cm
+}

@@ -1,0 +1,556 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfheal/internal/cluster"
+	"selfheal/internal/fleet"
+	"selfheal/internal/journal"
+	"selfheal/internal/repl"
+	"selfheal/internal/store"
+)
+
+// swapHandler lets a httptest server exist before the serve.Server it
+// will host: the cluster config needs every peer's URL up front.
+type swapHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (sw *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := sw.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not wired", http.StatusServiceUnavailable)
+}
+
+// startClusterPair boots two cluster-mode nodes "a" and "b" that know
+// each other's real URLs, plus a no-redirect HTTP client to observe
+// 307s directly.
+func startClusterPair(t *testing.T) (srvs map[string]*Server, urls map[string]string, hc *http.Client) {
+	t.Helper()
+	swaps := map[string]*swapHandler{"a": {}, "b": {}}
+	urls = make(map[string]string, 2)
+	for _, id := range []string{"a", "b"} {
+		ts := httptest.NewServer(swaps[id])
+		t.Cleanup(ts.Close)
+		urls[id] = ts.URL
+	}
+	srvs = make(map[string]*Server, 2)
+	for _, id := range []string{"a", "b"} {
+		s, err := New(Config{
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+			Cluster: &ClusterConfig{NodeID: id, Peers: urls},
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		t.Cleanup(s.Close)
+		srvs[id] = s
+		var h http.Handler = s.Handler()
+		swaps[id].h.Store(&h)
+	}
+	hc = &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	return srvs, urls, hc
+}
+
+// chipOwnedBy finds a chip id the shared ring places on the wanted
+// node.
+func chipOwnedBy(t *testing.T, nodeID string) string {
+	t.Helper()
+	ring, err := cluster.New([]cluster.Node{{ID: "a", Addr: "x"}, {ID: "b", Addr: "y"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("chip-%d", i)
+		if ring.Owner(id).ID == nodeID {
+			return id
+		}
+	}
+	t.Fatalf("no chip id hashed to node %s in 1000 tries", nodeID)
+	return ""
+}
+
+func TestClusterOwnershipForwarding(t *testing.T) {
+	_, urls, hc := startClusterPair(t)
+	aChip, bChip := chipOwnedBy(t, "a"), chipOwnedBy(t, "b")
+
+	// Owned create lands; misplaced create 307s to the owner with the
+	// wrong_node code and a Location good enough to replay verbatim.
+	resp, err := hc.Post(urls["a"]+"/v1/chips", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"id":%q,"seed":1}`, aChip)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("owned create on a: status %d", resp.StatusCode)
+	}
+	resp, err = hc.Post(urls["a"]+"/v1/chips", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"id":%q,"seed":1}`, bChip)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect || er.Code != CodeWrongNode {
+		t.Fatalf("misplaced create on a: status %d code %q", resp.StatusCode, er.Code)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != urls["b"]+"/v1/chips" {
+		t.Fatalf("Location = %q, want %q", loc, urls["b"]+"/v1/chips")
+	}
+	resp, err = hc.Post(loc, "application/json",
+		strings.NewReader(fmt.Sprintf(`{"id":%q,"seed":1}`, bChip)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replayed create on owner: status %d", resp.StatusCode)
+	}
+
+	// Chip-scoped routes forward too, preserving path and query.
+	resp, err = hc.Get(urls["a"] + "/v1/chips/" + bChip + "/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("misplaced measure: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != urls["b"]+"/v1/chips/"+bChip+"/measure" {
+		t.Fatalf("measure Location = %q", got)
+	}
+
+	// The counters surface on /v1/cluster.
+	resp, err = hc.Get(urls["a"] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.NodeID != "a" || cr.Role != "single" || len(cr.Peers) != 2 || cr.Forwards < 2 {
+		t.Fatalf("cluster status: %+v", cr)
+	}
+}
+
+func TestClusterBatchWrongNodeItems(t *testing.T) {
+	_, urls, hc := startClusterPair(t)
+	aChip, bChip := chipOwnedBy(t, "a"), chipOwnedBy(t, "b")
+
+	// A mixed batch is never forwarded whole: owned items run, the
+	// misplaced item answers per-item with wrong_node and the owner in
+	// the message.
+	body := fmt.Sprintf(`{"chips":[{"id":%q,"seed":1},{"id":%q,"seed":2}]}`, aChip, bChip)
+	resp, err := hc.Post(urls["a"]+"/v1/chips:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchCreateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(br.Results) != 2 {
+		t.Fatalf("results: %+v", br.Results)
+	}
+	if br.Results[0].Error != "" {
+		t.Fatalf("owned item failed: %+v", br.Results[0])
+	}
+	if br.Results[1].Code != CodeWrongNode || !strings.Contains(br.Results[1].Error, "node b") {
+		t.Fatalf("misplaced item: %+v", br.Results[1])
+	}
+	if br.Created != 1 || br.Failed != 1 {
+		t.Fatalf("batch counts: created %d failed %d", br.Created, br.Failed)
+	}
+
+	// Same split on the mixed-op batch.
+	body = fmt.Sprintf(`{"ops":[{"op":"stress","id":%q,"temp_c":80,"vdd":1.0,"hours":1},{"op":"stress","id":%q,"temp_c":80,"vdd":1.0,"hours":1}]}`, aChip, bChip)
+	resp, err = hc.Post(urls["a"]+"/v1/ops:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var or BatchOpsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(or.Results) != 2 || or.Results[0].Error != "" || or.Results[1].Code != CodeWrongNode {
+		t.Fatalf("ops results: %+v", or.Results)
+	}
+}
+
+func TestClusterPeerRepointAndPromoteRefusal(t *testing.T) {
+	_, urls, hc := startClusterPair(t)
+	bChip := chipOwnedBy(t, "b")
+
+	// Repoint b at a new address: subsequent forwards carry it. The id
+	// keeps its ring slots, so ownership is unchanged.
+	newAddr := "http://replacement.example:9999"
+	resp, err := hc.Post(urls["a"]+"/v1/cluster/peers", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"id":"b","addr":%q}`, newAddr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr ClusterPeerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.ID != "b" {
+		t.Fatalf("repoint: status %d body %+v", resp.StatusCode, pr)
+	}
+	resp, err = hc.Get(urls["a"] + "/v1/chips/" + bChip + "/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Location"); got != newAddr+"/v1/chips/"+bChip+"/measure" {
+		t.Fatalf("post-repoint Location = %q", got)
+	}
+
+	// Unknown ids are a 404 — repointing must not invent ring members.
+	resp, err = hc.Post(urls["a"]+"/v1/cluster/peers", "application/json",
+		strings.NewReader(`{"id":"ghost","addr":"http://x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown peer repoint: status %d", resp.StatusCode)
+	}
+
+	// A serving node refuses promotion: only standbys promote.
+	resp, err = hc.Post(urls["a"]+"/v1/cluster/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote on serving node: status %d", resp.StatusCode)
+	}
+}
+
+func TestClusterMetricsExposition(t *testing.T) {
+	_, urls, hc := startClusterPair(t)
+	bChip := chipOwnedBy(t, "b")
+	if resp, err := hc.Get(urls["a"] + "/v1/chips/" + bChip + "/measure"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := hc.Get(urls["a"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Cluster == nil || snap.Cluster.NodeID != "a" || snap.Cluster.Peers != 2 || snap.Cluster.Forwards == 0 {
+		t.Fatalf("metrics cluster section: %+v", snap.Cluster)
+	}
+
+	resp, err = hc.Get(urls["a"] + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`cluster_peers{node="a"} 2`,
+		`cluster_forwards_total{node="a"}`,
+		`cluster_wrong_node_rejects_total{node="a"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+func TestClusterReplStatsRideMetrics(t *testing.T) {
+	// A node wired with a ReplStats source surfaces the repl_* series
+	// and reports its replication role on /v1/cluster.
+	sw := &swapHandler{}
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	stats := &repl.Stats{Role: "primary", Mode: "semisync", Followers: 1, Connected: true, LastSeq: 42, AckedSeq: 40, LagRecords: 2}
+	s, err := New(Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Cluster: &ClusterConfig{
+			NodeID:    "a",
+			Peers:     map[string]string{"a": ts.URL},
+			ReplStats: func() *repl.Stats { return stats },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var h http.Handler = s.Handler()
+	sw.h.Store(&h)
+
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.Role != "primary" || cr.Repl == nil || cr.Repl.LastSeq != 42 {
+		t.Fatalf("cluster status with repl: %+v", cr)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`repl_connected{role="primary"} 1`,
+		`repl_last_seq{role="primary"} 42`,
+		`repl_lag_records{role="primary"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestStandbyPromotionServesReplicatedFleet is the failover path end
+// to end: a semisync primary serving HTTP traffic, a standby tailing
+// its journal, a hard primary death, and a promotion that must come up
+// with every acknowledged mutation and take writes immediately.
+func TestStandbyPromotionServesReplicatedFleet(t *testing.T) {
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Primary: journal -> repl primary -> journaled store -> server.
+	primDir, sbDir := t.TempDir(), t.TempDir()
+	pj, err := journal.Open(primDir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := repl.NewPrimary(pj, repl.PrimaryConfig{
+		NodeID: "a", Mode: repl.ModeSemiSync, AckTimeout: 5 * time.Second, Logger: discard,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go prim.Serve(ln)
+	primStore := store.NewJournaled[*fleet.ChipEntry](store.NewMem[*fleet.ChipEntry](), prim)
+
+	sbSwap := &swapHandler{}
+	sbTS := httptest.NewServer(sbSwap)
+	defer sbTS.Close()
+
+	primSrv, err := New(Config{
+		Logger: discard,
+		Store:  primStore,
+		Cluster: &ClusterConfig{
+			NodeID:    "a",
+			Peers:     map[string]string{"a": "http://primary.invalid"},
+			ReplStats: prim.ReplStats,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primTS := httptest.NewServer(primSrv.Handler())
+
+	// Standby: follower tailing the primary into its own journal.
+	fj, err := journal.Open(sbDir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol := repl.NewFollower(fj, repl.FollowerConfig{
+		NodeID: "standby", PrimaryAddr: ln.Addr().String(),
+		RetryMin: 10 * time.Millisecond, RetryMax: 100 * time.Millisecond, Logger: discard,
+	})
+	fol.Start()
+	sb, err := NewStandby(StandbyConfig{
+		NodeID:        "a",
+		AdvertiseAddr: sbTS.URL,
+		Peers:         map[string]string{"a": "http://primary.invalid"},
+		DataDir:       sbDir,
+		Follower:      fol,
+		Base:          Config{Logger: discard},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	var sbH http.Handler = sb
+	sbSwap.h.Store(&sbH)
+
+	// Semisync: the gate opens once the follower attaches.
+	deadline := time.Now().Add(10 * time.Second)
+	for !prim.ReplStats().Connected {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never connected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Acknowledged traffic: creates plus aging mutations.
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(primTS.URL+"/v1/chips", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"id":"c%d","seed":%d}`, i, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create c%d: status %d", i, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(primTS.URL+fmt.Sprintf("/v1/chips/c%d/stress", i), "application/json",
+			strings.NewReader(`{"temp_c":80,"vdd":1.0,"hours":10}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stress c%d: status %d", i, resp.StatusCode)
+		}
+	}
+	var before ChipListResponse
+	do(t, primTS, "GET", "/v1/chips", "", http.StatusOK, &before)
+
+	// Pre-promotion contract: alive, not ready, role standby.
+	resp, err := http.Get(sbTS.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby readyz: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(sbTS.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.Role != "standby" || cs.Repl == nil || cs.Repl.Role != "follower" {
+		t.Fatalf("standby cluster status: %+v", cs)
+	}
+
+	// Hard death: every acknowledged mutation above is semisync-acked,
+	// so nothing the clients saw succeed may be lost.
+	primTS.Close()
+	primSrv.Close()
+	prim.Close()
+
+	resp, err = http.Post(sbTS.URL+"/v1/cluster/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted StandbyPromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&promoted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || promoted.NodeID != "a" || promoted.Chips != 8 || promoted.Replayed == 0 {
+		t.Fatalf("promote: status %d body %+v", resp.StatusCode, promoted)
+	}
+
+	// The promoted node serves the exact acknowledged fleet...
+	var after ChipListResponse
+	do(t, sbTS, "GET", "/v1/chips", "", http.StatusOK, &after)
+	ids := func(l ChipListResponse) []string {
+		out := make([]string, len(l.Chips))
+		for i, c := range l.Chips {
+			out[i] = c.ID
+		}
+		sort.Strings(out)
+		return out
+	}
+	got, want := ids(after), ids(before)
+	if len(got) != len(want) {
+		t.Fatalf("promoted fleet: %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("promoted fleet: %v, want %v", got, want)
+		}
+	}
+
+	// ...is immediately write-ready at its own address...
+	resp, err = http.Get(sbTS.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted readyz: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(sbTS.URL+"/v1/chips", "application/json",
+		strings.NewReader(`{"id":"post-failover","seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-failover create: status %d", resp.StatusCode)
+	}
+
+	// ...and advertises itself for node id "a" in its ring view.
+	resp, err = http.Get(sbTS.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.NodeID != "a" || len(cs.Peers) != 1 || cs.Peers[0].Addr != strings.TrimRight(sbTS.URL, "/") {
+		t.Fatalf("promoted cluster status: %+v", cs)
+	}
+
+	// A second promotion is refused; the first server keeps serving.
+	resp, err = http.Post(sbTS.URL+"/v1/cluster/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double promote: status %d", resp.StatusCode)
+	}
+}

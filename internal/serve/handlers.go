@@ -127,6 +127,11 @@ func (s *Server) handleCreateChip(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	// The create path carries its chip id in the body, so ownership is
+	// enforced here instead of in withOwnership.
+	if s.checkOwnedCreate(w, r, req.ID) {
+		return
+	}
 	resp, err := s.fleet.Create(r.Context(), req)
 	if err != nil {
 		s.writeError(w, r, err)
@@ -240,14 +245,33 @@ func (s *Server) handleBatchCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	results := s.fleet.CreateBatch(r.Context(), req.Chips)
+	// In cluster mode, items for chips other nodes own are refused per
+	// item (a batch can span owners, so it is never forwarded whole);
+	// the cluster client partitions by owner before sending.
+	results := make([]BatchCreateResult, len(req.Chips))
+	owned := make([]CreateChipRequest, 0, len(req.Chips))
+	idx := make([]int, 0, len(req.Chips))
+	for i, sp := range req.Chips {
+		if !s.ownsChip(sp.ID) {
+			msg, code := s.wrongNodeItem(sp.ID)
+			results[i] = BatchCreateResult{ID: sp.ID, Error: msg, Code: code}
+			continue
+		}
+		owned = append(owned, sp)
+		idx = append(idx, i)
+	}
+	for k, res := range s.fleet.CreateBatch(r.Context(), owned) {
+		results[idx[k]] = res
+	}
 	resp := BatchCreateResponse{Results: results}
 	errs := make([]error, 0, len(results))
 	created := make([]string, 0, len(results))
 	for _, res := range results {
-		if res.Err != nil {
+		if res.Err != nil || res.Error != "" {
 			resp.Failed++
-			errs = append(errs, res.Err)
+			if res.Err != nil {
+				errs = append(errs, res.Err)
+			}
 		} else {
 			resp.Created++
 			created = append(created, res.ID)
@@ -271,13 +295,30 @@ func (s *Server) handleBatchOps(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	results := s.fleet.ApplyBatch(r.Context(), req.Ops)
+	// Placement enforcement mirrors handleBatchCreate.
+	results := make([]BatchOpResult, len(req.Ops))
+	owned := make([]BatchOpSpec, 0, len(req.Ops))
+	idx := make([]int, 0, len(req.Ops))
+	for i, op := range req.Ops {
+		if !s.ownsChip(op.ID) {
+			msg, code := s.wrongNodeItem(op.ID)
+			results[i] = BatchOpResult{Op: op.Op, ID: op.ID, Error: msg, Code: code}
+			continue
+		}
+		owned = append(owned, op)
+		idx = append(idx, i)
+	}
+	for k, res := range s.fleet.ApplyBatch(r.Context(), owned) {
+		results[idx[k]] = res
+	}
 	resp := BatchOpsResponse{Results: results}
 	errs := make([]error, 0, len(results))
 	for _, res := range results {
-		if res.Err != nil {
+		if res.Err != nil || res.Error != "" {
 			resp.Failed++
-			errs = append(errs, res.Err)
+			if res.Err != nil {
+				errs = append(errs, res.Err)
+			}
 		} else {
 			resp.Succeeded++
 		}

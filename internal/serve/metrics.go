@@ -199,6 +199,7 @@ type MetricsSnapshot struct {
 	Faults          *faults.Stats            `json:"faults,omitempty"`
 	Engine          *EngineMetrics           `json:"engine,omitempty"`
 	Guard           *GuardMetrics            `json:"guard,omitempty"`
+	Cluster         *ClusterMetrics          `json:"cluster,omitempty"`
 }
 
 // guardMetrics assembles the guard section: counters from the guard,

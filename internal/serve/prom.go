@@ -17,6 +17,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate)
 	snap.Engine = engineMetrics(s.aging, s.cfg.MetricsChipLimit)
 	snap.Guard = guardMetrics(s.guard, s.fleet)
+	snap.Cluster = clusterMetrics(s.cluster)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		s.writeJSON(w, http.StatusOK, snap)
@@ -147,8 +148,66 @@ func writeProm(buf *bytes.Buffer, snap MetricsSnapshot, chipLimit int) {
 	if g := snap.Guard; g != nil {
 		writePromGuard(p, g, chipLimit)
 	}
+	if c := snap.Cluster; c != nil {
+		writePromCluster(p, c)
+	}
 
 	obs.WriteRuntimeMetrics(p)
+}
+
+// writePromCluster emits the placement and replication series for one
+// node of a multi-node fleet. Replication counters are labelled by
+// role so a primary and a promoted ex-standby scrape identically.
+func writePromCluster(p *obs.PromWriter, c *ClusterMetrics) {
+	node := []obs.Label{{Name: "node", Value: c.NodeID}}
+	p.Header("cluster_peers", "Nodes in this node's ring view.", "gauge")
+	p.Sample("cluster_peers", node, float64(c.Peers))
+	p.Header("cluster_forwards_total", "Chip requests 307-forwarded to their owner.", "counter")
+	p.Sample("cluster_forwards_total", node, float64(c.Forwards))
+	p.Header("cluster_wrong_node_rejects_total", "Batch items refused because another node owns the chip.", "counter")
+	p.Sample("cluster_wrong_node_rejects_total", node, float64(c.WrongNode))
+
+	r := c.Repl
+	if r == nil {
+		return
+	}
+	role := []obs.Label{{Name: "role", Value: r.Role}}
+	connected := 0.0
+	if r.Connected {
+		connected = 1
+	}
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"repl_connected", "1 when the replication link is live (snapshot applied).", connected},
+		{"repl_followers", "Followers currently attached (primary role).", float64(r.Followers)},
+		{"repl_last_seq", "Highest journal sequence committed locally.", float64(r.LastSeq)},
+		{"repl_acked_seq", "Highest sequence acknowledged by a follower (primary role).", float64(r.AckedSeq)},
+		{"repl_lag_records", "Records committed locally but not yet follower-acknowledged.", float64(r.LagRecords)},
+	} {
+		p.Header(g.name, g.help, "gauge")
+		p.Sample(g.name, role, g.v)
+	}
+	for _, ct := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"repl_frames_sent_total", "Replication frames written to followers.", r.FramesSent},
+		{"repl_records_sent_total", "Journal records streamed to followers.", r.RecordsSent},
+		{"repl_acks_total", "Follower acknowledgements received.", r.AcksReceived},
+		{"repl_ack_timeouts_total", "Semisync appends that timed out waiting for a follower ack.", r.AckTimeouts},
+		{"repl_refused_total", "Semisync mutations refused for lack of a follower.", r.Refused},
+		{"repl_resyncs_total", "Full snapshot resyncs served or applied.", r.Snapshots},
+		{"repl_connects_total", "Replication sessions established.", r.Connects},
+		{"repl_disconnects_total", "Replication sessions dropped.", r.Disconnects},
+		{"repl_dropped_frames_total", "Tail frames dropped by fault injection.", r.DroppedFrames},
+		{"repl_records_applied_total", "Records applied from the stream (follower role).", r.RecordsApplied},
+		{"repl_gaps_total", "Sequence gaps detected in the tail (each forces a resync).", r.Gaps},
+	} {
+		p.Header(ct.name, ct.help, "counter")
+		p.Sample(ct.name, role, float64(ct.v))
+	}
 }
 
 // writePromGuard emits the blue team's counters. The per-chip roster

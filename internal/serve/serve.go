@@ -106,6 +106,13 @@ type Config struct {
 	// same engine API a real workload would use, gated on the
 	// quarantine like any other mutation.
 	Adversary *faults.Adversary
+
+	// Cluster, when set, runs this node as one member of a multi-node
+	// fleet: chip placement is enforced against the consistent-hash
+	// ring (misplaced requests are 307-forwarded to their owner), the
+	// ring is exposed under /v1/cluster, and the node's replication
+	// counters ride /metrics. Nil means single-node operation.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,7 @@ type Server struct {
 	metrics *Metrics
 	faults  *faults.Injector
 	gate    *gate
+	cluster *clusterState
 	tracer  *obs.Tracer
 	sem     chan struct{}
 	handler http.Handler
@@ -208,6 +216,13 @@ func New(cfg Config) (*Server, error) {
 		faults:  cfg.Faults,
 		tracer:  obs.NewTracer(cfg.TraceBuffer),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	if s.cluster, err = newClusterState(cfg.Cluster); err != nil {
+		return nil, err
+	}
+	if s.cluster != nil {
+		s.log.Info("cluster mode", "node", s.cluster.nodeID,
+			"peers", len(cfg.Cluster.Peers), "vnodes", s.cluster.vnodes)
 	}
 	if fl.Durable() {
 		s.gate = newGate(s.log, fl.Probe, cfg.ProbeInterval, cfg.ProbeMaxInterval)
@@ -385,9 +400,17 @@ func (s *Server) routes() http.Handler {
 		"GET /v1/guard":                        s.handleGuardStatus,
 		"GET /v1/guard/alerts":                 s.handleGuardAlerts,
 		"POST /v1/guard/config":                s.handleGuardConfig,
+		"GET /v1/cluster":                      s.handleCluster,
+		"POST /v1/cluster/peers":               s.handleClusterPeers,
+		"POST /v1/cluster/promote":             s.handleClusterPromote,
 		"GET /debug/traces":                    s.handleTraces,
 	} {
-		limited := strings.Contains(pattern, "/v1/")
+		// The cluster control plane skips shedding, fault injection and
+		// the write gate: during a failover — exactly when these routes
+		// are needed — the node may be degraded or under chaos, and
+		// repointing a peer must still work.
+		isCluster := strings.Contains(pattern, "/v1/cluster")
+		limited := strings.Contains(pattern, "/v1/") && !isCluster
 		timeout := s.cfg.OpTimeout
 		// Predictions can legitimately simulate for minutes, and a batch
 		// is up to MaxBatchItems chip operations; both get the long
@@ -400,6 +423,12 @@ func (s *Server) routes() http.Handler {
 			hh = s.withFaults(hh)
 			if mutatingRoutes[pattern] {
 				hh = s.withWriteGate(hh)
+			}
+			// Ownership wraps outside the write gate: a degraded node
+			// still 307-forwards chips it does not own — only its own
+			// shard is read-only.
+			if strings.Contains(pattern, "/v1/chips/{id}") {
+				hh = s.withOwnership(hh)
 			}
 			hh = s.withLimit(hh)
 		}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"selfheal/internal/fleet"
+	"selfheal/internal/repl"
+	"selfheal/internal/store"
+)
+
+// StandbyConfig wires a promotable hot standby: a node that tails a
+// primary's journal through a repl.Follower and serves nothing but
+// health and cluster status — until POST /v1/cluster/promote turns it
+// into the full service, replaying the replicated journal into the
+// exact fleet state the dead primary had acknowledged.
+type StandbyConfig struct {
+	// NodeID is the ring id this standby takes over on promotion — the
+	// id of the primary it follows. Placement hashes ids, not
+	// addresses, so the takeover moves zero chips.
+	NodeID string
+	// AdvertiseAddr is this standby's own HTTP base URL (e.g.
+	// "http://10.0.0.9:8040"); on promotion it replaces the dead
+	// primary's address for NodeID in the promoted server's ring.
+	AdvertiseAddr string
+	// Peers maps node id -> base URL for the whole ring, including
+	// NodeID (initially at the primary's address).
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count (default
+	// cluster.DefaultVNodes).
+	VNodes int
+	// DataDir is the follower's journal directory; promotion replays
+	// it with store.Open.
+	DataDir string
+	// Follower is the running replication tail. The standby owns it:
+	// promotion (or Close) stops it and closes its journal.
+	Follower *repl.Follower
+	// Base is the template for the promoted server (logger, timeouts,
+	// limits...). Its Store and Cluster fields are overwritten at
+	// promotion time; its Addr is unused (the caller owns the
+	// listener).
+	Base Config
+}
+
+// Standby is the pre-promotion server. It answers /healthz (alive),
+// /readyz (503 — a standby never takes writes), and /v1/cluster (the
+// follower's replication position), and atomically swaps itself for a
+// freshly-built Server on POST /v1/cluster/promote. The promoted
+// server runs without a replication layer of its own: it is
+// immediately writable, and acknowledged writes are journaled locally.
+type Standby struct {
+	cfg StandbyConfig
+	log *slog.Logger
+
+	handler atomic.Pointer[http.Handler]
+
+	mu       sync.Mutex
+	promoted *Server
+	st       fleet.Store // the promoted server's store; Standby closes it
+	closed   bool
+}
+
+// NewStandby validates the wiring and mounts the standby mux. The
+// follower must already be Started by the caller.
+func NewStandby(cfg StandbyConfig) (*Standby, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("serve: standby: NodeID is required")
+	}
+	if cfg.AdvertiseAddr == "" {
+		return nil, fmt.Errorf("serve: standby: AdvertiseAddr is required")
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: standby: DataDir is required")
+	}
+	if cfg.Follower == nil {
+		return nil, fmt.Errorf("serve: standby: Follower is required")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("serve: standby: NodeID %q missing from Peers", cfg.NodeID)
+	}
+	logger := cfg.Base.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	sb := &Standby{
+		cfg: cfg,
+		log: logger.With("component", "standby", "node", cfg.NodeID),
+	}
+	var h http.Handler = sb.standbyMux()
+	sb.handler.Store(&h)
+	return sb, nil
+}
+
+// ServeHTTP dispatches through the atomically-swapped handler, so a
+// promotion retargets every subsequent request without dropping the
+// listener.
+func (sb *Standby) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*sb.handler.Load()).ServeHTTP(w, r)
+}
+
+// StandbyPromoteResponse is the POST /v1/cluster/promote body: the
+// promoted node's identity and how much replicated history it replayed.
+type StandbyPromoteResponse struct {
+	NodeID   string `json:"node_id"`
+	Role     string `json:"role"`
+	Addr     string `json:"addr"`
+	Replayed int    `json:"replayed_records"`
+	Chips    int    `json:"chips"`
+	LastSeq  uint64 `json:"last_seq"`
+}
+
+func (sb *Standby) standbyMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		standbyJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "standby"})
+	})
+	// A standby is alive but never write-ready: load balancers must not
+	// route traffic here until promotion swaps the real server in.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		standbyJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+			Status: "standby", WriteReady: false, Reason: "standby: promote to serve",
+		})
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		standbyJSON(w, http.StatusOK, sb.clusterView())
+	})
+	mux.HandleFunc("POST /v1/cluster/promote", func(w http.ResponseWriter, r *http.Request) {
+		srv, err := sb.Promote()
+		if err != nil {
+			standbyJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+			return
+		}
+		standbyJSON(w, http.StatusOK, StandbyPromoteResponse{
+			NodeID:   sb.cfg.NodeID,
+			Role:     "primary",
+			Addr:     sb.cfg.AdvertiseAddr,
+			Replayed: srv.Fleet().ReplayedRecords(),
+			Chips:    srv.Fleet().Len(),
+			LastSeq:  sb.lastSeq(),
+		})
+	})
+	return mux
+}
+
+// clusterView is the standby's GET /v1/cluster body: the configured
+// ring (static — a standby does not take repoints) plus the follower's
+// replication position.
+func (sb *Standby) clusterView() ClusterResponse {
+	peers := make([]ClusterPeer, 0, len(sb.cfg.Peers))
+	for id, addr := range sb.cfg.Peers {
+		peers = append(peers, ClusterPeer{ID: id, Addr: addr, Self: id == sb.cfg.NodeID})
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return ClusterResponse{
+		NodeID: sb.cfg.NodeID,
+		Role:   "standby",
+		VNodes: sb.cfg.VNodes,
+		Peers:  peers,
+		Repl:   sb.cfg.Follower.ReplStats(),
+	}
+}
+
+func (sb *Standby) lastSeq() uint64 {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.promoted != nil {
+		if st, ok := sb.promoted.Fleet().StoreStats(); ok {
+			return st.LastSeq
+		}
+	}
+	return 0
+}
+
+// Promote turns the standby into the serving node: stop tailing, close
+// the follower's journal, replay it with store.Open (exactly the
+// records the primary committed — same sequence numbers), and build
+// the full Server with this node advertised at its own address.
+// Idempotence: a second call answers with an error; the first
+// promotion's server keeps serving.
+func (sb *Standby) Promote() (*Server, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.closed {
+		return nil, fmt.Errorf("serve: standby is closed")
+	}
+	if sb.promoted != nil {
+		return nil, fmt.Errorf("serve: node %s is already promoted", sb.cfg.NodeID)
+	}
+	stats := sb.cfg.Follower.ReplStats()
+	if err := sb.cfg.Follower.Close(); err != nil {
+		return nil, fmt.Errorf("serve: standby: close follower: %w", err)
+	}
+	st, repairs, err := store.Open[*fleet.ChipEntry](sb.cfg.DataDir, store.JournalOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: standby: reopen replicated journal: %w", err)
+	}
+	for _, rep := range repairs {
+		sb.log.Warn("replicated journal salvaged", "file", rep.File, "reason", rep.Reason)
+	}
+	peers := make(map[string]string, len(sb.cfg.Peers))
+	for id, addr := range sb.cfg.Peers {
+		peers[id] = addr
+	}
+	peers[sb.cfg.NodeID] = sb.cfg.AdvertiseAddr
+
+	cfg := sb.cfg.Base
+	cfg.Store = st
+	cfg.Cluster = &ClusterConfig{
+		NodeID: sb.cfg.NodeID,
+		Peers:  peers,
+		VNodes: sb.cfg.VNodes,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("serve: standby: build promoted server: %w", err)
+	}
+	sb.promoted = srv
+	sb.st = st
+	var h http.Handler = srv.Handler()
+	sb.handler.Store(&h)
+	sb.log.Info("standby promoted",
+		"node", sb.cfg.NodeID,
+		"addr", sb.cfg.AdvertiseAddr,
+		"replayed_records", srv.Fleet().ReplayedRecords(),
+		"chips", srv.Fleet().Len(),
+		"follower_seq", stats.LastSeq)
+	return srv, nil
+}
+
+// Promoted returns the promoted server, or nil before promotion.
+func (sb *Standby) Promoted() *Server {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.promoted
+}
+
+// Close releases whichever half is live: the follower (pre-promotion)
+// or the promoted server and its store.
+func (sb *Standby) Close() error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.closed {
+		return nil
+	}
+	sb.closed = true
+	if sb.promoted != nil {
+		sb.promoted.Close()
+		return sb.st.Close()
+	}
+	return sb.cfg.Follower.Close()
+}
+
+// standbyJSON is writeJSON without a *Server: the standby's responses
+// are tiny fixed shapes whose encoding cannot fail.
+func standbyJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	WriteJSON(w, v)
+}
