@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke guard-smoke cluster-smoke serve
+.PHONY: check fmt vet build test race bench bench-engine obs-smoke engine-smoke guard-smoke cluster-smoke telemetry-smoke serve
 
 ## check: everything CI needs — gofmt, vet, build, tests with the race detector
 check: fmt vet build race
@@ -64,6 +64,16 @@ guard-smoke:
 ## the server with the race detector (and defaults to 5k chips)
 cluster-smoke:
 	$(GO) run ./scripts/cluster-smoke
+
+## telemetry-smoke: boot a three-primary engine-ticking fleet plus standby,
+## drive a mutation through a 307 wrong_node forward under a hand-minted
+## Traceparent, and check the trace id stitches across both nodes'
+## /debug/traces, /v1/fleet/telemetry reports every live peer fresh with
+## the margin-recovery SLO green, /metrics?federate=1 labels every node,
+## and a kill -9'd node shows up stale instead of failing the fleet view.
+## TELEMETRY_SMOKE_RACE=1 builds the server with the race detector
+telemetry-smoke:
+	$(GO) run ./scripts/telemetry-smoke
 
 ## serve: run the fleet aging service locally
 serve:

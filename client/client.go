@@ -24,6 +24,12 @@
 // follows the forward transparently), and one dead node must not open
 // the breaker for its healthy peers.
 //
+// Every request carries a Traceparent header and a stable
+// X-Request-ID: both are minted once per logical call (the trace id is
+// adopted from the caller's context when one is already there), so
+// retries, cross-node forward hops, and breaker probes all stitch into
+// a single distributed trace across every node's /debug/traces ring.
+//
 // For chip-id-aware routing over a whole fleet — hitting each chip's
 // owner directly instead of bouncing through forwards — see Cluster.
 package client
@@ -44,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selfheal/internal/obs"
 	"selfheal/internal/serve"
 )
 
@@ -372,6 +379,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		}
 	}
 	c.requests.Add(1)
+	// One trace context and one request id per logical call, stable
+	// across retries and forward hops: every attempt of this call — and
+	// the forwarder-to-owner hop it may trigger server-side — shows up
+	// under a single trace id in every node's /debug/traces, and the
+	// server's request-id log field stays constant while the client
+	// retries. A caller that already carries a trace (a Cluster fan-out,
+	// or code running inside a server span) wins; otherwise mint here.
+	tp := obs.TraceContextValue(ctx)
+	if tp == "" {
+		tp = obs.FormatTraceContext(obs.NewTraceID(), "")
+	}
+	rid := obs.NewTraceID()
 	// target is sticky across retries: once a forward reveals the
 	// owner, retries go straight there instead of re-bouncing.
 	target := c.base + path
@@ -388,7 +407,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		if attempt > 1 {
 			c.retries.Add(1)
 		}
-		lastErr = c.exchange(ctx, method, &target, body, out, brk)
+		lastErr = c.exchange(ctx, method, &target, body, out, brk, tp, rid)
 		if lastErr == nil {
 			return nil
 		}
@@ -466,8 +485,9 @@ func (c *Client) honorRetryAfter(apiErr *APIError, delay time.Duration) (time.Du
 // (up to maxForwardHops), each hop gated on and recorded against the
 // breaker of the host it actually hits. target is updated in place so
 // the caller's retries go straight to wherever the resource lives.
-// brk is the already-admitted breaker for the first hop.
-func (c *Client) exchange(ctx context.Context, method string, target *string, body []byte, out any, brk *breaker) error {
+// brk is the already-admitted breaker for the first hop. tp and rid
+// are the call's trace context and request id, identical on every hop.
+func (c *Client) exchange(ctx context.Context, method string, target *string, body []byte, out any, brk *breaker, tp, rid string) error {
 	for hop := 0; ; hop++ {
 		if hop > 0 {
 			brk = c.breakerFor(urlHost(*target))
@@ -475,7 +495,7 @@ func (c *Client) exchange(ctx context.Context, method string, target *string, bo
 				return err
 			}
 		}
-		err := c.once(ctx, method, *target, body, out)
+		err := c.once(ctx, method, *target, body, out, tp, rid)
 		rd, ok := err.(*redirectError)
 		if !ok {
 			brk.record(err)
@@ -493,7 +513,7 @@ func (c *Client) exchange(ctx context.Context, method string, target *string, bo
 }
 
 // once issues a single HTTP exchange against an absolute URL.
-func (c *Client) once(ctx context.Context, method, target string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, target string, body []byte, out any, tp, rid string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -504,6 +524,12 @@ func (c *Client) once(ctx context.Context, method, target string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp != "" {
+		req.Header.Set(obs.TraceContextHeader, tp)
+	}
+	if rid != "" {
+		req.Header.Set("X-Request-ID", rid)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

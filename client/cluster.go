@@ -9,7 +9,21 @@ import (
 	"sync/atomic"
 
 	"selfheal/internal/cluster"
+	"selfheal/internal/obs"
 )
+
+// ensureTrace pins one trace id on ctx when the caller brought none,
+// so a fan-out (batch partitions, fleet-wide reads) or an owner-
+// fallback walk issues every per-node request under the same id and
+// the whole operation stitches into one distributed trace. A caller
+// that already carries a trace — its own span, or an id adopted from
+// an inbound Traceparent — keeps it.
+func ensureTrace(ctx context.Context) context.Context {
+	if obs.TraceContextValue(ctx) != "" {
+		return ctx
+	}
+	return obs.ContextWithRemoteTrace(ctx, obs.NewTraceID())
+}
 
 // Cluster routes calls across a multi-node fleet by consistent-hash
 // chip placement: each chip-scoped call goes straight to the chip's
@@ -151,6 +165,7 @@ func (cl *Cluster) forChip(ctx context.Context, chipID string, idempotent bool, 
 
 // CreateChip fabricates a chip on its owner node.
 func (cl *Cluster) CreateChip(ctx context.Context, req CreateChipRequest) (ChipResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out ChipResponse
 	err := cl.forChip(ctx, req.ID, false, func(c *Client) error {
 		var e error
@@ -162,6 +177,7 @@ func (cl *Cluster) CreateChip(ctx context.Context, req CreateChipRequest) (ChipR
 
 // DeleteChip retires a chip via its owner node.
 func (cl *Cluster) DeleteChip(ctx context.Context, id string) (DeleteChipResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out DeleteChipResponse
 	err := cl.forChip(ctx, id, true, func(c *Client) error {
 		var e error
@@ -173,6 +189,7 @@ func (cl *Cluster) DeleteChip(ctx context.Context, id string) (DeleteChipRespons
 
 // Stress ages a chip via its owner node.
 func (cl *Cluster) Stress(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out PhaseResponse
 	err := cl.forChip(ctx, id, false, func(c *Client) error {
 		var e error
@@ -184,6 +201,7 @@ func (cl *Cluster) Stress(ctx context.Context, id string, req PhaseRequest) (Pha
 
 // Rejuvenate heals a chip via its owner node.
 func (cl *Cluster) Rejuvenate(ctx context.Context, id string, req PhaseRequest) (PhaseResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out PhaseResponse
 	err := cl.forChip(ctx, id, false, func(c *Client) error {
 		var e error
@@ -195,6 +213,7 @@ func (cl *Cluster) Rejuvenate(ctx context.Context, id string, req PhaseRequest) 
 
 // Measure reads a bench chip's sensor via its owner node.
 func (cl *Cluster) Measure(ctx context.Context, id string) (ReadingResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out ReadingResponse
 	err := cl.forChip(ctx, id, true, func(c *Client) error {
 		var e error
@@ -206,6 +225,7 @@ func (cl *Cluster) Measure(ctx context.Context, id string) (ReadingResponse, err
 
 // Odometer reads a monitored chip's sensor via its owner node.
 func (cl *Cluster) Odometer(ctx context.Context, id string) (OdometerResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out OdometerResponse
 	err := cl.forChip(ctx, id, true, func(c *Client) error {
 		var e error
@@ -219,6 +239,7 @@ func (cl *Cluster) Odometer(ctx context.Context, id string) (OdometerResponse, e
 // Chips double-reported during a rebalance are deduplicated. Nodes
 // that fail are skipped; the call errors only when every node does.
 func (cl *Cluster) ListChips(ctx context.Context) ([]ChipResponse, error) {
+	ctx = ensureTrace(ctx)
 	cl.mu.RLock()
 	clients := make([]*Client, 0, len(cl.peers))
 	for _, c := range cl.peers {
@@ -267,6 +288,7 @@ func (cl *Cluster) ListChips(ctx context.Context) ([]ChipResponse, error) {
 // input order. A node-level failure is reported per item (Error set)
 // so one dead node fails only its own shard's items.
 func (cl *Cluster) BatchCreateChips(ctx context.Context, chips []CreateChipRequest) (BatchCreateResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out BatchCreateResponse
 	out.Results = make([]BatchCreateResult, len(chips))
 	type part struct {
@@ -331,6 +353,7 @@ func (cl *Cluster) BatchCreateChips(ctx context.Context, chips []CreateChipReque
 // owner and re-merges the results in input order, like
 // BatchCreateChips.
 func (cl *Cluster) BatchOps(ctx context.Context, ops []BatchOpSpec) (BatchOpsResponse, error) {
+	ctx = ensureTrace(ctx)
 	var out BatchOpsResponse
 	out.Results = make([]BatchOpResult, len(ops))
 	type part struct {
@@ -394,6 +417,7 @@ func (cl *Cluster) BatchOps(ctx context.Context, ops []BatchOpSpec) (BatchOpsRes
 // Health checks liveness of every node; the error joins each failing
 // node's report.
 func (cl *Cluster) Health(ctx context.Context) error {
+	ctx = ensureTrace(ctx)
 	cl.mu.RLock()
 	clients := make(map[string]*Client, len(cl.peers))
 	for id, c := range cl.peers {

@@ -1,0 +1,225 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"selfheal/internal/cluster"
+	"selfheal/internal/obs"
+	"selfheal/internal/serve"
+)
+
+// swapTraceHandler lets a httptest server exist before the serve.Server
+// it will host: cluster config needs every peer's URL up front.
+type swapTraceHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (sw *swapTraceHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := sw.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not wired", http.StatusServiceUnavailable)
+}
+
+// startTracePair boots two real cluster-mode serve nodes "a" and "b"
+// that know each other's URLs, for end-to-end trace propagation tests.
+func startTracePair(t *testing.T) (urls map[string]string) {
+	t.Helper()
+	swaps := map[string]*swapTraceHandler{"a": {}, "b": {}}
+	urls = make(map[string]string, 2)
+	for _, id := range []string{"a", "b"} {
+		ts := httptest.NewServer(swaps[id])
+		t.Cleanup(ts.Close)
+		urls[id] = ts.URL
+	}
+	for _, id := range []string{"a", "b"} {
+		s, err := serve.New(serve.Config{
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+			Cluster: &serve.ClusterConfig{NodeID: id, Peers: urls},
+		})
+		if err != nil {
+			t.Fatalf("serve.New(%s): %v", id, err)
+		}
+		t.Cleanup(s.Close)
+		var h http.Handler = s.Handler()
+		swaps[id].h.Store(&h)
+	}
+	return urls
+}
+
+// chipOwnedByNode finds a chip id the shared ring places on the wanted
+// node of the a/b pair.
+func chipOwnedByNode(t *testing.T, nodeID string) string {
+	t.Helper()
+	ring, err := cluster.New([]cluster.Node{{ID: "a", Addr: "x"}, {ID: "b", Addr: "y"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("chip-%d", i)
+		if ring.Owner(id).ID == nodeID {
+			return id
+		}
+	}
+	t.Fatalf("no chip id hashed to node %s in 1000 tries", nodeID)
+	return ""
+}
+
+// tracesOn fetches a node's /debug/traces ring.
+func tracesOn(t *testing.T, baseURL string) []obs.TraceView {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces?limit=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Traces
+}
+
+// findTrace returns the node's retained traces with the given id.
+func findTrace(views []obs.TraceView, traceID string) []obs.TraceView {
+	var hits []obs.TraceView
+	for _, v := range views {
+		if v.TraceID == traceID {
+			hits = append(hits, v)
+		}
+	}
+	return hits
+}
+
+// TestForwardStitchesOneTrace is the tentpole's end-to-end check: a
+// mutation sent to the NON-owner node 307-forwards to the owner, and
+// both nodes' /debug/traces retain a trace under the SAME id — the
+// forwarder's with the 307, the owner's with the 201 — distinguished
+// by node_id. Before trace propagation each node minted its own id
+// and the two halves of one request could not be stitched.
+func TestForwardStitchesOneTrace(t *testing.T) {
+	urls := startTracePair(t)
+	aChip := chipOwnedByNode(t, "a")
+
+	// Talk to b about a chip that lives on a: guaranteed forward.
+	cl := New(urls["b"])
+	out, err := cl.CreateChip(context.Background(), CreateChipRequest{ID: aChip, Seed: 1})
+	if err != nil {
+		t.Fatalf("CreateChip via non-owner: %v", err)
+	}
+	if out.ID != aChip {
+		t.Fatalf("created %q, want %q", out.ID, aChip)
+	}
+	if st := cl.Stats(); st.Forwards != 1 {
+		t.Fatalf("Forwards = %d, want 1", st.Forwards)
+	}
+
+	// Both nodes must hold the create under one trace id. The client
+	// minted the id, so find it by route on the forwarder and assert
+	// the owner retained the same id.
+	var traceID string
+	for _, v := range tracesOn(t, urls["b"]) {
+		if v.Route == "POST /v1/chips" && v.Status == http.StatusTemporaryRedirect {
+			traceID = v.TraceID
+			break
+		}
+	}
+	if !obs.ValidTraceID(traceID) {
+		t.Fatalf("forwarder (b) retained no valid trace for the 307, got id %q", traceID)
+	}
+	onA := findTrace(tracesOn(t, urls["a"]), traceID)
+	if len(onA) != 1 {
+		t.Fatalf("owner (a) has %d traces with id %s, want 1", len(onA), traceID)
+	}
+	if onA[0].Status != http.StatusCreated {
+		t.Fatalf("owner's half has status %d, want 201", onA[0].Status)
+	}
+	if onA[0].NodeID != "a" {
+		t.Fatalf("owner's trace node_id = %q, want %q", onA[0].NodeID, "a")
+	}
+	onB := findTrace(tracesOn(t, urls["b"]), traceID)
+	if len(onB) != 1 || onB[0].NodeID != "b" {
+		t.Fatalf("forwarder's trace = %+v, want one trace with node_id b", onB)
+	}
+}
+
+// TestClusterFanoutSharesOneTrace: a NewCluster batch create spanning
+// both owners is issued as one logical operation — every partition
+// carries the same trace id, so each node's ring holds a batch trace
+// under a single shared id.
+func TestClusterFanoutSharesOneTrace(t *testing.T) {
+	urls := startTracePair(t)
+	cl, err := NewCluster(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips := []CreateChipRequest{
+		{ID: chipOwnedByNode(t, "a"), Seed: 1},
+		{ID: chipOwnedByNode(t, "b"), Seed: 2},
+	}
+	resp, err := cl.BatchCreateChips(context.Background(), chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Created != 2 {
+		t.Fatalf("created %d chips, want 2 (results %+v)", resp.Created, resp.Results)
+	}
+
+	batchID := func(views []obs.TraceView) string {
+		for _, v := range views {
+			if v.Route == "POST /v1/chips:batch" {
+				return v.TraceID
+			}
+		}
+		return ""
+	}
+	idA, idB := batchID(tracesOn(t, urls["a"])), batchID(tracesOn(t, urls["b"]))
+	if !obs.ValidTraceID(idA) {
+		t.Fatalf("node a retained no batch trace (id %q)", idA)
+	}
+	if idA != idB {
+		t.Fatalf("fan-out split into two trace ids: a=%s b=%s, want one", idA, idB)
+	}
+}
+
+// TestRetriesKeepStableIDs pins satellite (a): every attempt of one
+// logical call — including retries after a 429 — carries the same
+// Traceparent and the same X-Request-ID.
+func TestRetriesKeepStableIDs(t *testing.T) {
+	var tps, rids []string
+	var n atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tps = append(tps, r.Header.Get(obs.TraceContextHeader))
+		rids = append(rids, r.Header.Get("X-Request-ID"))
+		if n.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"chips":[]}`))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithBackoff(1, 2))
+	if _, err := cl.ListChips(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tps) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(tps))
+	}
+	if tps[0] == "" || tps[0] != tps[1] {
+		t.Fatalf("Traceparent changed across retries: %q then %q", tps[0], tps[1])
+	}
+	if id, ok := obs.ParseTraceContext(tps[0]); !ok || !obs.ValidTraceID(id) {
+		t.Fatalf("Traceparent %q does not parse to a valid trace id", tps[0])
+	}
+	if rids[0] == "" || rids[0] != rids[1] {
+		t.Fatalf("X-Request-ID changed across retries: %q then %q", rids[0], rids[1])
+	}
+}

@@ -11,7 +11,8 @@
 //	               [-data DIR] [-repair] [-max-inflight 1024]
 //	               [-op-timeout 30s] [-predict-timeout 2m]
 //	               [-batch-workers N] [-faults spec]
-//	               [-trace-buffer 256] [-debug-addr addr]
+//	               [-trace-buffer 256] [-telemetry-epochs 512]
+//	               [-debug-addr addr]
 //	               [-engine] [-epoch 1s] [-epoch-hours 0.5]
 //	               [-engine-workers N] [-metrics-chips 50]
 //	               [-guard] [-guard-spec spec] [-adversary spec]
@@ -46,6 +47,16 @@
 //	POST   /v1/predict/shift           closed-form ΔVth / recovered fraction
 //	POST   /v1/predict/schedules       policy comparison over a horizon
 //	POST   /v1/predict/multicore       8-core scheduling exploration
+//	GET    /v1/telemetry               this node's per-epoch aging time-series
+//	                                   (margin percentiles, aging rates, epoch
+//	                                   lag, quarantine counts, repl lag,
+//	                                   mutation throughput) plus SLO statuses
+//	                                   and alerts; filter with ?series= &since=
+//	                                   &step= &limit=
+//	GET    /v1/fleet/telemetry         the same, federated: every ring peer
+//	                                   scraped concurrently, per-node sections
+//	                                   with staleness marked (a dead node is a
+//	                                   hole in the view, not an error)
 //	GET    /v1/cluster                 ring membership, placement counters,
 //	                                   replication role and lag
 //	POST   /v1/cluster/peers           repoint a node id after a failover
@@ -58,7 +69,9 @@
 //	GET    /metrics                    counters, latency histograms, cache, per-chip
 //	                                   usage and aging read-outs, journal
 //	                                   fsync/batching, degraded mode, faults;
-//	                                   ?format=prometheus for text exposition
+//	                                   ?format=prometheus for text exposition,
+//	                                   ?federate=1 for a fleet-wide exposition
+//	                                   with node labels
 //	GET    /debug/traces               last completed /v1 request traces, one
 //	                                   span per layer crossed; filter with
 //	                                   ?route= &min_ms= &errors=only &limit=
@@ -70,6 +83,26 @@
 // traces are retained in a ring served at /debug/traces. Logs carry
 // the same trace_id, so a log line joins to its trace; -log-format
 // json emits machine-parseable records.
+//
+// Traces propagate across the fleet: an inbound Traceparent header's
+// trace id is adopted (and echoed back as X-Trace-ID), the client
+// package injects it on every request including retries and batch
+// fan-out, 307 wrong_node forwards replay it at the owner, and
+// replication frames tag streamed commit batches with the originating
+// id — so one logical mutation shows up under a single trace id in
+// every involved node's /debug/traces, each half labelled with its
+// node_id. X-Request-ID is honored the same way and stays stable
+// across a client's retries.
+//
+// The engine additionally feeds a fixed-memory time-series database:
+// every epoch records fleet margin percentiles, per-chip aging-rate
+// distribution, epoch lag, guard quarantine counters, replication lag
+// and mutation throughput into per-series rings holding the last
+// -telemetry-epochs epochs, served by GET /v1/telemetry. A rolling
+// burn-rate monitor evaluates three standing SLOs over those series —
+// mutation availability, epoch-lag budget, and the paper's ≥90%
+// margin-recovery headline — and pushes typed breach/recovery alerts
+// into a fixed ring exposed with the statuses.
 //
 // -engine starts the discrete-event fleet aging engine: every fleet
 // chip (and any chip bulk-registered through /v1/engine) advances one
@@ -285,6 +318,7 @@ func main() {
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool size for the :batch routes (0: GOMAXPROCS)")
 	faultSpec := flag.String("faults", "", "chaos injection spec: seed=N,latency_p=F,latency=D,error_p=F,panic_p=F,partial_p=F,disk=MODE[:N]")
 	traceBuffer := flag.Int("trace-buffer", 256, "completed request traces retained for /debug/traces")
+	telemetryEpochs := flag.Int("telemetry-epochs", 512, "epochs of per-series aging telemetry retained for /v1/telemetry")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof/ and /debug/traces (empty: disabled; bind to localhost)")
 	engineOn := flag.Bool("engine", false, "run the fleet aging engine (epoch-batched whole-fleet simulation)")
 	epoch := flag.Duration("epoch", time.Second, "wall-clock interval between engine epochs (negative: manual ticks only)")
@@ -373,6 +407,7 @@ func main() {
 		PredictTimeout:   *predictTimeout,
 		BatchWorkers:     *batchWorkers,
 		TraceBuffer:      *traceBuffer,
+		TelemetryEpochs:  *telemetryEpochs,
 		EngineEnabled:    *engineOn,
 		EngineEpoch:      *epoch,
 		EngineEpochHours: *epochHours,

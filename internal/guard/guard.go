@@ -65,6 +65,7 @@ type Guard struct {
 	remapsTotal uint64
 	rejuvTotal  uint64
 	releases    uint64
+	recovered90 uint64 // releases that met the paper's ≥90% recovery bar
 	quarCount   int
 }
 
@@ -443,6 +444,12 @@ func (g *Guard) tendQuarantined(ctx context.Context, epoch uint64, id string, st
 	st.streak = 0
 	g.quarCount--
 	g.releases++
+	// The paper's headline — ≥90% of the stress-induced margin loss
+	// recovered — tracked per release so the SLO monitor can hold the
+	// fleet to it regardless of the configured RecoverFrac.
+	if recovered >= 0.9*excess {
+		g.recovered90++
+	}
 	g.alert(ctx, Alert{Epoch: epoch, Kind: AlertReleased, Chip: id,
 		Detail: fmt.Sprintf("recovered %.0f%% of %.3g V excess in %d rejuvenation epochs",
 			100*recovered/excess, excess, st.rejuvEpochs)})
@@ -501,6 +508,10 @@ type Metrics struct {
 	RemapsTotal             uint64 `json:"remaps_total"`
 	RejuvenationEpochsTotal uint64 `json:"rejuvenation_epochs_total"`
 	ReleasesTotal           uint64 `json:"releases_total"`
+	// Recovered90Total counts releases that recovered ≥90% of the
+	// attack's margin excess — the paper's recovery headline, consumed
+	// by the serve layer's margin-recovery SLO.
+	Recovered90Total uint64 `json:"recovered90_total"`
 	// SpareFreeCells is -1 when no spare fabric is wired.
 	SpareFreeCells int `json:"spare_free_cells"`
 }
@@ -518,6 +529,7 @@ func (g *Guard) MetricsSnapshot() Metrics {
 		RemapsTotal:             g.remapsTotal,
 		RejuvenationEpochsTotal: g.rejuvTotal,
 		ReleasesTotal:           g.releases,
+		Recovered90Total:        g.recovered90,
 		SpareFreeCells:          -1,
 	}
 	if g.d.Spare != nil {

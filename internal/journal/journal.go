@@ -147,6 +147,14 @@ type Record struct {
 	SleepEpochs  uint64  `json:"sleep_epochs,omitempty"`
 	SleepTempC   float64 `json:"sleep_temp_c,omitempty"`
 	SleepVdd     float64 `json:"sleep_vdd,omitempty"`
+
+	// Trace is the id of the distributed trace that caused this record
+	// (set by Append from the request context). Purely observability:
+	// replay ignores it, but the replication stream and a follower's
+	// journal both preserve it, so a mutation can be traced from client
+	// through forward, owner and replica. Old logs without the field
+	// decode with Trace == "".
+	Trace string `json:"trace,omitempty"`
 }
 
 // Hook intercepts the encoded bytes of a record on their way to the
@@ -606,6 +614,9 @@ func (j *Journal) Records() []Record {
 // serialized line write) and a journal.commit span showing whether
 // this appender led the group commit or rode another leader's fsync.
 func (j *Journal) Append(ctx context.Context, rec Record) error {
+	if rec.Trace == "" {
+		rec.Trace = obs.TraceIDFrom(ctx)
+	}
 	_, sp := obs.StartSpan(ctx, "journal.stage",
 		obs.String("op", string(rec.Op)), obs.String("chip_id", rec.ID))
 	p, err := j.stage(rec)

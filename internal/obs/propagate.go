@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"strings"
+)
+
+// Trace-context propagation. One logical request crosses a client
+// router, possibly a 307 wrong_node forward, the owning node, and (for
+// durable mutations) the replication stream — each hop runs its own
+// Tracer with its own ring. Stitching those local traces into one
+// cross-node timeline only needs the trace *id* to survive the hops,
+// so the wire format is a minimal traceparent-style header:
+//
+//	Traceparent: 00-<trace-id>-<parent-span-id>-01
+//
+// The trace id is 16 lowercase hex digits (newTraceID); the parent
+// span id is this package's short span id ("s3") or "0" when the
+// sender has no active span (a client originating the request). Only
+// the trace id is adopted on the receiving side — span parentage stays
+// node-local, which keeps every Tracer's ring self-contained while
+// /debug/traces output from any set of nodes merges by trace_id.
+
+// TraceContextHeader is the HTTP header carrying trace context between
+// client, forwarding node and owner node.
+const TraceContextHeader = "Traceparent"
+
+const traceContextVersion = "00"
+
+// NewTraceID mints a fresh trace id for a caller that originates a
+// trace outside any Tracer — the cluster client does this once per
+// logical request so every retry, redirect hop and batch partition
+// shares one id.
+func NewTraceID() string { return newTraceID() }
+
+// ValidTraceID reports whether id is usable as a trace id on the wire:
+// 8–64 lowercase hex digits, not all zeros.
+func ValidTraceID(id string) bool {
+	if len(id) < 8 || len(id) > 64 {
+		return false
+	}
+	zeros := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zeros = false
+		}
+	}
+	return !zeros
+}
+
+// FormatTraceContext renders the Traceparent header value for traceID.
+// parentSpan is the sender's active span id, or "" when there is none.
+// An invalid traceID yields "" (send nothing).
+func FormatTraceContext(traceID, parentSpan string) string {
+	if !ValidTraceID(traceID) {
+		return ""
+	}
+	if parentSpan == "" {
+		parentSpan = "0"
+	}
+	return traceContextVersion + "-" + traceID + "-" + parentSpan + "-01"
+}
+
+// ParseTraceContext extracts the trace id from a Traceparent header
+// value. Unknown versions and malformed values are rejected — the
+// receiver then mints its own id, so a garbage header can never poison
+// the ring.
+func ParseTraceContext(v string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != traceContextVersion {
+		return "", false
+	}
+	if !ValidTraceID(parts[1]) {
+		return "", false
+	}
+	return parts[1], true
+}
+
+// remoteTraceKey carries a trace id through a context that has no
+// local span — the client side of propagation.
+type remoteTraceKey struct{}
+
+// ContextWithRemoteTrace returns a context carrying traceID for
+// TraceIDFrom and TraceContextValue. The cluster client seeds one per
+// logical fan-out call so every partition's sub-request shares the id.
+// An invalid id returns ctx unchanged.
+func ContextWithRemoteTrace(ctx context.Context, traceID string) context.Context {
+	if !ValidTraceID(traceID) {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteTraceKey{}, traceID)
+}
+
+// TraceContextValue renders the Traceparent header value for the
+// context's trace — the active span's trace id and span id when one is
+// attached (a server making an outbound call, e.g. a federation
+// scrape), else a remote id carried by ContextWithRemoteTrace — or ""
+// when the context carries no trace at all.
+func TraceContextValue(ctx context.Context) string {
+	if s, _ := ctx.Value(spanKey{}).(*Span); s != nil {
+		return FormatTraceContext(s.trace.id, s.id)
+	}
+	if id, _ := ctx.Value(remoteTraceKey{}).(string); id != "" {
+		return FormatTraceContext(id, "")
+	}
+	return ""
+}

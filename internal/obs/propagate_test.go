@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if !ValidTraceID(id) {
+		t.Fatalf("NewTraceID produced invalid id %q", id)
+	}
+	hv := FormatTraceContext(id, "s3")
+	if hv != "00-"+id+"-s3-01" {
+		t.Fatalf("header value = %q", hv)
+	}
+	got, ok := ParseTraceContext(hv)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceContext(%q) = %q, %v", hv, got, ok)
+	}
+	// No active span: parent slot is "0".
+	if hv := FormatTraceContext(id, ""); hv != "00-"+id+"-0-01" {
+		t.Fatalf("no-parent header = %q", hv)
+	}
+}
+
+func TestParseTraceContextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"banana",
+		"00-xyz!-0-01",             // non-hex id
+		"00-abc-0-01",              // too short
+		"00-0000000000000000-0-01", // all zeros
+		"ff-deadbeefdeadbeef-0-01", // unknown version
+		"00-deadbeefdeadbeef-0",    // missing flags
+		"00-" + strings.Repeat("a", 65) + "-0-01", // oversized
+	}
+	for _, v := range bad {
+		if id, ok := ParseTraceContext(v); ok {
+			t.Fatalf("ParseTraceContext(%q) accepted %q", v, id)
+		}
+	}
+}
+
+func TestStartRemoteAdoptsID(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetNode("n1")
+	id := "deadbeef01234567"
+	ctx, root := tr.StartRemote(context.Background(), "GET /x", id)
+	if got := TraceIDFrom(ctx); got != id {
+		t.Fatalf("TraceIDFrom = %q, want %q", got, id)
+	}
+	// Outbound header from inside the handler carries id + span id.
+	if hv := TraceContextValue(ctx); hv != "00-"+id+"-s1-01" {
+		t.Fatalf("TraceContextValue = %q", hv)
+	}
+	root.End()
+	views := tr.Snapshot(Filter{})
+	if len(views) != 1 || views[0].TraceID != id {
+		t.Fatalf("snapshot = %+v, want adopted id %q", views, id)
+	}
+	if views[0].NodeID != "n1" || views[0].Spans[0].NodeID != "n1" {
+		t.Fatalf("node id missing from views: %+v", views[0])
+	}
+}
+
+func TestStartRemoteFallsBackOnBadID(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartRemote(context.Background(), "GET /x", "not-hex!!")
+	defer root.End()
+	id := TraceIDFrom(ctx)
+	if !ValidTraceID(id) || id == "not-hex!!" {
+		t.Fatalf("bad remote id not replaced: %q", id)
+	}
+}
+
+func TestContextWithRemoteTrace(t *testing.T) {
+	id := NewTraceID()
+	ctx := ContextWithRemoteTrace(context.Background(), id)
+	if got := TraceIDFrom(ctx); got != id {
+		t.Fatalf("TraceIDFrom(remote) = %q, want %q", got, id)
+	}
+	if hv := TraceContextValue(ctx); hv != FormatTraceContext(id, "") {
+		t.Fatalf("TraceContextValue(remote) = %q", hv)
+	}
+	// Invalid ids are refused, leaving the context untouched.
+	if ctx2 := ContextWithRemoteTrace(context.Background(), "zz"); TraceIDFrom(ctx2) != "" {
+		t.Fatal("invalid remote id leaked into context")
+	}
+	// An active span wins over the carried remote id.
+	tr := NewTracer(8)
+	ctx3, sp := tr.Start(ctx, "GET /y")
+	defer sp.End()
+	if got := TraceIDFrom(ctx3); got == id {
+		t.Fatal("span trace id should shadow the remote carrier")
+	}
+}

@@ -72,6 +72,7 @@ type Tracer struct {
 	shards   [ringShards]ringShard
 	perShard int
 	seq      atomic.Uint64 // completed traces ever, also the shard picker
+	node     atomic.Value  // node id string; stamped onto every view
 }
 
 const ringShards = 8
@@ -104,6 +105,18 @@ func (t *Tracer) Capacity() int { return t.perShard * ringShards }
 // (retained or since evicted).
 func (t *Tracer) Total() uint64 { return t.seq.Load() }
 
+// SetNode labels every trace and span view this tracer emits with the
+// fleet node id, so /debug/traces output from different nodes stitches
+// into one cross-node timeline. Safe to call at any time; typically set
+// once at server construction.
+func (t *Tracer) SetNode(id string) { t.node.Store(id) }
+
+// Node returns the node id set with SetNode, or "".
+func (t *Tracer) Node() string {
+	id, _ := t.node.Load().(string)
+	return id
+}
+
 // newTraceID mints a 16-hex-digit trace id.
 func newTraceID() string {
 	var b [8]byte
@@ -119,9 +132,21 @@ func newTraceID() string {
 // the trace for filtering (use the route *pattern*, not the raw path,
 // so cardinality stays bounded).
 func (t *Tracer) Start(ctx context.Context, route string) (context.Context, *Span) {
+	return t.StartRemote(ctx, route, "")
+}
+
+// StartRemote begins a trace that adopts traceID — the id a remote hop
+// (client or forwarding node) propagated in a trace-context header — so
+// every node touched by one logical request files its local trace under
+// the same id. An empty or malformed traceID falls back to minting a
+// fresh one, making StartRemote("") identical to Start.
+func (t *Tracer) StartRemote(ctx context.Context, route, traceID string) (context.Context, *Span) {
+	if !ValidTraceID(traceID) {
+		traceID = newTraceID()
+	}
 	tr := &Trace{
 		tracer: t,
-		id:     newTraceID(),
+		id:     traceID,
 		route:  route,
 		start:  time.Now(),
 	}
@@ -162,10 +187,16 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
-// TraceIDFrom returns the context's trace id, or "" outside a trace.
+// TraceIDFrom returns the context's trace id — from the active span
+// if one is attached, else from a remote trace id carried by
+// ContextWithRemoteTrace (the client side of propagation, where no
+// local span exists) — or "" outside both.
 func TraceIDFrom(ctx context.Context) string {
 	if s, _ := ctx.Value(spanKey{}).(*Span); s != nil {
 		return s.trace.id
+	}
+	if id, _ := ctx.Value(remoteTraceKey{}).(string); id != "" {
+		return id
 	}
 	return ""
 }
@@ -300,6 +331,7 @@ const DefaultSnapshotLimit = 20
 // TraceView is one completed trace as exposed by GET /debug/traces.
 type TraceView struct {
 	TraceID      string     `json:"trace_id"`
+	NodeID       string     `json:"node_id,omitempty"`
 	Route        string     `json:"route"`
 	Start        time.Time  `json:"start"`
 	DurationMS   float64    `json:"duration_ms"`
@@ -314,6 +346,7 @@ type TraceView struct {
 type SpanView struct {
 	ID         string            `json:"id"`
 	Parent     string            `json:"parent,omitempty"`
+	NodeID     string            `json:"node_id,omitempty"`
 	Name       string            `json:"name"`
 	StartUS    int64             `json:"start_us"`
 	DurationUS int64             `json:"duration_us"`
@@ -362,10 +395,12 @@ func (t *Tracer) Snapshot(f Filter) []TraceView {
 
 // view snapshots the trace under its mutex.
 func (tr *Trace) view() TraceView {
+	node := tr.tracer.Node()
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	v := TraceView{
 		TraceID:      tr.id,
+		NodeID:       node,
 		Route:        tr.route,
 		Start:        tr.start,
 		DurationMS:   float64(tr.endNS) / float64(time.Millisecond),
@@ -378,6 +413,7 @@ func (tr *Trace) view() TraceView {
 		sv := SpanView{
 			ID:         s.id,
 			Parent:     s.parent,
+			NodeID:     node,
 			Name:       s.name,
 			StartUS:    s.start.Sub(tr.start).Microseconds(),
 			DurationUS: s.endNS / int64(time.Microsecond),

@@ -1,0 +1,116 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAppendSelect(t *testing.T) {
+	db := New(8)
+	for e := uint64(1); e <= 5; e++ {
+		db.AppendAt("margin_p50_v", e, float64(e)*0.1, int64(1000+e))
+	}
+	got := db.Select("margin_p50_v", Query{})
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i, sm := range got {
+		if sm.Epoch != uint64(i+1) {
+			t.Fatalf("sample %d epoch = %d (not oldest-first)", i, sm.Epoch)
+		}
+	}
+	last, ok := db.Latest("margin_p50_v")
+	if !ok || last.Epoch != 5 || last.Unix != 1005 {
+		t.Fatalf("Latest = %+v, %v", last, ok)
+	}
+	if db.Select("nope", Query{}) != nil {
+		t.Fatal("missing series should yield nil")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	db := New(4)
+	for e := uint64(1); e <= 10; e++ {
+		db.Append("s", e, float64(e))
+	}
+	got := db.Select("s", Query{})
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want capacity 4", len(got))
+	}
+	if got[0].Epoch != 7 || got[3].Epoch != 10 {
+		t.Fatalf("kept epochs %d..%d, want 7..10", got[0].Epoch, got[3].Epoch)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	db := New(64)
+	for e := uint64(0); e < 20; e++ {
+		db.Append("s", e, float64(e))
+	}
+	since := db.Select("s", Query{SinceEpoch: 15})
+	if len(since) != 5 || since[0].Epoch != 15 {
+		t.Fatalf("SinceEpoch: %+v", since)
+	}
+	limited := db.Select("s", Query{Limit: 3})
+	if len(limited) != 3 || limited[2].Epoch != 19 {
+		t.Fatalf("Limit should keep the newest: %+v", limited)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	db := New(64)
+	for e := uint64(0); e < 10; e++ {
+		db.Append("s", e, float64(e))
+	}
+	got := db.Select("s", Query{Step: 5})
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2 buckets", len(got))
+	}
+	// Bucket 0 holds epochs 0..4 (mean 2), bucket 1 epochs 5..9 (mean 7);
+	// each reports at its last epoch.
+	if got[0].Epoch != 4 || got[0].Value != 2 {
+		t.Fatalf("bucket 0 = %+v", got[0])
+	}
+	if got[1].Epoch != 9 || got[1].Value != 7 {
+		t.Fatalf("bucket 1 = %+v", got[1])
+	}
+}
+
+func TestMaxSeriesCap(t *testing.T) {
+	db := New(2)
+	for i := 0; i < MaxSeries+10; i++ {
+		db.Append(fmt.Sprintf("s%d", i), 1, 1)
+	}
+	st := db.Stats()
+	if st.Series != MaxSeries {
+		t.Fatalf("series = %d, want cap %d", st.Series, MaxSeries)
+	}
+	if st.Rejected != 10 {
+		t.Fatalf("rejected = %d, want 10", st.Rejected)
+	}
+}
+
+func TestConcurrentAppendSelect(t *testing.T) {
+	db := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", g%3)
+			for e := uint64(0); e < 200; e++ {
+				db.Append(name, e, float64(e))
+				if e%10 == 0 {
+					db.Select(name, Query{Step: 4, Limit: 8})
+					db.Latest(name)
+					db.Names()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(db.Names()); got != 3 {
+		t.Fatalf("names = %d, want 3", got)
+	}
+}

@@ -50,6 +50,7 @@ type Follower struct {
 	connects       atomic.Uint64
 	disconnects    atomic.Uint64
 	lastSeq        atomic.Uint64
+	lastTrace      atomic.Value // string: trace id of the newest traced tail batch
 }
 
 // NewFollower wraps j, which the follower owns from Start until Close.
@@ -208,6 +209,9 @@ func (f *Follower) session() error {
 			f.recordsApplied.Add(check - cursor)
 			cursor = check
 			f.lastSeq.Store(cursor)
+			if b.TraceID != "" {
+				f.lastTrace.Store(b.TraceID)
+			}
 			if err := sendAck(); err != nil {
 				return err
 			}
@@ -252,6 +256,7 @@ func (f *Follower) Journal() *journal.Journal { return f.j }
 
 // ReplStats snapshots the follower's counters.
 func (f *Follower) ReplStats() *Stats {
+	trace, _ := f.lastTrace.Load().(string)
 	return &Stats{
 		Role:           "follower",
 		Connected:      f.connected.Load(),
@@ -262,6 +267,7 @@ func (f *Follower) ReplStats() *Stats {
 		RecordsApplied: f.recordsApplied.Load(),
 		Gaps:           f.gaps.Load(),
 		PrimaryAddr:    f.cfg.PrimaryAddr,
+		LastTraceID:    trace,
 	}
 }
 

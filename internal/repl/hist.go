@@ -1,0 +1,71 @@
+package repl
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ackWaitBounds are the semisync follower-ack latency histogram's
+// bucket upper bounds in seconds, sized for LAN round trips: the fast
+// path (follower already acked when Append checks) lands in the first
+// bucket, a healthy same-rack ack within a few, and anything in the
+// tail buckets means the follower is struggling long before the
+// AckTimeout counter fires.
+var ackWaitBounds = [...]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
+
+// ackHist is a lock-free fixed-bucket latency histogram. Buckets are
+// non-cumulative per-bucket counts (the last slot is +Inf); snapshots
+// render them cumulative, Prometheus-style.
+type ackHist struct {
+	buckets [len(ackWaitBounds) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+func (h *ackHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(ackWaitBounds) && sec > ackWaitBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// HistBucket is one cumulative histogram bucket: Count observations at
+// or below the LE bound ("+Inf" for the last).
+type HistBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistStats is a snapshot of a latency histogram, JSON-friendly and
+// directly renderable as a Prometheus histogram.
+type HistStats struct {
+	Count      uint64       `json:"count"`
+	SumSeconds float64      `json:"sum_seconds"`
+	Buckets    []HistBucket `json:"buckets"`
+}
+
+// snapshot renders the histogram cumulatively. Concurrent observes may
+// land between bucket loads; the totals are monotone so scrapes stay
+// consistent enough for rate() math.
+func (h *ackHist) snapshot() *HistStats {
+	st := &HistStats{
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNS.Load()) / float64(time.Second),
+		Buckets:    make([]HistBucket, 0, len(h.buckets)),
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(ackWaitBounds) {
+			le = strconv.FormatFloat(ackWaitBounds[i], 'g', -1, 64)
+		}
+		st.Buckets = append(st.Buckets, HistBucket{LE: le, Count: cum})
+	}
+	return st
+}

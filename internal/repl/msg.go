@@ -37,9 +37,14 @@ type resetMsg struct {
 }
 
 // batchMsg carries records — snapshot chunks before snapDoneMsg, the
-// live committed tail after.
+// live committed tail after. TraceID tags live tail batches with the
+// distributed trace id of the newest traced record inside, so a
+// mutation's trace can be followed across the replication hop (the
+// follower surfaces it as Stats.LastTraceID; the records themselves
+// also carry their ids durably). Old peers ignore the field.
 type batchMsg struct {
-	Recs []store.Record `json:"recs"`
+	Recs    []store.Record `json:"recs"`
+	TraceID string         `json:"trace_id,omitempty"`
 }
 
 // snapDoneMsg closes the snapshot phase.

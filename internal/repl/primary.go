@@ -106,6 +106,8 @@ type Primary struct {
 
 	lastCommitted atomic.Uint64 // newest locally durable seq (from onCommit)
 
+	ackWait ackHist // semisync follower-ack wait latency
+
 	framesSent    atomic.Uint64
 	recordsSent   atomic.Uint64
 	acksReceived  atomic.Uint64
@@ -204,9 +206,11 @@ func (p *Primary) Append(ctx context.Context, rec store.Record) error {
 	if p.cfg.Mode == ModeSemiSync {
 		// lastCommitted is ≥ this record's seq (onCommit ran before the
 		// append returned), so waiting for it is a safe overapproximation.
+		start := time.Now()
 		if err := p.waitAcked(p.lastCommitted.Load()); err != nil {
 			return fmt.Errorf("repl: mutation durable locally but replication unconfirmed: %w", err)
 		}
+		p.ackWait.observe(time.Since(start))
 	}
 	return nil
 }
@@ -389,7 +393,7 @@ func (p *Primary) handleConn(c net.Conn) {
 		case <-pc.closed:
 			return
 		case batch := <-pc.queue:
-			if err := p.sendMsg(bw, kindBatch, batchMsg{Recs: batch}, true); err != nil {
+			if err := p.sendMsg(bw, kindBatch, batchMsg{Recs: batch, TraceID: batchTraceID(batch)}, true); err != nil {
 				p.log.Warn("tail stream failed", "peer", pc.peer, "err", err)
 				return
 			}
@@ -399,6 +403,18 @@ func (p *Primary) handleConn(c net.Conn) {
 			}
 		}
 	}
+}
+
+// batchTraceID picks the tag for a live tail batch: the trace id of
+// the newest record that carries one (engine epoch records and other
+// untraced writes carry none).
+func batchTraceID(batch []store.Record) string {
+	for i := len(batch) - 1; i >= 0; i-- {
+		if batch[i].Trace != "" {
+			return batch[i].Trace
+		}
+	}
+	return ""
 }
 
 // sendSnapshot writes reset + chunked records + snapdone. Snapshot and
@@ -485,6 +501,9 @@ func (p *Primary) ReplStats() *Stats {
 	if last > acked {
 		st.LagRecords = last - acked
 	}
+	if p.cfg.Mode == ModeSemiSync {
+		st.AckWait = p.ackWait.snapshot()
+	}
 	return st
 }
 
@@ -530,4 +549,10 @@ type Stats struct {
 	RecordsApplied uint64 `json:"records_applied,omitempty"`
 	Gaps           uint64 `json:"gaps,omitempty"`
 	PrimaryAddr    string `json:"primary_addr,omitempty"`
+	// AckWait is the semisync primary's follower-ack latency histogram
+	// (nil for async primaries and followers).
+	AckWait *HistStats `json:"ack_wait,omitempty"`
+	// LastTraceID is the follower's view of the newest traced batch it
+	// applied — the replication end of a distributed trace.
+	LastTraceID string `json:"last_trace_id,omitempty"`
 }

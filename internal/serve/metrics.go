@@ -100,6 +100,26 @@ func (m *Metrics) RecordTimeout() { m.timeouts.Add(1) }
 // gate.
 func (m *Metrics) RecordDegradedReject() { m.degradedRejects.Add(1) }
 
+// mutationCounts totals the mutating routes' requests and their 5xx
+// failures — the telemetry recorder turns consecutive readings into
+// the per-epoch mutation throughput and the availability SLO's inputs.
+func (m *Metrics) mutationCounts() (total, errors uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.routes {
+		if !mutatingRoutes[route] {
+			continue
+		}
+		total += rs.count
+		for status, n := range rs.byStatus {
+			if status >= 500 {
+				errors += n
+			}
+		}
+	}
+	return total, errors
+}
+
 // RouteSnapshot is one route's counters in a MetricsSnapshot.
 type RouteSnapshot struct {
 	Count    uint64            `json:"count"`
@@ -183,6 +203,20 @@ type GuardMetrics struct {
 	Quarantined []string `json:"quarantined,omitempty"`
 }
 
+// TelemetryMetrics is the telemetry section of a MetricsSnapshot: the
+// TSDB's residency plus the SLO monitor's latest verdicts.
+type TelemetryMetrics struct {
+	Series    int    `json:"series"`
+	Capacity  int    `json:"capacity"`
+	Rejected  uint64 `json:"rejected,omitempty"`
+	LastEpoch uint64 `json:"last_epoch"`
+	// SLO holds the latest per-objective evaluations (empty until the
+	// first recorded epoch).
+	SLO            []SLOStatus `json:"slo,omitempty"`
+	SLOAlertsTotal uint64      `json:"slo_alerts_total"`
+	SLOBreaches    uint64      `json:"slo_breaches_total"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
 	UptimeSeconds   float64                  `json:"uptime_seconds"`
@@ -200,6 +234,7 @@ type MetricsSnapshot struct {
 	Engine          *EngineMetrics           `json:"engine,omitempty"`
 	Guard           *GuardMetrics            `json:"guard,omitempty"`
 	Cluster         *ClusterMetrics          `json:"cluster,omitempty"`
+	Telemetry       *TelemetryMetrics        `json:"telemetry,omitempty"`
 }
 
 // guardMetrics assembles the guard section: counters from the guard,

@@ -7,17 +7,30 @@ import (
 	"strconv"
 
 	"selfheal/internal/obs"
+	"selfheal/internal/obs/tsdb"
 )
 
 // handleMetrics serves the instrumentation snapshot. The default body
 // is the JSON MetricsSnapshot; `?format=prometheus` renders the same
 // snapshot in the Prometheus text exposition format instead, plus the
-// Go runtime gauges.
+// Go runtime gauges. `?federate=1` answers for the whole fleet: the
+// node scrapes its ring peers' telemetry and renders every node's
+// newest samples with per-node labels (always Prometheus text).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("federate"); v == "1" || v == "true" {
+		fleet := s.gatherFleet(r.Context(), nil, tsdb.Query{Limit: 1}, "")
+		var buf bytes.Buffer
+		writePromFederated(&buf, fleet)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
+		return
+	}
 	snap := s.metrics.Snapshot(s.engine, s.fleet, s.faults, s.gate)
 	snap.Engine = engineMetrics(s.aging, s.cfg.MetricsChipLimit)
 	snap.Guard = guardMetrics(s.guard, s.fleet)
 	snap.Cluster = clusterMetrics(s.cluster)
+	snap.Telemetry = s.telemetryMetrics()
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		s.writeJSON(w, http.StatusOK, snap)
@@ -151,8 +164,46 @@ func writeProm(buf *bytes.Buffer, snap MetricsSnapshot, chipLimit int) {
 	if c := snap.Cluster; c != nil {
 		writePromCluster(p, c)
 	}
+	if t := snap.Telemetry; t != nil {
+		writePromTelemetry(p, t)
+	}
 
 	obs.WriteRuntimeMetrics(p)
+}
+
+// writePromTelemetry emits the telemetry TSDB's residency gauges and
+// the SLO monitor's slo_* series (burn rates, ok flags, alert
+// counters). The per-epoch sample values themselves are served by
+// /v1/telemetry and the federate=1 exposition, not here — one node's
+// plain scrape stays O(routes), not O(series × window).
+func writePromTelemetry(p *obs.PromWriter, t *TelemetryMetrics) {
+	p.Header("telemetry_series", "Distinct per-epoch series in the telemetry TSDB.", "gauge")
+	p.Sample("telemetry_series", nil, float64(t.Series))
+	p.Header("telemetry_capacity_epochs", "Per-series ring capacity of the telemetry TSDB.", "gauge")
+	p.Sample("telemetry_capacity_epochs", nil, float64(t.Capacity))
+	p.Header("telemetry_last_epoch", "Newest epoch recorded in the telemetry TSDB.", "gauge")
+	p.Sample("telemetry_last_epoch", nil, float64(t.LastEpoch))
+	if t.Rejected > 0 {
+		p.Header("telemetry_rejected_total", "Telemetry appends dropped at the series cap.", "counter")
+		p.Sample("telemetry_rejected_total", nil, float64(t.Rejected))
+	}
+
+	p.Header("slo_ok", "1 while the objective is within budget.", "gauge")
+	for _, st := range t.SLO {
+		ok := 0.0
+		if st.OK {
+			ok = 1
+		}
+		p.Sample("slo_ok", []obs.Label{{Name: "slo", Value: string(st.SLO)}}, ok)
+	}
+	p.Header("slo_burn_rate", "Normalized budget burn; 1.0 is the breach threshold.", "gauge")
+	for _, st := range t.SLO {
+		p.Sample("slo_burn_rate", []obs.Label{{Name: "slo", Value: string(st.SLO)}}, st.Burn)
+	}
+	p.Header("slo_alerts_total", "SLO breach and recovery alerts raised.", "counter")
+	p.Sample("slo_alerts_total", nil, float64(t.SLOAlertsTotal))
+	p.Header("slo_breaches_total", "SLO breach transitions observed.", "counter")
+	p.Sample("slo_breaches_total", nil, float64(t.SLOBreaches))
 }
 
 // writePromCluster emits the placement and replication series for one
@@ -207,6 +258,19 @@ func writePromCluster(p *obs.PromWriter, c *ClusterMetrics) {
 	} {
 		p.Header(ct.name, ct.help, "counter")
 		p.Sample(ct.name, role, float64(ct.v))
+	}
+
+	// The semisync follower-ack latency histogram (primary role only):
+	// how long acknowledged mutations waited on the replication link,
+	// bucketed for LAN round trips.
+	if h := r.AckWait; h != nil {
+		p.Header("repl_ack_wait_seconds", "Semisync follower-ack wait per acknowledged mutation.", "histogram")
+		for _, b := range h.Buckets {
+			p.Sample("repl_ack_wait_seconds_bucket",
+				append([]obs.Label{{Name: "le", Value: b.LE}}, role...), float64(b.Count))
+		}
+		p.Sample("repl_ack_wait_seconds_sum", role, h.SumSeconds)
+		p.Sample("repl_ack_wait_seconds_count", role, float64(h.Count))
 	}
 }
 

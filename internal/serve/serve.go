@@ -16,6 +16,7 @@ import (
 	"selfheal/internal/fpga"
 	"selfheal/internal/guard"
 	"selfheal/internal/obs"
+	"selfheal/internal/repl"
 	"selfheal/internal/rng"
 	"selfheal/internal/store"
 )
@@ -68,6 +69,16 @@ type Config struct {
 	// TraceBuffer is how many completed request traces the in-memory
 	// ring retains for GET /debug/traces (default 256).
 	TraceBuffer int
+	// TelemetryEpochs is the per-series ring capacity of the telemetry
+	// TSDB — how many epochs of per-epoch fleet aggregates GET
+	// /v1/telemetry can serve (default 512).
+	TelemetryEpochs int
+	// FederateTimeout bounds each peer scrape a federated telemetry
+	// request fans out (default 2 s).
+	FederateTimeout time.Duration
+	// FederateStaleAfter is how old a peer's newest sample may be
+	// before the federated view marks the node stale (default 15 s).
+	FederateStaleAfter time.Duration
 
 	// EngineEnabled turns on the discrete-event fleet aging engine: a
 	// single simulation clock that advances every registered chip one
@@ -152,6 +163,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
 	}
+	if c.TelemetryEpochs <= 0 {
+		c.TelemetryEpochs = 512
+	}
+	if c.FederateTimeout <= 0 {
+		c.FederateTimeout = 2 * time.Second
+	}
+	if c.FederateStaleAfter <= 0 {
+		c.FederateStaleAfter = 15 * time.Second
+	}
 	if c.EngineEpoch == 0 {
 		c.EngineEpoch = time.Second
 	}
@@ -181,6 +201,7 @@ type Server struct {
 	gate    *gate
 	cluster *clusterState
 	tracer  *obs.Tracer
+	telem   *telemetry
 	sem     chan struct{}
 	handler http.Handler
 }
@@ -224,6 +245,13 @@ func New(cfg Config) (*Server, error) {
 		s.log.Info("cluster mode", "node", s.cluster.nodeID,
 			"peers", len(cfg.Cluster.Peers), "vnodes", s.cluster.vnodes)
 	}
+	// Every trace and span view carries the node id, so /debug/traces
+	// output from different nodes stitches into one timeline.
+	s.tracer.SetNode(s.nodeID())
+	// The epoch-lag budget follows the engine's tick interval: an epoch
+	// starting more than two intervals late is unambiguously behind.
+	lagBudget := 2 * cfg.EngineEpoch.Seconds()
+	s.telem = newTelemetry(cfg.TelemetryEpochs, newSLOMonitor(sloConfig{LagBudget: lagBudget}))
 	if fl.Durable() {
 		s.gate = newGate(s.log, fl.Probe, cfg.ProbeInterval, cfg.ProbeMaxInterval)
 		if n := fl.ReplayedRecords(); n > 0 {
@@ -252,21 +280,31 @@ func New(cfg Config) (*Server, error) {
 			Workers:    cfg.EngineWorkers,
 			Tracer:     s.tracer,
 		}
-		// The guard is built after the engine it watches, but the
-		// engine's ticker may already be running by then, so the hook
-		// indirects through an atomic pointer (a nil guard is inert;
-		// any epochs before the handoff are simply unobserved).
+		// The guard (and the engine handle itself) are wired after the
+		// engine is built, but the engine's ticker may already be
+		// running by then, so the hook indirects through atomic
+		// pointers (a nil guard is inert; epochs before the handoff go
+		// unobserved). The guard runs first — the telemetry recorder
+		// then sees the epoch's quarantine decisions.
 		var guardPtr atomic.Pointer[guard.Guard]
-		if cfg.GuardEnabled {
-			ecfg.OnEpoch = func(epoch uint64, snap *engine.Snapshot) {
+		var agingPtr atomic.Pointer[engine.Engine]
+		var replStats func() *repl.Stats
+		if cfg.Cluster != nil {
+			replStats = cfg.Cluster.ReplStats
+		}
+		ecfg.OnEpoch = func(epoch uint64, snap *engine.Snapshot) {
+			if cfg.GuardEnabled {
 				guardPtr.Load().OnEpoch(epoch, snap)
 			}
+			mut, errs := s.metrics.mutationCounts()
+			s.telem.record(epoch, snap, agingPtr.Load(), guardPtr.Load(), replStats, mut, errs)
 		}
 		aging, err := engine.New(st, ecfg)
 		if err != nil {
 			return nil, err
 		}
 		s.aging = aging
+		agingPtr.Store(aging)
 		if err := s.syncEngineFleet(); err != nil {
 			aging.Close()
 			return nil, err
@@ -403,14 +441,20 @@ func (s *Server) routes() http.Handler {
 		"GET /v1/cluster":                      s.handleCluster,
 		"POST /v1/cluster/peers":               s.handleClusterPeers,
 		"POST /v1/cluster/promote":             s.handleClusterPromote,
+		"GET /v1/telemetry":                    s.handleTelemetry,
+		"GET /v1/fleet/telemetry":              s.handleFleetTelemetry,
 		"GET /debug/traces":                    s.handleTraces,
 	} {
-		// The cluster control plane skips shedding, fault injection and
-		// the write gate: during a failover — exactly when these routes
-		// are needed — the node may be degraded or under chaos, and
-		// repointing a peer must still work.
-		isCluster := strings.Contains(pattern, "/v1/cluster")
-		limited := strings.Contains(pattern, "/v1/") && !isCluster
+		// The cluster control plane and the telemetry read paths skip
+		// shedding, fault injection and the write gate: during a
+		// failover or an overload — exactly when these routes are
+		// needed — the node may be degraded or under chaos, and
+		// repointing a peer or reading the fleet's vitals must still
+		// work.
+		isControl := strings.Contains(pattern, "/v1/cluster") ||
+			strings.Contains(pattern, "/v1/telemetry") ||
+			strings.Contains(pattern, "/v1/fleet/")
+		limited := strings.Contains(pattern, "/v1/") && !isControl
 		timeout := s.cfg.OpTimeout
 		// Predictions can legitimately simulate for minutes, and a batch
 		// is up to MaxBatchItems chip operations; both get the long
@@ -466,7 +510,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // instrument wraps a handler with the metrics counters (labelled by
 // route *pattern*, so cardinality stays bounded), structured request
-// logging, and — on the /v1/ routes — a root trace span. Health and
+// logging, and — on the /v1/ routes — a root trace span. An inbound
+// Traceparent header (from the client, or from the node that
+// 307-forwarded here) is adopted, so one logical request files under
+// one trace id on every node it touches; without the header a fresh id
+// is minted. The id is echoed in X-Trace-ID either way. Health and
 // metrics scrapes stay out of the trace ring so a tight scrape loop
 // cannot evict the request traces the ring exists to keep.
 func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
@@ -476,12 +524,14 @@ func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
 		var root *obs.Span
 		if traced {
 			var ctx context.Context
-			ctx, root = s.tracer.Start(r.Context(), pattern)
+			remoteID, _ := obs.ParseTraceContext(r.Header.Get(obs.TraceContextHeader))
+			ctx, root = s.tracer.StartRemote(r.Context(), pattern, remoteID)
 			root.Annotate(
 				obs.String("method", r.Method),
 				obs.String("path", r.URL.Path),
 				obs.String("request_id", RequestIDFrom(r.Context())),
 			)
+			w.Header().Set("X-Trace-ID", obs.TraceIDFrom(ctx))
 			r = r.WithContext(ctx)
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
